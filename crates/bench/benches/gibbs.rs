@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the inference stage: sequential vs
+//! chromatic parallel Gibbs sweeps over a grounding-shaped factor graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_factorgraph::prelude::*;
+use probkb_inference::prelude::*;
+
+fn ground_graph() -> GroundGraph {
+    // A dense grounding (many rules per head) so each variable's Markov
+    // blanket carries real work — the regime where parallel sampling pays.
+    let kb = generate(&ReverbConfig {
+        entities: 2_000,
+        classes: 10,
+        relations: 80,
+        facts: 4_000,
+        rules: 1_500,
+        functional_frac: 0.0,
+        pseudo_frac: 0.0,
+        zipf_s: 1.05,
+        rule_zipf_s: 0.6,
+        seed: 21,
+    });
+    let mut engine = SingleNodeEngine::new();
+    let config = GroundingConfig {
+        max_iterations: 2,
+        preclean: false,
+        apply_constraints: false,
+        max_total_facts: Some(100_000),
+    };
+    let out = ground(&kb, &mut engine, &config).expect("grounding");
+    from_phi(&out.factors)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let gg = ground_graph();
+    let vars = gg.graph.num_vars();
+    let mut group = c.benchmark_group(format!("gibbs_{vars}_vars_20_sweeps"));
+    group.sample_size(10);
+    // Benchmark a 20-sweep schedule through each sampler's `run` path so
+    // the chromatic sampler's persistent worker pool is what's measured.
+    let schedule = GibbsConfig {
+        burn_in: 0,
+        samples: 20,
+        seed: 1,
+    };
+
+    group.bench_function(BenchmarkId::new("sequential", 1), |b| {
+        b.iter(|| {
+            let m = GibbsSampler::new(&gg.graph, 1).run(&schedule);
+            std::hint::black_box(m.p[0])
+        });
+    });
+
+    for threads in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("chromatic", threads), |b| {
+            b.iter(|| {
+                let m = ChromaticGibbs::new(&gg.graph, threads, 1).run(&schedule);
+                std::hint::black_box(m.p[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the relational substrate's operators:
+//! the hash join, grouped aggregate, and distinct that grounding leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use probkb_relational::prelude::*;
+
+fn table(rows: usize, keys: i64) -> Table {
+    Table::from_rows_unchecked(
+        Schema::ints(&["k", "v"]),
+        (0..rows as i64)
+            .map(|i| vec![Value::Int(i % keys), Value::Int(i)])
+            .collect(),
+    )
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_operators");
+    group.sample_size(20);
+
+    for rows in [10_000usize, 100_000] {
+        let cat = Catalog::new();
+        cat.create_or_replace("t", table(rows, 500));
+        cat.create_or_replace("dim", table(500, 500));
+        let exec = Executor::new(&cat);
+
+        group.bench_with_input(BenchmarkId::new("hash_join", rows), &rows, |b, _| {
+            let plan = Plan::scan("t").hash_join(Plan::scan("dim"), vec![0], vec![0]);
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("aggregate", rows), &rows, |b, _| {
+            let plan = Plan::scan("t").aggregate(
+                vec![0],
+                vec![
+                    AggExpr::new(AggFunc::CountStar, "n"),
+                    AggExpr::new(AggFunc::Min(1), "mn"),
+                ],
+            );
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("distinct", rows), &rows, |b, _| {
+            let plan = Plan::scan("t").project_cols(&[0], &["k"]).distinct();
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("filter", rows), &rows, |b, _| {
+            let plan = Plan::scan("t").filter(Expr::col(0).lt(Expr::lit(100i64)));
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

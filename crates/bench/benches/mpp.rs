@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for MPP motion strategies: the ablation
+//! behind Figure 4 and §4.4's redistributed materialized views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use probkb_mpp::prelude::*;
+use probkb_relational::prelude::*;
+
+fn table(rows: usize, keys: i64) -> Table {
+    Table::from_rows_unchecked(
+        Schema::ints(&["k", "v"]),
+        (0..rows as i64)
+            .map(|i| vec![Value::Int(i % keys), Value::Int(i)])
+            .collect(),
+    )
+}
+
+fn bench_motions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpp_join_strategies");
+    group.sample_size(10);
+    let segments = 8;
+
+    for rows in [50_000usize, 200_000] {
+        // Collocated: both sides hash-distributed on the key.
+        let collocated = Cluster::new(segments, NetworkModel::gigabit());
+        collocated
+            .create_table("t", table(rows, 1000), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        collocated
+            .create_table("dim", table(1000, 1000), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("collocated_join", rows), &rows, |b, _| {
+            let plan = DPlan::scan("t").hash_join(DPlan::scan("dim"), vec![0], vec![0]);
+            let exec = DExecutor::new(&collocated);
+            b.iter(|| {
+                let (parts, _) = exec.execute(&plan).unwrap();
+                std::hint::black_box(parts.iter().map(|t| t.len()).sum::<usize>())
+            });
+        });
+
+        // Views absent: broadcast the dimension side every time.
+        let scattered = Cluster::new(segments, NetworkModel::gigabit());
+        scattered
+            .create_table("t", table(rows, 1000), DistPolicy::RoundRobin)
+            .unwrap();
+        scattered
+            .create_table("dim", table(1000, 1000), DistPolicy::MasterOnly)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("broadcast_join", rows), &rows, |b, _| {
+            let plan =
+                DPlan::scan("t").hash_join(DPlan::scan("dim").broadcast(), vec![0], vec![0]);
+            let exec = DExecutor::new(&scattered);
+            b.iter(|| {
+                let (parts, _) = exec.execute(&plan).unwrap();
+                std::hint::black_box(parts.iter().map(|t| t.len()).sum::<usize>())
+            });
+        });
+
+        // Redistribute the fact side (what ProbKB-pn pays per query).
+        group.bench_with_input(
+            BenchmarkId::new("redistribute_then_join", rows),
+            &rows,
+            |b, _| {
+                let plan = DPlan::scan("t")
+                    .redistribute(vec![0])
+                    .hash_join(DPlan::scan("dim").redistribute(vec![0]), vec![0], vec![0]);
+                let exec = DExecutor::new(&scattered);
+                b.iter(|| {
+                    let (parts, _) = exec.execute(&plan).unwrap();
+                    std::hint::black_box(parts.iter().map(|t| t.len()).sum::<usize>())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motions);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Run every experiment harness in sequence at its default (scaled-down)
+//! parameters, separating sections clearly. Useful for regenerating all
+//! of EXPERIMENTS.md's measurements in one go.
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin all_experiments 2>&1 | tee experiments.log
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2", "table3", "fig4", "fig6a", "fig6b", "fig6c", "fig7a", "fig7b",
+        "ablation_semi_naive",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n######## {bin} ########\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments completed.");
+}

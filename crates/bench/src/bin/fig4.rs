@@ -1,0 +1,83 @@
+//! Figure 4: Greenplum query plans with and without redistributed
+//! materialized views, annotated with per-operator timings.
+//!
+//! Joins `M3` against a synthetic `TΠ` (10M rows in the paper; scaled
+//! here) on an 8-segment cluster, and prints the two EXPLAIN ANALYZE
+//! trees. The optimized plan replaces the Broadcast Motion of the large
+//! intermediate result with Redistribute Motions against collocated view
+//! replicas.
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin fig4 -- --facts 1000000 --segments 8
+//! ```
+
+use probkb_bench::flag;
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_kb::prelude::RulePattern;
+use probkb_mpp::prelude::*;
+
+fn main() {
+    let facts: usize = flag("facts", 1_000_000);
+    let segments: usize = flag("segments", 8);
+
+    // A synthetic TΠ like the paper's 10M-row sample, with enough P3
+    // rules to make the intermediate result large.
+    let base = generate(&ReverbConfig {
+        entities: (facts / 20).max(100),
+        classes: 12,
+        relations: 200,
+        facts: facts / 10,
+        rules: 400,
+        functional_frac: 0.0,
+        pseudo_frac: 0.0,
+        zipf_s: 1.05,
+        rule_zipf_s: 0.0,
+        seed: 4,
+    });
+    let kb = s2_with_facts(&base, facts, 9);
+    let rel = load(&kb);
+    let pattern = rel
+        .mln
+        .iter()
+        .map(|(p, _)| *p)
+        .find(|p| *p == RulePattern::P3)
+        .or_else(|| rel.mln.iter().map(|(p, _)| *p).find(|p| p.arity() == 3))
+        .expect("generator emits length-3 rules");
+
+    println!(
+        "== Figure 4: M{} ⋈ TΠ with {} rows on {segments} segments ==\n",
+        pattern.index(),
+        kb.stats().facts
+    );
+
+    for (label, mode) in [
+        ("WITH redistributed materialized views (left plan)", MppMode::Optimized),
+        ("WITHOUT optimization (right plan)", MppMode::NoViews),
+    ] {
+        let mut engine = MppEngine::new(segments, NetworkModel::gigabit(), mode);
+        engine.load(&rel).expect("load");
+        engine.cluster().motions().clear();
+        let plan = engine.ground_atoms_dplan(pattern).expect("plan");
+        let (out, metrics) = DExecutor::new(engine.cluster())
+            .execute(&plan)
+            .expect("execute");
+        let produced: usize = out.iter().map(|t| t.len()).sum();
+        println!("--- {label} ---");
+        println!("{}", explain_analyze_dplan(&metrics));
+        let motions = engine.cluster().motions();
+        println!(
+            "rows produced: {produced} | shipped: {} redistribute + {} broadcast | simulated network: {:?} | total reported: {:?}\n",
+            motions.rows_by_kind(MotionKind::Redistribute),
+            motions.rows_by_kind(MotionKind::Broadcast),
+            metrics.total_net_simulated(),
+            metrics.total_reported(),
+        );
+    }
+
+    println!(
+        "Expected shape (paper): the unoptimized plan's Broadcast Motion of the\n\
+         intermediate hash-join result dominates (8.06s vs 0.85s in Figure 4);\n\
+         here the same asymmetry appears in rows shipped and simulated network time."
+    );
+}

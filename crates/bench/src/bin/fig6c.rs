@@ -1,0 +1,87 @@
+//! Figure 6(c): PostgreSQL vs Greenplum, with and without redistributed
+//! materialized views (ProbKB vs ProbKB-pn vs ProbKB-p), on the S2 sweep.
+//!
+//! Queries 1 and 2 only (one grounding iteration plus the factor pass).
+//! Beside wall-clock time we report the simulated interconnect time —
+//! the quantity a real cluster pays that an in-process simulator hides.
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin fig6c -- --segments 8
+//! ```
+
+use probkb_bench::{flag, row, secs, switch};
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_mpp::prelude::*;
+
+fn main() {
+    let segments: usize = flag("segments", 8);
+    let rules: usize = flag("rules", 2_000);
+    let full = switch("full");
+    let fact_counts: Vec<usize> = if full {
+        vec![100_000, 500_000, 2_000_000, 10_000_000]
+    } else {
+        vec![10_000, 50_000, 200_000, 500_000]
+    };
+
+    let base = generate(&ReverbConfig {
+        entities: 100_000,
+        classes: 20,
+        relations: 4_000,
+        facts: 10_000,
+        rules,
+        functional_frac: 0.1,
+        pseudo_frac: 0.2,
+        zipf_s: 0.9,
+        rule_zipf_s: 0.0,
+        seed: 63,
+    });
+    println!(
+        "== Figure 6(c): single-node vs MPP (S2; {} rules; {segments} segments; Queries 1+2) ==\n",
+        base.stats().rules
+    );
+    row(&[
+        "#facts".into(),
+        "ProbKB s".into(),
+        "ProbKB-pn s".into(),
+        "ProbKB-pn net s".into(),
+        "ProbKB-p s".into(),
+        "ProbKB-p net s".into(),
+        "#inferred".into(),
+    ]);
+
+    let config = GroundingConfig {
+        max_iterations: 1,
+        preclean: false,
+        apply_constraints: false,
+        max_total_facts: None,
+    };
+
+    for &facts in &fact_counts {
+        let kb = s2_with_facts(&base, facts, 8);
+
+        let mut single = SingleNodeEngine::new();
+        let s = ground_loaded(load(&kb), &mut single, &config).expect("single");
+        let mut cells = vec![kb.stats().facts.to_string(), secs(s.report.total_time())];
+        let inferred = s.report.inferred_facts();
+
+        for mode in [MppMode::NoViews, MppMode::Optimized] {
+            let mut engine = MppEngine::new(segments, NetworkModel::gigabit(), mode);
+            let out = ground_loaded(load(&kb), &mut engine, &config).expect("mpp");
+            assert_eq!(out.report.inferred_facts(), inferred, "{mode:?} disagrees");
+            cells.push(secs(out.report.total_time()));
+            cells.push(secs(engine.cluster().motions().total_simulated()));
+        }
+        cells.push(inferred.to_string());
+        row(&cells);
+    }
+
+    println!(
+        "\nExpected shape (paper): both Greenplum variants beat PostgreSQL (≥3.1x),\n\
+         and the redistributed views add up to 6.3x by eliminating broadcast\n\
+         motions. In this in-process simulator the wall-clock gap narrows (all\n\
+         segments share one machine), but the interconnect columns show the\n\
+         effect the views exist to produce: ProbKB-p ships a fraction of\n\
+         ProbKB-pn's volume."
+    );
+}

@@ -1,0 +1,116 @@
+//! Table 4 + Figure 7(a): precision of inferred facts under the six
+//! quality-control configurations.
+//!
+//! Generates a clean ReVerb-Sherlock-style KB, injects the paper's error
+//! families with ground truth, then grounds under each configuration of
+//! Table 4 (G1 without semantic constraints, G2 with them, each at three
+//! rule-cleaning levels) and reports the precision trajectory as
+//! inference proceeds — the curves of Figure 7(a).
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin fig7a
+//! ```
+
+use probkb_bench::{flag, row};
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_quality::prelude::*;
+
+struct QcConfig {
+    name: &'static str,
+    semantic_constraints: bool,
+    theta: f64,
+}
+
+fn main() {
+    let facts: usize = flag("facts", 3_000);
+    let cap: usize = flag("cap", 300_000);
+
+    println!("== Table 4: quality control parameters ==\n");
+    row(&["".into(), "SC".into(), "RC (θ)".into()]);
+    row(&["G1".into(), "no-SC".into(), "1 (no-RC), 20%, 10%".into()]);
+    row(&["G2".into(), "SC".into(), "1 (no-RC), 50%, 20%".into()]);
+
+    let clean = generate(&ReverbConfig {
+        entities: facts / 2,
+        classes: 12,
+        relations: 100,
+        facts,
+        rules: 300,
+        functional_frac: 0.5,
+        pseudo_frac: 0.2,
+        zipf_s: 1.05,
+        rule_zipf_s: 0.6,
+        seed: 71,
+    });
+    let corrupted = inject(
+        &clean,
+        &ErrorConfig {
+            wrong_rules: 120,
+            ambiguous_merges: facts / 8,
+            error_facts: facts / 10,
+            synonym_pairs: facts / 60,
+            seed: 72,
+            closure_iterations: 6,
+            closure_cap: cap,
+        },
+    );
+    println!(
+        "\nKB: {} facts, {} rules ({} injected wrong), {} ambiguous entities, {} bad extractions\n",
+        corrupted.kb.facts.len(),
+        corrupted.kb.rules.len(),
+        corrupted.truth.wrong_rule_ids.len(),
+        corrupted.truth.ambiguous_entities.len(),
+        corrupted.truth.error_fact_keys.len(),
+    );
+
+    let configs = [
+        QcConfig { name: "No SC, no RC", semantic_constraints: false, theta: 1.0 },
+        QcConfig { name: "RC top 20%", semantic_constraints: false, theta: 0.2 },
+        QcConfig { name: "RC top 10%", semantic_constraints: false, theta: 0.1 },
+        QcConfig { name: "SC only", semantic_constraints: true, theta: 1.0 },
+        QcConfig { name: "SC + RC top 50%", semantic_constraints: true, theta: 0.5 },
+        QcConfig { name: "SC + RC top 20%", semantic_constraints: true, theta: 0.2 },
+    ];
+
+    println!("== Figure 7(a): precision vs estimated number of correct facts ==\n");
+    row(&[
+        "configuration".into(),
+        "curve (correct:precision per iteration)".into(),
+        "#inferred".into(),
+        "#correct".into(),
+        "precision".into(),
+    ]);
+
+    for qc in &configs {
+        let kb = clean_rules(&corrupted.kb, qc.theta);
+        let config = GroundingConfig {
+            max_iterations: 8,
+            preclean: qc.semantic_constraints,
+            apply_constraints: qc.semantic_constraints,
+            max_total_facts: Some(cap),
+        };
+        let mut engine = SingleNodeEngine::new();
+        let out = ground(&kb, &mut engine, &config).expect("grounding");
+        let eval = evaluate(&out, &corrupted.truth);
+        let curve: Vec<String> = eval
+            .curve
+            .iter()
+            .map(|p| format!("{}:{:.2}", p.correct, p.precision))
+            .collect();
+        row(&[
+            qc.name.into(),
+            curve.join(" "),
+            eval.inferred.to_string(),
+            eval.correct.to_string(),
+            format!("{:.2}", eval.precision),
+        ]);
+    }
+
+    println!(
+        "\nExpected shape (paper): raw ≈ 0.14 precision; rule cleaning alone\n\
+         raises precision at reduced recall; semantic constraints raise both\n\
+         precision and usable recall (the unconstrained run wastes its budget\n\
+         on garbage); SC + RC is the best configuration (0.65–0.75)."
+    );
+}

@@ -1,0 +1,127 @@
+//! Figure 7(b): distribution of error sources behind constraint
+//! violations.
+//!
+//! Grounds a corrupted KB without constraint enforcement (so errors
+//! propagate), detects every entity violating a functional constraint,
+//! and attributes each violation to its ground-truth cause — the pie
+//! chart of Figure 7(b) as a table.
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin fig7b
+//! ```
+
+use std::collections::HashMap;
+
+use probkb_bench::{flag, row};
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_quality::prelude::*;
+
+fn main() {
+    let facts: usize = flag("facts", 3_000);
+
+    let clean = generate(&ReverbConfig {
+        entities: facts / 2,
+        classes: 12,
+        relations: 100,
+        facts,
+        rules: 300,
+        functional_frac: 0.5,
+        pseudo_frac: 0.2,
+        zipf_s: 1.05,
+        rule_zipf_s: 0.6,
+        seed: 71,
+    });
+    let corrupted = inject(
+        &clean,
+        &ErrorConfig {
+            wrong_rules: 40,
+            ambiguous_merges: facts / 8,
+            error_facts: facts / 10,
+            synonym_pairs: facts / 60,
+            seed: 72,
+            closure_iterations: 6,
+            closure_cap: 300_000,
+        },
+    );
+
+    // Ground without constraints so every error family can propagate.
+    let mut engine = SingleNodeEngine::new();
+    let config = GroundingConfig {
+        max_iterations: 5,
+        preclean: false,
+        apply_constraints: false,
+        max_total_facts: Some(300_000),
+    };
+    let out = ground(&corrupted.kb, &mut engine, &config).expect("grounding");
+
+    // Violating entities over the *expanded* KB, then ground-truth
+    // attribution of each.
+    let mut expanded = corrupted.kb.clone();
+    expanded.facts.clear();
+    let mut mentions: HashMap<i64, Vec<FactKey>> = HashMap::new();
+    for r in out.facts.rows() {
+        let key: FactKey = [
+            r[tpi::R].as_int().unwrap(),
+            r[tpi::X].as_int().unwrap(),
+            r[tpi::C1].as_int().unwrap(),
+            r[tpi::Y].as_int().unwrap(),
+            r[tpi::C2].as_int().unwrap(),
+        ];
+        mentions.entry(key[1]).or_default().push(key);
+        mentions.entry(key[3]).or_default().push(key);
+        expanded.facts.push(probkb_kb::prelude::Fact {
+            rel: probkb_kb::prelude::RelationId::from_i64(key[0]),
+            x: probkb_kb::prelude::EntityId::from_i64(key[1]),
+            c1: probkb_kb::prelude::ClassId::from_i64(key[2]),
+            y: probkb_kb::prelude::EntityId::from_i64(key[3]),
+            c2: probkb_kb::prelude::ClassId::from_i64(key[4]),
+            weight: r[tpi::W].as_float(),
+        });
+    }
+    let violators = detect_violating_entities(&expanded).expect("detection");
+
+    let mut breakdown = Breakdown::default();
+    for (entity, _class) in &violators {
+        let keys = mentions
+            .get(&entity.as_i64())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let evidence = evidence_for(entity.as_i64(), keys, &corrupted.truth);
+        breakdown.record(classify_violation(&evidence));
+    }
+
+    println!(
+        "== Figure 7(b): error sources behind {} constraint-violating entities ==\n",
+        breakdown.total()
+    );
+    row(&["error source".into(), "count".into(), "share".into(), "paper".into()]);
+    let paper: &[(&str, &str)] = &[
+        ("Ambiguities (detected)", "34%"),
+        ("Ambiguous join keys", "24%"),
+        ("Incorrect rules", "33%"),
+        ("Incorrect extractions", "6%"),
+        ("General types", "2%"),
+        ("Synonyms", "1%"),
+        ("Unattributed", "-"),
+    ];
+    for (source, count, share) in breakdown.rows() {
+        let paper_share = paper
+            .iter()
+            .find(|(label, _)| *label == source.label())
+            .map(|(_, s)| *s)
+            .unwrap_or("-");
+        row(&[
+            source.label().into(),
+            count.to_string(),
+            format!("{:.0}%", share * 100.0),
+            paper_share.into(),
+        ]);
+    }
+
+    println!(
+        "\nExpected shape (paper): ambiguity (direct + join keys) and incorrect\n\
+         rules dominate; extraction errors are a small slice; general types\n\
+         and synonyms are marginal."
+    );
+}

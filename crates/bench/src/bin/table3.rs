@@ -1,0 +1,116 @@
+//! Table 3: Tuffy-T vs ProbKB vs ProbKB-p on the ReVerb-Sherlock KB.
+//!
+//! Reproduces the paper's case study: bulkload time, Query-1 time for
+//! four grounding iterations, Query-2 (factor construction) time, and the
+//! result sizes — which grow explosively because this run (like the
+//! paper's) applies constraints only once, before inference.
+//!
+//! Two tables are printed: raw in-memory times, and DBMS-equivalent times
+//! that add the calibrated per-query dispatch overhead a PostgreSQL-class
+//! engine pays (see `probkb_bench::QUERY_DISPATCH_OVERHEAD`) — the paper's
+//! comparison runs on such an engine, and its headline gap *is* that
+//! overhead times 30,912 queries.
+//!
+//! ```sh
+//! cargo run --release -p probkb-bench --bin table3 -- --scale 0.02 --segments 8
+//! ```
+
+use std::time::Duration;
+
+use probkb_bench::{dbms_equivalent, flag, mins, row, run_system, PerfRun, System, QUERY_DISPATCH_OVERHEAD};
+use probkb_datagen::prelude::{generate, ReverbConfig};
+
+fn print_table(runs: &[PerfRun], iterations: usize, overhead: Duration, label: &str) {
+    println!("\n-- {label} (minutes, as in Table 3) --");
+    let mut header = vec!["Systems".to_string(), "Load".to_string()];
+    for i in 1..=iterations {
+        header.push(format!("Q1 iter{i}"));
+    }
+    header.push("Query 2".into());
+    header.push("facts".into());
+    header.push("factors".into());
+    row(&header);
+
+    for run in runs {
+        let mut cells = vec![run.system.name().to_string(), mins(run.report.load_time)];
+        for i in 1..=iterations {
+            let stat = run.report.iterations.iter().find(|s| s.iteration == i);
+            cells.push(match stat {
+                Some(s) => mins(dbms_equivalent(s.elapsed, s.queries, overhead)),
+                None => "-".into(),
+            });
+        }
+        cells.push(mins(dbms_equivalent(
+            run.report.factor_time,
+            run.report.factor_queries,
+            overhead,
+        )));
+        cells.push(run.report.total_facts.to_string());
+        cells.push(run.report.total_factors.to_string());
+        row(&cells);
+    }
+}
+
+fn main() {
+    let scale: f64 = flag("scale", 0.02);
+    let segments: usize = flag("segments", 8);
+    let iterations: usize = flag("iterations", 4);
+    let cap: usize = flag("cap", 3_000_000);
+
+    let kb = generate(&ReverbConfig::scaled(scale));
+    println!(
+        "== Table 3: ReVerb-Sherlock case study (scale {scale}, {} facts, {} rules, {segments} segments) ==",
+        kb.stats().facts,
+        kb.stats().rules
+    );
+    println!("Query 3 runs once before inference; no constraints during (as in §6.1.1).");
+
+    let systems = [System::ProbKbP, System::ProbKb, System::TuffyT];
+    let runs: Vec<_> = systems
+        .iter()
+        .map(|&s| {
+            eprintln!("running {} ...", s.name());
+            run_system(s, &kb, iterations, segments, true, Some(cap))
+        })
+        .collect();
+
+    print_table(&runs, iterations, Duration::ZERO, "raw in-memory execution");
+    print_table(
+        &runs,
+        iterations,
+        QUERY_DISPATCH_OVERHEAD,
+        "DBMS-equivalent (+5 ms dispatch per query)",
+    );
+
+    // The §6.1.1 headline claims, derived from the DBMS-equivalent run.
+    let probkb = &runs[1];
+    let tuffy = &runs[2];
+    println!("\nDerived (paper's §6.1.1 headline numbers, DBMS-equivalent):");
+    let q_t = tuffy.report.iterations.first().map(|s| s.queries).unwrap_or(0);
+    let q_p = probkb.report.iterations.first().map(|s| s.queries).unwrap_or(0);
+    println!(
+        "  queries per iteration: {q_t} (Tuffy-T) vs {q_p} (ProbKB) [paper: 30,912 vs 6]"
+    );
+    for i in 2..=iterations {
+        let t = tuffy.report.iterations.iter().find(|s| s.iteration == i);
+        let p = probkb.report.iterations.iter().find(|s| s.iteration == i);
+        if let (Some(t), Some(p)) = (t, p) {
+            let tq = dbms_equivalent(t.elapsed, t.queries, QUERY_DISPATCH_OVERHEAD);
+            let pq = dbms_equivalent(p.elapsed, p.queries, QUERY_DISPATCH_OVERHEAD);
+            println!(
+                "  Query 1 iter {i}: Tuffy-T/ProbKB = {:.1}x (paper: >100x in iters 2-4)",
+                tq.as_secs_f64() / pq.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+    // Bulkload: Tuffy creates one table per relation (83K in the paper).
+    println!(
+        "  bulkload: Tuffy-T/ProbKB = {:.1}x raw (paper: 607x; the gap is mostly \
+         per-table DDL overhead, which our in-memory catalog barely pays)",
+        tuffy.report.load_time.as_secs_f64() / probkb.report.load_time.as_secs_f64().max(1e-9)
+    );
+
+    // The result must agree across systems.
+    assert_eq!(runs[0].report.total_facts, runs[1].report.total_facts);
+    assert_eq!(runs[1].report.total_facts, runs[2].report.total_facts);
+}

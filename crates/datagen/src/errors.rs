@@ -1,0 +1,346 @@
+//! Error injection with exact ground truth (§5's error sources E1–E3).
+//!
+//! Starting from a clean KB whose true world is computable (the clean
+//! extractions plus their closure under the clean rules), this module
+//! injects the paper's error families — incorrect extractions (E1),
+//! incorrect rules (E2), ambiguous entities (E3), and synonyms — while
+//! recording exactly what was injected and which derived facts each error
+//! family produces. Quality experiments then *measure* precision instead
+//! of sampling human judgments.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use probkb_core::prelude::{ground, tpi, GroundingConfig, SingleNodeEngine};
+use probkb_kb::prelude::*;
+use probkb_quality::prelude::{FactKey, GroundTruth};
+use probkb_relational::prelude::Table;
+
+/// Error injection parameters.
+#[derive(Debug, Clone)]
+pub struct ErrorConfig {
+    /// Number of incorrect rules to inject (E2).
+    pub wrong_rules: usize,
+    /// Number of entity pairs merged under one name (E3).
+    pub ambiguous_merges: usize,
+    /// Number of incorrect extractions to add (E1).
+    pub error_facts: usize,
+    /// Number of synonym facts to add (same object, second name).
+    pub synonym_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Iteration cap for the closure computations.
+    pub closure_iterations: usize,
+    /// Fact cap for the closure computations (wrong rules can blow up).
+    pub closure_cap: usize,
+}
+
+impl ErrorConfig {
+    /// Defaults proportioned like the paper's observed error mix.
+    pub fn for_kb(kb: &ProbKb) -> Self {
+        let f = kb.facts.len();
+        let r = kb.rules.len();
+        ErrorConfig {
+            wrong_rules: (r / 5).max(1),
+            ambiguous_merges: (f / 30).max(1),
+            error_facts: (f / 20).max(1),
+            synonym_pairs: (f / 100).max(1),
+            seed: 7,
+            closure_iterations: 6,
+            closure_cap: f.saturating_mul(30).max(10_000),
+        }
+    }
+}
+
+/// A corrupted KB plus its ground truth.
+#[derive(Debug)]
+pub struct CorruptedKb {
+    /// The KB with injected errors.
+    pub kb: ProbKb,
+    /// What is actually true, and what was injected.
+    pub truth: GroundTruth,
+}
+
+fn keys_of_snapshot(facts: &Table) -> (HashSet<FactKey>, HashSet<FactKey>) {
+    let mut base = HashSet::new();
+    let mut derived = HashSet::new();
+    for row in facts.rows() {
+        let key: FactKey = [
+            row[tpi::R].as_int().expect("R"),
+            row[tpi::X].as_int().expect("x"),
+            row[tpi::C1].as_int().expect("C1"),
+            row[tpi::Y].as_int().expect("y"),
+            row[tpi::C2].as_int().expect("C2"),
+        ];
+        if row[tpi::W].is_null() {
+            derived.insert(key);
+        } else {
+            base.insert(key);
+        }
+    }
+    (base, derived)
+}
+
+fn closure_keys(kb: &ProbKb, config: &ErrorConfig) -> (HashSet<FactKey>, HashSet<FactKey>) {
+    let mut engine = SingleNodeEngine::new();
+    let gc = GroundingConfig {
+        max_iterations: config.closure_iterations,
+        preclean: false,
+        apply_constraints: false,
+        max_total_facts: Some(config.closure_cap),
+    };
+    let out = ground(kb, &mut engine, &gc).expect("closure grounding");
+    keys_of_snapshot(&out.facts)
+}
+
+/// Inject errors into a clean KB.
+pub fn inject(clean: &ProbKb, config: &ErrorConfig) -> CorruptedKb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut truth = GroundTruth::default();
+
+    // The true world: clean extractions are Correct, their closure under
+    // the clean rules is Probable (derived but trusted).
+    let (true_base, true_derived) = closure_keys(clean, config);
+    truth.true_keys = true_base;
+    truth.probable_keys = true_derived;
+
+    let mut kb = clean.clone();
+    let correct_rule_count = kb.rules.len();
+
+    // E3: merge pairs of entities under one name. All facts of `gone`
+    // are rewritten to `kept`, which then denotes two objects.
+    let entity_count = kb.entities.len() as u32;
+    for _ in 0..config.ambiguous_merges {
+        if entity_count < 2 {
+            break;
+        }
+        let kept = EntityId(rng.random_range(0..entity_count));
+        let gone = EntityId(rng.random_range(0..entity_count));
+        if kept == gone {
+            continue;
+        }
+        // `kept` inherits `gone`'s class memberships so facts stay typed.
+        for members in kb.members.iter_mut() {
+            if members.contains(&gone) {
+                members.insert(kept);
+            }
+        }
+        for fact in kb.facts.iter_mut() {
+            if fact.x == gone {
+                fact.x = kept;
+            }
+            if fact.y == gone {
+                fact.y = kept;
+            }
+        }
+        truth.ambiguous_entities.insert(kept.as_i64());
+    }
+
+    // Synonyms: duplicate an existing fact with the object renamed to a
+    // fresh name denoting the same object. The duplicate is acceptable
+    // (Probable) but trips functional constraints.
+    for s in 0..config.synonym_pairs {
+        if kb.facts.is_empty() {
+            break;
+        }
+        let idx = rng.random_range(0..kb.facts.len());
+        let fact = kb.facts[idx];
+        let original = kb.entities.resolve(fact.y.raw()).unwrap_or("e").to_string();
+        let syn = EntityId(kb.entities.intern(&format!("{original}__syn{s}")));
+        if let Some(members) = kb.members.get_mut(fact.c2.raw() as usize) {
+            members.insert(syn);
+        }
+        let mut dup = fact;
+        dup.y = syn;
+        kb.facts.push(dup);
+        truth.synonym_entities.insert(syn.as_i64());
+        let key: FactKey = [
+            dup.rel.as_i64(),
+            dup.x.as_i64(),
+            dup.c1.as_i64(),
+            dup.y.as_i64(),
+            dup.c2.as_i64(),
+        ];
+        truth.probable_keys.insert(key);
+    }
+
+    // E1: incorrect extractions — rewire existing facts to random
+    // entities of the same classes.
+    let mut class_members: Vec<Vec<EntityId>> = kb
+        .members
+        .iter()
+        .map(|m| {
+            let mut v: Vec<EntityId> = m.iter().copied().collect();
+            v.sort();
+            v
+        })
+        .collect();
+    for _ in 0..config.error_facts {
+        if kb.facts.is_empty() {
+            break;
+        }
+        let template = kb.facts[rng.random_range(0..kb.facts.len())];
+        let xs = &class_members[template.c1.raw() as usize];
+        let ys = &class_members[template.c2.raw() as usize];
+        if xs.is_empty() || ys.is_empty() {
+            continue;
+        }
+        let mut bad = template;
+        bad.x = xs[rng.random_range(0..xs.len())];
+        bad.y = ys[rng.random_range(0..ys.len())];
+        bad.weight = Some(0.5 + 0.5 * rng.random::<f64>());
+        let key: FactKey = [
+            bad.rel.as_i64(),
+            bad.x.as_i64(),
+            bad.c1.as_i64(),
+            bad.y.as_i64(),
+            bad.c2.as_i64(),
+        ];
+        if truth.true_keys.contains(&key) || truth.probable_keys.contains(&key) {
+            continue; // accidentally true — not an error
+        }
+        kb.facts.push(bad);
+        truth.error_fact_keys.insert(key);
+    }
+    class_members.clear();
+
+    // E2: incorrect rules — existing rules with a substituted head
+    // relation. Scores overlap the clean rules' range so cleaning is a
+    // real trade-off (§6.2.3's observation).
+    let relation_count = kb.relations.len() as u32;
+    for _ in 0..config.wrong_rules {
+        if kb.rules.is_empty() || relation_count == 0 {
+            break;
+        }
+        let template = kb.rules[rng.random_range(0..correct_rule_count)].clone();
+        let new_head = RelationId(rng.random_range(0..relation_count));
+        if new_head == template.head.rel {
+            continue;
+        }
+        let mut wrong = template;
+        wrong.head = Atom::new(new_head, Var::X, Var::Y);
+        wrong.significance = 0.7 * rng.random::<f64>();
+        // Register the fabricated head signature so the KB stays valid.
+        kb.signatures.insert((new_head, wrong.cx, wrong.cy));
+        truth.wrong_rule_ids.insert(kb.rules.len());
+        kb.rules.push(wrong);
+    }
+
+    // Attribution closures: what does each error family produce?
+    let mut correct_rules_kb = kb.clone();
+    correct_rules_kb.rules.truncate(correct_rule_count);
+    let (_, derived_correct) = closure_keys(&correct_rules_kb, config);
+    let (_, derived_all) = closure_keys(&kb, config);
+
+    truth.ambiguity_products = derived_correct
+        .iter()
+        .filter(|k| {
+            !truth.true_keys.contains(*k)
+                && !truth.probable_keys.contains(*k)
+                && !truth.error_fact_keys.contains(*k)
+        })
+        .copied()
+        .collect();
+    truth.wrong_rule_products = derived_all
+        .difference(&derived_correct)
+        .filter(|k| !truth.true_keys.contains(*k) && !truth.probable_keys.contains(*k))
+        .copied()
+        .collect();
+
+    CorruptedKb { kb, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reverb::{generate, ReverbConfig};
+
+    fn corrupted() -> CorruptedKb {
+        let clean = generate(&ReverbConfig::tiny());
+        let config = ErrorConfig {
+            wrong_rules: 8,
+            ambiguous_merges: 6,
+            error_facts: 15,
+            synonym_pairs: 3,
+            seed: 3,
+            closure_iterations: 4,
+            closure_cap: 20_000,
+        };
+        inject(&clean, &config)
+    }
+
+    #[test]
+    fn injection_records_what_it_did() {
+        let c = corrupted();
+        assert!(!c.truth.true_keys.is_empty());
+        assert!(!c.truth.wrong_rule_ids.is_empty());
+        assert!(!c.truth.ambiguous_entities.is_empty());
+        assert!(!c.truth.error_fact_keys.is_empty());
+        assert!(!c.truth.synonym_entities.is_empty());
+        // Injected wrong rules are appended after the clean rules.
+        let clean_rules = generate(&ReverbConfig::tiny()).rules.len();
+        assert!(c.truth.wrong_rule_ids.iter().all(|&i| i >= clean_rules));
+        assert_eq!(
+            c.kb.rules.len(),
+            clean_rules + c.truth.wrong_rule_ids.len()
+        );
+    }
+
+    #[test]
+    fn corrupted_kb_still_validates() {
+        let c = corrupted();
+        assert!(c.kb.validate().is_empty(), "{:?}", c.kb.validate());
+    }
+
+    #[test]
+    fn error_facts_are_judged_incorrect() {
+        let c = corrupted();
+        for key in &c.truth.error_fact_keys {
+            assert!(!c.truth.is_acceptable(key));
+        }
+    }
+
+    #[test]
+    fn wrong_rule_products_are_disjoint_from_truth() {
+        let c = corrupted();
+        for key in &c.truth.wrong_rule_products {
+            assert!(!c.truth.true_keys.contains(key));
+            assert!(!c.truth.probable_keys.contains(key));
+        }
+        for key in &c.truth.ambiguity_products {
+            assert!(!c.truth.true_keys.contains(key));
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = corrupted();
+        let b = corrupted();
+        assert_eq!(a.kb.facts.len(), b.kb.facts.len());
+        assert_eq!(a.truth.error_fact_keys, b.truth.error_fact_keys);
+        assert_eq!(a.truth.wrong_rule_ids, b.truth.wrong_rule_ids);
+    }
+
+    #[test]
+    fn corrupted_grounding_has_lower_precision_than_clean() {
+        use probkb_quality::prelude::evaluate;
+        let c = corrupted();
+        let mut engine = SingleNodeEngine::new();
+        let gc = GroundingConfig {
+            max_iterations: 4,
+            apply_constraints: false,
+            max_total_facts: Some(30_000),
+            ..GroundingConfig::default()
+        };
+        let out = ground(&c.kb, &mut engine, &gc).unwrap();
+        let eval = evaluate(&out, &c.truth);
+        assert!(eval.inferred > 0);
+        assert!(
+            eval.precision < 0.95,
+            "errors should hurt precision, got {}",
+            eval.precision
+        );
+    }
+}

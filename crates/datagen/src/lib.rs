@@ -1,0 +1,31 @@
+//! # probkb-datagen
+//!
+//! Workload generators for the ProbKB experiments. The paper's datasets
+//! (ReVerb Wikipedia extractions, Sherlock rules, Leibniz constraints)
+//! are proprietary; these generators reproduce their *statistical shape*
+//! — skew, typing, rule-pattern mix, constraint coverage — plus exact
+//! ground truth, which the originals never had.
+//!
+//! * [`table1`] — the paper's running example (Ruth Gruber).
+//! * [`reverb`] — scaled ReVerb-Sherlock-style KBs (Table 2's shape).
+//! * [`synthetic`] — the S1 (rule sweep) and S2 (fact sweep) workloads.
+//! * [`errors`] — error injection (E1/E2/E3 + synonyms) with ground truth
+//!   for the quality experiments (Figure 7).
+//! * [`zipf`] — the skew machinery.
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod reverb;
+pub mod synthetic;
+pub mod table1;
+pub mod zipf;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::errors::{inject, CorruptedKb, ErrorConfig};
+    pub use crate::reverb::{generate, ReverbConfig};
+    pub use crate::synthetic::{s1_with_rules, s2_with_facts};
+    pub use crate::table1::{table1_kb, TABLE1_TEXT};
+    pub use crate::zipf::Zipf;
+}

@@ -1,0 +1,453 @@
+//! A synthetic ReVerb-Sherlock-style knowledge base (§6's primary
+//! dataset, Table 2).
+//!
+//! The generator reproduces the *statistical shape* that drives the
+//! paper's performance results rather than the corpus content: Zipf-skewed
+//! relation frequencies (a few relations carry most facts), typed entities
+//! grouped into classes, Horn rules drawn from exactly the six structural
+//! patterns and concentrated on frequent relations (as Sherlock's learned
+//! rules are), and Leibniz-style functional constraints on a fraction of
+//! relations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use probkb_kb::prelude::*;
+
+use crate::zipf::Zipf;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ReverbConfig {
+    /// Number of entities (`|E|`).
+    pub entities: usize,
+    /// Number of classes (`|C|`).
+    pub classes: usize,
+    /// Number of relation names (`|R|`).
+    pub relations: usize,
+    /// Target number of facts (`|Π|`).
+    pub facts: usize,
+    /// Target number of rules (`|H|`).
+    pub rules: usize,
+    /// Fraction of relations receiving a functional constraint
+    /// (Leibniz learned ~10K constraints for 80K relations ≈ 0.125).
+    pub functional_frac: f64,
+    /// Of the constrained relations, the fraction that are
+    /// pseudo-functional (degree δ in 2..=4).
+    pub pseudo_frac: f64,
+    /// Zipf exponent for relation/entity frequency skew.
+    pub zipf_s: f64,
+    /// Zipf exponent for *rule body* relation sampling. Sherlock's rules
+    /// skew toward frequent relations, but far less than the facts do;
+    /// 0.0 (uniform) reproduces the paper's S1 derivation density of a
+    /// few inferred facts per rule.
+    pub rule_zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReverbConfig {
+    /// A small configuration for tests and examples.
+    pub fn tiny() -> Self {
+        ReverbConfig {
+            entities: 200,
+            classes: 8,
+            relations: 30,
+            facts: 300,
+            rules: 40,
+            functional_frac: 0.3,
+            pseudo_frac: 0.2,
+            zipf_s: 1.05,
+            rule_zipf_s: 0.6,
+            seed: 42,
+        }
+    }
+
+    /// Table 2's ReVerb-Sherlock statistics scaled by `scale`
+    /// (`scale = 1.0` reproduces the paper's sizes: 277,216 entities,
+    /// 82,768 relations, 407,247 facts, 30,912 rules).
+    pub fn scaled(scale: f64) -> Self {
+        let s = |n: usize| ((n as f64 * scale).round() as usize).max(8);
+        ReverbConfig {
+            entities: s(277_216),
+            classes: s(100).min(2_000),
+            relations: s(82_768),
+            facts: s(407_247),
+            rules: s(30_912),
+            functional_frac: 0.125,
+            pseudo_frac: 0.2,
+            zipf_s: 1.05,
+            // The real Sherlock rules concentrate hard on ReVerb's hottest
+            // relations — that coupling is what makes the case-study KB
+            // "grow unmanageably large" (Table 3's 592M factors).
+            rule_zipf_s: 1.05,
+            seed: 2014,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Deterministically generate a clean (error-free) KB.
+pub fn generate(config: &ReverbConfig) -> ProbKb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = ProbKb::builder();
+
+    // Classes, with a subclass forest (Remark 1: the class set implies a
+    // hierarchy — e.g. City ⊆ Place). Each non-root class gets an earlier
+    // class as its parent with probability 1/2.
+    let class_names: Vec<String> = (0..config.classes).map(|i| format!("class{i}")).collect();
+    let class_ids: Vec<ClassId> = class_names.iter().map(|n| builder.class(n)).collect();
+    for c in 1..config.classes {
+        if rng.random::<f64>() < 0.5 {
+            let parent = rng.random_range(0..c);
+            builder.subclass(&class_names[c], &class_names[parent]);
+        }
+    }
+    let class_zipf = Zipf::new(config.classes, config.zipf_s);
+
+    // Relations, each with one primary signature (domain, range).
+    let rel_names: Vec<String> = (0..config.relations).map(|i| format!("rel{i}")).collect();
+    let mut domain = Vec::with_capacity(config.relations);
+    let mut range = Vec::with_capacity(config.relations);
+    for name in &rel_names {
+        let d = class_zipf.sample(&mut rng);
+        let r = class_zipf.sample(&mut rng);
+        builder.signature(name, &class_names[d], &class_names[r]);
+        domain.push(d);
+        range.push(r);
+    }
+    let rel_zipf = Zipf::new(config.relations, config.zipf_s);
+    let rule_rel_zipf = Zipf::new(config.relations, config.rule_zipf_s);
+
+    // Entities: round-robin the first |C| so no class is empty, then Zipf.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); config.classes];
+    for e in 0..config.entities {
+        let c = if e < config.classes {
+            e
+        } else {
+            class_zipf.sample(&mut rng)
+        };
+        builder.entity_in(&format!("ent{e}"), &class_names[c]);
+        members[c].push(e);
+    }
+
+    // Functional constraints first (the Leibniz repository stand-in), so
+    // fact generation can respect them: in the paper's data, violations
+    // come from *errors*, not from the true world.
+    let constrained = ((config.relations as f64) * config.functional_frac) as usize;
+    let mut degree_limit: Vec<Option<(Functionality, u32)>> = vec![None; config.relations];
+    for (r, limit) in degree_limit.iter_mut().enumerate().take(constrained) {
+        let functionality = if rng.random::<f64>() < 0.8 {
+            Functionality::TypeI
+        } else {
+            Functionality::TypeII
+        };
+        let degree = if rng.random::<f64>() < config.pseudo_frac {
+            rng.random_range(2..=4)
+        } else {
+            1
+        };
+        builder.functional(&rel_names[r], functionality, degree);
+        *limit = Some((functionality, degree));
+    }
+
+    // Facts: Zipf relation, entities from the signature classes, degree
+    // limits of functional relations enforced.
+    let mut key_use: std::collections::HashMap<(usize, usize), u32> =
+        std::collections::HashMap::new();
+    let mut attempts = 0usize;
+    let max_attempts = config.facts.saturating_mul(6).max(64);
+    while builder.fact_count() < config.facts && attempts < max_attempts {
+        attempts += 1;
+        let r = rel_zipf.sample(&mut rng);
+        let (d, g) = (domain[r], range[r]);
+        if members[d].is_empty() || members[g].is_empty() {
+            continue;
+        }
+        let x = members[d][rng.random_range(0..members[d].len())];
+        let y = members[g][rng.random_range(0..members[g].len())];
+        if let Some((functionality, degree)) = degree_limit[r] {
+            let key = match functionality {
+                Functionality::TypeI => (r, x),
+                Functionality::TypeII => (r, y),
+            };
+            let used = key_use.entry(key).or_insert(0);
+            if *used >= degree {
+                continue;
+            }
+            *used += 1;
+        }
+        let w = 0.5 + 0.5 * rng.random::<f64>();
+        builder.fact(
+            w,
+            &rel_names[r],
+            (&format!("ent{x}"), &class_names[d]),
+            (&format!("ent{y}"), &class_names[g]),
+        );
+    }
+
+    // Rules across the six patterns, bodies Zipf-concentrated on frequent
+    // relations so they actually apply to facts.
+    let pattern_weights = [
+        (RulePattern::P1, 0.35),
+        (RulePattern::P2, 0.10),
+        (RulePattern::P3, 0.20),
+        (RulePattern::P4, 0.15),
+        (RulePattern::P5, 0.10),
+        (RulePattern::P6, 0.10),
+    ];
+    // Indexes for picking a z-compatible second body atom.
+    let mut by_domain: Vec<Vec<usize>> = vec![Vec::new(); config.classes];
+    let mut by_range: Vec<Vec<usize>> = vec![Vec::new(); config.classes];
+    for r in 0..config.relations {
+        by_domain[domain[r]].push(r);
+        by_range[range[r]].push(r);
+    }
+
+    let mut made = 0usize;
+    let mut rule_attempts = 0usize;
+    let max_rule_attempts = config.rules.saturating_mul(8).max(64);
+    while made < config.rules && rule_attempts < max_rule_attempts {
+        rule_attempts += 1;
+        let pick: f64 = rng.random();
+        let mut acc = 0.0;
+        let mut pattern = RulePattern::P1;
+        for (p, w) in pattern_weights {
+            acc += w;
+            if pick < acc {
+                pattern = p;
+                break;
+            }
+        }
+        if let Some(rule) = make_rule(
+            pattern,
+            &mut rng,
+            &rule_rel_zipf,
+            &domain,
+            &range,
+            &by_domain,
+            &by_range,
+            &class_ids,
+            &rel_names,
+            &class_names,
+            &mut builder,
+        ) {
+            builder.push_rule(rule);
+            made += 1;
+        }
+    }
+
+    builder.build()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_rule(
+    pattern: RulePattern,
+    rng: &mut StdRng,
+    rel_zipf: &Zipf,
+    domain: &[usize],
+    range: &[usize],
+    by_domain: &[Vec<usize>],
+    by_range: &[Vec<usize>],
+    class_ids: &[ClassId],
+    rel_names: &[String],
+    class_names: &[String],
+    builder: &mut KbBuilder,
+) -> Option<HornRule> {
+    let q = rel_zipf.sample(rng);
+    let (q_layout, r_layout) = pattern.body_layout();
+
+    // Class of each variable as bound by q.
+    let class_of_q_arg = |arg: Var, slot: usize| -> Option<(Var, usize)> {
+        Some((arg, if slot == 0 { domain[q] } else { range[q] }))
+    };
+    let mut cx = None;
+    let mut cy = None;
+    let mut cz = None;
+    for (slot, arg) in [q_layout.0, q_layout.1].into_iter().enumerate() {
+        let (v, c) = class_of_q_arg(arg, slot)?;
+        match v {
+            Var::X => cx = Some(c),
+            Var::Y => cy = Some(c),
+            Var::Z => cz = Some(c),
+        }
+    }
+
+    let (r_rel, head_sig) = match r_layout {
+        None => (None, (cx?, cy?)),
+        Some(r_layout) => {
+            // Pick r so its z-position class matches q's z class.
+            let zc = cz?;
+            let candidates = match r_layout {
+                (Var::Z, _) => &by_domain[zc],
+                (_, Var::Z) => &by_range[zc],
+                _ => return None,
+            };
+            if candidates.is_empty() {
+                return None;
+            }
+            let r = candidates[rng.random_range(0..candidates.len())];
+            // r's non-z argument binds the remaining head variable.
+            for (slot, arg) in [r_layout.0, r_layout.1].into_iter().enumerate() {
+                let c = if slot == 0 { domain[r] } else { range[r] };
+                match arg {
+                    Var::X => cx = Some(c),
+                    Var::Y => cy = Some(c),
+                    Var::Z => {}
+                }
+            }
+            (Some(r), (cx?, cy?))
+        }
+    };
+
+    // Head relation: Zipf-sampled; skip degenerate self-implications.
+    let p = rel_zipf.sample(rng);
+    if r_rel.is_none() && p == q && pattern == RulePattern::P1 {
+        return None;
+    }
+    let (hcx, hcy) = head_sig;
+    builder.signature(&rel_names[p], &class_names[hcx], &class_names[hcy]);
+
+    let head = Atom::new(builder.relation(&rel_names[p]), Var::X, Var::Y);
+    let q_atom = Atom::new(builder.relation(&rel_names[q]), q_layout.0, q_layout.1);
+    let weight = 0.2 + 2.3 * rng.random::<f64>();
+    let significance = 0.3 + 0.7 * rng.random::<f64>();
+    let rule = match r_layout {
+        None => HornRule::length2(head, q_atom, class_ids[hcx], class_ids[hcy], weight),
+        Some(r_layout) => {
+            let r = r_rel.expect("length-3 rules picked r");
+            let r_atom = Atom::new(builder.relation(&rel_names[r]), r_layout.0, r_layout.1);
+            HornRule::length3(
+                head,
+                q_atom,
+                r_atom,
+                class_ids[hcx],
+                class_ids[hcy],
+                class_ids[cz.expect("length-3 rules bind z")],
+                weight,
+            )
+        }
+    };
+    Some(rule.with_significance(significance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_kb_hits_targets_and_validates() {
+        let kb = generate(&ReverbConfig::tiny());
+        let stats = kb.stats();
+        assert_eq!(stats.facts, 300);
+        assert_eq!(stats.rules, 40);
+        assert_eq!(stats.entities, 200);
+        assert!(stats.constraints > 0);
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&ReverbConfig::tiny());
+        let b = generate(&ReverbConfig::tiny());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            probkb_quality::prelude::fact_key(&a.facts[0]),
+            probkb_quality::prelude::fact_key(&b.facts[0])
+        );
+        let c = generate(&ReverbConfig::tiny().with_seed(7));
+        // Different seed, different content (same targets).
+        assert_eq!(c.stats().facts, a.stats().facts);
+        let differs = a
+            .facts
+            .iter()
+            .zip(c.facts.iter())
+            .any(|(x, y)| x.key() != y.key());
+        assert!(differs);
+    }
+
+    #[test]
+    fn rules_cover_multiple_patterns_and_classify() {
+        let kb = generate(&ReverbConfig::tiny());
+        let part = Partitioning::build(&kb.rules);
+        assert!(part.rejected().is_empty());
+        assert!(part.k() >= 3, "expected several patterns, got {}", part.k());
+    }
+
+    #[test]
+    fn relation_frequencies_are_skewed() {
+        let kb = generate(&ReverbConfig::tiny());
+        let mut counts = std::collections::HashMap::new();
+        for f in &kb.facts {
+            *counts.entry(f.rel).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let mean = kb.facts.len() / counts.len().max(1);
+        assert!(
+            max >= mean * 3,
+            "head relation should dominate: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn generator_builds_a_class_hierarchy() {
+        let kb = generate(&ReverbConfig::tiny());
+        assert!(
+            !kb.subclass_edges.is_empty(),
+            "expected some subclass edges among 8 classes"
+        );
+        // Membership propagates along an edge: any member of a subclass is
+        // a member of its superclass.
+        let (sub, sup) = kb.subclass_edges[0];
+        assert!(kb.is_subclass(sub, sup));
+        if let Some(&e) = kb.members[sub.raw() as usize].iter().next() {
+            assert!(kb.is_member(e, sup));
+        }
+    }
+
+    #[test]
+    fn clean_kb_respects_its_own_constraints() {
+        // In the true world, violations only come from injected errors.
+        let kb = generate(&ReverbConfig::tiny());
+        let violators = probkb_quality::prelude::detect_violating_entities(&kb).unwrap();
+        assert!(violators.is_empty(), "clean KB has violators: {violators:?}");
+    }
+
+    #[test]
+    fn scaled_config_matches_table2_at_full_scale() {
+        let c = ReverbConfig::scaled(1.0);
+        assert_eq!(c.entities, 277_216);
+        assert_eq!(c.relations, 82_768);
+        assert_eq!(c.facts, 407_247);
+        assert_eq!(c.rules, 30_912);
+        let small = ReverbConfig::scaled(0.001);
+        assert!(small.facts >= 8 && small.facts < 1000);
+    }
+
+    #[test]
+    fn rules_apply_to_facts() {
+        // Grounding the generated KB should infer a reasonable number of
+        // new facts (the whole point of concentrating rules on frequent
+        // relations).
+        use probkb_core::prelude::*;
+        let kb = generate(&ReverbConfig::tiny());
+        let mut engine = SingleNodeEngine::new();
+        let config = GroundingConfig {
+            max_iterations: 3,
+            apply_constraints: false,
+            max_total_facts: Some(50_000),
+            ..GroundingConfig::default()
+        };
+        let out = ground(&kb, &mut engine, &config).unwrap();
+        assert!(
+            out.report.inferred_facts() > 10,
+            "only {} inferred",
+            out.report.inferred_facts()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The S1 and S2 synthetic sweeps (§6).
+//!
+//! * **S1**: fix the fact set, vary the number of rules (10K → 1M). New
+//!   rules are made "by substituting random heads for existing rules",
+//!   exactly as the paper describes.
+//! * **S2**: fix the rule set, vary the number of facts (100K → 10M).
+//!   New facts are "random edges" added to the KB: existing facts rewired
+//!   to random entities of the same classes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use probkb_kb::prelude::*;
+
+/// S1: extend `base` to `target_rules` rules by head substitution.
+/// Returns `base` unchanged when it already has enough rules.
+pub fn s1_with_rules(base: &ProbKb, target_rules: usize, seed: u64) -> ProbKb {
+    let mut kb = base.clone();
+    if kb.rules.is_empty() {
+        return kb;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relation_count = kb.relations.len() as u32;
+    let original = kb.rules.len();
+    while kb.rules.len() < target_rules {
+        let template = kb.rules[rng.random_range(0..original)].clone();
+        let new_head = RelationId(rng.random_range(0..relation_count));
+        let mut rule = template;
+        rule.head = Atom::new(new_head, Var::X, Var::Y);
+        // Register the substituted head's signature to keep validity.
+        kb.signatures.insert((new_head, rule.cx, rule.cy));
+        kb.rules.push(rule);
+    }
+    kb
+}
+
+/// S2: extend `base` to `target_facts` facts by adding random edges.
+pub fn s2_with_facts(base: &ProbKb, target_facts: usize, seed: u64) -> ProbKb {
+    let mut kb = base.clone();
+    if kb.facts.is_empty() {
+        return kb;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class_members: Vec<Vec<EntityId>> = kb
+        .members
+        .iter()
+        .map(|m| {
+            let mut v: Vec<EntityId> = m.iter().copied().collect();
+            v.sort();
+            v
+        })
+        .collect();
+    let original = kb.facts.len();
+    let mut attempts = 0usize;
+    let max_attempts = target_facts.saturating_mul(4).max(64);
+    while kb.facts.len() < target_facts && attempts < max_attempts {
+        attempts += 1;
+        let template = kb.facts[rng.random_range(0..original)];
+        let xs = &class_members[template.c1.raw() as usize];
+        let ys = &class_members[template.c2.raw() as usize];
+        if xs.is_empty() || ys.is_empty() {
+            continue;
+        }
+        let mut fact = template;
+        fact.x = xs[rng.random_range(0..xs.len())];
+        fact.y = ys[rng.random_range(0..ys.len())];
+        fact.weight = Some(0.5 + 0.5 * rng.random::<f64>());
+        kb.facts.push(fact);
+    }
+    kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reverb::{generate, ReverbConfig};
+
+    #[test]
+    fn s1_reaches_target_and_validates() {
+        let base = generate(&ReverbConfig::tiny());
+        let kb = s1_with_rules(&base, 500, 1);
+        assert_eq!(kb.rules.len(), 500);
+        assert_eq!(kb.facts.len(), base.facts.len()); // facts untouched
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+        // All rules still classify into the six patterns.
+        let part = Partitioning::build(&kb.rules);
+        assert!(part.rejected().is_empty());
+        assert_eq!(part.total_rules(), 500);
+    }
+
+    #[test]
+    fn s2_reaches_target_and_validates() {
+        let base = generate(&ReverbConfig::tiny());
+        let kb = s2_with_facts(&base, 2_000, 1);
+        assert!(kb.facts.len() >= 1_990, "got {}", kb.facts.len());
+        assert_eq!(kb.rules.len(), base.rules.len()); // rules untouched
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+    }
+
+    #[test]
+    fn already_large_bases_pass_through() {
+        let base = generate(&ReverbConfig::tiny());
+        let kb = s1_with_rules(&base, 5, 1);
+        assert_eq!(kb.rules.len(), base.rules.len());
+        let kb = s2_with_facts(&base, 5, 1);
+        assert_eq!(kb.facts.len(), base.facts.len());
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let base = generate(&ReverbConfig::tiny());
+        let a = s1_with_rules(&base, 200, 9);
+        let b = s1_with_rules(&base, 200, 9);
+        assert_eq!(a.rules.len(), b.rules.len());
+        assert!(a
+            .rules
+            .iter()
+            .zip(b.rules.iter())
+            .all(|(x, y)| x.head == y.head));
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's running example (Table 1): the Ruth Gruber fragment of the
+//! ReVerb-Sherlock KB.
+
+use probkb_kb::prelude::{parse, ProbKb};
+
+/// The Table 1 KB text, in the `probkb-kb` line format.
+pub const TABLE1_TEXT: &str = r#"
+# Relationships Π (Table 1).
+fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+
+# Rules L (Table 1); weights from the paper.
+rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+
+# The hard rule (born_in is functional) as a semantic constraint.
+functional born_in 1 1
+"#;
+
+/// Build the Table 1 knowledge base.
+pub fn table1_kb() -> ProbKb {
+    parse(TABLE1_TEXT)
+        .expect("the Table 1 text is well-formed")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_statistics() {
+        let kb = table1_kb();
+        let stats = kb.stats();
+        assert_eq!(stats.entities, 3); // Ruth Gruber, NYC, Brooklyn
+        assert_eq!(stats.classes, 3); // Writer, City, Place
+        assert_eq!(stats.relations, 4); // born/live/grow_up/located
+        assert_eq!(stats.facts, 2);
+        assert_eq!(stats.rules, 6);
+        assert_eq!(stats.constraints, 1);
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+    }
+}

@@ -1,0 +1,134 @@
+//! Greedy graph coloring of the variable-interaction graph.
+//!
+//! Two variables interact when they share a factor; variables of the same
+//! color are conditionally independent given the rest, so a chromatic
+//! Gibbs sampler (Gonzalez et al., cited by the paper for its inference
+//! stage) can update a whole color class in parallel.
+
+use crate::graph::{FactorGraph, VarId};
+
+/// A coloring of a factor graph's variables.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    /// `color[v]` is variable `v`'s color.
+    pub color: Vec<usize>,
+    /// Variables grouped by color.
+    pub classes: Vec<Vec<VarId>>,
+}
+
+impl Coloring {
+    /// Number of colors used.
+    pub fn num_colors(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Greedy first-fit coloring in degree order (largest first), which keeps
+/// the color count near-minimal on the skewed graphs grounding produces.
+pub fn color(graph: &FactorGraph) -> Coloring {
+    let n = graph.num_vars();
+    let mut order: Vec<VarId> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.factors_of(v).len()));
+
+    let mut color = vec![usize::MAX; n];
+    let mut max_color = 0usize;
+    let mut used: Vec<bool> = Vec::new();
+    for &v in &order {
+        used.clear();
+        used.resize(max_color + 1, false);
+        for u in graph.neighbors(v) {
+            let c = color[u];
+            if c != usize::MAX {
+                if c >= used.len() {
+                    used.resize(c + 1, false);
+                }
+                used[c] = true;
+            }
+        }
+        let c = used.iter().position(|&b| !b).unwrap_or(used.len());
+        color[v] = c;
+        max_color = max_color.max(c + 1);
+    }
+
+    let mut classes: Vec<Vec<VarId>> = vec![Vec::new(); max_color];
+    for (v, &c) in color.iter().enumerate() {
+        classes[c].push(v);
+    }
+    classes.retain(|class| !class.is_empty());
+    // Re-number colors densely after the retain.
+    let mut color = vec![0usize; n];
+    for (c, class) in classes.iter().enumerate() {
+        for &v in class {
+            color[v] = c;
+        }
+    }
+    Coloring { color, classes }
+}
+
+/// Verify that a coloring is proper (no two neighbors share a color).
+pub fn is_proper(graph: &FactorGraph, coloring: &Coloring) -> bool {
+    (0..graph.num_vars()).all(|v| {
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| coloring.color[u] != coloring.color[v])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Factor;
+
+    #[test]
+    fn chain_uses_two_colors() {
+        let g = FactorGraph::new(
+            4,
+            (1..4).map(|v| Factor::rule(v, vec![v - 1], 1.0)).collect(),
+        );
+        let c = color(&g);
+        assert!(is_proper(&g, &c));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn triangle_uses_three_colors() {
+        // A ternary factor makes all three variables mutually adjacent.
+        let g = FactorGraph::new(3, vec![Factor::rule(2, vec![0, 1], 1.0)]);
+        let c = color(&g);
+        assert!(is_proper(&g, &c));
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn isolated_vars_share_one_color() {
+        let g = FactorGraph::new(5, vec![Factor::singleton(0, 1.0)]);
+        let c = color(&g);
+        assert!(is_proper(&g, &c));
+        assert_eq!(c.num_colors(), 1);
+        assert_eq!(c.classes[0].len(), 5);
+    }
+
+    #[test]
+    fn classes_partition_variables() {
+        let g = FactorGraph::new(
+            6,
+            vec![
+                Factor::rule(1, vec![0], 1.0),
+                Factor::rule(2, vec![0, 1], 1.0),
+                Factor::rule(5, vec![3], 1.0),
+            ],
+        );
+        let c = color(&g);
+        assert!(is_proper(&g, &c));
+        let total: usize = c.classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        let mut seen = [false; 6];
+        for class in &c.classes {
+            for &v in class {
+                assert!(!seen[v], "variable {v} in two classes");
+                seen[v] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Convert the relational `TΦ` table into a [`FactorGraph`], remapping
+//! (possibly sparse, post-deletion) fact ids to dense variable indices.
+
+use std::collections::HashMap;
+
+use probkb_core::relmodel::tphi;
+use probkb_relational::prelude::Table;
+
+use crate::graph::{Factor, FactorGraph, VarId};
+
+/// A factor graph plus the fact-id ↔ variable mapping.
+#[derive(Debug, Clone)]
+pub struct GroundGraph {
+    /// The factor graph.
+    pub graph: FactorGraph,
+    /// `var_to_fact[v]` is the `TΠ` fact id of variable `v`.
+    pub var_to_fact: Vec<i64>,
+    /// Fact id → variable index.
+    pub fact_to_var: HashMap<i64, VarId>,
+}
+
+impl GroundGraph {
+    /// The variable for a fact id, if the fact appears in any factor.
+    pub fn var_of(&self, fact_id: i64) -> Option<VarId> {
+        self.fact_to_var.get(&fact_id).copied()
+    }
+
+    /// The fact id of a variable.
+    pub fn fact_of(&self, var: VarId) -> i64 {
+        self.var_to_fact[var]
+    }
+}
+
+/// Build a [`GroundGraph`] from a `TΦ` table (Definition 7 rows).
+///
+/// Variables are created for every fact id mentioned by any factor;
+/// NULL `I2`/`I3` columns shrink the factor arity as in the paper.
+pub fn from_phi(phi: &Table) -> GroundGraph {
+    let mut fact_to_var: HashMap<i64, VarId> = HashMap::new();
+    let mut var_to_fact: Vec<i64> = Vec::new();
+    let intern = |fact: i64, var_to_fact: &mut Vec<i64>, map: &mut HashMap<i64, VarId>| {
+        *map.entry(fact).or_insert_with(|| {
+            var_to_fact.push(fact);
+            var_to_fact.len() - 1
+        })
+    };
+
+    let mut factors = Vec::with_capacity(phi.len());
+    for row in phi.rows() {
+        let head_fact = row[tphi::I1].as_int().expect("I1 is non-null");
+        let head = intern(head_fact, &mut var_to_fact, &mut fact_to_var);
+        let mut body = Vec::new();
+        for col in [tphi::I2, tphi::I3] {
+            if let Some(fact) = row[col].as_int() {
+                body.push(intern(fact, &mut var_to_fact, &mut fact_to_var));
+            }
+        }
+        let weight = row[tphi::W].as_float().expect("factor weight");
+        factors.push(Factor { head, body, weight });
+    }
+
+    GroundGraph {
+        graph: FactorGraph::new(var_to_fact.len(), factors),
+        var_to_fact,
+        fact_to_var,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_core::prelude::*;
+    use probkb_kb::prelude::parse;
+
+    fn phi_for(text: &str) -> Table {
+        let kb = parse(text).unwrap().build();
+        let mut engine = SingleNodeEngine::new();
+        ground(&kb, &mut engine, &GroundingConfig::default())
+            .unwrap()
+            .factors
+    }
+
+    #[test]
+    fn figure3_graph_shape() {
+        let phi = phi_for(
+            r#"
+            fact 0.96 born_in(RG:Writer, NYC:City)
+            fact 0.93 born_in(RG:Writer, Brooklyn:Place)
+            rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+            rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+            rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+            rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+            "#,
+        );
+        let gg = from_phi(&phi);
+        // 7 facts, 8 factors (2 singletons + 4 binary + 2 ternary).
+        assert_eq!(gg.graph.num_vars(), 7);
+        assert_eq!(gg.graph.factors().len(), 8);
+        let singletons = gg.graph.factors().iter().filter(|f| f.body.is_empty()).count();
+        let ternary = gg.graph.factors().iter().filter(|f| f.body.len() == 2).count();
+        assert_eq!(singletons, 2);
+        assert_eq!(ternary, 2);
+    }
+
+    #[test]
+    fn fact_var_mapping_roundtrips() {
+        let phi = phi_for(
+            r#"
+            fact 0.9 born_in(A:Person, B:City)
+            rule 1.0 live_in(x:Person, y:City) :- born_in(x, y)
+            "#,
+        );
+        let gg = from_phi(&phi);
+        for v in 0..gg.graph.num_vars() {
+            let fact = gg.fact_of(v);
+            assert_eq!(gg.var_of(fact), Some(v));
+        }
+        assert_eq!(gg.var_of(12345), None);
+    }
+
+    #[test]
+    fn null_body_columns_shrink_factors() {
+        let phi = phi_for("fact 0.5 p(A:T, B:U)");
+        let gg = from_phi(&phi);
+        assert_eq!(gg.graph.factors().len(), 1);
+        assert!(gg.graph.factors()[0].body.is_empty());
+        assert_eq!(gg.graph.factors()[0].weight, 0.5);
+    }
+}

@@ -1,0 +1,305 @@
+//! The ground factor graph (§2.2).
+//!
+//! Variables are binary ground atoms (one per `TΠ` fact); each factor
+//! encodes one ground MLN clause `head ← body` with value `e^W` when the
+//! clause is satisfied and `1` otherwise, so the joint is
+//! `P(X = x) ∝ exp(Σᵢ Wᵢ nᵢ(x))` (Equation 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A variable index in a factor graph (dense, 0-based).
+pub type VarId = usize;
+
+/// One ground factor: `head ← body` with weight `w`. An empty body is a
+/// singleton factor asserting the fact itself with strength `w`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Factor {
+    /// The head variable.
+    pub head: VarId,
+    /// Zero, one, or two body variables.
+    pub body: Vec<VarId>,
+    /// The MLN weight `W`.
+    pub weight: f64,
+}
+
+impl Factor {
+    /// A singleton factor (extracted fact with weight).
+    pub fn singleton(head: VarId, weight: f64) -> Self {
+        Factor {
+            head,
+            body: vec![],
+            weight,
+        }
+    }
+
+    /// A rule factor `head ← body`.
+    pub fn rule(head: VarId, body: Vec<VarId>, weight: f64) -> Self {
+        Factor { head, body, weight }
+    }
+
+    /// All variables this factor touches (head first).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        std::iter::once(self.head).chain(self.body.iter().copied())
+    }
+
+    /// Is the ground clause satisfied under `assignment`?
+    ///
+    /// A singleton clause is satisfied when the fact is true; an
+    /// implication is violated only when the whole body is true and the
+    /// head is false.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        if self.body.is_empty() {
+            return assignment[self.head];
+        }
+        let body_true = self.body.iter().all(|&v| assignment[v]);
+        !body_true || assignment[self.head]
+    }
+
+    /// Log factor value: `w` if satisfied, `0` otherwise (factor values
+    /// `e^w` / `1`).
+    pub fn log_value(&self, assignment: &[bool]) -> f64 {
+        if self.satisfied(assignment) {
+            self.weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Like [`Factor::satisfied`] but with variable `var` overridden to
+    /// `value` — read-only, for lock-free parallel samplers.
+    pub fn satisfied_with(&self, assignment: &[bool], var: VarId, value: bool) -> bool {
+        self.satisfied_by(&|v| assignment[v], var, value)
+    }
+
+    /// Log value with an override (read-only).
+    pub fn log_value_with(&self, assignment: &[bool], var: VarId, value: bool) -> f64 {
+        if self.satisfied_with(assignment, var, value) {
+            self.weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Satisfaction under an arbitrary state accessor with `var`
+    /// overridden — lets samplers store state in atomics without copying.
+    pub fn satisfied_by(&self, read: &impl Fn(VarId) -> bool, var: VarId, value: bool) -> bool {
+        let get = |v: VarId| if v == var { value } else { read(v) };
+        if self.body.is_empty() {
+            return get(self.head);
+        }
+        let body_true = self.body.iter().all(|&v| get(v));
+        !body_true || get(self.head)
+    }
+
+    /// Log value under an arbitrary state accessor with an override.
+    pub fn log_value_by(&self, read: &impl Fn(VarId) -> bool, var: VarId, value: bool) -> f64 {
+        if self.satisfied_by(read, var, value) {
+            self.weight
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A ground factor graph with precomputed variable→factor adjacency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FactorGraph {
+    num_vars: usize,
+    factors: Vec<Factor>,
+    /// CSR adjacency: `adj[adj_off[v]..adj_off[v+1]]` are the factor
+    /// indices touching variable `v`.
+    adj_off: Vec<usize>,
+    adj: Vec<usize>,
+}
+
+impl FactorGraph {
+    /// Build a graph from factors over `num_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if a factor references a variable `>= num_vars`.
+    pub fn new(num_vars: usize, factors: Vec<Factor>) -> Self {
+        let mut degree = vec![0usize; num_vars];
+        for f in &factors {
+            for v in f.vars() {
+                assert!(v < num_vars, "factor references variable {v} >= {num_vars}");
+                degree[v] += 1;
+            }
+        }
+        let mut adj_off = Vec::with_capacity(num_vars + 1);
+        let mut acc = 0;
+        adj_off.push(0);
+        for d in &degree {
+            acc += d;
+            adj_off.push(acc);
+        }
+        let mut cursor = adj_off.clone();
+        let mut adj = vec![0usize; acc];
+        for (fi, f) in factors.iter().enumerate() {
+            for v in f.vars() {
+                adj[cursor[v]] = fi;
+                cursor[v] += 1;
+            }
+        }
+        FactorGraph {
+            num_vars,
+            factors,
+            adj_off,
+            adj,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The factors.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Factor indices touching variable `v`.
+    pub fn factors_of(&self, v: VarId) -> &[usize] {
+        &self.adj[self.adj_off[v]..self.adj_off[v + 1]]
+    }
+
+    /// Unnormalized log probability of an assignment: `Σᵢ Wᵢ nᵢ(x)`.
+    pub fn log_score(&self, assignment: &[bool]) -> f64 {
+        self.factors.iter().map(|f| f.log_value(assignment)).sum()
+    }
+
+    /// The log-value difference for flipping `v` to true vs false, with
+    /// the rest of the assignment fixed — the Gibbs conditional's logit.
+    pub fn flip_delta(&self, v: VarId, assignment: &mut [bool]) -> f64 {
+        let mut delta = 0.0;
+        let old = assignment[v];
+        for &fi in self.factors_of(v) {
+            let f = &self.factors[fi];
+            assignment[v] = true;
+            delta += f.log_value(assignment);
+            assignment[v] = false;
+            delta -= f.log_value(assignment);
+        }
+        assignment[v] = old;
+        delta
+    }
+
+    /// Read-only variant of [`FactorGraph::flip_delta`]: no temporary
+    /// mutation, so color classes can be resampled concurrently from a
+    /// shared assignment slice.
+    pub fn flip_delta_ro(&self, v: VarId, assignment: &[bool]) -> f64 {
+        self.factors_of(v)
+            .iter()
+            .map(|&fi| {
+                let f = &self.factors[fi];
+                f.log_value_with(assignment, v, true) - f.log_value_with(assignment, v, false)
+            })
+            .sum()
+    }
+
+    /// Flip delta under an arbitrary state accessor (atomics, snapshots).
+    pub fn flip_delta_by(&self, v: VarId, read: &impl Fn(VarId) -> bool) -> f64 {
+        self.factors_of(v)
+            .iter()
+            .map(|&fi| {
+                let f = &self.factors[fi];
+                f.log_value_by(read, v, true) - f.log_value_by(read, v, false)
+            })
+            .sum()
+    }
+
+    /// Variables that co-occur with `v` in some factor (its Markov
+    /// blanket, excluding `v` itself).
+    pub fn neighbors(&self, v: VarId) -> Vec<VarId> {
+        let mut out: Vec<VarId> = self
+            .factors_of(v)
+            .iter()
+            .flat_map(|&fi| self.factors[fi].vars())
+            .filter(|&u| u != v)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> FactorGraph {
+        // 0 --f0--> 1 --f1--> 2, plus singleton on 0.
+        FactorGraph::new(
+            3,
+            vec![
+                Factor::singleton(0, 1.0),
+                Factor::rule(1, vec![0], 2.0),
+                Factor::rule(2, vec![1], 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn satisfaction_semantics() {
+        let s = Factor::singleton(0, 1.0);
+        assert!(s.satisfied(&[true]));
+        assert!(!s.satisfied(&[false]));
+
+        let r = Factor::rule(1, vec![0], 1.0);
+        assert!(r.satisfied(&[true, true])); // body true, head true
+        assert!(!r.satisfied(&[true, false])); // violated
+        assert!(r.satisfied(&[false, false])); // body false: vacuous
+        assert!(r.satisfied(&[false, true]));
+    }
+
+    #[test]
+    fn ternary_factor_needs_full_body() {
+        let f = Factor::rule(2, vec![0, 1], 1.0);
+        assert!(!f.satisfied(&[true, true, false]));
+        assert!(f.satisfied(&[true, false, false])); // one body atom false
+        assert!(f.satisfied(&[true, true, true]));
+    }
+
+    #[test]
+    fn log_score_counts_true_groundings() {
+        let g = chain();
+        // All true: every clause satisfied → 1.0 + 2.0 + 0.5.
+        assert_eq!(g.log_score(&[true, true, true]), 3.5);
+        // 0 true, 1 false: singleton ok (1.0), f0 violated (0), f1 vacuous
+        // (0.5).
+        assert_eq!(g.log_score(&[true, false, false]), 1.5);
+    }
+
+    #[test]
+    fn adjacency_is_correct() {
+        let g = chain();
+        assert_eq!(g.factors_of(0), &[0, 1]);
+        assert_eq!(g.factors_of(1), &[1, 2]);
+        assert_eq!(g.factors_of(2), &[2]);
+        assert_eq!(g.neighbors(1), vec![0, 2]);
+        assert_eq!(g.neighbors(2), vec![1]);
+    }
+
+    #[test]
+    fn flip_delta_matches_brute_force() {
+        let g = chain();
+        let mut a = vec![true, false, true];
+        for v in 0..3 {
+            let delta = g.flip_delta(v, &mut a.clone());
+            let mut hi = a.clone();
+            hi[v] = true;
+            let mut lo = a.clone();
+            lo[v] = false;
+            let expected = g.log_score(&hi) - g.log_score(&lo);
+            assert!((delta - expected).abs() < 1e-12, "var {v}");
+        }
+        a[0] = false; // ensure mutation-free probing
+        let _ = g.flip_delta(0, &mut a);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor references variable")]
+    fn out_of_range_factor_panics() {
+        FactorGraph::new(1, vec![Factor::rule(0, vec![5], 1.0)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # probkb-factorgraph
+//!
+//! Ground factor graphs for ProbKB (§2.2, Definition 7): the bridge
+//! between the relational grounding output `TΦ` and probabilistic
+//! inference.
+//!
+//! * [`graph`] — binary variables, MLN clause factors (`e^W` when
+//!   satisfied), CSR adjacency, Gibbs flip deltas.
+//! * [`from_phi`] — `TΦ` table → [`from_phi::GroundGraph`] with fact-id ↔
+//!   variable mapping.
+//! * [`coloring`] — greedy coloring for chromatic parallel Gibbs.
+//! * [`lineage`] — why-provenance over `TΦ`: derivations, ancestors,
+//!   descendants (error propagation), proof trees.
+//! * [`export`] — JSON interchange for external inference engines (the
+//!   paper's GraphLab hand-off, Figure 1).
+
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod export;
+pub mod from_phi;
+pub mod graph;
+pub mod lineage;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::coloring::{color, is_proper, Coloring};
+    pub use crate::export::{from_json, to_json, GraphDoc};
+    pub use crate::from_phi::{from_phi, GroundGraph};
+    pub use crate::graph::{Factor, FactorGraph, VarId};
+    pub use crate::lineage::{Derivation, Lineage, ProofTree};
+}

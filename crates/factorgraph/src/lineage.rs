@@ -1,0 +1,222 @@
+//! Lineage queries over `TΦ` (§4.2.3).
+//!
+//! Because `TΦ` records which facts derived which (`I1 ← I2, I3`), it
+//! contains the entire lineage of the expanded KB and can be queried for
+//! why-provenance — the paper uses this to assess fact credibility.
+
+use std::collections::{HashMap, HashSet};
+
+use probkb_core::relmodel::tphi;
+use probkb_relational::prelude::Table;
+
+/// One direct derivation of a fact: the rule weight and the body facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// Rule weight of the ground clause.
+    pub weight: f64,
+    /// Body fact ids (1 or 2).
+    pub body: Vec<i64>,
+}
+
+/// A proof tree node: a fact, how it was derived, and the body subtrees.
+#[derive(Debug, Clone)]
+pub struct ProofTree {
+    /// The fact being proved.
+    pub fact: i64,
+    /// Derivations, each with recursively expanded body proofs. Empty for
+    /// base (extracted) facts.
+    pub derivations: Vec<(f64, Vec<ProofTree>)>,
+    /// True when expansion stopped at the depth cap.
+    pub truncated: bool,
+}
+
+/// An index over `TΦ` for lineage queries.
+#[derive(Debug, Clone, Default)]
+pub struct Lineage {
+    by_head: HashMap<i64, Vec<Derivation>>,
+    singleton_weight: HashMap<i64, f64>,
+}
+
+impl Lineage {
+    /// Build the index from a `TΦ` table.
+    pub fn from_phi(phi: &Table) -> Self {
+        let mut lineage = Lineage::default();
+        for row in phi.rows() {
+            let head = row[tphi::I1].as_int().expect("I1");
+            let weight = row[tphi::W].as_float().expect("w");
+            let mut body = Vec::new();
+            for col in [tphi::I2, tphi::I3] {
+                if let Some(fact) = row[col].as_int() {
+                    body.push(fact);
+                }
+            }
+            if body.is_empty() {
+                lineage.singleton_weight.insert(head, weight);
+            } else {
+                lineage
+                    .by_head
+                    .entry(head)
+                    .or_default()
+                    .push(Derivation { weight, body });
+            }
+        }
+        lineage
+    }
+
+    /// Direct derivations of a fact (why-provenance, one level).
+    pub fn derivations(&self, fact: i64) -> &[Derivation] {
+        self.by_head.get(&fact).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The extraction weight of a base fact, if it has one.
+    pub fn extraction_weight(&self, fact: i64) -> Option<f64> {
+        self.singleton_weight.get(&fact).copied()
+    }
+
+    /// True when a fact has no rule derivations (it was extracted, not
+    /// inferred).
+    pub fn is_base(&self, fact: i64) -> bool {
+        !self.by_head.contains_key(&fact)
+    }
+
+    /// All facts a fact transitively depends on.
+    pub fn ancestors(&self, fact: i64) -> HashSet<i64> {
+        let mut out = HashSet::new();
+        let mut stack = vec![fact];
+        while let Some(cur) = stack.pop() {
+            for d in self.derivations(cur) {
+                for &b in &d.body {
+                    if out.insert(b) {
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All facts transitively derived (directly or not) from `fact` —
+    /// used to trace error propagation (Figure 5(a)).
+    pub fn descendants(&self, fact: i64) -> HashSet<i64> {
+        // Invert the edges once; fine for on-demand forensic queries.
+        let mut children: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (head, derivations) in &self.by_head {
+            for d in derivations {
+                for &b in &d.body {
+                    children.entry(b).or_default().push(*head);
+                }
+            }
+        }
+        let mut out = HashSet::new();
+        let mut stack = vec![fact];
+        while let Some(cur) = stack.pop() {
+            if let Some(kids) = children.get(&cur) {
+                for &k in kids {
+                    if out.insert(k) {
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand the full proof tree of a fact up to `max_depth` derivation
+    /// levels.
+    pub fn proof_tree(&self, fact: i64, max_depth: usize) -> ProofTree {
+        if max_depth == 0 {
+            return ProofTree {
+                fact,
+                derivations: vec![],
+                truncated: !self.is_base(fact),
+            };
+        }
+        let derivations = self
+            .derivations(fact)
+            .iter()
+            .map(|d| {
+                let subtrees = d
+                    .body
+                    .iter()
+                    .map(|&b| self.proof_tree(b, max_depth - 1))
+                    .collect();
+                (d.weight, subtrees)
+            })
+            .collect();
+        ProofTree {
+            fact,
+            derivations,
+            truncated: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_core::relmodel::tphi_schema;
+    use probkb_relational::prelude::Value;
+
+    /// TΦ: 0,1 base (singletons); 2 ← 0; 3 ← 1,2 (two rules derive 3).
+    fn phi() -> Table {
+        let rows = vec![
+            vec![Value::Int(0), Value::Null, Value::Null, Value::Float(0.9)],
+            vec![Value::Int(1), Value::Null, Value::Null, Value::Float(0.8)],
+            vec![Value::Int(2), Value::Int(0), Value::Null, Value::Float(1.4)],
+            vec![
+                Value::Int(3),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Float(0.5),
+            ],
+            vec![Value::Int(3), Value::Int(0), Value::Null, Value::Float(0.3)],
+        ];
+        Table::from_rows(tphi_schema(), rows).unwrap()
+    }
+
+    #[test]
+    fn derivations_and_base_facts() {
+        let l = Lineage::from_phi(&phi());
+        assert!(l.is_base(0));
+        assert!(l.is_base(1));
+        assert!(!l.is_base(3));
+        assert_eq!(l.derivations(2).len(), 1);
+        assert_eq!(l.derivations(3).len(), 2);
+        assert_eq!(l.extraction_weight(0), Some(0.9));
+        assert_eq!(l.extraction_weight(2), None);
+    }
+
+    #[test]
+    fn ancestors_are_transitive() {
+        let l = Lineage::from_phi(&phi());
+        let a = l.ancestors(3);
+        assert_eq!(a, HashSet::from([0, 1, 2]));
+        assert_eq!(l.ancestors(2), HashSet::from([0]));
+        assert!(l.ancestors(0).is_empty());
+    }
+
+    #[test]
+    fn descendants_trace_error_propagation() {
+        let l = Lineage::from_phi(&phi());
+        // An error in fact 0 taints 2 and 3 (Figure 5(a)'s cascade).
+        assert_eq!(l.descendants(0), HashSet::from([2, 3]));
+        assert_eq!(l.descendants(2), HashSet::from([3]));
+        assert!(l.descendants(3).is_empty());
+    }
+
+    #[test]
+    fn proof_tree_expands_and_truncates() {
+        let l = Lineage::from_phi(&phi());
+        let tree = l.proof_tree(3, 5);
+        assert_eq!(tree.derivations.len(), 2);
+        assert!(!tree.truncated);
+        // The (1, 2) derivation's subtree for 2 expands down to fact 0.
+        let deep = &tree.derivations[0].1[1];
+        assert_eq!(deep.fact, 2);
+        assert_eq!(deep.derivations.len(), 1);
+
+        let shallow = l.proof_tree(3, 1);
+        let sub = &shallow.derivations[0].1[1];
+        assert!(sub.truncated); // fact 2 has derivations but depth ran out
+    }
+}

@@ -1,0 +1,32 @@
+//! # probkb-inference
+//!
+//! Marginal inference over ProbKB's ground factor graphs — the stand-in
+//! for the external engine (GraphLab + parallel Gibbs) the paper hands
+//! its grounding output to (Figure 1, §2.2).
+//!
+//! * [`gibbs`] — sequential Gibbs sampling with burn-in/sample phases.
+//! * [`parallel`] — chromatic parallel Gibbs: color classes resampled
+//!   concurrently from a shared snapshot (Gonzalez et al. \[14\]).
+//! * [`exact`] — brute-force enumeration oracle (≤ 24 variables) used by
+//!   the test suite to validate both samplers.
+//! * [`writeback`] — store estimated marginals back into `TΠ` weights so
+//!   queries need no inference at run time.
+
+#![warn(missing_docs)]
+
+pub mod bp;
+pub mod exact;
+pub mod gibbs;
+pub mod map;
+pub mod parallel;
+pub mod writeback;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::bp::{belief_propagation, max_product, BpConfig, BpResult};
+    pub use crate::exact::{exact_marginals, log_partition};
+    pub use crate::gibbs::{gibbs_marginals, sigmoid, GibbsConfig, GibbsSampler, Marginals};
+    pub use crate::map::{anneal, exact_map, icm, icm_from, AnnealConfig, MapSolution};
+    pub use crate::parallel::{chromatic_marginals, ChromaticGibbs};
+    pub use crate::writeback::{marginal_of, write_marginals};
+}

@@ -1,0 +1,292 @@
+//! Chromatic parallel Gibbs sampling (Gonzalez et al. \[14\], the sampler
+//! the paper runs on GraphLab for its inference stage).
+//!
+//! Variables are partitioned into color classes such that no two
+//! same-color variables share a factor; all variables of one color are
+//! conditionally independent given the rest, so an entire class can be
+//! resampled concurrently from a shared snapshot of the assignment. Colors
+//! are swept sequentially — the resulting chain has the same stationary
+//! distribution as sequential Gibbs.
+
+use probkb_factorgraph::prelude::{color, Coloring, FactorGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gibbs::{sigmoid, GibbsConfig, Marginals};
+
+/// Chromatic parallel Gibbs sampler.
+pub struct ChromaticGibbs<'a> {
+    graph: &'a FactorGraph,
+    coloring: Coloring,
+    state: Vec<bool>,
+    threads: usize,
+    seed: u64,
+    sweep_no: u64,
+}
+
+impl<'a> ChromaticGibbs<'a> {
+    /// Build a sampler with a freshly computed coloring.
+    pub fn new(graph: &'a FactorGraph, threads: usize, seed: u64) -> Self {
+        ChromaticGibbs {
+            graph,
+            coloring: color(graph),
+            state: vec![false; graph.num_vars()],
+            threads: threads.max(1),
+            seed,
+            sweep_no: 0,
+        }
+    }
+
+    /// Number of colors in the schedule.
+    pub fn num_colors(&self) -> usize {
+        self.coloring.num_colors()
+    }
+
+    /// The current assignment.
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// One sweep: resample every color class, classes in sequence,
+    /// members in parallel.
+    pub fn sweep(&mut self) {
+        self.sweep_no += 1;
+        let sweep_no = self.sweep_no;
+        for (class_idx, class) in self.coloring.classes.iter().enumerate() {
+            let graph = self.graph;
+            let state: &[bool] = &self.state;
+            let chunk = class.len().div_ceil(self.threads);
+            let seed = self.seed;
+            // Compute new values against the frozen snapshot (same-color
+            // variables never share a factor, so this equals sequential
+            // order within the class).
+            let mut updates: Vec<(usize, bool)> = Vec::with_capacity(class.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = class
+                    .chunks(chunk.max(1))
+                    .enumerate()
+                    .map(|(tid, vars)| {
+                        scope.spawn(move || {
+                            // Per-(sweep, class, thread) RNG: deterministic
+                            // and contention-free.
+                            let mut rng = StdRng::seed_from_u64(
+                                seed ^ (sweep_no << 24)
+                                    ^ ((class_idx as u64) << 16)
+                                    ^ tid as u64,
+                            );
+                            vars.iter()
+                                .map(|&v| {
+                                    let delta = graph.flip_delta_ro(v, state);
+                                    (v, rng.random::<f64>() < sigmoid(delta))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    updates.extend(h.join().expect("sampler thread panicked"));
+                }
+            });
+            for (v, value) in updates {
+                self.state[v] = value;
+            }
+        }
+    }
+
+    /// Run burn-in plus sampling sweeps and estimate marginals.
+    ///
+    /// Unlike [`ChromaticGibbs::sweep`] (which spawns a scope per color
+    /// class — convenient for stepping in tests), `run` keeps one
+    /// persistent worker per thread for the whole schedule, synchronized
+    /// by barriers between color classes. State lives in relaxed atomics;
+    /// the barriers provide the ordering, and same-color variables never
+    /// share a factor, so no worker ever reads a variable another worker
+    /// is writing within a class.
+    pub fn run(&mut self, config: &GibbsConfig) -> Marginals {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Barrier;
+
+        let n = self.graph.num_vars();
+        let threads = self.threads;
+        let total_sweeps = config.burn_in + config.samples;
+        let state: Vec<AtomicBool> = self.state.iter().map(|&b| AtomicBool::new(b)).collect();
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let barrier = Barrier::new(threads);
+        let graph = self.graph;
+        let seed = config.seed ^ self.seed;
+
+        // Schedule: classes big enough to amortize a barrier run in
+        // parallel; runs of small classes execute sequentially on worker 0
+        // under a single barrier. Grounding graphs are heavily skewed (a
+        // few huge classes, a long tail of tiny hub classes), so this
+        // removes most synchronization.
+        const PARALLEL_MIN: usize = 2048;
+        enum Phase<'c> {
+            Parallel(&'c [usize]),
+            Sequential(Vec<&'c [usize]>),
+        }
+        let mut schedule: Vec<Phase> = Vec::new();
+        for class in &self.coloring.classes {
+            if class.len() >= PARALLEL_MIN {
+                schedule.push(Phase::Parallel(class));
+            } else if let Some(Phase::Sequential(run)) = schedule.last_mut() {
+                run.push(class);
+            } else {
+                schedule.push(Phase::Sequential(vec![class]));
+            }
+        }
+        let schedule = &schedule;
+
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let state = &state;
+                let counts = &counts;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ ((tid as u64) << 32) ^ 0x9E3779B9);
+                    let read = |v: usize| state[v].load(Ordering::Relaxed);
+                    let resample = |vars: &[usize], rng: &mut StdRng| {
+                        for &v in vars {
+                            let delta = graph.flip_delta_by(v, &read);
+                            let value = rng.random::<f64>() < sigmoid(delta);
+                            state[v].store(value, Ordering::Relaxed);
+                        }
+                    };
+                    let count_chunk = n.div_ceil(threads).max(1);
+                    for sweep in 0..total_sweeps {
+                        for phase in schedule {
+                            match phase {
+                                Phase::Parallel(class) => {
+                                    let chunk = class.len().div_ceil(threads).max(1);
+                                    let start = tid * chunk;
+                                    if start < class.len() {
+                                        let end = (start + chunk).min(class.len());
+                                        resample(&class[start..end], &mut rng);
+                                    }
+                                }
+                                Phase::Sequential(run) => {
+                                    if tid == 0 {
+                                        for class in run {
+                                            resample(class, &mut rng);
+                                        }
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        if sweep >= config.burn_in {
+                            let start = tid * count_chunk;
+                            if start < n {
+                                let end = (start + count_chunk).min(n);
+                                for (v, count) in
+                                    counts.iter().enumerate().take(end).skip(start)
+                                {
+                                    if state[v].load(Ordering::Relaxed) {
+                                        count.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        // Keep sweeps aligned so counting never races with
+                        // the next sweep's first color class.
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+
+        for (slot, bit) in self.state.iter_mut().zip(state.iter()) {
+            *slot = bit.load(std::sync::atomic::Ordering::Relaxed);
+        }
+        Marginals {
+            p: counts
+                .iter()
+                .map(|c| {
+                    c.load(std::sync::atomic::Ordering::Relaxed) as f64
+                        / config.samples.max(1) as f64
+                })
+                .collect(),
+            samples: config.samples,
+        }
+    }
+}
+
+/// Run chromatic Gibbs with a config.
+pub fn chromatic_marginals(
+    graph: &FactorGraph,
+    threads: usize,
+    config: &GibbsConfig,
+) -> Marginals {
+    ChromaticGibbs::new(graph, threads, config.seed).run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_marginals;
+    use probkb_factorgraph::prelude::Factor;
+
+    fn chain_graph(n: usize) -> FactorGraph {
+        let mut factors = vec![Factor::singleton(0, 1.5)];
+        for v in 1..n {
+            factors.push(Factor::rule(v, vec![v - 1], 1.0));
+        }
+        FactorGraph::new(n, factors)
+    }
+
+    #[test]
+    fn matches_exact_on_small_chain() {
+        let g = chain_graph(6);
+        let exact = exact_marginals(&g);
+        let config = GibbsConfig {
+            burn_in: 300,
+            samples: 20000,
+            seed: 3,
+        };
+        let m = chromatic_marginals(&g, 4, &config);
+        for (v, (got, want)) in m.p.iter().zip(exact.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 0.03,
+                "var {v}: chromatic {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_gibbs() {
+        let g = chain_graph(8);
+        let config = GibbsConfig {
+            burn_in: 200,
+            samples: 10000,
+            seed: 11,
+        };
+        let seq = crate::gibbs::gibbs_marginals(&g, &config);
+        let par = chromatic_marginals(&g, 3, &config);
+        assert!(
+            seq.max_diff(&par) < 0.05,
+            "disagreement {}",
+            seq.max_diff(&par)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let g = chain_graph(5);
+        let config = GibbsConfig {
+            burn_in: 10,
+            samples: 50,
+            seed: 99,
+        };
+        let a = chromatic_marginals(&g, 2, &config);
+        let b = chromatic_marginals(&g, 2, &config);
+        assert_eq!(a.p, b.p);
+    }
+
+    #[test]
+    fn colors_match_graph_structure() {
+        let g = chain_graph(10);
+        let sampler = ChromaticGibbs::new(&g, 2, 0);
+        assert_eq!(sampler.num_colors(), 2); // a chain is 2-colorable
+    }
+}

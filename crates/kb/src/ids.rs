@@ -1,0 +1,121 @@
+//! Newtype identifiers for knowledge base elements.
+//!
+//! Everything in the relational model is dictionary-encoded (the paper's
+//! `DX` tables, §4.2): strings are interned once and all joins compare
+//! integers. The newtypes keep entity/class/relation id spaces from being
+//! mixed up at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw integer id.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The id as an `i64` for relational storage.
+            pub fn as_i64(self) -> i64 {
+                self.0 as i64
+            }
+
+            /// Rebuild from an `i64` read out of a relational table.
+            pub fn from_i64(v: i64) -> Self {
+                $name(u32::try_from(v).expect("id out of u32 range"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An entity id (`e ∈ E`).
+    EntityId,
+    "e"
+);
+id_type!(
+    /// A class id (`C ∈ C`).
+    ClassId,
+    "c"
+);
+id_type!(
+    /// A relation id (`R ∈ R`). Identifies a relation *name*; its typed
+    /// signatures live in the relation signature set.
+    RelationId,
+    "r"
+);
+id_type!(
+    /// A rule id into the MLN rule list `L`.
+    RuleId,
+    "l"
+);
+
+/// A fact id (`I` column of `TΠ`). Facts can outnumber `u32` during
+/// unconstrained grounding blow-ups, so this one is 64-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FactId(pub u64);
+
+impl FactId {
+    /// The raw integer id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The id as an `i64` for relational storage.
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Rebuild from an `i64` read out of a relational table.
+    pub fn from_i64(v: i64) -> Self {
+        FactId(u64::try_from(v).expect("fact id negative"))
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_i64() {
+        let e = EntityId(42);
+        assert_eq!(EntityId::from_i64(e.as_i64()), e);
+        let f = FactId(1 << 40);
+        assert_eq!(FactId::from_i64(f.as_i64()), f);
+    }
+
+    #[test]
+    fn display_prefixes_distinguish_spaces() {
+        assert_eq!(EntityId(1).to_string(), "e1");
+        assert_eq!(ClassId(1).to_string(), "c1");
+        assert_eq!(RelationId(1).to_string(), "r1");
+        assert_eq!(RuleId(1).to_string(), "l1");
+        assert_eq!(FactId(1).to_string(), "f1");
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of u32 range")]
+    fn out_of_range_panics() {
+        let _ = EntityId::from_i64(i64::MAX);
+    }
+}

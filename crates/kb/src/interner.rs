@@ -1,0 +1,107 @@
+//! String interners: the dictionary tables `DX` of §4.2 that map surface
+//! forms to integer ids so joins never compare strings.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional string ↔ dense-id dictionary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern a string, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(arc.clone());
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// Look up an existing string's id.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_ref())
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut d = Dictionary::new();
+        let id = d.intern("kale");
+        assert_eq!(d.resolve(id), Some("kale"));
+        assert_eq!(d.get("kale"), Some(id));
+        assert_eq!(d.resolve(999), None);
+        assert_eq!(d.get("nope"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(d.intern(name), i as u32);
+        }
+        let collected: Vec<(u32, String)> =
+            d.iter().map(|(i, s)| (i, s.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "a".into()), (1, "b".into()), (2, "c".into())]
+        );
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

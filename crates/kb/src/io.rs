@@ -1,0 +1,255 @@
+//! Serialization: write a KB back out in the text format [`crate::parser`]
+//! reads, and JSON snapshots via serde. `parse(to_text(kb))` reconstructs
+//! an equivalent KB (same statistics, same facts/rules/constraints up to
+//! id renumbering), which the tests verify.
+
+use std::fmt::Write as _;
+
+use crate::kb::ProbKb;
+use crate::model::{Functionality, Var};
+
+/// Render a KB in the line-oriented text format.
+pub fn to_text(kb: &ProbKb) -> String {
+    let mut out = String::new();
+    let entity = |id: crate::ids::EntityId| kb.entities.resolve(id.raw()).unwrap_or("?");
+    let class = |id: crate::ids::ClassId| kb.classes.resolve(id.raw()).unwrap_or("?");
+    let relation = |id: crate::ids::RelationId| kb.relations.resolve(id.raw()).unwrap_or("?");
+
+    out.push_str("# facts\n");
+    for fact in &kb.facts {
+        let w = fact.weight.unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "fact {w} {}({}:{}, {}:{})",
+            relation(fact.rel),
+            entity(fact.x),
+            class(fact.c1),
+            entity(fact.y),
+            class(fact.c2),
+        );
+    }
+
+    out.push_str("\n# rules\n");
+    for rule in &kb.rules {
+        let var = |v: Var, annotated: &mut [bool; 3]| -> String {
+            let (slot, cls) = match v {
+                Var::X => (0, rule.cx),
+                Var::Y => (1, rule.cy),
+                Var::Z => (2, rule.cz.expect("z used implies z class")),
+            };
+            if annotated[slot] {
+                v.to_string()
+            } else {
+                annotated[slot] = true;
+                format!("{v}:{}", class(cls))
+            }
+        };
+        let mut annotated = [false; 3];
+        let head = format!(
+            "{}({}, {})",
+            relation(rule.head.rel),
+            var(rule.head.a, &mut annotated),
+            var(rule.head.b, &mut annotated)
+        );
+        let body: Vec<String> = rule
+            .body
+            .iter()
+            .map(|atom| {
+                format!(
+                    "{}({}, {})",
+                    relation(atom.rel),
+                    var(atom.a, &mut annotated),
+                    var(atom.b, &mut annotated)
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "rule {} {} :- {}", rule.weight, head, body.join(", "));
+    }
+
+    out.push_str("\n# constraints\n");
+    for fc in &kb.constraints {
+        let alpha = match fc.functionality {
+            Functionality::TypeI => 1,
+            Functionality::TypeII => 2,
+        };
+        match fc.classes {
+            Some((c1, c2)) => {
+                let _ = writeln!(
+                    out,
+                    "functional {} {alpha} {} {} {}",
+                    relation(fc.rel),
+                    fc.degree,
+                    class(c1),
+                    class(c2)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "functional {} {alpha} {}", relation(fc.rel), fc.degree);
+            }
+        }
+    }
+
+    out.push_str("\n# hierarchy\n");
+    for (sub, sup) in &kb.subclass_edges {
+        let _ = writeln!(out, "subclass {} {}", class(*sub), class(*sup));
+    }
+    out
+}
+
+/// Load ReVerb-style extraction triples: one
+/// `subject <TAB> relation <TAB> object [<TAB> confidence]` per line
+/// (whitespace-separated also accepted when arguments have no spaces).
+/// Entities without type information land in `default_class` — OpenIE
+/// extractions are untyped until a typing stage runs (Remark 1). Returns
+/// the number of facts loaded.
+pub fn load_triples_into(
+    builder: &mut crate::kb::KbBuilder,
+    text: &str,
+    default_class: &str,
+) -> Result<usize, crate::parser::ParseError> {
+    let mut loaded = 0;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = if line.contains('\t') {
+            line.split('\t').map(str::trim).collect()
+        } else {
+            line.split_whitespace().collect()
+        };
+        if parts.len() != 3 && parts.len() != 4 {
+            return Err(crate::parser::ParseError {
+                line: i + 1,
+                message: format!(
+                    "triple needs 3 or 4 fields (subject, relation, object[, confidence]); got {}",
+                    parts.len()
+                ),
+            });
+        }
+        let confidence: f64 = match parts.get(3) {
+            Some(c) => c.parse().map_err(|_| crate::parser::ParseError {
+                line: i + 1,
+                message: format!("bad confidence '{c}'", c = parts[3]),
+            })?,
+            None => 1.0,
+        };
+        builder.fact(
+            confidence,
+            parts[1],
+            (parts[0], default_class),
+            (parts[2], default_class),
+        );
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+/// Serialize a KB to JSON (exact snapshot, including dictionaries/ids).
+pub fn to_json(kb: &ProbKb) -> String {
+    serde_json::to_string(kb).expect("KBs serialize cleanly")
+}
+
+/// Restore a KB from a JSON snapshot.
+pub fn from_json(json: &str) -> Result<ProbKb, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sample() -> ProbKb {
+        parse(
+            r#"
+            fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+            fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+            rule 1.4 live_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+            functional born_in 1 1
+            functional located_in 1 2 Place City
+            subclass City Place
+            "#,
+        )
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_statistics() {
+        let kb = sample();
+        let text = to_text(&kb);
+        let back = parse(&text).unwrap().build();
+        assert_eq!(back.stats(), kb.stats());
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_content() {
+        let kb = sample();
+        let back = parse(&to_text(&kb)).unwrap().build();
+        // Same fact strings (ids may renumber, names must survive).
+        let strings = |k: &ProbKb| {
+            let mut v: Vec<String> = k.facts.iter().map(|f| k.fact_to_string(f)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(strings(&back), strings(&kb));
+        // The class-restricted constraint survives with its classes.
+        let restricted = back.constraints.iter().find(|c| c.classes.is_some());
+        assert!(restricted.is_some());
+        assert_eq!(restricted.unwrap().degree, 2);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let kb = sample();
+        let back = from_json(&to_json(&kb)).unwrap();
+        assert_eq!(back.stats(), kb.stats());
+        assert_eq!(back.facts, kb.facts);
+        assert_eq!(back.rules, kb.rules);
+        assert_eq!(back.constraints, kb.constraints);
+        assert_eq!(back.subclass_edges, kb.subclass_edges);
+    }
+
+    #[test]
+    fn triples_load_with_and_without_confidence() {
+        let mut b = crate::kb::KbBuilder::default();
+        let n = load_triples_into(
+            &mut b,
+            "# header comment\nKale\tis_rich_in\tcalcium\t0.91\ncalcium prevents osteoporosis\n",
+            "Thing",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        let kb = b.build();
+        assert_eq!(kb.facts.len(), 2);
+        assert_eq!(kb.facts[0].weight, Some(0.91));
+        assert_eq!(kb.facts[1].weight, Some(1.0));
+        assert_eq!(
+            kb.fact_to_string(&kb.facts[0]),
+            "0.91 is_rich_in(Kale, calcium)"
+        );
+        assert!(kb.validate().is_empty());
+    }
+
+    #[test]
+    fn malformed_triples_report_line() {
+        let mut b = crate::kb::KbBuilder::default();
+        let e = load_triples_into(&mut b, "good rel thing\nonly two", "T").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = load_triples_into(&mut b, "a rel b nonsense", "T").unwrap_err();
+        assert!(e.message.contains("bad confidence"));
+    }
+
+    #[test]
+    fn text_is_humanly_structured() {
+        let text = to_text(&sample());
+        assert!(text.contains("# facts"));
+        assert!(text.contains("# rules"));
+        assert!(text.contains("rule 1.4 live_in(x:Writer, y:Place) :- born_in(x, y)"));
+        assert!(text.contains("functional located_in 1 2 Place City"));
+        assert!(text.contains("subclass City Place"));
+    }
+}

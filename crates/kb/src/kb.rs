@@ -1,0 +1,466 @@
+//! The probabilistic knowledge base `Γ = (E, C, R, Π, H, Ω)` and its
+//! builder (Definition 1).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClassId, EntityId, RelationId};
+use crate::interner::Dictionary;
+use crate::model::{Fact, FunctionalConstraint, Functionality, HornRule};
+
+/// Summary statistics (the shape of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KbStats {
+    /// `|E|` — number of entities.
+    pub entities: usize,
+    /// `|C|` — number of classes.
+    pub classes: usize,
+    /// `|R|` — number of relation names.
+    pub relations: usize,
+    /// `|Π|` — number of weighted facts.
+    pub facts: usize,
+    /// `|H|` — number of inference rules.
+    pub rules: usize,
+    /// `|Ω|` — number of semantic constraints.
+    pub constraints: usize,
+}
+
+/// An immutable probabilistic knowledge base.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbKb {
+    /// Entity dictionary (`DE`).
+    pub entities: Dictionary,
+    /// Class dictionary (`DC`).
+    pub classes: Dictionary,
+    /// Relation dictionary (`DR`).
+    pub relations: Dictionary,
+    /// Class memberships: `members[c]` is the set of entities in class `c`
+    /// (the `TC` relation, Definition 2).
+    pub members: Vec<HashSet<EntityId>>,
+    /// Subclass edges `(sub, super)` — `Ci ⊆ Cj` (Remark 1's hierarchy).
+    pub subclass_edges: Vec<(ClassId, ClassId)>,
+    /// Typed relation signatures `R(C1, C2)` (the `TR` relation,
+    /// Definition 3). One relation name may have several signatures.
+    pub signatures: HashSet<(RelationId, ClassId, ClassId)>,
+    /// The weighted facts Π.
+    pub facts: Vec<Fact>,
+    /// The deductive inference rules H.
+    pub rules: Vec<HornRule>,
+    /// The semantic constraints Ω.
+    pub constraints: Vec<FunctionalConstraint>,
+}
+
+impl ProbKb {
+    /// Start building a knowledge base.
+    pub fn builder() -> KbBuilder {
+        KbBuilder::default()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> KbStats {
+        KbStats {
+            entities: self.entities.len(),
+            classes: self.classes.len(),
+            relations: self.relations.len(),
+            facts: self.facts.len(),
+            rules: self.rules.len(),
+            constraints: self.constraints.len(),
+        }
+    }
+
+    /// True if entity `e` belongs to class `c`, directly or through the
+    /// subclass hierarchy (membership in a subclass implies membership in
+    /// its superclasses, since `Ci ⊆ Cj`).
+    pub fn is_member(&self, e: EntityId, c: ClassId) -> bool {
+        if self
+            .members
+            .get(c.raw() as usize)
+            .is_some_and(|m| m.contains(&e))
+        {
+            return true;
+        }
+        // Walk subclasses of c: e ∈ sub ⊆ c ⇒ e ∈ c.
+        let mut stack: Vec<ClassId> = self
+            .subclass_edges
+            .iter()
+            .filter(|(_, sup)| *sup == c)
+            .map(|(sub, _)| *sub)
+            .collect();
+        let mut seen: HashSet<ClassId> = stack.iter().copied().collect();
+        while let Some(cur) = stack.pop() {
+            if self
+                .members
+                .get(cur.raw() as usize)
+                .is_some_and(|m| m.contains(&e))
+            {
+                return true;
+            }
+            for (sub, sup) in &self.subclass_edges {
+                if *sup == cur && seen.insert(*sub) {
+                    stack.push(*sub);
+                }
+            }
+        }
+        false
+    }
+
+    /// True if `sub` is a (transitive) subclass of `sup`.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen: HashSet<ClassId> = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            for (s, p) in &self.subclass_edges {
+                if *s == cur {
+                    if *p == sup {
+                        return true;
+                    }
+                    if seen.insert(*p) {
+                        stack.push(*p);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Validate internal consistency; returns a list of human-readable
+    /// problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, fact) in self.facts.iter().enumerate() {
+            if self.relations.resolve(fact.rel.raw()).is_none() {
+                problems.push(format!("fact {i}: unknown relation {}", fact.rel));
+            }
+            if self.entities.resolve(fact.x.raw()).is_none() {
+                problems.push(format!("fact {i}: unknown subject {}", fact.x));
+            }
+            if self.entities.resolve(fact.y.raw()).is_none() {
+                problems.push(format!("fact {i}: unknown object {}", fact.y));
+            }
+            if !self.signatures.contains(&(fact.rel, fact.c1, fact.c2)) {
+                problems.push(format!(
+                    "fact {i}: no signature for relation {} with classes ({}, {})",
+                    fact.rel, fact.c1, fact.c2
+                ));
+            }
+            if !self.is_member(fact.x, fact.c1) {
+                problems.push(format!("fact {i}: subject {} not in class {}", fact.x, fact.c1));
+            }
+            if !self.is_member(fact.y, fact.c2) {
+                problems.push(format!("fact {i}: object {} not in class {}", fact.y, fact.c2));
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.body.is_empty() || rule.body.len() > 2 {
+                problems.push(format!("rule {i}: body length {}", rule.body.len()));
+            }
+            if rule.body.len() == 2 && rule.cz.is_none() {
+                problems.push(format!("rule {i}: length-3 clause missing z class"));
+            }
+        }
+        for (i, fc) in self.constraints.iter().enumerate() {
+            if self.relations.resolve(fc.rel.raw()).is_none() {
+                problems.push(format!("constraint {i}: unknown relation {}", fc.rel));
+            }
+            if fc.degree == 0 {
+                problems.push(format!("constraint {i}: zero degree"));
+            }
+        }
+        problems
+    }
+
+    /// Resolve a fact to a readable string for logs and examples.
+    pub fn fact_to_string(&self, fact: &Fact) -> String {
+        let rel = self.relations.resolve(fact.rel.raw()).unwrap_or("?");
+        let x = self.entities.resolve(fact.x.raw()).unwrap_or("?");
+        let y = self.entities.resolve(fact.y.raw()).unwrap_or("?");
+        match fact.weight {
+            Some(w) => format!("{w:.2} {rel}({x}, {y})"),
+            None => format!("{rel}({x}, {y})"),
+        }
+    }
+}
+
+/// Mutable builder with a string-oriented API; interns names on the fly.
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    entities: Dictionary,
+    classes: Dictionary,
+    relations: Dictionary,
+    members: Vec<HashSet<EntityId>>,
+    subclass_edges: Vec<(ClassId, ClassId)>,
+    signatures: HashSet<(RelationId, ClassId, ClassId)>,
+    facts: Vec<Fact>,
+    fact_keys: HashMap<(RelationId, EntityId, ClassId, EntityId, ClassId), usize>,
+    rules: Vec<HornRule>,
+    constraints: Vec<FunctionalConstraint>,
+}
+
+impl KbBuilder {
+    /// Intern (or fetch) a class by name.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        let id = ClassId(self.classes.intern(name));
+        while self.members.len() <= id.raw() as usize {
+            self.members.push(HashSet::new());
+        }
+        id
+    }
+
+    /// Intern (or fetch) an entity by name.
+    pub fn entity(&mut self, name: &str) -> EntityId {
+        EntityId(self.entities.intern(name))
+    }
+
+    /// Intern (or fetch) a relation name.
+    pub fn relation(&mut self, name: &str) -> RelationId {
+        RelationId(self.relations.intern(name))
+    }
+
+    /// Intern an entity and add it to a class.
+    pub fn entity_in(&mut self, entity: &str, class: &str) -> EntityId {
+        let e = self.entity(entity);
+        let c = self.class(class);
+        self.members[c.raw() as usize].insert(e);
+        e
+    }
+
+    /// Declare `sub ⊆ sup`.
+    pub fn subclass(&mut self, sub: &str, sup: &str) {
+        let sub = self.class(sub);
+        let sup = self.class(sup);
+        if !self.subclass_edges.contains(&(sub, sup)) {
+            self.subclass_edges.push((sub, sup));
+        }
+    }
+
+    /// Declare a typed relation signature `rel(c1, c2)`.
+    pub fn signature(&mut self, rel: &str, c1: &str, c2: &str) -> RelationId {
+        let r = self.relation(rel);
+        let c1 = self.class(c1);
+        let c2 = self.class(c2);
+        self.signatures.insert((r, c1, c2));
+        r
+    }
+
+    /// Add a weighted fact `w :: rel((x, c1), (y, c2))`, registering
+    /// memberships and the signature as a side effect. Duplicate fact keys
+    /// keep the first weight. Returns the fact's position.
+    pub fn fact(
+        &mut self,
+        weight: f64,
+        rel: &str,
+        subject: (&str, &str),
+        object: (&str, &str),
+    ) -> usize {
+        let r = self.signature(rel, subject.1, object.1);
+        let x = self.entity_in(subject.0, subject.1);
+        let y = self.entity_in(object.0, object.1);
+        let c1 = self.class(subject.1);
+        let c2 = self.class(object.1);
+        let key = (r, x, c1, y, c2);
+        if let Some(&pos) = self.fact_keys.get(&key) {
+            return pos;
+        }
+        let pos = self.facts.len();
+        self.facts.push(Fact::new(r, x, c1, y, c2, weight));
+        self.fact_keys.insert(key, pos);
+        pos
+    }
+
+    /// Add a pre-built fact (ids must come from this builder).
+    pub fn push_fact(&mut self, fact: Fact) -> usize {
+        let pos = self.facts.len();
+        self.fact_keys.entry(fact.key()).or_insert(pos);
+        self.facts.push(fact);
+        pos
+    }
+
+    /// Add a pre-built rule.
+    pub fn push_rule(&mut self, rule: HornRule) -> usize {
+        self.rules.push(rule);
+        self.rules.len() - 1
+    }
+
+    /// Add a functional constraint on a relation by name.
+    pub fn functional(&mut self, rel: &str, functionality: Functionality, degree: u32) {
+        let rel = self.relation(rel);
+        self.constraints.push(FunctionalConstraint {
+            rel,
+            classes: None,
+            functionality,
+            degree: degree.max(1),
+        });
+    }
+
+    /// Add a functional constraint restricted to one class pair
+    /// (Definition 11's optional `(C1, C2)` component).
+    pub fn functional_on(
+        &mut self,
+        rel: &str,
+        c1: &str,
+        c2: &str,
+        functionality: Functionality,
+        degree: u32,
+    ) {
+        let rel = self.relation(rel);
+        let c1 = self.class(c1);
+        let c2 = self.class(c2);
+        self.constraints.push(FunctionalConstraint {
+            rel,
+            classes: Some((c1, c2)),
+            functionality,
+            degree: degree.max(1),
+        });
+    }
+
+    /// Add a pre-built constraint.
+    pub fn push_constraint(&mut self, fc: FunctionalConstraint) {
+        self.constraints.push(fc);
+    }
+
+    /// Number of facts added so far.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of rules added so far.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ProbKb {
+        ProbKb {
+            entities: self.entities,
+            classes: self.classes,
+            relations: self.relations,
+            members: self.members,
+            subclass_edges: self.subclass_edges,
+            signatures: self.signatures,
+            facts: self.facts,
+            rules: self.rules,
+            constraints: self.constraints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Atom, Var};
+
+    fn sample() -> ProbKb {
+        let mut b = ProbKb::builder();
+        b.fact(
+            0.96,
+            "born_in",
+            ("Ruth_Gruber", "Writer"),
+            ("New_York_City", "City"),
+        );
+        b.fact(
+            0.93,
+            "born_in",
+            ("Ruth_Gruber", "Writer"),
+            ("Brooklyn", "Place"),
+        );
+        b.functional("born_in", Functionality::TypeI, 1);
+        b.subclass("City", "Place");
+        let live_in = b.signature("live_in", "Writer", "City");
+        let born_in = b.relation("born_in");
+        let w = b.class("Writer");
+        let c = b.class("City");
+        b.push_rule(HornRule::length2(
+            Atom::new(live_in, Var::X, Var::Y),
+            Atom::new(born_in, Var::X, Var::Y),
+            w,
+            c,
+            1.53,
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn builder_interns_and_counts() {
+        let kb = sample();
+        let stats = kb.stats();
+        assert_eq!(stats.entities, 3);
+        assert_eq!(stats.classes, 3);
+        assert_eq!(stats.relations, 2);
+        assert_eq!(stats.facts, 2);
+        assert_eq!(stats.rules, 1);
+        assert_eq!(stats.constraints, 1);
+    }
+
+    #[test]
+    fn duplicate_facts_collapse() {
+        let mut b = ProbKb::builder();
+        let first = b.fact(0.9, "r", ("a", "A"), ("b", "B"));
+        let second = b.fact(0.1, "r", ("a", "A"), ("b", "B"));
+        assert_eq!(first, second);
+        let kb = b.build();
+        assert_eq!(kb.facts.len(), 1);
+        assert_eq!(kb.facts[0].weight, Some(0.9)); // first wins
+    }
+
+    #[test]
+    fn membership_direct_and_via_hierarchy() {
+        let kb = sample();
+        let rg = EntityId(kb.entities.get("Ruth_Gruber").unwrap());
+        let writer = ClassId(kb.classes.get("Writer").unwrap());
+        let city = ClassId(kb.classes.get("City").unwrap());
+        let place = ClassId(kb.classes.get("Place").unwrap());
+        let nyc = EntityId(kb.entities.get("New_York_City").unwrap());
+        assert!(kb.is_member(rg, writer));
+        assert!(!kb.is_member(rg, city));
+        // NYC is a City, and City ⊆ Place, so NYC is a Place.
+        assert!(kb.is_member(nyc, city));
+        assert!(kb.is_member(nyc, place));
+        assert!(kb.is_subclass(city, place));
+        assert!(!kb.is_subclass(place, city));
+        assert!(kb.is_subclass(city, city));
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_kb() {
+        let kb = sample();
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+    }
+
+    #[test]
+    fn validate_flags_broken_facts() {
+        let mut b = ProbKb::builder();
+        b.fact(0.9, "r", ("a", "A"), ("b", "B"));
+        let mut kb = b.build();
+        // Corrupt: fact referencing a class the subject is not in.
+        kb.facts[0].c1 = ClassId(1); // class "B"
+        let problems = kb.validate();
+        assert!(!problems.is_empty());
+        assert!(problems.iter().any(|p| p.contains("not in class")
+            || p.contains("no signature")));
+    }
+
+    #[test]
+    fn fact_to_string_resolves_names() {
+        let kb = sample();
+        let s = kb.fact_to_string(&kb.facts[0]);
+        assert_eq!(s, "0.96 born_in(Ruth_Gruber, New_York_City)");
+    }
+
+    #[test]
+    fn subclass_is_transitive() {
+        let mut b = ProbKb::builder();
+        b.subclass("Town", "City");
+        b.subclass("City", "Place");
+        b.entity_in("Gainesville", "Town");
+        let kb = b.build();
+        let town = ClassId(kb.classes.get("Town").unwrap());
+        let place = ClassId(kb.classes.get("Place").unwrap());
+        let g = EntityId(kb.entities.get("Gainesville").unwrap());
+        assert!(kb.is_subclass(town, place));
+        assert!(kb.is_member(g, place));
+    }
+}

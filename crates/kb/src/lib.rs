@@ -1,0 +1,54 @@
+//! # probkb-kb
+//!
+//! The probabilistic knowledge base model of the ProbKB paper
+//! (Definition 1): a KB is a 5-tuple `Γ = (E, C, R, Π, L)` of entities,
+//! classes, typed relations, weighted facts, and weighted Horn rules,
+//! where the rule set `L = (H, Ω)` splits into deductive rules and
+//! semantic constraints.
+//!
+//! This crate provides:
+//!
+//! * dictionary-encoded ids ([`ids`], [`interner`]) — the `DX` tables;
+//! * the typed model ([`model`]): facts with explicit argument classes,
+//!   Horn clauses over variables `x, y, z`, and Type-I/II
+//!   (pseudo-)functional constraints;
+//! * structural-equivalence partitioning ([`pattern`]) into the paper's
+//!   six rule classes `M1..M6` — the enabling step for batch grounding;
+//! * a builder and validator ([`kb`]) plus a line-oriented text format
+//!   ([`parser`]).
+//!
+//! ```
+//! use probkb_kb::prelude::*;
+//!
+//! let kb = parse(r#"
+//!     fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+//!     rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+//!     functional born_in 1 1
+//! "#).unwrap().build();
+//! assert_eq!(kb.stats().facts, 1);
+//! assert!(kb.validate().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod kb;
+pub mod model;
+pub mod parser;
+pub mod pattern;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::ids::{ClassId, EntityId, FactId, RelationId, RuleId};
+    pub use crate::interner::Dictionary;
+    pub use crate::io::{
+        from_json as kb_from_json, load_triples_into, to_json as kb_to_json,
+        to_text as kb_to_text,
+    };
+    pub use crate::kb::{KbBuilder, KbStats, ProbKb};
+    pub use crate::model::{Atom, Fact, FunctionalConstraint, Functionality, HornRule, Var};
+    pub use crate::parser::{parse, parse_into, ParseError};
+    pub use crate::pattern::{classify, Classified, PatternError, Partitioning, RulePattern};
+}

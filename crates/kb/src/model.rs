@@ -1,0 +1,356 @@
+//! Core model types: typed facts (Π), Horn rules (H), and functional
+//! constraints (Ω) — the components of Definition 1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClassId, EntityId, RelationId};
+
+/// A weighted, typed fact `(R(x, y), w)` with explicit argument classes —
+/// the in-memory form of one `TΠ` row (Definition 4, minus the `I` column
+/// which the relational mapping assigns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fact {
+    /// The relation `R`.
+    pub rel: RelationId,
+    /// Subject entity `x`.
+    pub x: EntityId,
+    /// Subject class `C1` (with `x ∈ C1`).
+    pub c1: ClassId,
+    /// Object entity `y`.
+    pub y: EntityId,
+    /// Object class `C2` (with `y ∈ C2`).
+    pub c2: ClassId,
+    /// Weight; `None` for facts inferred during grounding whose marginal
+    /// is yet to be computed (the paper sets `w` to NULL, §4.3).
+    pub weight: Option<f64>,
+}
+
+impl Fact {
+    /// A weighted (extracted) fact.
+    pub fn new(
+        rel: RelationId,
+        x: EntityId,
+        c1: ClassId,
+        y: EntityId,
+        c2: ClassId,
+        weight: f64,
+    ) -> Self {
+        Fact {
+            rel,
+            x,
+            c1,
+            y,
+            c2,
+            weight: Some(weight),
+        }
+    }
+
+    /// An inferred fact with no weight yet.
+    pub fn inferred(rel: RelationId, x: EntityId, c1: ClassId, y: EntityId, c2: ClassId) -> Self {
+        Fact {
+            rel,
+            x,
+            c1,
+            y,
+            c2,
+            weight: None,
+        }
+    }
+
+    /// The typed key identifying this fact regardless of weight: two facts
+    /// are the same statement iff their keys agree.
+    pub fn key(&self) -> (RelationId, EntityId, ClassId, EntityId, ClassId) {
+        (self.rel, self.x, self.c1, self.y, self.c2)
+    }
+}
+
+/// A variable position in a Horn clause. The head is always `p(x, y)`;
+/// length-3 clauses introduce a join variable `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Var {
+    /// The head's first argument.
+    X,
+    /// The head's second argument.
+    Y,
+    /// The body join variable of length-3 clauses.
+    Z,
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::X => write!(f, "x"),
+            Var::Y => write!(f, "y"),
+            Var::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// One atom `R(a, b)` in a Horn clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation.
+    pub rel: RelationId,
+    /// First argument.
+    pub a: Var,
+    /// Second argument.
+    pub b: Var,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(rel: RelationId, a: Var, b: Var) -> Self {
+        Atom { rel, a, b }
+    }
+
+    /// The variables this atom uses.
+    pub fn vars(&self) -> [Var; 2] {
+        [self.a, self.b]
+    }
+
+    /// True if the atom mentions `v`.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.a == v || self.b == v
+    }
+}
+
+/// A weighted first-order Horn clause `(F, W)` ∈ H (§4.1):
+/// `head ← body₁ [, body₂]`, with every variable typed by a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HornRule {
+    /// The head atom, always over variables `(x, y)`.
+    pub head: Atom,
+    /// One or two body atoms.
+    pub body: Vec<Atom>,
+    /// Class of `x` (`C1`).
+    pub cx: ClassId,
+    /// Class of `y` (`C2`).
+    pub cy: ClassId,
+    /// Class of `z` (`C3`) for length-3 clauses.
+    pub cz: Option<ClassId>,
+    /// MLN weight `W`.
+    pub weight: f64,
+    /// Sherlock-style statistical significance score, used by rule
+    /// cleaning (§5.3). Higher is more trustworthy.
+    pub significance: f64,
+}
+
+impl HornRule {
+    /// A length-2 clause `head(x,y) ← body(a,b)`.
+    pub fn length2(head: Atom, body: Atom, cx: ClassId, cy: ClassId, weight: f64) -> Self {
+        HornRule {
+            head,
+            body: vec![body],
+            cx,
+            cy,
+            cz: None,
+            weight,
+            significance: weight,
+        }
+    }
+
+    /// A length-3 clause `head(x,y) ← b1, b2` with join variable `z : cz`.
+    pub fn length3(
+        head: Atom,
+        b1: Atom,
+        b2: Atom,
+        cx: ClassId,
+        cy: ClassId,
+        cz: ClassId,
+        weight: f64,
+    ) -> Self {
+        HornRule {
+            head,
+            body: vec![b1, b2],
+            cx,
+            cy,
+            cz: Some(cz),
+            weight,
+            significance: weight,
+        }
+    }
+
+    /// Set the significance score (builder style).
+    pub fn with_significance(mut self, s: f64) -> Self {
+        self.significance = s;
+        self
+    }
+
+    /// Total number of atoms (head + body): 2 or 3.
+    pub fn len(&self) -> usize {
+        1 + self.body.len()
+    }
+
+    /// Never empty (a Horn rule always has a head).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The class of a variable in this rule.
+    pub fn class_of(&self, v: Var) -> Option<ClassId> {
+        match v {
+            Var::X => Some(self.cx),
+            Var::Y => Some(self.cy),
+            Var::Z => self.cz,
+        }
+    }
+}
+
+/// Type-I or Type-II functionality (Definition 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Functionality {
+    /// `x` determines `y`: at most δ objects per subject.
+    TypeI,
+    /// `y` determines `x`: at most δ subjects per object.
+    TypeII,
+}
+
+impl Functionality {
+    /// The `α ∈ {1, 2}` encoding used in `TΩ` (Definition 11).
+    pub fn alpha(&self) -> i64 {
+        match self {
+            Functionality::TypeI => 1,
+            Functionality::TypeII => 2,
+        }
+    }
+
+    /// Decode from the `α` column.
+    pub fn from_alpha(alpha: i64) -> Option<Self> {
+        match alpha {
+            1 => Some(Functionality::TypeI),
+            2 => Some(Functionality::TypeII),
+            _ => None,
+        }
+    }
+}
+
+/// A functional (or pseudo-functional) constraint — one `TΩ` row
+/// (Definition 11): relation `R` admits at most `degree` distinct partners
+/// per key entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalConstraint {
+    /// The constrained relation.
+    pub rel: RelationId,
+    /// Optional class restriction `(C1, C2)`; `None` means the
+    /// functionality holds for all class pairs (the common case, §5.4).
+    pub classes: Option<(ClassId, ClassId)>,
+    /// Which argument is the key.
+    pub functionality: Functionality,
+    /// Degree of (pseudo-)functionality δ; 1 for strictly functional
+    /// relations.
+    pub degree: u32,
+}
+
+impl FunctionalConstraint {
+    /// A strict Type-I functional constraint on a relation.
+    pub fn type1(rel: RelationId) -> Self {
+        FunctionalConstraint {
+            rel,
+            classes: None,
+            functionality: Functionality::TypeI,
+            degree: 1,
+        }
+    }
+
+    /// A strict Type-II functional constraint on a relation.
+    pub fn type2(rel: RelationId) -> Self {
+        FunctionalConstraint {
+            rel,
+            classes: None,
+            functionality: Functionality::TypeII,
+            degree: 1,
+        }
+    }
+
+    /// Set the pseudo-functionality degree δ (builder style).
+    pub fn with_degree(mut self, degree: u32) -> Self {
+        self.degree = degree.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RelationId {
+        RelationId(i)
+    }
+    fn c(i: u32) -> ClassId {
+        ClassId(i)
+    }
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn fact_key_ignores_weight() {
+        let a = Fact::new(r(1), e(1), c(1), e(2), c(2), 0.9);
+        let b = Fact::inferred(r(1), e(1), c(1), e(2), c(2));
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn atom_vars_and_mentions() {
+        let a = Atom::new(r(1), Var::Z, Var::X);
+        assert_eq!(a.vars(), [Var::Z, Var::X]);
+        assert!(a.mentions(Var::X));
+        assert!(!a.mentions(Var::Y));
+    }
+
+    #[test]
+    fn rule_lengths_and_classes() {
+        let head = Atom::new(r(1), Var::X, Var::Y);
+        let l2 = HornRule::length2(head, Atom::new(r(2), Var::X, Var::Y), c(1), c(2), 1.4);
+        assert_eq!(l2.len(), 2);
+        assert_eq!(l2.class_of(Var::X), Some(c(1)));
+        assert_eq!(l2.class_of(Var::Z), None);
+        let l3 = HornRule::length3(
+            head,
+            Atom::new(r(2), Var::Z, Var::X),
+            Atom::new(r(3), Var::Z, Var::Y),
+            c(1),
+            c(2),
+            c(3),
+            0.32,
+        );
+        assert_eq!(l3.len(), 3);
+        assert_eq!(l3.class_of(Var::Z), Some(c(3)));
+        assert!(!l3.is_empty());
+    }
+
+    #[test]
+    fn significance_defaults_to_weight_and_overrides() {
+        let head = Atom::new(r(1), Var::X, Var::Y);
+        let rule = HornRule::length2(head, Atom::new(r(2), Var::X, Var::Y), c(1), c(2), 1.4);
+        assert_eq!(rule.significance, 1.4);
+        let rule = rule.with_significance(0.7);
+        assert_eq!(rule.significance, 0.7);
+    }
+
+    #[test]
+    fn functionality_alpha_roundtrip() {
+        assert_eq!(Functionality::TypeI.alpha(), 1);
+        assert_eq!(Functionality::from_alpha(2), Some(Functionality::TypeII));
+        assert_eq!(Functionality::from_alpha(3), None);
+    }
+
+    #[test]
+    fn constraint_builders() {
+        let fc = FunctionalConstraint::type1(r(5)).with_degree(3);
+        assert_eq!(fc.degree, 3);
+        assert_eq!(fc.functionality, Functionality::TypeI);
+        // Degree is clamped to at least 1.
+        assert_eq!(FunctionalConstraint::type2(r(5)).with_degree(0).degree, 1);
+    }
+
+    #[test]
+    fn var_display() {
+        assert_eq!(Var::X.to_string(), "x");
+        assert_eq!(Var::Y.to_string(), "y");
+        assert_eq!(Var::Z.to_string(), "z");
+    }
+}

@@ -1,0 +1,416 @@
+//! A small text format for probabilistic knowledge bases, used by the
+//! examples and tests. One statement per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+//! rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+//! rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+//! functional born_in 1 1          # relation, type (1|2), degree
+//! subclass City Place
+//! ```
+//!
+//! Rule variables are `x`, `y` (head) and `z` (join variable); each
+//! variable's class is annotated at its first occurrence.
+
+use std::fmt;
+
+use crate::kb::KbBuilder;
+use crate::model::{Atom, Functionality, HornRule, Var};
+
+/// Parse errors with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a KB text document into a builder (may already hold content).
+pub fn parse_into(builder: &mut KbBuilder, text: &str) -> Result<(), ParseError> {
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(lineno, "statement needs arguments"))?;
+        match keyword {
+            "fact" => parse_fact(builder, rest.trim(), lineno)?,
+            "rule" => parse_rule(builder, rest.trim(), lineno)?,
+            "functional" => parse_functional(builder, rest.trim(), lineno)?,
+            "subclass" => parse_subclass(builder, rest.trim(), lineno)?,
+            other => return Err(err(lineno, format!("unknown statement '{other}'"))),
+        }
+    }
+    Ok(())
+}
+
+/// Parse a whole document into a fresh builder.
+pub fn parse(text: &str) -> Result<KbBuilder, ParseError> {
+    let mut builder = KbBuilder::default();
+    parse_into(&mut builder, text)?;
+    Ok(builder)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// `0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)`
+fn parse_fact(builder: &mut KbBuilder, rest: &str, line: usize) -> Result<(), ParseError> {
+    let (weight, atom_text) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err(line, "fact needs a weight and an atom"))?;
+    let weight: f64 = weight
+        .parse()
+        .map_err(|_| err(line, format!("bad weight '{weight}'")))?;
+    let (rel, a, b) = parse_atom_text(atom_text.trim(), line)?;
+    let (x, cx) = require_typed(a, line, "fact subject")?;
+    let (y, cy) = require_typed(b, line, "fact object")?;
+    builder.fact(weight, &rel, (&x, &cx), (&y, &cy));
+    Ok(())
+}
+
+/// `1.40 live_in(x:Writer, y:Place) :- born_in(x, y)[, second_atom]`
+fn parse_rule(builder: &mut KbBuilder, rest: &str, line: usize) -> Result<(), ParseError> {
+    let (weight, clause) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err(line, "rule needs a weight and a clause"))?;
+    let weight: f64 = weight
+        .parse()
+        .map_err(|_| err(line, format!("bad weight '{weight}'")))?;
+    let (head_text, body_text) = clause
+        .split_once(":-")
+        .ok_or_else(|| err(line, "rule needs ':-' between head and body"))?;
+
+    let mut classes: [Option<String>; 3] = [None, None, None];
+    let head = parse_rule_atom(head_text.trim(), &mut classes, line)?;
+    if head.1 != Var::X || head.2 != Var::Y {
+        return Err(err(line, "rule head must be head(x, y)"));
+    }
+    let body_atoms: Vec<&str> = split_atoms(body_text.trim());
+    if body_atoms.is_empty() || body_atoms.len() > 2 {
+        return Err(err(
+            line,
+            format!("rule body must have 1 or 2 atoms, got {}", body_atoms.len()),
+        ));
+    }
+    let mut body = Vec::new();
+    for atom_text in &body_atoms {
+        body.push(parse_rule_atom(atom_text.trim(), &mut classes, line)?);
+    }
+
+    let cx = classes[0]
+        .clone()
+        .ok_or_else(|| err(line, "variable x has no class annotation"))?;
+    let cy = classes[1]
+        .clone()
+        .ok_or_else(|| err(line, "variable y has no class annotation"))?;
+    let uses_z = body.iter().any(|a| a.1 == Var::Z || a.2 == Var::Z);
+    let cz = if uses_z {
+        Some(
+            classes[2]
+                .clone()
+                .ok_or_else(|| err(line, "variable z has no class annotation"))?,
+        )
+    } else {
+        None
+    };
+
+    // Intern classes and relations, register the head signature.
+    let cx_id = builder.class(&cx);
+    let cy_id = builder.class(&cy);
+    let cz_id = cz.as_deref().map(|c| builder.class(c));
+    builder.signature(&head.0, &cx, &cy);
+    let head_atom = Atom::new(builder.relation(&head.0), head.1, head.2);
+    let body_atom_ids: Vec<Atom> = body
+        .iter()
+        .map(|(rel, a, b)| Atom::new(builder.relation(rel), *a, *b))
+        .collect();
+
+    let rule = match body_atom_ids.len() {
+        1 => HornRule::length2(head_atom, body_atom_ids[0], cx_id, cy_id, weight),
+        2 => HornRule::length3(
+            head_atom,
+            body_atom_ids[0],
+            body_atom_ids[1],
+            cx_id,
+            cy_id,
+            cz_id.ok_or_else(|| err(line, "length-3 rule requires z class"))?,
+            weight,
+        ),
+        _ => unreachable!("validated above"),
+    };
+    builder.push_rule(rule);
+    Ok(())
+}
+
+/// `born_in 1 1` or `born_in 1 1 Writer City` → relation, functionality
+/// type, degree, and an optional class-pair restriction.
+fn parse_functional(builder: &mut KbBuilder, rest: &str, line: usize) -> Result<(), ParseError> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    if parts.len() != 3 && parts.len() != 5 {
+        return Err(err(
+            line,
+            "functional needs: <relation> <1|2> <degree> [<C1> <C2>]",
+        ));
+    }
+    let functionality = match parts[1] {
+        "1" => Functionality::TypeI,
+        "2" => Functionality::TypeII,
+        other => return Err(err(line, format!("bad functionality type '{other}'"))),
+    };
+    let degree: u32 = parts[2]
+        .parse()
+        .map_err(|_| err(line, format!("bad degree '{}'", parts[2])))?;
+    if parts.len() == 5 {
+        builder.functional_on(parts[0], parts[3], parts[4], functionality, degree);
+    } else {
+        builder.functional(parts[0], functionality, degree);
+    }
+    Ok(())
+}
+
+/// `City Place` → City ⊆ Place.
+fn parse_subclass(builder: &mut KbBuilder, rest: &str, line: usize) -> Result<(), ParseError> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    if parts.len() != 2 {
+        return Err(err(line, "subclass needs: <Sub> <Super>"));
+    }
+    builder.subclass(parts[0], parts[1]);
+    Ok(())
+}
+
+/// Split `a(b, c), d(e, f)` into atom substrings at top-level commas.
+fn split_atoms(text: &str) -> Vec<&str> {
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                atoms.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !text[start..].trim().is_empty() {
+        atoms.push(&text[start..]);
+    }
+    atoms
+}
+
+/// An argument: its name plus an optional `:Class` annotation.
+type ParsedArg = (String, Option<String>);
+
+/// Parse `rel(arg1, arg2)` into `(relation, arg1, arg2)` strings where
+/// args may be `name` or `name:Class`.
+fn parse_atom_text(
+    text: &str,
+    line: usize,
+) -> Result<(String, ParsedArg, ParsedArg), ParseError> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| err(line, format!("atom missing '(': {text}")))?;
+    if !text.trim_end().ends_with(')') {
+        return Err(err(line, format!("atom missing ')': {text}")));
+    }
+    let rel = text[..open].trim().to_string();
+    if rel.is_empty() {
+        return Err(err(line, "atom has empty relation name"));
+    }
+    let inner = &text[open + 1..text.trim_end().len() - 1];
+    let args: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if args.len() != 2 {
+        return Err(err(line, format!("atom needs 2 arguments: {text}")));
+    }
+    let parse_arg = |arg: &str| -> ParsedArg {
+        match arg.split_once(':') {
+            Some((name, class)) => (name.trim().to_string(), Some(class.trim().to_string())),
+            None => (arg.to_string(), None),
+        }
+    };
+    Ok((rel, parse_arg(args[0]), parse_arg(args[1])))
+}
+
+fn require_typed(
+    arg: ParsedArg,
+    line: usize,
+    what: &str,
+) -> Result<(String, String), ParseError> {
+    match arg.1 {
+        Some(class) => Ok((arg.0, class)),
+        None => Err(err(line, format!("{what} needs a ':Class' annotation"))),
+    }
+}
+
+/// Parse a rule atom: args must be variables x/y/z, classes recorded at
+/// first annotation. Returns `(relation, var1, var2)`.
+fn parse_rule_atom(
+    text: &str,
+    classes: &mut [Option<String>; 3],
+    line: usize,
+) -> Result<(String, Var, Var), ParseError> {
+    let (rel, a, b) = parse_atom_text(text, line)?;
+    let mut to_var = |arg: ParsedArg| -> Result<Var, ParseError> {
+        let var = match arg.0.as_str() {
+            "x" => Var::X,
+            "y" => Var::Y,
+            "z" => Var::Z,
+            other => {
+                return Err(err(
+                    line,
+                    format!("rule argument must be x, y, or z; got '{other}'"),
+                ))
+            }
+        };
+        if let Some(class) = arg.1 {
+            let slot = match var {
+                Var::X => 0,
+                Var::Y => 1,
+                Var::Z => 2,
+            };
+            match &classes[slot] {
+                Some(existing) if *existing != class => {
+                    return Err(err(
+                        line,
+                        format!("variable {var} annotated with both '{existing}' and '{class}'"),
+                    ))
+                }
+                _ => classes[slot] = Some(class),
+            }
+        }
+        Ok(var)
+    };
+    Ok((rel, to_var(a)?, to_var(b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{classify, RulePattern};
+
+    const DOC: &str = r#"
+# The Table 1 running example, abbreviated.
+fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+functional born_in 1 1
+subclass City Place
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let kb = parse(DOC).unwrap().build();
+        let stats = kb.stats();
+        assert_eq!(stats.facts, 2);
+        assert_eq!(stats.rules, 2);
+        assert_eq!(stats.constraints, 1);
+        assert!(kb.validate().is_empty(), "{:?}", kb.validate());
+    }
+
+    #[test]
+    fn rule_patterns_classify() {
+        let kb = parse(DOC).unwrap().build();
+        assert_eq!(classify(&kb.rules[0]).unwrap().pattern, RulePattern::P1);
+        assert_eq!(classify(&kb.rules[1]).unwrap().pattern, RulePattern::P3);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let kb = parse("# nothing\n\n   \n").unwrap().build();
+        assert_eq!(kb.stats().facts, 0);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let bad = "fact 0.9 born_in(a:A, b:B)\nrule oops live_in(x:A, y:B) :- born_in(x, y)";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad weight"));
+    }
+
+    #[test]
+    fn untyped_fact_rejected() {
+        let e = parse("fact 0.9 born_in(a, b:B)").unwrap_err();
+        assert!(e.message.contains(":Class"));
+    }
+
+    #[test]
+    fn head_must_be_xy() {
+        let e = parse("rule 1.0 p(y:A, x:B) :- q(x, y)").unwrap_err();
+        assert!(e.message.contains("head must be"));
+    }
+
+    #[test]
+    fn missing_z_class_rejected() {
+        let e = parse("rule 1.0 p(x:A, y:B) :- q(z, x), r(z, y)").unwrap_err();
+        assert!(e.message.contains("z has no class"));
+    }
+
+    #[test]
+    fn conflicting_class_annotations_rejected() {
+        let e = parse("rule 1.0 p(x:A, y:B) :- q(x:C, y)").unwrap_err();
+        assert!(e.message.contains("annotated with both"));
+    }
+
+    #[test]
+    fn unknown_statement_rejected() {
+        let e = parse("frobnicate a b").unwrap_err();
+        assert!(e.message.contains("unknown statement"));
+    }
+
+    #[test]
+    fn functional_variants() {
+        let kb = parse("functional capital_of 2 1\nfunctional live_in 1 3").unwrap().build();
+        assert_eq!(kb.constraints.len(), 2);
+        assert_eq!(kb.constraints[0].functionality, Functionality::TypeII);
+        assert_eq!(kb.constraints[1].degree, 3);
+    }
+
+    #[test]
+    fn class_restricted_functional_parses() {
+        let kb = parse("functional born_in 1 1 Writer City").unwrap().build();
+        let fc = &kb.constraints[0];
+        assert!(fc.classes.is_some());
+        let (c1, c2) = fc.classes.unwrap();
+        assert_eq!(kb.classes.resolve(c1.raw()), Some("Writer"));
+        assert_eq!(kb.classes.resolve(c2.raw()), Some("City"));
+        // Wrong arity is rejected.
+        assert!(parse("functional born_in 1 1 Writer").is_err());
+    }
+
+    #[test]
+    fn split_atoms_respects_parens() {
+        let atoms = split_atoms("a(x, z), b(z, y)");
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].trim(), "a(x, z)");
+        assert_eq!(atoms[1].trim(), "b(z, y)");
+    }
+}

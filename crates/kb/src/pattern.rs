@@ -1,0 +1,346 @@
+//! Structural-equivalence partitioning of Horn clauses (Definitions 5–6).
+//!
+//! Two clauses are structurally equivalent when they differ only in the
+//! entity/class/relation symbols. The Sherlock rule set falls into exactly
+//! six equivalence classes; partitioning the MLN this way is what lets
+//! grounding apply *all* rules of a partition with one join query, turning
+//! `O(n)` per-rule queries into `O(k)` per-partition queries (§4.3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::RuleId;
+use crate::model::{Atom, HornRule, Var};
+
+/// The six structural classes of §4.2.2, with the paper's numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RulePattern {
+    /// `p(x,y) ← q(x,y)`
+    P1,
+    /// `p(x,y) ← q(y,x)`
+    P2,
+    /// `p(x,y) ← q(z,x), r(z,y)`
+    P3,
+    /// `p(x,y) ← q(x,z), r(z,y)`
+    P4,
+    /// `p(x,y) ← q(z,x), r(y,z)`
+    P5,
+    /// `p(x,y) ← q(x,z), r(y,z)`
+    P6,
+}
+
+impl RulePattern {
+    /// All patterns in paper order.
+    pub const ALL: [RulePattern; 6] = [
+        RulePattern::P1,
+        RulePattern::P2,
+        RulePattern::P3,
+        RulePattern::P4,
+        RulePattern::P5,
+        RulePattern::P6,
+    ];
+
+    /// The paper's 1-based partition index.
+    pub fn index(&self) -> usize {
+        match self {
+            RulePattern::P1 => 1,
+            RulePattern::P2 => 2,
+            RulePattern::P3 => 3,
+            RulePattern::P4 => 4,
+            RulePattern::P5 => 5,
+            RulePattern::P6 => 6,
+        }
+    }
+
+    /// Number of atoms in clauses of this pattern (2 or 3).
+    pub fn arity(&self) -> usize {
+        match self {
+            RulePattern::P1 | RulePattern::P2 => 2,
+            _ => 3,
+        }
+    }
+
+    /// The body-variable layout of this pattern: `(first atom args,
+    /// second atom args)`; length-2 patterns have no second atom.
+    pub fn body_layout(&self) -> ((Var, Var), Option<(Var, Var)>) {
+        match self {
+            RulePattern::P1 => ((Var::X, Var::Y), None),
+            RulePattern::P2 => ((Var::Y, Var::X), None),
+            RulePattern::P3 => ((Var::Z, Var::X), Some((Var::Z, Var::Y))),
+            RulePattern::P4 => ((Var::X, Var::Z), Some((Var::Z, Var::Y))),
+            RulePattern::P5 => ((Var::Z, Var::X), Some((Var::Y, Var::Z))),
+            RulePattern::P6 => ((Var::X, Var::Z), Some((Var::Y, Var::Z))),
+        }
+    }
+}
+
+impl fmt::Display for RulePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            RulePattern::P1 => "p(x,y) <- q(x,y)",
+            RulePattern::P2 => "p(x,y) <- q(y,x)",
+            RulePattern::P3 => "p(x,y) <- q(z,x), r(z,y)",
+            RulePattern::P4 => "p(x,y) <- q(x,z), r(z,y)",
+            RulePattern::P5 => "p(x,y) <- q(z,x), r(y,z)",
+            RulePattern::P6 => "p(x,y) <- q(x,z), r(y,z)",
+        };
+        write!(f, "M{} [{}]", self.index(), text)
+    }
+}
+
+/// Why a clause failed to classify into the six patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The head must be exactly `p(x, y)`.
+    HeadNotXY,
+    /// Body has an unsupported number of atoms.
+    BadBodyLen(usize),
+    /// The body's variable layout matches none of the six patterns (even
+    /// after trying the swapped atom order).
+    UnknownLayout,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::HeadNotXY => write!(f, "rule head must be p(x, y)"),
+            PatternError::BadBodyLen(n) => write!(f, "unsupported body length {n}"),
+            PatternError::UnknownLayout => {
+                write!(f, "body variable layout matches none of the 6 patterns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// The result of classifying a rule: its pattern plus the body atoms in
+/// the pattern's canonical order (they may have been swapped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classified {
+    /// The structural class.
+    pub pattern: RulePattern,
+    /// Body atoms in canonical `(q, r)` order.
+    pub body: Vec<Atom>,
+}
+
+/// Classify a Horn rule into one of the six structural patterns,
+/// canonicalizing body-atom order when needed.
+pub fn classify(rule: &HornRule) -> Result<Classified, PatternError> {
+    if rule.head.a != Var::X || rule.head.b != Var::Y {
+        return Err(PatternError::HeadNotXY);
+    }
+    match rule.body.len() {
+        1 => {
+            let b = rule.body[0];
+            let pattern = match (b.a, b.b) {
+                (Var::X, Var::Y) => RulePattern::P1,
+                (Var::Y, Var::X) => RulePattern::P2,
+                _ => return Err(PatternError::UnknownLayout),
+            };
+            Ok(Classified {
+                pattern,
+                body: vec![b],
+            })
+        }
+        2 => {
+            for (q, r) in [
+                (rule.body[0], rule.body[1]),
+                (rule.body[1], rule.body[0]),
+            ] {
+                let layout = ((q.a, q.b), (r.a, r.b));
+                let pattern = match layout {
+                    ((Var::Z, Var::X), (Var::Z, Var::Y)) => Some(RulePattern::P3),
+                    ((Var::X, Var::Z), (Var::Z, Var::Y)) => Some(RulePattern::P4),
+                    ((Var::Z, Var::X), (Var::Y, Var::Z)) => Some(RulePattern::P5),
+                    ((Var::X, Var::Z), (Var::Y, Var::Z)) => Some(RulePattern::P6),
+                    _ => None,
+                };
+                if let Some(pattern) = pattern {
+                    return Ok(Classified {
+                        pattern,
+                        body: vec![q, r],
+                    });
+                }
+            }
+            Err(PatternError::UnknownLayout)
+        }
+        n => Err(PatternError::BadBodyLen(n)),
+    }
+}
+
+/// A partitioning of an MLN's rules by structural class: the in-memory
+/// counterpart of the `M1..M6` tables.
+#[derive(Debug, Clone, Default)]
+pub struct Partitioning {
+    by_pattern: HashMap<RulePattern, Vec<(RuleId, Classified)>>,
+    rejected: Vec<(RuleId, PatternError)>,
+}
+
+impl Partitioning {
+    /// Partition a rule list. Rules that do not fit the six patterns are
+    /// collected in [`Partitioning::rejected`] rather than silently
+    /// dropped.
+    pub fn build(rules: &[HornRule]) -> Self {
+        let mut part = Partitioning::default();
+        for (i, rule) in rules.iter().enumerate() {
+            let id = RuleId(i as u32);
+            match classify(rule) {
+                Ok(c) => part.by_pattern.entry(c.pattern).or_default().push((id, c)),
+                Err(e) => part.rejected.push((id, e)),
+            }
+        }
+        part
+    }
+
+    /// Rules in a given partition.
+    pub fn rules_in(&self, pattern: RulePattern) -> &[(RuleId, Classified)] {
+        self.by_pattern
+            .get(&pattern)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Patterns that actually contain rules, in paper order.
+    pub fn non_empty_patterns(&self) -> Vec<RulePattern> {
+        RulePattern::ALL
+            .iter()
+            .copied()
+            .filter(|p| !self.rules_in(*p).is_empty())
+            .collect()
+    }
+
+    /// Number of non-empty partitions (`k` in the O(k)-queries claim).
+    pub fn k(&self) -> usize {
+        self.non_empty_patterns().len()
+    }
+
+    /// Total classified rules.
+    pub fn total_rules(&self) -> usize {
+        self.by_pattern.values().map(Vec::len).sum()
+    }
+
+    /// Rules that failed classification.
+    pub fn rejected(&self) -> &[(RuleId, PatternError)] {
+        &self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClassId, RelationId};
+
+    fn r(i: u32) -> RelationId {
+        RelationId(i)
+    }
+    fn c(i: u32) -> ClassId {
+        ClassId(i)
+    }
+    fn head() -> Atom {
+        Atom::new(r(0), Var::X, Var::Y)
+    }
+
+    fn l3(b1: Atom, b2: Atom) -> HornRule {
+        HornRule::length3(head(), b1, b2, c(1), c(2), c(3), 0.5)
+    }
+
+    #[test]
+    fn classifies_all_six_patterns() {
+        let cases = vec![
+            (
+                HornRule::length2(head(), Atom::new(r(1), Var::X, Var::Y), c(1), c(2), 1.0),
+                RulePattern::P1,
+            ),
+            (
+                HornRule::length2(head(), Atom::new(r(1), Var::Y, Var::X), c(1), c(2), 1.0),
+                RulePattern::P2,
+            ),
+            (
+                l3(Atom::new(r(1), Var::Z, Var::X), Atom::new(r(2), Var::Z, Var::Y)),
+                RulePattern::P3,
+            ),
+            (
+                l3(Atom::new(r(1), Var::X, Var::Z), Atom::new(r(2), Var::Z, Var::Y)),
+                RulePattern::P4,
+            ),
+            (
+                l3(Atom::new(r(1), Var::Z, Var::X), Atom::new(r(2), Var::Y, Var::Z)),
+                RulePattern::P5,
+            ),
+            (
+                l3(Atom::new(r(1), Var::X, Var::Z), Atom::new(r(2), Var::Y, Var::Z)),
+                RulePattern::P6,
+            ),
+        ];
+        for (rule, expected) in cases {
+            assert_eq!(classify(&rule).unwrap().pattern, expected);
+        }
+    }
+
+    #[test]
+    fn swapped_body_atoms_canonicalize() {
+        // P3 with atoms given in reverse order: q(z,y), r(z,x) — swapping
+        // yields r(z,x), q(z,y) which is P3 with the relations swapped.
+        let rule = l3(
+            Atom::new(r(9), Var::Z, Var::Y),
+            Atom::new(r(8), Var::Z, Var::X),
+        );
+        let c = classify(&rule).unwrap();
+        assert_eq!(c.pattern, RulePattern::P3);
+        assert_eq!(c.body[0].rel, r(8)); // canonical q mentions x
+        assert_eq!(c.body[1].rel, r(9));
+    }
+
+    #[test]
+    fn rejects_bad_head_and_layout() {
+        let bad_head = HornRule::length2(
+            Atom::new(r(0), Var::Y, Var::X),
+            Atom::new(r(1), Var::X, Var::Y),
+            c(1),
+            c(2),
+            1.0,
+        );
+        assert_eq!(classify(&bad_head), Err(PatternError::HeadNotXY));
+
+        // Body atom reusing x twice matches no pattern.
+        let weird = l3(
+            Atom::new(r(1), Var::X, Var::X),
+            Atom::new(r(2), Var::Z, Var::Y),
+        );
+        assert_eq!(classify(&weird), Err(PatternError::UnknownLayout));
+    }
+
+    #[test]
+    fn partitioning_counts_and_rejects() {
+        let rules = vec![
+            HornRule::length2(head(), Atom::new(r(1), Var::X, Var::Y), c(1), c(2), 1.0),
+            HornRule::length2(head(), Atom::new(r(2), Var::X, Var::Y), c(1), c(2), 1.0),
+            l3(Atom::new(r(1), Var::Z, Var::X), Atom::new(r(2), Var::Z, Var::Y)),
+            l3(Atom::new(r(1), Var::X, Var::X), Atom::new(r(2), Var::Z, Var::Y)),
+        ];
+        let part = Partitioning::build(&rules);
+        assert_eq!(part.rules_in(RulePattern::P1).len(), 2);
+        assert_eq!(part.rules_in(RulePattern::P3).len(), 1);
+        assert_eq!(part.k(), 2);
+        assert_eq!(part.total_rules(), 3);
+        assert_eq!(part.rejected().len(), 1);
+        assert_eq!(
+            part.non_empty_patterns(),
+            vec![RulePattern::P1, RulePattern::P3]
+        );
+    }
+
+    #[test]
+    fn pattern_metadata() {
+        assert_eq!(RulePattern::P1.arity(), 2);
+        assert_eq!(RulePattern::P5.arity(), 3);
+        assert_eq!(RulePattern::P4.index(), 4);
+        assert!(RulePattern::P6.to_string().contains("M6"));
+        let (first, second) = RulePattern::P5.body_layout();
+        assert_eq!(first, (Var::Z, Var::X));
+        assert_eq!(second, Some((Var::Y, Var::Z)));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the KB model: dictionaries, pattern classification,
+//! and text/JSON round-trips.
+
+use proptest::prelude::*;
+
+use probkb_kb::io::{from_json, to_json, to_text};
+use probkb_kb::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}"
+}
+
+proptest! {
+    /// Interning any sequence of names yields consistent, dense ids.
+    #[test]
+    fn dictionary_is_consistent(names in prop::collection::vec(arb_name(), 1..40)) {
+        let mut d = Dictionary::new();
+        let ids: Vec<u32> = names.iter().map(|n| d.intern(n)).collect();
+        // Same name → same id; resolve inverts intern.
+        for (name, &id) in names.iter().zip(ids.iter()) {
+            prop_assert_eq!(d.get(name), Some(id));
+            prop_assert_eq!(d.resolve(id), Some(name.as_str()));
+        }
+        // Ids are dense 0..len.
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        prop_assert_eq!(d.len(), distinct.len());
+        prop_assert!(ids.iter().all(|&i| (i as usize) < d.len()));
+    }
+
+    /// Every pattern's body layout classifies back to itself, for any
+    /// relation ids.
+    #[test]
+    fn patterns_roundtrip_classification(
+        r1 in 0u32..50,
+        r2 in 0u32..50,
+        r3 in 0u32..50,
+        weight in 0.01f64..5.0,
+    ) {
+        for pattern in RulePattern::ALL {
+            let head = Atom::new(RelationId(r1), Var::X, Var::Y);
+            let (l1, l2) = pattern.body_layout();
+            let rule = match l2 {
+                None => HornRule::length2(
+                    head,
+                    Atom::new(RelationId(r2), l1.0, l1.1),
+                    ClassId(0),
+                    ClassId(1),
+                    weight,
+                ),
+                Some(l2) => HornRule::length3(
+                    head,
+                    Atom::new(RelationId(r2), l1.0, l1.1),
+                    Atom::new(RelationId(r3), l2.0, l2.1),
+                    ClassId(0),
+                    ClassId(1),
+                    ClassId(2),
+                    weight,
+                ),
+            };
+            let classified = classify(&rule).unwrap();
+            prop_assert_eq!(classified.pattern, pattern);
+        }
+    }
+
+    /// Random fact sets round-trip through the text format.
+    #[test]
+    fn facts_roundtrip_text(
+        facts in prop::collection::vec(
+            (arb_name(), arb_name(), arb_name(), arb_name(), arb_name(), 0.01f64..2.0),
+            1..25,
+        ),
+    ) {
+        let mut b = ProbKb::builder();
+        for (rel, x, cx, y, cy, w) in &facts {
+            b.fact(*w, rel, (x, cx), (y, cy));
+        }
+        let kb = b.build();
+        let back = parse(&to_text(&kb)).unwrap().build();
+        prop_assert_eq!(back.stats(), kb.stats());
+        let strings = |k: &ProbKb| {
+            let mut v: Vec<String> = k.facts.iter().map(|f| k.fact_to_string(f)).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(strings(&back), strings(&kb));
+        prop_assert!(back.validate().is_empty());
+    }
+
+    /// JSON snapshots are exact for any built KB.
+    #[test]
+    fn kb_json_roundtrip(
+        facts in prop::collection::vec(
+            (arb_name(), arb_name(), arb_name(), 0.01f64..2.0),
+            0..15,
+        ),
+        degree in 1u32..4,
+    ) {
+        let mut b = ProbKb::builder();
+        for (rel, x, y, w) in &facts {
+            b.fact(*w, rel, (x, "C1"), (y, "C2"));
+        }
+        if let Some((rel, _, _, _)) = facts.first() {
+            b.functional(rel, Functionality::TypeI, degree);
+        }
+        let kb = b.build();
+        let back = from_json(&to_json(&kb)).unwrap();
+        prop_assert_eq!(back.stats(), kb.stats());
+        prop_assert_eq!(&back.facts, &kb.facts);
+        prop_assert_eq!(&back.constraints, &kb.constraints);
+    }
+
+    /// Membership via subclass chains is reflexive-transitive and agrees
+    /// with direct membership.
+    #[test]
+    fn subclass_chains(depth in 1usize..6) {
+        let mut b = ProbKb::builder();
+        for level in 0..depth {
+            b.subclass(&format!("C{level}"), &format!("C{}", level + 1));
+        }
+        b.entity_in("e", "C0");
+        let kb = b.build();
+        let e = EntityId(kb.entities.get("e").unwrap());
+        for level in 0..=depth {
+            let c = ClassId(kb.classes.get(&format!("C{level}")).unwrap());
+            prop_assert!(kb.is_member(e, c), "e should be in C{level}");
+            prop_assert!(kb.is_subclass(ClassId(kb.classes.get("C0").unwrap()), c));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The shared-nothing cluster: a master plus `S` segments, each with its
+//! own catalog slice.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use probkb_relational::catalog::Catalog;
+use probkb_relational::error::{Error, Result};
+use probkb_relational::prelude::{Row, Schema, Table, Value};
+
+use crate::distribution::{place_rows, DistPolicy};
+use crate::network::{MotionLog, NetworkModel};
+
+/// One shared-nothing segment: an id and a private catalog.
+#[derive(Debug)]
+pub struct Segment {
+    /// Segment id (0 is also the master).
+    pub id: usize,
+    /// The segment's private table slices.
+    pub catalog: Catalog,
+}
+
+/// A simulated MPP cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    segments: Vec<Segment>,
+    network: NetworkModel,
+    motions: MotionLog,
+    policies: RwLock<HashMap<String, DistPolicy>>,
+    schemas: RwLock<HashMap<String, Schema>>,
+}
+
+impl Cluster {
+    /// Create a cluster with `segments` segments and an interconnect model.
+    pub fn new(segments: usize, network: NetworkModel) -> Self {
+        assert!(segments > 0, "cluster needs at least one segment");
+        Cluster {
+            segments: (0..segments)
+                .map(|id| Segment {
+                    id,
+                    catalog: Catalog::new(),
+                })
+                .collect(),
+            network,
+            motions: MotionLog::new(),
+            policies: RwLock::new(HashMap::new()),
+            schemas: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The interconnect model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Motion telemetry accumulated by executions on this cluster.
+    pub fn motions(&self) -> &MotionLog {
+        &self.motions
+    }
+
+    /// The segments (read access for the executor).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Create a distributed table from a master-side table.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        table: Table,
+        policy: DistPolicy,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.policies.read().contains_key(&name) {
+            return Err(Error::AlreadyExists(name));
+        }
+        let schema = table.schema().clone();
+        let parts = place_rows(&table, &policy, self.num_segments());
+        for (segment, rows) in self.segments.iter().zip(parts) {
+            segment
+                .catalog
+                .create(&name, Table::from_rows_unchecked(schema.clone(), rows))?;
+        }
+        self.policies.write().insert(name.clone(), policy);
+        self.schemas.write().insert(name, schema);
+        Ok(())
+    }
+
+    /// Create or overwrite a distributed table.
+    pub fn create_or_replace_table(&self, name: impl Into<String>, table: Table, policy: DistPolicy) {
+        let name = name.into();
+        self.drop_table(&name);
+        self.create_table(name, table, policy)
+            .expect("fresh name cannot collide");
+    }
+
+    /// Drop a distributed table everywhere; true if it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        let existed = self.policies.write().remove(name).is_some();
+        self.schemas.write().remove(name);
+        for segment in &self.segments {
+            segment.catalog.drop_table(name);
+        }
+        existed
+    }
+
+    /// True if a distributed table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.policies.read().contains_key(name)
+    }
+
+    /// Names of all distributed tables, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.policies.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A table's distribution policy.
+    pub fn policy_of(&self, name: &str) -> Result<DistPolicy> {
+        self.policies
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// A table's schema.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        self.schemas
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Per-segment snapshot of a table slice.
+    pub fn slice(&self, segment: usize, name: &str) -> Result<Arc<Table>> {
+        self.segments[segment].catalog.get(name)
+    }
+
+    /// Pull every slice to the master, reassembling the logical table.
+    /// Replicated tables return a single copy.
+    pub fn gather_table(&self, name: &str) -> Result<Table> {
+        let schema = self.schema_of(name)?;
+        let policy = self.policy_of(name)?;
+        if policy == DistPolicy::Replicated {
+            return Ok((*self.slice(0, name)?).clone());
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        for segment in &self.segments {
+            rows.extend(segment.catalog.get(name)?.rows().iter().cloned());
+        }
+        Ok(Table::from_rows_unchecked(schema, rows))
+    }
+
+    /// Logical row count (replicated tables count one copy).
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        if self.policy_of(name)? == DistPolicy::Replicated {
+            return Ok(self.slice(0, name)?.len());
+        }
+        let mut n = 0;
+        for segment in &self.segments {
+            n += segment.catalog.row_count(name)?;
+        }
+        Ok(n)
+    }
+
+    /// Insert rows, routing each to its segment per the table's policy.
+    pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let policy = self.policy_of(name)?;
+        let n = rows.len();
+        let staged =
+            place_rows(
+                &Table::from_rows_unchecked(self.schema_of(name)?, rows),
+                &policy,
+                self.num_segments(),
+            );
+        for (segment, part) in self.segments.iter().zip(staged) {
+            segment.catalog.insert_rows_unchecked(name, part)?;
+        }
+        Ok(n)
+    }
+
+    /// Delete rows whose key over `cols` is in `keys`, on every segment.
+    pub fn delete_matching(
+        &self,
+        name: &str,
+        cols: &[usize],
+        keys: &HashSet<Vec<Value>>,
+    ) -> Result<usize> {
+        let mut removed = 0;
+        for segment in &self.segments {
+            removed += segment.catalog.delete_matching(name, cols, keys)?;
+        }
+        if self.policy_of(name)? == DistPolicy::Replicated {
+            removed /= self.num_segments().max(1);
+        }
+        Ok(removed)
+    }
+
+    /// Deduplicate a table over `cols`.
+    ///
+    /// When the table is hash-distributed by a subset of `cols` (or
+    /// replicated), duplicates are collocated and dedup runs segment-local.
+    /// Otherwise the table is gathered, deduplicated, and redistributed —
+    /// exactly the data-shipping penalty §4.4 is about avoiding.
+    pub fn dedup(&self, name: &str, cols: &[usize]) -> Result<usize> {
+        let policy = self.policy_of(name)?;
+        let local_ok = match &policy {
+            DistPolicy::Replicated => true,
+            DistPolicy::Hash(keys) => keys.iter().all(|k| cols.contains(k)),
+            DistPolicy::MasterOnly => true,
+            DistPolicy::RoundRobin => false,
+        };
+        if local_ok {
+            let mut removed = 0;
+            for segment in &self.segments {
+                removed += segment.catalog.dedup_table(name, cols)?;
+            }
+            if policy == DistPolicy::Replicated {
+                removed /= self.num_segments().max(1);
+            }
+            return Ok(removed);
+        }
+        let mut gathered = self.gather_table(name)?;
+        let before = gathered.len();
+        gathered.dedup_by_cols(cols);
+        let removed = before - gathered.len();
+        self.create_or_replace_table(name, gathered, policy);
+        Ok(removed)
+    }
+
+    /// The skew of a table: max segment slice / mean slice size. 1.0 is a
+    /// perfect balance; large values mean a hot segment throttles
+    /// parallelism.
+    pub fn skew(&self, name: &str) -> Result<f64> {
+        let mut sizes = Vec::with_capacity(self.num_segments());
+        for segment in &self.segments {
+            sizes.push(segment.catalog.row_count(name)? as f64);
+        }
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        if mean == 0.0 {
+            return Ok(1.0);
+        }
+        Ok(max / mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::segment_for;
+
+    fn keyed_table(n: i64) -> Table {
+        Table::from_rows_unchecked(
+            Schema::ints(&["k", "v"]),
+            (0..n).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect(),
+        )
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(4, NetworkModel::free())
+    }
+
+    #[test]
+    fn create_and_gather_roundtrip() {
+        let c = cluster();
+        c.create_table("t", keyed_table(50), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        assert_eq!(c.row_count("t").unwrap(), 50);
+        let mut gathered = c.gather_table("t").unwrap();
+        gathered.sort_by_cols(&[1]);
+        assert_eq!(gathered.len(), 50);
+        assert_eq!(gathered.rows()[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn duplicate_create_rejected_and_drop_works() {
+        let c = cluster();
+        c.create_table("t", keyed_table(5), DistPolicy::RoundRobin)
+            .unwrap();
+        assert!(c.create_table("t", keyed_table(5), DistPolicy::RoundRobin).is_err());
+        assert!(c.drop_table("t"));
+        assert!(!c.contains("t"));
+        assert!(!c.drop_table("t"));
+    }
+
+    #[test]
+    fn replicated_row_count_counts_once() {
+        let c = cluster();
+        c.create_table("r", keyed_table(10), DistPolicy::Replicated)
+            .unwrap();
+        assert_eq!(c.row_count("r").unwrap(), 10);
+        assert_eq!(c.gather_table("r").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn insert_routes_by_policy() {
+        let c = cluster();
+        c.create_table("t", keyed_table(0), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        c.insert_rows("t", vec![vec![Value::Int(3), Value::Int(99)]])
+            .unwrap();
+        assert_eq!(c.row_count("t").unwrap(), 1);
+        // The row landed on the segment its key hashes to.
+        let expected_seg = segment_for(&vec![Value::Int(3), Value::Int(99)], &[0], 4);
+        assert_eq!(c.slice(expected_seg, "t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_matching_spans_segments() {
+        let c = cluster();
+        c.create_table("t", keyed_table(50), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        let mut keys = HashSet::new();
+        keys.insert(vec![Value::Int(2)]);
+        let removed = c.delete_matching("t", &[0], &keys).unwrap();
+        assert_eq!(removed, 10);
+        assert_eq!(c.row_count("t").unwrap(), 40);
+    }
+
+    #[test]
+    fn dedup_local_when_collocated() {
+        let c = cluster();
+        let mut t = keyed_table(20);
+        let dup = t.rows()[0].clone();
+        t.push_unchecked(dup);
+        c.create_table("t", t, DistPolicy::Hash(vec![0])).unwrap();
+        let removed = c.dedup("t", &[0, 1]).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(c.row_count("t").unwrap(), 20);
+    }
+
+    #[test]
+    fn dedup_via_gather_when_not_collocated() {
+        let c = cluster();
+        let mut t = keyed_table(8);
+        let dup = t.rows()[3].clone();
+        t.push_unchecked(dup);
+        // RoundRobin puts duplicates on different segments.
+        c.create_table("t", t, DistPolicy::RoundRobin).unwrap();
+        let removed = c.dedup("t", &[0, 1]).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(c.row_count("t").unwrap(), 8);
+        // Policy preserved.
+        assert_eq!(c.policy_of("t").unwrap(), DistPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn skew_reports_balance() {
+        let c = cluster();
+        c.create_table("t", keyed_table(1000), DistPolicy::RoundRobin)
+            .unwrap();
+        let s = c.skew("t").unwrap();
+        assert!((0.9..1.1).contains(&s), "round robin should balance, got {s}");
+        // A constant key piles everything on one segment.
+        let skewed = Table::from_rows_unchecked(
+            Schema::ints(&["k"]),
+            (0..100).map(|_| vec![Value::Int(7)]).collect(),
+        );
+        c.create_table("s", skewed, DistPolicy::Hash(vec![0])).unwrap();
+        assert!(c.skew("s").unwrap() > 3.0);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = cluster();
+        assert!(c.gather_table("nope").is_err());
+        assert!(c.policy_of("nope").is_err());
+        assert!(c.row_count("nope").is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! Distributed query plans with explicit motion nodes.
+//!
+//! Unlike Greenplum, the simulator does not auto-plan motions: the caller
+//! (ProbKB's query rewriter, §4.4) places `Redistribute`/`Broadcast`
+//! explicitly, which is precisely the optimization the paper studies —
+//! rewriting the grounding joins to run against replicas whose distribution
+//! keys already match the join keys, so fewer/cheaper motions are needed.
+
+use probkb_relational::expr::Expr;
+use probkb_relational::plan::{AggExpr, JoinKind, Plan};
+use probkb_relational::prelude::{Result, Schema, Table};
+
+/// A distributed plan node. Compute nodes run independently on every
+/// segment; motion nodes move rows across segments.
+#[derive(Debug, Clone)]
+pub enum DPlan {
+    /// Scan a distributed table's local slice on each segment.
+    Scan {
+        /// Distributed table name.
+        table: String,
+    },
+    /// An inline table materialized on the master (segment 0) only.
+    Values {
+        /// The inlined rows.
+        table: Table,
+    },
+    /// Segment-local filter.
+    Filter {
+        /// Input plan.
+        input: Box<DPlan>,
+        /// Row predicate.
+        predicate: Expr,
+    },
+    /// Segment-local projection.
+    Project {
+        /// Input plan.
+        input: Box<DPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Segment-local hash join. Only correct when both inputs are
+    /// collocated on the join keys — that is the invariant the motion
+    /// nodes (or the table distribution policies) must establish.
+    HashJoin {
+        /// Left input.
+        left: Box<DPlan>,
+        /// Right input.
+        right: Box<DPlan>,
+        /// Left key columns.
+        left_keys: Vec<usize>,
+        /// Right key columns.
+        right_keys: Vec<usize>,
+        /// Join flavour.
+        kind: JoinKind,
+    },
+    /// Segment-local grouped aggregation (caller ensures collocation on the
+    /// grouping key, or gathers first).
+    Aggregate {
+        /// Input plan.
+        input: Box<DPlan>,
+        /// Grouping key columns.
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Segment-local duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<DPlan>,
+    },
+    /// Bag union, segment-wise.
+    UnionAll {
+        /// Left input.
+        left: Box<DPlan>,
+        /// Right input.
+        right: Box<DPlan>,
+    },
+    /// Hash-redistribute rows so equal keys land on the same segment.
+    Redistribute {
+        /// Input plan.
+        input: Box<DPlan>,
+        /// Key columns of the *input's* output schema.
+        keys: Vec<usize>,
+    },
+    /// Replicate the whole input to every segment.
+    Broadcast {
+        /// Input plan.
+        input: Box<DPlan>,
+    },
+    /// Collect all rows on the master (segment 0).
+    Gather {
+        /// Input plan.
+        input: Box<DPlan>,
+    },
+}
+
+impl DPlan {
+    /// Scan a distributed table.
+    pub fn scan(table: impl Into<String>) -> DPlan {
+        DPlan::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Inline a master-only table.
+    pub fn values(table: Table) -> DPlan {
+        DPlan::Values { table }
+    }
+
+    /// Apply a filter.
+    pub fn filter(self, predicate: Expr) -> DPlan {
+        DPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Apply a projection.
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> DPlan {
+        DPlan::Project {
+            input: Box::new(self),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Inner collocated hash join.
+    pub fn hash_join(self, right: DPlan, left_keys: Vec<usize>, right_keys: Vec<usize>) -> DPlan {
+        self.join(right, left_keys, right_keys, JoinKind::Inner)
+    }
+
+    /// Collocated hash join of any kind.
+    pub fn join(
+        self,
+        right: DPlan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+    ) -> DPlan {
+        DPlan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            kind,
+        }
+    }
+
+    /// Segment-local aggregation.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> DPlan {
+        DPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Segment-local duplicate elimination.
+    pub fn distinct(self) -> DPlan {
+        DPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Bag union.
+    pub fn union_all(self, right: DPlan) -> DPlan {
+        DPlan::UnionAll {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Redistribute by key columns.
+    pub fn redistribute(self, keys: Vec<usize>) -> DPlan {
+        DPlan::Redistribute {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Broadcast to all segments.
+    pub fn broadcast(self) -> DPlan {
+        DPlan::Broadcast {
+            input: Box::new(self),
+        }
+    }
+
+    /// Gather onto the master.
+    pub fn gather(self) -> DPlan {
+        DPlan::Gather {
+            input: Box::new(self),
+        }
+    }
+
+    /// The equivalent single-node plan *shape*, used for schema inference:
+    /// motions are transparent to the logical schema.
+    pub fn shape(&self) -> Plan {
+        match self {
+            DPlan::Scan { table } => Plan::scan(table.clone()),
+            DPlan::Values { table } => Plan::values(table.clone()),
+            DPlan::Filter { input, predicate } => input.shape().filter(predicate.clone()),
+            DPlan::Project { input, exprs } => Plan::Project {
+                input: Box::new(input.shape()),
+                exprs: exprs.clone(),
+            },
+            DPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => left.shape().join(
+                right.shape(),
+                left_keys.clone(),
+                right_keys.clone(),
+                *kind,
+            ),
+            DPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => input.shape().aggregate(group_by.clone(), aggs.clone()),
+            DPlan::Distinct { input } => input.shape().distinct(),
+            DPlan::UnionAll { left, right } => left.shape().union_all(right.shape()),
+            DPlan::Redistribute { input, .. }
+            | DPlan::Broadcast { input }
+            | DPlan::Gather { input } => input.shape(),
+        }
+    }
+
+    /// Output schema given a scan resolver.
+    pub fn schema(&self, lookup: &dyn Fn(&str) -> Result<Schema>) -> Result<Schema> {
+        self.shape().schema(lookup)
+    }
+
+    /// One-line description for EXPLAIN.
+    pub fn describe(&self) -> String {
+        match self {
+            DPlan::Redistribute { keys, .. } => {
+                format!("Redistribute Motion by {keys:?}")
+            }
+            DPlan::Broadcast { .. } => "Broadcast Motion".to_string(),
+            DPlan::Gather { .. } => "Gather Motion".to_string(),
+            other => other.shape_describe(),
+        }
+    }
+
+    fn shape_describe(&self) -> String {
+        match self {
+            DPlan::Scan { table } => format!("Seq Scan on {table}"),
+            DPlan::Values { table } => format!("Values ({} rows, master)", table.len()),
+            DPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            DPlan::Project { exprs, .. } => {
+                let list: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!("Project: {}", list.join(", "))
+            }
+            DPlan::HashJoin {
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => {
+                let kind = match kind {
+                    JoinKind::Inner => "Hash Join",
+                    JoinKind::LeftSemi => "Hash Semi Join",
+                    JoinKind::LeftAnti => "Hash Anti Join",
+                };
+                format!("{kind} on left{left_keys:?} = right{right_keys:?}")
+            }
+            DPlan::Aggregate { group_by, aggs, .. } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                format!("HashAggregate group_by={group_by:?} aggs={names:?}")
+            }
+            DPlan::Distinct { .. } => "HashDistinct".to_string(),
+            DPlan::UnionAll { .. } => "Append (UNION ALL)".to_string(),
+            DPlan::Redistribute { .. } | DPlan::Broadcast { .. } | DPlan::Gather { .. } => {
+                unreachable!("motions handled in describe()")
+            }
+        }
+    }
+
+    /// Children, for tree walks.
+    pub fn children(&self) -> Vec<&DPlan> {
+        match self {
+            DPlan::Scan { .. } | DPlan::Values { .. } => vec![],
+            DPlan::Filter { input, .. }
+            | DPlan::Project { input, .. }
+            | DPlan::Aggregate { input, .. }
+            | DPlan::Distinct { input }
+            | DPlan::Redistribute { input, .. }
+            | DPlan::Broadcast { input }
+            | DPlan::Gather { input } => vec![input],
+            DPlan::HashJoin { left, right, .. } | DPlan::UnionAll { left, right } => {
+                vec![left, right]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_relational::prelude::{Schema, Value};
+
+    #[test]
+    fn shape_strips_motions() {
+        let plan = DPlan::scan("t").redistribute(vec![0]).broadcast().gather();
+        match plan.shape() {
+            Plan::Scan { table } => assert_eq!(table, "t"),
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_passes_through_motions() {
+        let s = Schema::ints(&["a", "b"]);
+        let lookup = {
+            let s = s.clone();
+            move |_: &str| Ok(s.clone())
+        };
+        let plan = DPlan::scan("t").redistribute(vec![1]);
+        assert_eq!(plan.schema(&lookup).unwrap(), s);
+    }
+
+    #[test]
+    fn describe_names_motions() {
+        assert_eq!(
+            DPlan::scan("t").redistribute(vec![0]).describe(),
+            "Redistribute Motion by [0]"
+        );
+        assert_eq!(DPlan::scan("t").broadcast().describe(), "Broadcast Motion");
+        assert_eq!(DPlan::scan("t").gather().describe(), "Gather Motion");
+        assert!(DPlan::scan("t").describe().contains("Seq Scan"));
+    }
+
+    #[test]
+    fn children_counts() {
+        let join = DPlan::scan("a").hash_join(DPlan::scan("b"), vec![0], vec![0]);
+        assert_eq!(join.children().len(), 2);
+        assert_eq!(join.broadcast().children().len(), 1);
+        let t = Table::empty(Schema::ints(&["x"]));
+        assert!(DPlan::values(t).children().is_empty());
+        let _ = Value::Int(0);
+    }
+}

@@ -1,0 +1,541 @@
+//! The distributed executor: runs [`DPlan`]s across all segments in
+//! parallel (one OS thread per segment per operator, shared-nothing), and
+//! executes motion nodes with telemetry and simulated network cost.
+//!
+//! Per-segment batches are `Arc<Table>` so scans are zero-copy snapshots;
+//! only operators that genuinely produce new rows (and motions, which
+//! really do ship rows) allocate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use probkb_relational::error::{Error, Result};
+use probkb_relational::exec::{aggregate_table, hash_join};
+use probkb_relational::prelude::{Row, Schema, Table, Value};
+
+use crate::cluster::Cluster;
+use crate::distribution::segment_for;
+use crate::dplan::DPlan;
+use crate::network::{MotionKind, MotionRecord};
+
+/// Per-segment result slices.
+pub type Batches = Vec<Arc<Table>>;
+
+/// Per-node distributed execution statistics.
+#[derive(Debug, Clone)]
+pub struct DExecMetrics {
+    /// Operator description.
+    pub description: String,
+    /// Total rows produced across segments.
+    pub rows_out: usize,
+    /// Wall-clock time of the parallel region for this node (children
+    /// excluded).
+    pub elapsed: Duration,
+    /// Simulated interconnect time (motion nodes only; zero elsewhere).
+    pub net_simulated: Duration,
+    /// Rows shipped across segment boundaries (motion nodes only).
+    pub rows_shipped: usize,
+    /// Child metrics.
+    pub children: Vec<DExecMetrics>,
+}
+
+impl DExecMetrics {
+    /// Total reported time: measured compute plus simulated network,
+    /// including children.
+    pub fn total_reported(&self) -> Duration {
+        self.elapsed
+            + self.net_simulated
+            + self
+                .children
+                .iter()
+                .map(|c| c.total_reported())
+                .sum::<Duration>()
+    }
+
+    /// Total simulated network time, including children.
+    pub fn total_net_simulated(&self) -> Duration {
+        self.net_simulated
+            + self
+                .children
+                .iter()
+                .map(|c| c.total_net_simulated())
+                .sum::<Duration>()
+    }
+
+    /// Visit every node depth-first.
+    pub fn visit(&self, f: &mut dyn FnMut(&DExecMetrics, usize)) {
+        fn go(node: &DExecMetrics, depth: usize, f: &mut dyn FnMut(&DExecMetrics, usize)) {
+            f(node, depth);
+            for c in &node.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+}
+
+/// Executes distributed plans on a cluster.
+pub struct DExecutor<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> DExecutor<'a> {
+    /// Build an executor over a cluster.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        DExecutor { cluster }
+    }
+
+    /// Execute, returning per-segment result slices and metrics.
+    pub fn execute(&self, plan: &DPlan) -> Result<(Batches, DExecMetrics)> {
+        self.eval(plan)
+    }
+
+    /// Execute and concatenate all segment slices into one table.
+    pub fn execute_gathered(&self, plan: &DPlan) -> Result<(Table, DExecMetrics)> {
+        let (parts, metrics) = self.eval(plan)?;
+        let schema = self.plan_schema(plan)?;
+        let mut rows: Vec<Row> = Vec::new();
+        for part in parts {
+            match Arc::try_unwrap(part) {
+                Ok(table) => rows.extend(table.into_rows()),
+                Err(shared) => rows.extend(shared.rows().iter().cloned()),
+            }
+        }
+        Ok((Table::from_rows_unchecked(schema, rows), metrics))
+    }
+
+    fn plan_schema(&self, plan: &DPlan) -> Result<Schema> {
+        let lookup = |name: &str| self.cluster.schema_of(name);
+        plan.schema(&lookup)
+    }
+
+    fn eval(&self, plan: &DPlan) -> Result<(Batches, DExecMetrics)> {
+        let segs = self.cluster.num_segments();
+        match plan {
+            DPlan::Scan { table } => {
+                let start = Instant::now();
+                let mut parts = Vec::with_capacity(segs);
+                for i in 0..segs {
+                    parts.push(self.cluster.slice(i, table)?); // zero-copy snapshot
+                }
+                Ok(self.done(plan, parts, start.elapsed(), Duration::ZERO, 0, vec![]))
+            }
+            DPlan::Values { table } => {
+                let schema = table.schema().clone();
+                let mut parts = vec![Arc::new(table.clone())];
+                for _ in 1..segs {
+                    parts.push(Arc::new(Table::empty(schema.clone())));
+                }
+                Ok(self.done(plan, parts, Duration::ZERO, Duration::ZERO, 0, vec![]))
+            }
+            DPlan::Filter { input, predicate } => {
+                let (parts, child) = self.eval(input)?;
+                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
+                    let mut rows = Vec::new();
+                    for row in t.rows() {
+                        if predicate.eval(row)?.is_truthy() {
+                            rows.push(row.clone());
+                        }
+                    }
+                    Ok(Table::from_rows_unchecked(t.schema().clone(), rows))
+                })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+            }
+            DPlan::Project { input, exprs } => {
+                let schema = self.plan_schema(plan)?;
+                let (parts, child) = self.eval(input)?;
+                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
+                    let mut rows = Vec::with_capacity(t.len());
+                    for row in t.rows() {
+                        let mut r = Vec::with_capacity(exprs.len());
+                        for (e, _) in exprs {
+                            r.push(e.eval(row)?);
+                        }
+                        rows.push(r);
+                    }
+                    Ok(Table::from_rows_unchecked(schema.clone(), rows))
+                })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+            }
+            DPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
+                if left_keys.len() != right_keys.len() {
+                    return Err(Error::InvalidPlan(format!(
+                        "join key arity mismatch: {} vs {}",
+                        left_keys.len(),
+                        right_keys.len()
+                    )));
+                }
+                let (lparts, lm) = self.eval(left)?;
+                let (rparts, rm) = self.eval(right)?;
+                let (out, elapsed) = parallel_map2(&lparts, &rparts, &|_seg, l, r| {
+                    Ok(hash_join(l, r, left_keys, right_keys, *kind))
+                })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![lm, rm]))
+            }
+            DPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let schema = self.plan_schema(plan)?;
+                let (parts, child) = self.eval(input)?;
+                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
+                    aggregate_table(t, group_by, aggs, schema.clone())
+                })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+            }
+            DPlan::Distinct { input } => {
+                let (parts, child) = self.eval(input)?;
+                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
+                    let mut t = t.clone();
+                    t.dedup_rows();
+                    Ok(t)
+                })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+            }
+            DPlan::UnionAll { left, right } => {
+                let (lparts, lm) = self.eval(left)?;
+                let (rparts, rm) = self.eval(right)?;
+                if lparts[0].schema().width() != rparts[0].schema().width() {
+                    return Err(Error::InvalidPlan("UNION ALL width mismatch".into()));
+                }
+                let start = Instant::now();
+                let out: Batches = lparts
+                    .into_iter()
+                    .zip(rparts)
+                    .map(|(l, r)| {
+                        let mut l = unshare(l);
+                        l.extend_from(unshare(r));
+                        Arc::new(l)
+                    })
+                    .collect();
+                Ok(self.done(plan, out, start.elapsed(), Duration::ZERO, 0, vec![lm, rm]))
+            }
+            DPlan::Redistribute { input, keys } => {
+                let (parts, child) = self.eval(input)?;
+                let schema = self.plan_schema(input)?;
+                let start = Instant::now();
+                let mut buckets: Vec<Vec<Row>> = (0..segs).map(|_| Vec::new()).collect();
+                let mut rows_shipped = 0usize;
+                let mut bytes_shipped = 0usize;
+                for (src, part) in parts.into_iter().enumerate() {
+                    for row in unshare(part).into_rows() {
+                        let dest = segment_for(&row, keys, segs);
+                        if dest != src {
+                            rows_shipped += 1;
+                            bytes_shipped +=
+                                row.iter().map(Value::size_bytes).sum::<usize>();
+                        }
+                        buckets[dest].push(row);
+                    }
+                }
+                let out: Batches = buckets
+                    .into_iter()
+                    .map(|rows| Arc::new(Table::from_rows_unchecked(schema.clone(), rows)))
+                    .collect();
+                let simulated = self.record_motion(
+                    MotionKind::Redistribute,
+                    rows_shipped,
+                    bytes_shipped,
+                );
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+            }
+            DPlan::Broadcast { input } => {
+                let (parts, child) = self.eval(input)?;
+                let schema = self.plan_schema(input)?;
+                let start = Instant::now();
+                let mut all: Vec<Row> = Vec::new();
+                for part in parts {
+                    all.extend(part.rows().iter().cloned());
+                }
+                let copies = segs.saturating_sub(1);
+                let rows_shipped = all.len() * copies;
+                let bytes_shipped = all
+                    .iter()
+                    .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+                    .sum::<usize>()
+                    * copies;
+                // One shared copy per segment models the replicated table;
+                // each segment reads the same physical rows here, but the
+                // simulated network already charged the real shipping.
+                let replica = Arc::new(Table::from_rows_unchecked(schema, all));
+                let out: Batches = (0..segs).map(|_| Arc::clone(&replica)).collect();
+                let simulated =
+                    self.record_motion(MotionKind::Broadcast, rows_shipped, bytes_shipped);
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+            }
+            DPlan::Gather { input } => {
+                let (parts, child) = self.eval(input)?;
+                let schema = self.plan_schema(input)?;
+                let start = Instant::now();
+                let mut rows_shipped = 0usize;
+                let mut bytes_shipped = 0usize;
+                let mut master: Vec<Row> = Vec::new();
+                for (src, part) in parts.into_iter().enumerate() {
+                    if src != 0 {
+                        rows_shipped += part.len();
+                        bytes_shipped += part.size_bytes();
+                    }
+                    master.extend(unshare(part).into_rows());
+                }
+                let mut out: Batches =
+                    vec![Arc::new(Table::from_rows_unchecked(schema.clone(), master))];
+                for _ in 1..segs {
+                    out.push(Arc::new(Table::empty(schema.clone())));
+                }
+                let simulated =
+                    self.record_motion(MotionKind::Gather, rows_shipped, bytes_shipped);
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+            }
+        }
+    }
+
+    fn record_motion(&self, kind: MotionKind, rows: usize, bytes: usize) -> Duration {
+        let simulated = self.cluster.network().cost(bytes);
+        self.cluster.motions().record(MotionRecord {
+            kind,
+            rows_shipped: rows,
+            bytes_shipped: bytes,
+            simulated,
+        });
+        simulated
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn done(
+        &self,
+        plan: &DPlan,
+        parts: Batches,
+        elapsed: Duration,
+        net_simulated: Duration,
+        rows_shipped: usize,
+        children: Vec<DExecMetrics>,
+    ) -> (Batches, DExecMetrics) {
+        let rows_out = parts.iter().map(|t| t.len()).sum();
+        let metrics = DExecMetrics {
+            description: plan.describe(),
+            rows_out,
+            elapsed,
+            net_simulated,
+            rows_shipped,
+            children,
+        };
+        (parts, metrics)
+    }
+}
+
+/// Take ownership of a batch, cloning only when it is still shared (e.g. a
+/// scan snapshot that the catalog also holds).
+fn unshare(part: Arc<Table>) -> Table {
+    Arc::try_unwrap(part).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// Run `f` on each segment slice in parallel; returns outputs and the
+/// wall-clock time of the parallel region.
+fn parallel_map(
+    parts: &[Arc<Table>],
+    f: &(dyn Fn(usize, &Table) -> Result<Table> + Sync),
+) -> Result<(Batches, Duration)> {
+    let start = Instant::now();
+    let mut results: Vec<Result<Table>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| s.spawn(move || f(i, t)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("segment thread panicked"));
+        }
+    });
+    let tables = results
+        .into_iter()
+        .map(|r| r.map(Arc::new))
+        .collect::<Result<Batches>>()?;
+    Ok((tables, start.elapsed()))
+}
+
+/// Binary variant of [`parallel_map`] for joins and unions.
+fn parallel_map2(
+    left: &[Arc<Table>],
+    right: &[Arc<Table>],
+    f: &(dyn Fn(usize, &Table, &Table) -> Result<Table> + Sync),
+) -> Result<(Batches, Duration)> {
+    let start = Instant::now();
+    let mut results: Vec<Result<Table>> = Vec::with_capacity(left.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = left
+            .iter()
+            .zip(right.iter())
+            .enumerate()
+            .map(|(i, (l, r))| s.spawn(move || f(i, l, r)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("segment thread panicked"));
+        }
+    });
+    let tables = results
+        .into_iter()
+        .map(|r| r.map(Arc::new))
+        .collect::<Result<Batches>>()?;
+    Ok((tables, start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistPolicy;
+    use crate::network::NetworkModel;
+    use probkb_relational::expr::Expr;
+    use probkb_relational::plan::{AggExpr, AggFunc};
+    use probkb_relational::prelude::Schema;
+
+    fn keyed(n: i64, modk: i64) -> Table {
+        Table::from_rows_unchecked(
+            Schema::ints(&["k", "v"]),
+            (0..n).map(|i| vec![Value::Int(i % modk), Value::Int(i)]).collect(),
+        )
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(4, NetworkModel::free())
+    }
+
+    #[test]
+    fn scan_returns_slices_summing_to_table() {
+        let c = cluster();
+        c.create_table("t", keyed(40, 8), DistPolicy::Hash(vec![0])).unwrap();
+        let (parts, m) = DExecutor::new(&c).execute(&DPlan::scan("t")).unwrap();
+        assert_eq!(parts.iter().map(|t| t.len()).sum::<usize>(), 40);
+        assert_eq!(m.rows_out, 40);
+    }
+
+    #[test]
+    fn collocated_self_join_matches_single_node() {
+        let c = cluster();
+        c.create_table("t", keyed(60, 6), DistPolicy::Hash(vec![0])).unwrap();
+        let plan = DPlan::scan("t").hash_join(DPlan::scan("t"), vec![0], vec![0]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        // Each key 0..6 appears 10 times → 100 pairs per key, 600 total.
+        assert_eq!(out.len(), 600);
+    }
+
+    #[test]
+    fn non_collocated_join_fixed_by_redistribute() {
+        let c = cluster();
+        c.create_table("a", keyed(30, 5), DistPolicy::RoundRobin).unwrap();
+        c.create_table("b", keyed(30, 5), DistPolicy::RoundRobin).unwrap();
+        let bad = DPlan::scan("a").hash_join(DPlan::scan("b"), vec![0], vec![0]);
+        let (bad_out, _) = DExecutor::new(&c).execute_gathered(&bad).unwrap();
+        let good = DPlan::scan("a")
+            .redistribute(vec![0])
+            .hash_join(DPlan::scan("b").redistribute(vec![0]), vec![0], vec![0]);
+        let (good_out, gm) = DExecutor::new(&c).execute_gathered(&good).unwrap();
+        assert_eq!(good_out.len(), 180); // 6×6 per key × 5 keys
+        assert!(bad_out.len() < good_out.len());
+        assert!(gm.total_net_simulated() == Duration::ZERO); // free network
+    }
+
+    #[test]
+    fn broadcast_replicates_small_side() {
+        let c = cluster();
+        c.create_table("big", keyed(100, 10), DistPolicy::RoundRobin).unwrap();
+        c.create_table("small", keyed(10, 10), DistPolicy::MasterOnly).unwrap();
+        let plan = DPlan::scan("big")
+            .hash_join(DPlan::scan("small").broadcast(), vec![0], vec![0]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(c.motions().rows_by_kind(MotionKind::Broadcast), 30); // 10 rows × 3 other segments
+    }
+
+    #[test]
+    fn broadcast_ships_more_than_redistribute() {
+        let c = Cluster::new(8, NetworkModel::gigabit());
+        c.create_table("t", keyed(1000, 50), DistPolicy::RoundRobin).unwrap();
+        let exec = DExecutor::new(&c);
+        exec.execute(&DPlan::scan("t").redistribute(vec![0])).unwrap();
+        let redist_rows = c.motions().rows_by_kind(MotionKind::Redistribute);
+        exec.execute(&DPlan::scan("t").broadcast()).unwrap();
+        let bcast_rows = c.motions().rows_by_kind(MotionKind::Broadcast);
+        assert!(
+            bcast_rows > 3 * redist_rows,
+            "broadcast {bcast_rows} should dwarf redistribute {redist_rows}"
+        );
+        assert!(c.motions().total_simulated() > Duration::ZERO);
+    }
+
+    #[test]
+    fn gather_concentrates_on_master() {
+        let c = cluster();
+        c.create_table("t", keyed(20, 4), DistPolicy::RoundRobin).unwrap();
+        let (parts, m) = DExecutor::new(&c).execute(&DPlan::scan("t").gather()).unwrap();
+        assert_eq!(parts[0].len(), 20);
+        assert!(parts[1..].iter().all(|p| p.is_empty()));
+        assert_eq!(m.rows_shipped, 15);
+    }
+
+    #[test]
+    fn filter_project_aggregate_distributed() {
+        let c = cluster();
+        c.create_table("t", keyed(100, 10), DistPolicy::Hash(vec![0])).unwrap();
+        let plan = DPlan::scan("t")
+            .filter(Expr::col(0).lt(Expr::lit(5i64)))
+            .project(vec![(Expr::col(0), "k")])
+            .aggregate(vec![0], vec![AggExpr::new(AggFunc::CountStar, "n")]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        assert_eq!(out.len(), 5);
+        for row in out.rows() {
+            assert_eq!(row[1], Value::Int(10));
+        }
+    }
+
+    #[test]
+    fn values_lives_on_master_until_broadcast() {
+        let c = cluster();
+        let inline = keyed(5, 5);
+        let (parts, _) = DExecutor::new(&c).execute(&DPlan::values(inline.clone())).unwrap();
+        assert_eq!(parts[0].len(), 5);
+        assert!(parts[1].is_empty());
+        let (parts, _) = DExecutor::new(&c)
+            .execute(&DPlan::values(inline).broadcast())
+            .unwrap();
+        assert!(parts.iter().all(|p| p.len() == 5));
+    }
+
+    #[test]
+    fn union_all_segmentwise() {
+        let c = cluster();
+        c.create_table("t", keyed(12, 3), DistPolicy::Hash(vec![0])).unwrap();
+        let plan = DPlan::scan("t").union_all(DPlan::scan("t"));
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        assert_eq!(out.len(), 24);
+    }
+
+    #[test]
+    fn metrics_totals_include_children() {
+        let c = cluster();
+        c.create_table("t", keyed(10, 2), DistPolicy::RoundRobin).unwrap();
+        let plan = DPlan::scan("t").redistribute(vec![0]).distinct();
+        let (_, m) = DExecutor::new(&c).execute(&plan).unwrap();
+        assert!(m.total_reported() >= m.elapsed);
+        let mut nodes = 0;
+        m.visit(&mut |_, _| nodes += 1);
+        assert_eq!(nodes, 3);
+    }
+
+    #[test]
+    fn scan_does_not_deep_copy() {
+        let c = cluster();
+        c.create_table("t", keyed(100, 10), DistPolicy::Hash(vec![0])).unwrap();
+        let (parts, _) = DExecutor::new(&c).execute(&DPlan::scan("t")).unwrap();
+        // The scan batch and the catalog snapshot are the same allocation.
+        let snapshot = c.slice(0, "t").unwrap();
+        assert!(Arc::ptr_eq(&parts[0], &snapshot));
+    }
+}

@@ -1,0 +1,192 @@
+//! The interconnect cost model and motion telemetry.
+//!
+//! Segments in the simulator live in one process, so shipping rows between
+//! them is nearly free; a real Greenplum cluster pays serialization and
+//! network transfer. The [`NetworkModel`] charges every motion a simulated
+//! cost (per-motion latency + per-byte transfer) which is reported next to
+//! the measured compute time. The *ratios* Figure 4 shows (broadcast ≫
+//! redistribute) come out of the model structurally: a broadcast ships
+//! `rows × segments`, a redistribute ships each row once.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Which kind of motion moved the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionKind {
+    /// Hash-redistribute rows by key to their owning segment.
+    Redistribute,
+    /// Replicate the full input to every segment.
+    Broadcast,
+    /// Collect all rows on the master (segment 0).
+    Gather,
+}
+
+impl MotionKind {
+    /// Display name matching Greenplum's plan nodes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MotionKind::Redistribute => "Redistribute Motion",
+            MotionKind::Broadcast => "Broadcast Motion",
+            MotionKind::Gather => "Gather Motion",
+        }
+    }
+}
+
+/// Cost model for the simulated interconnect.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Fixed setup cost charged once per motion operation.
+    pub latency: Duration,
+    /// Sustained per-segment-pair throughput in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// A model loosely calibrated to a 1 GbE interconnect, the class of
+    /// hardware in the paper's 2014 cluster.
+    pub fn gigabit() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(500),
+            bytes_per_sec: 125_000_000.0, // 1 Gb/s
+        }
+    }
+
+    /// A free network (isolates pure compute effects in tests).
+    pub fn free() -> Self {
+        NetworkModel {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Simulated time to ship `bytes` across the interconnect.
+    pub fn cost(&self, bytes: usize) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        let transfer = bytes as f64 / self.bytes_per_sec;
+        self.latency + Duration::from_secs_f64(transfer.max(0.0))
+    }
+}
+
+/// One motion's telemetry record.
+#[derive(Debug, Clone)]
+pub struct MotionRecord {
+    /// Kind of motion.
+    pub kind: MotionKind,
+    /// Rows shipped across segment boundaries (rows that stayed local are
+    /// not counted for redistribution).
+    pub rows_shipped: usize,
+    /// Bytes shipped.
+    pub bytes_shipped: usize,
+    /// Simulated network time charged by the model.
+    pub simulated: Duration,
+}
+
+/// Accumulates motion telemetry for a cluster.
+#[derive(Debug, Default)]
+pub struct MotionLog {
+    records: Mutex<Vec<MotionRecord>>,
+}
+
+impl MotionLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        MotionLog::default()
+    }
+
+    /// Record a motion.
+    pub fn record(&self, rec: MotionRecord) {
+        self.records.lock().push(rec);
+    }
+
+    /// Snapshot of all records so far.
+    pub fn snapshot(&self) -> Vec<MotionRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Clear the log.
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Total rows shipped.
+    pub fn total_rows(&self) -> usize {
+        self.records.lock().iter().map(|r| r.rows_shipped).sum()
+    }
+
+    /// Total bytes shipped.
+    pub fn total_bytes(&self) -> usize {
+        self.records.lock().iter().map(|r| r.bytes_shipped).sum()
+    }
+
+    /// Total simulated network time.
+    pub fn total_simulated(&self) -> Duration {
+        self.records.lock().iter().map(|r| r.simulated).sum()
+    }
+
+    /// Rows shipped per motion kind.
+    pub fn rows_by_kind(&self, kind: MotionKind) -> usize {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.rows_shipped)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_network_costs_nothing() {
+        let m = NetworkModel::free();
+        assert_eq!(m.cost(1_000_000), Duration::ZERO.max(m.cost(0)));
+        assert_eq!(m.cost(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn gigabit_cost_scales_with_bytes() {
+        let m = NetworkModel::gigabit();
+        let small = m.cost(1_000);
+        let big = m.cost(125_000_000); // one second of transfer
+        assert!(big > small);
+        assert!(big >= Duration::from_secs(1));
+        assert!(small >= m.latency);
+    }
+
+    #[test]
+    fn log_accumulates_and_filters() {
+        let log = MotionLog::new();
+        log.record(MotionRecord {
+            kind: MotionKind::Broadcast,
+            rows_shipped: 10,
+            bytes_shipped: 100,
+            simulated: Duration::from_millis(1),
+        });
+        log.record(MotionRecord {
+            kind: MotionKind::Redistribute,
+            rows_shipped: 5,
+            bytes_shipped: 50,
+            simulated: Duration::from_millis(2),
+        });
+        assert_eq!(log.total_rows(), 15);
+        assert_eq!(log.total_bytes(), 150);
+        assert_eq!(log.total_simulated(), Duration::from_millis(3));
+        assert_eq!(log.rows_by_kind(MotionKind::Broadcast), 10);
+        assert_eq!(log.snapshot().len(), 2);
+        log.clear();
+        assert_eq!(log.total_rows(), 0);
+    }
+
+    #[test]
+    fn motion_labels_match_greenplum() {
+        assert_eq!(MotionKind::Redistribute.label(), "Redistribute Motion");
+        assert_eq!(MotionKind::Broadcast.label(), "Broadcast Motion");
+        assert_eq!(MotionKind::Gather.label(), "Gather Motion");
+    }
+}

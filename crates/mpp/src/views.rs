@@ -1,0 +1,211 @@
+//! Redistributed materialized views (§4.4).
+//!
+//! ProbKB replicates the facts table `TΠ` under several hash-distribution
+//! keys so that every grounding join finds a replica already collocated on
+//! its join key. The grounding queries are then rewritten to scan the
+//! matching replica, replacing an expensive Broadcast/Redistribute of the
+//! large facts table with (at most) a motion of the small rules table.
+
+use probkb_relational::error::{Error, Result};
+use probkb_relational::prelude::Table;
+
+use crate::cluster::Cluster;
+use crate::distribution::DistPolicy;
+
+/// A set of materialized replicas of one base table, each hash-distributed
+/// by a different key.
+#[derive(Debug, Clone)]
+pub struct RedistributedViews {
+    base: String,
+    keys: Vec<Vec<usize>>,
+}
+
+impl RedistributedViews {
+    /// Declare views of `base` with the given distribution key sets.
+    /// Nothing is materialized until [`RedistributedViews::refresh`].
+    pub fn new(base: impl Into<String>, keys: Vec<Vec<usize>>) -> Self {
+        RedistributedViews {
+            base: base.into(),
+            keys,
+        }
+    }
+
+    /// The paper's four replicas of `TΠ(I, R, x, C1, y, C2, w)`:
+    /// `(R, C1, C2)`, `(R, C1, x, C2)`, `(R, C1, C2, y)`, and
+    /// `(R, C1, x, C2, y)`. Column positions follow Definition 4's layout.
+    pub fn paper_tpi_views(base: impl Into<String>) -> Self {
+        RedistributedViews::new(
+            base,
+            vec![
+                vec![1, 3, 5],       // (R, C1, C2)
+                vec![1, 3, 2, 5],    // (R, C1, x, C2)
+                vec![1, 3, 5, 4],    // (R, C1, C2, y)
+                vec![1, 3, 2, 5, 4], // (R, C1, x, C2, y)
+            ],
+        )
+    }
+
+    /// The base table name.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The view name for a key set.
+    pub fn view_name(&self, keys: &[usize]) -> String {
+        let suffix: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+        format!("{}__d{}", self.base, suffix.join("_"))
+    }
+
+    /// All view names, in declaration order.
+    pub fn view_names(&self) -> Vec<String> {
+        self.keys.iter().map(|k| self.view_name(k)).collect()
+    }
+
+    /// (Re)materialize every view from the current contents of the base
+    /// table. Returns the number of views refreshed.
+    pub fn refresh(&self, cluster: &Cluster) -> Result<usize> {
+        let base = cluster.gather_table(&self.base)?;
+        for keys in &self.keys {
+            let name = self.view_name(keys);
+            cluster.create_or_replace_table(
+                name,
+                base.clone(),
+                DistPolicy::Hash(keys.clone()),
+            );
+        }
+        Ok(self.keys.len())
+    }
+
+    /// Drop all views.
+    pub fn drop_all(&self, cluster: &Cluster) {
+        for keys in &self.keys {
+            cluster.drop_table(&self.view_name(keys));
+        }
+    }
+
+    /// Pick the replica whose distribution key is a subset of the join key
+    /// columns, preferring the *largest* matching key (tightest
+    /// collocation). Falls back to an error when no replica matches — the
+    /// caller should then redistribute explicitly.
+    pub fn pick(&self, join_keys: &[usize]) -> Result<String> {
+        let mut best: Option<&Vec<usize>> = None;
+        for keys in &self.keys {
+            if keys.iter().all(|k| join_keys.contains(k))
+                && best.is_none_or(|b| keys.len() > b.len()) {
+                    best = Some(keys);
+                }
+        }
+        best.map(|k| self.view_name(k)).ok_or_else(|| {
+            Error::InvalidPlan(format!(
+                "no replica of {} is collocated on join keys {join_keys:?}",
+                self.base
+            ))
+        })
+    }
+
+    /// Like [`RedistributedViews::pick`], but also returns the chosen
+    /// replica's distribution key columns (in hash order) so the caller
+    /// can redistribute the other join side compatibly.
+    pub fn pick_with_keys(&self, join_keys: &[usize]) -> Result<(String, Vec<usize>)> {
+        let name = self.pick(join_keys)?;
+        let keys = self
+            .keys
+            .iter()
+            .find(|k| self.view_name(k) == name)
+            .expect("picked view exists")
+            .clone();
+        Ok((name, keys))
+    }
+
+    /// Refresh views from an already-gathered copy of the base table
+    /// (avoids re-gathering when the caller just wrote it).
+    pub fn refresh_from(&self, cluster: &Cluster, base: &Table) -> usize {
+        for keys in &self.keys {
+            cluster.create_or_replace_table(
+                self.view_name(keys),
+                base.clone(),
+                DistPolicy::Hash(keys.clone()),
+            );
+        }
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkModel;
+    use probkb_relational::prelude::{Schema, Value};
+
+    fn cluster_with_base() -> Cluster {
+        let c = Cluster::new(4, NetworkModel::free());
+        let t = Table::from_rows_unchecked(
+            Schema::ints(&["i", "r", "x", "c1", "y", "c2"]),
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 3),
+                        Value::Int(i % 5),
+                        Value::Int(1),
+                        Value::Int(i % 7),
+                        Value::Int(2),
+                    ]
+                })
+                .collect(),
+        );
+        c.create_table("T", t, DistPolicy::RoundRobin).unwrap();
+        c
+    }
+
+    #[test]
+    fn refresh_materializes_all_views() {
+        let c = cluster_with_base();
+        let views = RedistributedViews::new("T", vec![vec![1], vec![1, 2]]);
+        assert_eq!(views.refresh(&c).unwrap(), 2);
+        assert!(c.contains("T__d1"));
+        assert!(c.contains("T__d1_2"));
+        assert_eq!(c.row_count("T__d1").unwrap(), 40);
+        assert_eq!(
+            c.policy_of("T__d1_2").unwrap(),
+            DistPolicy::Hash(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn pick_prefers_tightest_collocated_replica() {
+        let views = RedistributedViews::new("T", vec![vec![1], vec![1, 2], vec![3]]);
+        assert_eq!(views.pick(&[1, 2, 4]).unwrap(), "T__d1_2");
+        assert_eq!(views.pick(&[1]).unwrap(), "T__d1");
+        assert!(views.pick(&[4]).is_err());
+    }
+
+    #[test]
+    fn paper_views_cover_grounding_join_keys() {
+        let views = RedistributedViews::paper_tpi_views("TPi");
+        // Query 1-1 joins on (R, C1, C2) = columns (1, 3, 5).
+        assert_eq!(views.pick(&[1, 3, 5]).unwrap(), "TPi__d1_3_5");
+        // Query 1-3's second leg additionally matches entity x (column 2).
+        assert_eq!(views.pick(&[1, 3, 5, 2]).unwrap(), "TPi__d1_3_2_5");
+        // Full key (R, C1, x, C2, y).
+        assert_eq!(views.pick(&[1, 2, 3, 4, 5]).unwrap(), "TPi__d1_3_2_5_4");
+    }
+
+    #[test]
+    fn drop_all_removes_views() {
+        let c = cluster_with_base();
+        let views = RedistributedViews::new("T", vec![vec![1]]);
+        views.refresh(&c).unwrap();
+        views.drop_all(&c);
+        assert!(!c.contains("T__d1"));
+    }
+
+    #[test]
+    fn refresh_from_skips_gather() {
+        let c = cluster_with_base();
+        let base = c.gather_table("T").unwrap();
+        let views = RedistributedViews::new("T", vec![vec![2]]);
+        assert_eq!(views.refresh_from(&c, &base), 1);
+        assert_eq!(c.row_count("T__d2").unwrap(), 40);
+    }
+}

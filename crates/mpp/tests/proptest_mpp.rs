@@ -1,0 +1,126 @@
+//! Property tests: distributed execution must agree with single-node
+//! execution on the same logical data, for any placement.
+
+use proptest::prelude::*;
+
+use probkb_mpp::prelude::*;
+use probkb_relational::prelude::*;
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0i64..6, 2), 0..=max)
+}
+
+fn to_table(rows: &[Vec<i64>]) -> Table {
+    Table::from_rows_unchecked(
+        Schema::ints(&["k", "v"]),
+        rows.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect(),
+    )
+}
+
+fn sorted_ints(t: &Table) -> Vec<Vec<i64>> {
+    let mut out: Vec<Vec<i64>> = t
+        .rows()
+        .iter()
+        .map(|r| r.iter().map(|v| v.as_int().unwrap()).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    /// Gathering a hash-distributed table returns exactly the original rows.
+    #[test]
+    fn distribution_roundtrip(rows in arb_rows(60), segs in 1usize..6) {
+        let c = Cluster::new(segs, NetworkModel::free());
+        let t = to_table(&rows);
+        c.create_table("t", t.clone(), DistPolicy::Hash(vec![0])).unwrap();
+        let gathered = c.gather_table("t").unwrap();
+        prop_assert_eq!(sorted_ints(&gathered), sorted_ints(&t));
+    }
+
+    /// A join with both sides redistributed on the key equals the
+    /// single-node join, for any initial placement.
+    #[test]
+    fn redistributed_join_equals_single_node(
+        a in arb_rows(40),
+        b in arb_rows(40),
+        segs in 1usize..5,
+    ) {
+        // Single-node reference.
+        let cat = Catalog::new();
+        cat.create("a", to_table(&a)).unwrap();
+        cat.create("b", to_table(&b)).unwrap();
+        let reference = Executor::new(&cat)
+            .execute_table(&Plan::scan("a").hash_join(Plan::scan("b"), vec![0], vec![0]))
+            .unwrap();
+
+        // Distributed with awkward placement, fixed by motions.
+        let c = Cluster::new(segs, NetworkModel::free());
+        c.create_table("a", to_table(&a), DistPolicy::RoundRobin).unwrap();
+        c.create_table("b", to_table(&b), DistPolicy::RoundRobin).unwrap();
+        let plan = DPlan::scan("a")
+            .redistribute(vec![0])
+            .hash_join(DPlan::scan("b").redistribute(vec![0]), vec![0], vec![0]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        prop_assert_eq!(sorted_ints(&out), sorted_ints(&reference));
+    }
+
+    /// Broadcasting the right side also matches single-node joins.
+    #[test]
+    fn broadcast_join_equals_single_node(
+        a in arb_rows(40),
+        b in arb_rows(20),
+        segs in 1usize..5,
+    ) {
+        let cat = Catalog::new();
+        cat.create("a", to_table(&a)).unwrap();
+        cat.create("b", to_table(&b)).unwrap();
+        let reference = Executor::new(&cat)
+            .execute_table(&Plan::scan("a").hash_join(Plan::scan("b"), vec![0], vec![0]))
+            .unwrap();
+
+        let c = Cluster::new(segs, NetworkModel::free());
+        c.create_table("a", to_table(&a), DistPolicy::RoundRobin).unwrap();
+        c.create_table("b", to_table(&b), DistPolicy::RoundRobin).unwrap();
+        let plan = DPlan::scan("a")
+            .hash_join(DPlan::scan("b").broadcast(), vec![0], vec![0]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        prop_assert_eq!(sorted_ints(&out), sorted_ints(&reference));
+    }
+
+    /// Redistribute never ships more rows than exist, broadcast ships
+    /// exactly rows × (segments - 1).
+    #[test]
+    fn motion_volumes_bounded(rows in arb_rows(50), segs in 2usize..6) {
+        let c = Cluster::new(segs, NetworkModel::free());
+        let t = to_table(&rows);
+        c.create_table("t", t.clone(), DistPolicy::RoundRobin).unwrap();
+        let exec = DExecutor::new(&c);
+        exec.execute(&DPlan::scan("t").redistribute(vec![0])).unwrap();
+        let shipped = c.motions().rows_by_kind(MotionKind::Redistribute);
+        prop_assert!(shipped <= t.len());
+        c.motions().clear();
+        exec.execute(&DPlan::scan("t").broadcast()).unwrap();
+        prop_assert_eq!(
+            c.motions().rows_by_kind(MotionKind::Broadcast),
+            t.len() * (segs - 1)
+        );
+    }
+
+    /// Two-phase distributed count (local count + gather + re-sum) equals
+    /// the plain count.
+    #[test]
+    fn distributed_count_correct(rows in arb_rows(60), segs in 1usize..5) {
+        let c = Cluster::new(segs, NetworkModel::free());
+        let t = to_table(&rows);
+        c.create_table("t", t.clone(), DistPolicy::Hash(vec![0])).unwrap();
+        // Collocated on k, so segment-local group-by is exact.
+        let plan = DPlan::scan("t")
+            .aggregate(vec![0], vec![AggExpr::new(AggFunc::CountStar, "n")]);
+        let (out, _) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        let total: i64 = out.rows().iter().map(|r| r[1].as_int().unwrap()).sum();
+        prop_assert_eq!(total as usize, t.len());
+    }
+}

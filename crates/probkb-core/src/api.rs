@@ -1,0 +1,167 @@
+//! The high-level knowledge-expansion facade: pick a backend, ground a
+//! KB, and get decoded inferred facts back.
+
+use probkb_kb::prelude::{ClassId, EntityId, Fact, ProbKb, RelationId};
+use probkb_mpp::prelude::NetworkModel;
+use probkb_relational::prelude::{Result, Table};
+
+use crate::engine::GroundingEngine;
+use crate::grounding::{ground, GroundingConfig, GroundingOutcome};
+use crate::mpp_engine::{MppEngine, MppMode};
+use crate::relmodel::tpi;
+use crate::single_node::SingleNodeEngine;
+use crate::tuffy::TuffyEngine;
+
+/// Backend selection for [`expand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-node batch grounding (ProbKB on PostgreSQL).
+    SingleNode,
+    /// MPP batch grounding (ProbKB-p / ProbKB-pn on Greenplum).
+    Mpp {
+        /// Number of shared-nothing segments.
+        segments: usize,
+        /// With or without redistributed materialized views.
+        mode: MppMode,
+    },
+    /// The per-rule Tuffy-T baseline.
+    Tuffy,
+}
+
+/// Options for [`expand`].
+#[derive(Debug, Clone)]
+pub struct ExpandOptions {
+    /// Grounding configuration (iterations, constraints, guards).
+    pub config: GroundingConfig,
+    /// Which engine to run.
+    pub backend: Backend,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions {
+            config: GroundingConfig::default(),
+            backend: Backend::SingleNode,
+        }
+    }
+}
+
+/// The result of knowledge expansion.
+#[derive(Debug)]
+pub struct Expansion {
+    /// Raw grounding outcome (facts table, `TΦ`, report).
+    pub outcome: GroundingOutcome,
+    /// Inferred facts (weight-NULL `TΠ` rows), decoded to the KB model.
+    pub new_facts: Vec<Fact>,
+}
+
+impl Expansion {
+    /// Pretty-print the inferred facts against a KB's dictionaries.
+    pub fn describe_new_facts(&self, kb: &ProbKb) -> Vec<String> {
+        self.new_facts
+            .iter()
+            .map(|f| kb.fact_to_string(f))
+            .collect()
+    }
+}
+
+/// Decode `TΠ` rows with NULL weights back into [`Fact`]s.
+pub fn decode_inferred(facts: &Table) -> Vec<Fact> {
+    facts
+        .rows()
+        .iter()
+        .filter(|r| r[tpi::W].is_null())
+        .map(|r| {
+            Fact::inferred(
+                RelationId::from_i64(r[tpi::R].as_int().expect("R")),
+                EntityId::from_i64(r[tpi::X].as_int().expect("x")),
+                ClassId::from_i64(r[tpi::C1].as_int().expect("C1")),
+                EntityId::from_i64(r[tpi::Y].as_int().expect("y")),
+                ClassId::from_i64(r[tpi::C2].as_int().expect("C2")),
+            )
+        })
+        .collect()
+}
+
+/// Expand a knowledge base: run Algorithm 1 on the selected backend and
+/// decode the newly inferred facts.
+pub fn expand(kb: &ProbKb, options: &ExpandOptions) -> Result<Expansion> {
+    let outcome = match options.backend {
+        Backend::SingleNode => {
+            let mut engine = SingleNodeEngine::new();
+            ground(kb, &mut engine, &options.config)?
+        }
+        Backend::Mpp { segments, mode } => {
+            let mut engine = MppEngine::new(segments, NetworkModel::gigabit(), mode);
+            ground(kb, &mut engine, &options.config)?
+        }
+        Backend::Tuffy => {
+            let mut engine = TuffyEngine::new();
+            ground(kb, &mut engine, &options.config)?
+        }
+    };
+    let new_facts = decode_inferred(&outcome.facts);
+    Ok(Expansion { outcome, new_facts })
+}
+
+/// Expand with a caller-provided engine (custom cluster sizes, telemetry).
+pub fn expand_with(
+    kb: &ProbKb,
+    engine: &mut dyn GroundingEngine,
+    config: &GroundingConfig,
+) -> Result<Expansion> {
+    let outcome = ground(kb, engine, config)?;
+    let new_facts = decode_inferred(&outcome.facts);
+    Ok(Expansion { outcome, new_facts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+
+    fn kb() -> ProbKb {
+        parse(
+            r#"
+            fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+            rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+            "#,
+        )
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn expand_decodes_inferred_facts() {
+        let kb = kb();
+        let expansion = expand(&kb, &ExpandOptions::default()).unwrap();
+        assert_eq!(expansion.new_facts.len(), 1);
+        let described = expansion.describe_new_facts(&kb);
+        assert_eq!(described, vec!["live_in(Ruth_Gruber, New_York_City)"]);
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let kb = kb();
+        for backend in [
+            Backend::SingleNode,
+            Backend::Tuffy,
+            Backend::Mpp {
+                segments: 2,
+                mode: MppMode::Optimized,
+            },
+            Backend::Mpp {
+                segments: 2,
+                mode: MppMode::NoViews,
+            },
+        ] {
+            let options = ExpandOptions {
+                backend,
+                ..ExpandOptions::default()
+            };
+            let expansion = expand(&kb, &options).unwrap();
+            assert_eq!(expansion.new_facts.len(), 1, "{backend:?}");
+            assert_eq!(expansion.outcome.facts.len(), 2, "{backend:?}");
+        }
+    }
+}

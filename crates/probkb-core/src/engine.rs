@@ -1,0 +1,57 @@
+//! The [`GroundingEngine`] abstraction: the storage/execution backend
+//! Algorithm 1 drives. Three implementations exist — single-node
+//! ([`crate::single_node::SingleNodeEngine`], PostgreSQL-style), MPP
+//! ([`crate::mpp_engine::MppEngine`], Greenplum-style), and the per-rule
+//! Tuffy-T baseline ([`crate::tuffy::TuffyEngine`]).
+
+use std::collections::HashSet;
+
+use probkb_relational::prelude::{Result, Row, Table};
+
+use crate::relmodel::RelationalKb;
+
+/// A `(entity, class)` pair flagged by constraint checking.
+pub type ViolatorKey = (i64, i64);
+
+/// Backend operations Algorithm 1 needs. Implementations differ in *how*
+/// they store `TΠ`/`Mi` and execute the joins, not in semantics.
+pub trait GroundingEngine {
+    /// Engine name for reports ("ProbKB", "ProbKB-p", "Tuffy-T", ...).
+    fn name(&self) -> &str;
+
+    /// Load the relational KB (the bulkload column of Table 3).
+    fn load(&mut self, rel: &RelationalKb) -> Result<()>;
+
+    /// Run every `groundAtoms` query once (Algorithm 1 lines 3–4),
+    /// returning deduplicated candidate facts `(R, x, C1, y, C2)` and the
+    /// number of queries executed — the paper's `O(k)` vs `O(n)` metric.
+    fn ground_atoms(&mut self) -> Result<(Table, usize)>;
+
+    /// Append freshly inferred `TΠ` rows (ids already assigned by the
+    /// driver's [`crate::relmodel::FactRegistry`]).
+    fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize>;
+
+    /// Detect entities violating functional constraints (Query 3's
+    /// subquery), for both Type I and Type II.
+    fn find_violators(&mut self) -> Result<HashSet<ViolatorKey>>;
+
+    /// Delete every fact mentioning a violating `(entity, class)` pair on
+    /// either side (Query 3's DELETE; §5.2 removes ambiguous entities
+    /// entirely). Returns the number of facts removed.
+    fn delete_violators(&mut self, violators: &HashSet<ViolatorKey>) -> Result<usize>;
+
+    /// End-of-iteration hook: `redistribute(TΠ)` in Algorithm 1 line 7.
+    /// The MPP engine refreshes its redistributed materialized views here;
+    /// single-node engines do nothing.
+    fn redistribute(&mut self) -> Result<()>;
+
+    /// Run every `groundFactors` query plus the singleton factors
+    /// (Algorithm 1 lines 8–10), returning `TΦ` and the query count.
+    fn ground_factors(&mut self) -> Result<(Table, usize)>;
+
+    /// Current number of facts in `TΠ`.
+    fn fact_count(&self) -> Result<usize>;
+
+    /// A gathered snapshot of `TΠ`.
+    fn facts(&self) -> Result<Table>;
+}

@@ -1,0 +1,481 @@
+//! The MPP engine: ProbKB on "Greenplum" (§4.4).
+//!
+//! Two modes reproduce the paper's comparison:
+//!
+//! * [`MppMode::Optimized`] (ProbKB-p) — `TΠ` is replicated into four
+//!   redistributed materialized views keyed by the grounding join keys;
+//!   queries are rewritten to scan the collocated replica and only the
+//!   small rules table / intermediate result moves (Redistribute Motion).
+//! * [`MppMode::NoViews`] (ProbKB-pn) — `TΠ` is distributed by fact id
+//!   (no join-key affinity, like Greenplum's default); every join must
+//!   broadcast the non-`TΠ` side, including the growing intermediate
+//!   result — the expensive plan on the right of Figure 4.
+
+use std::collections::HashSet;
+
+use probkb_kb::prelude::RulePattern;
+use probkb_mpp::prelude::*;
+use probkb_relational::prelude::*;
+
+use crate::engine::{GroundingEngine, ViolatorKey};
+use crate::queries::{join_spec, JoinSpec};
+use crate::relmodel::{names, tomega, tphi_schema, tpi, RelationalKb};
+
+/// Physical design variants for the MPP engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MppMode {
+    /// ProbKB-p: redistributed materialized views + motion-minimizing
+    /// query rewrites.
+    Optimized,
+    /// ProbKB-pn: no views; broadcast-heavy plans.
+    NoViews,
+}
+
+/// The MPP grounding engine.
+pub struct MppEngine {
+    cluster: Cluster,
+    mode: MppMode,
+    patterns: Vec<RulePattern>,
+    views: RedistributedViews,
+}
+
+impl MppEngine {
+    /// Build an engine over a fresh cluster.
+    pub fn new(segments: usize, network: NetworkModel, mode: MppMode) -> Self {
+        MppEngine {
+            cluster: Cluster::new(segments, network),
+            mode,
+            patterns: Vec::new(),
+            views: RedistributedViews::paper_tpi_views(names::TPI),
+        }
+    }
+
+    /// The underlying cluster (motion telemetry, EXPLAIN).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The engine's mode.
+    pub fn mode(&self) -> MppMode {
+        self.mode
+    }
+
+    fn run_gathered(&self, plan: &DPlan) -> Result<Table> {
+        Ok(DExecutor::new(&self.cluster).execute_gathered(plan)?.0)
+    }
+
+    /// Permute `mid_keys` (paired positionally with `t_keys`) into the
+    /// order of `view_keys`, so redistributing the mid side by the result
+    /// hashes identically to the view's placement.
+    fn permute_mid_keys(mid_keys: &[usize], t_keys: &[usize], view_keys: &[usize]) -> Vec<usize> {
+        view_keys
+            .iter()
+            .map(|vk| {
+                let pos = t_keys
+                    .iter()
+                    .position(|tk| tk == vk)
+                    .expect("view key is a subset of the join keys");
+                mid_keys[pos]
+            })
+            .collect()
+    }
+
+    /// Build the distributed `groundAtoms` plan for one partition.
+    /// Public so the Figure 4 harness can EXPLAIN it.
+    pub fn ground_atoms_dplan(&self, pattern: RulePattern) -> Result<DPlan> {
+        let spec = join_spec(pattern);
+        let m_name = names::mln(pattern.index());
+        let plan = match self.mode {
+            MppMode::Optimized => {
+                let (view0, _) = self.views.pick_with_keys(&spec.t2_keys)?;
+                let mut plan = DPlan::scan(&m_name)
+                    .redistribute(spec.m_keys1.clone())
+                    .hash_join(
+                        DPlan::scan(view0),
+                        spec.m_keys1.clone(),
+                        spec.t2_keys.clone(),
+                    );
+                if spec.arity == 3 {
+                    let (view_x, view_keys) = self.views.pick_with_keys(&spec.t3_keys)?;
+                    let redist =
+                        Self::permute_mid_keys(&spec.mid_keys2, &spec.t3_keys, &view_keys);
+                    plan = plan.redistribute(redist).hash_join(
+                        DPlan::scan(view_x),
+                        spec.mid_keys2.clone(),
+                        spec.t3_keys.clone(),
+                    );
+                }
+                plan
+            }
+            MppMode::NoViews => {
+                let mut plan = DPlan::scan(&m_name).broadcast().hash_join(
+                    DPlan::scan(names::TPI),
+                    spec.m_keys1.clone(),
+                    spec.t2_keys.clone(),
+                );
+                if spec.arity == 3 {
+                    plan = plan.broadcast().hash_join(
+                        DPlan::scan(names::TPI),
+                        spec.mid_keys2.clone(),
+                        spec.t3_keys.clone(),
+                    );
+                }
+                plan
+            }
+        };
+        Ok(project_candidates(plan, &spec))
+    }
+
+    /// Build the distributed `groundFactors` plan for one partition.
+    pub fn ground_factors_dplan(&self, pattern: RulePattern) -> Result<DPlan> {
+        let spec = join_spec(pattern);
+        let m_name = names::mln(pattern.index());
+        let mut head_off = spec.m_width + 7;
+        let body = match self.mode {
+            MppMode::Optimized => {
+                let (view0, _) = self.views.pick_with_keys(&spec.t2_keys)?;
+                let mut plan = DPlan::scan(&m_name)
+                    .redistribute(spec.m_keys1.clone())
+                    .hash_join(
+                        DPlan::scan(view0),
+                        spec.m_keys1.clone(),
+                        spec.t2_keys.clone(),
+                    );
+                if spec.arity == 3 {
+                    let (view_x, view_keys) = self.views.pick_with_keys(&spec.t3_keys)?;
+                    let redist =
+                        Self::permute_mid_keys(&spec.mid_keys2, &spec.t3_keys, &view_keys);
+                    plan = plan.redistribute(redist).hash_join(
+                        DPlan::scan(view_x),
+                        spec.mid_keys2.clone(),
+                        spec.t3_keys.clone(),
+                    );
+                    head_off += 7;
+                }
+                let (view_h, hkeys) = self.views.pick_with_keys(&spec.head_keys_t)?;
+                let redist =
+                    Self::permute_mid_keys(&spec.head_keys_mid, &spec.head_keys_t, &hkeys);
+                plan.redistribute(redist).hash_join(
+                    DPlan::scan(view_h),
+                    spec.head_keys_mid.clone(),
+                    spec.head_keys_t.clone(),
+                )
+            }
+            MppMode::NoViews => {
+                let mut plan = DPlan::scan(&m_name).broadcast().hash_join(
+                    DPlan::scan(names::TPI),
+                    spec.m_keys1.clone(),
+                    spec.t2_keys.clone(),
+                );
+                if spec.arity == 3 {
+                    plan = plan.broadcast().hash_join(
+                        DPlan::scan(names::TPI),
+                        spec.mid_keys2.clone(),
+                        spec.t3_keys.clone(),
+                    );
+                    head_off += 7;
+                }
+                plan.broadcast().hash_join(
+                    DPlan::scan(names::TPI),
+                    spec.head_keys_mid.clone(),
+                    spec.head_keys_t.clone(),
+                )
+            }
+        };
+        let i3 = match spec.i3_col {
+            Some(c) => Expr::col(c),
+            None => Expr::lit(Value::Null),
+        };
+        Ok(body.project(vec![
+            (Expr::col(head_off + tpi::I), "I1"),
+            (Expr::col(spec.i2_col), "I2"),
+            (i3, "I3"),
+            (Expr::col(spec.w_col), "w"),
+        ]))
+    }
+}
+
+fn project_candidates(plan: DPlan, spec: &JoinSpec) -> DPlan {
+    plan.project(vec![
+        (Expr::col(0), "R"),
+        (Expr::col(spec.x_col), "x"),
+        (Expr::col(spec.c1_col), "C1"),
+        (Expr::col(spec.y_col), "y"),
+        (Expr::col(spec.c2_col), "C2"),
+    ])
+    .distinct() // segment-local pre-dedup; driver dedups globally
+}
+
+impl GroundingEngine for MppEngine {
+    fn name(&self) -> &str {
+        match self.mode {
+            MppMode::Optimized => "ProbKB-p",
+            MppMode::NoViews => "ProbKB-pn",
+        }
+    }
+
+    fn load(&mut self, rel: &RelationalKb) -> Result<()> {
+        // TΠ distributed by fact id — Greenplum's default first-column
+        // distribution, deliberately join-key-agnostic.
+        self.cluster.create_or_replace_table(
+            names::TPI,
+            rel.t_pi.clone(),
+            DistPolicy::Hash(vec![tpi::I]),
+        );
+        self.cluster.create_or_replace_table(
+            names::TOMEGA,
+            rel.t_omega.clone(),
+            DistPolicy::Replicated,
+        );
+        self.patterns.clear();
+        for (pattern, table) in &rel.mln {
+            self.cluster.create_or_replace_table(
+                names::mln(pattern.index()),
+                table.clone(),
+                DistPolicy::MasterOnly,
+            );
+            self.patterns.push(*pattern);
+        }
+        if self.mode == MppMode::Optimized {
+            self.views.refresh_from(&self.cluster, &rel.t_pi);
+        }
+        Ok(())
+    }
+
+    fn ground_atoms(&mut self) -> Result<(Table, usize)> {
+        let mut all = Table::empty(crate::relmodel::candidate_schema());
+        let mut queries = 0;
+        for pattern in self.patterns.clone() {
+            let plan = self.ground_atoms_dplan(pattern)?;
+            all.extend_from(self.run_gathered(&plan)?);
+            queries += 1;
+        }
+        all.dedup_rows();
+        Ok((all, queries))
+    }
+
+    fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize> {
+        // Incremental view maintenance: route the new rows into every
+        // replica as well — each view's hash policy places them on the
+        // right segment, so collocation is preserved without a full
+        // refresh.
+        if self.mode == MppMode::Optimized {
+            for view in self.views.view_names() {
+                self.cluster.insert_rows(&view, rows.clone())?;
+            }
+        }
+        self.cluster.insert_rows(names::TPI, rows)
+    }
+
+    fn find_violators(&mut self) -> Result<HashSet<ViolatorKey>> {
+        let mut violators = HashSet::new();
+        for alpha in [1i64, 2] {
+            let (key_entity, key_class, other_class) = if alpha == 1 {
+                (tpi::X, tpi::C1, tpi::C2)
+            } else {
+                (tpi::Y, tpi::C2, tpi::C1)
+            };
+            let deg_col = 7 + tomega::DEG;
+            let omega_c1 = 7 + tomega::C1;
+            let omega_c2 = 7 + tomega::C2;
+            let class_guard = |omega_col: usize, t_col: usize| {
+                Expr::col(omega_col)
+                    .is_null()
+                    .or(Expr::col(omega_col).eq(Expr::col(t_col)))
+            };
+            // TΩ is replicated, so the join is segment-local; redistribute
+            // by the grouping key so the aggregate is collocated too.
+            let plan = DPlan::scan(names::TPI)
+                .hash_join(
+                    DPlan::scan(names::TOMEGA)
+                        .filter(Expr::col(tomega::ALPHA).eq(Expr::lit(alpha))),
+                    vec![tpi::R],
+                    vec![tomega::R],
+                )
+                .filter(class_guard(omega_c1, tpi::C1).and(class_guard(omega_c2, tpi::C2)))
+                .redistribute(vec![tpi::R, key_entity, key_class, other_class])
+                .aggregate(
+                    vec![tpi::R, key_entity, key_class, other_class],
+                    vec![
+                        AggExpr::new(AggFunc::CountStar, "cnt"),
+                        AggExpr::new(AggFunc::Min(deg_col), "mindeg"),
+                    ],
+                )
+                .filter(Expr::col(4).gt(Expr::col(5)))
+                .project(vec![(Expr::col(1), "entity"), (Expr::col(2), "class")]);
+            for row in self.run_gathered(&plan)?.rows() {
+                violators.insert((
+                    row[0].as_int().expect("entity"),
+                    row[1].as_int().expect("class"),
+                ));
+            }
+        }
+        Ok(violators)
+    }
+
+    fn delete_violators(&mut self, violators: &HashSet<ViolatorKey>) -> Result<usize> {
+        if violators.is_empty() {
+            return Ok(0);
+        }
+        let keys: HashSet<Vec<Value>> = violators
+            .iter()
+            .map(|(e, c)| vec![Value::Int(*e), Value::Int(*c)])
+            .collect();
+        let subj = self
+            .cluster
+            .delete_matching(names::TPI, &[tpi::X, tpi::C1], &keys)?;
+        let obj = self
+            .cluster
+            .delete_matching(names::TPI, &[tpi::Y, tpi::C2], &keys)?;
+        if self.mode == MppMode::Optimized {
+            for view in self.views.view_names() {
+                self.cluster
+                    .delete_matching(&view, &[tpi::X, tpi::C1], &keys)?;
+                self.cluster
+                    .delete_matching(&view, &[tpi::Y, tpi::C2], &keys)?;
+            }
+        }
+        Ok(subj + obj)
+    }
+
+    fn redistribute(&mut self) -> Result<()> {
+        // Views are maintained incrementally by insert_facts /
+        // delete_violators, so the end-of-iteration redistribute is a
+        // no-op unless the views were never materialized.
+        if self.mode == MppMode::Optimized && !self.cluster.contains(&self.views.view_names()[0])
+        {
+            self.views.refresh(&self.cluster)?;
+        }
+        Ok(())
+    }
+
+    fn ground_factors(&mut self) -> Result<(Table, usize)> {
+        let mut phi = Table::empty(tphi_schema());
+        let mut queries = 0;
+        for pattern in self.patterns.clone() {
+            let plan = self.ground_factors_dplan(pattern)?;
+            phi.extend_from(self.run_gathered(&plan)?);
+            queries += 1;
+        }
+        // Singleton factors: a segment-local scan of TΠ.
+        let plan = DPlan::scan(names::TPI)
+            .filter(Expr::col(tpi::W).is_not_null())
+            .project(vec![
+                (Expr::col(tpi::I), "I1"),
+                (Expr::lit(Value::Null), "I2"),
+                (Expr::lit(Value::Null), "I3"),
+                (Expr::col(tpi::W), "w"),
+            ]);
+        phi.extend_from(self.run_gathered(&plan)?);
+        queries += 1;
+        Ok((phi, queries))
+    }
+
+    fn fact_count(&self) -> Result<usize> {
+        self.cluster.row_count(names::TPI)
+    }
+
+    fn facts(&self) -> Result<Table> {
+        let mut t = self.cluster.gather_table(names::TPI)?;
+        t.sort_by_cols(&[tpi::I]);
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounding::{ground, GroundingConfig};
+    use crate::single_node::SingleNodeEngine;
+    use probkb_kb::prelude::parse;
+
+    const TABLE1: &str = r#"
+        fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+        fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+        rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+        rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+        rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+        rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+        rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+        rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+        functional born_in 1 1
+    "#;
+
+    fn fact_keys(t: &Table) -> Vec<Vec<i64>> {
+        let mut k: Vec<Vec<i64>> = t
+            .rows()
+            .iter()
+            .map(|r| tpi::KEY.iter().map(|&c| r[c].as_int().unwrap()).collect())
+            .collect();
+        k.sort();
+        k
+    }
+
+    #[test]
+    fn both_mpp_modes_match_single_node() {
+        let kb = parse(TABLE1).unwrap().build();
+        let config = GroundingConfig::default();
+
+        let mut single = SingleNodeEngine::new();
+        let s = ground(&kb, &mut single, &config).unwrap();
+
+        for mode in [MppMode::Optimized, MppMode::NoViews] {
+            let mut mpp = MppEngine::new(4, NetworkModel::free(), mode);
+            let m = ground(&kb, &mut mpp, &config).unwrap();
+            assert_eq!(m.facts.len(), s.facts.len(), "{mode:?} fact count");
+            assert_eq!(fact_keys(&m.facts), fact_keys(&s.facts), "{mode:?} keys");
+            assert_eq!(m.factors.len(), s.factors.len(), "{mode:?} factors");
+        }
+    }
+
+    #[test]
+    fn optimized_mode_never_broadcasts() {
+        let kb = parse(TABLE1).unwrap().build();
+        let mut mpp = MppEngine::new(4, NetworkModel::gigabit(), MppMode::Optimized);
+        ground(&kb, &mut mpp, &GroundingConfig::default()).unwrap();
+        assert_eq!(mpp.cluster().motions().rows_by_kind(MotionKind::Broadcast), 0);
+    }
+
+    #[test]
+    fn noviews_mode_broadcasts_heavily() {
+        let kb = parse(TABLE1).unwrap().build();
+        let mut mpp = MppEngine::new(4, NetworkModel::gigabit(), MppMode::NoViews);
+        ground(&kb, &mut mpp, &GroundingConfig::default()).unwrap();
+        assert!(mpp.cluster().motions().rows_by_kind(MotionKind::Broadcast) > 0);
+    }
+
+    #[test]
+    fn explain_shows_motion_difference() {
+        let kb = parse(TABLE1).unwrap().build();
+        let rel = crate::relmodel::load(&kb);
+        let mut opt = MppEngine::new(4, NetworkModel::gigabit(), MppMode::Optimized);
+        opt.load(&rel).unwrap();
+        let mut pn = MppEngine::new(4, NetworkModel::gigabit(), MppMode::NoViews);
+        pn.load(&rel).unwrap();
+
+        use probkb_kb::prelude::RulePattern::P3;
+        let opt_plan = explain_dplan(&opt.ground_atoms_dplan(P3).unwrap());
+        let pn_plan = explain_dplan(&pn.ground_atoms_dplan(P3).unwrap());
+        assert!(opt_plan.contains("Redistribute Motion"));
+        assert!(!opt_plan.contains("Broadcast Motion"));
+        assert!(opt_plan.contains("T_pi__d")); // scans a view replica
+        assert!(pn_plan.contains("Broadcast Motion"));
+        assert!(!pn_plan.contains("T_pi__d"));
+    }
+
+    #[test]
+    fn view_key_permutation_matches_pairing() {
+        // P3: t3_keys [1,3,5,2], mid_keys2 [2,5,4,9], view keyed [1,3,2,5]
+        // → mid must redistribute by [2,5,9,4].
+        let out = MppEngine::permute_mid_keys(&[2, 5, 4, 9], &[1, 3, 5, 2], &[1, 3, 2, 5]);
+        assert_eq!(out, vec![2, 5, 9, 4]);
+    }
+
+    #[test]
+    fn works_with_one_segment() {
+        let kb = parse(TABLE1).unwrap().build();
+        let mut mpp = MppEngine::new(1, NetworkModel::free(), MppMode::Optimized);
+        let out = ground(&kb, &mut mpp, &GroundingConfig::default()).unwrap();
+        assert_eq!(out.facts.len(), 7);
+    }
+}

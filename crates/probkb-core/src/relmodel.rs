@@ -1,0 +1,437 @@
+//! The relational model for probabilistic knowledge bases (§4.2):
+//! schemas and loaders that turn a [`ProbKb`] into the `TΠ`, `M1..M6`,
+//! and `TΩ` tables, plus the fact-id registry that assigns `I` values.
+
+use std::collections::HashMap;
+
+use probkb_kb::prelude::*;
+use probkb_relational::prelude::*;
+
+/// Column positions of the facts table `TΠ(I, R, x, C1, y, C2, w)`
+/// (Definition 4).
+pub mod tpi {
+    /// Fact id `I`.
+    pub const I: usize = 0;
+    /// Relation `R`.
+    pub const R: usize = 1;
+    /// Subject entity `x`.
+    pub const X: usize = 2;
+    /// Subject class `C1`.
+    pub const C1: usize = 3;
+    /// Object entity `y`.
+    pub const Y: usize = 4;
+    /// Object class `C2`.
+    pub const C2: usize = 5;
+    /// Weight `w` (NULL while inferred facts await marginal inference).
+    pub const W: usize = 6;
+    /// The columns that identify a fact (everything but `I` and `w`).
+    pub const KEY: [usize; 5] = [R, X, C1, Y, C2];
+}
+
+/// Column positions of the length-2 MLN tables `M1, M2 (R1, R2, C1, C2, w)`.
+pub mod m2 {
+    /// Head relation.
+    pub const R1: usize = 0;
+    /// Body relation.
+    pub const R2: usize = 1;
+    /// Class of `x`.
+    pub const C1: usize = 2;
+    /// Class of `y`.
+    pub const C2: usize = 3;
+    /// Rule weight.
+    pub const W: usize = 4;
+}
+
+/// Column positions of the length-3 MLN tables
+/// `M3..M6 (R1, R2, R3, C1, C2, C3, w)`.
+pub mod m3 {
+    /// Head relation.
+    pub const R1: usize = 0;
+    /// First body relation.
+    pub const R2: usize = 1;
+    /// Second body relation.
+    pub const R3: usize = 2;
+    /// Class of `x`.
+    pub const C1: usize = 3;
+    /// Class of `y`.
+    pub const C2: usize = 4;
+    /// Class of `z`.
+    pub const C3: usize = 5;
+    /// Rule weight.
+    pub const W: usize = 6;
+}
+
+/// Column positions of the constraints table `TΩ(R, C1, C2, α, δ)`
+/// (Definition 11). The class restriction columns are NULL for the common
+/// case (§5.4) where functionality holds for all class pairs.
+pub mod tomega {
+    /// Constrained relation.
+    pub const R: usize = 0;
+    /// Optional subject-class restriction (NULL = any).
+    pub const C1: usize = 1;
+    /// Optional object-class restriction (NULL = any).
+    pub const C2: usize = 2;
+    /// Functionality type α ∈ {1, 2}.
+    pub const ALPHA: usize = 3;
+    /// Degree of pseudo-functionality δ.
+    pub const DEG: usize = 4;
+}
+
+/// Column positions of the ground-factor table `TΦ(I1, I2, I3, w)`
+/// (Definition 7). `I2`/`I3` are NULL for singleton/length-2 factors.
+pub mod tphi {
+    /// Head fact id.
+    pub const I1: usize = 0;
+    /// First body fact id (NULL for singleton factors).
+    pub const I2: usize = 1;
+    /// Second body fact id (NULL for factors of size ≤ 2).
+    pub const I3: usize = 2;
+    /// Factor weight.
+    pub const W: usize = 3;
+}
+
+/// Schema of `TΠ`.
+pub fn tpi_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("I", DataType::Int),
+        Column::new("R", DataType::Int),
+        Column::new("x", DataType::Int),
+        Column::new("C1", DataType::Int),
+        Column::new("y", DataType::Int),
+        Column::new("C2", DataType::Int),
+        Column::nullable("w", DataType::Float),
+    ])
+}
+
+/// Schema of the length-2 MLN tables `M1`/`M2`.
+pub fn m2_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("R1", DataType::Int),
+        Column::new("R2", DataType::Int),
+        Column::new("C1", DataType::Int),
+        Column::new("C2", DataType::Int),
+        Column::new("w", DataType::Float),
+    ])
+}
+
+/// Schema of the length-3 MLN tables `M3..M6`.
+pub fn m3_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("R1", DataType::Int),
+        Column::new("R2", DataType::Int),
+        Column::new("R3", DataType::Int),
+        Column::new("C1", DataType::Int),
+        Column::new("C2", DataType::Int),
+        Column::new("C3", DataType::Int),
+        Column::new("w", DataType::Float),
+    ])
+}
+
+/// Schema of `TΩ`.
+pub fn tomega_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("R", DataType::Int),
+        Column::nullable("C1", DataType::Int),
+        Column::nullable("C2", DataType::Int),
+        Column::new("alpha", DataType::Int),
+        Column::new("deg", DataType::Int),
+    ])
+}
+
+/// Schema of `TΦ`.
+pub fn tphi_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("I1", DataType::Int),
+        Column::nullable("I2", DataType::Int),
+        Column::nullable("I3", DataType::Int),
+        Column::new("w", DataType::Float),
+    ])
+}
+
+/// Schema of the candidate-fact tables produced by `groundAtoms`:
+/// `(R, x, C1, y, C2)`.
+pub fn candidate_schema() -> Schema {
+    Schema::ints(&["R", "x", "C1", "y", "C2"])
+}
+
+/// The canonical table names used by all engines.
+pub mod names {
+    /// The facts table.
+    pub const TPI: &str = "T_pi";
+    /// The constraints table.
+    pub const TOMEGA: &str = "T_omega";
+    /// The ground-factor output table.
+    pub const TPHI: &str = "T_phi";
+
+    /// The MLN table for partition `i ∈ 1..=6`.
+    pub fn mln(i: usize) -> String {
+        format!("M{i}")
+    }
+}
+
+/// Assigns fact ids and answers "have we seen this fact key before?" —
+/// the driver-side state behind `TΠ ← TΠ ∪ (...)` (Algorithm 1, line 5).
+#[derive(Debug, Default)]
+pub struct FactRegistry {
+    next_id: i64,
+    index: HashMap<[i64; 5], i64>,
+}
+
+impl FactRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        FactRegistry::default()
+    }
+
+    /// Number of distinct fact keys seen.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no facts registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Register a fact key, returning `Some(new_id)` if it is new, `None`
+    /// if already present.
+    pub fn register(&mut self, key: [i64; 5]) -> Option<i64> {
+        if self.index.contains_key(&key) {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(key, id);
+        Some(id)
+    }
+
+    /// The id of a known fact key.
+    pub fn id_of(&self, key: &[i64; 5]) -> Option<i64> {
+        self.index.get(key).copied()
+    }
+
+    /// Extract the `(R, x, C1, y, C2)` key from a candidate row.
+    pub fn key_of_candidate(row: &[Value]) -> [i64; 5] {
+        [
+            row[0].as_int().expect("candidate R"),
+            row[1].as_int().expect("candidate x"),
+            row[2].as_int().expect("candidate C1"),
+            row[3].as_int().expect("candidate y"),
+            row[4].as_int().expect("candidate C2"),
+        ]
+    }
+}
+
+/// The fully-loaded relational form of a KB: the inputs Algorithm 1 needs.
+#[derive(Debug)]
+pub struct RelationalKb {
+    /// The facts table `TΠ` (ids already assigned).
+    pub t_pi: Table,
+    /// MLN tables keyed by partition index 1..=6; only non-empty
+    /// partitions are present.
+    pub mln: Vec<(RulePattern, Table)>,
+    /// The constraints table `TΩ`.
+    pub t_omega: Table,
+    /// Fact id registry seeded with the base facts.
+    pub registry: FactRegistry,
+    /// Rules that failed structural classification (not groundable in
+    /// batch mode; reported, not silently dropped).
+    pub rejected_rules: usize,
+}
+
+/// Build the relational model from a knowledge base (the "Load" step of
+/// Table 3).
+pub fn load(kb: &ProbKb) -> RelationalKb {
+    let mut registry = FactRegistry::new();
+    let mut t_pi = Table::empty(tpi_schema());
+    for fact in &kb.facts {
+        let key = [
+            fact.rel.as_i64(),
+            fact.x.as_i64(),
+            fact.c1.as_i64(),
+            fact.y.as_i64(),
+            fact.c2.as_i64(),
+        ];
+        if let Some(id) = registry.register(key) {
+            t_pi.push_unchecked(vec![
+                Value::Int(id),
+                Value::Int(key[0]),
+                Value::Int(key[1]),
+                Value::Int(key[2]),
+                Value::Int(key[3]),
+                Value::Int(key[4]),
+                fact.weight.map(Value::Float).unwrap_or(Value::Null),
+            ]);
+        }
+    }
+
+    let partitioning = Partitioning::build(&kb.rules);
+    let mut mln = Vec::new();
+    for pattern in partitioning.non_empty_patterns() {
+        let mut table = Table::empty(if pattern.arity() == 2 {
+            m2_schema()
+        } else {
+            m3_schema()
+        });
+        for (rule_id, classified) in partitioning.rules_in(pattern) {
+            let rule = &kb.rules[rule_id.raw() as usize];
+            table.push_unchecked(mln_row(rule, classified));
+        }
+        // Definition 6 stores *sets* of identifier tuples; Proposition 1
+        // relies on partitions being duplicate-free.
+        table.dedup_rows();
+        mln.push((pattern, table));
+    }
+
+    let mut t_omega = Table::empty(tomega_schema());
+    for fc in &kb.constraints {
+        let (c1, c2) = match fc.classes {
+            Some((c1, c2)) => (Value::Int(c1.as_i64()), Value::Int(c2.as_i64())),
+            None => (Value::Null, Value::Null),
+        };
+        t_omega.push_unchecked(vec![
+            Value::Int(fc.rel.as_i64()),
+            c1,
+            c2,
+            Value::Int(fc.functionality.alpha()),
+            Value::Int(fc.degree as i64),
+        ]);
+    }
+
+    RelationalKb {
+        t_pi,
+        mln,
+        t_omega,
+        registry,
+        rejected_rules: partitioning.rejected().len(),
+    }
+}
+
+/// The identifier-tuple row for a rule within its partition (Example 3).
+fn mln_row(rule: &HornRule, classified: &Classified) -> Row {
+    match classified.pattern.arity() {
+        2 => vec![
+            Value::Int(rule.head.rel.as_i64()),
+            Value::Int(classified.body[0].rel.as_i64()),
+            Value::Int(rule.cx.as_i64()),
+            Value::Int(rule.cy.as_i64()),
+            Value::Float(rule.weight),
+        ],
+        3 => vec![
+            Value::Int(rule.head.rel.as_i64()),
+            Value::Int(classified.body[0].rel.as_i64()),
+            Value::Int(classified.body[1].rel.as_i64()),
+            Value::Int(rule.cx.as_i64()),
+            Value::Int(rule.cy.as_i64()),
+            Value::Int(rule.cz.expect("length-3 rule has z class").as_i64()),
+            Value::Float(rule.weight),
+        ],
+        _ => unreachable!("patterns are arity 2 or 3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kb() -> ProbKb {
+        parse(
+            r#"
+            fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+            fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+            rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+            rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+            functional born_in 1 1
+            "#,
+        )
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn load_builds_all_tables() {
+        let kb = sample_kb();
+        let rel = load(&kb);
+        assert_eq!(rel.t_pi.len(), 2);
+        assert_eq!(rel.t_pi.schema().width(), 7);
+        assert_eq!(rel.mln.len(), 2); // P1 and P3 non-empty
+        assert_eq!(rel.t_omega.len(), 1);
+        assert_eq!(rel.registry.len(), 2);
+        assert_eq!(rel.rejected_rules, 0);
+    }
+
+    #[test]
+    fn fact_ids_are_dense_from_zero() {
+        let kb = sample_kb();
+        let rel = load(&kb);
+        let ids: Vec<i64> = rel
+            .t_pi
+            .rows()
+            .iter()
+            .map(|r| r[tpi::I].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn mln_rows_follow_example_3_layout() {
+        let kb = sample_kb();
+        let rel = load(&kb);
+        let (p1, m1) = rel
+            .mln
+            .iter()
+            .find(|(p, _)| *p == RulePattern::P1)
+            .unwrap();
+        assert_eq!(p1.arity(), 2);
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1.schema().names(), vec!["R1", "R2", "C1", "C2", "w"]);
+        let (_, m3t) = rel
+            .mln
+            .iter()
+            .find(|(p, _)| *p == RulePattern::P3)
+            .unwrap();
+        assert_eq!(m3t.len(), 1);
+        assert_eq!(
+            m3t.schema().names(),
+            vec!["R1", "R2", "R3", "C1", "C2", "C3", "w"]
+        );
+        // For the symmetric rule, R2 and R3 are both born_in.
+        assert_eq!(m3t.rows()[0][m3::R2], m3t.rows()[0][m3::R3]);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_counts() {
+        let mut reg = FactRegistry::new();
+        assert_eq!(reg.register([1, 2, 3, 4, 5]), Some(0));
+        assert_eq!(reg.register([1, 2, 3, 4, 5]), None);
+        assert_eq!(reg.register([9, 2, 3, 4, 5]), Some(1));
+        assert_eq!(reg.id_of(&[1, 2, 3, 4, 5]), Some(0));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn omega_encodes_alpha_and_degree() {
+        let kb = sample_kb();
+        let rel = load(&kb);
+        let row = &rel.t_omega.rows()[0];
+        assert_eq!(row[tomega::ALPHA], Value::Int(1));
+        assert_eq!(row[tomega::DEG], Value::Int(1));
+    }
+
+    #[test]
+    fn weights_can_be_null_for_inferred_rows() {
+        let schema = tpi_schema();
+        let row = vec![
+            Value::Int(7),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Null,
+        ];
+        assert!(schema.validate_row(&row).is_ok());
+    }
+}

@@ -1,0 +1,273 @@
+//! The single-node engine: ProbKB on "PostgreSQL" — one facts table, six
+//! MLN tables, batch join queries through the relational executor.
+
+use std::collections::HashSet;
+
+use probkb_kb::prelude::RulePattern;
+use probkb_relational::prelude::*;
+
+use crate::engine::{GroundingEngine, ViolatorKey};
+use crate::queries::{
+    ground_atoms_plan, ground_factors_plan, singleton_factors_plan, violators_plan,
+};
+use crate::relmodel::{candidate_schema, names, tphi_schema, tpi, RelationalKb};
+
+/// Single-node batch-grounding engine.
+#[derive(Debug, Default)]
+pub struct SingleNodeEngine {
+    catalog: Catalog,
+    patterns: Vec<RulePattern>,
+}
+
+impl SingleNodeEngine {
+    /// A fresh, unloaded engine.
+    pub fn new() -> Self {
+        SingleNodeEngine::default()
+    }
+
+    /// Direct access to the underlying catalog (tests, lineage queries).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn run(&self, plan: &Plan) -> Result<Table> {
+        Executor::new(&self.catalog).execute_table(plan)
+    }
+}
+
+impl GroundingEngine for SingleNodeEngine {
+    fn name(&self) -> &str {
+        "ProbKB"
+    }
+
+    fn load(&mut self, rel: &RelationalKb) -> Result<()> {
+        self.catalog.create_or_replace(names::TPI, rel.t_pi.clone());
+        self.catalog
+            .create_or_replace(names::TOMEGA, rel.t_omega.clone());
+        self.patterns.clear();
+        for (pattern, table) in &rel.mln {
+            self.catalog
+                .create_or_replace(names::mln(pattern.index()), table.clone());
+            self.patterns.push(*pattern);
+        }
+        Ok(())
+    }
+
+    fn ground_atoms(&mut self) -> Result<(Table, usize)> {
+        let mut all = Table::empty(candidate_schema());
+        let mut queries = 0;
+        for pattern in &self.patterns {
+            let plan = ground_atoms_plan(*pattern, &names::mln(pattern.index()), names::TPI);
+            let out = self.run(&plan)?;
+            all.extend_from(out);
+            queries += 1;
+        }
+        all.dedup_rows();
+        Ok((all, queries))
+    }
+
+    fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize> {
+        self.catalog.insert_rows_unchecked(names::TPI, rows)
+    }
+
+    fn find_violators(&mut self) -> Result<HashSet<ViolatorKey>> {
+        let mut violators = HashSet::new();
+        for alpha in [1, 2] {
+            let out = self.run(&violators_plan(names::TPI, names::TOMEGA, alpha))?;
+            for row in out.rows() {
+                violators.insert((
+                    row[0].as_int().expect("entity id"),
+                    row[1].as_int().expect("class id"),
+                ));
+            }
+        }
+        Ok(violators)
+    }
+
+    fn delete_violators(&mut self, violators: &HashSet<ViolatorKey>) -> Result<usize> {
+        if violators.is_empty() {
+            return Ok(0);
+        }
+        let keys: HashSet<Vec<Value>> = violators
+            .iter()
+            .map(|(e, c)| vec![Value::Int(*e), Value::Int(*c)])
+            .collect();
+        let subj = self
+            .catalog
+            .delete_matching(names::TPI, &[tpi::X, tpi::C1], &keys)?;
+        let obj = self
+            .catalog
+            .delete_matching(names::TPI, &[tpi::Y, tpi::C2], &keys)?;
+        Ok(subj + obj)
+    }
+
+    fn redistribute(&mut self) -> Result<()> {
+        Ok(()) // single node: nothing to collocate
+    }
+
+    fn ground_factors(&mut self) -> Result<(Table, usize)> {
+        let mut phi = Table::empty(tphi_schema());
+        let mut queries = 0;
+        for pattern in &self.patterns {
+            let plan = ground_factors_plan(*pattern, &names::mln(pattern.index()), names::TPI);
+            // Bag union (∪B): duplicates across partitions are distinct
+            // factors (Proposition 1 discussion).
+            phi.extend_from(self.run(&plan)?);
+            queries += 1;
+        }
+        phi.extend_from(self.run(&singleton_factors_plan(names::TPI))?);
+        queries += 1;
+        Ok((phi, queries))
+    }
+
+    fn fact_count(&self) -> Result<usize> {
+        self.catalog.row_count(names::TPI)
+    }
+
+    fn facts(&self) -> Result<Table> {
+        Ok((*self.catalog.get(names::TPI)?).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relmodel::load;
+    use probkb_kb::prelude::parse;
+
+    fn engine_with(text: &str) -> (SingleNodeEngine, crate::relmodel::RelationalKb) {
+        let kb = parse(text).unwrap().build();
+        let rel = load(&kb);
+        let mut engine = SingleNodeEngine::new();
+        engine.load(&rel).unwrap();
+        (engine, rel)
+    }
+
+    #[test]
+    fn ground_atoms_applies_rules_in_batches() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.96 born_in(RG:Writer, NYC:City)
+            fact 0.93 born_in(RG:Writer, Brooklyn:Place)
+            rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+            rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+            "#,
+        );
+        let (candidates, queries) = engine.ground_atoms().unwrap();
+        // Four new facts (live_in/grow_up_in × NYC/Brooklyn) from ONE query
+        // — all four M1 rules applied in a single batch.
+        assert_eq!(queries, 1);
+        assert_eq!(candidates.len(), 4);
+    }
+
+    #[test]
+    fn length3_rules_join_on_z() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.96 born_in(RG:Writer, NYC:City)
+            fact 0.93 born_in(RG:Writer, Brooklyn:Place)
+            rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+            "#,
+        );
+        let (candidates, _) = engine.ground_atoms().unwrap();
+        assert_eq!(candidates.len(), 1); // located_in(Brooklyn, NYC)
+    }
+
+    #[test]
+    fn violators_found_and_deleted() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.9 born_in(Mandel:Person, Berlin:City)
+            fact 0.9 born_in(Mandel:Person, Baltimore:City)
+            fact 0.9 born_in(Freud:Person, Vienna:City)
+            functional born_in 1 1
+            "#,
+        );
+        let violators = engine.find_violators().unwrap();
+        assert_eq!(violators.len(), 1); // Mandel violates: two birth cities
+        let deleted = engine.delete_violators(&violators).unwrap();
+        assert_eq!(deleted, 2); // both Mandel facts removed
+        assert_eq!(engine.fact_count().unwrap(), 1); // Freud survives
+    }
+
+    #[test]
+    fn pseudo_functional_degree_allows_slack() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.9 live_in(A:Person, P1:City)
+            fact 0.9 live_in(A:Person, P2:City)
+            fact 0.9 live_in(B:Person, P1:City)
+            functional live_in 1 2
+            "#,
+        );
+        // A lives in two cities, allowed at degree 2.
+        assert!(engine.find_violators().unwrap().is_empty());
+    }
+
+    #[test]
+    fn type2_constraints_check_object_side() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.9 capital_of(Delhi:City, India:Country)
+            fact 0.9 capital_of(Calcutta:City, India:Country)
+            functional capital_of 2 1
+            "#,
+        );
+        let violators = engine.find_violators().unwrap();
+        assert_eq!(violators.len(), 1); // India has two capitals
+        assert_eq!(engine.delete_violators(&violators).unwrap(), 2);
+    }
+
+    #[test]
+    fn class_restricted_constraints_only_see_their_classes() {
+        // born_in is functional only for (Person, City); the
+        // (Person, Country) facts are exempt.
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.9 born_in(M:Person, Berlin:City)
+            fact 0.9 born_in(M:Person, Munich:City)
+            fact 0.9 born_in(M:Person, Germany:Country)
+            fact 0.9 born_in(M:Person, Bavaria:Country)
+            functional born_in 1 1 Person City
+            "#,
+        );
+        let violators = engine.find_violators().unwrap();
+        assert_eq!(violators.len(), 1); // (M, Person) — two birth cities
+        // Deleting removes ALL facts of the violating entity (greedy
+        // removal, §5.2), not only the in-class ones.
+        assert_eq!(engine.delete_violators(&violators).unwrap(), 4);
+    }
+
+    #[test]
+    fn unrestricted_constraints_span_class_pairs() {
+        // The same data with an unrestricted constraint: the Country pair
+        // also counts, but groups are per (R, x, C1, C2), so M violates
+        // in both class groups and is detected once.
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.9 born_in(M:Person, Berlin:City)
+            fact 0.9 born_in(M:Person, Munich:City)
+            fact 0.9 born_in(M:Person, Germany:Country)
+            functional born_in 1 1
+            "#,
+        );
+        let violators = engine.find_violators().unwrap();
+        assert_eq!(violators.len(), 1);
+    }
+
+    #[test]
+    fn ground_factors_includes_singletons() {
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.96 born_in(RG:Writer, NYC:City)
+            rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+            "#,
+        );
+        let (phi0, _) = engine.ground_factors().unwrap();
+        // Before inferring anything: 1 singleton, 0 rule factors (the head
+        // fact does not exist yet).
+        assert_eq!(phi0.len(), 1);
+    }
+}

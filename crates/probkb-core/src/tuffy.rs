@@ -1,0 +1,555 @@
+//! The Tuffy-T baseline: one table per relation, one SQL query per rule.
+//!
+//! Tuffy \[32\] stores each predicate in its own table and issues one join
+//! query per MLN rule per iteration — 30,912 queries for the Sherlock
+//! rule set. The paper re-implements it with typing support ("Tuffy-T")
+//! as the comparison baseline; this module is that re-implementation on
+//! our relational engine. Semantics are identical to
+//! [`crate::single_node::SingleNodeEngine`]; only the physical design and
+//! query count differ.
+
+use std::collections::{HashMap, HashSet};
+
+use probkb_kb::prelude::RulePattern;
+use probkb_relational::prelude::*;
+
+use crate::engine::{GroundingEngine, ViolatorKey};
+use crate::relmodel::{candidate_schema, tomega, tphi_schema, tpi, RelationalKb};
+
+/// Column positions of the per-relation tables `rel_<R>(I, x, C1, y, C2, w)`.
+mod rt {
+    pub const I: usize = 0;
+    pub const X: usize = 1;
+    pub const C1: usize = 2;
+    pub const Y: usize = 3;
+    pub const C2: usize = 4;
+}
+
+fn rel_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("I", DataType::Int),
+        Column::new("x", DataType::Int),
+        Column::new("C1", DataType::Int),
+        Column::new("y", DataType::Int),
+        Column::new("C2", DataType::Int),
+        Column::nullable("w", DataType::Float),
+    ])
+}
+
+fn rel_table_name(rel: i64) -> String {
+    format!("rel_{rel}")
+}
+
+/// One constraint row: relation, optional class restriction, α, δ.
+type TuffyConstraint = (i64, Option<(i64, i64)>, i64, i64);
+
+/// One rule extracted from an MLN table row, kept as plain integers.
+#[derive(Debug, Clone)]
+struct TuffyRule {
+    pattern: RulePattern,
+    r1: i64,
+    r2: i64,
+    r3: Option<i64>,
+    c1: i64,
+    c2: i64,
+    c3: Option<i64>,
+    weight: f64,
+}
+
+/// The per-rule baseline engine.
+#[derive(Debug, Default)]
+pub struct TuffyEngine {
+    catalog: Catalog,
+    rules: Vec<TuffyRule>,
+    /// `(R, optional (C1, C2) restriction, alpha, deg)`.
+    constraints: Vec<TuffyConstraint>,
+    relations: HashSet<i64>,
+}
+
+impl TuffyEngine {
+    /// A fresh, unloaded engine.
+    pub fn new() -> Self {
+        TuffyEngine::default()
+    }
+
+    /// Number of rules — also the number of queries per iteration.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of predicate tables created (the paper loads 83K of them,
+    /// which is why Tuffy's bulkload is 607× slower).
+    pub fn table_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    fn ensure_table(&mut self, rel: i64) -> Result<()> {
+        if self.relations.insert(rel) {
+            self.catalog
+                .create(rel_table_name(rel), Table::empty(rel_schema()))?;
+        }
+        Ok(())
+    }
+
+    fn run(&self, plan: &Plan) -> Result<Table> {
+        Executor::new(&self.catalog).execute_table(plan)
+    }
+
+    /// The per-rule `groundAtoms` query: scan the body relation table(s),
+    /// filter by the rule's class constants, join on `z` for length-3
+    /// rules, and emit head candidates.
+    fn rule_atoms_plan(&self, rule: &TuffyRule) -> Plan {
+        let (atom1, atom2) = rule.pattern.body_layout();
+        let class_of = |v| match v {
+            probkb_kb::prelude::Var::X => rule.c1,
+            probkb_kb::prelude::Var::Y => rule.c2,
+            probkb_kb::prelude::Var::Z => rule.c3.expect("length-3 rule has C3"),
+        };
+        let body1 = Plan::scan(rel_table_name(rule.r2)).filter(
+            Expr::col(rt::C1)
+                .eq(Expr::lit(class_of(atom1.0)))
+                .and(Expr::col(rt::C2).eq(Expr::lit(class_of(atom1.1)))),
+        );
+        let bind1 = |v| {
+            if atom1.0 == v {
+                rt::X
+            } else {
+                rt::Y
+            }
+        };
+        match atom2 {
+            None => body1.project(vec![
+                (Expr::lit(rule.r1), "R"),
+                (Expr::col(bind1(probkb_kb::prelude::Var::X)), "x"),
+                (Expr::lit(rule.c1), "C1"),
+                (Expr::col(bind1(probkb_kb::prelude::Var::Y)), "y"),
+                (Expr::lit(rule.c2), "C2"),
+            ]),
+            Some(atom2) => {
+                let body2 = Plan::scan(rel_table_name(rule.r3.expect("R3"))).filter(
+                    Expr::col(rt::C1)
+                        .eq(Expr::lit(class_of(atom2.0)))
+                        .and(Expr::col(rt::C2).eq(Expr::lit(class_of(atom2.1)))),
+                );
+                let z1 = bind1(probkb_kb::prelude::Var::Z);
+                let bind2 = |v| {
+                    if atom2.0 == v {
+                        rt::X
+                    } else {
+                        rt::Y
+                    }
+                };
+                let z2 = bind2(probkb_kb::prelude::Var::Z);
+                let width1 = 6;
+                body1
+                    .hash_join(body2, vec![z1], vec![z2])
+                    .project(vec![
+                        (Expr::lit(rule.r1), "R"),
+                        (Expr::col(bind1(probkb_kb::prelude::Var::X)), "x"),
+                        (Expr::lit(rule.c1), "C1"),
+                        (
+                            Expr::col(width1 + bind2(probkb_kb::prelude::Var::Y)),
+                            "y",
+                        ),
+                        (Expr::lit(rule.c2), "C2"),
+                    ])
+            }
+        }
+        .distinct()
+    }
+
+    /// The per-rule `groundFactors` query: body join plus a join against
+    /// the head relation's table.
+    fn rule_factors_plan(&self, rule: &TuffyRule) -> Plan {
+        let (atom1, atom2) = rule.pattern.body_layout();
+        let class_of = |v| match v {
+            probkb_kb::prelude::Var::X => rule.c1,
+            probkb_kb::prelude::Var::Y => rule.c2,
+            probkb_kb::prelude::Var::Z => rule.c3.expect("length-3 rule has C3"),
+        };
+        let head = Plan::scan(rel_table_name(rule.r1)).filter(
+            Expr::col(rt::C1)
+                .eq(Expr::lit(rule.c1))
+                .and(Expr::col(rt::C2).eq(Expr::lit(rule.c2))),
+        );
+        let body1 = Plan::scan(rel_table_name(rule.r2)).filter(
+            Expr::col(rt::C1)
+                .eq(Expr::lit(class_of(atom1.0)))
+                .and(Expr::col(rt::C2).eq(Expr::lit(class_of(atom1.1)))),
+        );
+        let bind1 = |v| if atom1.0 == v { rt::X } else { rt::Y };
+        match atom2 {
+            None => {
+                // body1 ⋈ head on (x, y) bindings.
+                let xk = bind1(probkb_kb::prelude::Var::X);
+                let yk = bind1(probkb_kb::prelude::Var::Y);
+                body1
+                    .hash_join(head, vec![xk, yk], vec![rt::X, rt::Y])
+                    .project(vec![
+                        (Expr::col(6 + rt::I), "I1"),
+                        (Expr::col(rt::I), "I2"),
+                        (Expr::lit(Value::Null), "I3"),
+                        (Expr::lit(rule.weight), "w"),
+                    ])
+            }
+            Some(atom2) => {
+                let body2 = Plan::scan(rel_table_name(rule.r3.expect("R3"))).filter(
+                    Expr::col(rt::C1)
+                        .eq(Expr::lit(class_of(atom2.0)))
+                        .and(Expr::col(rt::C2).eq(Expr::lit(class_of(atom2.1)))),
+                );
+                let bind2 = |v| if atom2.0 == v { rt::X } else { rt::Y };
+                let z1 = bind1(probkb_kb::prelude::Var::Z);
+                let z2 = bind2(probkb_kb::prelude::Var::Z);
+                let xk = bind1(probkb_kb::prelude::Var::X);
+                let yk = 6 + bind2(probkb_kb::prelude::Var::Y);
+                body1
+                    .hash_join(body2, vec![z1], vec![z2])
+                    .hash_join(head, vec![xk, yk], vec![rt::X, rt::Y])
+                    .project(vec![
+                        (Expr::col(12 + rt::I), "I1"),
+                        (Expr::col(rt::I), "I2"),
+                        (Expr::col(6 + rt::I), "I3"),
+                        (Expr::lit(rule.weight), "w"),
+                    ])
+            }
+        }
+    }
+}
+
+impl GroundingEngine for TuffyEngine {
+    fn name(&self) -> &str {
+        "Tuffy-T"
+    }
+
+    fn load(&mut self, rel: &RelationalKb) -> Result<()> {
+        use crate::relmodel::{m2, m3};
+        self.rules.clear();
+        self.constraints.clear();
+        // Explode the MLN tables back into individual rules.
+        for (pattern, table) in &rel.mln {
+            for row in table.rows() {
+                let rule = if pattern.arity() == 2 {
+                    TuffyRule {
+                        pattern: *pattern,
+                        r1: row[m2::R1].as_int().expect("R1"),
+                        r2: row[m2::R2].as_int().expect("R2"),
+                        r3: None,
+                        c1: row[m2::C1].as_int().expect("C1"),
+                        c2: row[m2::C2].as_int().expect("C2"),
+                        c3: None,
+                        weight: row[m2::W].as_float().expect("w"),
+                    }
+                } else {
+                    TuffyRule {
+                        pattern: *pattern,
+                        r1: row[m3::R1].as_int().expect("R1"),
+                        r2: row[m3::R2].as_int().expect("R2"),
+                        r3: Some(row[m3::R3].as_int().expect("R3")),
+                        c1: row[m3::C1].as_int().expect("C1"),
+                        c2: row[m3::C2].as_int().expect("C2"),
+                        c3: Some(row[m3::C3].as_int().expect("C3")),
+                        weight: row[m3::W].as_float().expect("w"),
+                    }
+                };
+                self.rules.push(rule);
+            }
+        }
+        // One table per relation mentioned anywhere — this is the 83K-table
+        // bulkload the paper measures.
+        let mut rels: HashSet<i64> = HashSet::new();
+        for row in rel.t_pi.rows() {
+            rels.insert(row[tpi::R].as_int().expect("R"));
+        }
+        for rule in &self.rules {
+            rels.insert(rule.r1);
+            rels.insert(rule.r2);
+            if let Some(r3) = rule.r3 {
+                rels.insert(r3);
+            }
+        }
+        for r in rels {
+            self.ensure_table(r)?;
+        }
+        // Partition the facts into their relation tables.
+        let mut by_rel: HashMap<i64, Vec<Row>> = HashMap::new();
+        for row in rel.t_pi.rows() {
+            let r = row[tpi::R].as_int().expect("R");
+            by_rel.entry(r).or_default().push(vec![
+                row[tpi::I].clone(),
+                row[tpi::X].clone(),
+                row[tpi::C1].clone(),
+                row[tpi::Y].clone(),
+                row[tpi::C2].clone(),
+                row[tpi::W].clone(),
+            ]);
+        }
+        for (r, rows) in by_rel {
+            self.catalog.insert_rows_unchecked(&rel_table_name(r), rows)?;
+        }
+        for row in rel.t_omega.rows() {
+            let classes = match (row[tomega::C1].as_int(), row[tomega::C2].as_int()) {
+                (Some(c1), Some(c2)) => Some((c1, c2)),
+                _ => None,
+            };
+            self.constraints.push((
+                row[tomega::R].as_int().expect("R"),
+                classes,
+                row[tomega::ALPHA].as_int().expect("alpha"),
+                row[tomega::DEG].as_int().expect("deg"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ground_atoms(&mut self) -> Result<(Table, usize)> {
+        let mut all = Table::empty(candidate_schema());
+        let mut queries = 0;
+        // One query per rule — the O(n) loop the paper replaces.
+        for rule in &self.rules {
+            let out = self.run(&self.rule_atoms_plan(rule))?;
+            all.extend_from(out);
+            queries += 1;
+        }
+        all.dedup_rows();
+        Ok((all, queries))
+    }
+
+    fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize> {
+        let n = rows.len();
+        let mut by_rel: HashMap<i64, Vec<Row>> = HashMap::new();
+        for row in rows {
+            let r = row[tpi::R].as_int().expect("R");
+            by_rel.entry(r).or_default().push(vec![
+                row[tpi::I].clone(),
+                row[tpi::X].clone(),
+                row[tpi::C1].clone(),
+                row[tpi::Y].clone(),
+                row[tpi::C2].clone(),
+                row[tpi::W].clone(),
+            ]);
+        }
+        for (r, rows) in by_rel {
+            self.ensure_table(r)?;
+            self.catalog.insert_rows_unchecked(&rel_table_name(r), rows)?;
+        }
+        Ok(n)
+    }
+
+    fn find_violators(&mut self) -> Result<HashSet<ViolatorKey>> {
+        let mut violators = HashSet::new();
+        // One query per constraint (Tuffy has no batch constraint table).
+        for &(r, classes, alpha, deg) in &self.constraints {
+            if !self.relations.contains(&r) {
+                continue;
+            }
+            let (key_e, key_c, other_c) = if alpha == 1 {
+                (rt::X, rt::C1, rt::C2)
+            } else {
+                (rt::Y, rt::C2, rt::C1)
+            };
+            let source = match classes {
+                Some((c1, c2)) => Plan::scan(rel_table_name(r)).filter(
+                    Expr::col(rt::C1)
+                        .eq(Expr::lit(c1))
+                        .and(Expr::col(rt::C2).eq(Expr::lit(c2))),
+                ),
+                None => Plan::scan(rel_table_name(r)),
+            };
+            let plan = source
+                .aggregate(
+                    vec![key_e, key_c, other_c],
+                    vec![AggExpr::new(AggFunc::CountStar, "cnt")],
+                )
+                .filter(Expr::col(3).gt(Expr::lit(deg)))
+                .project(vec![(Expr::col(0), "entity"), (Expr::col(1), "class")]);
+            for row in self.run(&plan)?.rows() {
+                violators.insert((
+                    row[0].as_int().expect("entity"),
+                    row[1].as_int().expect("class"),
+                ));
+            }
+        }
+        Ok(violators)
+    }
+
+    fn delete_violators(&mut self, violators: &HashSet<ViolatorKey>) -> Result<usize> {
+        if violators.is_empty() {
+            return Ok(0);
+        }
+        let keys: HashSet<Vec<Value>> = violators
+            .iter()
+            .map(|(e, c)| vec![Value::Int(*e), Value::Int(*c)])
+            .collect();
+        let mut removed = 0;
+        let rels: Vec<i64> = self.relations.iter().copied().collect();
+        for r in rels {
+            let name = rel_table_name(r);
+            removed += self
+                .catalog
+                .delete_matching(&name, &[rt::X, rt::C1], &keys)?;
+            removed += self
+                .catalog
+                .delete_matching(&name, &[rt::Y, rt::C2], &keys)?;
+        }
+        Ok(removed)
+    }
+
+    fn redistribute(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn ground_factors(&mut self) -> Result<(Table, usize)> {
+        let mut phi = Table::empty(tphi_schema());
+        let mut queries = 0;
+        for rule in &self.rules {
+            phi.extend_from(self.run(&self.rule_factors_plan(rule))?);
+            queries += 1;
+        }
+        // Singleton factors: one scan per relation table.
+        let rels: Vec<i64> = {
+            let mut v: Vec<i64> = self.relations.iter().copied().collect();
+            v.sort();
+            v
+        };
+        for r in rels {
+            let plan = Plan::scan(rel_table_name(r))
+                .filter(Expr::col(5).is_not_null())
+                .project(vec![
+                    (Expr::col(rt::I), "I1"),
+                    (Expr::lit(Value::Null), "I2"),
+                    (Expr::lit(Value::Null), "I3"),
+                    (Expr::col(5), "w"),
+                ]);
+            phi.extend_from(self.run(&plan)?);
+            queries += 1;
+        }
+        Ok((phi, queries))
+    }
+
+    fn fact_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for r in &self.relations {
+            n += self.catalog.row_count(&rel_table_name(*r))?;
+        }
+        Ok(n)
+    }
+
+    fn facts(&self) -> Result<Table> {
+        let mut out = Table::empty(crate::relmodel::tpi_schema());
+        let mut rels: Vec<i64> = self.relations.iter().copied().collect();
+        rels.sort();
+        for r in rels {
+            let t = self.catalog.get(&rel_table_name(r))?;
+            for row in t.rows() {
+                out.push_unchecked(vec![
+                    row[rt::I].clone(),
+                    Value::Int(r),
+                    row[rt::X].clone(),
+                    row[rt::C1].clone(),
+                    row[rt::Y].clone(),
+                    row[rt::C2].clone(),
+                    row[5].clone(),
+                ]);
+            }
+        }
+        // Restore id order so snapshots are comparable across engines.
+        out.sort_by_cols(&[tpi::I]);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounding::{ground, GroundingConfig};
+    use crate::relmodel::load;
+    use crate::single_node::SingleNodeEngine;
+    use probkb_kb::prelude::parse;
+
+    const TABLE1: &str = r#"
+        fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+        fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+        rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+        rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+        rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+        rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+        rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+        rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+    "#;
+
+    #[test]
+    fn tuffy_matches_probkb_semantics() {
+        let kb = parse(TABLE1).unwrap().build();
+        let config = GroundingConfig::default();
+
+        let mut tuffy = TuffyEngine::new();
+        let t_out = ground(&kb, &mut tuffy, &config).unwrap();
+        let mut single = SingleNodeEngine::new();
+        let s_out = ground(&kb, &mut single, &config).unwrap();
+
+        assert_eq!(t_out.facts.len(), s_out.facts.len());
+        assert_eq!(t_out.factors.len(), s_out.factors.len());
+
+        // Same fact keys (ids may be assigned in different order).
+        let keys = |t: &Table| {
+            let mut k: Vec<Vec<i64>> = t
+                .rows()
+                .iter()
+                .map(|r| {
+                    tpi::KEY
+                        .iter()
+                        .map(|&c| r[c].as_int().unwrap())
+                        .collect()
+                })
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(keys(&t_out.facts), keys(&s_out.facts));
+    }
+
+    #[test]
+    fn tuffy_uses_one_query_per_rule() {
+        let kb = parse(TABLE1).unwrap().build();
+        let mut tuffy = TuffyEngine::new();
+        let config = GroundingConfig {
+            apply_constraints: false,
+            ..GroundingConfig::default()
+        };
+        let out = ground(&kb, &mut tuffy, &config).unwrap();
+        // 6 rules → 6 queries per iteration (vs 2 for ProbKB's partitions).
+        assert_eq!(out.report.iterations[0].queries, 6);
+    }
+
+    #[test]
+    fn tuffy_creates_one_table_per_relation() {
+        let kb = parse(TABLE1).unwrap().build();
+        let rel = load(&kb);
+        let mut tuffy = TuffyEngine::new();
+        tuffy.load(&rel).unwrap();
+        // born_in, live_in, grow_up_in, located_in.
+        assert_eq!(tuffy.table_count(), 4);
+        assert_eq!(tuffy.rule_count(), 6);
+    }
+
+    #[test]
+    fn tuffy_constraint_enforcement() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(Mandel:Person, Berlin:City)
+            fact 0.9 born_in(Mandel:Person, Baltimore:City)
+            functional born_in 1 1
+            "#,
+        )
+        .unwrap()
+        .build();
+        let rel = load(&kb);
+        let mut tuffy = TuffyEngine::new();
+        tuffy.load(&rel).unwrap();
+        let v = tuffy.find_violators().unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(tuffy.delete_violators(&v).unwrap(), 2);
+        assert_eq!(tuffy.fact_count().unwrap(), 0);
+    }
+}

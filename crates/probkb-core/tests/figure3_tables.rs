@@ -1,0 +1,222 @@
+//! Golden test: the intermediate tables of Figure 3, row by row.
+//!
+//! Figure 3 of the paper walks Algorithm 1 over the Table 1 KB and shows
+//! every intermediate relation: `T¹` (facts after iteration 1), `T²`
+//! (after iteration 2), and the final `TΦ`. This test executes the same
+//! queries through the engine and checks the actual table contents — not
+//! just cardinalities — against the figure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use probkb_core::prelude::*;
+use probkb_kb::prelude::*;
+use probkb_relational::prelude::*;
+
+const TABLE1: &str = r#"
+    fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+    fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+    rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+    rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+    rule 2.68 grow_up_in(x:Writer, y:Place) :- born_in(x, y)
+    rule 0.74 grow_up_in(x:Writer, y:City) :- born_in(x, y)
+    rule 0.32 located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+    rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+"#;
+
+struct Fixture {
+    kb: ProbKb,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        Fixture {
+            kb: parse(TABLE1).unwrap().build(),
+        }
+    }
+
+    fn rel(&self, name: &str) -> i64 {
+        self.kb.relations.get(name).unwrap() as i64
+    }
+
+    fn ent(&self, name: &str) -> i64 {
+        self.kb.entities.get(name).unwrap() as i64
+    }
+
+    /// Render a candidate row `(R, x, C1, y, C2)` as `rel(x, y)`.
+    fn candidate_name(&self, row: &[Value]) -> String {
+        let rel = self.kb.relations.resolve(row[0].as_int().unwrap() as u32).unwrap();
+        let x = self.kb.entities.resolve(row[1].as_int().unwrap() as u32).unwrap();
+        let y = self.kb.entities.resolve(row[3].as_int().unwrap() as u32).unwrap();
+        format!("{rel}({x}, {y})")
+    }
+}
+
+/// Iteration 1 of Query 1-1 applied to T⁰ (Figure 3(f)): all four M1
+/// rules fire on the two born_in facts, yielding exactly the facts with
+/// the class-correct bindings (live_in/grow_up_in × NYC-as-City /
+/// Brooklyn-as-Place).
+#[test]
+fn query_1_1_produces_figure_3f() {
+    let fx = Fixture::new();
+    let rel = load(&fx.kb);
+    let mut engine = SingleNodeEngine::new();
+    engine.load(&rel).unwrap();
+
+    let plan = ground_atoms_plan(RulePattern::P1, &names::mln(1), names::TPI);
+    let out = Executor::new(engine.catalog()).execute_table(&plan).unwrap();
+
+    let got: BTreeSet<String> = out.rows().iter().map(|r| fx.candidate_name(r)).collect();
+    let expected: BTreeSet<String> = [
+        "live_in(Ruth_Gruber, New_York_City)",
+        "live_in(Ruth_Gruber, Brooklyn)",
+        "grow_up_in(Ruth_Gruber, New_York_City)",
+        "grow_up_in(Ruth_Gruber, Brooklyn)",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(got, expected);
+
+    // Class columns match the rule that fired: NYC rows carry City, the
+    // Brooklyn rows carry Place.
+    let city = fx.kb.classes.get("City").unwrap() as i64;
+    let place = fx.kb.classes.get("Place").unwrap() as i64;
+    for row in out.rows() {
+        let y = row[3].as_int().unwrap();
+        let c2 = row[4].as_int().unwrap();
+        if y == fx.ent("New_York_City") {
+            assert_eq!(c2, city);
+        } else {
+            assert_eq!(c2, place);
+        }
+    }
+}
+
+/// Query 1-3 over T⁰ (the born_in ⋈ born_in rule): located_in(Brooklyn,
+/// New_York_City) — Figure 3(g)'s row 7 — plus nothing else from the
+/// live_in rule because no live_in facts exist yet.
+#[test]
+fn query_1_3_produces_located_in() {
+    let fx = Fixture::new();
+    let rel = load(&fx.kb);
+    let mut engine = SingleNodeEngine::new();
+    engine.load(&rel).unwrap();
+
+    let plan = ground_atoms_plan(RulePattern::P3, &names::mln(3), names::TPI);
+    let out = Executor::new(engine.catalog()).execute_table(&plan).unwrap();
+    let got: BTreeSet<String> = out.rows().iter().map(|r| fx.candidate_name(r)).collect();
+    assert_eq!(
+        got,
+        BTreeSet::from(["located_in(Brooklyn, New_York_City)".to_string()])
+    );
+}
+
+/// The final TΦ (Figure 3(e)): 8 factors with exactly the paper's
+/// (head ← body, weight) structure — 2 singletons with the extraction
+/// weights, 4 M1 factors, and the doubly-derived located_in head.
+#[test]
+fn final_t_phi_matches_figure_3e() {
+    let fx = Fixture::new();
+    let mut engine = SingleNodeEngine::new();
+    let out = ground(&fx.kb, &mut engine, &GroundingConfig::default()).unwrap();
+    assert_eq!(out.factors.len(), 8);
+
+    // Map fact ids to readable names.
+    let mut names_by_id: BTreeMap<i64, String> = BTreeMap::new();
+    for row in out.facts.rows() {
+        names_by_id.insert(
+            row[tpi::I].as_int().unwrap(),
+            fx.candidate_name(&[
+                row[tpi::R].clone(),
+                row[tpi::X].clone(),
+                row[tpi::C1].clone(),
+                row[tpi::Y].clone(),
+                row[tpi::C2].clone(),
+            ]),
+        );
+    }
+    let name = |v: &Value| names_by_id[&v.as_int().unwrap()].clone();
+
+    let mut singletons = BTreeSet::new();
+    let mut implications = BTreeSet::new();
+    for row in out.factors.rows() {
+        let w = row[tphi::W].as_float().unwrap();
+        match (row[tphi::I2].as_int(), row[tphi::I3].as_int()) {
+            (None, None) => {
+                singletons.insert(format!("{} @{w:.2}", name(&row[tphi::I1])));
+            }
+            (Some(_), None) => {
+                implications.insert(format!(
+                    "{} <- {} @{w:.2}",
+                    name(&row[tphi::I1]),
+                    name(&row[tphi::I2]),
+                ));
+            }
+            (Some(_), Some(_)) => {
+                implications.insert(format!(
+                    "{} <- {} & {} @{w:.2}",
+                    name(&row[tphi::I1]),
+                    name(&row[tphi::I2]),
+                    name(&row[tphi::I3]),
+                ));
+            }
+            (None, Some(_)) => panic!("I3 set without I2"),
+        }
+    }
+
+    let expected_singletons: BTreeSet<String> = [
+        "born_in(Ruth_Gruber, New_York_City) @0.96",
+        "born_in(Ruth_Gruber, Brooklyn) @0.93",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(singletons, expected_singletons);
+
+    let expected_implications: BTreeSet<String> = [
+        "live_in(Ruth_Gruber, New_York_City) <- born_in(Ruth_Gruber, New_York_City) @1.53",
+        "live_in(Ruth_Gruber, Brooklyn) <- born_in(Ruth_Gruber, Brooklyn) @1.40",
+        "grow_up_in(Ruth_Gruber, New_York_City) <- born_in(Ruth_Gruber, New_York_City) @0.74",
+        "grow_up_in(Ruth_Gruber, Brooklyn) <- born_in(Ruth_Gruber, Brooklyn) @2.68",
+        "located_in(Brooklyn, New_York_City) <- born_in(Ruth_Gruber, Brooklyn) & born_in(Ruth_Gruber, New_York_City) @0.52",
+        "located_in(Brooklyn, New_York_City) <- live_in(Ruth_Gruber, Brooklyn) & live_in(Ruth_Gruber, New_York_City) @0.32",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(implications, expected_implications);
+}
+
+/// The MLN tables themselves (Figure 3(b)/(c)): M1 holds the four
+/// length-2 identifier tuples, M3 the two length-3 ones with the right
+/// (R1, R2, R3) columns.
+#[test]
+fn mln_tables_match_figure_3bc() {
+    let fx = Fixture::new();
+    let rel = load(&fx.kb);
+    let m1 = rel
+        .mln
+        .iter()
+        .find(|(p, _)| *p == RulePattern::P1)
+        .map(|(_, t)| t)
+        .unwrap();
+    assert_eq!(m1.len(), 4);
+    for row in m1.rows() {
+        assert_eq!(row[1].as_int().unwrap(), fx.rel("born_in")); // R2 always born_in
+        let r1 = row[0].as_int().unwrap();
+        assert!(r1 == fx.rel("live_in") || r1 == fx.rel("grow_up_in"));
+    }
+
+    let m3 = rel
+        .mln
+        .iter()
+        .find(|(p, _)| *p == RulePattern::P3)
+        .map(|(_, t)| t)
+        .unwrap();
+    assert_eq!(m3.len(), 2);
+    for row in m3.rows() {
+        assert_eq!(row[0].as_int().unwrap(), fx.rel("located_in"));
+        // The body relations are symmetric (q = r) in both rules.
+        assert_eq!(row[1], row[2]);
+    }
+}

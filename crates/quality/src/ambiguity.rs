@@ -1,0 +1,106 @@
+//! Ambiguity detection (§5.2): entities that violate functional
+//! constraints are flagged as (potentially) ambiguous — a common name
+//! covering several real-world objects invalidates the equality checks in
+//! the grounding joins.
+
+use std::collections::HashSet;
+
+use probkb_core::prelude::{load, violators_plan};
+use probkb_kb::prelude::{ClassId, EntityId, ProbKb};
+use probkb_relational::prelude::{Catalog, Executor, Result};
+
+/// Detect `(entity, class)` pairs violating any functional constraint of
+/// the KB, without mutating anything.
+pub fn detect_violating_entities(kb: &ProbKb) -> Result<Vec<(EntityId, ClassId)>> {
+    let rel = load(kb);
+    let catalog = Catalog::new();
+    catalog.create("T", rel.t_pi)?;
+    catalog.create("Omega", rel.t_omega)?;
+    let exec = Executor::new(&catalog);
+    let mut seen: HashSet<(i64, i64)> = HashSet::new();
+    for alpha in [1, 2] {
+        let out = exec.execute_table(&violators_plan("T", "Omega", alpha))?;
+        for row in out.rows() {
+            seen.insert((
+                row[0].as_int().expect("entity"),
+                row[1].as_int().expect("class"),
+            ));
+        }
+    }
+    let mut pairs: Vec<(EntityId, ClassId)> = seen
+        .into_iter()
+        .map(|(e, c)| (EntityId::from_i64(e), ClassId::from_i64(c)))
+        .collect();
+    pairs.sort();
+    Ok(pairs)
+}
+
+/// Resolve detected violators to entity names for reports (Figure 5(b)).
+pub fn describe_violators(kb: &ProbKb, pairs: &[(EntityId, ClassId)]) -> Vec<String> {
+    pairs
+        .iter()
+        .map(|(e, c)| {
+            format!(
+                "{} : {}",
+                kb.entities.resolve(e.raw()).unwrap_or("?"),
+                kb.classes.resolve(c.raw()).unwrap_or("?"),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+
+    #[test]
+    fn ambiguous_entity_flagged() {
+        // Two different Mandels share one name → two birth cities.
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(Mandel:Person, Berlin:City)
+            fact 0.9 born_in(Mandel:Person, New_York_City:City)
+            fact 0.9 born_in(Freud:Person, Vienna:City)
+            functional born_in 1 1
+            "#,
+        )
+        .unwrap()
+        .build();
+        let pairs = detect_violating_entities(&kb).unwrap();
+        assert_eq!(pairs.len(), 1);
+        let described = describe_violators(&kb, &pairs);
+        assert_eq!(described, vec!["Mandel : Person"]);
+    }
+
+    #[test]
+    fn clean_kb_has_no_violators() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(A:Person, X:City)
+            fact 0.9 born_in(B:Person, X:City)
+            functional born_in 1 1
+            "#,
+        )
+        .unwrap()
+        .build();
+        // Two people born in the same city is fine for Type I.
+        assert!(detect_violating_entities(&kb).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detection_does_not_mutate_kb() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(M:Person, A:City)
+            fact 0.9 born_in(M:Person, B:City)
+            functional born_in 1 1
+            "#,
+        )
+        .unwrap()
+        .build();
+        let before = kb.facts.len();
+        let _ = detect_violating_entities(&kb).unwrap();
+        assert_eq!(kb.facts.len(), before);
+    }
+}

@@ -1,0 +1,285 @@
+//! Functional-constraint learning — the Leibniz stand-in.
+//!
+//! The paper obtains its constraint repository from Leibniz (Lin &
+//! Etzioni), an algorithm that identifies functional relations in web
+//! text. This module is a working replacement: it scans a KB's
+//! extractions and proposes Type-I/Type-II (pseudo-)functional
+//! constraints wherever the data supports them, with a noise tolerance so
+//! a few bad extractions do not mask a genuinely functional relation.
+
+use std::collections::HashMap;
+
+use probkb_kb::prelude::{FunctionalConstraint, Functionality, ProbKb, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// Learner parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnConfig {
+    /// Minimum number of distinct key entities a relation needs before a
+    /// constraint is proposed (too little evidence → no claim).
+    pub min_support: usize,
+    /// Largest pseudo-functionality degree δ worth declaring; relations
+    /// needing more partners than this are treated as non-functional.
+    pub max_degree: u32,
+    /// Fraction of key entities allowed to exceed the learned degree
+    /// (tolerates extraction noise). The learned degree is the smallest δ
+    /// covering at least `1 - tolerance` of the keys.
+    pub tolerance: f64,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            min_support: 3,
+            max_degree: 4,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// A proposed constraint with its supporting evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnedConstraint {
+    /// The constraint itself.
+    pub constraint: FunctionalConstraint,
+    /// Distinct key entities observed.
+    pub support: usize,
+    /// Fraction of keys whose partner count exceeds the learned degree.
+    pub violation_rate: f64,
+}
+
+/// Learn functional constraints from a KB's facts.
+///
+/// For each relation and each direction, the learner computes the number
+/// of distinct partners per key entity and proposes the smallest degree
+/// that covers `1 - tolerance` of the keys, provided it does not exceed
+/// `max_degree`. Results are sorted by relation id, Type I before Type II.
+pub fn learn_constraints(kb: &ProbKb, config: &LearnConfig) -> Vec<LearnedConstraint> {
+    // partners[(rel, direction)][key] = set of partner entities.
+    let mut forward: HashMap<RelationId, HashMap<i64, Vec<i64>>> = HashMap::new();
+    let mut backward: HashMap<RelationId, HashMap<i64, Vec<i64>>> = HashMap::new();
+    for fact in &kb.facts {
+        forward
+            .entry(fact.rel)
+            .or_default()
+            .entry(fact.x.as_i64())
+            .or_default()
+            .push(fact.y.as_i64());
+        backward
+            .entry(fact.rel)
+            .or_default()
+            .entry(fact.y.as_i64())
+            .or_default()
+            .push(fact.x.as_i64());
+    }
+
+    let mut learned = Vec::new();
+    for (index, functionality) in [
+        (&mut forward, Functionality::TypeI),
+        (&mut backward, Functionality::TypeII),
+    ] {
+        for (rel, keys) in index.iter_mut() {
+            if keys.len() < config.min_support {
+                continue;
+            }
+            // Distinct-partner counts per key.
+            let mut counts: Vec<usize> = keys
+                .values_mut()
+                .map(|partners| {
+                    partners.sort_unstable();
+                    partners.dedup();
+                    partners.len()
+                })
+                .collect();
+            counts.sort_unstable();
+            // Smallest degree covering (1 - tolerance) of the keys.
+            let cover = ((1.0 - config.tolerance) * counts.len() as f64).ceil() as usize;
+            let cover = cover.clamp(1, counts.len());
+            let degree = counts[cover - 1] as u32;
+            if degree > config.max_degree {
+                continue;
+            }
+            let violations = counts.iter().filter(|&&c| c > degree as usize).count();
+            learned.push(LearnedConstraint {
+                constraint: FunctionalConstraint {
+                    rel: *rel,
+                    classes: None,
+                    functionality,
+                    degree,
+                },
+                support: counts.len(),
+                violation_rate: violations as f64 / counts.len() as f64,
+            });
+        }
+    }
+    learned.sort_by_key(|l| {
+        (
+            l.constraint.rel,
+            l.constraint.functionality.alpha(),
+        )
+    });
+    learned
+}
+
+/// Convenience: learn constraints and return a KB copy with them
+/// installed (replacing any existing constraint set).
+pub fn with_learned_constraints(kb: &ProbKb, config: &LearnConfig) -> ProbKb {
+    let learned = learn_constraints(kb, config);
+    let mut out = kb.clone();
+    out.constraints = learned.into_iter().map(|l| l.constraint).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+
+    fn kb_text(extra: &str) -> ProbKb {
+        // born_in: strictly functional forward (everyone has one city).
+        // lived_in: pseudo-functional with degree 2.
+        // likes: not functional at all (many partners).
+        let mut text = String::from(
+            r#"
+            fact 0.9 born_in(A:P, X:C)
+            fact 0.9 born_in(B:P, Y:C)
+            fact 0.9 born_in(C:P, X:C)
+            fact 0.9 born_in(D:P, Z:C)
+            fact 0.9 lived_in(A:P, X:C)
+            fact 0.9 lived_in(A:P, Y:C)
+            fact 0.9 lived_in(B:P, X:C)
+            fact 0.9 lived_in(B:P, Z:C)
+            fact 0.9 lived_in(C:P, Z:C)
+            fact 0.9 likes(A:P, T1:C)
+            fact 0.9 likes(A:P, T2:C)
+            fact 0.9 likes(A:P, T3:C)
+            fact 0.9 likes(A:P, T4:C)
+            fact 0.9 likes(A:P, T5:C)
+            fact 0.9 likes(B:P, T1:C)
+            fact 0.9 likes(B:P, T2:C)
+            fact 0.9 likes(B:P, T3:C)
+            fact 0.9 likes(B:P, T4:C)
+            fact 0.9 likes(B:P, T5:C)
+            fact 0.9 likes(D:P, T1:C)
+            fact 0.9 likes(D:P, T2:C)
+            fact 0.9 likes(D:P, T3:C)
+            fact 0.9 likes(D:P, T4:C)
+            fact 0.9 likes(D:P, T5:C)
+            "#,
+        );
+        text.push_str(extra);
+        parse(&text).unwrap().build()
+    }
+
+    fn find<'a>(
+        learned: &'a [LearnedConstraint],
+        kb: &ProbKb,
+        rel: &str,
+        functionality: Functionality,
+    ) -> Option<&'a LearnedConstraint> {
+        let rel = RelationId(kb.relations.get(rel)?);
+        learned
+            .iter()
+            .find(|l| l.constraint.rel == rel && l.constraint.functionality == functionality)
+    }
+
+    #[test]
+    fn learns_strict_and_pseudo_functionality() {
+        let kb = kb_text("");
+        let learned = learn_constraints(&kb, &LearnConfig {
+            tolerance: 0.0,
+            ..LearnConfig::default()
+        });
+        let born = find(&learned, &kb, "born_in", Functionality::TypeI).unwrap();
+        assert_eq!(born.constraint.degree, 1);
+        assert_eq!(born.support, 4);
+        assert_eq!(born.violation_rate, 0.0);
+
+        let lived = find(&learned, &kb, "lived_in", Functionality::TypeI).unwrap();
+        assert_eq!(lived.constraint.degree, 2);
+
+        // likes needs 5 partners per key — beyond max_degree.
+        assert!(find(&learned, &kb, "likes", Functionality::TypeI).is_none());
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        // Twenty clean born_in subjects plus one noisy subject with two
+        // cities: zero tolerance learns degree 2; 5% tolerance keeps 1.
+        let mut extra = String::new();
+        for i in 0..20 {
+            extra.push_str(&format!("fact 0.9 moved_to(p{i}:P, c{i}:C)\n"));
+        }
+        extra.push_str("fact 0.9 moved_to(p0:P, cX:C)\n");
+        let kb = kb_text(&extra);
+
+        let strict = learn_constraints(&kb, &LearnConfig { tolerance: 0.0, ..LearnConfig::default() });
+        assert_eq!(
+            find(&strict, &kb, "moved_to", Functionality::TypeI).unwrap().constraint.degree,
+            2
+        );
+        let tolerant = learn_constraints(&kb, &LearnConfig { tolerance: 0.05, ..LearnConfig::default() });
+        let l = find(&tolerant, &kb, "moved_to", Functionality::TypeI).unwrap();
+        assert_eq!(l.constraint.degree, 1);
+        assert!(l.violation_rate > 0.0 && l.violation_rate <= 0.05);
+    }
+
+    #[test]
+    fn type2_learned_independently() {
+        // capital_of: each country has one capital (Type II), but many
+        // cities can claim... make it functional both ways here and check
+        // Type II comes out.
+        let kb = parse(
+            r#"
+            fact 0.9 capital_of(Berlin:C, Germany:N)
+            fact 0.9 capital_of(Paris:C, France:N)
+            fact 0.9 capital_of(Rome:C, Italy:N)
+            "#,
+        )
+        .unwrap()
+        .build();
+        let learned = learn_constraints(&kb, &LearnConfig::default());
+        assert!(find(&learned, &kb, "capital_of", Functionality::TypeII).is_some());
+        assert!(find(&learned, &kb, "capital_of", Functionality::TypeI).is_some());
+    }
+
+    #[test]
+    fn min_support_suppresses_weak_evidence() {
+        let kb = parse("fact 0.9 rare(a:P, b:C)\nfact 0.9 rare(c:P, d:C)").unwrap().build();
+        let learned = learn_constraints(&kb, &LearnConfig::default());
+        assert!(learned.is_empty(), "2 keys < min_support 3");
+    }
+
+    #[test]
+    fn with_learned_constraints_installs_them() {
+        let kb = kb_text("");
+        assert!(kb.constraints.is_empty());
+        let equipped = with_learned_constraints(&kb, &LearnConfig::default());
+        assert!(!equipped.constraints.is_empty());
+        assert_eq!(equipped.facts.len(), kb.facts.len());
+        assert!(equipped.validate().is_empty());
+    }
+
+    #[test]
+    fn learned_constraints_work_in_grounding() {
+        // End-to-end: learn constraints, then use them to catch an
+        // injected ambiguity.
+        let mut kb = kb_text("");
+        // Inject: subject E born in two cities (ambiguous name).
+        let mut b = ProbKb::builder();
+        probkb_kb::parser::parse_into(&mut b, &probkb_kb::io::to_text(&kb)).unwrap();
+        b.fact(0.9, "born_in", ("E", "P"), ("X", "C"));
+        b.fact(0.9, "born_in", ("E", "P"), ("Y", "C"));
+        kb = b.build();
+        let equipped = with_learned_constraints(&kb, &LearnConfig {
+            tolerance: 0.2, // learn degree 1 despite E's noise
+            ..LearnConfig::default()
+        });
+        let violators = crate::ambiguity::detect_violating_entities(&equipped).unwrap();
+        let names = crate::ambiguity::describe_violators(&equipped, &violators);
+        assert!(
+            names.iter().any(|n| n.starts_with("E ")),
+            "expected E flagged, got {names:?}"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Precision evaluation against ground truth (§6.2, Figure 7(a)).
+
+use probkb_core::prelude::{tpi, GroundingOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::truth::{FactKey, GroundTruth};
+
+/// One point on a precision curve: the state of inference after a given
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionPoint {
+    /// Facts inferred through this iteration (cumulative, survivors only).
+    pub inferred: usize,
+    /// Of those, how many are correct or probable.
+    pub correct: usize,
+    /// `correct / inferred` (1.0 when nothing inferred yet).
+    pub precision: f64,
+    /// The iteration this point summarizes.
+    pub iteration: usize,
+}
+
+/// Overall evaluation of a grounding run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Cumulative precision after each iteration — the trajectory
+    /// Figure 7(a) plots (precision vs estimated number of correct facts).
+    pub curve: Vec<PrecisionPoint>,
+    /// Total inferred facts surviving in the final KB.
+    pub inferred: usize,
+    /// Total correct/probable inferred facts.
+    pub correct: usize,
+    /// Final precision.
+    pub precision: f64,
+}
+
+fn key_of_row(row: &[probkb_relational::value::Value]) -> FactKey {
+    [
+        row[tpi::R].as_int().expect("R"),
+        row[tpi::X].as_int().expect("x"),
+        row[tpi::C1].as_int().expect("C1"),
+        row[tpi::Y].as_int().expect("y"),
+        row[tpi::C2].as_int().expect("C2"),
+    ]
+}
+
+/// Evaluate a grounding outcome against ground truth.
+///
+/// Only *inferred* facts (NULL weight, i.e. not among the extractions)
+/// count, and only those that survived constraint enforcement — exactly
+/// the facts the paper's judges would have scored.
+pub fn evaluate(outcome: &GroundingOutcome, truth: &GroundTruth) -> Evaluation {
+    // (iteration, acceptable?) for every surviving inferred fact.
+    let mut judged: Vec<(usize, bool)> = Vec::new();
+    for row in outcome.facts.rows() {
+        if !row[tpi::W].is_null() {
+            continue; // extracted fact, not inferred
+        }
+        let id = row[tpi::I].as_int().expect("I");
+        let iteration = outcome.fact_iteration.get(&id).copied().unwrap_or(0);
+        judged.push((iteration, truth.is_acceptable(&key_of_row(row))));
+    }
+    judged.sort_by_key(|&(iter, _)| iter);
+
+    let mut curve = Vec::new();
+    let mut inferred = 0usize;
+    let mut correct = 0usize;
+    let mut idx = 0usize;
+    let max_iter = judged.last().map(|&(i, _)| i).unwrap_or(0);
+    for iteration in 1..=max_iter {
+        while idx < judged.len() && judged[idx].0 == iteration {
+            inferred += 1;
+            correct += judged[idx].1 as usize;
+            idx += 1;
+        }
+        curve.push(PrecisionPoint {
+            inferred,
+            correct,
+            precision: if inferred == 0 {
+                1.0
+            } else {
+                correct as f64 / inferred as f64
+            },
+            iteration,
+        });
+    }
+    Evaluation {
+        inferred,
+        correct,
+        precision: if inferred == 0 {
+            1.0
+        } else {
+            correct as f64 / inferred as f64
+        },
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_core::prelude::{ground, GroundingConfig, SingleNodeEngine};
+    use probkb_kb::prelude::parse;
+
+    #[test]
+    fn perfect_kb_scores_full_precision() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(A:Person, X:City)
+            rule 1.0 live_in(x:Person, y:City) :- born_in(x, y)
+            "#,
+        )
+        .unwrap()
+        .build();
+        let mut engine = SingleNodeEngine::new();
+        let out = ground(&kb, &mut engine, &GroundingConfig::default()).unwrap();
+
+        // Truth: live_in(A, X) is correct.
+        let mut truth = GroundTruth::default();
+        for row in out.facts.rows() {
+            truth.true_keys.insert(key_of_row(row));
+        }
+        let eval = evaluate(&out, &truth);
+        assert_eq!(eval.inferred, 1);
+        assert_eq!(eval.correct, 1);
+        assert_eq!(eval.precision, 1.0);
+        assert_eq!(eval.curve.len(), 1);
+        assert_eq!(eval.curve[0].iteration, 1);
+    }
+
+    #[test]
+    fn wrong_inferences_lower_precision() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(A:Person, X:City)
+            fact 0.9 born_in(B:Person, Y:City)
+            rule 1.0 live_in(x:Person, y:City) :- born_in(x, y)
+            "#,
+        )
+        .unwrap()
+        .build();
+        let mut engine = SingleNodeEngine::new();
+        let out = ground(&kb, &mut engine, &GroundingConfig::default()).unwrap();
+        // Only live_in(A, X) is true; live_in(B, Y) is judged incorrect.
+        let mut truth = GroundTruth::default();
+        let a_key = out
+            .facts
+            .rows()
+            .iter()
+            .find(|r| r[tpi::W].is_null() && r[tpi::X] == out.facts.rows()[0][tpi::X])
+            .map(|r| key_of_row(r))
+            .unwrap();
+        truth.true_keys.insert(a_key);
+        let eval = evaluate(&out, &truth);
+        assert_eq!(eval.inferred, 2);
+        assert_eq!(eval.correct, 1);
+        assert!((eval.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probable_facts_count_as_acceptable() {
+        let kb = parse(
+            r#"
+            fact 0.9 born_in(A:Person, X:City)
+            rule 1.0 live_in(x:Person, y:City) :- born_in(x, y)
+            "#,
+        )
+        .unwrap()
+        .build();
+        let mut engine = SingleNodeEngine::new();
+        let out = ground(&kb, &mut engine, &GroundingConfig::default()).unwrap();
+        let mut truth = GroundTruth::default();
+        for row in out.facts.rows() {
+            if row[tpi::W].is_null() {
+                truth.probable_keys.insert(key_of_row(row));
+            }
+        }
+        let eval = evaluate(&out, &truth);
+        assert_eq!(eval.precision, 1.0);
+    }
+
+    #[test]
+    fn empty_inference_has_unit_precision_and_empty_curve() {
+        let kb = parse("fact 0.9 p(a:A, b:B)").unwrap().build();
+        let mut engine = SingleNodeEngine::new();
+        let out = ground(&kb, &mut engine, &GroundingConfig::default()).unwrap();
+        let eval = evaluate(&out, &GroundTruth::default());
+        assert_eq!(eval.inferred, 0);
+        assert_eq!(eval.precision, 1.0);
+        assert!(eval.curve.is_empty());
+    }
+}

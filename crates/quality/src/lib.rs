@@ -1,0 +1,38 @@
+//! # probkb-quality
+//!
+//! Quality control for machine-constructed knowledge bases (§5 of the
+//! ProbKB paper): the error sources E1–E4, and the defenses the paper
+//! combines to raise inferred-fact precision from 0.14 to 0.75.
+//!
+//! * [`ambiguity`] — detect ambiguous entities via functional-constraint
+//!   violations (§5.2). The enforcement itself (Query 3) lives in
+//!   `probkb-core` because it runs inside Algorithm 1.
+//! * [`rule_cleaning`] — keep the top-θ rules by statistical significance
+//!   (§5.3).
+//! * [`truth`] / [`evaluation`] — machine-checkable ground truth and the
+//!   precision curves of Figure 7(a).
+//! * [`error_sources`] — the violation taxonomy and classification behind
+//!   Figure 7(b).
+
+#![warn(missing_docs)]
+
+pub mod ambiguity;
+pub mod constraint_learning;
+pub mod error_sources;
+pub mod evaluation;
+pub mod rule_cleaning;
+pub mod truth;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::ambiguity::{describe_violators, detect_violating_entities};
+    pub use crate::constraint_learning::{
+        learn_constraints, with_learned_constraints, LearnConfig, LearnedConstraint,
+    };
+    pub use crate::error_sources::{
+        classify_violation, evidence_for, Breakdown, ErrorSource, ViolationEvidence,
+    };
+    pub use crate::evaluation::{evaluate, Evaluation, PrecisionPoint};
+    pub use crate::rule_cleaning::{clean_rules, surviving_rule_indices};
+    pub use crate::truth::{fact_key, Credibility, FactKey, GroundTruth};
+}

@@ -1,0 +1,111 @@
+//! Rule cleaning (§5.3): rank rules by their Sherlock-style statistical
+//! significance and keep the top-θ fraction.
+
+use probkb_kb::prelude::ProbKb;
+
+/// The indices of the rules that survive cleaning at threshold `theta ∈
+/// (0, 1]`: the `⌈θ·n⌉` highest-significance rules (ties broken by
+/// original order, which keeps cleaning deterministic).
+pub fn surviving_rule_indices(kb: &ProbKb, theta: f64) -> Vec<usize> {
+    let theta = theta.clamp(0.0, 1.0);
+    let n = kb.rules.len();
+    let keep = ((theta * n as f64).ceil() as usize).min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        kb.rules[b]
+            .significance
+            .total_cmp(&kb.rules[a].significance)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = order.into_iter().take(keep).collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// A copy of the KB with only the top-θ rules retained. Facts, entities,
+/// and constraints are untouched.
+pub fn clean_rules(kb: &ProbKb, theta: f64) -> ProbKb {
+    let keep = surviving_rule_indices(kb, theta);
+    let mut cleaned = kb.clone();
+    cleaned.rules = keep.iter().map(|&i| kb.rules[i].clone()).collect();
+    cleaned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+
+    fn kb() -> ProbKb {
+        // Parser sets significance = weight; weights 0.1 .. 0.5.
+        parse(
+            r#"
+            rule 0.3 p1(x:A, y:B) :- q(x, y)
+            rule 0.5 p2(x:A, y:B) :- q(x, y)
+            rule 0.1 p3(x:A, y:B) :- q(x, y)
+            rule 0.4 p4(x:A, y:B) :- q(x, y)
+            rule 0.2 p5(x:A, y:B) :- q(x, y)
+            "#,
+        )
+        .unwrap()
+        .build()
+    }
+
+    #[test]
+    fn keeps_top_fraction_by_significance() {
+        let kb = kb();
+        // Top 40% of 5 rules = 2 rules: the 0.5 and 0.4 ones.
+        let kept = surviving_rule_indices(&kb, 0.4);
+        assert_eq!(kept, vec![1, 3]);
+        let cleaned = clean_rules(&kb, 0.4);
+        assert_eq!(cleaned.rules.len(), 2);
+        assert!(cleaned
+            .rules
+            .iter()
+            .all(|r| r.significance >= 0.4));
+    }
+
+    #[test]
+    fn theta_one_keeps_everything() {
+        let kb = kb();
+        assert_eq!(clean_rules(&kb, 1.0).rules.len(), 5);
+        assert_eq!(surviving_rule_indices(&kb, 1.0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn theta_clamps_and_rounds_up() {
+        let kb = kb();
+        // 10% of 5 = 0.5 → ceil → 1 rule.
+        assert_eq!(clean_rules(&kb, 0.1).rules.len(), 1);
+        // Out-of-range thetas clamp.
+        assert_eq!(clean_rules(&kb, 5.0).rules.len(), 5);
+        assert_eq!(clean_rules(&kb, -1.0).rules.len(), 0);
+    }
+
+    #[test]
+    fn facts_and_constraints_untouched() {
+        let kb = parse(
+            r#"
+            fact 0.9 q(a:A, b:B)
+            rule 0.5 p(x:A, y:B) :- q(x, y)
+            functional q 1 1
+            "#,
+        )
+        .unwrap()
+        .build();
+        let cleaned = clean_rules(&kb, 0.00001);
+        assert_eq!(cleaned.rules.len(), 1); // ceil of tiny θ keeps 1
+        assert_eq!(cleaned.facts.len(), 1);
+        assert_eq!(cleaned.constraints.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let kb = parse(
+            "rule 0.5 p1(x:A, y:B) :- q(x, y)\nrule 0.5 p2(x:A, y:B) :- q(x, y)",
+        )
+        .unwrap()
+        .build();
+        assert_eq!(surviving_rule_indices(&kb, 0.5), vec![0]);
+    }
+}

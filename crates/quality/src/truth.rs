@@ -1,0 +1,117 @@
+//! Ground-truth bookkeeping for quality evaluation.
+//!
+//! The paper estimates precision with human judges scoring sampled facts
+//! as *correct*, *probable*, or *incorrect* (§6.2). Our synthetic KBs
+//! carry machine-checkable ground truth instead: the generator records
+//! which facts belong to the true world, which rules/entities/extractions
+//! were injected as errors, and which derived facts each error family
+//! produces.
+
+use std::collections::HashSet;
+
+use probkb_kb::prelude::Fact;
+use serde::{Deserialize, Serialize};
+
+/// The `(R, x, C1, y, C2)` identity of a fact, matching
+/// [`probkb_core::relmodel::FactRegistry`] keys.
+pub type FactKey = [i64; 5];
+
+/// Extract the key of a KB-model fact.
+pub fn fact_key(fact: &Fact) -> FactKey {
+    [
+        fact.rel.as_i64(),
+        fact.x.as_i64(),
+        fact.c1.as_i64(),
+        fact.y.as_i64(),
+        fact.c2.as_i64(),
+    ]
+}
+
+/// The paper's three credibility levels (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Credibility {
+    /// In the true world.
+    Correct,
+    /// Derived from rules that are likely but not certain — accepted when
+    /// estimating precision, as in the paper.
+    Probable,
+    /// Everything else.
+    Incorrect,
+}
+
+/// Ground truth produced by the error-injecting generator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Facts of the true world: the clean extractions plus everything
+    /// derivable from them with the correct rules.
+    pub true_keys: HashSet<FactKey>,
+    /// Acceptable-but-uncertain facts (derived via pseudo-functional
+    /// stretches); judged [`Credibility::Probable`].
+    pub probable_keys: HashSet<FactKey>,
+    /// Indices (into the corrupted KB's rule list) of injected wrong rules.
+    pub wrong_rule_ids: HashSet<usize>,
+    /// Entity ids made ambiguous by merging distinct entities under one
+    /// name (E3).
+    pub ambiguous_entities: HashSet<i64>,
+    /// Entity ids that are synonyms of another entity (same real-world
+    /// object under two names).
+    pub synonym_entities: HashSet<i64>,
+    /// Injected incorrect extractions (E1).
+    pub error_fact_keys: HashSet<FactKey>,
+    /// Facts derivable only by using at least one wrong rule (E2 → E4).
+    pub wrong_rule_products: HashSet<FactKey>,
+    /// Facts derivable from correct rules only because an ambiguous entity
+    /// invalidated a join (E3 → E4).
+    pub ambiguity_products: HashSet<FactKey>,
+}
+
+impl GroundTruth {
+    /// Judge a fact key.
+    pub fn judge(&self, key: &FactKey) -> Credibility {
+        if self.true_keys.contains(key) {
+            Credibility::Correct
+        } else if self.probable_keys.contains(key) {
+            Credibility::Probable
+        } else {
+            Credibility::Incorrect
+        }
+    }
+
+    /// Correct and probable both count toward precision (§6.2: "the
+    /// fraction of correct and probable facts").
+    pub fn is_acceptable(&self, key: &FactKey) -> bool {
+        self.judge(key) != Credibility::Incorrect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::{ClassId, EntityId, RelationId};
+
+    #[test]
+    fn fact_key_matches_registry_layout() {
+        let f = Fact::new(
+            RelationId(1),
+            EntityId(2),
+            ClassId(3),
+            EntityId(4),
+            ClassId(5),
+            0.9,
+        );
+        assert_eq!(fact_key(&f), [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn judging_levels() {
+        let mut truth = GroundTruth::default();
+        truth.true_keys.insert([1, 1, 1, 1, 1]);
+        truth.probable_keys.insert([2, 2, 2, 2, 2]);
+        assert_eq!(truth.judge(&[1, 1, 1, 1, 1]), Credibility::Correct);
+        assert_eq!(truth.judge(&[2, 2, 2, 2, 2]), Credibility::Probable);
+        assert_eq!(truth.judge(&[9, 9, 9, 9, 9]), Credibility::Incorrect);
+        assert!(truth.is_acceptable(&[1, 1, 1, 1, 1]));
+        assert!(truth.is_acceptable(&[2, 2, 2, 2, 2]));
+        assert!(!truth.is_acceptable(&[9, 9, 9, 9, 9]));
+    }
+}

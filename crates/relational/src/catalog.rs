@@ -1,0 +1,210 @@
+//! A named-table catalog with interior mutability.
+//!
+//! Tables are stored behind `Arc` so scans are zero-copy snapshots; the
+//! MPP layer gives each segment its own `Catalog`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// A collection of named tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table. Errors if the name is taken.
+    pub fn create(&self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        let mut guard = self.tables.write();
+        if guard.contains_key(&name) {
+            return Err(Error::AlreadyExists(name));
+        }
+        guard.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Register or overwrite a table.
+    pub fn create_or_replace(&self, name: impl Into<String>, table: Table) {
+        self.tables.write().insert(name.into(), Arc::new(table));
+    }
+
+    /// Fetch a table snapshot.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// The schema of a named table.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        Ok(self.get(name)?.schema().clone())
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// True if a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// All table names, sorted for deterministic output.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Row count of a named table.
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        Ok(self.get(name)?.len())
+    }
+
+    /// Append rows to a table (INSERT). Rows are validated.
+    pub fn insert_rows(&self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let mut guard = self.tables.write();
+        let slot = guard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        let table = Arc::make_mut(slot);
+        let n = rows.len();
+        for row in rows {
+            table.push(row)?;
+        }
+        Ok(n)
+    }
+
+    /// Append rows without validation (hot path for grounding merges).
+    pub fn insert_rows_unchecked(&self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let mut guard = self.tables.write();
+        let slot = guard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        let table = Arc::make_mut(slot);
+        let n = rows.len();
+        table.rows_mut().extend(rows);
+        Ok(n)
+    }
+
+    /// Delete rows whose key over `cols` appears in `keys`; returns the
+    /// number of deleted rows. This is the `DELETE ... WHERE (..) IN (..)`
+    /// used by Query 3 (`applyConstraints`).
+    pub fn delete_matching(
+        &self,
+        name: &str,
+        cols: &[usize],
+        keys: &HashSet<Vec<Value>>,
+    ) -> Result<usize> {
+        let mut guard = self.tables.write();
+        let slot = guard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        Ok(Arc::make_mut(slot).delete_matching(cols, keys))
+    }
+
+    /// Deduplicate a table in place over the listed columns.
+    pub fn dedup_table(&self, name: &str, cols: &[usize]) -> Result<usize> {
+        let mut guard = self.tables.write();
+        let slot = guard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        let table = Arc::make_mut(slot);
+        let before = table.len();
+        table.dedup_by_cols(cols);
+        Ok(before - table.len())
+    }
+
+    /// Total approximate bytes across all tables.
+    pub fn size_bytes(&self) -> usize {
+        self.tables.read().values().map(|t| t.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: Vec<i64>) -> Table {
+        Table::from_rows_unchecked(
+            Schema::ints(&["a"]),
+            rows.into_iter().map(|v| vec![Value::Int(v)]).collect(),
+        )
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 2])).unwrap();
+        assert!(cat.contains("t"));
+        assert_eq!(cat.row_count("t").unwrap(), 2);
+        assert!(matches!(
+            cat.create("t", table(vec![])),
+            Err(Error::AlreadyExists(_))
+        ));
+        assert!(cat.drop_table("t"));
+        assert!(!cat.drop_table("t"));
+        assert!(matches!(cat.get("t"), Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_inserts() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1])).unwrap();
+        let snap = cat.get("t").unwrap();
+        cat.insert_rows("t", vec![vec![Value::Int(2)]]).unwrap();
+        assert_eq!(snap.len(), 1); // old snapshot unchanged
+        assert_eq!(cat.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn insert_validates() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![])).unwrap();
+        assert!(cat.insert_rows("t", vec![vec![Value::str("x")]]).is_err());
+        assert!(cat.insert_rows("missing", vec![]).is_err());
+    }
+
+    #[test]
+    fn delete_matching_applies_keys() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 2, 3, 1])).unwrap();
+        let mut keys = HashSet::new();
+        keys.insert(vec![Value::Int(1)]);
+        let removed = cat.delete_matching("t", &[0], &keys).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(cat.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn dedup_table_counts_removed() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 1, 2])).unwrap();
+        assert_eq!(cat.dedup_table("t", &[0]).unwrap(), 1);
+        assert_eq!(cat.row_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let cat = Catalog::new();
+        cat.create("b", table(vec![])).unwrap();
+        cat.create("a", table(vec![])).unwrap();
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

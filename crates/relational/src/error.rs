@@ -1,0 +1,84 @@
+//! Error type shared by the relational engine.
+
+use std::fmt;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// A row's arity or types did not match the target schema.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An expression was evaluated against incompatible operand types.
+    TypeMismatch {
+        /// Human-readable description of the offending expression.
+        detail: String,
+    },
+    /// A column index was out of bounds for the schema it was applied to.
+    ColumnOutOfBounds {
+        /// The requested column index.
+        index: usize,
+        /// The number of columns in the schema.
+        width: usize,
+    },
+    /// A plan was structurally invalid (e.g. join key arity mismatch).
+    InvalidPlan(String),
+    /// An object (table, view, index) already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            Error::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            Error::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            Error::ColumnOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for width {width}")
+            }
+            Error::InvalidPlan(detail) => write!(f, "invalid plan: {detail}"),
+            Error::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownTable("t".into()), "unknown table: t"),
+            (Error::UnknownColumn("c".into()), "unknown column: c"),
+            (
+                Error::SchemaMismatch { detail: "d".into() },
+                "schema mismatch: d",
+            ),
+            (
+                Error::TypeMismatch { detail: "d".into() },
+                "type mismatch: d",
+            ),
+            (
+                Error::ColumnOutOfBounds { index: 4, width: 2 },
+                "column index 4 out of bounds for width 2",
+            ),
+            (Error::InvalidPlan("p".into()), "invalid plan: p"),
+            (Error::AlreadyExists("x".into()), "object already exists: x"),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+}

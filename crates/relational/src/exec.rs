@@ -1,0 +1,695 @@
+//! The plan executor.
+//!
+//! Executes [`Plan`] trees bottom-up, materializing a [`Table`] per
+//! operator (set-oriented execution, like the SQL engines the paper runs
+//! on). Every node records its own wall-clock time and output cardinality
+//! so `EXPLAIN ANALYZE`-style output (Figure 4) can be rendered from any
+//! execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::plan::{AggFunc, JoinKind, Plan};
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// Per-node execution statistics, mirroring the plan tree.
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// Operator description (e.g. `Seq Scan on TPi`).
+    pub description: String,
+    /// Rows produced by this node.
+    pub rows_out: usize,
+    /// Time spent in this node, excluding children.
+    pub elapsed: Duration,
+    /// Child metrics, in plan order.
+    pub children: Vec<ExecMetrics>,
+}
+
+impl ExecMetrics {
+    /// Total time including children.
+    pub fn total_elapsed(&self) -> Duration {
+        self.elapsed + self.children.iter().map(|c| c.total_elapsed()).sum::<Duration>()
+    }
+
+    /// Visit every node depth-first.
+    pub fn visit(&self, f: &mut dyn FnMut(&ExecMetrics, usize)) {
+        fn go(node: &ExecMetrics, depth: usize, f: &mut dyn FnMut(&ExecMetrics, usize)) {
+            f(node, depth);
+            for c in &node.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+}
+
+/// Either a shared snapshot (scans) or an operator-owned table.
+enum Batch {
+    Shared(Arc<Table>),
+    Owned(Table),
+}
+
+impl Batch {
+    fn table(&self) -> &Table {
+        match self {
+            Batch::Shared(t) => t,
+            Batch::Owned(t) => t,
+        }
+    }
+
+    fn into_table(self) -> Table {
+        match self {
+            Batch::Shared(t) => (*t).clone(),
+            Batch::Owned(t) => t,
+        }
+    }
+}
+
+/// Executes plans against a catalog.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Executor<'a> {
+    /// Build an executor over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Executor { catalog }
+    }
+
+    /// Execute a plan, returning the result and per-node metrics.
+    pub fn execute(&self, plan: &Plan) -> Result<(Table, ExecMetrics)> {
+        let (batch, metrics) = self.run(plan)?;
+        Ok((batch.into_table(), metrics))
+    }
+
+    /// Execute a plan, returning only the result table.
+    pub fn execute_table(&self, plan: &Plan) -> Result<Table> {
+        Ok(self.execute(plan)?.0)
+    }
+
+    fn run(&self, plan: &Plan) -> Result<(Batch, ExecMetrics)> {
+        match plan {
+            Plan::Scan { table } => {
+                let start = Instant::now();
+                let t = self.catalog.get(table)?;
+                let metrics = ExecMetrics {
+                    description: plan.describe(),
+                    rows_out: t.len(),
+                    elapsed: start.elapsed(),
+                    children: vec![],
+                };
+                Ok((Batch::Shared(t), metrics))
+            }
+            Plan::Values { table } => {
+                let metrics = ExecMetrics {
+                    description: plan.describe(),
+                    rows_out: table.len(),
+                    elapsed: Duration::ZERO,
+                    children: vec![],
+                };
+                Ok((Batch::Owned(table.clone()), metrics))
+            }
+            Plan::Filter { input, predicate } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let src = batch.table();
+                let mut out = Vec::new();
+                for row in src.rows() {
+                    if predicate.eval(row)?.is_truthy() {
+                        out.push(row.clone());
+                    }
+                }
+                let table = Table::from_rows_unchecked(src.schema().clone(), out);
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+            Plan::Project { input, exprs } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let src = batch.table();
+                let lookup = |name: &str| self.catalog.schema_of(name);
+                let schema = plan.schema(&lookup)?;
+                let mut rows = Vec::with_capacity(src.len());
+                for row in src.rows() {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs {
+                        out.push(e.eval(row)?);
+                    }
+                    rows.push(out);
+                }
+                let table = Table::from_rows_unchecked(schema, rows);
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
+                if left_keys.len() != right_keys.len() {
+                    return Err(Error::InvalidPlan(format!(
+                        "join key arity mismatch: {} vs {}",
+                        left_keys.len(),
+                        right_keys.len()
+                    )));
+                }
+                let (lb, lm) = self.run(left)?;
+                let (rb, rm) = self.run(right)?;
+                let start = Instant::now();
+                let table = hash_join(lb.table(), rb.table(), left_keys, right_keys, *kind);
+                Ok(self.done(plan, table, start, vec![lm, rm]))
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let lookup = |name: &str| self.catalog.schema_of(name);
+                let schema = plan.schema(&lookup)?;
+                let table = aggregate_table(batch.table(), group_by, aggs, schema)?;
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+            Plan::Distinct { input } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let mut table = batch.into_table();
+                table.dedup_rows();
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+            Plan::UnionAll { left, right } => {
+                let (lb, lm) = self.run(left)?;
+                let (rb, rm) = self.run(right)?;
+                let start = Instant::now();
+                let lt = lb.table();
+                let rt = rb.table();
+                if lt.schema().width() != rt.schema().width() {
+                    return Err(Error::InvalidPlan(format!(
+                        "UNION ALL width mismatch: {} vs {}",
+                        lt.schema().width(),
+                        rt.schema().width()
+                    )));
+                }
+                let mut table = lb.into_table();
+                table.extend_from(rb.into_table());
+                Ok(self.done(plan, table, start, vec![lm, rm]))
+            }
+            Plan::Sort { input, keys } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let mut table = batch.into_table();
+                table.sort_by_cols(keys);
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+            Plan::Limit { input, n } => {
+                let (batch, child) = self.run(input)?;
+                let start = Instant::now();
+                let src = batch.table();
+                let rows: Vec<Row> = src.rows().iter().take(*n).cloned().collect();
+                let table = Table::from_rows_unchecked(src.schema().clone(), rows);
+                Ok(self.done(plan, table, start, vec![child]))
+            }
+        }
+    }
+
+    fn done(
+        &self,
+        plan: &Plan,
+        table: Table,
+        start: Instant,
+        children: Vec<ExecMetrics>,
+    ) -> (Batch, ExecMetrics) {
+        let metrics = ExecMetrics {
+            description: plan.describe(),
+            rows_out: table.len(),
+            elapsed: start.elapsed(),
+            children,
+        };
+        (Batch::Owned(table), metrics)
+    }
+}
+
+/// Multi-key hash equi-join. For inner joins the hash table is built on
+/// whichever input is smaller (as a cost-based optimizer would choose) and
+/// the larger side probes; the output row layout is always
+/// `left ++ right` regardless. Rows with a NULL in any key column never
+/// match (SQL semantics).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+) -> Table {
+    match kind {
+        JoinKind::Inner => {
+            let schema = left.schema().join(right.schema());
+            let mut rows = Vec::new();
+            if left.len() <= right.len() {
+                // Build on the left, probe with the right.
+                let mut build: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(left.len());
+                for (i, row) in left.rows().iter().enumerate() {
+                    let key = Table::key_of(row, left_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    build.entry(key).or_default().push(i);
+                }
+                for rrow in right.rows() {
+                    let key = Table::key_of(rrow, right_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = build.get(&key) {
+                        for &li in matches {
+                            let mut out = left.rows()[li].clone();
+                            out.extend_from_slice(rrow);
+                            rows.push(out);
+                        }
+                    }
+                }
+            } else {
+                // Build on the right, probe with the left.
+                let mut build: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(right.len());
+                for (i, row) in right.rows().iter().enumerate() {
+                    let key = Table::key_of(row, right_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    build.entry(key).or_default().push(i);
+                }
+                for lrow in left.rows() {
+                    let key = Table::key_of(lrow, left_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = build.get(&key) {
+                        for &ri in matches {
+                            let mut out = lrow.clone();
+                            out.extend_from_slice(&right.rows()[ri]);
+                            rows.push(out);
+                        }
+                    }
+                }
+            }
+            Table::from_rows_unchecked(schema, rows)
+        }
+        JoinKind::LeftSemi | JoinKind::LeftAnti => {
+            let mut build: HashMap<Vec<Value>, Vec<usize>> =
+                HashMap::with_capacity(right.len());
+            for (i, row) in right.rows().iter().enumerate() {
+                let key = Table::key_of(row, right_keys);
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                build.entry(key).or_default().push(i);
+            }
+            let want_match = kind == JoinKind::LeftSemi;
+            let mut rows = Vec::new();
+            for lrow in left.rows() {
+                let key = Table::key_of(lrow, left_keys);
+                let matched =
+                    !key.iter().any(Value::is_null) && build.contains_key(&key);
+                if matched == want_match {
+                    rows.push(lrow.clone());
+                }
+            }
+            Table::from_rows_unchecked(left.schema().clone(), rows)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    fn new(func: &AggFunc, input_is_float: bool) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count(_) => AggState::Count(0),
+            AggFunc::Sum(_) => {
+                if input_is_float {
+                    AggState::SumFloat(0.0, false)
+                } else {
+                    AggState::SumInt(0, false)
+                }
+            }
+            AggFunc::Min(_) => AggState::Min(None),
+            AggFunc::Max(_) => AggState::Max(None),
+            AggFunc::Avg(_) => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, func: &AggFunc, row: &Row) {
+        match (self, func) {
+            (AggState::Count(n), AggFunc::CountStar) => *n += 1,
+            (AggState::Count(n), AggFunc::Count(c)) => {
+                if !row[*c].is_null() {
+                    *n += 1;
+                }
+            }
+            (AggState::SumInt(acc, seen), AggFunc::Sum(c)) => {
+                if let Some(v) = row[*c].as_int() {
+                    *acc += v;
+                    *seen = true;
+                }
+            }
+            (AggState::SumFloat(acc, seen), AggFunc::Sum(c)) => {
+                if let Some(v) = row[*c].as_float() {
+                    *acc += v;
+                    *seen = true;
+                }
+            }
+            (AggState::Min(cur), AggFunc::Min(c)) => {
+                let v = &row[*c];
+                if !v.is_null() && cur.as_ref().is_none_or(|m| v < m) {
+                    *cur = Some(v.clone());
+                }
+            }
+            (AggState::Max(cur), AggFunc::Max(c)) => {
+                let v = &row[*c];
+                if !v.is_null() && cur.as_ref().is_none_or(|m| v > m) {
+                    *cur = Some(v.clone());
+                }
+            }
+            (AggState::Avg { sum, n }, AggFunc::Avg(c)) => {
+                if let Some(v) = row[*c].as_float() {
+                    *sum += v;
+                    *n += 1;
+                }
+            }
+            _ => unreachable!("agg state/func mismatch"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(v, seen) => {
+                if seen {
+                    Value::Int(v)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(v, seen) => {
+                if seen {
+                    Value::Float(v)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Grouped aggregation over a table, producing `out_schema` rows sorted by
+/// group key. Exposed so the MPP executor can run segment-local aggregates.
+pub fn aggregate_table(
+    input: &Table,
+    group_by: &[usize],
+    aggs: &[crate::plan::AggExpr],
+    out_schema: crate::schema::Schema,
+) -> Result<Table> {
+    use crate::value::DataType;
+    let float_inputs: Vec<bool> = aggs
+        .iter()
+        .map(|a| match a.func {
+            AggFunc::Sum(c) => {
+                input
+                    .schema()
+                    .column(c)
+                    .map(|col| col.dtype == DataType::Float)
+                    .unwrap_or(false)
+            }
+            _ => false,
+        })
+        .collect();
+
+    let make_states = || -> Vec<AggState> {
+        aggs.iter()
+            .zip(float_inputs.iter())
+            .map(|(a, &is_f)| AggState::new(&a.func, is_f))
+            .collect()
+    };
+
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    // A global aggregate (no GROUP BY) must yield one row even on empty
+    // input, so seed the single group eagerly.
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), make_states());
+    }
+    for row in input.rows() {
+        let key = Table::key_of(row, group_by);
+        let states = groups.entry(key).or_insert_with(make_states);
+        for (state, agg) in states.iter_mut().zip(aggs.iter()) {
+            state.update(&agg.func, row);
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
+    for (key, states) in groups {
+        let mut row = key;
+        for state in states {
+            row.push(state.finish());
+        }
+        rows.push(row);
+    }
+    // Deterministic output order helps tests and diffing.
+    rows.sort();
+    Ok(Table::from_rows_unchecked(out_schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggExpr;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let people = Table::from_rows(
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("city", DataType::Int),
+                Column::nullable("w", DataType::Float),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Float(0.9)],
+                vec![Value::Int(2), Value::Int(10), Value::Null],
+                vec![Value::Int(3), Value::Int(20), Value::Float(0.5)],
+            ],
+        )
+        .unwrap();
+        let cities = Table::from_rows(
+            Schema::ints(&["cid", "country"]),
+            vec![
+                vec![Value::Int(10), Value::Int(100)],
+                vec![Value::Int(20), Value::Int(200)],
+            ],
+        )
+        .unwrap();
+        cat.create("people", people).unwrap();
+        cat.create("cities", cities).unwrap();
+        cat
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").filter(Expr::col(1).eq(Expr::lit(10i64)));
+        let (out, metrics) = exec.execute(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(metrics.rows_out, 2);
+        assert_eq!(metrics.children[0].rows_out, 3);
+    }
+
+    #[test]
+    fn inner_join_concatenates() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").hash_join(Plan::scan("cities"), vec![1], vec![0]);
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().width(), 5);
+        // person 1 joined with country 100
+        let row = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(row[4], Value::Int(100));
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let only10 = Table::from_rows_unchecked(Schema::ints(&["cid"]), vec![vec![Value::Int(10)]]);
+        let semi = Plan::scan("people").join(
+            Plan::values(only10.clone()),
+            vec![1],
+            vec![0],
+            JoinKind::LeftSemi,
+        );
+        assert_eq!(exec.execute_table(&semi).unwrap().len(), 2);
+        let anti = Plan::scan("people").join(
+            Plan::values(only10),
+            vec![1],
+            vec![0],
+            JoinKind::LeftAnti,
+        );
+        let out = exec.execute_table(&anti).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(3));
+        assert_eq!(out.schema().width(), 3); // left schema preserved
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![Column::nullable("k", DataType::Int)]);
+        let t = Table::from_rows(
+            schema.clone(),
+            vec![vec![Value::Null], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        cat.create("t", t).unwrap();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("t").hash_join(Plan::scan("t"), vec![0], vec![0]);
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 1); // only Int(1) matches itself
+    }
+
+    #[test]
+    fn aggregate_grouped() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").aggregate(
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::CountStar, "n"),
+                AggExpr::new(AggFunc::Count(2), "nw"),
+                AggExpr::new(AggFunc::Min(0), "mn"),
+                AggExpr::new(AggFunc::Avg(2), "aw"),
+            ],
+        );
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 2);
+        let g10 = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::Int(10))
+            .unwrap();
+        assert_eq!(g10[1], Value::Int(2)); // COUNT(*)
+        assert_eq!(g10[2], Value::Int(1)); // COUNT(w) skips NULL
+        assert_eq!(g10[3], Value::Int(1)); // MIN(id)
+        assert_eq!(g10[4], Value::Float(0.9)); // AVG over non-null
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let cat = Catalog::new();
+        cat.create("e", Table::empty(Schema::ints(&["a"]))).unwrap();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("e").aggregate(
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::CountStar, "n"),
+                AggExpr::new(AggFunc::Sum(0), "s"),
+                AggExpr::new(AggFunc::Max(0), "m"),
+            ],
+        );
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+        assert!(out.rows()[0][1].is_null());
+        assert!(out.rows()[0][2].is_null());
+    }
+
+    #[test]
+    fn distinct_union_sort_limit() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let ids = Plan::scan("people").project_cols(&[1], &["city"]);
+        let plan = ids
+            .clone()
+            .union_all(ids)
+            .distinct()
+            .sort(vec![0])
+            .limit(1);
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn union_width_mismatch_fails_at_exec() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").union_all(Plan::scan("cities"));
+        assert!(exec.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn join_key_arity_mismatch_rejected() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").hash_join(Plan::scan("cities"), vec![0, 1], vec![0]);
+        assert!(matches!(exec.execute(&plan), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn metrics_tree_matches_plan_shape() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people")
+            .hash_join(Plan::scan("cities"), vec![1], vec![0])
+            .filter(Expr::col(4).gt(Expr::lit(100i64)));
+        let (_, metrics) = exec.execute(&plan).unwrap();
+        assert!(metrics.description.starts_with("Filter"));
+        assert!(metrics.children[0].description.contains("Hash Join"));
+        assert_eq!(metrics.children[0].children.len(), 2);
+        let mut count = 0;
+        metrics.visit(&mut |_, _| count += 1);
+        assert_eq!(count, 4);
+        assert!(metrics.total_elapsed() >= metrics.elapsed);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("people").project(vec![
+            (Expr::col(0), "id"),
+            (Expr::col(2).is_null(), "missing_w"),
+        ]);
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.schema().names(), vec!["id", "missing_w"]);
+        assert_eq!(out.rows()[1][1], Value::Int(1));
+    }
+}

@@ -1,0 +1,101 @@
+//! EXPLAIN / EXPLAIN ANALYZE rendering of plans and execution metrics.
+//!
+//! Figure 4 of the paper shows Greenplum plans annotated with per-operator
+//! durations; the MPP crate reuses these renderers and adds motion nodes.
+
+use std::time::Duration;
+
+use crate::exec::ExecMetrics;
+use crate::plan::Plan;
+
+/// Render a plan as an indented tree (EXPLAIN).
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    fn go(plan: &Plan, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        if depth > 0 {
+            out.push_str("-> ");
+        }
+        out.push_str(&plan.describe());
+        out.push('\n');
+        for child in plan.children() {
+            go(child, depth + 1, out);
+        }
+    }
+    go(plan, 0, &mut out);
+    out
+}
+
+/// Format a duration the way Figure 4 annotates operators (`0.85s`,
+/// `0.3ms`).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 0.001 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+/// Render execution metrics as an annotated tree (EXPLAIN ANALYZE).
+pub fn explain_analyze(metrics: &ExecMetrics) -> String {
+    let mut out = String::new();
+    metrics.visit(&mut |node, depth| {
+        out.push_str(&"  ".repeat(depth));
+        if depth > 0 {
+            out.push_str("-> ");
+        }
+        out.push_str(&format!(
+            "{}  (rows={}, time={})\n",
+            node.description,
+            node.rows_out,
+            fmt_duration(node.elapsed)
+        ));
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::exec::Executor;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::scan("a").hash_join(Plan::scan("b"), vec![0], vec![0]);
+        let text = explain(&plan);
+        assert!(text.starts_with("Hash Join"));
+        assert!(text.contains("-> Seq Scan on a"));
+        assert!(text.contains("-> Seq Scan on b"));
+    }
+
+    #[test]
+    fn explain_analyze_includes_rows_and_time() {
+        let cat = Catalog::new();
+        let t = Table::from_rows_unchecked(
+            Schema::ints(&["k"]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        cat.create("t", t).unwrap();
+        let exec = Executor::new(&cat);
+        let plan = Plan::scan("t").distinct();
+        let (_, metrics) = exec.execute(&plan).unwrap();
+        let text = explain_analyze(&metrics);
+        assert!(text.contains("HashDistinct"));
+        assert!(text.contains("rows=2"));
+        assert!(text.contains("time="));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(300)), "300.0us");
+    }
+}

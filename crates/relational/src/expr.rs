@@ -1,0 +1,364 @@
+//! Scalar expressions evaluated per row: column references, literals,
+//! comparisons, boolean connectives, and arithmetic.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::table::Row;
+use crate::value::Value;
+
+/// Binary operators supported in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Equality (`=`). NULL operands yield NULL (falsy).
+    Eq,
+    /// Inequality (`<>`).
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical AND with SQL three-valued collapse to falsy on NULL.
+    And,
+    /// Logical OR.
+    Or,
+    /// Addition (Int+Int → Int, otherwise Float).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to the input row's column by position.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation; NULL stays NULL.
+    Not(Box<Expr>),
+    /// `IS NULL` test; never NULL itself.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(index: usize) -> Expr {
+        Expr::Col(index)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, other)
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// `self IS NOT NULL`.
+    pub fn is_not_null(self) -> Expr {
+        self.is_null().not()
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// AND-fold a list of predicates; empty list means `TRUE`.
+    pub fn conjunction(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::lit(1i64),
+            1 => preds.pop().expect("len checked"),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, |acc, p| acc.and(p))
+            }
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Col(i) => row.get(*i).cloned().ok_or(Error::ColumnOutOfBounds {
+                index: *i,
+                width: row.len(),
+            }),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Not(inner) => {
+                let v = inner.eval(row)?;
+                Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int((!other.is_truthy()) as i64),
+                })
+            }
+            Expr::IsNull(inner) => Ok(Value::Int(inner.eval(row)?.is_null() as i64)),
+            Expr::Bin { op, lhs, rhs } => {
+                let l = lhs.eval(row)?;
+                let r = rhs.eval(row)?;
+                Expr::eval_bin(*op, l, r)
+            }
+        }
+    }
+
+    fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
+        use BinOp::*;
+        match op {
+            And => Ok(Value::Int((l.is_truthy() && r.is_truthy()) as i64)),
+            Or => Ok(Value::Int((l.is_truthy() || r.is_truthy()) as i64)),
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null); // SQL: comparisons with NULL are NULL
+                }
+                let ord = l.cmp(&r);
+                let b = match op {
+                    Eq => ord.is_eq(),
+                    Ne => ord.is_ne(),
+                    Lt => ord.is_lt(),
+                    Le => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(b as i64))
+            }
+            Add | Sub | Mul => {
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&l, &r) {
+                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+                        Add => a.wrapping_add(*b),
+                        Sub => a.wrapping_sub(*b),
+                        Mul => a.wrapping_mul(*b),
+                        _ => unreachable!(),
+                    })),
+                    _ => {
+                        let a = l.as_float().ok_or_else(|| Error::TypeMismatch {
+                            detail: format!("cannot apply {op} to {l}"),
+                        })?;
+                        let b = r.as_float().ok_or_else(|| Error::TypeMismatch {
+                            detail: format!("cannot apply {op} to {r}"),
+                        })?;
+                        Ok(Value::Float(match op {
+                            Add => a + b,
+                            Sub => a - b,
+                            Mul => a * b,
+                            _ => unreachable!(),
+                        }))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(3), Value::Float(1.5), Value::Null, Value::str("a")]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap(), Value::Int(3));
+        assert_eq!(Expr::lit(7i64).eval(&row()).unwrap(), Value::Int(7));
+        assert!(Expr::col(10).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = row();
+        assert!(Expr::col(0).eq(Expr::lit(3i64)).eval(&r).unwrap().is_truthy());
+        assert!(Expr::col(0).gt(Expr::lit(2i64)).eval(&r).unwrap().is_truthy());
+        assert!(!Expr::col(0).lt(Expr::lit(2i64)).eval(&r).unwrap().is_truthy());
+        assert!(Expr::col(0).ge(Expr::lit(3i64)).eval(&r).unwrap().is_truthy());
+        assert!(Expr::col(0).le(Expr::lit(3i64)).eval(&r).unwrap().is_truthy());
+        assert!(Expr::col(0).ne(Expr::lit(4i64)).eval(&r).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn null_comparisons_are_null_and_falsy() {
+        let r = row();
+        let v = Expr::col(2).eq(Expr::lit(1i64)).eval(&r).unwrap();
+        assert!(v.is_null());
+        assert!(!v.is_truthy());
+    }
+
+    #[test]
+    fn is_null_tests() {
+        let r = row();
+        assert!(Expr::col(2).is_null().eval(&r).unwrap().is_truthy());
+        assert!(Expr::col(0).is_not_null().eval(&r).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let r = row();
+        let t = Expr::lit(1i64);
+        let f_ = Expr::lit(0i64);
+        assert!(t.clone().and(t.clone()).eval(&r).unwrap().is_truthy());
+        assert!(!t.clone().and(f_.clone()).eval(&r).unwrap().is_truthy());
+        assert!(t.clone().or(f_.clone()).eval(&r).unwrap().is_truthy());
+        assert!(!f_.clone().not().eval(&r).unwrap().is_null());
+        assert!(f_.not().eval(&r).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let r = row();
+        assert!(
+            Expr::col(0)
+                .eq(Expr::lit(3i64))
+                .eval(&r)
+                .unwrap()
+                .is_truthy()
+        );
+        let add = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::col(0)),
+            rhs: Box::new(Expr::lit(4i64)),
+        };
+        assert_eq!(add.eval(&r).unwrap(), Value::Int(7));
+        let fmul = Expr::Bin {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::col(1)),
+            rhs: Box::new(Expr::lit(2i64)),
+        };
+        assert_eq!(fmul.eval(&r).unwrap(), Value::Float(3.0));
+        let nadd = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::col(2)),
+            rhs: Box::new(Expr::lit(1i64)),
+        };
+        assert!(nadd.eval(&r).unwrap().is_null());
+    }
+
+    #[test]
+    fn arithmetic_on_strings_errors() {
+        let r = row();
+        let bad = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::col(3)),
+            rhs: Box::new(Expr::lit(1i64)),
+        };
+        assert!(bad.eval(&r).is_err());
+    }
+
+    #[test]
+    fn conjunction_folds() {
+        let r = row();
+        assert!(Expr::conjunction(vec![]).eval(&r).unwrap().is_truthy());
+        let c = Expr::conjunction(vec![
+            Expr::col(0).eq(Expr::lit(3i64)),
+            Expr::col(3).eq(Expr::lit("a")),
+        ]);
+        assert!(c.eval(&r).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::col(0).eq(Expr::lit(3i64)).and(Expr::col(1).is_null());
+        assert_eq!(e.to_string(), "((#0 = 3) AND #1 IS NULL)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Hash indexes over table columns.
+//!
+//! Grounding repeatedly probes `TΠ` by `(R, C1, C2)`-style keys; a hash
+//! index amortizes that across iterations. Indexes are built over a table
+//! snapshot and are invalidated by replacing them after mutations (the
+//! grounding driver rebuilds per iteration, matching how the paper's SQL
+//! engine re-plans each batch query).
+
+use std::collections::HashMap;
+
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// A hash index mapping key tuples to row positions in a table snapshot.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    rows_indexed: usize,
+}
+
+impl HashIndex {
+    /// Build an index over `table` keyed by `key_cols`. Rows with NULL in
+    /// any key column are excluded (they can never equi-match).
+    pub fn build(table: &Table, key_cols: &[usize]) -> Self {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(table.len());
+        for (i, row) in table.rows().iter().enumerate() {
+            let key = Table::key_of(row, key_cols);
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            map.entry(key).or_default().push(i);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+            rows_indexed: table.len(),
+        }
+    }
+
+    /// The key columns this index covers.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Number of rows in the snapshot the index was built from.
+    pub fn rows_indexed(&self) -> usize {
+        self.rows_indexed
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up the row positions matching a key.
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Look up using the key extracted from `probe_row` at `probe_cols`.
+    pub fn probe(&self, probe_row: &Row, probe_cols: &[usize]) -> &[usize] {
+        let key = Table::key_of(probe_row, probe_cols);
+        if key.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.get(&key)
+    }
+
+    /// True if a key exists in the index.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::from_rows(
+            Schema::new(vec![
+                Column::new("r", DataType::Int),
+                Column::nullable("x", DataType::Int),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+                vec![Value::Int(2), Value::Int(10)],
+                vec![Value::Int(3), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = table();
+        let idx = HashIndex::build(&t, &[0]);
+        assert_eq!(idx.get(&[Value::Int(1)]), &[0, 1]);
+        assert_eq!(idx.get(&[Value::Int(2)]), &[2]);
+        assert_eq!(idx.get(&[Value::Int(99)]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.rows_indexed(), 4);
+        assert_eq!(idx.key_cols(), &[0]);
+    }
+
+    #[test]
+    fn null_keys_excluded() {
+        let t = table();
+        let idx = HashIndex::build(&t, &[1]);
+        // Row 3 has NULL x and is not indexed.
+        assert!(!idx.contains(&[Value::Null]));
+        assert_eq!(idx.get(&[Value::Int(10)]), &[0, 2]);
+    }
+
+    #[test]
+    fn probe_extracts_key_from_row() {
+        let t = table();
+        let idx = HashIndex::build(&t, &[0, 1]);
+        let probe = vec![Value::Int(1), Value::Int(20)];
+        assert_eq!(idx.probe(&probe, &[0, 1]), &[1]);
+        let null_probe = vec![Value::Int(1), Value::Null];
+        assert_eq!(idx.probe(&null_probe, &[0, 1]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn composite_keys_distinguish() {
+        let t = table();
+        let idx = HashIndex::build(&t, &[0, 1]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert!(idx.contains(&[Value::Int(2), Value::Int(10)]));
+        assert!(!idx.contains(&[Value::Int(2), Value::Int(20)]));
+    }
+}

@@ -1,0 +1,67 @@
+//! # probkb-relational
+//!
+//! An in-memory, set-oriented relational engine: the PostgreSQL stand-in
+//! that ProbKB's grounding algorithm runs on.
+//!
+//! The engine deliberately mirrors how the paper uses its RDBMS:
+//!
+//! * batch (whole-table) operators — scans, multi-key hash joins, grouped
+//!   aggregates, `DISTINCT`, `UNION ALL`, keyed `DELETE` — because the
+//!   paper's core claim is that *set-oriented* execution of rule batches
+//!   beats per-rule query loops;
+//! * a [`plan::Plan`] tree built with a fluent API, executed by
+//!   [`exec::Executor`], which records per-node wall-clock time and
+//!   cardinalities so [`explain::explain_analyze`] can render the
+//!   Figure-4-style annotated plans;
+//! * a [`catalog::Catalog`] of named tables with snapshot isolation for
+//!   reads (the MPP layer gives every segment its own catalog).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use probkb_relational::prelude::*;
+//!
+//! let cat = Catalog::new();
+//! let facts = Table::from_rows(
+//!     Schema::ints(&["rel", "subj", "obj"]),
+//!     vec![
+//!         vec![Value::Int(1), Value::Int(10), Value::Int(20)],
+//!         vec![Value::Int(1), Value::Int(11), Value::Int(20)],
+//!     ],
+//! ).unwrap();
+//! cat.create("facts", facts).unwrap();
+//!
+//! // SELECT subj FROM facts WHERE rel = 1
+//! let plan = Plan::scan("facts")
+//!     .filter(Expr::col(0).eq(Expr::lit(1i64)))
+//!     .project_cols(&[1], &["subj"]);
+//! let out = Executor::new(&cat).execute_table(&plan).unwrap();
+//! assert_eq!(out.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::error::{Error, Result};
+    pub use crate::exec::{ExecMetrics, Executor};
+    pub use crate::explain::{explain, explain_analyze, fmt_duration};
+    pub use crate::expr::{BinOp, Expr};
+    pub use crate::index::HashIndex;
+    pub use crate::plan::{AggExpr, AggFunc, JoinKind, Plan};
+    pub use crate::schema::{Column, Schema};
+    pub use crate::table::{Row, Table};
+    pub use crate::value::{DataType, Value};
+}

@@ -1,0 +1,488 @@
+//! Logical query plans.
+//!
+//! Plans are built with a small fluent API and executed by
+//! [`crate::exec::Executor`]. Grounding queries (Queries 1-i, 2-i, 3 in the
+//! paper) are expressed as these plan trees.
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::schema::{Column, Schema};
+use crate::table::Table;
+use crate::value::DataType;
+
+/// Join flavours supported by the hash join operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner equi-join; output is left schema ++ right schema.
+    Inner,
+    /// Left rows with at least one match; output is the left schema.
+    LeftSemi,
+    /// Left rows with no match; output is the left schema.
+    LeftAnti,
+}
+
+/// Aggregate functions for the [`Plan::Aggregate`] operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(col)` — non-null values only.
+    Count(usize),
+    /// `SUM(col)`.
+    Sum(usize),
+    /// `MIN(col)`.
+    Min(usize),
+    /// `MAX(col)`.
+    Max(usize),
+    /// `AVG(col)`.
+    Avg(usize),
+}
+
+/// An aggregate expression with its output column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Build an aggregate expression.
+    pub fn new(func: AggFunc, name: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            name: name.into(),
+        }
+    }
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Scan a named catalog table.
+    Scan {
+        /// Catalog table name.
+        table: String,
+    },
+    /// An inline table (VALUES).
+    Values {
+        /// The inlined rows.
+        table: Table,
+    },
+    /// Row filter (WHERE).
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate; rows where it is truthy pass.
+        predicate: Expr,
+    },
+    /// Projection (SELECT list). Output column types are inferred from the
+    /// expressions against the input schema.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Multi-key hash equi-join.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// Key column positions on the left input.
+        left_keys: Vec<usize>,
+        /// Key column positions on the right input.
+        right_keys: Vec<usize>,
+        /// Join flavour.
+        kind: JoinKind,
+    },
+    /// Grouped aggregation; with an empty `group_by` produces one global row.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping key column positions.
+        group_by: Vec<usize>,
+        /// Aggregates to compute per group.
+        aggs: Vec<AggExpr>,
+    },
+    /// Full-row duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Bag union of two compatible inputs (UNION ALL).
+    UnionAll {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Sort ascending by key columns.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort key column positions.
+        keys: Vec<usize>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// Scan a catalog table.
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Inline a table.
+    pub fn values(table: Table) -> Plan {
+        Plan::Values { table }
+    }
+
+    /// Apply a filter.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Apply a projection.
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Project columns by position, keeping their names.
+    pub fn project_cols(self, cols: &[usize], names: &[&str]) -> Plan {
+        let exprs = cols
+            .iter()
+            .zip(names.iter())
+            .map(|(&c, &n)| (Expr::col(c), n.to_string()))
+            .collect();
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Inner hash join.
+    pub fn hash_join(self, right: Plan, left_keys: Vec<usize>, right_keys: Vec<usize>) -> Plan {
+        self.join(right, left_keys, right_keys, JoinKind::Inner)
+    }
+
+    /// Hash join of any kind.
+    pub fn join(
+        self,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+    ) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            kind,
+        }
+    }
+
+    /// Grouped aggregation.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Bag union.
+    pub fn union_all(self, right: Plan) -> Plan {
+        Plan::UnionAll {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Sort ascending by the listed columns.
+    pub fn sort(self, keys: Vec<usize>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Keep the first `n` rows.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Infer the output schema of this plan given a resolver for scans.
+    ///
+    /// `lookup` maps a table name to its schema; the executor supplies the
+    /// catalog, tests can supply a closure.
+    pub fn schema(&self, lookup: &dyn Fn(&str) -> Result<Schema>) -> Result<Schema> {
+        match self {
+            Plan::Scan { table } => lookup(table),
+            Plan::Values { table } => Ok(table.schema().clone()),
+            Plan::Filter { input, .. } => input.schema(lookup),
+            Plan::Project { input, exprs } => {
+                let in_schema = input.schema(lookup)?;
+                let mut cols = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let (dtype, nullable) = infer_expr_type(e, &in_schema)?;
+                    cols.push(Column {
+                        name: name.clone(),
+                        dtype,
+                        nullable,
+                    });
+                }
+                Ok(Schema::new(cols))
+            }
+            Plan::HashJoin {
+                left, right, kind, ..
+            } => {
+                let l = left.schema(lookup)?;
+                match kind {
+                    JoinKind::Inner => Ok(l.join(&right.schema(lookup)?)),
+                    JoinKind::LeftSemi | JoinKind::LeftAnti => Ok(l),
+                }
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema(lookup)?;
+                let mut cols = Vec::new();
+                for &g in group_by {
+                    cols.push(in_schema.column(g)?.clone());
+                }
+                for agg in aggs {
+                    let (dtype, nullable) = match agg.func {
+                        AggFunc::CountStar | AggFunc::Count(_) => (DataType::Int, false),
+                        AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => {
+                            (in_schema.column(c)?.dtype, true)
+                        }
+                        AggFunc::Avg(_) => (DataType::Float, true),
+                    };
+                    cols.push(Column {
+                        name: agg.name.clone(),
+                        dtype,
+                        nullable,
+                    });
+                }
+                Ok(Schema::new(cols))
+            }
+            Plan::Distinct { input } => input.schema(lookup),
+            Plan::UnionAll { left, right } => {
+                let l = left.schema(lookup)?;
+                let r = right.schema(lookup)?;
+                if l.width() != r.width() {
+                    return Err(Error::InvalidPlan(format!(
+                        "UNION ALL width mismatch: {} vs {}",
+                        l.width(),
+                        r.width()
+                    )));
+                }
+                Ok(l)
+            }
+            Plan::Sort { input, .. } => input.schema(lookup),
+            Plan::Limit { input, .. } => input.schema(lookup),
+        }
+    }
+
+    /// One-line description of this node for EXPLAIN output.
+    pub fn describe(&self) -> String {
+        match self {
+            Plan::Scan { table } => format!("Seq Scan on {table}"),
+            Plan::Values { table } => format!("Values ({} rows)", table.len()),
+            Plan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            Plan::Project { exprs, .. } => {
+                let list: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect();
+                format!("Project: {}", list.join(", "))
+            }
+            Plan::HashJoin {
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => {
+                let kind = match kind {
+                    JoinKind::Inner => "Hash Join",
+                    JoinKind::LeftSemi => "Hash Semi Join",
+                    JoinKind::LeftAnti => "Hash Anti Join",
+                };
+                format!("{kind} on left{left_keys:?} = right{right_keys:?}")
+            }
+            Plan::Aggregate { group_by, aggs, .. } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                format!("HashAggregate group_by={group_by:?} aggs={names:?}")
+            }
+            Plan::Distinct { .. } => "HashDistinct".to_string(),
+            Plan::UnionAll { .. } => "Append (UNION ALL)".to_string(),
+            Plan::Sort { keys, .. } => format!("Sort by {keys:?}"),
+            Plan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
+    /// Children of this node, for tree walks.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::Values { .. } => vec![],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::HashJoin { left, right, .. } | Plan::UnionAll { left, right } => {
+                vec![left, right]
+            }
+        }
+    }
+}
+
+/// Infer the output type and nullability of an expression over a schema.
+pub fn infer_expr_type(expr: &Expr, schema: &Schema) -> Result<(DataType, bool)> {
+    use crate::expr::BinOp;
+    match expr {
+        Expr::Col(i) => {
+            let col = schema.column(*i)?;
+            Ok((col.dtype, col.nullable))
+        }
+        Expr::Lit(v) => Ok(match v.data_type() {
+            Some(dt) => (dt, false),
+            None => (DataType::Int, true), // bare NULL literal: nullable int
+        }),
+        Expr::Not(inner) => {
+            let (_, n) = infer_expr_type(inner, schema)?;
+            Ok((DataType::Int, n))
+        }
+        Expr::IsNull(_) => Ok((DataType::Int, false)),
+        Expr::Bin { op, lhs, rhs } => {
+            let (lt, ln) = infer_expr_type(lhs, schema)?;
+            let (rt, rn) = infer_expr_type(rhs, schema)?;
+            let nullable = ln || rn;
+            match op {
+                BinOp::And | BinOp::Or => Ok((DataType::Int, false)),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    Ok((DataType::Int, nullable))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                    if lt == DataType::Int && rt == DataType::Int {
+                        Ok((DataType::Int, nullable))
+                    } else {
+                        Ok((DataType::Float, nullable))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn lookup_fixed(schema: Schema) -> impl Fn(&str) -> Result<Schema> {
+        move |_name: &str| Ok(schema.clone())
+    }
+
+    #[test]
+    fn scan_schema_resolves_via_lookup() {
+        let s = Schema::ints(&["a", "b"]);
+        let plan = Plan::scan("t");
+        let resolved = plan.schema(&lookup_fixed(s.clone())).unwrap();
+        assert_eq!(resolved, s);
+    }
+
+    #[test]
+    fn project_infers_types() {
+        let s = Schema::ints(&["a", "b"]);
+        let plan = Plan::scan("t").project(vec![
+            (Expr::col(0), "a"),
+            (Expr::col(0).eq(Expr::col(1)), "eq"),
+            (Expr::lit(1.5f64), "w"),
+        ]);
+        let out = plan.schema(&lookup_fixed(s)).unwrap();
+        assert_eq!(out.names(), vec!["a", "eq", "w"]);
+        assert_eq!(out.column(2).unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn join_schema_kinds() {
+        let s = Schema::ints(&["a"]);
+        let inner = Plan::scan("t").hash_join(Plan::scan("t"), vec![0], vec![0]);
+        assert_eq!(inner.schema(&lookup_fixed(s.clone())).unwrap().width(), 2);
+        let semi = Plan::scan("t").join(Plan::scan("t"), vec![0], vec![0], JoinKind::LeftSemi);
+        assert_eq!(semi.schema(&lookup_fixed(s)).unwrap().width(), 1);
+    }
+
+    #[test]
+    fn union_width_mismatch_rejected() {
+        let plan = Plan::values(Table::empty(Schema::ints(&["a"])))
+            .union_all(Plan::values(Table::empty(Schema::ints(&["a", "b"]))));
+        let lookup = |name: &str| -> Result<Schema> { Err(Error::UnknownTable(name.into())) };
+        assert!(plan.schema(&lookup).is_err());
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let s = Schema::ints(&["g", "v"]);
+        let plan = Plan::scan("t").aggregate(
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::CountStar, "n"),
+                AggExpr::new(AggFunc::Min(1), "mn"),
+                AggExpr::new(AggFunc::Avg(1), "av"),
+            ],
+        );
+        let out = plan.schema(&lookup_fixed(s)).unwrap();
+        assert_eq!(out.names(), vec!["g", "n", "mn", "av"]);
+        assert_eq!(out.column(3).unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn describe_mentions_operator() {
+        assert!(Plan::scan("TPi").describe().contains("Seq Scan on TPi"));
+        let t = Table::from_rows_unchecked(Schema::ints(&["a"]), vec![vec![Value::Int(1)]]);
+        assert!(Plan::values(t).describe().contains("Values (1 rows)"));
+    }
+
+    #[test]
+    fn children_walk() {
+        let plan = Plan::scan("a").hash_join(Plan::scan("b"), vec![0], vec![0]);
+        assert_eq!(plan.children().len(), 2);
+        assert!(Plan::scan("a").children().is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Table schemas: ordered, named, typed columns.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name; unique within a schema.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+    /// Whether NULL values are permitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column (e.g. fact weights during grounding, `I3` in `TΦ`).
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns. Schemas are immutable and cheaply cloneable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema {
+            columns: columns.into(),
+        }
+    }
+
+    /// Shorthand: all-integer schema from names, non-nullable.
+    pub fn ints(names: &[&str]) -> Self {
+        Schema::new(
+            names
+                .iter()
+                .map(|n| Column::new(*n, DataType::Int))
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Get a column by index.
+    pub fn column(&self, index: usize) -> Result<&Column> {
+        self.columns.get(index).ok_or(Error::ColumnOutOfBounds {
+            index,
+            width: self.columns.len(),
+        })
+    }
+
+    /// Resolve a column name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Resolve several column names at once.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// All column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas (used by joins). Duplicate names on the right
+    /// side are suffixed with `_r`, matching what SQL users do with aliases.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut cols: Vec<Column> = self.columns.to_vec();
+        for c in right.columns.iter() {
+            let mut c = c.clone();
+            if cols.iter().any(|existing| existing.name == c.name) {
+                c.name = format!("{}_r", c.name);
+            }
+            cols.push(c);
+        }
+        Schema::new(cols)
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let cols = indices
+            .iter()
+            .map(|&i| self.column(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(cols))
+    }
+
+    /// Validate a row against this schema: arity, types, nullability.
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.width() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "row has {} values, schema has {} columns",
+                    row.len(),
+                    self.width()
+                ),
+            });
+        }
+        for (value, col) in row.iter().zip(self.columns.iter()) {
+            match value.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::SchemaMismatch {
+                            detail: format!("NULL in non-nullable column {}", col.name),
+                        });
+                    }
+                }
+                Some(dt) => {
+                    if dt != col.dtype {
+                        return Err(Error::SchemaMismatch {
+                            detail: format!(
+                                "column {} expects {}, got {}",
+                                col.name, col.dtype, dt
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("w", DataType::Float),
+            Column::new("name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn index_resolution() {
+        let s = schema();
+        assert_eq!(s.index_of("w").unwrap(), 1);
+        assert_eq!(s.indices_of(&["name", "id"]).unwrap(), vec![2, 0]);
+        assert!(matches!(s.index_of("zzz"), Err(Error::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn validate_row_checks_arity_types_nullability() {
+        let s = schema();
+        assert!(s
+            .validate_row(&[Value::Int(1), Value::Null, Value::str("a")])
+            .is_ok());
+        // wrong arity
+        assert!(s.validate_row(&[Value::Int(1)]).is_err());
+        // null in non-nullable
+        assert!(s
+            .validate_row(&[Value::Null, Value::Null, Value::str("a")])
+            .is_err());
+        // wrong type
+        assert!(s
+            .validate_row(&[Value::str("x"), Value::Null, Value::str("a")])
+            .is_err());
+    }
+
+    #[test]
+    fn join_renames_duplicates() {
+        let s = schema();
+        let joined = s.join(&s);
+        assert_eq!(joined.width(), 6);
+        assert_eq!(
+            joined.names(),
+            vec!["id", "w", "name", "id_r", "w_r", "name_r"]
+        );
+    }
+
+    #[test]
+    fn project_selects_and_errors_out_of_bounds() {
+        let s = schema();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["name", "id"]);
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn ints_shorthand() {
+        let s = Schema::ints(&["a", "b"]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.column(0).unwrap().dtype, DataType::Int);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            schema().to_string(),
+            "(id INT, w FLOAT NULL, name TEXT)"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! In-memory tables: a schema plus a vector of rows.
+//!
+//! The engine is batch/set-oriented like the SQL backends in the paper:
+//! every operator consumes and produces whole `Table`s. This keeps the
+//! executor simple and makes per-operator timing (Figure 4) trivial.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row is an ordered list of values matching a schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a table from pre-validated rows. Every row is checked against
+    /// the schema; use [`Table::from_rows_unchecked`] in hot paths that
+    /// construct rows mechanically.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        for row in &rows {
+            schema.validate_row(row)?;
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// Build a table without validating rows. The caller guarantees each
+    /// row matches the schema (e.g. rows produced by a projection of an
+    /// already-valid table).
+    pub fn from_rows_unchecked(schema: Schema, rows: Vec<Row>) -> Self {
+        Table { schema, rows }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to the row store (used by DELETE and motions).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Consume the table, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Append a validated row.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        self.schema.validate_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row without validation (hot path).
+    pub fn push_unchecked(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Append all rows of `other` (bag union, `∪B` in Algorithm 1).
+    /// The schemas must be compatible; only the arity is checked here.
+    pub fn extend_from(&mut self, other: Table) {
+        debug_assert_eq!(self.schema.width(), other.schema.width());
+        self.rows.extend(other.rows);
+    }
+
+    /// Extract the key of `row` at the given column indices.
+    pub fn key_of(row: &[Value], cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Remove duplicate rows, comparing only the listed columns and keeping
+    /// the first occurrence. Used when merging newly inferred facts into
+    /// `TΠ`: two facts are the same if they agree on `(R, x, C1, y, C2)`
+    /// regardless of their `I` and `w` columns.
+    pub fn dedup_by_cols(&mut self, cols: &[usize]) {
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.rows.len());
+        self.rows
+            .retain(|row| seen.insert(Table::key_of(row, cols)));
+    }
+
+    /// Remove full-row duplicates (SQL `DISTINCT`), keeping first occurrence.
+    pub fn dedup_rows(&mut self) {
+        let all: Vec<usize> = (0..self.schema.width()).collect();
+        self.dedup_by_cols(&all);
+    }
+
+    /// The set of distinct keys over the listed columns.
+    pub fn distinct_keys(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
+        self.rows
+            .iter()
+            .map(|row| Table::key_of(row, cols))
+            .collect()
+    }
+
+    /// Retain only rows whose key over `cols` is NOT in `keys`.
+    /// This implements the anti-join used by `applyConstraints` (Query 3):
+    /// `DELETE FROM T WHERE (T.x, T.C1) IN (...)`.
+    pub fn delete_matching(&mut self, cols: &[usize], keys: &HashSet<Vec<Value>>) -> usize {
+        let before = self.rows.len();
+        self.rows
+            .retain(|row| !keys.contains(&Table::key_of(row, cols)));
+        before - self.rows.len()
+    }
+
+    /// Sort rows by the listed columns ascending (stable).
+    pub fn sort_by_cols(&mut self, cols: &[usize]) {
+        self.rows
+            .sort_by(|a, b| Table::key_of(a, cols).cmp(&Table::key_of(b, cols)));
+    }
+
+    /// Approximate in-memory size, used by the MPP cost model.
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>() + 24)
+            .sum()
+    }
+
+    /// Render the first `limit` rows as an aligned text grid for debugging
+    /// and examples.
+    pub fn display_head(&self, limit: usize) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(limit)
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, n) in names.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", n, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.rows.len() > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_head(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn t3(rows: Vec<Vec<i64>>) -> Table {
+        let schema = Schema::ints(&["a", "b", "c"]);
+        Table::from_rows_unchecked(
+            schema,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut t = Table::empty(Schema::ints(&["a"]));
+        assert!(t.push(vec![Value::Int(1)]).is_ok());
+        assert!(t.push(vec![Value::str("x")]).is_err());
+        assert!(t.push(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn from_rows_validates_all() {
+        let schema = Schema::ints(&["a"]);
+        assert!(Table::from_rows(schema.clone(), vec![vec![Value::Int(1)]]).is_ok());
+        assert!(Table::from_rows(schema, vec![vec![Value::Null]]).is_err());
+    }
+
+    #[test]
+    fn dedup_by_cols_keeps_first() {
+        let mut t = t3(vec![vec![1, 2, 10], vec![1, 2, 20], vec![1, 3, 30]]);
+        t.dedup_by_cols(&[0, 1]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][2], Value::Int(10)); // first kept
+    }
+
+    #[test]
+    fn delete_matching_removes_keyed_rows() {
+        let mut t = t3(vec![vec![1, 2, 3], vec![4, 5, 6], vec![1, 9, 9]]);
+        let mut keys = HashSet::new();
+        keys.insert(vec![Value::Int(1)]);
+        let removed = t.delete_matching(&[0], &keys);
+        assert_eq!(removed, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn sort_by_cols_orders_rows() {
+        let mut t = t3(vec![vec![3, 1, 0], vec![1, 2, 0], vec![1, 1, 0]]);
+        t.sort_by_cols(&[0, 1]);
+        let firsts: Vec<i64> = t.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 1, 3]);
+        assert_eq!(t.rows()[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn extend_from_is_bag_union() {
+        let mut a = t3(vec![vec![1, 1, 1]]);
+        let b = t3(vec![vec![1, 1, 1], vec![2, 2, 2]]);
+        a.extend_from(b);
+        assert_eq!(a.len(), 3); // duplicates preserved
+    }
+
+    #[test]
+    fn distinct_keys_collects_set() {
+        let t = t3(vec![vec![1, 2, 3], vec![1, 2, 9], vec![2, 2, 0]]);
+        let keys = t.distinct_keys(&[0, 1]);
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn display_head_truncates() {
+        let t = t3((0..30).map(|i| vec![i, i, i]).collect());
+        let s = t.display_head(5);
+        assert!(s.contains("(30 rows total)"));
+    }
+
+    #[test]
+    fn size_bytes_nonzero_and_monotonic() {
+        let small = t3(vec![vec![1, 2, 3]]);
+        let big = t3(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert!(small.size_bytes() > 0);
+        assert!(big.size_bytes() > small.size_bytes());
+        let _ = Column::new("x", DataType::Int); // silence unused import on some cfgs
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the relational engine: operators are checked
+//! against naive reference implementations over arbitrary small relations.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use probkb_relational::prelude::*;
+
+/// A small random table of `width` int columns with values in 0..domain.
+fn arb_table(width: usize, domain: i64, max_rows: usize) -> impl Strategy<Value = Table> {
+    let names: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
+    prop::collection::vec(prop::collection::vec(0..domain, width), 0..=max_rows).prop_map(
+        move |rows| {
+            let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+            Table::from_rows_unchecked(
+                Schema::ints(&cols),
+                rows.into_iter()
+                    .map(|r| r.into_iter().map(Value::Int).collect())
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn ints(row: &[Value]) -> Vec<i64> {
+    row.iter().map(|v| v.as_int().unwrap()).collect()
+}
+
+proptest! {
+    /// Inner hash join agrees with the nested-loop definition.
+    #[test]
+    fn join_matches_nested_loop(
+        left in arb_table(2, 6, 40),
+        right in arb_table(2, 6, 40),
+    ) {
+        let cat = Catalog::new();
+        cat.create("l", left.clone()).unwrap();
+        cat.create("r", right.clone()).unwrap();
+        let plan = Plan::scan("l").hash_join(Plan::scan("r"), vec![0], vec![0]);
+        let out = Executor::new(&cat).execute_table(&plan).unwrap();
+
+        let mut expected: Vec<Vec<i64>> = Vec::new();
+        for l in left.rows() {
+            for r in right.rows() {
+                if l[0] == r[0] {
+                    let mut row = ints(l);
+                    row.extend(ints(r));
+                    expected.push(row);
+                }
+            }
+        }
+        let mut got: Vec<Vec<i64>> = out.rows().iter().map(|r| ints(r)).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Semi and anti join partition the left input.
+    #[test]
+    fn semi_anti_partition_left(
+        left in arb_table(2, 5, 30),
+        right in arb_table(1, 5, 30),
+    ) {
+        let cat = Catalog::new();
+        cat.create("l", left.clone()).unwrap();
+        cat.create("r", right).unwrap();
+        let exec = Executor::new(&cat);
+        let semi = exec.execute_table(
+            &Plan::scan("l").join(Plan::scan("r"), vec![0], vec![0], JoinKind::LeftSemi),
+        ).unwrap();
+        let anti = exec.execute_table(
+            &Plan::scan("l").join(Plan::scan("r"), vec![0], vec![0], JoinKind::LeftAnti),
+        ).unwrap();
+        prop_assert_eq!(semi.len() + anti.len(), left.len());
+        // No row appears in both.
+        let semi_keys: HashSet<Vec<i64>> = semi.rows().iter().map(|r| ints(r)).collect();
+        for row in anti.rows() {
+            prop_assert!(!semi_keys.contains(&ints(row)));
+        }
+    }
+
+    /// DISTINCT yields exactly the set of unique rows and is idempotent.
+    #[test]
+    fn distinct_is_set_semantics(t in arb_table(2, 4, 50)) {
+        let cat = Catalog::new();
+        cat.create("t", t.clone()).unwrap();
+        let exec = Executor::new(&cat);
+        let once = exec.execute_table(&Plan::scan("t").distinct()).unwrap();
+        let expected: HashSet<Vec<i64>> = t.rows().iter().map(|r| ints(r)).collect();
+        prop_assert_eq!(once.len(), expected.len());
+        let twice = exec.execute_table(&Plan::scan("t").distinct().distinct()).unwrap();
+        prop_assert_eq!(twice.len(), once.len());
+    }
+
+    /// COUNT(*) group-by agrees with a HashMap count.
+    #[test]
+    fn groupby_count_matches_hashmap(t in arb_table(2, 5, 60)) {
+        let cat = Catalog::new();
+        cat.create("t", t.clone()).unwrap();
+        let plan = Plan::scan("t").aggregate(
+            vec![0],
+            vec![AggExpr::new(AggFunc::CountStar, "n")],
+        );
+        let out = Executor::new(&cat).execute_table(&plan).unwrap();
+        let mut expected: HashMap<i64, i64> = HashMap::new();
+        for row in t.rows() {
+            *expected.entry(row[0].as_int().unwrap()).or_default() += 1;
+        }
+        prop_assert_eq!(out.len(), expected.len());
+        for row in out.rows() {
+            let g = row[0].as_int().unwrap();
+            prop_assert_eq!(row[1].as_int().unwrap(), expected[&g]);
+        }
+    }
+
+    /// UNION ALL preserves multiplicity: |A ∪B B| = |A| + |B|.
+    #[test]
+    fn union_all_preserves_bag_cardinality(
+        a in arb_table(2, 4, 30),
+        b in arb_table(2, 4, 30),
+    ) {
+        let cat = Catalog::new();
+        cat.create("a", a.clone()).unwrap();
+        cat.create("b", b.clone()).unwrap();
+        let out = Executor::new(&cat)
+            .execute_table(&Plan::scan("a").union_all(Plan::scan("b")))
+            .unwrap();
+        prop_assert_eq!(out.len(), a.len() + b.len());
+    }
+
+    /// Filter keeps exactly the rows satisfying the predicate.
+    #[test]
+    fn filter_agrees_with_predicate(t in arb_table(2, 8, 60), threshold in 0i64..8) {
+        let cat = Catalog::new();
+        cat.create("t", t.clone()).unwrap();
+        let plan = Plan::scan("t").filter(Expr::col(0).lt(Expr::lit(threshold)));
+        let out = Executor::new(&cat).execute_table(&plan).unwrap();
+        let expected = t
+            .rows()
+            .iter()
+            .filter(|r| r[0].as_int().unwrap() < threshold)
+            .count();
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    /// Sort output is ordered and a permutation of the input.
+    #[test]
+    fn sort_orders_permutation(t in arb_table(2, 6, 50)) {
+        let cat = Catalog::new();
+        cat.create("t", t.clone()).unwrap();
+        let out = Executor::new(&cat)
+            .execute_table(&Plan::scan("t").sort(vec![0, 1]))
+            .unwrap();
+        prop_assert_eq!(out.len(), t.len());
+        for pair in out.rows().windows(2) {
+            prop_assert!(ints(&pair[0]) <= ints(&pair[1]));
+        }
+        let mut a: Vec<Vec<i64>> = t.rows().iter().map(|r| ints(r)).collect();
+        let mut b: Vec<Vec<i64>> = out.rows().iter().map(|r| ints(r)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// HashIndex probes agree with a linear scan.
+    #[test]
+    fn index_agrees_with_scan(t in arb_table(2, 5, 50), probe in 0i64..5) {
+        let idx = HashIndex::build(&t, &[0]);
+        let expected: Vec<usize> = t
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[0] == Value::Int(probe))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(idx.get(&[Value::Int(probe)]).to_vec(), expected);
+    }
+
+    /// dedup_by_cols leaves one row per key and keeps first occurrences.
+    #[test]
+    fn dedup_by_cols_one_per_key(t in arb_table(3, 4, 50)) {
+        let mut deduped = t.clone();
+        deduped.dedup_by_cols(&[0, 1]);
+        let keys: HashSet<Vec<Value>> = t.distinct_keys(&[0, 1]);
+        prop_assert_eq!(deduped.len(), keys.len());
+        // First occurrence preserved: the first row of t (if any) survives.
+        if let Some(first) = t.rows().first() {
+            prop_assert_eq!(&deduped.rows()[0], first);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! # ProbKB
+//!
+//! A from-scratch Rust reproduction of *Knowledge Expansion over
+//! Probabilistic Knowledge Bases* (Chen & Wang, SIGMOD 2014): a
+//! probabilistic knowledge base system that infers missing facts at scale
+//! by storing Markov-logic rules as relational tables and grounding them
+//! with batched join queries, on single-node and shared-nothing MPP
+//! backends, with quality control that keeps machine-built KBs from
+//! drowning in propagated errors.
+//!
+//! The workspace crates (all re-exported here):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`relational`] | in-memory set-oriented relational engine (PostgreSQL stand-in) |
+//! | [`mpp`] | shared-nothing MPP simulator with motions + redistributed views (Greenplum stand-in) |
+//! | [`kb`] | the probabilistic KB model: entities, classes, typed facts, Horn rules, constraints |
+//! | [`core`] | the paper's contribution: relational MLN model + batch grounding (Algorithm 1) |
+//! | [`factorgraph`] | ground factor graphs, lineage, coloring, JSON export |
+//! | [`inference`] | Gibbs sampling (sequential + chromatic parallel) and an exact oracle |
+//! | [`quality`] | constraints, ambiguity detection, rule cleaning, precision evaluation |
+//! | [`datagen`] | ReVerb-Sherlock-style synthetic workloads with ground truth |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use probkb::pipeline::{run_pipeline, PipelineOptions};
+//! use probkb::kb::parser::parse;
+//!
+//! let kb = parse(r#"
+//!     fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+//!     rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+//! "#).unwrap().build();
+//!
+//! let result = run_pipeline(&kb, &PipelineOptions::default()).unwrap();
+//! assert_eq!(result.expansion.new_facts.len(), 1);
+//! // The inferred fact now carries an estimated marginal probability.
+//! let p = result.marginal_of_new_fact(0).unwrap();
+//! assert!(p > 0.5 && p < 1.0);
+//! ```
+
+pub use probkb_core as core;
+pub use probkb_datagen as datagen;
+pub use probkb_factorgraph as factorgraph;
+pub use probkb_inference as inference;
+pub use probkb_kb as kb;
+pub use probkb_mpp as mpp;
+pub use probkb_quality as quality;
+pub use probkb_relational as relational;
+
+pub mod query;
+
+pub mod pipeline {
+    //! The full ProbKB pipeline of Figure 1: grounding → factor graph →
+    //! marginal inference → write marginals back into the KB.
+
+    use probkb_core::prelude::{expand, ExpandOptions, Expansion};
+    use probkb_factorgraph::prelude::{from_phi, GroundGraph, Lineage};
+    use probkb_inference::prelude::{
+        belief_propagation, chromatic_marginals, gibbs_marginals, write_marginals, BpConfig,
+        GibbsConfig, Marginals,
+    };
+    use probkb_kb::prelude::ProbKb;
+    use probkb_relational::prelude::{Result, Table};
+
+    /// Which engine runs the marginal-inference stage.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Sampler {
+        /// Sequential Gibbs.
+        Gibbs,
+        /// Chromatic parallel Gibbs with the given thread count.
+        ChromaticGibbs(usize),
+        /// Deterministic loopy belief propagation.
+        BeliefPropagation(BpConfig),
+    }
+
+    /// Options for [`run_pipeline`].
+    #[derive(Debug, Clone)]
+    pub struct PipelineOptions {
+        /// Grounding backend and configuration.
+        pub expand: ExpandOptions,
+        /// Sampler selection.
+        pub sampler: Sampler,
+        /// Sampler schedule.
+        pub gibbs: GibbsConfig,
+    }
+
+    impl Default for PipelineOptions {
+        fn default() -> Self {
+            PipelineOptions {
+                expand: ExpandOptions::default(),
+                sampler: Sampler::Gibbs,
+                gibbs: GibbsConfig::default(),
+            }
+        }
+    }
+
+    /// The pipeline's outputs.
+    #[derive(Debug)]
+    pub struct PipelineResult {
+        /// Knowledge expansion result (facts, factors, report).
+        pub expansion: Expansion,
+        /// The ground factor graph with fact-id mapping.
+        pub graph: GroundGraph,
+        /// Estimated marginals.
+        pub marginals: Marginals,
+        /// `TΠ` with NULL weights replaced by marginals.
+        pub facts_with_marginals: Table,
+        /// Lineage index over `TΦ`.
+        pub lineage: Lineage,
+    }
+
+    impl PipelineResult {
+        /// The marginal probability of the `i`-th newly inferred fact.
+        pub fn marginal_of_new_fact(&self, i: usize) -> Option<f64> {
+            use probkb_core::relmodel::tpi;
+            let mut seen = 0usize;
+            for row in self.expansion.outcome.facts.rows() {
+                if row[tpi::W].is_null() {
+                    if seen == i {
+                        let id = row[tpi::I].as_int()?;
+                        let var = self.graph.var_of(id)?;
+                        return Some(self.marginals.p[var]);
+                    }
+                    seen += 1;
+                }
+            }
+            None
+        }
+    }
+
+    /// Run the full pipeline.
+    pub fn run_pipeline(kb: &ProbKb, options: &PipelineOptions) -> Result<PipelineResult> {
+        let expansion = expand(kb, &options.expand)?;
+        let graph = from_phi(&expansion.outcome.factors);
+        let marginals = match options.sampler {
+            Sampler::Gibbs => gibbs_marginals(&graph.graph, &options.gibbs),
+            Sampler::ChromaticGibbs(threads) => {
+                chromatic_marginals(&graph.graph, threads, &options.gibbs)
+            }
+            Sampler::BeliefPropagation(config) => {
+                belief_propagation(&graph.graph, &config).marginals
+            }
+        };
+        let (facts_with_marginals, _) =
+            write_marginals(&expansion.outcome.facts, &graph, &marginals);
+        let lineage = Lineage::from_phi(&expansion.outcome.factors);
+        Ok(PipelineResult {
+            expansion,
+            graph,
+            marginals,
+            facts_with_marginals,
+            lineage,
+        })
+    }
+}
+
+/// Convenient glob import: everything a downstream user typically needs.
+pub mod prelude {
+    pub use crate::pipeline::{run_pipeline, PipelineOptions, PipelineResult, Sampler};
+    pub use probkb_core::prelude::*;
+    pub use probkb_datagen::prelude::*;
+    pub use probkb_factorgraph::prelude::*;
+    pub use probkb_inference::prelude::*;
+    pub use probkb_kb::prelude::*;
+    pub use probkb_quality::prelude::*;
+}

@@ -1,0 +1,253 @@
+//! Query interface over an expanded knowledge base.
+//!
+//! ProbKB stores marginals *in* the KB precisely so queries need no
+//! inference at run time (§2.2). This module is that run-time side: an
+//! indexed, read-only view over the expanded facts supporting the lookups
+//! a downstream application needs — by relation, by entity, by
+//! probability threshold — with names resolved through the KB's
+//! dictionaries.
+
+use std::collections::HashMap;
+
+use probkb_core::relmodel::tpi;
+use probkb_kb::prelude::{EntityId, ProbKb, RelationId};
+use probkb_relational::prelude::Table;
+
+/// One queryable fact: resolved ids plus its stored probability/weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFact {
+    /// Fact id (`I` in `TΠ`).
+    pub id: i64,
+    /// Relation.
+    pub rel: RelationId,
+    /// Subject entity.
+    pub x: EntityId,
+    /// Object entity.
+    pub y: EntityId,
+    /// Stored weight: extraction confidence for base facts, estimated
+    /// marginal for inferred facts; `None` if inference never ran.
+    pub probability: Option<f64>,
+    /// True when this fact was inferred (absent from the extractions).
+    pub inferred: bool,
+}
+
+/// An indexed view over an expanded `TΠ` snapshot.
+#[derive(Debug)]
+pub struct ExpandedKb {
+    facts: Vec<QueryFact>,
+    by_relation: HashMap<RelationId, Vec<usize>>,
+    by_entity: HashMap<EntityId, Vec<usize>>,
+}
+
+impl ExpandedKb {
+    /// Build the view from a `TΠ` snapshot (e.g.
+    /// [`crate::pipeline::PipelineResult::facts_with_marginals`]) and the
+    /// set of base-fact ids. Facts whose id is not in `base_ids` are
+    /// marked inferred.
+    pub fn new(facts: &Table, base_ids: &std::collections::HashSet<i64>) -> Self {
+        let mut out = ExpandedKb {
+            facts: Vec::with_capacity(facts.len()),
+            by_relation: HashMap::new(),
+            by_entity: HashMap::new(),
+        };
+        for row in facts.rows() {
+            let id = row[tpi::I].as_int().expect("fact id");
+            let fact = QueryFact {
+                id,
+                rel: RelationId::from_i64(row[tpi::R].as_int().expect("R")),
+                x: EntityId::from_i64(row[tpi::X].as_int().expect("x")),
+                y: EntityId::from_i64(row[tpi::Y].as_int().expect("y")),
+                probability: row[tpi::W].as_float(),
+                inferred: !base_ids.contains(&id),
+            };
+            let idx = out.facts.len();
+            out.by_relation.entry(fact.rel).or_default().push(idx);
+            out.by_entity.entry(fact.x).or_default().push(idx);
+            if fact.y != fact.x {
+                out.by_entity.entry(fact.y).or_default().push(idx);
+            }
+            out.facts.push(fact);
+        }
+        out
+    }
+
+    /// Build from a pipeline result, deriving base ids from the original
+    /// KB's fact count (base facts keep the lowest ids).
+    pub fn from_pipeline(result: &crate::pipeline::PipelineResult) -> Self {
+        let base_ids: std::collections::HashSet<i64> = result
+            .expansion
+            .outcome
+            .facts
+            .rows()
+            .iter()
+            .filter(|r| !r[tpi::W].is_null())
+            .map(|r| r[tpi::I].as_int().expect("id"))
+            .collect();
+        ExpandedKb::new(&result.facts_with_marginals, &base_ids)
+    }
+
+    /// All facts.
+    pub fn facts(&self) -> &[QueryFact] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Facts of a relation (by id).
+    pub fn by_relation(&self, rel: RelationId) -> Vec<&QueryFact> {
+        self.by_relation
+            .get(&rel)
+            .map(|idxs| idxs.iter().map(|&i| &self.facts[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Facts of a relation by name, resolved through a KB's dictionary.
+    pub fn by_relation_name(&self, kb: &ProbKb, name: &str) -> Vec<&QueryFact> {
+        match kb.relations.get(name) {
+            Some(id) => self.by_relation(RelationId(id)),
+            None => Vec::new(),
+        }
+    }
+
+    /// Facts mentioning an entity (either side).
+    pub fn about(&self, entity: EntityId) -> Vec<&QueryFact> {
+        self.by_entity
+            .get(&entity)
+            .map(|idxs| idxs.iter().map(|&i| &self.facts[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Facts mentioning an entity by name.
+    pub fn about_name(&self, kb: &ProbKb, name: &str) -> Vec<&QueryFact> {
+        match kb.entities.get(name) {
+            Some(id) => self.about(EntityId(id)),
+            None => Vec::new(),
+        }
+    }
+
+    /// Inferred facts with probability ≥ `threshold`, most probable
+    /// first — the "give me the new knowledge you're sure about" query.
+    pub fn confident_inferences(&self, threshold: f64) -> Vec<&QueryFact> {
+        let mut out: Vec<&QueryFact> = self
+            .facts
+            .iter()
+            .filter(|f| f.inferred && f.probability.is_some_and(|p| p >= threshold))
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .unwrap_or(0.0)
+                .total_cmp(&a.probability.unwrap_or(0.0))
+        });
+        out
+    }
+
+    /// Does the KB (now) contain `rel(x, y)`? Returns its probability.
+    pub fn lookup(&self, rel: RelationId, x: EntityId, y: EntityId) -> Option<&QueryFact> {
+        self.by_relation
+            .get(&rel)?
+            .iter()
+            .map(|&i| &self.facts[i])
+            .find(|f| f.x == x && f.y == y)
+    }
+
+    /// Render a fact for humans.
+    pub fn describe(&self, kb: &ProbKb, fact: &QueryFact) -> String {
+        let rel = kb.relations.resolve(fact.rel.raw()).unwrap_or("?");
+        let x = kb.entities.resolve(fact.x.raw()).unwrap_or("?");
+        let y = kb.entities.resolve(fact.y.raw()).unwrap_or("?");
+        let tag = if fact.inferred { "inferred" } else { "extracted" };
+        match fact.probability {
+            Some(p) => format!("[{tag}, P={p:.2}] {rel}({x}, {y})"),
+            None => format!("[{tag}] {rel}({x}, {y})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, PipelineOptions};
+    use probkb_inference::prelude::GibbsConfig;
+    use probkb_kb::prelude::parse;
+
+    fn expanded() -> (ProbKb, ExpandedKb) {
+        let kb = parse(
+            r#"
+            fact 2.0 born_in(RG:Writer, NYC:City)
+            fact 1.5 born_in(AB:Writer, SF:City)
+            rule 2.0 live_in(x:Writer, y:City) :- born_in(x, y)
+            "#,
+        )
+        .unwrap()
+        .build();
+        let result = run_pipeline(
+            &kb,
+            &PipelineOptions {
+                gibbs: GibbsConfig {
+                    burn_in: 100,
+                    samples: 2000,
+                    seed: 8,
+                },
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        let view = ExpandedKb::from_pipeline(&result);
+        (kb, view)
+    }
+
+    #[test]
+    fn indexes_cover_all_facts() {
+        let (kb, view) = expanded();
+        assert_eq!(view.len(), 4); // 2 base + 2 inferred
+        assert!(!view.is_empty());
+        assert_eq!(view.by_relation_name(&kb, "born_in").len(), 2);
+        assert_eq!(view.by_relation_name(&kb, "live_in").len(), 2);
+        assert_eq!(view.by_relation_name(&kb, "nope").len(), 0);
+    }
+
+    #[test]
+    fn entity_queries_cover_both_sides() {
+        let (kb, view) = expanded();
+        let rg = view.about_name(&kb, "RG");
+        assert_eq!(rg.len(), 2); // born_in + live_in
+        let nyc = view.about_name(&kb, "NYC");
+        assert_eq!(nyc.len(), 2);
+        assert!(view.about_name(&kb, "ghost").is_empty());
+    }
+
+    #[test]
+    fn confident_inferences_sorted_and_thresholded() {
+        let (_, view) = expanded();
+        let confident = view.confident_inferences(0.5);
+        assert!(!confident.is_empty());
+        assert!(confident.iter().all(|f| f.inferred));
+        for pair in confident.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability);
+        }
+        // An impossible threshold yields nothing.
+        assert!(view.confident_inferences(1.01).is_empty());
+    }
+
+    #[test]
+    fn lookup_and_describe() {
+        let (kb, view) = expanded();
+        let rel = RelationId(kb.relations.get("live_in").unwrap());
+        let x = EntityId(kb.entities.get("RG").unwrap());
+        let y = EntityId(kb.entities.get("NYC").unwrap());
+        let fact = view.lookup(rel, x, y).expect("inferred fact queryable");
+        assert!(fact.inferred);
+        let text = view.describe(&kb, fact);
+        assert!(text.contains("live_in(RG, NYC)"));
+        assert!(text.contains("inferred"));
+        assert!(view.lookup(rel, y, x).is_none());
+    }
+}
