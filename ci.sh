@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Hermetic CI: everything below must pass with the network disabled.
+# The workspace has zero external dependencies (see DESIGN.md, "Hermetic
+# build"), so --offline is not a restriction — it is the point.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# The support crate is the substrate everything else stands on: it must
+# build without a single warning. -Dwarnings turns any into a hard error.
+RUSTFLAGS="-D warnings" cargo build --release --offline -p probkb-support
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo bench --offline --no-run --workspace
+cargo run --release --offline -p probkb-bench --bin table2
+
+echo "ci: all green"

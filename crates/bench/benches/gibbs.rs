@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks for the inference stage: sequential vs
 //! chromatic parallel Gibbs sweeps over a grounding-shaped factor graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probkb_support::microbench::{BenchmarkId, Criterion};
+use probkb_support::{criterion_group, criterion_main};
 
 use probkb_core::prelude::*;
 use probkb_datagen::prelude::*;

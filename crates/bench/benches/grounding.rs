@@ -1,7 +1,8 @@
 //! Criterion microbenchmark: batch rule application (ProbKB) vs per-rule
 //! queries (Tuffy-T) — the core ablation behind Figure 6(a).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probkb_support::microbench::{BenchmarkId, Criterion};
+use probkb_support::{criterion_group, criterion_main};
 
 use probkb_core::prelude::*;
 use probkb_datagen::prelude::*;

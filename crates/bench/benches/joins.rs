@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks for the relational substrate's operators:
 //! the hash join, grouped aggregate, and distinct that grounding leans on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probkb_support::microbench::{BenchmarkId, Criterion};
+use probkb_support::{criterion_group, criterion_main};
 
 use probkb_relational::prelude::*;
 

@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks for MPP motion strategies: the ablation
 //! behind Figure 4 and §4.4's redistributed materialized views.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probkb_support::microbench::{BenchmarkId, Criterion};
+use probkb_support::{criterion_group, criterion_main};
 
 use probkb_mpp::prelude::*;
 use probkb_relational::prelude::*;

@@ -10,8 +10,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 use probkb_core::prelude::{ground, tpi, GroundingConfig, SingleNodeEngine};
 use probkb_kb::prelude::*;

@@ -9,8 +9,7 @@
 //! rules are), and Leibniz-style functional constraints on a fraction of
 //! relations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 use probkb_kb::prelude::*;
 

@@ -7,8 +7,7 @@
 //!   New facts are "random edges" added to the KB: existing facts rewired
 //!   to random entities of the same classes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 use probkb_kb::prelude::*;
 

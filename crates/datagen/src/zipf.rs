@@ -6,7 +6,7 @@
 //! skew matters, because the batch-vs-per-rule performance gap the paper
 //! measures depends on it.
 
-use rand::Rng;
+use probkb_support::rng::Rng;
 
 /// Zipf distribution over ranks `0..n` with exponent `s`, sampled by
 /// inverse transform over the precomputed CDF.
@@ -71,8 +71,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use probkb_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn skewed_zipf_prefers_low_ranks() {

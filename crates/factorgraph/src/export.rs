@@ -4,13 +4,14 @@
 //! inference engine (GraphLab, Gibbs samplers). This module serializes a
 //! [`GroundGraph`] to a stable JSON document any such engine can ingest.
 
-use serde::{Deserialize, Serialize};
+
+use probkb_support::json::{Json, JsonError};
 
 use crate::from_phi::GroundGraph;
 use crate::graph::{Factor, FactorGraph};
 
 /// Serialized factor graph document.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphDoc {
     /// Number of binary variables.
     pub num_vars: usize,
@@ -21,7 +22,7 @@ pub struct GraphDoc {
 }
 
 /// One factor in the export format.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FactorDoc {
     /// Head variable index.
     pub head: usize,
@@ -47,12 +48,85 @@ pub fn to_json(gg: &GroundGraph) -> String {
             })
             .collect(),
     };
-    serde_json::to_string_pretty(&doc).expect("factor graphs serialize cleanly")
+    Json::Obj(vec![
+        ("num_vars".into(), Json::from(doc.num_vars)),
+        (
+            "fact_ids".into(),
+            Json::Arr(doc.fact_ids.iter().map(|&id| Json::Int(id)).collect()),
+        ),
+        (
+            "factors".into(),
+            Json::Arr(
+                doc.factors
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("head".into(), Json::from(f.head)),
+                            (
+                                "body".into(),
+                                Json::Arr(f.body.iter().map(|&v| Json::from(v)).collect()),
+                            ),
+                            ("weight".into(), Json::from(f.weight)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+fn schema_err(message: &str) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset: 0,
+    }
 }
 
 /// Deserialize a JSON document back into a ground graph.
-pub fn from_json(json: &str) -> Result<GroundGraph, serde_json::Error> {
-    let doc: GraphDoc = serde_json::from_str(json)?;
+pub fn from_json(json: &str) -> Result<GroundGraph, JsonError> {
+    let parsed = Json::parse(json)?;
+    let num_vars = parsed
+        .get("num_vars")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| schema_err("missing 'num_vars'"))?;
+    let fact_ids = parsed
+        .get("fact_ids")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("missing 'fact_ids'"))?
+        .iter()
+        .map(|v| v.as_i64().ok_or_else(|| schema_err("bad fact id")))
+        .collect::<Result<Vec<i64>, _>>()?;
+    let factors = parsed
+        .get("factors")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("missing 'factors'"))?
+        .iter()
+        .map(|f| {
+            Ok(FactorDoc {
+                head: f
+                    .get("head")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| schema_err("factor missing head"))?,
+                body: f
+                    .get("body")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| schema_err("factor missing body"))?
+                    .iter()
+                    .map(|v| v.as_usize().ok_or_else(|| schema_err("bad body index")))
+                    .collect::<Result<_, _>>()?,
+                weight: f
+                    .get("weight")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| schema_err("factor missing weight"))?,
+            })
+        })
+        .collect::<Result<Vec<FactorDoc>, JsonError>>()?;
+    let doc = GraphDoc {
+        num_vars,
+        fact_ids,
+        factors,
+    };
     let factors = doc
         .factors
         .into_iter()

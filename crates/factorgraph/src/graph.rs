@@ -5,14 +5,13 @@
 //! clause is satisfied and `1` otherwise, so the joint is
 //! `P(X = x) ∝ exp(Σᵢ Wᵢ nᵢ(x))` (Equation 4).
 
-use serde::{Deserialize, Serialize};
 
 /// A variable index in a factor graph (dense, 0-based).
 pub type VarId = usize;
 
 /// One ground factor: `head ← body` with weight `w`. An empty body is a
 /// singleton factor asserting the fact itself with strength `w`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Factor {
     /// The head variable.
     pub head: VarId,
@@ -102,7 +101,7 @@ impl Factor {
 }
 
 /// A ground factor graph with precomputed variable→factor adjacency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FactorGraph {
     num_vars: usize,
     factors: Vec<Factor>,

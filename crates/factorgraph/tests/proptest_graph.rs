@@ -1,6 +1,6 @@
 //! Property tests for factor graphs, coloring, and lineage.
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb_factorgraph::prelude::*;
 

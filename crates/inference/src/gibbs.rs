@@ -6,8 +6,7 @@
 //! exactly [`FactorGraph::flip_delta`].
 
 use probkb_factorgraph::prelude::FactorGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy)]

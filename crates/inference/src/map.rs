@@ -13,8 +13,7 @@
 //!   probability given enough sweeps.
 
 use probkb_factorgraph::prelude::FactorGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 use crate::gibbs::sigmoid;
 

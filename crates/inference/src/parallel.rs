@@ -9,8 +9,7 @@
 //! distribution as sequential Gibbs.
 
 use probkb_factorgraph::prelude::{color, Coloring, FactorGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 use crate::gibbs::{sigmoid, GibbsConfig, Marginals};
 
@@ -55,37 +54,22 @@ impl<'a> ChromaticGibbs<'a> {
         for (class_idx, class) in self.coloring.classes.iter().enumerate() {
             let graph = self.graph;
             let state: &[bool] = &self.state;
-            let chunk = class.len().div_ceil(self.threads);
             let seed = self.seed;
             // Compute new values against the frozen snapshot (same-color
             // variables never share a factor, so this equals sequential
-            // order within the class).
-            let mut updates: Vec<(usize, bool)> = Vec::with_capacity(class.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = class
-                    .chunks(chunk.max(1))
-                    .enumerate()
-                    .map(|(tid, vars)| {
-                        scope.spawn(move || {
-                            // Per-(sweep, class, thread) RNG: deterministic
-                            // and contention-free.
-                            let mut rng = StdRng::seed_from_u64(
-                                seed ^ (sweep_no << 24)
-                                    ^ ((class_idx as u64) << 16)
-                                    ^ tid as u64,
-                            );
-                            vars.iter()
-                                .map(|&v| {
-                                    let delta = graph.flip_delta_ro(v, state);
-                                    (v, rng.random::<f64>() < sigmoid(delta))
-                                })
-                                .collect::<Vec<_>>()
-                        })
+            // order within the class). Each chunk seeds its own RNG from
+            // (sweep, class, chunk index), so the result is deterministic
+            // regardless of scheduling.
+            let updates = probkb_support::sync::map_chunks(class, self.threads, |tid, vars| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (sweep_no << 24) ^ ((class_idx as u64) << 16) ^ tid as u64,
+                );
+                vars.iter()
+                    .map(|&v| {
+                        let delta = graph.flip_delta_ro(v, state);
+                        (v, rng.random::<f64>() < sigmoid(delta))
                     })
-                    .collect();
-                for h in handles {
-                    updates.extend(h.join().expect("sampler thread panicked"));
-                }
+                    .collect::<Vec<_>>()
             });
             for (v, value) in updates {
                 self.state[v] = value;

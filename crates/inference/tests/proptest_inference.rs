@@ -1,7 +1,7 @@
 //! Property tests: samplers and BP validated against the exact oracle on
 //! random small factor graphs.
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb_factorgraph::prelude::{Factor, FactorGraph};
 use probkb_inference::prelude::*;

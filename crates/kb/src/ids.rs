@@ -7,13 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -66,7 +65,7 @@ id_type!(
 
 /// A fact id (`I` column of `TΠ`). Facts can outnumber `u32` during
 /// unconstrained grounding blow-ups, so this one is 64-bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FactId(pub u64);
 
 impl FactId {

@@ -4,10 +4,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 /// A bidirectional string ↔ dense-id dictionary.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dictionary {
     names: Vec<Arc<str>>,
     ids: HashMap<Arc<str>, u32>,

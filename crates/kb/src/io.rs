@@ -1,12 +1,18 @@
 //! Serialization: write a KB back out in the text format [`crate::parser`]
-//! reads, and JSON snapshots via serde. `parse(to_text(kb))` reconstructs
+//! reads, and exact JSON snapshots. `parse(to_text(kb))` reconstructs
 //! an equivalent KB (same statistics, same facts/rules/constraints up to
-//! id renumbering), which the tests verify.
+//! id renumbering), which the tests verify; `from_json(to_json(kb))` is
+//! id-exact. JSON output is deterministic: sets are emitted in sorted
+//! order, so equal KBs produce byte-identical snapshots.
 
 use std::fmt::Write as _;
 
+use probkb_support::json::{Json, JsonError};
+
+use crate::ids::{ClassId, EntityId, RelationId};
+use crate::interner::Dictionary;
 use crate::kb::ProbKb;
-use crate::model::{Functionality, Var};
+use crate::model::{Atom, Fact, FunctionalConstraint, Functionality, HornRule, Var};
 
 /// Render a KB in the line-oriented text format.
 pub fn to_text(kb: &ProbKb) -> String {
@@ -146,13 +152,281 @@ pub fn load_triples_into(
 }
 
 /// Serialize a KB to JSON (exact snapshot, including dictionaries/ids).
+/// Output is deterministic: members and signatures are sorted before
+/// emission, so two equal KBs serialize byte-identically.
 pub fn to_json(kb: &ProbKb) -> String {
-    serde_json::to_string(kb).expect("KBs serialize cleanly")
+    let names = |d: &Dictionary| Json::Arr(d.iter().map(|(_, name)| Json::from(name)).collect());
+    let members = Json::Arr(
+        kb.members
+            .iter()
+            .map(|set| {
+                let mut ids: Vec<u32> = set.iter().map(|e| e.raw()).collect();
+                ids.sort_unstable();
+                Json::Arr(ids.into_iter().map(Json::from).collect())
+            })
+            .collect(),
+    );
+    let subclass_edges = Json::Arr(
+        kb.subclass_edges
+            .iter()
+            .map(|(sub, sup)| Json::Arr(vec![Json::from(sub.raw()), Json::from(sup.raw())]))
+            .collect(),
+    );
+    let mut signatures: Vec<_> = kb.signatures.iter().copied().collect();
+    signatures.sort_unstable_by_key(|(r, c1, c2)| (r.raw(), c1.raw(), c2.raw()));
+    let signatures = Json::Arr(
+        signatures
+            .into_iter()
+            .map(|(r, c1, c2)| {
+                Json::Arr(vec![
+                    Json::from(r.raw()),
+                    Json::from(c1.raw()),
+                    Json::from(c2.raw()),
+                ])
+            })
+            .collect(),
+    );
+    let facts = Json::Arr(
+        kb.facts
+            .iter()
+            .map(|f| {
+                Json::Arr(vec![
+                    Json::from(f.rel.raw()),
+                    Json::from(f.x.raw()),
+                    Json::from(f.c1.raw()),
+                    Json::from(f.y.raw()),
+                    Json::from(f.c2.raw()),
+                    f.weight.map(Json::from).unwrap_or(Json::Null),
+                ])
+            })
+            .collect(),
+    );
+    let atom = |a: &Atom| {
+        Json::Arr(vec![
+            Json::from(a.rel.raw()),
+            Json::from(a.a.to_string()),
+            Json::from(a.b.to_string()),
+        ])
+    };
+    let rules = Json::Arr(
+        kb.rules
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("head".into(), atom(&r.head)),
+                    ("body".into(), Json::Arr(r.body.iter().map(atom).collect())),
+                    ("cx".into(), Json::from(r.cx.raw())),
+                    ("cy".into(), Json::from(r.cy.raw())),
+                    (
+                        "cz".into(),
+                        r.cz.map(|c| Json::from(c.raw())).unwrap_or(Json::Null),
+                    ),
+                    ("weight".into(), Json::from(r.weight)),
+                    ("significance".into(), Json::from(r.significance)),
+                ])
+            })
+            .collect(),
+    );
+    let constraints = Json::Arr(
+        kb.constraints
+            .iter()
+            .map(|fc| {
+                Json::Obj(vec![
+                    ("rel".into(), Json::from(fc.rel.raw())),
+                    (
+                        "classes".into(),
+                        fc.classes
+                            .map(|(c1, c2)| {
+                                Json::Arr(vec![Json::from(c1.raw()), Json::from(c2.raw())])
+                            })
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("alpha".into(), Json::from(fc.functionality.alpha())),
+                    ("degree".into(), Json::from(fc.degree)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("entities".into(), names(&kb.entities)),
+        ("classes".into(), names(&kb.classes)),
+        ("relations".into(), names(&kb.relations)),
+        ("members".into(), members),
+        ("subclass_edges".into(), subclass_edges),
+        ("signatures".into(), signatures),
+        ("facts".into(), facts),
+        ("rules".into(), rules),
+        ("constraints".into(), constraints),
+    ])
+    .to_string()
 }
 
-/// Restore a KB from a JSON snapshot.
-pub fn from_json(json: &str) -> Result<ProbKb, serde_json::Error> {
-    serde_json::from_str(json)
+fn schema_err(message: impl Into<String>) -> JsonError {
+    JsonError {
+        message: message.into(),
+        offset: 0,
+    }
+}
+
+/// Restore a KB from a JSON snapshot (id-exact inverse of [`to_json`]).
+pub fn from_json(json: &str) -> Result<ProbKb, JsonError> {
+    let doc = Json::parse(json)?;
+    let field = |name: &str| {
+        doc.get(name)
+            .ok_or_else(|| schema_err(format!("missing field '{name}'")))
+    };
+    let dictionary = |name: &str| -> Result<Dictionary, JsonError> {
+        let mut d = Dictionary::new();
+        for entry in field(name)?
+            .as_arr()
+            .ok_or_else(|| schema_err(format!("'{name}' must be an array")))?
+        {
+            let s = entry
+                .as_str()
+                .ok_or_else(|| schema_err(format!("'{name}' entries must be strings")))?;
+            d.intern(s);
+        }
+        Ok(d)
+    };
+    let arr = |value: &Json, what: &str| -> Result<Vec<Json>, JsonError> {
+        value
+            .as_arr()
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| schema_err(format!("{what} must be an array")))
+    };
+    let num = |value: Option<&Json>, what: &str| -> Result<u32, JsonError> {
+        value
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| schema_err(format!("{what} must be a u32")))
+    };
+
+    let entities = dictionary("entities")?;
+    let classes = dictionary("classes")?;
+    let relations = dictionary("relations")?;
+
+    let mut members = Vec::new();
+    for set in arr(field("members")?, "'members'")? {
+        members.push(
+            arr(&set, "a member set")?
+                .iter()
+                .map(|id| num(Some(id), "an entity id").map(EntityId))
+                .collect::<Result<_, _>>()?,
+        );
+    }
+
+    let mut subclass_edges = Vec::new();
+    for edge in arr(field("subclass_edges")?, "'subclass_edges'")? {
+        subclass_edges.push((
+            ClassId(num(edge.at(0), "a subclass edge")?),
+            ClassId(num(edge.at(1), "a subclass edge")?),
+        ));
+    }
+
+    let mut signatures = std::collections::HashSet::new();
+    for sig in arr(field("signatures")?, "'signatures'")? {
+        signatures.insert((
+            RelationId(num(sig.at(0), "a signature")?),
+            ClassId(num(sig.at(1), "a signature")?),
+            ClassId(num(sig.at(2), "a signature")?),
+        ));
+    }
+
+    let mut facts = Vec::new();
+    for f in arr(field("facts")?, "'facts'")? {
+        let weight = match f.at(5) {
+            Some(Json::Null) | None => None,
+            Some(w) => Some(w.as_f64().ok_or_else(|| schema_err("bad fact weight"))?),
+        };
+        facts.push(Fact {
+            rel: RelationId(num(f.at(0), "a fact relation")?),
+            x: EntityId(num(f.at(1), "a fact subject")?),
+            c1: ClassId(num(f.at(2), "a fact class")?),
+            y: EntityId(num(f.at(3), "a fact object")?),
+            c2: ClassId(num(f.at(4), "a fact class")?),
+            weight,
+        });
+    }
+
+    let var = |value: Option<&Json>| -> Result<Var, JsonError> {
+        match value.and_then(Json::as_str) {
+            Some("x") => Ok(Var::X),
+            Some("y") => Ok(Var::Y),
+            Some("z") => Ok(Var::Z),
+            other => Err(schema_err(format!("bad rule variable {other:?}"))),
+        }
+    };
+    let atom = |value: &Json| -> Result<Atom, JsonError> {
+        Ok(Atom {
+            rel: RelationId(num(value.at(0), "an atom relation")?),
+            a: var(value.at(1))?,
+            b: var(value.at(2))?,
+        })
+    };
+    let float = |value: Option<&Json>, what: &str| -> Result<f64, JsonError> {
+        value
+            .and_then(Json::as_f64)
+            .ok_or_else(|| schema_err(format!("{what} must be a number")))
+    };
+
+    let mut rules = Vec::new();
+    for r in arr(field("rules")?, "'rules'")? {
+        let head = atom(r.get("head").ok_or_else(|| schema_err("rule missing head"))?)?;
+        let body = arr(
+            r.get("body").ok_or_else(|| schema_err("rule missing body"))?,
+            "a rule body",
+        )?
+        .iter()
+        .map(atom)
+        .collect::<Result<_, _>>()?;
+        let cz = match r.get("cz") {
+            Some(Json::Null) | None => None,
+            Some(c) => Some(ClassId(num(Some(c), "a rule z class")?)),
+        };
+        rules.push(HornRule {
+            head,
+            body,
+            cx: ClassId(num(r.get("cx"), "a rule x class")?),
+            cy: ClassId(num(r.get("cy"), "a rule y class")?),
+            cz,
+            weight: float(r.get("weight"), "a rule weight")?,
+            significance: float(r.get("significance"), "a rule significance")?,
+        });
+    }
+
+    let mut constraints = Vec::new();
+    for fc in arr(field("constraints")?, "'constraints'")? {
+        let classes = match fc.get("classes") {
+            Some(Json::Null) | None => None,
+            Some(pair) => Some((
+                ClassId(num(pair.at(0), "a constraint class")?),
+                ClassId(num(pair.at(1), "a constraint class")?),
+            )),
+        };
+        let alpha = fc
+            .get("alpha")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| schema_err("constraint missing alpha"))?;
+        constraints.push(FunctionalConstraint {
+            rel: RelationId(num(fc.get("rel"), "a constraint relation")?),
+            classes,
+            functionality: Functionality::from_alpha(alpha)
+                .ok_or_else(|| schema_err(format!("bad alpha {alpha}")))?,
+            degree: num(fc.get("degree"), "a constraint degree")?,
+        });
+    }
+
+    Ok(ProbKb {
+        entities,
+        classes,
+        relations,
+        members,
+        subclass_edges,
+        signatures,
+        facts,
+        rules,
+        constraints,
+    })
 }
 
 #[cfg(test)]

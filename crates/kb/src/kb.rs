@@ -3,14 +3,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{ClassId, EntityId, RelationId};
 use crate::interner::Dictionary;
 use crate::model::{Fact, FunctionalConstraint, Functionality, HornRule};
 
 /// Summary statistics (the shape of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KbStats {
     /// `|E|` — number of entities.
     pub entities: usize,
@@ -27,7 +26,7 @@ pub struct KbStats {
 }
 
 /// An immutable probabilistic knowledge base.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProbKb {
     /// Entity dictionary (`DE`).
     pub entities: Dictionary,

@@ -3,14 +3,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{ClassId, EntityId, RelationId};
 
 /// A weighted, typed fact `(R(x, y), w)` with explicit argument classes —
 /// the in-memory form of one `TΠ` row (Definition 4, minus the `I` column
 /// which the relational mapping assigns).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fact {
     /// The relation `R`.
     pub rel: RelationId,
@@ -68,7 +67,7 @@ impl Fact {
 
 /// A variable position in a Horn clause. The head is always `p(x, y)`;
 /// length-3 clauses introduce a join variable `z`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Var {
     /// The head's first argument.
     X,
@@ -89,7 +88,7 @@ impl fmt::Display for Var {
 }
 
 /// One atom `R(a, b)` in a Horn clause.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// The relation.
     pub rel: RelationId,
@@ -118,7 +117,7 @@ impl Atom {
 
 /// A weighted first-order Horn clause `(F, W)` ∈ H (§4.1):
 /// `head ← body₁ [, body₂]`, with every variable typed by a class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HornRule {
     /// The head atom, always over variables `(x, y)`.
     pub head: Atom,
@@ -199,7 +198,7 @@ impl HornRule {
 }
 
 /// Type-I or Type-II functionality (Definition 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Functionality {
     /// `x` determines `y`: at most δ objects per subject.
     TypeI,
@@ -229,7 +228,7 @@ impl Functionality {
 /// A functional (or pseudo-functional) constraint — one `TΩ` row
 /// (Definition 11): relation `R` admits at most `degree` distinct partners
 /// per key entity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionalConstraint {
     /// The constrained relation.
     pub rel: RelationId,

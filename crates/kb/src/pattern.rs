@@ -9,13 +9,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::RuleId;
 use crate::model::{Atom, HornRule, Var};
 
 /// The six structural classes of §4.2.2, with the paper's numbering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RulePattern {
     /// `p(x,y) ← q(x,y)`
     P1,

@@ -1,7 +1,7 @@
 //! Property tests for the KB model: dictionaries, pattern classification,
 //! and text/JSON round-trips.
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb_kb::io::{from_json, to_json, to_text};
 use probkb_kb::prelude::*;

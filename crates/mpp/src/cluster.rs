@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use probkb_support::sync::RwLock;
 
 use probkb_relational::catalog::Catalog;
 use probkb_relational::error::{Error, Result};

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use probkb_support::sync::Mutex;
 
 /// Which kind of motion moved the data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,7 +1,7 @@
 //! Property tests: distributed execution must agree with single-node
 //! execution on the same logical data, for any placement.
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb_mpp::prelude::*;
 use probkb_relational::prelude::*;

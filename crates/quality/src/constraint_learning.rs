@@ -10,10 +10,9 @@
 use std::collections::HashMap;
 
 use probkb_kb::prelude::{FunctionalConstraint, Functionality, ProbKb, RelationId};
-use serde::{Deserialize, Serialize};
 
 /// Learner parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearnConfig {
     /// Minimum number of distinct key entities a relation needs before a
     /// constraint is proposed (too little evidence → no claim).
@@ -38,7 +37,7 @@ impl Default for LearnConfig {
 }
 
 /// A proposed constraint with its supporting evidence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LearnedConstraint {
     /// The constraint itself.
     pub constraint: FunctionalConstraint,

@@ -9,13 +9,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::truth::{FactKey, GroundTruth};
 
 /// Where a constraint violation came from (the slices of Figure 7(b)).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum ErrorSource {
     /// The entity itself is ambiguous (E3, detected directly).
@@ -122,7 +121,7 @@ pub fn evidence_for(
 }
 
 /// A Figure 7(b)-style breakdown.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Breakdown {
     counts: BTreeMap<ErrorSource, usize>,
 }

@@ -1,13 +1,12 @@
 //! Precision evaluation against ground truth (§6.2, Figure 7(a)).
 
 use probkb_core::prelude::{tpi, GroundingOutcome};
-use serde::{Deserialize, Serialize};
 
 use crate::truth::{FactKey, GroundTruth};
 
 /// One point on a precision curve: the state of inference after a given
 /// iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrecisionPoint {
     /// Facts inferred through this iteration (cumulative, survivors only).
     pub inferred: usize,
@@ -20,7 +19,7 @@ pub struct PrecisionPoint {
 }
 
 /// Overall evaluation of a grounding run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Evaluation {
     /// Cumulative precision after each iteration — the trajectory
     /// Figure 7(a) plots (precision vs estimated number of correct facts).

@@ -10,7 +10,6 @@
 use std::collections::HashSet;
 
 use probkb_kb::prelude::Fact;
-use serde::{Deserialize, Serialize};
 
 /// The `(R, x, C1, y, C2)` identity of a fact, matching
 /// [`probkb_core::relmodel::FactRegistry`] keys.
@@ -28,7 +27,7 @@ pub fn fact_key(fact: &Fact) -> FactKey {
 }
 
 /// The paper's three credibility levels (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Credibility {
     /// In the true world.
     Correct,
@@ -40,7 +39,7 @@ pub enum Credibility {
 }
 
 /// Ground truth produced by the error-injecting generator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     /// Facts of the true world: the clean extractions plus everything
     /// derivable from them with the correct rules.

@@ -6,7 +6,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use probkb_support::sync::RwLock;
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;

@@ -3,13 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::value::{DataType, Value};
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name; unique within a schema.
     pub name: String,
@@ -40,7 +39,7 @@ impl Column {
 }
 
 /// An ordered list of columns. Schemas are immutable and cheaply cloneable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Arc<[Column]>,
 }

@@ -7,7 +7,6 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::schema::Schema;
@@ -17,7 +16,7 @@ use crate::value::Value;
 pub type Row = Vec<Value>;
 
 /// An in-memory relation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,

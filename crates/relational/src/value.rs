@@ -10,10 +10,9 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 /// The type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer (dictionary-encoded ids, counters).
     Int,
@@ -39,7 +38,7 @@ impl fmt::Display for DataType {
 /// used directly as a hash-join or group-by key. Floats compare by their
 /// bit pattern for hashing (with `-0.0` normalized to `0.0` and all NaNs
 /// collapsed), which is exactly what a database engine needs for grouping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL. Note that join and group-by operators treat NULL keys as
     /// non-matching, per SQL semantics; `Eq` on `Value` itself treats two

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb_relational::prelude::*;
 

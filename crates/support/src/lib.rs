@@ -1,0 +1,28 @@
+//! # probkb-support
+//!
+//! The hermetic build substrate for the ProbKB workspace: everything the
+//! other crates used to pull from crates.io, reimplemented on `std` alone
+//! so `cargo build --release && cargo test -q` works with the network
+//! unplugged. Reproducible, seeded runs are what make KB-expansion results
+//! trustworthy (the DeepDive line of work makes the same argument), and a
+//! build that cannot resolve its registry cannot reproduce anything.
+//!
+//! | module | replaces | surface |
+//! |---|---|---|
+//! | [`rng`] | `rand` + `rand_chacha` | `StdRng` (ChaCha20), `Rng::{random, random_range}`, `SeedableRng::seed_from_u64` |
+//! | [`json`] | `serde` + `serde_json` | [`json::Json`] value tree, parser, compact/pretty writers with round-trip floats |
+//! | [`sync`] | `parking_lot` + `crossbeam` | panic-free [`sync::Mutex`]/[`sync::RwLock`], scoped fan-out helpers |
+//! | [`check`] | `proptest` | seeded strategy combinators plus the [`proptest!`]/[`prop_assert!`] macros |
+//! | [`microbench`] | `criterion` | warmup + sampled timing with median reporting for `harness = false` benches |
+//!
+//! Each module deliberately mirrors the *names* of the crate it replaces
+//! (`StdRng`, `proptest!`, `prop::collection::vec`, …) so swapping a call
+//! site is an import change, not a rewrite.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod json;
+pub mod microbench;
+pub mod rng;
+pub mod sync;

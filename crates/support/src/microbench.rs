@@ -1,0 +1,244 @@
+//! A self-contained timing harness for `harness = false` benchmarks.
+//!
+//! Replaces `criterion` with the subset of its API the bench files use —
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `sample_size`,
+//! `bench_function` / `bench_with_input`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — so a bench ports by swapping its import
+//! line. Each benchmark runs a short warmup, then `sample_size` timed
+//! samples, and prints min / median / max wall-clock time per iteration.
+//!
+//! Set `MICROBENCH_SAMPLES=<n>` to override every group's sample count
+//! (e.g. `MICROBENCH_SAMPLES=3` for a smoke pass in CI).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchGroup {
+            name,
+            sample_size: 20,
+            warmup: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId { text: text.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl BenchGroup {
+    /// Number of timed samples per benchmark (overridable via the
+    /// `MICROBENCH_SAMPLES` env var).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warmup budget before sampling starts.
+    pub fn warmup_time(&mut self, warmup: Duration) -> &mut Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            warmup: self.warmup,
+            times: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(&self.name, &id.into(), &bencher.times);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// End the group (prints nothing extra; matches the criterion call).
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("MICROBENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1)
+    }
+}
+
+/// Passed to each benchmark routine; call [`Bencher::iter`] with the
+/// code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up, then record one duration per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        self.times = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(group: &str, id: &BenchmarkId, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{group}/{id}: no samples (routine never called iter)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{group}/{id}: median {} (min {}, max {}, {} samples)",
+        fmt_duration(median),
+        fmt_duration(sorted[0]),
+        fmt_duration(*sorted.last().unwrap()),
+        sorted.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions under a name, as criterion spells it.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::microbench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point: run each group, ignoring cargo's `--bench` argument.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; tolerate and ignore flags.
+            let _args: Vec<String> = std::env::args().skip(1).collect();
+            let mut criterion = $crate::microbench::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("support_selftest");
+        group.sample_size(3).warmup_time(Duration::ZERO);
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| {
+                calls += 1;
+                (0..100u64).sum::<u64>()
+            });
+        });
+        group.finish();
+        // 1+ warmup call plus 3 samples.
+        assert!(calls >= 4, "{calls}");
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("chromatic", 8).to_string(), "chromatic/8");
+    }
+
+    #[test]
+    fn durations_format_readably() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

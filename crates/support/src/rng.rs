@@ -1,0 +1,346 @@
+//! Deterministic, seedable random numbers on a ChaCha20 core.
+//!
+//! Mirrors the slice of the `rand` 0.9 API the workspace actually uses —
+//! [`StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`],
+//! [`Rng::random_range`] — so call sites swap an import line and keep
+//! their code. Streams are fully determined by the seed, which is what
+//! the determinism tests and the seeded experiment harnesses rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of uniformly distributed raw bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose whole stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (for `f64`: uniform in `[0, 1)`).
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from a range (`a..b` or `a..=b`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be drawn uniformly from raw bits.
+pub trait FromRng {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for i64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() >> 31 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift mapping of a raw draw onto `0..span` (span > 0). The
+/// bias is ≤ span/2⁶⁴ — irrelevant for simulation workloads and fully
+/// deterministic, which is the property that matters here.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range in random_range");
+        start + (end - start) * rng.random::<f64>()
+    }
+}
+
+/// The ChaCha20 block function: 10 double rounds over `input`, then the
+/// feed-forward addition (RFC 8439 §2.3).
+fn chacha20_block(input: &[u32; 16]) -> [u32; 16] {
+    #[inline(always)]
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    let mut s = *input;
+    for _ in 0..10 {
+        quarter(&mut s, 0, 4, 8, 12);
+        quarter(&mut s, 1, 5, 9, 13);
+        quarter(&mut s, 2, 6, 10, 14);
+        quarter(&mut s, 3, 7, 11, 15);
+        quarter(&mut s, 0, 5, 10, 15);
+        quarter(&mut s, 1, 6, 11, 12);
+        quarter(&mut s, 2, 7, 8, 13);
+        quarter(&mut s, 3, 4, 9, 14);
+    }
+    for (word, inp) in s.iter_mut().zip(input.iter()) {
+        *word = word.wrapping_add(*inp);
+    }
+    s
+}
+
+/// SplitMix64: expands a 64-bit seed into independent key words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard generator: ChaCha20 keyed by SplitMix64
+/// expansion of a 64-bit seed, 64-bit block counter, zero nonce.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    input: [u32; 16],
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 means "refill".
+    cursor: usize,
+}
+
+/// The explicit name, for call sites that used `rand_chacha` directly.
+pub type ChaCha20Rng = StdRng;
+
+impl StdRng {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        self.buf = chacha20_block(&self.input);
+        // 64-bit block counter in words 12/13.
+        let counter = (self.input[12] as u64 | ((self.input[13] as u64) << 32)).wrapping_add(1);
+        self.input[12] = counter as u32;
+        self.input[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&Self::SIGMA);
+        for i in 0..4 {
+            let word = splitmix64(&mut sm);
+            input[4 + 2 * i] = word as u32;
+            input[5 + 2 * i] = (word >> 32) as u32;
+        }
+        StdRng {
+            input,
+            buf: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2: key 00..1f, counter 1, nonce 00:00:00:09 /
+    /// 00:00:00:4a / 00:00:00:00.
+    #[test]
+    fn chacha20_matches_rfc8439_vector() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&StdRng::SIGMA);
+        for (i, slot) in input[4..12].iter_mut().enumerate() {
+            let b = 4 * i as u32;
+            *slot = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let out = chacha20_block(&input);
+        let expected: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3, 0xc7f4_d1c7, 0x0368_c033,
+            0x9aaa_2204, 0x4e6c_d4c3, 0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks hit: {seen:?}");
+        for _ in 0..500 {
+            let v: u32 = rng.random_range(2u32..=4);
+            assert!((2..=4).contains(&v));
+            let f: f64 = rng.random_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i: i64 = rng.random_range(-10i64..10);
+            assert!((-10..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_rng_refs() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynref: &mut StdRng = &mut rng;
+        let x = draw(dynref);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn bool_and_random_bool_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "{trues}");
+        let biased = (0..10_000).filter(|_| rng.random_bool(0.9)).count();
+        assert!(biased > 8_500, "{biased}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline smoke tests for the README's entry points: both examples must
+//! build and run exactly as documented, so they can't silently rot.
+//!
+//! Each test shells out to the same `cargo` binary driving this test run
+//! (examples are already compiled by `cargo test`, so this is execution,
+//! not a rebuild) and fails with the example's full output on any
+//! non-zero exit.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--offline", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example '{name}' exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_example_runs_offline() {
+    run_example("quickstart");
+}
+
+#[test]
+fn knowledge_expansion_example_runs_offline() {
+    run_example("knowledge_expansion");
+}

@@ -1,7 +1,7 @@
 //! Property-based integration tests: invariants of the grounding
 //! algorithm that must hold for ANY generated knowledge base.
 
-use proptest::prelude::*;
+use probkb_support::check::prelude::*;
 
 use probkb::prelude::*;
 
