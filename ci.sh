@@ -10,7 +10,14 @@ cd "$(dirname "$0")"
 RUSTFLAGS="-D warnings" cargo build --release --offline -p probkb-support
 
 cargo build --release --offline --workspace
-cargo test -q --offline --workspace
+
+# The morsel-driven executor must be invariant under the worker count:
+# the whole suite runs serial and again with an 8-thread pool (the env
+# var is read once per process, so each setting needs its own run).
+PROBKB_THREADS=1 cargo test -q --offline --workspace
+PROBKB_THREADS=8 cargo test -q --offline --workspace
+
+# Benches (including the join thread-scaling sweep) must stay compiling.
 cargo bench --offline --no-run --workspace
 cargo run --release --offline -p probkb-bench --bin table2
 

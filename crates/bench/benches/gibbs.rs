@@ -30,6 +30,7 @@ fn ground_graph() -> GroundGraph {
         preclean: false,
         apply_constraints: false,
         max_total_facts: Some(100_000),
+        threads: None,
     };
     let out = ground(&kb, &mut engine, &config).expect("grounding");
     from_phi(&out.factors)

@@ -54,5 +54,51 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
+/// Thread-scaling sweep over the morsel-driven executor: the same join
+/// and aggregate plans at 1/2/4/8 worker threads. On a multi-core host
+/// the parallel runs should beat serial from ~4 threads; on a single
+/// hardware thread they only measure the fork-join overhead.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_thread_scaling");
+    group.sample_size(10);
+
+    let cat = Catalog::new();
+    cat.create_or_replace("t", table(200_000, 4_000));
+    cat.create_or_replace("dim", table(4_000, 4_000));
+
+    for threads in [1usize, 2, 4, 8] {
+        let exec = Executor::new(&cat).with_threads(threads);
+
+        group.bench_with_input(BenchmarkId::new("hash_join", threads), &threads, |b, _| {
+            let plan = Plan::scan("t").hash_join(Plan::scan("dim"), vec![0], vec![0]);
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("aggregate", threads), &threads, |b, _| {
+            let plan = Plan::scan("t").aggregate(
+                vec![0],
+                vec![
+                    AggExpr::new(AggFunc::CountStar, "n"),
+                    AggExpr::new(AggFunc::Sum(1), "s"),
+                    AggExpr::new(AggFunc::Max(1), "mx"),
+                ],
+            );
+            b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("join_aggregate", threads),
+            &threads,
+            |b, _| {
+                let plan = Plan::scan("t")
+                    .hash_join(Plan::scan("dim"), vec![0], vec![0])
+                    .aggregate(vec![0], vec![AggExpr::new(AggFunc::CountStar, "n")]);
+                b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_thread_scaling);
 criterion_main!(benches);

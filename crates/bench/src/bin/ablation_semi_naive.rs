@@ -39,6 +39,7 @@ fn main() {
         preclean: false,
         apply_constraints: false,
         max_total_facts: None,
+        threads: None,
     };
 
     let mut naive = SingleNodeEngine::new();

@@ -55,6 +55,7 @@ fn main() {
         preclean: false,
         apply_constraints: false,
         max_total_facts: None,
+        threads: None,
     };
 
     for &facts in &fact_counts {

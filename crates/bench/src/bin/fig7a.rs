@@ -89,6 +89,7 @@ fn main() {
             preclean: qc.semantic_constraints,
             apply_constraints: qc.semantic_constraints,
             max_total_facts: Some(cap),
+            threads: None,
         };
         let mut engine = SingleNodeEngine::new();
         let out = ground(&kb, &mut engine, &config).expect("grounding");

@@ -52,6 +52,7 @@ fn main() {
         preclean: false,
         apply_constraints: false,
         max_total_facts: Some(300_000),
+        threads: None,
     };
     let out = ground(&corrupted.kb, &mut engine, &config).expect("grounding");
 

@@ -156,6 +156,7 @@ pub fn run_system(
         preclean,
         apply_constraints: false,
         max_total_facts: cap,
+        threads: None,
     };
     let outcome = ground(kb, engine.as_mut(), &config).expect("grounding run");
     PerfRun {

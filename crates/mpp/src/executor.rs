@@ -1,6 +1,7 @@
 //! The distributed executor: runs [`DPlan`]s across all segments in
-//! parallel (one OS thread per segment per operator, shared-nothing), and
-//! executes motion nodes with telemetry and simulated network cost.
+//! parallel (a fork-join pool of up to one worker per segment per
+//! operator, shared-nothing; cap it with [`DExecutor::with_threads`]),
+//! and executes motion nodes with telemetry and simulated network cost.
 //!
 //! Per-segment batches are `Arc<Table>` so scans are zero-copy snapshots;
 //! only operators that genuinely produce new rows (and motions, which
@@ -12,6 +13,7 @@ use std::time::{Duration, Instant};
 use probkb_relational::error::{Error, Result};
 use probkb_relational::exec::{aggregate_table, hash_join};
 use probkb_relational::prelude::{Row, Schema, Table, Value};
+use probkb_support::sync::map_indices;
 
 use crate::cluster::Cluster;
 use crate::distribution::segment_for;
@@ -35,6 +37,9 @@ pub struct DExecMetrics {
     pub net_simulated: Duration,
     /// Rows shipped across segment boundaries (motion nodes only).
     pub rows_shipped: usize,
+    /// Concurrent segment workers used for this node's parallel region
+    /// (1 for leaf, motion, and serial nodes).
+    pub workers: usize,
     /// Child metrics.
     pub children: Vec<DExecMetrics>,
 }
@@ -75,14 +80,35 @@ impl DExecMetrics {
 }
 
 /// Executes distributed plans on a cluster.
+///
+/// Per-segment local plans run concurrently on a fork-join pool. By
+/// default the pool is one worker per segment (the shared-nothing model:
+/// every segment has its own CPU); [`DExecutor::with_threads`] caps the
+/// concurrency for hosts with fewer cores than segments. Results are
+/// identical at any cap — segments are processed in segment order.
 pub struct DExecutor<'a> {
     cluster: &'a Cluster,
+    threads: Option<usize>,
 }
 
 impl<'a> DExecutor<'a> {
-    /// Build an executor over a cluster.
+    /// Build an executor over a cluster (one worker per segment).
     pub fn new(cluster: &'a Cluster) -> Self {
-        DExecutor { cluster }
+        DExecutor {
+            cluster,
+            threads: None,
+        }
+    }
+
+    /// Cap the number of concurrent segment workers (0 is clamped to 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The worker cap for `n` segment tasks.
+    fn cap(&self, n: usize) -> usize {
+        self.threads.unwrap_or(n).min(n).max(1)
     }
 
     /// Execute, returning per-segment result slices and metrics.
@@ -118,7 +144,7 @@ impl<'a> DExecutor<'a> {
                 for i in 0..segs {
                     parts.push(self.cluster.slice(i, table)?); // zero-copy snapshot
                 }
-                Ok(self.done(plan, parts, start.elapsed(), Duration::ZERO, 0, vec![]))
+                Ok(self.done(plan, parts, start.elapsed(), Duration::ZERO, 0, 1, vec![]))
             }
             DPlan::Values { table } => {
                 let schema = table.schema().clone();
@@ -126,36 +152,38 @@ impl<'a> DExecutor<'a> {
                 for _ in 1..segs {
                     parts.push(Arc::new(Table::empty(schema.clone())));
                 }
-                Ok(self.done(plan, parts, Duration::ZERO, Duration::ZERO, 0, vec![]))
+                Ok(self.done(plan, parts, Duration::ZERO, Duration::ZERO, 0, 1, vec![]))
             }
             DPlan::Filter { input, predicate } => {
                 let (parts, child) = self.eval(input)?;
-                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
-                    let mut rows = Vec::new();
-                    for row in t.rows() {
-                        if predicate.eval(row)?.is_truthy() {
-                            rows.push(row.clone());
+                let (out, elapsed, workers) =
+                    parallel_map(&parts, self.cap(segs), &|_seg, t: &Table| {
+                        let mut rows = Vec::new();
+                        for row in t.rows() {
+                            if predicate.eval(row)?.is_truthy() {
+                                rows.push(row.clone());
+                            }
                         }
-                    }
-                    Ok(Table::from_rows_unchecked(t.schema().clone(), rows))
-                })?;
-                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+                        Ok(Table::from_rows_unchecked(t.schema().clone(), rows))
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![child]))
             }
             DPlan::Project { input, exprs } => {
                 let schema = self.plan_schema(plan)?;
                 let (parts, child) = self.eval(input)?;
-                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
-                    let mut rows = Vec::with_capacity(t.len());
-                    for row in t.rows() {
-                        let mut r = Vec::with_capacity(exprs.len());
-                        for (e, _) in exprs {
-                            r.push(e.eval(row)?);
+                let (out, elapsed, workers) =
+                    parallel_map(&parts, self.cap(segs), &|_seg, t: &Table| {
+                        let mut rows = Vec::with_capacity(t.len());
+                        for row in t.rows() {
+                            let mut r = Vec::with_capacity(exprs.len());
+                            for (e, _) in exprs {
+                                r.push(e.eval(row)?);
+                            }
+                            rows.push(r);
                         }
-                        rows.push(r);
-                    }
-                    Ok(Table::from_rows_unchecked(schema.clone(), rows))
-                })?;
-                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+                        Ok(Table::from_rows_unchecked(schema.clone(), rows))
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![child]))
             }
             DPlan::HashJoin {
                 left,
@@ -173,10 +201,11 @@ impl<'a> DExecutor<'a> {
                 }
                 let (lparts, lm) = self.eval(left)?;
                 let (rparts, rm) = self.eval(right)?;
-                let (out, elapsed) = parallel_map2(&lparts, &rparts, &|_seg, l, r| {
-                    Ok(hash_join(l, r, left_keys, right_keys, *kind))
-                })?;
-                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![lm, rm]))
+                let (out, elapsed, workers) =
+                    parallel_map2(&lparts, &rparts, self.cap(segs), &|_seg, l, r| {
+                        Ok(hash_join(l, r, left_keys, right_keys, *kind))
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![lm, rm]))
             }
             DPlan::Aggregate {
                 input,
@@ -185,19 +214,21 @@ impl<'a> DExecutor<'a> {
             } => {
                 let schema = self.plan_schema(plan)?;
                 let (parts, child) = self.eval(input)?;
-                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
-                    aggregate_table(t, group_by, aggs, schema.clone())
-                })?;
-                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+                let (out, elapsed, workers) =
+                    parallel_map(&parts, self.cap(segs), &|_seg, t: &Table| {
+                        aggregate_table(t, group_by, aggs, schema.clone())
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![child]))
             }
             DPlan::Distinct { input } => {
                 let (parts, child) = self.eval(input)?;
-                let (out, elapsed) = parallel_map(&parts, &|_seg, t: &Table| {
-                    let mut t = t.clone();
-                    t.dedup_rows();
-                    Ok(t)
-                })?;
-                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, vec![child]))
+                let (out, elapsed, workers) =
+                    parallel_map(&parts, self.cap(segs), &|_seg, t: &Table| {
+                        let mut t = t.clone();
+                        t.dedup_rows();
+                        Ok(t)
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![child]))
             }
             DPlan::UnionAll { left, right } => {
                 let (lparts, lm) = self.eval(left)?;
@@ -205,17 +236,16 @@ impl<'a> DExecutor<'a> {
                 if lparts[0].schema().width() != rparts[0].schema().width() {
                     return Err(Error::InvalidPlan("UNION ALL width mismatch".into()));
                 }
-                let start = Instant::now();
-                let out: Batches = lparts
-                    .into_iter()
-                    .zip(rparts)
-                    .map(|(l, r)| {
-                        let mut l = unshare(l);
-                        l.extend_from(unshare(r));
-                        Arc::new(l)
-                    })
-                    .collect();
-                Ok(self.done(plan, out, start.elapsed(), Duration::ZERO, 0, vec![lm, rm]))
+                // Concurrent per-segment concatenation (the clone per side
+                // replaces the old uniqueness-aware move; segment slices
+                // are small and the fork-join hides the copy).
+                let (out, elapsed, workers) =
+                    parallel_map2(&lparts, &rparts, self.cap(segs), &|_seg, l, r| {
+                        let mut t = l.clone();
+                        t.extend_from(r.clone());
+                        Ok(t)
+                    })?;
+                Ok(self.done(plan, out, elapsed, Duration::ZERO, 0, workers, vec![lm, rm]))
             }
             DPlan::Redistribute { input, keys } => {
                 let (parts, child) = self.eval(input)?;
@@ -244,7 +274,7 @@ impl<'a> DExecutor<'a> {
                     rows_shipped,
                     bytes_shipped,
                 );
-                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, 1, vec![child]))
             }
             DPlan::Broadcast { input } => {
                 let (parts, child) = self.eval(input)?;
@@ -268,7 +298,7 @@ impl<'a> DExecutor<'a> {
                 let out: Batches = (0..segs).map(|_| Arc::clone(&replica)).collect();
                 let simulated =
                     self.record_motion(MotionKind::Broadcast, rows_shipped, bytes_shipped);
-                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, 1, vec![child]))
             }
             DPlan::Gather { input } => {
                 let (parts, child) = self.eval(input)?;
@@ -291,7 +321,7 @@ impl<'a> DExecutor<'a> {
                 }
                 let simulated =
                     self.record_motion(MotionKind::Gather, rows_shipped, bytes_shipped);
-                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, vec![child]))
+                Ok(self.done(plan, out, start.elapsed(), simulated, rows_shipped, 1, vec![child]))
             }
         }
     }
@@ -315,6 +345,7 @@ impl<'a> DExecutor<'a> {
         elapsed: Duration,
         net_simulated: Duration,
         rows_shipped: usize,
+        workers: usize,
         children: Vec<DExecMetrics>,
     ) -> (Batches, DExecMetrics) {
         let rows_out = parts.iter().map(|t| t.len()).sum();
@@ -324,6 +355,7 @@ impl<'a> DExecutor<'a> {
             elapsed,
             net_simulated,
             rows_shipped,
+            workers,
             children,
         };
         (parts, metrics)
@@ -336,55 +368,39 @@ fn unshare(part: Arc<Table>) -> Table {
     Arc::try_unwrap(part).unwrap_or_else(|shared| (*shared).clone())
 }
 
-/// Run `f` on each segment slice in parallel; returns outputs and the
-/// wall-clock time of the parallel region.
+/// Run `f` on each segment slice concurrently, at most `cap` workers at a
+/// time (segment order preserved). Returns the outputs, the wall-clock
+/// time of the parallel region, and the worker count used.
 fn parallel_map(
     parts: &[Arc<Table>],
+    cap: usize,
     f: &(dyn Fn(usize, &Table) -> Result<Table> + Sync),
-) -> Result<(Batches, Duration)> {
+) -> Result<(Batches, Duration, usize)> {
     let start = Instant::now();
-    let mut results: Vec<Result<Table>> = Vec::with_capacity(parts.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .iter()
-            .enumerate()
-            .map(|(i, t)| s.spawn(move || f(i, t)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("segment thread panicked"));
-        }
-    });
+    let workers = cap.min(parts.len()).max(1);
+    let results = map_indices(parts.len(), workers, |i| f(i, &parts[i]));
     let tables = results
         .into_iter()
         .map(|r| r.map(Arc::new))
         .collect::<Result<Batches>>()?;
-    Ok((tables, start.elapsed()))
+    Ok((tables, start.elapsed(), workers))
 }
 
 /// Binary variant of [`parallel_map`] for joins and unions.
 fn parallel_map2(
     left: &[Arc<Table>],
     right: &[Arc<Table>],
+    cap: usize,
     f: &(dyn Fn(usize, &Table, &Table) -> Result<Table> + Sync),
-) -> Result<(Batches, Duration)> {
+) -> Result<(Batches, Duration, usize)> {
     let start = Instant::now();
-    let mut results: Vec<Result<Table>> = Vec::with_capacity(left.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = left
-            .iter()
-            .zip(right.iter())
-            .enumerate()
-            .map(|(i, (l, r))| s.spawn(move || f(i, l, r)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("segment thread panicked"));
-        }
-    });
+    let workers = cap.min(left.len()).max(1);
+    let results = map_indices(left.len(), workers, |i| f(i, &left[i], &right[i]));
     let tables = results
         .into_iter()
         .map(|r| r.map(Arc::new))
         .collect::<Result<Batches>>()?;
-    Ok((tables, start.elapsed()))
+    Ok((tables, start.elapsed(), workers))
 }
 
 #[cfg(test)]
@@ -527,6 +543,31 @@ mod tests {
         let mut nodes = 0;
         m.visit(&mut |_, _| nodes += 1);
         assert_eq!(nodes, 3);
+    }
+
+    #[test]
+    fn thread_cap_does_not_change_results() {
+        let c = cluster();
+        c.create_table("t", keyed(120, 12), DistPolicy::Hash(vec![0])).unwrap();
+        let plan = DPlan::scan("t")
+            .hash_join(DPlan::scan("t"), vec![0], vec![0])
+            .aggregate(vec![0], vec![AggExpr::new(AggFunc::CountStar, "n")])
+            .gather();
+        let (full, fm) = DExecutor::new(&c).execute_gathered(&plan).unwrap();
+        for cap in [1usize, 2, 8] {
+            let (capped, cm) = DExecutor::new(&c)
+                .with_threads(cap)
+                .execute_gathered(&plan)
+                .unwrap();
+            assert_eq!(format!("{full:?}"), format!("{capped:?}"), "cap={cap}");
+            // 4 segments: the reported worker count respects the cap.
+            let mut max_workers = 0;
+            cm.visit(&mut |n, _| max_workers = max_workers.max(n.workers));
+            assert!(max_workers <= cap.min(4), "cap={cap}");
+        }
+        let mut max_workers = 0;
+        fm.visit(&mut |n, _| max_workers = max_workers.max(n.workers));
+        assert_eq!(max_workers, 4, "uncapped: one worker per segment");
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub fn explain(plan: &DPlan) -> String {
 
 /// Render distributed execution metrics (EXPLAIN ANALYZE). Motion nodes
 /// show rows shipped and simulated interconnect time; compute nodes show
-/// the parallel-region wall time, matching the annotations in Figure 4.
+/// the parallel-region wall time and, when more than one segment worker
+/// ran, the worker count — matching the annotations in Figure 4.
 pub fn explain_analyze(metrics: &DExecMetrics) -> String {
     let mut out = String::new();
     metrics.visit(&mut |node, depth| {
@@ -34,21 +35,28 @@ pub fn explain_analyze(metrics: &DExecMetrics) -> String {
         if depth > 0 {
             out.push_str("-> ");
         }
+        let workers = if node.workers > 1 {
+            format!(", workers={}", node.workers)
+        } else {
+            String::new()
+        };
         if node.net_simulated > std::time::Duration::ZERO || node.rows_shipped > 0 {
             out.push_str(&format!(
-                "{}  (rows={}, shipped={}, compute={}, network={})\n",
+                "{}  (rows={}, shipped={}, compute={}, network={}{})\n",
                 node.description,
                 node.rows_out,
                 node.rows_shipped,
                 fmt_duration(node.elapsed),
                 fmt_duration(node.net_simulated),
+                workers,
             ));
         } else {
             out.push_str(&format!(
-                "{}  (rows={}, time={})\n",
+                "{}  (rows={}, time={}{})\n",
                 node.description,
                 node.rows_out,
-                fmt_duration(node.elapsed)
+                fmt_duration(node.elapsed),
+                workers,
             ));
         }
     });

@@ -19,6 +19,11 @@ pub trait GroundingEngine {
     /// Engine name for reports ("ProbKB", "ProbKB-p", "Tuffy-T", ...).
     fn name(&self) -> &str;
 
+    /// Cap the fork-join worker count the engine may use for batch
+    /// grounding queries. Engines that execute serially ignore this; the
+    /// default is a no-op so backends stay source-compatible.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Load the relational KB (the bulkload column of Table 3).
     fn load(&mut self, rel: &RelationalKb) -> Result<()>;
 

@@ -27,6 +27,11 @@ pub struct GroundingConfig {
     /// Abort when `TΠ` exceeds this many facts (guard for the deliberate
     /// no-constraints blow-up experiments).
     pub max_total_facts: Option<usize>,
+    /// Fork-join worker cap forwarded to the engine via
+    /// [`GroundingEngine::set_threads`] before loading. `None` keeps the
+    /// engine's own default (`PROBKB_THREADS` for single-node engines,
+    /// one worker per segment for MPP).
+    pub threads: Option<usize>,
 }
 
 impl Default for GroundingConfig {
@@ -36,6 +41,7 @@ impl Default for GroundingConfig {
             preclean: false,
             apply_constraints: true,
             max_total_facts: None,
+            threads: None,
         }
     }
 }
@@ -49,6 +55,7 @@ impl GroundingConfig {
             preclean: true,
             apply_constraints: false,
             max_total_facts: None,
+            threads: None,
         }
     }
 }
@@ -146,6 +153,9 @@ pub fn ground_loaded(
     engine: &mut dyn GroundingEngine,
     config: &GroundingConfig,
 ) -> Result<GroundingOutcome> {
+    if let Some(threads) = config.threads {
+        engine.set_threads(threads);
+    }
     let load_start = Instant::now();
     engine.load(&rel)?;
     let load_time = load_start.elapsed();

@@ -37,6 +37,7 @@ pub struct MppEngine {
     mode: MppMode,
     patterns: Vec<RulePattern>,
     views: RedistributedViews,
+    threads: Option<usize>,
 }
 
 impl MppEngine {
@@ -47,6 +48,7 @@ impl MppEngine {
             mode,
             patterns: Vec::new(),
             views: RedistributedViews::paper_tpi_views(names::TPI),
+            threads: None,
         }
     }
 
@@ -61,7 +63,11 @@ impl MppEngine {
     }
 
     fn run_gathered(&self, plan: &DPlan) -> Result<Table> {
-        Ok(DExecutor::new(&self.cluster).execute_gathered(plan)?.0)
+        let mut exec = DExecutor::new(&self.cluster);
+        if let Some(threads) = self.threads {
+            exec = exec.with_threads(threads);
+        }
+        Ok(exec.execute_gathered(plan)?.0)
     }
 
     /// Permute `mid_keys` (paired positionally with `t_keys`) into the
@@ -212,6 +218,12 @@ impl GroundingEngine for MppEngine {
             MppMode::Optimized => "ProbKB-p",
             MppMode::NoViews => "ProbKB-pn",
         }
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        // Caps the per-segment fork-join pool; segment count still bounds
+        // the effective parallelism per operator.
+        self.threads = Some(threads.max(1));
     }
 
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {

@@ -20,6 +20,7 @@ use std::collections::HashSet;
 
 use probkb_kb::prelude::RulePattern;
 use probkb_relational::prelude::*;
+use probkb_support::sync::{default_threads, map_indices};
 
 use crate::engine::{GroundingEngine, ViolatorKey};
 use crate::queries::{
@@ -33,10 +34,21 @@ pub const TDELTA: &str = "T_delta";
 /// Semi-naive single-node engine. Drop-in replacement for
 /// [`crate::single_node::SingleNodeEngine`] with per-iteration cost
 /// proportional to the new facts instead of the whole KB.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SemiNaiveEngine {
     catalog: Catalog,
     patterns: Vec<RulePattern>,
+    threads: usize,
+}
+
+impl Default for SemiNaiveEngine {
+    fn default() -> Self {
+        SemiNaiveEngine {
+            catalog: Catalog::new(),
+            patterns: Vec::new(),
+            threads: default_threads(),
+        }
+    }
 }
 
 impl SemiNaiveEngine {
@@ -45,13 +57,31 @@ impl SemiNaiveEngine {
         SemiNaiveEngine::default()
     }
 
+    /// Builder-style [`GroundingEngine::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Direct access to the underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
     fn run(&self, plan: &Plan) -> Result<Table> {
-        Executor::new(&self.catalog).execute_table(plan)
+        Executor::new(&self.catalog)
+            .with_threads(self.threads)
+            .execute_table(plan)
+    }
+
+    /// Run independent plans on the fork-join pool; outputs concatenate
+    /// in plan order so the result matches the serial loop row-for-row.
+    fn run_all_into(&self, plans: &[Plan], into: &mut Table) -> Result<()> {
+        let outputs = map_indices(plans.len(), self.threads, |i| self.run(&plans[i]));
+        for out in outputs {
+            into.extend_from(out?);
+        }
+        Ok(())
     }
 
     /// The delta-restricted `groundAtoms` plans for one partition: one
@@ -110,6 +140,10 @@ impl GroundingEngine for SemiNaiveEngine {
         "ProbKB-sn"
     }
 
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {
         self.catalog.create_or_replace(names::TPI, rel.t_pi.clone());
         // Iteration 1's delta is the whole base KB.
@@ -126,16 +160,15 @@ impl GroundingEngine for SemiNaiveEngine {
     }
 
     fn ground_atoms(&mut self) -> Result<(Table, usize)> {
+        let plans: Vec<Plan> = self
+            .patterns
+            .iter()
+            .flat_map(|p| self.delta_atoms_plans(*p))
+            .collect();
         let mut all = Table::empty(candidate_schema());
-        let mut queries = 0;
-        for pattern in &self.patterns {
-            for plan in self.delta_atoms_plans(*pattern) {
-                all.extend_from(self.run(&plan)?);
-                queries += 1;
-            }
-        }
+        self.run_all_into(&plans, &mut all)?;
         all.dedup_rows();
-        Ok((all, queries))
+        Ok((all, plans.len()))
     }
 
     fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize> {
@@ -188,16 +221,15 @@ impl GroundingEngine for SemiNaiveEngine {
 
     fn ground_factors(&mut self) -> Result<(Table, usize)> {
         // Factors run over the full closure, identical to the naive engine.
+        let mut plans: Vec<Plan> = self
+            .patterns
+            .iter()
+            .map(|p| ground_factors_plan(*p, &names::mln(p.index()), names::TPI))
+            .collect();
+        plans.push(singleton_factors_plan(names::TPI));
         let mut phi = Table::empty(tphi_schema());
-        let mut queries = 0;
-        for pattern in &self.patterns {
-            let plan = ground_factors_plan(*pattern, &names::mln(pattern.index()), names::TPI);
-            phi.extend_from(self.run(&plan)?);
-            queries += 1;
-        }
-        phi.extend_from(self.run(&singleton_factors_plan(names::TPI))?);
-        queries += 1;
-        Ok((phi, queries))
+        self.run_all_into(&plans, &mut phi)?;
+        Ok((phi, plans.len()))
     }
 
     fn fact_count(&self) -> Result<usize> {

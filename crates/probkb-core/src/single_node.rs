@@ -5,6 +5,7 @@ use std::collections::HashSet;
 
 use probkb_kb::prelude::RulePattern;
 use probkb_relational::prelude::*;
+use probkb_support::sync::{default_threads, map_indices};
 
 use crate::engine::{GroundingEngine, ViolatorKey};
 use crate::queries::{
@@ -13,10 +14,21 @@ use crate::queries::{
 use crate::relmodel::{candidate_schema, names, tphi_schema, tpi, RelationalKb};
 
 /// Single-node batch-grounding engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SingleNodeEngine {
     catalog: Catalog,
     patterns: Vec<RulePattern>,
+    threads: usize,
+}
+
+impl Default for SingleNodeEngine {
+    fn default() -> Self {
+        SingleNodeEngine {
+            catalog: Catalog::new(),
+            patterns: Vec::new(),
+            threads: default_threads(),
+        }
+    }
 }
 
 impl SingleNodeEngine {
@@ -25,19 +37,42 @@ impl SingleNodeEngine {
         SingleNodeEngine::default()
     }
 
+    /// Builder-style [`GroundingEngine::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Direct access to the underlying catalog (tests, lineage queries).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
     fn run(&self, plan: &Plan) -> Result<Table> {
-        Executor::new(&self.catalog).execute_table(plan)
+        Executor::new(&self.catalog)
+            .with_threads(self.threads)
+            .execute_table(plan)
+    }
+
+    /// Run independent per-partition plans on the fork-join pool and
+    /// concatenate their outputs in plan order (so the result matches the
+    /// serial loop row-for-row before deduplication).
+    fn run_all_into(&self, plans: &[Plan], into: &mut Table) -> Result<()> {
+        let outputs = map_indices(plans.len(), self.threads, |i| self.run(&plans[i]));
+        for out in outputs {
+            into.extend_from(out?);
+        }
+        Ok(())
     }
 }
 
 impl GroundingEngine for SingleNodeEngine {
     fn name(&self) -> &str {
         "ProbKB"
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {
@@ -54,16 +89,17 @@ impl GroundingEngine for SingleNodeEngine {
     }
 
     fn ground_atoms(&mut self) -> Result<(Table, usize)> {
+        // One plan per structural partition; the plans only read the
+        // catalog, so they run concurrently on the fork-join pool.
+        let plans: Vec<Plan> = self
+            .patterns
+            .iter()
+            .map(|p| ground_atoms_plan(*p, &names::mln(p.index()), names::TPI))
+            .collect();
         let mut all = Table::empty(candidate_schema());
-        let mut queries = 0;
-        for pattern in &self.patterns {
-            let plan = ground_atoms_plan(*pattern, &names::mln(pattern.index()), names::TPI);
-            let out = self.run(&plan)?;
-            all.extend_from(out);
-            queries += 1;
-        }
+        self.run_all_into(&plans, &mut all)?;
         all.dedup_rows();
-        Ok((all, queries))
+        Ok((all, plans.len()))
     }
 
     fn insert_facts(&mut self, rows: Vec<Row>) -> Result<usize> {
@@ -106,18 +142,18 @@ impl GroundingEngine for SingleNodeEngine {
     }
 
     fn ground_factors(&mut self) -> Result<(Table, usize)> {
+        // Bag union (∪B): duplicates across partitions are distinct
+        // factors (Proposition 1 discussion). Plan-order concatenation
+        // keeps the bag's row order identical to the serial loop.
+        let mut plans: Vec<Plan> = self
+            .patterns
+            .iter()
+            .map(|p| ground_factors_plan(*p, &names::mln(p.index()), names::TPI))
+            .collect();
+        plans.push(singleton_factors_plan(names::TPI));
         let mut phi = Table::empty(tphi_schema());
-        let mut queries = 0;
-        for pattern in &self.patterns {
-            let plan = ground_factors_plan(*pattern, &names::mln(pattern.index()), names::TPI);
-            // Bag union (∪B): duplicates across partitions are distinct
-            // factors (Proposition 1 discussion).
-            phi.extend_from(self.run(&plan)?);
-            queries += 1;
-        }
-        phi.extend_from(self.run(&singleton_factors_plan(names::TPI))?);
-        queries += 1;
-        Ok((phi, queries))
+        self.run_all_into(&plans, &mut phi)?;
+        Ok((phi, plans.len()))
     }
 
     fn fact_count(&self) -> Result<usize> {

@@ -5,14 +5,43 @@
 //! on). Every node records its own wall-clock time and output cardinality
 //! so `EXPLAIN ANALYZE`-style output (Figure 4) can be rendered from any
 //! execution.
+//!
+//! ## Morsel-driven parallelism
+//!
+//! With [`Executor::with_threads`] > 1 (default: the `PROBKB_THREADS`
+//! environment variable, read once per process), operators over inputs of
+//! at least [`Executor::with_parallel_threshold`] rows run on a fork-join
+//! pool instead of the caller's thread:
+//!
+//! * **Hash join** — the build side is partitioned by key hash so every
+//!   distinct key lives wholly in one partition; partitions are built
+//!   concurrently, then probe-side chunks are scanned in parallel with
+//!   per-chunk outputs concatenated in chunk order.
+//! * **Aggregate** — each worker folds its chunk into a partial group map;
+//!   partials are merged in chunk order. Only exact / order-insensitive
+//!   aggregates (COUNT, integer SUM, MIN, MAX) take this path — float SUM
+//!   and AVG accumulate in IEEE-754 addition order, which is not
+//!   associative, so they stay serial.
+//! * **Filter / Project** — chunked row maps, outputs in chunk order.
+//!
+//! Because chunking is contiguous and concatenation preserves chunk order,
+//! every parallel operator produces rows in **exactly** the order the
+//! serial path does: same-seed runs are byte-identical at any thread
+//! count. The differential suite in `tests/proptest_parallel.rs` holds
+//! this line.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use probkb_support::sync::{default_threads, map_chunks, map_indices};
+
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::plan::{AggFunc, JoinKind, Plan};
+use crate::plan::{AggExpr, AggFunc, JoinKind, Plan};
+use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::Value;
 
@@ -23,16 +52,28 @@ pub struct ExecMetrics {
     pub description: String,
     /// Rows produced by this node.
     pub rows_out: usize,
-    /// Time spent in this node, excluding children.
+    /// Time spent in this node's own operator work, excluding children.
     pub elapsed: Duration,
+    /// Wall-clock time of this node *including* its children, measured by
+    /// a single timer spanning the node's whole execution. This is what
+    /// [`ExecMetrics::total_elapsed`] reports: summing child times would
+    /// double-count children that ran concurrently.
+    pub wall: Duration,
+    /// Worker threads that executed this node (1 = serial path).
+    pub workers: usize,
+    /// Per-worker busy time when `workers > 1`, in chunk order.
+    pub worker_elapsed: Vec<Duration>,
     /// Child metrics, in plan order.
     pub children: Vec<ExecMetrics>,
 }
 
 impl ExecMetrics {
-    /// Total time including children.
+    /// Total time including children: the wall-clock of the single timer
+    /// that spanned this node's execution. Not a sum over the tree —
+    /// concurrent children overlap in time, and adding their individual
+    /// clocks would count the overlap twice.
     pub fn total_elapsed(&self) -> Duration {
-        self.elapsed + self.children.iter().map(|c| c.total_elapsed()).sum::<Duration>()
+        self.wall
     }
 
     /// Visit every node depth-first.
@@ -44,6 +85,23 @@ impl ExecMetrics {
             }
         }
         go(self, 0, f);
+    }
+}
+
+/// Parallelism telemetry for one operator: how many workers ran and how
+/// long each was busy. The serial path reports one worker and no per-
+/// worker breakdown.
+struct Par {
+    workers: usize,
+    worker_elapsed: Vec<Duration>,
+}
+
+impl Par {
+    fn serial() -> Par {
+        Par {
+            workers: 1,
+            worker_elapsed: Vec::new(),
+        }
     }
 }
 
@@ -69,15 +127,62 @@ impl Batch {
     }
 }
 
+/// Below this many input rows an operator stays serial: forking threads
+/// costs more than the scan itself. Chosen from the `joins` thread-scaling
+/// microbench; tests set 0 via [`Executor::with_parallel_threshold`] to
+/// force the parallel path on tiny inputs.
+const PARALLEL_THRESHOLD: usize = 256;
+
 /// Executes plans against a catalog.
+///
+/// `threads` > 1 enables the morsel-driven parallel operators (see the
+/// module docs) for inputs of at least `parallel_threshold` rows. The
+/// default budget is read once per process from `PROBKB_THREADS` (unset →
+/// 1, the serial engine). Results are identical to serial execution at
+/// any thread count.
 pub struct Executor<'a> {
     catalog: &'a Catalog,
+    threads: usize,
+    parallel_threshold: usize,
 }
 
 impl<'a> Executor<'a> {
-    /// Build an executor over a catalog.
+    /// Build an executor over a catalog with the process-default thread
+    /// budget (`PROBKB_THREADS`, read once; unset → serial).
     pub fn new(catalog: &'a Catalog) -> Self {
-        Executor { catalog }
+        Executor {
+            catalog,
+            threads: default_threads(),
+            parallel_threshold: PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Set the worker-thread budget. `0` is clamped to `1` (serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the minimum input rows before an operator goes parallel.
+    /// Differential tests set this to 0 so small randomized tables still
+    /// exercise the parallel path.
+    pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
+        self.parallel_threshold = rows;
+        self
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers to use for an operator over `rows` input rows.
+    fn workers_for(&self, rows: usize) -> usize {
+        if self.threads > 1 && rows > 0 && rows >= self.parallel_threshold {
+            self.threads
+        } else {
+            1
+        }
     }
 
     /// Execute a plan, returning the result and per-node metrics.
@@ -92,39 +197,46 @@ impl<'a> Executor<'a> {
     }
 
     fn run(&self, plan: &Plan) -> Result<(Batch, ExecMetrics)> {
+        // One timer spans the whole node, children included — the only
+        // double-count-free way to report total time once children can
+        // run concurrently.
+        let entry = Instant::now();
+        let (batch, mut metrics) = self.run_node(plan)?;
+        metrics.wall = entry.elapsed();
+        Ok((batch, metrics))
+    }
+
+    fn run_node(&self, plan: &Plan) -> Result<(Batch, ExecMetrics)> {
         match plan {
             Plan::Scan { table } => {
                 let start = Instant::now();
                 let t = self.catalog.get(table)?;
-                let metrics = ExecMetrics {
-                    description: plan.describe(),
-                    rows_out: t.len(),
-                    elapsed: start.elapsed(),
-                    children: vec![],
-                };
-                Ok((Batch::Shared(t), metrics))
+                let rows_out = t.len();
+                Ok((
+                    Batch::Shared(t),
+                    leaf_metrics(plan, rows_out, start.elapsed()),
+                ))
             }
-            Plan::Values { table } => {
-                let metrics = ExecMetrics {
-                    description: plan.describe(),
-                    rows_out: table.len(),
-                    elapsed: Duration::ZERO,
-                    children: vec![],
-                };
-                Ok((Batch::Owned(table.clone()), metrics))
-            }
+            Plan::Values { table } => Ok((
+                Batch::Owned(table.clone()),
+                leaf_metrics(plan, table.len(), Duration::ZERO),
+            )),
             Plan::Filter { input, predicate } => {
                 let (batch, child) = self.run(input)?;
                 let start = Instant::now();
                 let src = batch.table();
-                let mut out = Vec::new();
-                for row in src.rows() {
-                    if predicate.eval(row)?.is_truthy() {
-                        out.push(row.clone());
+                let workers = self.workers_for(src.len());
+                let (rows, par) = try_par_map_rows(src.rows(), workers, |part| {
+                    let mut out = Vec::new();
+                    for row in part {
+                        if predicate.eval(row)?.is_truthy() {
+                            out.push(row.clone());
+                        }
                     }
-                }
-                let table = Table::from_rows_unchecked(src.schema().clone(), out);
-                Ok(self.done(plan, table, start, vec![child]))
+                    Ok(out)
+                })?;
+                let table = Table::from_rows_unchecked(src.schema().clone(), rows);
+                Ok(self.done(plan, table, start, par, vec![child]))
             }
             Plan::Project { input, exprs } => {
                 let (batch, child) = self.run(input)?;
@@ -132,16 +244,20 @@ impl<'a> Executor<'a> {
                 let src = batch.table();
                 let lookup = |name: &str| self.catalog.schema_of(name);
                 let schema = plan.schema(&lookup)?;
-                let mut rows = Vec::with_capacity(src.len());
-                for row in src.rows() {
-                    let mut out = Vec::with_capacity(exprs.len());
-                    for (e, _) in exprs {
-                        out.push(e.eval(row)?);
+                let workers = self.workers_for(src.len());
+                let (rows, par) = try_par_map_rows(src.rows(), workers, |part| {
+                    let mut out = Vec::with_capacity(part.len());
+                    for row in part {
+                        let mut r = Vec::with_capacity(exprs.len());
+                        for (e, _) in exprs {
+                            r.push(e.eval(row)?);
+                        }
+                        out.push(r);
                     }
-                    rows.push(out);
-                }
+                    Ok(out)
+                })?;
                 let table = Table::from_rows_unchecked(schema, rows);
-                Ok(self.done(plan, table, start, vec![child]))
+                Ok(self.done(plan, table, start, par, vec![child]))
             }
             Plan::HashJoin {
                 left,
@@ -160,8 +276,22 @@ impl<'a> Executor<'a> {
                 let (lb, lm) = self.run(left)?;
                 let (rb, rm) = self.run(right)?;
                 let start = Instant::now();
-                let table = hash_join(lb.table(), rb.table(), left_keys, right_keys, *kind);
-                Ok(self.done(plan, table, start, vec![lm, rm]))
+                let lt = lb.table();
+                let rt = rb.table();
+                let probe_len = match kind {
+                    JoinKind::Inner => lt.len().max(rt.len()),
+                    JoinKind::LeftSemi | JoinKind::LeftAnti => lt.len(),
+                };
+                let workers = self.workers_for(probe_len);
+                let (table, par) = if workers > 1 {
+                    par_hash_join(lt, rt, left_keys, right_keys, *kind, workers)
+                } else {
+                    (
+                        hash_join(lt, rt, left_keys, right_keys, *kind),
+                        Par::serial(),
+                    )
+                };
+                Ok(self.done(plan, table, start, par, vec![lm, rm]))
             }
             Plan::Aggregate {
                 input,
@@ -172,15 +302,21 @@ impl<'a> Executor<'a> {
                 let start = Instant::now();
                 let lookup = |name: &str| self.catalog.schema_of(name);
                 let schema = plan.schema(&lookup)?;
-                let table = aggregate_table(batch.table(), group_by, aggs, schema)?;
-                Ok(self.done(plan, table, start, vec![child]))
+                let src = batch.table();
+                let workers = self.workers_for(src.len());
+                let (table, par) = if workers > 1 && aggs_order_insensitive(src, aggs) {
+                    par_aggregate_table(src, group_by, aggs, schema, workers)?
+                } else {
+                    (aggregate_table(src, group_by, aggs, schema)?, Par::serial())
+                };
+                Ok(self.done(plan, table, start, par, vec![child]))
             }
             Plan::Distinct { input } => {
                 let (batch, child) = self.run(input)?;
                 let start = Instant::now();
                 let mut table = batch.into_table();
                 table.dedup_rows();
-                Ok(self.done(plan, table, start, vec![child]))
+                Ok(self.done(plan, table, start, Par::serial(), vec![child]))
             }
             Plan::UnionAll { left, right } => {
                 let (lb, lm) = self.run(left)?;
@@ -197,14 +333,14 @@ impl<'a> Executor<'a> {
                 }
                 let mut table = lb.into_table();
                 table.extend_from(rb.into_table());
-                Ok(self.done(plan, table, start, vec![lm, rm]))
+                Ok(self.done(plan, table, start, Par::serial(), vec![lm, rm]))
             }
             Plan::Sort { input, keys } => {
                 let (batch, child) = self.run(input)?;
                 let start = Instant::now();
                 let mut table = batch.into_table();
                 table.sort_by_cols(keys);
-                Ok(self.done(plan, table, start, vec![child]))
+                Ok(self.done(plan, table, start, Par::serial(), vec![child]))
             }
             Plan::Limit { input, n } => {
                 let (batch, child) = self.run(input)?;
@@ -212,7 +348,7 @@ impl<'a> Executor<'a> {
                 let src = batch.table();
                 let rows: Vec<Row> = src.rows().iter().take(*n).cloned().collect();
                 let table = Table::from_rows_unchecked(src.schema().clone(), rows);
-                Ok(self.done(plan, table, start, vec![child]))
+                Ok(self.done(plan, table, start, Par::serial(), vec![child]))
             }
         }
     }
@@ -222,15 +358,196 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         table: Table,
         start: Instant,
+        par: Par,
         children: Vec<ExecMetrics>,
     ) -> (Batch, ExecMetrics) {
         let metrics = ExecMetrics {
             description: plan.describe(),
             rows_out: table.len(),
             elapsed: start.elapsed(),
+            wall: Duration::ZERO, // set by `run` from the node-entry timer
+            workers: par.workers,
+            worker_elapsed: par.worker_elapsed,
             children,
         };
         (Batch::Owned(table), metrics)
+    }
+}
+
+fn leaf_metrics(plan: &Plan, rows_out: usize, elapsed: Duration) -> ExecMetrics {
+    ExecMetrics {
+        description: plan.describe(),
+        rows_out,
+        elapsed,
+        wall: Duration::ZERO, // set by `run` from the node-entry timer
+        workers: 1,
+        worker_elapsed: Vec::new(),
+        children: vec![],
+    }
+}
+
+/// Chunked fallible row map: run `f` over contiguous row chunks on up to
+/// `workers` threads, concatenating per-chunk outputs in chunk order (so
+/// the result is row-for-row identical to a serial pass) and recording
+/// each worker's busy time.
+fn try_par_map_rows<F>(rows: &[Row], workers: usize, f: F) -> Result<(Vec<Row>, Par)>
+where
+    F: Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+{
+    let chunks = map_chunks(rows, workers, |_, part| {
+        let busy = Instant::now();
+        let out = f(part);
+        vec![(out, busy.elapsed())]
+    });
+    let mut out = Vec::with_capacity(rows.len());
+    let mut worker_elapsed = Vec::with_capacity(chunks.len());
+    for (result, busy) in chunks {
+        out.extend(result?);
+        worker_elapsed.push(busy);
+    }
+    let workers = worker_elapsed.len().max(1);
+    Ok((
+        out,
+        Par {
+            workers,
+            worker_elapsed,
+        },
+    ))
+}
+
+/// Infallible sibling of [`try_par_map_rows`] for operators whose row
+/// closures cannot error (joins).
+fn par_map_rows<F>(rows: &[Row], workers: usize, f: F) -> (Vec<Row>, Par)
+where
+    F: Fn(&[Row]) -> Vec<Row> + Sync,
+{
+    try_par_map_rows(rows, workers, |part| Ok(f(part))).expect("infallible row map")
+}
+
+/// Hash of a join key, used to route rows to build partitions. Uses the
+/// std `DefaultHasher` with its fixed default keys, so partition routing
+/// is deterministic across runs, platforms, and thread counts.
+fn key_hash(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One hash table per build partition; a key's partition is
+/// `key_hash % len`, so every distinct key lives wholly in one partition.
+type BuildPartitions = Vec<HashMap<Vec<Value>, Vec<usize>>>;
+
+/// Partition the build side of a join by key hash and build the
+/// per-partition hash tables concurrently. Row indices within each table
+/// stay in global row order, preserving the serial join's match order.
+fn build_partitions(build: &Table, keys: &[usize], workers: usize) -> BuildPartitions {
+    let nparts = workers.max(1);
+    // Pass 1 (parallel): route each row to a partition. NULL keys never
+    // equi-match, so they are dropped here, exactly as the serial build
+    // skips them.
+    let part_of: Vec<usize> = map_chunks(build.rows(), workers, |_, chunk| {
+        chunk
+            .iter()
+            .map(|row| {
+                let key = Table::key_of(row, keys);
+                if key.iter().any(Value::is_null) {
+                    usize::MAX
+                } else {
+                    (key_hash(&key) % nparts as u64) as usize
+                }
+            })
+            .collect()
+    });
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+    for (i, &p) in part_of.iter().enumerate() {
+        if p != usize::MAX {
+            buckets[p].push(i);
+        }
+    }
+    // Pass 2 (parallel): one hash table per partition.
+    map_indices(nparts, workers, |p| {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(buckets[p].len());
+        for &i in &buckets[p] {
+            map.entry(Table::key_of(&build.rows()[i], keys))
+                .or_default()
+                .push(i);
+        }
+        map
+    })
+}
+
+fn partition_lookup<'p>(parts: &'p BuildPartitions, key: &[Value]) -> Option<&'p Vec<usize>> {
+    let p = (key_hash(key) % parts.len() as u64) as usize;
+    parts[p].get(key)
+}
+
+/// Morsel-driven parallel hash join. Build-side choice (smaller input for
+/// inner joins, right side for semi/anti) and NULL-key semantics match
+/// [`hash_join`]; chunk-ordered probe concatenation makes the output
+/// row-for-row identical to the serial path.
+fn par_hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    workers: usize,
+) -> (Table, Par) {
+    match kind {
+        JoinKind::Inner => {
+            let build_on_left = left.len() <= right.len();
+            let (build, build_keys, probe, probe_keys) = if build_on_left {
+                (left, left_keys, right, right_keys)
+            } else {
+                (right, right_keys, left, left_keys)
+            };
+            let parts = build_partitions(build, build_keys, workers);
+            let schema = left.schema().join(right.schema());
+            let (rows, par) = par_map_rows(probe.rows(), workers, |chunk| {
+                let mut out = Vec::new();
+                for prow in chunk {
+                    let key = Table::key_of(prow, probe_keys);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = partition_lookup(&parts, &key) {
+                        for &bi in matches {
+                            // Output layout is always `left ++ right`.
+                            if build_on_left {
+                                let mut row = build.rows()[bi].clone();
+                                row.extend_from_slice(prow);
+                                out.push(row);
+                            } else {
+                                let mut row = prow.clone();
+                                row.extend_from_slice(&build.rows()[bi]);
+                                out.push(row);
+                            }
+                        }
+                    }
+                }
+                out
+            });
+            (Table::from_rows_unchecked(schema, rows), par)
+        }
+        JoinKind::LeftSemi | JoinKind::LeftAnti => {
+            let parts = build_partitions(right, right_keys, workers);
+            let want_match = kind == JoinKind::LeftSemi;
+            let (rows, par) = par_map_rows(left.rows(), workers, |chunk| {
+                let mut out = Vec::new();
+                for lrow in chunk {
+                    let key = Table::key_of(lrow, left_keys);
+                    let matched = !key.iter().any(Value::is_null)
+                        && partition_lookup(&parts, &key).is_some();
+                    if matched == want_match {
+                        out.push(lrow.clone());
+                    }
+                }
+                out
+            });
+            (Table::from_rows_unchecked(left.schema().clone(), rows), par)
+        }
     }
 }
 
@@ -395,6 +712,44 @@ impl AggState {
         }
     }
 
+    /// Fold another chunk's partial state (same function) into `self`.
+    /// Used by the parallel aggregate's merge step; the float variants
+    /// merge too, but the planner never parallelizes them (see
+    /// [`aggs_order_insensitive`]) because float addition order changes
+    /// the bits.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (AggState::SumInt(acc, seen), AggState::SumInt(b, sb)) => {
+                *acc += b;
+                *seen |= sb;
+            }
+            (AggState::SumFloat(acc, seen), AggState::SumFloat(b, sb)) => {
+                *acc += b;
+                *seen |= sb;
+            }
+            (AggState::Min(cur), AggState::Min(v)) => {
+                if let Some(v) = v {
+                    if cur.as_ref().is_none_or(|m| v < *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(v)) => {
+                if let Some(v) = v {
+                    if cur.as_ref().is_none_or(|m| v > *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum, n }, AggState::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            _ => unreachable!("agg state merge mismatch"),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
@@ -424,28 +779,46 @@ impl AggState {
     }
 }
 
+/// Which aggregates read a float column and therefore accumulate in
+/// `f64` (SUM only; COUNT/MIN/MAX are type-agnostic).
+fn float_sum_inputs(input: &Table, aggs: &[AggExpr]) -> Vec<bool> {
+    use crate::value::DataType;
+    aggs.iter()
+        .map(|a| match a.func {
+            AggFunc::Sum(c) => input
+                .schema()
+                .column(c)
+                .map(|col| col.dtype == DataType::Float)
+                .unwrap_or(false),
+            _ => false,
+        })
+        .collect()
+}
+
+/// True when every aggregate is exact or order-insensitive, so per-chunk
+/// partial states can be merged without changing a single bit of the
+/// result. Float SUM and AVG accumulate in IEEE-754 addition order, which
+/// is not associative — those keep the serial path so same-seed runs stay
+/// byte-identical at any thread count.
+fn aggs_order_insensitive(input: &Table, aggs: &[AggExpr]) -> bool {
+    aggs.iter()
+        .zip(float_sum_inputs(input, aggs))
+        .all(|(a, is_float)| match a.func {
+            AggFunc::Avg(_) => false,
+            AggFunc::Sum(_) => !is_float,
+            AggFunc::CountStar | AggFunc::Count(_) | AggFunc::Min(_) | AggFunc::Max(_) => true,
+        })
+}
+
 /// Grouped aggregation over a table, producing `out_schema` rows sorted by
 /// group key. Exposed so the MPP executor can run segment-local aggregates.
 pub fn aggregate_table(
     input: &Table,
     group_by: &[usize],
-    aggs: &[crate::plan::AggExpr],
-    out_schema: crate::schema::Schema,
+    aggs: &[AggExpr],
+    out_schema: Schema,
 ) -> Result<Table> {
-    use crate::value::DataType;
-    let float_inputs: Vec<bool> = aggs
-        .iter()
-        .map(|a| match a.func {
-            AggFunc::Sum(c) => {
-                input
-                    .schema()
-                    .column(c)
-                    .map(|col| col.dtype == DataType::Float)
-                    .unwrap_or(false)
-            }
-            _ => false,
-        })
-        .collect();
+    let float_inputs = float_sum_inputs(input, aggs);
 
     let make_states = || -> Vec<AggState> {
         aggs.iter()
@@ -468,6 +841,74 @@ pub fn aggregate_table(
         }
     }
 
+    Ok(finish_groups(groups, out_schema))
+}
+
+/// Parallel grouped aggregation: each worker folds its chunk into a
+/// partial group map; partials are merged in chunk order, then finished
+/// exactly like [`aggregate_table`] (same empty-group seeding, same
+/// sorted output). Only called when [`aggs_order_insensitive`] holds.
+fn par_aggregate_table(
+    input: &Table,
+    group_by: &[usize],
+    aggs: &[AggExpr],
+    out_schema: Schema,
+    workers: usize,
+) -> Result<(Table, Par)> {
+    let float_inputs = float_sum_inputs(input, aggs);
+    let make_states = || -> Vec<AggState> {
+        aggs.iter()
+            .zip(float_inputs.iter())
+            .map(|(a, &is_f)| AggState::new(&a.func, is_f))
+            .collect()
+    };
+
+    let partials = map_chunks(input.rows(), workers, |_, chunk| {
+        let busy = Instant::now();
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        for row in chunk {
+            let key = Table::key_of(row, group_by);
+            let states = groups.entry(key).or_insert_with(&make_states);
+            for (state, agg) in states.iter_mut().zip(aggs.iter()) {
+                state.update(&agg.func, row);
+            }
+        }
+        vec![(groups, busy.elapsed())]
+    });
+
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), make_states());
+    }
+    let mut worker_elapsed = Vec::with_capacity(partials.len());
+    for (partial, busy) in partials {
+        worker_elapsed.push(busy);
+        for (key, states) in partial {
+            match groups.entry(key) {
+                Entry::Occupied(mut e) => {
+                    for (acc, s) in e.get_mut().iter_mut().zip(states) {
+                        acc.merge(s);
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(states);
+                }
+            }
+        }
+    }
+    let workers = worker_elapsed.len().max(1);
+    Ok((
+        finish_groups(groups, out_schema),
+        Par {
+            workers,
+            worker_elapsed,
+        },
+    ))
+}
+
+/// Finish agg states into output rows, sorted by group key (deterministic
+/// output order helps tests and diffing).
+fn finish_groups(groups: HashMap<Vec<Value>, Vec<AggState>>, out_schema: Schema) -> Table {
     let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
     for (key, states) in groups {
         let mut row = key;
@@ -476,9 +917,8 @@ pub fn aggregate_table(
         }
         rows.push(row);
     }
-    // Deterministic output order helps tests and diffing.
     rows.sort();
-    Ok(Table::from_rows_unchecked(out_schema, rows))
+    Table::from_rows_unchecked(out_schema, rows)
 }
 
 #[cfg(test)]
@@ -586,6 +1026,22 @@ mod tests {
     }
 
     #[test]
+    fn null_keys_never_match_in_parallel() {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![Column::nullable("k", DataType::Int)]);
+        let t = Table::from_rows(
+            schema.clone(),
+            vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Null]],
+        )
+        .unwrap();
+        cat.create("t", t).unwrap();
+        let exec = Executor::new(&cat).with_threads(4).with_parallel_threshold(0);
+        let plan = Plan::scan("t").hash_join(Plan::scan("t"), vec![0], vec![0]);
+        let out = exec.execute_table(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
     fn aggregate_grouped() {
         let cat = catalog();
         let exec = Executor::new(&cat);
@@ -678,6 +1134,101 @@ mod tests {
         metrics.visit(&mut |_, _| count += 1);
         assert_eq!(count, 4);
         assert!(metrics.total_elapsed() >= metrics.elapsed);
+        // The node-entry timer spans children: every child's wall fits
+        // inside its parent's.
+        assert!(metrics.children[0].wall <= metrics.wall);
+    }
+
+    #[test]
+    fn total_elapsed_uses_single_parent_timer() {
+        // Two children that each ran 90ms *concurrently* under a parent
+        // whose wall-clock was 100ms. Summing per-node times (the old
+        // semantics) would claim 10 + 90 + 90 = 190ms of elapsed time for
+        // a node that finished in 100ms; the single parent timer cannot
+        // double-count overlap.
+        let child = || ExecMetrics {
+            description: "child".into(),
+            rows_out: 0,
+            elapsed: Duration::from_millis(90),
+            wall: Duration::from_millis(90),
+            workers: 1,
+            worker_elapsed: Vec::new(),
+            children: vec![],
+        };
+        let parent = ExecMetrics {
+            description: "parent".into(),
+            rows_out: 0,
+            elapsed: Duration::from_millis(10),
+            wall: Duration::from_millis(100),
+            workers: 2,
+            worker_elapsed: vec![Duration::from_millis(90); 2],
+            children: vec![child(), child()],
+        };
+        assert_eq!(parent.total_elapsed(), Duration::from_millis(100));
+        let naive_sum = parent.elapsed
+            + parent
+                .children
+                .iter()
+                .map(|c| c.total_elapsed())
+                .sum::<Duration>();
+        assert!(parent.total_elapsed() < naive_sum);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_and_reports_workers() {
+        let cat = Catalog::new();
+        let big = Table::from_rows_unchecked(
+            Schema::ints(&["k", "v"]),
+            (0..300i64)
+                .map(|i| vec![Value::Int(i % 17), Value::Int(i)])
+                .collect(),
+        );
+        let dim = Table::from_rows_unchecked(
+            Schema::ints(&["k", "tag"]),
+            (0..17i64).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+        );
+        cat.create("big", big).unwrap();
+        cat.create("dim", dim).unwrap();
+        let plan = Plan::scan("big")
+            .hash_join(Plan::scan("dim"), vec![0], vec![0])
+            .aggregate(
+                vec![3],
+                vec![
+                    AggExpr::new(AggFunc::CountStar, "n"),
+                    AggExpr::new(AggFunc::Sum(1), "s"),
+                ],
+            );
+        let serial = Executor::new(&cat).with_threads(1).execute_table(&plan).unwrap();
+        let (par, metrics) = Executor::new(&cat)
+            .with_threads(4)
+            .with_parallel_threshold(1)
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{par:?}"));
+        // Aggregate and join both engaged multiple workers.
+        assert!(metrics.workers > 1, "aggregate should go parallel");
+        assert_eq!(metrics.workers, metrics.worker_elapsed.len());
+        assert!(metrics.children[0].workers > 1, "join should go parallel");
+    }
+
+    #[test]
+    fn float_order_sensitive_aggregates_stay_serial() {
+        let cat = catalog();
+        let plan = Plan::scan("people").aggregate(
+            vec![1],
+            vec![
+                AggExpr::new(AggFunc::Sum(2), "sw"), // float SUM
+                AggExpr::new(AggFunc::Avg(2), "aw"),
+            ],
+        );
+        let (out, metrics) = Executor::new(&cat)
+            .with_threads(8)
+            .with_parallel_threshold(0)
+            .execute(&plan)
+            .unwrap();
+        assert_eq!(metrics.workers, 1, "float SUM/AVG must not parallelize");
+        let serial = Executor::new(&cat).with_threads(1).execute_table(&plan).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{out:?}"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use probkb_support::sync::map_chunks;
+
 use crate::table::{Row, Table};
 use crate::value::Value;
 
@@ -30,6 +32,41 @@ impl HashIndex {
                 continue;
             }
             map.entry(key).or_default().push(i);
+        }
+        HashIndex {
+            key_cols: key_cols.to_vec(),
+            map,
+            rows_indexed: table.len(),
+        }
+    }
+
+    /// Build an index on up to `threads` workers: each worker indexes a
+    /// contiguous row chunk (global row positions), and chunk maps are
+    /// merged in chunk order — so every key's posting list stays in
+    /// ascending row order and the result is identical to
+    /// [`HashIndex::build`].
+    pub fn build_parallel(table: &Table, key_cols: &[usize], threads: usize) -> Self {
+        if threads <= 1 || table.len() < 2 {
+            return HashIndex::build(table, key_cols);
+        }
+        let indices: Vec<usize> = (0..table.len()).collect();
+        let partials: Vec<HashMap<Vec<Value>, Vec<usize>>> =
+            map_chunks(&indices, threads, |_, part| {
+                let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for &i in part {
+                    let key = Table::key_of(&table.rows()[i], key_cols);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    map.entry(key).or_default().push(i);
+                }
+                vec![map]
+            });
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(table.len());
+        for partial in partials {
+            for (key, rows) in partial {
+                map.entry(key).or_default().extend(rows);
+            }
         }
         HashIndex {
             key_cols: key_cols.to_vec(),
@@ -124,6 +161,25 @@ mod tests {
         assert_eq!(idx.probe(&probe, &[0, 1]), &[1]);
         let null_probe = vec![Value::Int(1), Value::Null];
         assert_eq!(idx.probe(&null_probe, &[0, 1]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let big = Table::from_rows_unchecked(
+            Schema::ints(&["r", "x"]),
+            (0..500i64)
+                .map(|i| vec![Value::Int(i % 7), Value::Int(i % 23)])
+                .collect(),
+        );
+        let serial = HashIndex::build(&big, &[0, 1]);
+        for threads in [1, 2, 8] {
+            let par = HashIndex::build_parallel(&big, &[0, 1], threads);
+            assert_eq!(par.distinct_keys(), serial.distinct_keys());
+            assert_eq!(par.rows_indexed(), serial.rows_indexed());
+            for (key, rows) in &serial.map {
+                assert_eq!(par.get(key), rows.as_slice(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

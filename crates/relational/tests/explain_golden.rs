@@ -1,0 +1,110 @@
+//! Golden-output test for EXPLAIN ANALYZE, covering the worker-count
+//! annotations of the morsel-driven executor. Durations vary run to run,
+//! so every `<digits>(s|ms|us)` token is normalized to `<T>` before the
+//! comparison; row counts, worker counts, and tree shape are exact.
+
+use probkb_relational::prelude::*;
+
+/// Replace duration tokens (`1.20ms`, `300.0us`, `2.00s`) with `<T>`.
+/// Plain numbers (`rows=600`, `left[0]`) are kept: a digit run is only a
+/// duration if it is immediately followed by a unit suffix.
+fn normalize(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let prev_alnum = i > 0 && bytes[i - 1].is_ascii_alphanumeric();
+        if bytes[i].is_ascii_digit() && !prev_alnum {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                j += 1;
+            }
+            let rest = &text[j..];
+            let unit_len = if rest.starts_with("us") || rest.starts_with("ms") {
+                2
+            } else if rest.starts_with('s') {
+                1
+            } else {
+                0
+            };
+            if unit_len > 0 {
+                out.push_str("<T>");
+                i = j + unit_len;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// 600 facts (k = i mod 20) joined against a 20-key dim table, then
+/// grouped: with 4 threads the 600-row probe and aggregate split into
+/// exactly 4 morsels, so the worker annotations are deterministic.
+fn catalog() -> Catalog {
+    let cat = Catalog::new();
+    let fact = Table::from_rows_unchecked(
+        Schema::ints(&["k", "v"]),
+        (0..600i64)
+            .map(|i| vec![Value::Int(i % 20), Value::Int(i)])
+            .collect(),
+    );
+    let dim = Table::from_rows_unchecked(
+        Schema::ints(&["k", "w"]),
+        (0..20i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect(),
+    );
+    cat.create("fact", fact).unwrap();
+    cat.create("dim", dim).unwrap();
+    cat
+}
+
+fn plan() -> Plan {
+    Plan::scan("fact")
+        .hash_join(Plan::scan("dim"), vec![0], vec![0])
+        .aggregate(vec![0], vec![AggExpr::new(AggFunc::CountStar, "n")])
+}
+
+#[test]
+fn explain_analyze_parallel_golden() {
+    let cat = catalog();
+    let (_, metrics) = Executor::new(&cat)
+        .with_threads(4)
+        .with_parallel_threshold(1)
+        .execute(&plan())
+        .unwrap();
+    let golden = "\
+HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, time=<T>, workers=4 [<T> <T> <T> <T>])
+  -> Hash Join on left[0] = right[0]  (rows=600, time=<T>, workers=4 [<T> <T> <T> <T>])
+    -> Seq Scan on fact  (rows=600, time=<T>)
+    -> Seq Scan on dim  (rows=20, time=<T>)
+";
+    assert_eq!(normalize(&explain_analyze(&metrics)), golden);
+}
+
+#[test]
+fn explain_analyze_serial_golden() {
+    let cat = catalog();
+    let (_, metrics) = Executor::new(&cat)
+        .with_threads(1)
+        .execute(&plan())
+        .unwrap();
+    let golden = "\
+HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, time=<T>)
+  -> Hash Join on left[0] = right[0]  (rows=600, time=<T>)
+    -> Seq Scan on fact  (rows=600, time=<T>)
+    -> Seq Scan on dim  (rows=20, time=<T>)
+";
+    assert_eq!(normalize(&explain_analyze(&metrics)), golden);
+}
+
+#[test]
+fn normalize_only_touches_durations() {
+    assert_eq!(
+        normalize("x  (rows=600, time=1.20ms, workers=4 [300.0us 2.00s])"),
+        "x  (rows=600, time=<T>, workers=4 [<T> <T>])"
+    );
+    assert_eq!(normalize("left[0] = right[0]"), "left[0] = right[0]");
+}

@@ -7,7 +7,7 @@
 //! panicked thread left behind is exactly as observable as it would be
 //! under `parking_lot`, which has no poisoning at all.
 
-use std::sync::{self, LockResult, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, LockResult, MutexGuard, OnceLock, RwLockReadGuard, RwLockWriteGuard};
 
 fn ignore_poison<G>(result: LockResult<G>) -> G {
     result.unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -117,6 +117,36 @@ where
     out
 }
 
+/// The process-wide default worker-thread budget, read **once** from the
+/// `PROBKB_THREADS` environment variable and cached. Unset, unparsable,
+/// or zero values all mean 1 — parallel execution is opt-in, and the
+/// serial engine stays the reference behaviour. Callers that need a
+/// different budget mid-process (tests comparing thread counts) should
+/// take an explicit override instead of re-reading the environment.
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("PROBKB_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f(0), f(1), …, f(n-1)` on at most `threads` workers and return the
+/// results in index order. The task-list sibling of [`map_chunks`], for
+/// fork-joining over independent work items (per-partition hash tables,
+/// per-pattern grounding plans) rather than slices.
+pub fn map_indices<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    map_chunks(&indices, threads, |_, part| part.iter().map(|&i| f(i)).collect())
+}
+
 /// Run `f` mutably on disjoint chunks of `items` in parallel, chunk index
 /// passed along. The mutable-slice sibling of [`map_chunks`].
 pub fn for_each_chunk_mut<T, F>(items: &mut [T], threads: usize, f: F)
@@ -202,6 +232,25 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(tags, sorted, "chunk order preserved");
         assert_eq!(*tags.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn map_indices_runs_every_index_in_order() {
+        for threads in [1, 3, 16] {
+            let squares = map_indices(9, threads, |i| i * i);
+            assert_eq!(squares, (0..9).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(map_indices(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one_and_stable() {
+        // The env var is read once and cached: two calls agree, and the
+        // result is always a usable thread count.
+        let a = default_threads();
+        let b = default_threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
     }
 
     #[test]

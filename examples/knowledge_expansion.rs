@@ -22,6 +22,7 @@ fn run(
         preclean: apply_constraints,
         apply_constraints,
         max_total_facts: Some(100_000),
+        threads: None,
     };
     let mut engine = SingleNodeEngine::new();
     let out = ground(kb, &mut engine, &config).expect("grounding");

@@ -36,6 +36,7 @@ fn main() {
         preclean: false,
         apply_constraints: false,
         max_total_facts: Some(400_000),
+        threads: None,
     };
 
     // Single node reference.

@@ -134,6 +134,7 @@ fn all_backends_produce_identical_expansions() {
         preclean: true,
         apply_constraints: true,
         max_total_facts: Some(100_000),
+        threads: None,
     };
     let mut reference: Option<Vec<[i64; 5]>> = None;
     for backend in [
@@ -229,6 +230,7 @@ fn quality_control_improves_precision_end_to_end() {
             preclean: qc,
             apply_constraints: qc,
             max_total_facts: Some(200_000),
+            threads: None,
         };
         let out = ground(kb, &mut engine, &config).unwrap();
         evaluate(&out, &corrupted.truth)

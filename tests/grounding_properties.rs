@@ -37,6 +37,7 @@ fn ground_kb(kb: &ProbKb, constraints: bool) -> GroundingOutcome {
         preclean: constraints,
         apply_constraints: constraints,
         max_total_facts: Some(50_000),
+        threads: None,
     };
     ground(kb, &mut engine, &config).expect("grounding")
 }
@@ -123,6 +124,7 @@ proptest! {
             preclean: false,
             apply_constraints: false,
             max_total_facts: Some(50_000),
+            threads: None,
         };
         let mut single = SingleNodeEngine::new();
         let s = ground(&kb, &mut single, &gc).expect("single");
