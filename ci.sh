@@ -5,11 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-# The support crate is the substrate everything else stands on: it must
-# build without a single warning. -Dwarnings turns any into a hard error.
-RUSTFLAGS="-D warnings" cargo build --release --offline -p probkb-support
-
-cargo build --release --offline --workspace
+# Zero-warning policy for the whole workspace: -Dwarnings turns any
+# warning in the release build into a hard error.
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
 # The morsel-driven executor must be invariant under the worker count:
 # the whole suite runs serial and again with an 8-thread pool (the env
@@ -20,5 +18,24 @@ PROBKB_THREADS=8 cargo test -q --offline --workspace
 # Benches (including the join thread-scaling sweep) must stay compiling.
 cargo bench --offline --no-run --workspace
 cargo run --release --offline -p probkb-bench --bin table2
+
+# Durability smoke (DESIGN.md, "Durability"): a run killed mid-grounding
+# must resume at the last completed iteration and produce an export
+# byte-identical to an uninterrupted run.
+rm -rf target/ci-ckpt-full target/ci-ckpt-crash
+PROBKB_CKPT_DIR=target/ci-ckpt-full \
+  cargo run --release --offline --example checkpoint_resume
+set +e
+PROBKB_CKPT_DIR=target/ci-ckpt-crash PROBKB_CRASH_AFTER_ITER=4 \
+  cargo run --release --offline --example checkpoint_resume
+crash_status=$?
+set -e
+if [ "$crash_status" -ne 86 ]; then
+  echo "ci: expected injected-crash exit code 86, got $crash_status" >&2
+  exit 1
+fi
+PROBKB_CKPT_DIR=target/ci-ckpt-crash \
+  cargo run --release --offline --example checkpoint_resume
+cmp target/ci-ckpt-full/export.pkb target/ci-ckpt-crash/export.pkb
 
 echo "ci: all green"

@@ -1,0 +1,76 @@
+//! Snapshot write/load throughput (ISSUE 3): how fast the durable
+//! storage layer serializes a `TΠ`-shaped catalog to disk and loads it
+//! back, at 10k / 100k / 1M rows. Rows/sec is `rows / elapsed` on the
+//! reported mean times.
+
+use std::fs;
+use std::path::PathBuf;
+
+use probkb_support::microbench::{BenchmarkId, Criterion};
+use probkb_support::{criterion_group, criterion_main};
+
+use probkb_core::prelude::tpi_schema;
+use probkb_relational::prelude::*;
+use probkb_storage::snapshot::{read_catalog_snapshot, write_catalog_snapshot};
+
+/// A realistic facts table: dense ids, small id domains, mostly-NULL
+/// weights — the exact shape checkpoints persist every few iterations.
+fn facts(rows: usize) -> Table {
+    Table::from_rows_unchecked(
+        tpi_schema(),
+        (0..rows as i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 100),
+                    Value::Int(i % 40_000),
+                    Value::Int(i % 30),
+                    Value::Int((i * 7) % 40_000),
+                    Value::Int(i % 30),
+                    if i % 3 == 0 {
+                        Value::Float((i % 1000) as f64 / 1000.0)
+                    } else {
+                        Value::Null
+                    },
+                ]
+            })
+            .collect(),
+    )
+}
+
+fn bench_path(tag: &str, rows: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "probkb-bench-snapshot-{tag}-{rows}-{}.pkb",
+        std::process::id()
+    ))
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_throughput");
+
+    for rows in [10_000usize, 100_000, 1_000_000] {
+        // Keep the 1M-row point affordable: fewer samples, same shape.
+        group.sample_size(if rows >= 1_000_000 { 10 } else { 20 });
+
+        let catalog = Catalog::new();
+        catalog.create_or_replace("T_pi", facts(rows));
+
+        let write_path = bench_path("write", rows);
+        group.bench_with_input(BenchmarkId::new("write", rows), &rows, |b, _| {
+            b.iter(|| write_catalog_snapshot(&write_path, &catalog).unwrap());
+        });
+
+        let read_path = bench_path("read", rows);
+        write_catalog_snapshot(&read_path, &catalog).unwrap();
+        group.bench_with_input(BenchmarkId::new("load", rows), &rows, |b, _| {
+            b.iter(|| std::hint::black_box(read_catalog_snapshot(&read_path).unwrap()));
+        });
+
+        let _ = fs::remove_file(write_path);
+        let _ = fs::remove_file(read_path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -22,6 +22,23 @@ pub struct Segment {
     pub catalog: Catalog,
 }
 
+/// The canonical checkpoint name for one segment's slice of a
+/// distributed table: `"{table}@seg{segment:04}"`. Checkpoint exports
+/// use this so per-segment state restores verbatim — placement included
+/// — instead of being re-hashed on import.
+pub fn slice_checkpoint_name(table: &str, segment: usize) -> String {
+    format!("{table}@seg{segment:04}")
+}
+
+/// Parse a [`slice_checkpoint_name`] back into `(table, segment)`.
+pub fn parse_slice_checkpoint_name(name: &str) -> Option<(&str, usize)> {
+    let (table, seg) = name.rsplit_once("@seg")?;
+    if table.is_empty() || seg.len() != 4 {
+        return None;
+    }
+    Some((table, seg.parse().ok()?))
+}
+
 /// A simulated MPP cluster.
 #[derive(Debug)]
 pub struct Cluster {
@@ -99,6 +116,36 @@ impl Cluster {
         self.drop_table(&name);
         self.create_table(name, table, policy)
             .expect("fresh name cannot collide");
+    }
+
+    /// Restore a distributed table from explicit per-segment slices —
+    /// the inverse of gathering every [`Cluster::slice`]. Unlike
+    /// [`Cluster::create_or_replace_table`], rows are NOT re-placed
+    /// through the policy: each slice lands verbatim on its segment, so
+    /// a checkpointed table resumes with byte-identical placement and
+    /// row order. The caller must supply exactly one slice per segment.
+    pub fn create_or_replace_from_slices(
+        &self,
+        name: impl Into<String>,
+        policy: DistPolicy,
+        slices: Vec<Table>,
+    ) -> Result<()> {
+        let name = name.into();
+        if slices.len() != self.num_segments() {
+            return Err(Error::InvalidPlan(format!(
+                "table {name}: {} slices for {} segments",
+                slices.len(),
+                self.num_segments()
+            )));
+        }
+        let schema = slices[0].schema().clone();
+        self.drop_table(&name);
+        for (segment, slice) in self.segments.iter().zip(slices) {
+            segment.catalog.create(&name, slice)?;
+        }
+        self.policies.write().insert(name.clone(), policy);
+        self.schemas.write().insert(name, schema);
+        Ok(())
     }
 
     /// Drop a distributed table everywhere; true if it existed.

@@ -52,7 +52,9 @@ pub mod views;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
-    pub use crate::cluster::{Cluster, Segment};
+    pub use crate::cluster::{
+        parse_slice_checkpoint_name, slice_checkpoint_name, Cluster, Segment,
+    };
     pub use crate::distribution::{hash_key, place_rows, segment_for, DistPolicy};
     pub use crate::dplan::DPlan;
     pub use crate::executor::{DExecMetrics, DExecutor};

@@ -61,6 +61,15 @@ impl RedistributedViews {
         self.keys.iter().map(|k| self.view_name(k)).collect()
     }
 
+    /// The declared `(view name, distribution key)` pairs, in order —
+    /// lets a checkpoint import rebuild each view's hash policy.
+    pub fn keyed_views(&self) -> Vec<(String, Vec<usize>)> {
+        self.keys
+            .iter()
+            .map(|k| (self.view_name(k), k.clone()))
+            .collect()
+    }
+
     /// (Re)materialize every view from the current contents of the base
     /// table. Returns the number of views refreshed.
     pub fn refresh(&self, cluster: &Cluster) -> Result<usize> {

@@ -1,0 +1,1241 @@
+//! Checkpoint/resume for the grounding loop (DESIGN.md, "Durability").
+//!
+//! [`ground_checkpointed`] runs Algorithm 1 exactly like
+//! [`crate::grounding::ground`], but makes the run durable:
+//!
+//! * Before iteration 1 it writes a **base snapshot** of the freshly
+//!   loaded engine state (`probkb_storage::snapshot`).
+//! * After every completed iteration it appends one CRC-guarded frame to
+//!   a **write-ahead log** and fsyncs it — the frame carries the exact
+//!   new rows, violator set, and post-iteration fact count.
+//! * Every [`CheckpointConfig::snapshot_every`] iterations it writes a
+//!   fresh snapshot so recovery replays a bounded suffix of the log.
+//!
+//! A killed run resumes from the newest *valid* snapshot plus WAL
+//! replay; torn or corrupted tails are truncated at the first bad frame,
+//! damaged snapshots fall back to older ones (ultimately the base
+//! snapshot or a fresh start). Because every iteration's effect is
+//! recorded as data (not recomputed), a resumed run finishes with
+//! **byte-identical** facts and factors to an uninterrupted one.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use probkb_kb::prelude::ProbKb;
+use probkb_relational::prelude::{Error as EngineError, Row, Table};
+use probkb_storage::error::io_err;
+use probkb_storage::format::{
+    decode_named_tables, encode_named_tables, get_table, put_table, ByteReader, ByteWriter,
+};
+use probkb_storage::kbcodec::{encode_kb, kb_digest};
+use probkb_storage::snapshot::{list_snapshots, snapshot_file_name, Snapshot, SnapshotBuilder};
+use probkb_storage::wal::{scan_wal, WalWriter};
+use probkb_storage::{crc32, StorageError};
+
+use crate::engine::{GroundingEngine, ViolatorKey};
+use crate::grounding::{
+    register_candidates, GroundingConfig, GroundingOutcome, GroundingReport, IterationStats,
+};
+use crate::relmodel::{load, tpi, FactRegistry};
+
+/// WAL file name inside a checkpoint directory.
+pub const WAL_FILE: &str = "grounding.wal";
+
+/// Process exit code used by the crash-injection hook
+/// (`PROBKB_CRASH_AFTER_ITER`), distinguishable from panics and normal
+/// failures in recovery smoke tests.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// Environment variable read by [`CheckpointConfig::with_crash_from_env`]:
+/// when set to an iteration number, the run exits with
+/// [`CRASH_EXIT_CODE`] right after committing that iteration's WAL frame.
+pub const CRASH_ENV_VAR: &str = "PROBKB_CRASH_AFTER_ITER";
+
+/// Durability knobs for [`ground_checkpointed`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding the WAL and snapshots. Created if missing.
+    pub dir: PathBuf,
+    /// Write a full snapshot every N completed iterations (0 disables
+    /// periodic snapshots; the base and final snapshots are always
+    /// written).
+    pub snapshot_every: usize,
+    /// Crash-injection hook: exit the process with [`CRASH_EXIT_CODE`]
+    /// immediately after committing this iteration's WAL frame (and its
+    /// periodic snapshot, if due). `None` disables.
+    pub crash_after_iteration: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` with a snapshot every 5 iterations.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            snapshot_every: 5,
+            crash_after_iteration: None,
+        }
+    }
+
+    /// Enable the crash hook from [`CRASH_ENV_VAR`] if it is set to a
+    /// parseable iteration number.
+    pub fn with_crash_from_env(mut self) -> Self {
+        if let Ok(v) = std::env::var(CRASH_ENV_VAR) {
+            self.crash_after_iteration = v.trim().parse().ok();
+        }
+        self
+    }
+}
+
+/// Errors from the checkpointed driver: either the engine failed (same
+/// failures [`crate::grounding::ground`] surfaces) or durable storage did.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The grounding engine reported an error.
+    Engine(EngineError),
+    /// Reading or writing checkpoint state failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Engine(e) => write!(f, "engine: {e}"),
+            CheckpointError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<EngineError> for CheckpointError {
+    fn from(e: EngineError) -> Self {
+        CheckpointError::Engine(e)
+    }
+}
+
+impl From<StorageError> for CheckpointError {
+    fn from(e: StorageError) -> Self {
+        CheckpointError::Storage(e)
+    }
+}
+
+/// Result alias for the checkpointed driver.
+pub type CheckpointResult<T> = std::result::Result<T, CheckpointError>;
+
+fn corrupt(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Storage(StorageError::Corrupt(msg.into()))
+}
+
+/// How a [`ground_checkpointed`] call recovered its starting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// Iteration of the snapshot the state was restored from (`Some(0)`
+    /// is the pre-iteration base snapshot); `None` for a fresh start.
+    pub snapshot_iteration: Option<usize>,
+    /// Completed iterations re-applied from the WAL on top of the
+    /// snapshot.
+    pub replayed_iterations: usize,
+    /// The previous run had already finished (its factor frame was
+    /// recovered), so no live grounding work was needed.
+    pub completed_on_disk: bool,
+}
+
+impl ResumeSummary {
+    /// True when any on-disk state was reused.
+    pub fn resumed(&self) -> bool {
+        self.snapshot_iteration.is_some()
+    }
+}
+
+/// A grounding outcome plus how it was (re)started.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// The grounding result — byte-identical to an uninterrupted
+    /// [`crate::grounding::ground`] run with the same inputs.
+    pub outcome: GroundingOutcome,
+    /// Recovery provenance.
+    pub resume: ResumeSummary,
+}
+
+// ---------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------
+
+const REC_BEGIN: u8 = 1;
+const REC_PRECLEAN: u8 = 2;
+const REC_ITERATION: u8 = 3;
+const REC_FACTORS: u8 = 4;
+
+/// One committed iteration, as logged: everything needed to re-apply its
+/// effect to a restored engine without re-running the join queries.
+#[derive(Debug, Clone)]
+struct IterationRecord {
+    iteration: usize,
+    converged: bool,
+    facts_after: usize,
+    deleted: usize,
+    queries: usize,
+    elapsed: Duration,
+    violators: Vec<(i64, i64)>,
+    new_rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone)]
+enum WalRecord {
+    Begin {
+        kb_digest: u32,
+        cfg_digest: u32,
+        engine: String,
+    },
+    Preclean {
+        deleted: usize,
+        violators: Vec<(i64, i64)>,
+    },
+    Iteration(IterationRecord),
+    Factors {
+        table: Table,
+        queries: usize,
+        elapsed: Duration,
+    },
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn put_violators(w: &mut ByteWriter, violators: &[(i64, i64)]) {
+    w.put_u32(violators.len() as u32);
+    for &(e, c) in violators {
+        w.put_i64(e);
+        w.put_i64(c);
+    }
+}
+
+fn get_violators(r: &mut ByteReader<'_>) -> probkb_storage::Result<Vec<(i64, i64)>> {
+    let n = r.get_u32()? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let e = r.get_i64()?;
+        let c = r.get_i64()?;
+        v.push((e, c));
+    }
+    Ok(v)
+}
+
+fn sorted_violators(set: &HashSet<ViolatorKey>) -> Vec<(i64, i64)> {
+    let mut v: Vec<(i64, i64)> = set.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match rec {
+        WalRecord::Begin {
+            kb_digest,
+            cfg_digest,
+            engine,
+        } => {
+            w.put_u8(REC_BEGIN);
+            w.put_u32(*kb_digest);
+            w.put_u32(*cfg_digest);
+            w.put_str(engine);
+        }
+        WalRecord::Preclean { deleted, violators } => {
+            w.put_u8(REC_PRECLEAN);
+            w.put_u64(*deleted as u64);
+            put_violators(&mut w, violators);
+        }
+        WalRecord::Iteration(it) => {
+            w.put_u8(REC_ITERATION);
+            w.put_u64(it.iteration as u64);
+            w.put_u8(it.converged as u8);
+            w.put_u64(it.facts_after as u64);
+            w.put_u64(it.deleted as u64);
+            w.put_u64(it.queries as u64);
+            w.put_u64(duration_us(it.elapsed));
+            put_violators(&mut w, &it.violators);
+            let mut rows = Table::empty(crate::relmodel::tpi_schema());
+            for row in &it.new_rows {
+                rows.push_unchecked(row.clone());
+            }
+            put_table(&mut w, &rows);
+        }
+        WalRecord::Factors {
+            table,
+            queries,
+            elapsed,
+        } => {
+            w.put_u8(REC_FACTORS);
+            w.put_u64(*queries as u64);
+            w.put_u64(duration_us(*elapsed));
+            put_table(&mut w, table);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_record(payload: &[u8]) -> probkb_storage::Result<WalRecord> {
+    let mut r = ByteReader::new(payload);
+    let rec = match r.get_u8()? {
+        REC_BEGIN => WalRecord::Begin {
+            kb_digest: r.get_u32()?,
+            cfg_digest: r.get_u32()?,
+            engine: r.get_str()?,
+        },
+        REC_PRECLEAN => WalRecord::Preclean {
+            deleted: r.get_u64()? as usize,
+            violators: get_violators(&mut r)?,
+        },
+        REC_ITERATION => {
+            let iteration = r.get_u64()? as usize;
+            let converged = r.get_u8()? != 0;
+            let facts_after = r.get_u64()? as usize;
+            let deleted = r.get_u64()? as usize;
+            let queries = r.get_u64()? as usize;
+            let elapsed = Duration::from_micros(r.get_u64()?);
+            let violators = get_violators(&mut r)?;
+            let new_rows = get_table(&mut r)?.into_rows();
+            WalRecord::Iteration(IterationRecord {
+                iteration,
+                converged,
+                facts_after,
+                deleted,
+                queries,
+                elapsed,
+                violators,
+                new_rows,
+            })
+        }
+        REC_FACTORS => {
+            let queries = r.get_u64()? as usize;
+            let elapsed = Duration::from_micros(r.get_u64()?);
+            let table = get_table(&mut r)?;
+            WalRecord::Factors {
+                table,
+                queries,
+                elapsed,
+            }
+        }
+        tag => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown WAL record tag {tag}"
+            )))
+        }
+    };
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt(format!(
+            "WAL record has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(rec)
+}
+
+/// Digest of the [`GroundingConfig`] knobs that change a run's *output*
+/// (threads only change scheduling, never results, so they are excluded).
+fn config_digest(config: &GroundingConfig) -> u32 {
+    let mut w = ByteWriter::new();
+    w.put_u64(config.max_iterations as u64);
+    w.put_u8(config.preclean as u8);
+    w.put_u8(config.apply_constraints as u8);
+    match config.max_total_facts {
+        Some(cap) => {
+            w.put_u8(1);
+            w.put_u64(cap as u64);
+        }
+        None => w.put_u8(0),
+    }
+    crc32(&w.into_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Snapshot sections
+// ---------------------------------------------------------------------
+
+const SEC_META: &str = "meta";
+const SEC_KB: &str = "kb";
+const SEC_REGISTRY: &str = "registry";
+const SEC_STATE: &str = "state";
+const SEC_STATS: &str = "stats";
+const SEC_FACTITER: &str = "factiter";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SnapshotMeta {
+    kb_digest: u32,
+    cfg_digest: u32,
+    engine: String,
+    iteration: usize,
+    precleaned: usize,
+    converged: bool,
+}
+
+fn encode_meta(m: &SnapshotMeta) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(m.kb_digest);
+    w.put_u32(m.cfg_digest);
+    w.put_str(&m.engine);
+    w.put_u64(m.iteration as u64);
+    w.put_u64(m.precleaned as u64);
+    w.put_u8(m.converged as u8);
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> probkb_storage::Result<SnapshotMeta> {
+    let mut r = ByteReader::new(bytes);
+    let m = SnapshotMeta {
+        kb_digest: r.get_u32()?,
+        cfg_digest: r.get_u32()?,
+        engine: r.get_str()?,
+        iteration: r.get_u64()? as usize,
+        precleaned: r.get_u64()? as usize,
+        converged: r.get_u8()? != 0,
+    };
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt("meta has trailing bytes".into()));
+    }
+    Ok(m)
+}
+
+fn encode_registry(registry: &FactRegistry) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_i64(registry.next_id());
+    let entries = registry.entries();
+    w.put_u64(entries.len() as u64);
+    for (key, id) in entries {
+        for k in key {
+            w.put_i64(k);
+        }
+        w.put_i64(id);
+    }
+    w.into_bytes()
+}
+
+fn decode_registry(bytes: &[u8]) -> probkb_storage::Result<FactRegistry> {
+    let mut r = ByteReader::new(bytes);
+    let next_id = r.get_i64()?;
+    let n = r.get_u64()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let mut key = [0i64; 5];
+        for k in &mut key {
+            *k = r.get_i64()?;
+        }
+        let id = r.get_i64()?;
+        entries.push((key, id));
+    }
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt("registry has trailing bytes".into()));
+    }
+    Ok(FactRegistry::from_entries(next_id, entries))
+}
+
+fn encode_stats(stats: &[IterationStats]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(stats.len() as u32);
+    for s in stats {
+        w.put_u64(s.iteration as u64);
+        w.put_u64(s.new_facts as u64);
+        w.put_u64(s.deleted_facts as u64);
+        w.put_u64(s.facts_after as u64);
+        w.put_u64(s.queries as u64);
+        w.put_u64(duration_us(s.elapsed));
+    }
+    w.into_bytes()
+}
+
+fn decode_stats(bytes: &[u8]) -> probkb_storage::Result<Vec<IterationStats>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_u32()? as usize;
+    let mut stats = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        stats.push(IterationStats {
+            iteration: r.get_u64()? as usize,
+            new_facts: r.get_u64()? as usize,
+            deleted_facts: r.get_u64()? as usize,
+            facts_after: r.get_u64()? as usize,
+            queries: r.get_u64()? as usize,
+            elapsed: Duration::from_micros(r.get_u64()?),
+        });
+    }
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt("stats has trailing bytes".into()));
+    }
+    Ok(stats)
+}
+
+fn encode_factiter(fact_iteration: &HashMap<i64, usize>) -> Vec<u8> {
+    let mut pairs: Vec<(i64, usize)> = fact_iteration.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable();
+    let mut w = ByteWriter::new();
+    w.put_u64(pairs.len() as u64);
+    for (id, iteration) in pairs {
+        w.put_i64(id);
+        w.put_u64(iteration as u64);
+    }
+    w.into_bytes()
+}
+
+fn decode_factiter(bytes: &[u8]) -> probkb_storage::Result<HashMap<i64, usize>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_u64()? as usize;
+    let mut map = HashMap::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let id = r.get_i64()?;
+        let iteration = r.get_u64()? as usize;
+        map.insert(id, iteration);
+    }
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt("factiter has trailing bytes".into()));
+    }
+    Ok(map)
+}
+
+// ---------------------------------------------------------------------
+// Run state
+// ---------------------------------------------------------------------
+
+/// The driver-side mutable state of a grounding run — everything outside
+/// the engine that a snapshot must capture.
+#[derive(Debug)]
+struct RunState {
+    registry: FactRegistry,
+    precleaned: usize,
+    preclean_done: bool,
+    iterations: Vec<IterationStats>,
+    fact_iteration: HashMap<i64, usize>,
+    converged: bool,
+    capped: bool,
+    factors: Option<(Table, usize, Duration)>,
+}
+
+impl RunState {
+    fn fresh(registry: FactRegistry, config: &GroundingConfig) -> RunState {
+        RunState {
+            registry,
+            precleaned: 0,
+            preclean_done: !config.preclean,
+            iterations: Vec::new(),
+            fact_iteration: HashMap::new(),
+            converged: false,
+            capped: false,
+            factors: None,
+        }
+    }
+
+    fn last_iteration(&self) -> usize {
+        self.iterations.last().map(|s| s.iteration).unwrap_or(0)
+    }
+}
+
+fn violator_set(violators: &[(i64, i64)]) -> HashSet<ViolatorKey> {
+    violators.iter().copied().collect()
+}
+
+/// Re-apply logged WAL records on top of a state restored from a
+/// snapshot taken after `snap_iteration`. Records at or before the
+/// snapshot are skipped (their effects are already in the state); later
+/// ones must form a contiguous run or the candidate is rejected.
+fn apply_records(
+    engine: &mut dyn GroundingEngine,
+    config: &GroundingConfig,
+    st: &mut RunState,
+    snap_iteration: usize,
+    records: &[WalRecord],
+) -> CheckpointResult<usize> {
+    let mut replayed = 0usize;
+    for rec in records {
+        match rec {
+            WalRecord::Begin { .. } => {
+                return Err(corrupt("unexpected mid-log Begin record"));
+            }
+            WalRecord::Preclean { deleted, violators } => {
+                if snap_iteration == 0 && !st.preclean_done {
+                    let applied = engine.delete_violators(&violator_set(violators))?;
+                    if applied != *deleted {
+                        return Err(corrupt(format!(
+                            "preclean replay deleted {applied} facts, log says {deleted}"
+                        )));
+                    }
+                    engine.redistribute()?;
+                }
+                st.precleaned = *deleted;
+                st.preclean_done = true;
+            }
+            WalRecord::Iteration(it) => {
+                if it.iteration <= snap_iteration {
+                    continue; // already folded into the snapshot
+                }
+                let expected = st.last_iteration().max(snap_iteration) + 1;
+                if it.iteration != expected {
+                    return Err(corrupt(format!(
+                        "WAL gap: expected iteration {expected}, found {}",
+                        it.iteration
+                    )));
+                }
+                let new_facts = it.new_rows.len();
+                for row in &it.new_rows {
+                    let key = [
+                        row[tpi::R].as_int().expect("logged R"),
+                        row[tpi::X].as_int().expect("logged x"),
+                        row[tpi::C1].as_int().expect("logged C1"),
+                        row[tpi::Y].as_int().expect("logged y"),
+                        row[tpi::C2].as_int().expect("logged C2"),
+                    ];
+                    let logged_id = row[tpi::I].as_int().expect("logged id");
+                    match st.registry.register(key) {
+                        Some(id) if id == logged_id => {}
+                        other => {
+                            return Err(corrupt(format!(
+                                "replay id mismatch: log assigns {logged_id}, registry {other:?}"
+                            )));
+                        }
+                    }
+                    st.fact_iteration.insert(logged_id, it.iteration);
+                }
+                if it.converged {
+                    if new_facts != 0 {
+                        return Err(corrupt("converged frame carries new rows"));
+                    }
+                    st.converged = true;
+                } else {
+                    engine.insert_facts(it.new_rows.clone())?;
+                    if config.apply_constraints {
+                        let deleted = engine.delete_violators(&violator_set(&it.violators))?;
+                        if deleted != it.deleted {
+                            return Err(corrupt(format!(
+                                "iteration {} replay deleted {deleted} facts, log says {}",
+                                it.iteration, it.deleted
+                            )));
+                        }
+                    }
+                    engine.redistribute()?;
+                }
+                let facts_after = engine.fact_count()?;
+                if facts_after != it.facts_after {
+                    return Err(corrupt(format!(
+                        "iteration {} replay left {facts_after} facts, log says {}",
+                        it.iteration, it.facts_after
+                    )));
+                }
+                st.iterations.push(IterationStats {
+                    iteration: it.iteration,
+                    new_facts,
+                    deleted_facts: it.deleted,
+                    facts_after,
+                    queries: it.queries,
+                    elapsed: it.elapsed,
+                });
+                if let Some(cap) = config.max_total_facts {
+                    if facts_after > cap {
+                        st.capped = true;
+                    }
+                }
+                replayed += 1;
+            }
+            WalRecord::Factors {
+                table,
+                queries,
+                elapsed,
+            } => {
+                st.factors = Some((table.clone(), *queries, *elapsed));
+            }
+        }
+    }
+    Ok(replayed)
+}
+
+/// Restore engine + driver state from one snapshot file, then replay the
+/// usable WAL suffix. Any failure rejects this candidate.
+#[allow(clippy::too_many_arguments)]
+fn try_resume_snapshot(
+    engine: &mut dyn GroundingEngine,
+    config: &GroundingConfig,
+    path: &Path,
+    snap_iteration: usize,
+    records: &[WalRecord],
+    kb_d: u32,
+    cfg_d: u32,
+    engine_name: &str,
+) -> CheckpointResult<(RunState, usize)> {
+    let snap = Snapshot::read_from(path)?;
+    let meta = decode_meta(snap.section(SEC_META)?)?;
+    if meta.kb_digest != kb_d || meta.cfg_digest != cfg_d || meta.engine != engine_name {
+        return Err(corrupt(format!(
+            "snapshot {} belongs to a different run",
+            path.display()
+        )));
+    }
+    if meta.iteration != snap_iteration {
+        return Err(corrupt(format!(
+            "snapshot {} names iteration {snap_iteration} but records {}",
+            path.display(),
+            meta.iteration
+        )));
+    }
+    let state = decode_named_tables(snap.section(SEC_STATE)?)?;
+    engine.import_state(&state)?;
+    let mut st = RunState {
+        registry: decode_registry(snap.section(SEC_REGISTRY)?)?,
+        precleaned: meta.precleaned,
+        preclean_done: !config.preclean || snap_iteration > 0,
+        iterations: decode_stats(snap.section(SEC_STATS)?)?,
+        fact_iteration: decode_factiter(snap.section(SEC_FACTITER)?)?,
+        converged: meta.converged,
+        capped: false,
+        factors: None,
+    };
+    if st.last_iteration() != snap_iteration {
+        return Err(corrupt("snapshot stats do not reach its iteration"));
+    }
+    if let (Some(cap), Some(last)) = (config.max_total_facts, st.iterations.last()) {
+        if last.facts_after > cap {
+            st.capped = true;
+        }
+    }
+    let replayed = apply_records(engine, config, &mut st, snap_iteration, records)?;
+    Ok((st, replayed))
+}
+
+/// Rebuild the base (iteration-0) state straight from the KB and replay
+/// the whole usable WAL — the fallback when every snapshot is damaged
+/// but the log survived.
+fn try_resume_base(
+    engine: &mut dyn GroundingEngine,
+    kb: &ProbKb,
+    config: &GroundingConfig,
+    records: &[WalRecord],
+) -> CheckpointResult<(RunState, usize)> {
+    let rel = load(kb);
+    engine.load(&rel)?;
+    let mut st = RunState::fresh(rel.registry, config);
+    let replayed = apply_records(engine, config, &mut st, 0, records)?;
+    Ok((st, replayed))
+}
+
+fn write_snapshot(
+    dir: &Path,
+    meta: &SnapshotMeta,
+    kb_bytes: &[u8],
+    engine: &dyn GroundingEngine,
+    st: &RunState,
+) -> CheckpointResult<()> {
+    let state = engine.export_state()?;
+    let mut builder = SnapshotBuilder::new();
+    builder
+        .section(SEC_META, encode_meta(meta))
+        .section(SEC_KB, kb_bytes.to_vec())
+        .section(SEC_REGISTRY, encode_registry(&st.registry))
+        .section(SEC_STATE, encode_named_tables(&state))
+        .section(SEC_STATS, encode_stats(&st.iterations))
+        .section(SEC_FACTITER, encode_factiter(&st.fact_iteration));
+    builder.write_to(&dir.join(snapshot_file_name(meta.iteration)))?;
+    Ok(())
+}
+
+/// Decode the intact frame prefix of the WAL into records, returning the
+/// records and the byte offset the log stays valid up to (frames past a
+/// CRC-valid-but-undecodable payload are discarded too).
+fn decode_wal(path: &Path) -> CheckpointResult<(Vec<WalRecord>, u64)> {
+    let scan = scan_wal(path)?;
+    let mut records = Vec::with_capacity(scan.frames.len());
+    let mut valid_len = scan.valid_len.min(probkb_storage::wal::WAL_MAGIC.len() as u64);
+    for (frame, end) in scan.frames.iter().zip(&scan.frame_ends) {
+        match decode_record(frame) {
+            Ok(rec) => {
+                records.push(rec);
+                valid_len = *end;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok((records, valid_len))
+}
+
+fn clear_checkpoint_dir(dir: &Path) {
+    for (_, path) in list_snapshots(dir) {
+        let _ = fs::remove_file(path);
+    }
+    let _ = fs::remove_file(dir.join(WAL_FILE));
+}
+
+// ---------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------
+
+/// Run Algorithm 1 durably: WAL-log every iteration, snapshot
+/// periodically, and — if the checkpoint directory already holds state
+/// from a compatible earlier run — resume from the last completed
+/// iteration instead of starting over.
+///
+/// The outcome (facts, factors, fact-iteration map, per-iteration
+/// counts) is byte-identical to [`crate::grounding::ground`] with the
+/// same `kb`, `engine`, and `config`, whether the run is fresh, resumed
+/// once, or resumed many times. On-disk state from a *different* KB,
+/// config, or engine is detected by digest and discarded.
+pub fn ground_checkpointed(
+    kb: &ProbKb,
+    engine: &mut dyn GroundingEngine,
+    config: &GroundingConfig,
+    ckpt: &CheckpointConfig,
+) -> CheckpointResult<CheckpointedRun> {
+    if let Some(threads) = config.threads {
+        engine.set_threads(threads);
+    }
+    fs::create_dir_all(&ckpt.dir).map_err(|e| io_err(&ckpt.dir, e))?;
+
+    let kb_bytes = encode_kb(kb);
+    let kb_d = kb_digest(kb);
+    let cfg_d = config_digest(config);
+    let engine_name = engine.name().to_string();
+    let wal_path = ckpt.dir.join(WAL_FILE);
+
+    // Recover the usable WAL suffix: the log counts only if its Begin
+    // frame matches this exact (KB, config, engine) triple.
+    let (records, wal_valid_len) = decode_wal(&wal_path)?;
+    let wal_ok = matches!(
+        records.first(),
+        Some(WalRecord::Begin { kb_digest, cfg_digest, engine })
+            if *kb_digest == kb_d && *cfg_digest == cfg_d && engine == &engine_name
+    );
+    let usable: &[WalRecord] = if wal_ok { &records[1..] } else { &[] };
+
+    // Resume cascade: newest snapshot → older snapshots → WAL-only
+    // replay from a rebuilt base → fresh start.
+    let load_start = Instant::now();
+    let mut restored: Option<(RunState, ResumeSummary)> = None;
+    for (snap_iteration, path) in list_snapshots(&ckpt.dir) {
+        if let Ok((st, replayed)) = try_resume_snapshot(
+            engine,
+            config,
+            &path,
+            snap_iteration,
+            usable,
+            kb_d,
+            cfg_d,
+            &engine_name,
+        ) {
+            let completed = st.factors.is_some();
+            restored = Some((
+                st,
+                ResumeSummary {
+                    snapshot_iteration: Some(snap_iteration),
+                    replayed_iterations: replayed,
+                    completed_on_disk: completed,
+                },
+            ));
+            break;
+        }
+    }
+    if restored.is_none() && wal_ok {
+        if let Ok((st, replayed)) = try_resume_base(engine, kb, config, usable) {
+            let completed = st.factors.is_some();
+            restored = Some((
+                st,
+                ResumeSummary {
+                    snapshot_iteration: Some(0),
+                    replayed_iterations: replayed,
+                    completed_on_disk: completed,
+                },
+            ));
+        }
+    }
+
+    let (mut st, resume, mut wal) = match restored {
+        Some((st, resume)) => {
+            let wal = if wal_ok {
+                WalWriter::open_at(&wal_path, wal_valid_len)?
+            } else {
+                let mut wal = WalWriter::create(&wal_path)?;
+                wal.append(&encode_record(&WalRecord::Begin {
+                    kb_digest: kb_d,
+                    cfg_digest: cfg_d,
+                    engine: engine_name.clone(),
+                }))?;
+                wal.commit()?;
+                wal
+            };
+            (st, resume, wal)
+        }
+        None => {
+            // Fresh start: scrap unusable remnants, load, persist the
+            // base snapshot and a new log before doing any work.
+            clear_checkpoint_dir(&ckpt.dir);
+            let rel = load(kb);
+            engine.load(&rel)?;
+            let st = RunState::fresh(rel.registry, config);
+            write_snapshot(
+                &ckpt.dir,
+                &SnapshotMeta {
+                    kb_digest: kb_d,
+                    cfg_digest: cfg_d,
+                    engine: engine_name.clone(),
+                    iteration: 0,
+                    precleaned: 0,
+                    converged: false,
+                },
+                &kb_bytes,
+                engine,
+                &st,
+            )?;
+            let mut wal = WalWriter::create(&wal_path)?;
+            wal.append(&encode_record(&WalRecord::Begin {
+                kb_digest: kb_d,
+                cfg_digest: cfg_d,
+                engine: engine_name.clone(),
+            }))?;
+            wal.commit()?;
+            let resume = ResumeSummary {
+                snapshot_iteration: None,
+                replayed_iterations: 0,
+                completed_on_disk: false,
+            };
+            (st, resume, wal)
+        }
+    };
+    let load_time = load_start.elapsed();
+
+    let crash_if_due = |iteration: usize| {
+        if ckpt.crash_after_iteration == Some(iteration) {
+            eprintln!("[checkpoint] injected crash after iteration {iteration}");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+    };
+
+    // ----- live run (mirrors ground_loaded step for step) -----
+    let mut dirty = false;
+    if config.preclean && !st.preclean_done {
+        let violators = engine.find_violators()?;
+        st.precleaned = engine.delete_violators(&violators)?;
+        engine.redistribute()?;
+        st.preclean_done = true;
+        wal.append(&encode_record(&WalRecord::Preclean {
+            deleted: st.precleaned,
+            violators: sorted_violators(&violators),
+        }))?;
+        wal.commit()?;
+        dirty = true;
+    }
+
+    if !st.converged && !st.capped {
+        for iteration in (st.last_iteration() + 1)..=config.max_iterations {
+            let start = Instant::now();
+            let (candidates, mut queries) = engine.ground_atoms()?;
+            let new_rows = register_candidates(&mut st.registry, &candidates);
+            let new_facts = new_rows.len();
+            for row in &new_rows {
+                st.fact_iteration
+                    .insert(row[tpi::I].as_int().expect("fact id"), iteration);
+            }
+            if new_facts == 0 {
+                st.converged = true;
+                let facts_after = engine.fact_count()?;
+                let elapsed = start.elapsed();
+                st.iterations.push(IterationStats {
+                    iteration,
+                    new_facts: 0,
+                    deleted_facts: 0,
+                    facts_after,
+                    queries,
+                    elapsed,
+                });
+                wal.append(&encode_record(&WalRecord::Iteration(IterationRecord {
+                    iteration,
+                    converged: true,
+                    facts_after,
+                    deleted: 0,
+                    queries,
+                    elapsed,
+                    violators: Vec::new(),
+                    new_rows: Vec::new(),
+                })))?;
+                wal.commit()?;
+                dirty = true;
+                crash_if_due(iteration);
+                break;
+            }
+            engine.insert_facts(new_rows.clone())?;
+
+            let mut deleted_facts = 0;
+            let mut violators = Vec::new();
+            if config.apply_constraints {
+                let found = engine.find_violators()?;
+                queries += 2; // Type I + Type II violator queries
+                deleted_facts = engine.delete_violators(&found)?;
+                violators = sorted_violators(&found);
+            }
+            engine.redistribute()?;
+
+            let facts_after = engine.fact_count()?;
+            let elapsed = start.elapsed();
+            st.iterations.push(IterationStats {
+                iteration,
+                new_facts,
+                deleted_facts,
+                facts_after,
+                queries,
+                elapsed,
+            });
+            wal.append(&encode_record(&WalRecord::Iteration(IterationRecord {
+                iteration,
+                converged: false,
+                facts_after,
+                deleted: deleted_facts,
+                queries,
+                elapsed,
+                violators,
+                new_rows,
+            })))?;
+            wal.commit()?;
+            dirty = true;
+
+            if ckpt.snapshot_every > 0 && iteration % ckpt.snapshot_every == 0 {
+                write_snapshot(
+                    &ckpt.dir,
+                    &SnapshotMeta {
+                        kb_digest: kb_d,
+                        cfg_digest: cfg_d,
+                        engine: engine_name.clone(),
+                        iteration,
+                        precleaned: st.precleaned,
+                        converged: false,
+                    },
+                    &kb_bytes,
+                    engine,
+                    &st,
+                )?;
+            }
+            crash_if_due(iteration);
+
+            if let Some(cap) = config.max_total_facts {
+                if facts_after > cap {
+                    st.capped = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // A final snapshot caps how much WAL a later resume must replay.
+    if dirty {
+        write_snapshot(
+            &ckpt.dir,
+            &SnapshotMeta {
+                kb_digest: kb_d,
+                cfg_digest: cfg_d,
+                engine: engine_name.clone(),
+                iteration: st.last_iteration(),
+                precleaned: st.precleaned,
+                converged: st.converged,
+            },
+            &kb_bytes,
+            engine,
+            &st,
+        )?;
+    }
+
+    let (factors, factor_queries, factor_time) = match st.factors.take() {
+        Some(logged) => logged,
+        None => {
+            let factor_start = Instant::now();
+            let (factors, factor_queries) = engine.ground_factors()?;
+            let factor_time = factor_start.elapsed();
+            wal.append(&encode_record(&WalRecord::Factors {
+                table: factors.clone(),
+                queries: factor_queries,
+                elapsed: factor_time,
+            }))?;
+            wal.commit()?;
+            (factors, factor_queries, factor_time)
+        }
+    };
+    let facts = engine.facts()?;
+
+    let report = GroundingReport {
+        engine: engine_name,
+        load_time,
+        precleaned: st.precleaned,
+        converged: st.converged,
+        factor_time,
+        factor_queries,
+        total_facts: facts.len(),
+        total_factors: factors.len(),
+        iterations: st.iterations,
+    };
+    Ok(CheckpointedRun {
+        outcome: GroundingOutcome {
+            facts,
+            factors,
+            fact_iteration: st.fact_iteration,
+            report,
+        },
+        resume,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounding::ground;
+    use crate::semi_naive::SemiNaiveEngine;
+    use probkb_kb::prelude::parse;
+    use probkb_relational::prelude::Value;
+    use probkb_storage::format::encode_table;
+
+    fn chain_kb(n: usize) -> ProbKb {
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&format!("fact 0.9 next(n{}:Node, n{}:Node)\n", i, i + 1));
+        }
+        text.push_str("rule 1.0 reach(x:Node, y:Node) :- next(x, y)\n");
+        text.push_str("rule 1.0 reach(x:Node, y:Node) :- reach(x, z:Node), next(z, y)\n");
+        parse(&text).unwrap().build()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "probkb-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_checkpointed_run_matches_plain_ground() {
+        let kb = chain_kb(6);
+        let config = GroundingConfig::default();
+        let mut plain_engine = SemiNaiveEngine::new();
+        let plain = ground(&kb, &mut plain_engine, &config).unwrap();
+
+        let dir = tmp_dir("fresh");
+        let ckpt = CheckpointConfig::new(&dir);
+        let mut engine = SemiNaiveEngine::new();
+        let run = ground_checkpointed(&kb, &mut engine, &config, &ckpt).unwrap();
+
+        assert!(!run.resume.resumed());
+        assert_eq!(
+            encode_table(&run.outcome.facts),
+            encode_table(&plain.facts)
+        );
+        assert_eq!(
+            encode_table(&run.outcome.factors),
+            encode_table(&plain.factors)
+        );
+        assert_eq!(run.outcome.fact_iteration, plain.fact_iteration);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_run_resumes_without_rework() {
+        let kb = chain_kb(5);
+        let config = GroundingConfig::default();
+        let dir = tmp_dir("done");
+        let ckpt = CheckpointConfig::new(&dir);
+
+        let mut engine = SemiNaiveEngine::new();
+        let first = ground_checkpointed(&kb, &mut engine, &config, &ckpt).unwrap();
+
+        let mut engine2 = SemiNaiveEngine::new();
+        let second = ground_checkpointed(&kb, &mut engine2, &config, &ckpt).unwrap();
+        assert!(second.resume.resumed());
+        assert!(second.resume.completed_on_disk);
+        assert_eq!(
+            encode_table(&second.outcome.facts),
+            encode_table(&first.outcome.facts)
+        );
+        assert_eq!(
+            encode_table(&second.outcome.factors),
+            encode_table(&first.outcome.factors)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_invalidates_on_disk_state() {
+        let kb = chain_kb(5);
+        let dir = tmp_dir("cfg");
+        let ckpt = CheckpointConfig::new(&dir);
+
+        let mut engine = SemiNaiveEngine::new();
+        let config = GroundingConfig::default();
+        ground_checkpointed(&kb, &mut engine, &config, &ckpt).unwrap();
+
+        let changed = GroundingConfig {
+            apply_constraints: false,
+            ..GroundingConfig::default()
+        };
+        let mut engine2 = SemiNaiveEngine::new();
+        let rerun = ground_checkpointed(&kb, &mut engine2, &changed, &ckpt).unwrap();
+        assert!(!rerun.resume.resumed());
+
+        let mut plain = SemiNaiveEngine::new();
+        let expected = ground(&kb, &mut plain, &changed).unwrap();
+        assert_eq!(
+            encode_table(&rerun.outcome.facts),
+            encode_table(&expected.facts)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let recs = vec![
+            WalRecord::Begin {
+                kb_digest: 7,
+                cfg_digest: 9,
+                engine: "ProbKB".into(),
+            },
+            WalRecord::Preclean {
+                deleted: 3,
+                violators: vec![(1, 2), (3, 4)],
+            },
+            WalRecord::Iteration(IterationRecord {
+                iteration: 2,
+                converged: false,
+                facts_after: 11,
+                deleted: 1,
+                queries: 4,
+                elapsed: Duration::from_micros(1234),
+                violators: vec![(9, 9)],
+                new_rows: vec![vec![
+                    Value::Int(5),
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::Int(3),
+                    Value::Int(4),
+                    Value::Int(5),
+                    Value::Null,
+                ]],
+            }),
+        ];
+        for rec in &recs {
+            let bytes = encode_record(rec);
+            let back = decode_record(&bytes).unwrap();
+            assert_eq!(encode_record(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn meta_and_registry_round_trip() {
+        let meta = SnapshotMeta {
+            kb_digest: 1,
+            cfg_digest: 2,
+            engine: "ProbKB".into(),
+            iteration: 3,
+            precleaned: 4,
+            converged: true,
+        };
+        assert_eq!(decode_meta(&encode_meta(&meta)).unwrap(), meta);
+
+        let mut reg = FactRegistry::new();
+        reg.register([1, 2, 3, 4, 5]);
+        reg.register([6, 7, 8, 9, 10]);
+        let back = decode_registry(&encode_registry(&reg)).unwrap();
+        assert_eq!(back.entries(), reg.entries());
+        assert_eq!(back.next_id(), reg.next_id());
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::collections::HashSet;
 
-use probkb_relational::prelude::{Result, Row, Table};
+use probkb_relational::prelude::{Error, Result, Row, Table};
 
 use crate::relmodel::RelationalKb;
 
@@ -59,4 +59,28 @@ pub trait GroundingEngine {
 
     /// A gathered snapshot of `TΠ`.
     fn facts(&self) -> Result<Table>;
+
+    /// Export the engine's complete mutable state as named tables, for
+    /// checkpointing (`probkb_core::checkpoint`). Single-node engines
+    /// emit their catalog; the MPP engine emits one entry per segment
+    /// slice, named via `probkb_mpp::cluster::slice_checkpoint_name`.
+    /// The default errors, keeping backends without durable-state
+    /// support source-compatible.
+    fn export_state(&self) -> Result<Vec<(String, Table)>> {
+        Err(Error::InvalidPlan(format!(
+            "engine {} does not support checkpointing",
+            self.name()
+        )))
+    }
+
+    /// Replace the engine's state with a previously exported one. After
+    /// a successful import the engine must behave exactly as it did at
+    /// export time — same query results, same row orders — so a resumed
+    /// run reproduces an uninterrupted one byte for byte.
+    fn import_state(&mut self, _state: &[(String, Table)]) -> Result<()> {
+        Err(Error::InvalidPlan(format!(
+            "engine {} does not support checkpointing",
+            self.name()
+        )))
+    }
 }

@@ -244,7 +244,9 @@ pub fn ground_loaded(
 
 /// Dedupe candidates against everything ever seen, assign ids, and build
 /// the new `TΠ` rows (weight NULL — to be filled by marginal inference).
-fn register_candidates(registry: &mut FactRegistry, candidates: &Table) -> Vec<Row> {
+/// Shared with the checkpointed driver (`crate::checkpoint`), which must
+/// mirror this loop exactly.
+pub(crate) fn register_candidates(registry: &mut FactRegistry, candidates: &Table) -> Vec<Row> {
     let mut rows = Vec::new();
     for row in candidates.rows() {
         let key = FactRegistry::key_of_candidate(row);

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod checkpoint;
 pub mod engine;
 pub mod explain;
 pub mod grounding;
@@ -50,6 +51,10 @@ pub mod tuffy;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::api::{decode_inferred, expand, expand_with, Backend, ExpandOptions, Expansion};
+    pub use crate::checkpoint::{
+        ground_checkpointed, CheckpointConfig, CheckpointError, CheckpointResult, CheckpointedRun,
+        ResumeSummary, CRASH_EXIT_CODE,
+    };
     pub use crate::engine::{GroundingEngine, ViolatorKey};
     pub use crate::explain::{explain_grounding, render_report};
     pub use crate::grounding::{

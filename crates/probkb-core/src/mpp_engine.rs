@@ -86,6 +86,31 @@ impl MppEngine {
             .collect()
     }
 
+    /// The distribution policy a checkpointed table restores under,
+    /// derived from its name the same way `load` assigns policies.
+    fn policy_for(&self, name: &str) -> Result<DistPolicy> {
+        if name == names::TPI {
+            return Ok(DistPolicy::Hash(vec![tpi::I]));
+        }
+        if name == names::TOMEGA {
+            return Ok(DistPolicy::Replicated);
+        }
+        for (view, keys) in self.views.keyed_views() {
+            if view == name {
+                return Ok(DistPolicy::Hash(keys));
+            }
+        }
+        if name
+            .strip_prefix('M')
+            .is_some_and(|i| i.parse::<usize>().is_ok())
+        {
+            return Ok(DistPolicy::MasterOnly);
+        }
+        Err(Error::InvalidPlan(format!(
+            "checkpoint contains unknown table {name}"
+        )))
+    }
+
     /// Build the distributed `groundAtoms` plan for one partition.
     /// Public so the Figure 4 harness can EXPLAIN it.
     pub fn ground_atoms_dplan(&self, pattern: RulePattern) -> Result<DPlan> {
@@ -391,6 +416,61 @@ impl GroundingEngine for MppEngine {
         let mut t = self.cluster.gather_table(names::TPI)?;
         t.sort_by_cols(&[tpi::I]);
         Ok(t)
+    }
+
+    fn export_state(&self) -> Result<Vec<(String, Table)>> {
+        // One entry per (table, segment): restoring slices verbatim —
+        // instead of re-placing rows — preserves per-segment row order,
+        // which keeps resumed join outputs byte-identical.
+        let mut state = Vec::new();
+        for name in self.cluster.names() {
+            for segment in 0..self.cluster.num_segments() {
+                state.push((
+                    slice_checkpoint_name(&name, segment),
+                    (*self.cluster.slice(segment, &name)?).clone(),
+                ));
+            }
+        }
+        Ok(state)
+    }
+
+    fn import_state(&mut self, state: &[(String, Table)]) -> Result<()> {
+        use std::collections::HashMap;
+        let mut grouped: HashMap<&str, Vec<(usize, &Table)>> = HashMap::new();
+        for (entry, table) in state {
+            let (name, segment) = parse_slice_checkpoint_name(entry).ok_or_else(|| {
+                Error::InvalidPlan(format!("not a segment checkpoint name: {entry}"))
+            })?;
+            grouped.entry(name).or_default().push((segment, table));
+        }
+        for name in self.cluster.names() {
+            self.cluster.drop_table(&name);
+        }
+        let segments = self.cluster.num_segments();
+        let mut names_sorted: Vec<&str> = grouped.keys().copied().collect();
+        names_sorted.sort_unstable();
+        for name in names_sorted {
+            let mut slices = grouped.remove(name).expect("grouped by name");
+            slices.sort_by_key(|(segment, _)| *segment);
+            let contiguous = slices.iter().enumerate().all(|(i, (s, _))| *s == i);
+            if slices.len() != segments || !contiguous {
+                return Err(Error::InvalidPlan(format!(
+                    "checkpoint of {name} has {} slices but the cluster has {segments} segments",
+                    slices.len()
+                )));
+            }
+            let policy = self.policy_for(name)?;
+            self.cluster.create_or_replace_from_slices(
+                name,
+                policy,
+                slices.into_iter().map(|(_, t)| t.clone()).collect(),
+            )?;
+        }
+        self.patterns = RulePattern::ALL
+            .into_iter()
+            .filter(|p| self.cluster.contains(&names::mln(p.index())))
+            .collect();
+        Ok(())
     }
 }
 

@@ -210,6 +210,28 @@ impl FactRegistry {
         self.index.get(key).copied()
     }
 
+    /// The id the next new fact key will receive.
+    pub fn next_id(&self) -> i64 {
+        self.next_id
+    }
+
+    /// All `(key, id)` entries sorted by id — the registry's
+    /// serializable form (checkpoint snapshots store this).
+    pub fn entries(&self) -> Vec<([i64; 5], i64)> {
+        let mut entries: Vec<([i64; 5], i64)> =
+            self.index.iter().map(|(k, &id)| (*k, id)).collect();
+        entries.sort_by_key(|&(_, id)| id);
+        entries
+    }
+
+    /// Rebuild a registry from its serialized form.
+    pub fn from_entries(next_id: i64, entries: impl IntoIterator<Item = ([i64; 5], i64)>) -> Self {
+        FactRegistry {
+            next_id,
+            index: entries.into_iter().collect(),
+        }
+    }
+
     /// Extract the `(R, x, C1, y, C2)` key from a candidate row.
     pub fn key_of_candidate(row: &[Value]) -> [i64; 5] {
         [

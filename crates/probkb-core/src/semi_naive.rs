@@ -239,6 +239,28 @@ impl GroundingEngine for SemiNaiveEngine {
     fn facts(&self) -> Result<Table> {
         Ok((*self.catalog.get(names::TPI)?).clone())
     }
+
+    fn export_state(&self) -> Result<Vec<(String, Table)>> {
+        // The delta table rides along with the catalog, so a resumed
+        // engine continues from exactly the frontier it was killed at.
+        let mut state = Vec::new();
+        for name in self.catalog.names() {
+            state.push((name.clone(), (*self.catalog.get(&name)?).clone()));
+        }
+        Ok(state)
+    }
+
+    fn import_state(&mut self, state: &[(String, Table)]) -> Result<()> {
+        self.catalog = Catalog::new();
+        for (name, table) in state {
+            self.catalog.create_or_replace(name.clone(), table.clone());
+        }
+        self.patterns = RulePattern::ALL
+            .into_iter()
+            .filter(|p| self.catalog.contains(&names::mln(p.index())))
+            .collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -163,6 +163,28 @@ impl GroundingEngine for SingleNodeEngine {
     fn facts(&self) -> Result<Table> {
         Ok((*self.catalog.get(names::TPI)?).clone())
     }
+
+    fn export_state(&self) -> Result<Vec<(String, Table)>> {
+        let mut state = Vec::new();
+        for name in self.catalog.names() {
+            state.push((name.clone(), (*self.catalog.get(&name)?).clone()));
+        }
+        Ok(state)
+    }
+
+    fn import_state(&mut self, state: &[(String, Table)]) -> Result<()> {
+        self.catalog = Catalog::new();
+        for (name, table) in state {
+            self.catalog.create_or_replace(name.clone(), table.clone());
+        }
+        // Rebuild the pattern list from which Mi tables exist; iterating
+        // ALL reproduces load()'s partition order.
+        self.patterns = RulePattern::ALL
+            .into_iter()
+            .filter(|p| self.catalog.contains(&names::mln(p.index())))
+            .collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,49 @@
+//! Storage error type: I/O failures, corrupt on-disk state, and
+//! malformed encodings are distinguished so recovery can decide whether
+//! to fall back (corruption) or surface the problem (I/O).
+
+use std::fmt;
+use std::path::Path;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io {
+        /// The file the operation touched.
+        path: String,
+        /// The OS error text.
+        detail: String,
+    },
+    /// On-disk bytes that fail an integrity check: bad magic, bad CRC,
+    /// truncated container, or internally inconsistent content. Recovery
+    /// treats these as "this artifact does not exist".
+    Corrupt(String),
+    /// A structurally invalid encoding (unknown tag, short buffer, bad
+    /// UTF-8). Distinct from [`StorageError::Corrupt`] only in provenance:
+    /// these arise while decoding a payload that already passed its CRC.
+    Format(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, detail } => write!(f, "io error on {path}: {detail}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::Format(msg) => write!(f, "malformed encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Storage-layer result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Wrap an `std::io::Error` with the path it happened on.
+pub fn io_err(path: &Path, err: std::io::Error) -> StorageError {
+    StorageError::Io {
+        path: path.display().to_string(),
+        detail: err.to_string(),
+    }
+}

@@ -1,0 +1,413 @@
+//! Binary encoding primitives and the codecs for the relational model
+//! (`Value`, `Schema`, `Table`, `Catalog`).
+//!
+//! Everything is little-endian and fixed-width (no varints), so the same
+//! logical state always serializes to the same bytes — the property the
+//! byte-identical snapshot round-trip and the resume-equivalence tests
+//! lean on. Floats are stored as raw `f64::to_bits`, preserving NaN
+//! payloads and signed zeros exactly.
+
+use std::sync::Arc;
+
+use probkb_relational::prelude::{Column, DataType, Row, Schema, Table, Value};
+
+use crate::error::{Result, StorageError};
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a string as `u32` byte length + UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a byte blob as `u64` length + bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor over an encoded byte slice; every accessor bounds-checks and
+/// returns [`StorageError::Format`] instead of panicking, so decoding
+/// hostile bytes is always safe.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the cursor is at the end of the buffer.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::Format(format!(
+                "unexpected end of input: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Next byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Next `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Next length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Format("invalid utf-8 in string".into()))
+    }
+
+    /// Next length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(StorageError::Format(format!(
+                "blob length {len} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        self.take(len as usize)
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Encode one [`Value`] (tag byte + payload).
+pub fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            w.put_u8(TAG_INT);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(TAG_FLOAT);
+            w.put_f64(*f);
+        }
+        Value::Str(s) => {
+            w.put_u8(TAG_STR);
+            w.put_str(s);
+        }
+    }
+}
+
+/// Decode one [`Value`].
+pub fn get_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    match r.get_u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => Ok(Value::Int(r.get_i64()?)),
+        TAG_FLOAT => Ok(Value::Float(r.get_f64()?)),
+        TAG_STR => Ok(Value::Str(Arc::from(r.get_str()?.as_str()))),
+        tag => Err(StorageError::Format(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Float),
+        2 => Ok(DataType::Str),
+        _ => Err(StorageError::Format(format!("unknown dtype tag {tag}"))),
+    }
+}
+
+/// Encode a [`Schema`]: column count, then per column name + dtype +
+/// nullability.
+pub fn put_schema(w: &mut ByteWriter, schema: &Schema) {
+    let cols = schema.columns();
+    w.put_u32(cols.len() as u32);
+    for col in cols {
+        w.put_str(&col.name);
+        w.put_u8(dtype_tag(col.dtype));
+        w.put_u8(col.nullable as u8);
+    }
+}
+
+/// Decode a [`Schema`].
+pub fn get_schema(r: &mut ByteReader<'_>) -> Result<Schema> {
+    let n = r.get_u32()? as usize;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let dtype = dtype_from_tag(r.get_u8()?)?;
+        let nullable = r.get_u8()? != 0;
+        cols.push(if nullable {
+            Column::nullable(&name, dtype)
+        } else {
+            Column::new(&name, dtype)
+        });
+    }
+    Ok(Schema::new(cols))
+}
+
+/// Encode a [`Table`]: schema, `u64` row count, then each row as a `u32`
+/// value count plus its values. The per-row count is redundant with the
+/// schema width but lets the decoder reject internally inconsistent
+/// payloads without guessing.
+pub fn put_table(w: &mut ByteWriter, table: &Table) {
+    put_schema(w, table.schema());
+    w.put_u64(table.len() as u64);
+    for row in table.rows() {
+        w.put_u32(row.len() as u32);
+        for value in row {
+            put_value(w, value);
+        }
+    }
+}
+
+/// Decode a [`Table`].
+pub fn get_table(r: &mut ByteReader<'_>) -> Result<Table> {
+    let schema = get_schema(r)?;
+    let nrows = r.get_u64()?;
+    let width = schema.width();
+    let mut rows: Vec<Row> = Vec::new();
+    for _ in 0..nrows {
+        let n = r.get_u32()? as usize;
+        if n != width {
+            return Err(StorageError::Format(format!(
+                "row width {n} does not match schema width {width}"
+            )));
+        }
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(get_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(Table::from_rows_unchecked(schema, rows))
+}
+
+/// Encode a whole table to standalone bytes.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_table(&mut w, table);
+    w.into_bytes()
+}
+
+/// Decode a standalone table encoding, requiring the buffer to be fully
+/// consumed.
+pub fn decode_table(bytes: &[u8]) -> Result<Table> {
+    let mut r = ByteReader::new(bytes);
+    let table = get_table(&mut r)?;
+    if !r.is_at_end() {
+        return Err(StorageError::Format(format!(
+            "{} trailing bytes after table",
+            r.remaining()
+        )));
+    }
+    Ok(table)
+}
+
+/// Encode a set of named tables (a catalog's contents) in sorted-name
+/// order so the bytes are independent of insertion history.
+pub fn encode_named_tables(entries: &[(String, Table)]) -> Vec<u8> {
+    let mut sorted: Vec<&(String, Table)> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut w = ByteWriter::new();
+    w.put_u32(sorted.len() as u32);
+    for (name, table) in sorted {
+        w.put_str(name);
+        put_table(&mut w, table);
+    }
+    w.into_bytes()
+}
+
+/// Decode a set of named tables.
+pub fn decode_named_tables(bytes: &[u8]) -> Result<Vec<(String, Table)>> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.get_str()?;
+        out.push((name, get_table(&mut r)?));
+    }
+    if !r.is_at_end() {
+        return Err(StorageError::Format(format!(
+            "{} trailing bytes after named tables",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table::from_rows_unchecked(
+            Schema::new(vec![
+                Column::new("i", DataType::Int),
+                Column::nullable("w", DataType::Float),
+                Column::nullable("s", DataType::Str),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Float(0.5), Value::str("alpha")],
+                vec![Value::Int(-9), Value::Null, Value::Null],
+                vec![Value::Int(i64::MAX), Value::Float(-0.0), Value::str("")],
+            ],
+        )
+    }
+
+    #[test]
+    fn table_roundtrip_is_byte_identical() {
+        let t = sample_table();
+        let bytes = encode_table(&t);
+        let back = decode_table(&bytes).unwrap();
+        assert_eq!(encode_table(&back), bytes);
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.schema().names(), t.schema().names());
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        let mut w = ByteWriter::new();
+        let odd = f64::from_bits(0x7FF8_0000_0000_1234); // NaN with payload
+        put_value(&mut w, &Value::Float(odd));
+        put_value(&mut w, &Value::Float(-0.0));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        match get_value(&mut r).unwrap() {
+            Value::Float(f) => assert_eq!(f.to_bits(), odd.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+        match get_value(&mut r).unwrap() {
+            Value::Float(f) => assert_eq!(f.to_bits(), (-0.0f64).to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let bytes = encode_table(&sample_table());
+        for cut in 0..bytes.len() {
+            let _ = decode_table(&bytes[..cut]); // must not panic
+            assert!(decode_table(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn row_width_mismatch_detected() {
+        let mut w = ByteWriter::new();
+        put_schema(&mut w, &Schema::ints(&["a", "b"]));
+        w.put_u64(1);
+        w.put_u32(3); // claims 3 values in a 2-column schema
+        let err = decode_table(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, StorageError::Format(_)));
+    }
+
+    #[test]
+    fn named_tables_sorted_independent_of_order() {
+        let a = ("a".to_string(), sample_table());
+        let b = ("b".to_string(), sample_table());
+        let one = encode_named_tables(&[a.clone(), b.clone()]);
+        let two = encode_named_tables(&[b, a]);
+        assert_eq!(one, two);
+        let back = decode_named_tables(&one).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "a");
+    }
+}

@@ -1,0 +1,376 @@
+//! Binary codec for the [`ProbKb`] model: dictionaries, class
+//! memberships, the subclass hierarchy, relation signatures, facts,
+//! rules, and constraints.
+//!
+//! Unordered collections (memberships, signatures) are sorted before
+//! encoding so that equal KBs always produce equal bytes — `encode_kb`
+//! doubles as a canonical form, and `kb_digest` (its CRC-32) is the
+//! cheap identity check the checkpoint layer uses to pair a WAL with
+//! the KB it was written against.
+
+use std::collections::HashSet;
+
+use probkb_kb::prelude::{
+    Atom, ClassId, EntityId, Fact, FunctionalConstraint, Functionality, HornRule, ProbKb,
+    RelationId, Var,
+};
+
+use crate::crc::crc32;
+use crate::error::{Result, StorageError};
+use crate::format::{ByteReader, ByteWriter};
+
+const VAR_X: u8 = 0;
+const VAR_Y: u8 = 1;
+const VAR_Z: u8 = 2;
+
+fn put_var(w: &mut ByteWriter, v: Var) {
+    w.put_u8(match v {
+        Var::X => VAR_X,
+        Var::Y => VAR_Y,
+        Var::Z => VAR_Z,
+    });
+}
+
+fn get_var(r: &mut ByteReader<'_>) -> Result<Var> {
+    match r.get_u8()? {
+        VAR_X => Ok(Var::X),
+        VAR_Y => Ok(Var::Y),
+        VAR_Z => Ok(Var::Z),
+        tag => Err(StorageError::Format(format!("unknown var tag {tag}"))),
+    }
+}
+
+fn put_atom(w: &mut ByteWriter, atom: &Atom) {
+    w.put_u32(atom.rel.raw());
+    put_var(w, atom.a);
+    put_var(w, atom.b);
+}
+
+fn get_atom(r: &mut ByteReader<'_>) -> Result<Atom> {
+    let rel = RelationId(r.get_u32()?);
+    let a = get_var(r)?;
+    let b = get_var(r)?;
+    Ok(Atom::new(rel, a, b))
+}
+
+fn put_opt_f64(w: &mut ByteWriter, v: Option<f64>) {
+    match v {
+        Some(f) => {
+            w.put_u8(1);
+            w.put_f64(f);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_f64()?)),
+        tag => Err(StorageError::Format(format!("unknown option tag {tag}"))),
+    }
+}
+
+fn put_dictionary(w: &mut ByteWriter, dict: &probkb_kb::prelude::Dictionary) {
+    w.put_u32(dict.len() as u32);
+    for (_, name) in dict.iter() {
+        w.put_str(name);
+    }
+}
+
+fn get_dictionary(r: &mut ByteReader<'_>) -> Result<probkb_kb::prelude::Dictionary> {
+    let n = r.get_u32()?;
+    let mut dict = probkb_kb::prelude::Dictionary::new();
+    for expect in 0..n {
+        let name = r.get_str()?;
+        let id = dict.intern(&name);
+        if id != expect {
+            return Err(StorageError::Format(format!(
+                "duplicate dictionary entry {name:?} (id {id}, expected {expect})"
+            )));
+        }
+    }
+    Ok(dict)
+}
+
+/// Serialize a KB to its canonical binary form.
+pub fn encode_kb(kb: &ProbKb) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_dictionary(&mut w, &kb.entities);
+    put_dictionary(&mut w, &kb.classes);
+    put_dictionary(&mut w, &kb.relations);
+
+    // Memberships: one sorted entity-id list per class, in class-id order.
+    w.put_u32(kb.members.len() as u32);
+    for members in &kb.members {
+        let mut ids: Vec<u32> = members.iter().map(|e| e.raw()).collect();
+        ids.sort_unstable();
+        w.put_u32(ids.len() as u32);
+        for id in ids {
+            w.put_u32(id);
+        }
+    }
+
+    w.put_u32(kb.subclass_edges.len() as u32);
+    for (sub, sup) in &kb.subclass_edges {
+        w.put_u32(sub.raw());
+        w.put_u32(sup.raw());
+    }
+
+    let mut sigs: Vec<(u32, u32, u32)> = kb
+        .signatures
+        .iter()
+        .map(|(r, c1, c2)| (r.raw(), c1.raw(), c2.raw()))
+        .collect();
+    sigs.sort_unstable();
+    w.put_u32(sigs.len() as u32);
+    for (rel, c1, c2) in sigs {
+        w.put_u32(rel);
+        w.put_u32(c1);
+        w.put_u32(c2);
+    }
+
+    w.put_u32(kb.facts.len() as u32);
+    for fact in &kb.facts {
+        w.put_u32(fact.rel.raw());
+        w.put_u32(fact.x.raw());
+        w.put_u32(fact.c1.raw());
+        w.put_u32(fact.y.raw());
+        w.put_u32(fact.c2.raw());
+        put_opt_f64(&mut w, fact.weight);
+    }
+
+    w.put_u32(kb.rules.len() as u32);
+    for rule in &kb.rules {
+        put_atom(&mut w, &rule.head);
+        w.put_u8(rule.body.len() as u8);
+        for atom in &rule.body {
+            put_atom(&mut w, atom);
+        }
+        w.put_u32(rule.cx.raw());
+        w.put_u32(rule.cy.raw());
+        match rule.cz {
+            Some(cz) => {
+                w.put_u8(1);
+                w.put_u32(cz.raw());
+            }
+            None => w.put_u8(0),
+        }
+        w.put_f64(rule.weight);
+        w.put_f64(rule.significance);
+    }
+
+    w.put_u32(kb.constraints.len() as u32);
+    for fc in &kb.constraints {
+        w.put_u32(fc.rel.raw());
+        match fc.classes {
+            Some((c1, c2)) => {
+                w.put_u8(1);
+                w.put_u32(c1.raw());
+                w.put_u32(c2.raw());
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u8(fc.functionality.alpha() as u8);
+        w.put_u32(fc.degree);
+    }
+
+    w.into_bytes()
+}
+
+/// Decode a KB from its binary form, requiring full consumption of the
+/// buffer.
+pub fn decode_kb(bytes: &[u8]) -> Result<ProbKb> {
+    let mut r = ByteReader::new(bytes);
+    let entities = get_dictionary(&mut r)?;
+    let classes = get_dictionary(&mut r)?;
+    let relations = get_dictionary(&mut r)?;
+
+    let nclasses = r.get_u32()? as usize;
+    let mut members: Vec<HashSet<EntityId>> = Vec::with_capacity(nclasses);
+    for _ in 0..nclasses {
+        let n = r.get_u32()? as usize;
+        let mut set = HashSet::with_capacity(n);
+        for _ in 0..n {
+            set.insert(EntityId(r.get_u32()?));
+        }
+        members.push(set);
+    }
+
+    let nedges = r.get_u32()? as usize;
+    let mut subclass_edges = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let sub = ClassId(r.get_u32()?);
+        let sup = ClassId(r.get_u32()?);
+        subclass_edges.push((sub, sup));
+    }
+
+    let nsigs = r.get_u32()? as usize;
+    let mut signatures = HashSet::with_capacity(nsigs);
+    for _ in 0..nsigs {
+        let rel = RelationId(r.get_u32()?);
+        let c1 = ClassId(r.get_u32()?);
+        let c2 = ClassId(r.get_u32()?);
+        signatures.insert((rel, c1, c2));
+    }
+
+    let nfacts = r.get_u32()? as usize;
+    let mut facts = Vec::with_capacity(nfacts);
+    for _ in 0..nfacts {
+        let rel = RelationId(r.get_u32()?);
+        let x = EntityId(r.get_u32()?);
+        let c1 = ClassId(r.get_u32()?);
+        let y = EntityId(r.get_u32()?);
+        let c2 = ClassId(r.get_u32()?);
+        let weight = get_opt_f64(&mut r)?;
+        facts.push(Fact {
+            rel,
+            x,
+            c1,
+            y,
+            c2,
+            weight,
+        });
+    }
+
+    let nrules = r.get_u32()? as usize;
+    let mut rules = Vec::with_capacity(nrules);
+    for _ in 0..nrules {
+        let head = get_atom(&mut r)?;
+        let nbody = r.get_u8()? as usize;
+        if nbody == 0 || nbody > 2 {
+            return Err(StorageError::Format(format!(
+                "rule body length {nbody} out of range"
+            )));
+        }
+        let mut body = Vec::with_capacity(nbody);
+        for _ in 0..nbody {
+            body.push(get_atom(&mut r)?);
+        }
+        let cx = ClassId(r.get_u32()?);
+        let cy = ClassId(r.get_u32()?);
+        let cz = match r.get_u8()? {
+            0 => None,
+            1 => Some(ClassId(r.get_u32()?)),
+            tag => return Err(StorageError::Format(format!("unknown option tag {tag}"))),
+        };
+        let weight = r.get_f64()?;
+        let significance = r.get_f64()?;
+        rules.push(HornRule {
+            head,
+            body,
+            cx,
+            cy,
+            cz,
+            weight,
+            significance,
+        });
+    }
+
+    let nconstraints = r.get_u32()? as usize;
+    let mut constraints = Vec::with_capacity(nconstraints);
+    for _ in 0..nconstraints {
+        let rel = RelationId(r.get_u32()?);
+        let classes = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let c1 = ClassId(r.get_u32()?);
+                let c2 = ClassId(r.get_u32()?);
+                Some((c1, c2))
+            }
+            tag => return Err(StorageError::Format(format!("unknown option tag {tag}"))),
+        };
+        let functionality = Functionality::from_alpha(r.get_u8()? as i64)
+            .ok_or_else(|| StorageError::Format("invalid functionality alpha".into()))?;
+        let degree = r.get_u32()?;
+        constraints.push(FunctionalConstraint {
+            rel,
+            classes,
+            functionality,
+            degree,
+        });
+    }
+
+    if !r.is_at_end() {
+        return Err(StorageError::Format(format!(
+            "{} trailing bytes after KB",
+            r.remaining()
+        )));
+    }
+
+    Ok(ProbKb {
+        entities,
+        classes,
+        relations,
+        members,
+        subclass_edges,
+        signatures,
+        facts,
+        rules,
+        constraints,
+    })
+}
+
+/// CRC-32 of the canonical KB encoding: a cheap identity fingerprint.
+pub fn kb_digest(kb: &ProbKb) -> u32 {
+    crc32(&encode_kb(kb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+
+    fn sample_kb() -> ProbKb {
+        let mut kb = parse(
+            r#"
+            fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+            fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+            rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+            rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+            functional born_in 1 1
+            functional live_in 2 3 Writer Place
+            "#,
+        )
+        .unwrap()
+        .build();
+        // Cover the weightless (inferred) fact arm too.
+        let mut extra = kb.facts[0];
+        extra.weight = None;
+        extra.y = kb.facts[1].y;
+        kb.facts.push(extra);
+        kb
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let kb = sample_kb();
+        let bytes = encode_kb(&kb);
+        let back = decode_kb(&bytes).unwrap();
+        assert_eq!(back.stats(), kb.stats());
+        assert_eq!(back.facts, kb.facts);
+        assert_eq!(back.rules, kb.rules);
+        assert_eq!(back.constraints, kb.constraints);
+        assert_eq!(back.signatures, kb.signatures);
+        assert_eq!(back.members, kb.members);
+        assert_eq!(back.subclass_edges, kb.subclass_edges);
+        // Canonical form: re-encoding is byte-identical.
+        assert_eq!(encode_kb(&back), bytes);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let kb = sample_kb();
+        assert_eq!(kb_digest(&kb), kb_digest(&kb));
+        let other = parse("fact 0.5 knows(a:P, b:P)").unwrap().build();
+        assert_ne!(kb_digest(&kb), kb_digest(&other));
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let bytes = encode_kb(&sample_kb());
+        for cut in 0..bytes.len() {
+            assert!(decode_kb(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Durable storage for ProbKB (see DESIGN.md, "Durability").
+//!
+//! The relational tables a grounding run manipulates are first-class
+//! state worth persisting — this crate gives them a disk form without a
+//! second data model:
+//!
+//! * [`snapshot`] — a versioned, CRC-32-guarded container of named
+//!   sections holding encoded tables, catalogs, or KBs. Loads are
+//!   all-or-nothing and round-trip byte-identically.
+//! * [`wal`] — an append-only log of length-prefixed, CRC-guarded
+//!   frames with explicit fsync commit points. Scanning recovers the
+//!   longest intact prefix and truncates torn tails.
+//! * [`format`] / [`kbcodec`] — the little-endian binary codecs for
+//!   `relational` values/schemas/tables and the `kb` model.
+//! * [`crc`] — the table-driven CRC-32 (IEEE) everything above uses.
+//!
+//! The checkpoint/resume driver built on these lives in
+//! `probkb_core::checkpoint`, next to the grounding loop it mirrors.
+//! Like the rest of the workspace, this crate is std-only.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod kbcodec;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc::crc32;
+pub use error::{Result, StorageError};
+
+/// Everything most users need.
+pub mod prelude {
+    pub use crate::crc::{crc32, Crc32};
+    pub use crate::error::{Result as StorageResult, StorageError};
+    pub use crate::format::{
+        decode_named_tables, decode_table, encode_named_tables, encode_table, ByteReader,
+        ByteWriter,
+    };
+    pub use crate::kbcodec::{decode_kb, encode_kb, kb_digest};
+    pub use crate::snapshot::{
+        list_snapshots, read_catalog_snapshot, read_kb_snapshot, snapshot_file_name,
+        write_catalog_snapshot, write_kb_snapshot, Snapshot, SnapshotBuilder,
+    };
+    pub use crate::wal::{scan_wal, WalScan, WalWriter};
+}

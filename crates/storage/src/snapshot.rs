@@ -1,0 +1,338 @@
+//! The snapshot container: a versioned, CRC-guarded file of named
+//! sections.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "PKBSNAP1"      8 bytes
+//! version               u32 LE
+//! payload length        u64 LE
+//! payload               <length> bytes
+//! crc32(payload)        u32 LE
+//! payload := section count (u32), then per section:
+//!            name (u32 len + utf8), body (u64 len + bytes)
+//! ```
+//!
+//! A snapshot either loads completely or not at all: any torn write,
+//! truncation, or bit flip fails the length or CRC check and the reader
+//! reports [`StorageError::Corrupt`]. Writers go through a temp file and
+//! an atomic rename so a crash mid-write never clobbers the previous
+//! snapshot.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use probkb_kb::prelude::ProbKb;
+use probkb_relational::prelude::{Catalog, Table};
+
+use crate::crc::crc32;
+use crate::error::{io_err, Result, StorageError};
+use crate::format::{
+    decode_table, encode_table, ByteReader, ByteWriter,
+};
+use crate::kbcodec::{decode_kb, encode_kb};
+
+/// Leading magic bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PKBSNAP1";
+/// Current container format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Builder for a snapshot file: accumulate named sections, then write.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        SnapshotBuilder::default()
+    }
+
+    /// Add a named section (names should be unique; the reader returns
+    /// the first match).
+    pub fn section(&mut self, name: impl Into<String>, body: Vec<u8>) -> &mut Self {
+        self.sections.push((name.into(), body));
+        self
+    }
+
+    /// Serialize the whole container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_u32(self.sections.len() as u32);
+        for (name, body) in &self.sections {
+            payload.put_str(name);
+            payload.put_bytes(body);
+        }
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out
+    }
+
+    /// Write the container to `path` durably: temp file, flush, fsync,
+    /// atomic rename.
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        file.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        Ok(())
+    }
+}
+
+/// A parsed, integrity-checked snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Parse a container from bytes, verifying magic, version, length,
+    /// and CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot> {
+        if bytes.len() < 24 {
+            return Err(StorageError::Corrupt(format!(
+                "snapshot too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(StorageError::Corrupt("bad snapshot magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let Some(expected_total) = payload_len.checked_add(24) else {
+            return Err(StorageError::Corrupt("absurd payload length".into()));
+        };
+        if bytes.len() != expected_total {
+            return Err(StorageError::Corrupt(format!(
+                "snapshot length {} does not match declared payload {payload_len}",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[20..20 + payload_len];
+        let stored_crc = u32::from_le_bytes(bytes[20 + payload_len..].try_into().unwrap());
+        if crc32(payload) != stored_crc {
+            return Err(StorageError::Corrupt("snapshot crc mismatch".into()));
+        }
+
+        let mut r = ByteReader::new(payload);
+        let n = r
+            .get_u32()
+            .map_err(|e| StorageError::Corrupt(e.to_string()))? as usize;
+        let mut sections = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r
+                .get_str()
+                .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+            let body = r
+                .get_bytes()
+                .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+            sections.push((name, body.to_vec()));
+        }
+        if !r.is_at_end() {
+            return Err(StorageError::Corrupt("trailing bytes in payload".into()));
+        }
+        Ok(Snapshot { sections })
+    }
+
+    /// Read and verify a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Snapshot> {
+        let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// The body of a named section.
+    pub fn section(&self, name: &str) -> Result<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, body)| body.as_slice())
+            .ok_or_else(|| StorageError::Corrupt(format!("missing section {name:?}")))
+    }
+
+    /// All section names, in file order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Write a whole [`Catalog`] as a one-section-per-table snapshot.
+pub fn write_catalog_snapshot(path: &Path, catalog: &Catalog) -> Result<()> {
+    let mut builder = SnapshotBuilder::new();
+    for name in catalog.names() {
+        let table = catalog
+            .get(&name)
+            .map_err(|e| StorageError::Format(e.to_string()))?;
+        builder.section(format!("table:{name}"), encode_table(&table));
+    }
+    builder.write_to(path)
+}
+
+/// Load a catalog snapshot back, byte-identically.
+pub fn read_catalog_snapshot(path: &Path) -> Result<Catalog> {
+    let snapshot = Snapshot::read_from(path)?;
+    let catalog = Catalog::new();
+    for name in snapshot.section_names() {
+        if let Some(table_name) = name.strip_prefix("table:") {
+            let table: Table = decode_table(snapshot.section(name)?)?;
+            catalog.create_or_replace(table_name, table);
+        }
+    }
+    Ok(catalog)
+}
+
+/// Write a KB as a single-section snapshot.
+pub fn write_kb_snapshot(path: &Path, kb: &ProbKb) -> Result<()> {
+    let mut builder = SnapshotBuilder::new();
+    builder.section("kb", encode_kb(kb));
+    builder.write_to(path)
+}
+
+/// Load a KB snapshot back.
+pub fn read_kb_snapshot(path: &Path) -> Result<ProbKb> {
+    let snapshot = Snapshot::read_from(path)?;
+    decode_kb(snapshot.section("kb")?)
+}
+
+/// The file name of the checkpoint snapshot taken after `iteration`
+/// completed (iteration 0 is the freshly loaded base state).
+pub fn snapshot_file_name(iteration: usize) -> String {
+    format!("snapshot-{iteration:06}.pkb")
+}
+
+/// Parse a snapshot file name back to its iteration number.
+pub fn parse_snapshot_file_name(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix("snapshot-")?.strip_suffix(".pkb")?;
+    if rest.len() != 6 {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// All snapshot files in a checkpoint directory, newest (highest
+/// iteration) first. Unreadable directories yield an empty list — the
+/// recovery path treats that the same as "no snapshots".
+pub fn list_snapshots(dir: &Path) -> Vec<(usize, PathBuf)> {
+    let mut found = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some(iter) = name.to_str().and_then(parse_snapshot_file_name) {
+                found.push((iter, entry.path()));
+            }
+        }
+    }
+    found.sort_by(|a, b| b.0.cmp(&a.0));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_relational::prelude::{Schema, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("probkb-storage-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_catalog() -> Catalog {
+        let c = Catalog::new();
+        c.create_or_replace(
+            "t",
+            Table::from_rows_unchecked(
+                Schema::ints(&["a", "b"]),
+                (0..100)
+                    .map(|i| vec![Value::Int(i), Value::Int(i * i)])
+                    .collect(),
+            ),
+        );
+        c.create_or_replace("empty", Table::empty(Schema::ints(&["x"])));
+        c
+    }
+
+    #[test]
+    fn catalog_snapshot_roundtrip_byte_identical() {
+        let path = tmp("catalog.pkb");
+        let catalog = sample_catalog();
+        write_catalog_snapshot(&path, &catalog).unwrap();
+        let loaded = read_catalog_snapshot(&path).unwrap();
+        assert_eq!(loaded.names(), catalog.names());
+        // Writing the loaded catalog again produces identical bytes.
+        let path2 = tmp("catalog2.pkb");
+        write_catalog_snapshot(&path2, &loaded).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), fs::read(&path2).unwrap());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let path = tmp("trunc.pkb");
+        write_catalog_snapshot(&path, &sample_catalog()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let path = tmp("flip.pkb");
+        write_catalog_snapshot(&path, &sample_catalog()).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Snapshot::from_bytes(&bad).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_section_reports_corrupt() {
+        let mut b = SnapshotBuilder::new();
+        b.section("present", vec![1, 2, 3]);
+        let snapshot = Snapshot::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(snapshot.section("present").unwrap(), &[1, 2, 3]);
+        assert!(snapshot.section("absent").is_err());
+    }
+
+    #[test]
+    fn snapshot_names_roundtrip() {
+        assert_eq!(snapshot_file_name(7), "snapshot-000007.pkb");
+        assert_eq!(parse_snapshot_file_name("snapshot-000007.pkb"), Some(7));
+        assert_eq!(parse_snapshot_file_name("snapshot-7.pkb"), None);
+        assert_eq!(parse_snapshot_file_name("wal.log"), None);
+    }
+
+    #[test]
+    fn kb_snapshot_roundtrip() {
+        use probkb_kb::prelude::parse;
+        let kb = parse("fact 0.9 knows(a:P, b:P)").unwrap().build();
+        let path = tmp("kb.pkb");
+        write_kb_snapshot(&path, &kb).unwrap();
+        let back = read_kb_snapshot(&path).unwrap();
+        assert_eq!(back.stats(), kb.stats());
+        assert_eq!(back.facts, kb.facts);
+    }
+}

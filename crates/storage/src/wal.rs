@@ -1,0 +1,299 @@
+//! The write-ahead log: an append-only file of length-prefixed,
+//! CRC-guarded frames.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "PKBWAL01"           8 bytes
+//! frame*  :=  payload length u32 LE
+//!             crc32(payload) u32 LE
+//!             payload        <length> bytes
+//! ```
+//!
+//! [`WalWriter::commit`] fsyncs, so a frame followed by a commit is the
+//! durability point. [`scan_wal`] replays the prefix of intact frames
+//! and reports where the first torn or corrupt frame begins; recovery
+//! truncates there and appends — a partial tail write can only lose the
+//! uncommitted suffix, never corrupt earlier frames.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::error::{io_err, Result};
+
+/// Leading magic bytes of every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"PKBWAL01";
+
+/// Maximum accepted frame payload (1 GiB) — rejects absurd lengths from
+/// corrupted headers before any allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Appending writer over a WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a WAL at `path`, writing and syncing the
+    /// magic header.
+    pub fn create(path: &Path) -> Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.write_all(&WAL_MAGIC).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Open an existing WAL for appending after truncating it to
+    /// `valid_len` (as reported by [`scan_wal`]), discarding any torn
+    /// tail. A `valid_len` shorter than the magic recreates the file.
+    pub fn open_at(path: &Path, valid_len: u64) -> Result<WalWriter> {
+        if valid_len < WAL_MAGIC.len() as u64 {
+            return WalWriter::create(path);
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(valid_len).map_err(|e| io_err(path, e))?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one frame. Not durable until [`WalWriter::commit`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Fsync: everything appended so far becomes the durable prefix.
+    pub fn commit(&mut self) -> Result<()> {
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The result of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Payloads of the intact frame prefix, in append order.
+    pub frames: Vec<Vec<u8>>,
+    /// Byte offset where each frame in `frames` *ends* — truncating the
+    /// file to `frame_ends[i]` keeps exactly frames `0..=i`.
+    pub frame_ends: Vec<u64>,
+    /// Length of the valid prefix (magic + intact frames). Zero when the
+    /// magic itself is missing or wrong.
+    pub valid_len: u64,
+    /// True when bytes beyond `valid_len` existed (a torn or corrupt
+    /// tail that recovery will drop).
+    pub truncated: bool,
+}
+
+impl WalScan {
+    /// A scan of a missing or unusable file: no frames, nothing valid.
+    pub fn empty() -> WalScan {
+        WalScan::default()
+    }
+}
+
+/// Scan a WAL file, returning the longest intact frame prefix. Never
+/// errors on corruption — torn frames, bad CRCs, and bad magic all just
+/// shorten the result (a missing file scans as empty). Only a hard I/O
+/// failure reading an existing file is an error.
+pub fn scan_wal(path: &Path) -> Result<WalScan> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::empty()),
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+
+    let mut scan = WalScan::empty();
+    if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        scan.truncated = !bytes.is_empty();
+        return Ok(scan);
+    }
+    let mut pos = WAL_MAGIC.len();
+    scan.valid_len = pos as u64;
+    loop {
+        if bytes.len() - pos < 8 {
+            break; // no room for a frame header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME_LEN || (bytes.len() - pos - 8) < len as usize {
+            break; // torn frame: length overruns the file
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != stored_crc {
+            break; // corrupt frame
+        }
+        pos += 8 + len as usize;
+        scan.frames.push(payload.to_vec());
+        scan.frame_ends.push(pos as u64);
+        scan.valid_len = pos as u64;
+    }
+    scan.truncated = (pos as u64) < bytes.len() as u64;
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("probkb-wal-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_frames(path: &Path, frames: &[&[u8]]) {
+        let mut w = WalWriter::create(path).unwrap();
+        for f in frames {
+            w.append(f).unwrap();
+        }
+        w.commit().unwrap();
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        write_frames(&path, &[b"alpha", b"", b"gamma-gamma"]);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames[0], b"alpha");
+        assert_eq!(scan.frames[1], b"");
+        assert!(!scan.truncated);
+        assert_eq!(scan.valid_len, fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let scan = scan_wal(&tmp("never-written.wal")).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_frame_prefix() {
+        let path = tmp("trunc.wal");
+        write_frames(&path, &[b"one", b"two-two", b"three-three-three"]);
+        let bytes = fs::read(&path).unwrap();
+        let full = scan_wal(&path).unwrap();
+        for cut in 0..bytes.len() {
+            let cut_path = tmp("trunc-cut.wal");
+            fs::write(&cut_path, &bytes[..cut]).unwrap();
+            let scan = scan_wal(&cut_path).unwrap();
+            // The survivors are exactly a prefix of the original frames.
+            assert!(scan.frames.len() <= full.frames.len());
+            assert_eq!(
+                scan.frames,
+                full.frames[..scan.frames.len()].to_vec(),
+                "cut at {cut}"
+            );
+            // Whole frames survive iff the cut is past their end.
+            let expect = full
+                .frame_ends
+                .iter()
+                .filter(|&&end| end <= cut as u64)
+                .count();
+            assert_eq!(scan.frames.len(), expect, "cut at {cut}");
+            assert!(scan.valid_len <= cut as u64);
+        }
+    }
+
+    #[test]
+    fn byte_flips_drop_the_damaged_suffix() {
+        let path = tmp("flip.wal");
+        write_frames(&path, &[b"one", b"two-two", b"three-three-three"]);
+        let bytes = fs::read(&path).unwrap();
+        let full = scan_wal(&path).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let bad_path = tmp("flip-bad.wal");
+            fs::write(&bad_path, &bad).unwrap();
+            let scan = scan_wal(&bad_path).unwrap();
+            // Frames before the damaged one survive unchanged; the rest
+            // are dropped (never silently altered).
+            let damaged_frame = full
+                .frame_ends
+                .iter()
+                .filter(|&&end| end <= i as u64)
+                .count();
+            if i < WAL_MAGIC.len() {
+                assert_eq!(scan.frames.len(), 0, "flip at {i}");
+            } else {
+                assert_eq!(scan.frames.len(), damaged_frame, "flip at {i}");
+                assert_eq!(scan.frames, full.frames[..damaged_frame].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn open_at_truncates_and_appends() {
+        let path = tmp("reopen.wal");
+        write_frames(&path, &[b"keep", b"drop"]);
+        let scan = scan_wal(&path).unwrap();
+        // Reopen keeping only the first frame, then append a new one.
+        let mut w = WalWriter::open_at(&path, scan.frame_ends[0]).unwrap();
+        w.append(b"new-tail").unwrap();
+        w.commit().unwrap();
+        let rescan = scan_wal(&path).unwrap();
+        assert_eq!(rescan.frames, vec![b"keep".to_vec(), b"new-tail".to_vec()]);
+    }
+
+    #[test]
+    fn open_at_zero_recreates() {
+        let path = tmp("recreate.wal");
+        fs::write(&path, b"garbage that is not a wal").unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.truncated);
+        let mut w = WalWriter::open_at(&path, scan.valid_len).unwrap();
+        w.append(b"fresh").unwrap();
+        w.commit().unwrap();
+        let rescan = scan_wal(&path).unwrap();
+        assert_eq!(rescan.frames, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn absurd_length_header_is_torn_not_allocated() {
+        let path = tmp("absurd.wal");
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.frames.is_empty());
+        assert!(scan.truncated);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-format equivalence (ISSUE 3 satellite): the JSON codec in
+//! `kb::io`, the binary codec in `storage::kbcodec`, and the snapshot
+//! container must all agree — a KB pushed through any of them comes
+//! back with identical statistics and identical canonical encodings.
+
+use std::fs;
+use std::path::PathBuf;
+
+use probkb_kb::io::{from_json, to_json, to_text};
+use probkb_kb::prelude::{parse, ProbKb};
+use probkb_storage::kbcodec::{decode_kb, encode_kb, kb_digest};
+use probkb_storage::snapshot::{read_kb_snapshot, write_kb_snapshot};
+
+fn sample_kb() -> ProbKb {
+    parse(
+        r#"
+        fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+        fact 0.93 born_in(Ruth_Gruber:Writer, Brooklyn:Place)
+        fact 0.88 capital_of(Delhi:City, India:Country)
+        rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+        rule 1.53 live_in(x:Writer, y:City) :- born_in(x, y)
+        rule 0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)
+        functional born_in 1 1 Writer City
+        functional capital_of 2 1
+        "#,
+    )
+    .unwrap()
+    .build()
+}
+
+fn tmp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("probkb-kbrt-{tag}-{}.pkb", std::process::id()))
+}
+
+/// Every canonical rendering this workspace has for a KB — if two KBs
+/// agree on all of these, they are the same KB.
+fn fingerprints(kb: &ProbKb) -> (probkb_kb::prelude::KbStats, String, Vec<u8>, u32) {
+    (kb.stats(), to_text(kb), encode_kb(kb), kb_digest(kb))
+}
+
+#[test]
+fn json_and_binary_codecs_agree() {
+    let kb = sample_kb();
+    let via_json = from_json(&to_json(&kb)).unwrap();
+    let via_binary = decode_kb(&encode_kb(&kb)).unwrap();
+    assert_eq!(fingerprints(&via_json), fingerprints(&kb));
+    assert_eq!(fingerprints(&via_binary), fingerprints(&kb));
+}
+
+#[test]
+fn snapshot_roundtrip_agrees_with_both_codecs() {
+    let kb = sample_kb();
+    let path = tmp_file("snap");
+    write_kb_snapshot(&path, &kb).unwrap();
+    let via_snapshot = read_kb_snapshot(&path).unwrap();
+    let _ = fs::remove_file(&path);
+
+    let via_json = from_json(&to_json(&kb)).unwrap();
+    assert_eq!(fingerprints(&via_snapshot), fingerprints(&kb));
+    assert_eq!(fingerprints(&via_snapshot), fingerprints(&via_json));
+}
+
+#[test]
+fn binary_encoding_is_canonical_across_formats() {
+    // Chaining codecs must be a fixpoint: JSON → binary → snapshot →
+    // binary produces the same bytes at every binary step.
+    let kb = sample_kb();
+    let bytes1 = encode_kb(&kb);
+    let via_json = from_json(&to_json(&kb)).unwrap();
+    let bytes2 = encode_kb(&via_json);
+    assert_eq!(bytes1, bytes2);
+
+    let path = tmp_file("canon");
+    write_kb_snapshot(&path, &via_json).unwrap();
+    let via_snapshot = read_kb_snapshot(&path).unwrap();
+    let _ = fs::remove_file(&path);
+    assert_eq!(encode_kb(&via_snapshot), bytes1);
+}
+
+#[test]
+fn weightless_facts_survive_all_formats() {
+    // Inferred facts carry no weight until marginal inference writes one
+    // back; all three formats must preserve the None.
+    let mut kb = sample_kb();
+    let mut inferred = kb.facts[0].clone();
+    inferred.weight = None;
+    inferred.y = kb.facts[2].y;
+    kb.facts.push(inferred);
+
+    let via_json = from_json(&to_json(&kb)).unwrap();
+    let via_binary = decode_kb(&encode_kb(&kb)).unwrap();
+    assert_eq!(via_json.facts.last().unwrap().weight, None);
+    assert_eq!(via_binary.facts.last().unwrap().weight, None);
+    assert_eq!(fingerprints(&via_json), fingerprints(&via_binary));
+}

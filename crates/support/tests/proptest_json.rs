@@ -1,0 +1,96 @@
+//! Property tests for `support::json` string escaping: any Unicode
+//! string — control characters, embedded NULs, astral-plane characters
+//! that JSON escapes as surrogate pairs — must survive
+//! `to_string` → `parse` unchanged, and the escaped form must stay
+//! pure ASCII-compatible JSON the decoder accepts.
+
+use probkb_support::check::prelude::*;
+use probkb_support::json::Json;
+
+/// Characters drawn from the regions that stress the escaper: control
+/// characters (including NUL), printable ASCII, arbitrary BMP scalars,
+/// and astral-plane scalars (encoded as `\uXXXX\uXXXX` pairs).
+fn arb_char() -> impl Strategy<Value = char> {
+    (0u32..4, 0u32..0x11_0000).prop_map(|(kind, raw)| {
+        let code = match kind {
+            0 => raw % 0x20,                      // C0 controls, incl. NUL
+            1 => 0x20 + raw % 0x5F,               // printable ASCII
+            2 => raw % 0x1_0000,                  // BMP (surrogates remapped)
+            _ => 0x1_0000 + raw % 0x10_0000,      // astral planes
+        };
+        char::from_u32(code).unwrap_or('\u{FFFD}')
+    })
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_char(), 0..32).prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    /// Every string round-trips exactly through encode + parse.
+    #[test]
+    fn strings_round_trip(s in arb_string()) {
+        let encoded = Json::Str(s.clone()).to_string();
+        let back = Json::parse(&encoded).unwrap();
+        prop_assert_eq!(back, Json::Str(s));
+    }
+
+    /// Strings nested in arrays/objects round-trip too (the escaper runs
+    /// on keys as well as values).
+    #[test]
+    fn nested_strings_round_trip(key in arb_string(), val in arb_string()) {
+        let doc = Json::Obj(vec![(key, Json::Arr(vec![Json::Str(val)]))]);
+        let back = Json::parse(&doc.to_string()).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// The encoder never emits raw control bytes — they all become
+    /// escapes, so output lines stay grep/terminal-safe.
+    #[test]
+    fn encoded_form_has_no_control_bytes(s in arb_string()) {
+        let encoded = Json::Str(s).to_string();
+        prop_assert!(encoded.bytes().all(|b| b >= 0x20));
+    }
+
+    /// Re-encoding a parsed document is a fixpoint: the escaped form is
+    /// canonical.
+    #[test]
+    fn encoding_is_canonical(s in arb_string()) {
+        let once = Json::Str(s).to_string();
+        let twice = Json::parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn surrogate_pair_escapes_decode_to_astral_chars() {
+    // U+1D11E (musical G clef) spelled as an escaped surrogate pair.
+    let parsed = Json::parse("\"\\ud834\\udd1e\"").unwrap();
+    assert_eq!(parsed, Json::Str("\u{1D11E}".into()));
+    // The raw (unescaped) astral character also parses.
+    assert_eq!(
+        Json::parse("\"\u{1D11E}\"").unwrap(),
+        Json::Str("\u{1D11E}".into())
+    );
+}
+
+#[test]
+fn lone_surrogate_escapes_are_rejected() {
+    assert!(Json::parse(r#""\ud834""#).is_err()); // high half alone
+    assert!(Json::parse(r#""\ud834 x""#).is_err()); // high half, no low
+    assert!(Json::parse(r#""\udd1e""#).is_err()); // low half alone
+}
+
+#[test]
+fn embedded_nul_round_trips_as_escape() {
+    let s = "a\0b";
+    let encoded = Json::Str(s.into()).to_string();
+    assert!(encoded.contains("\\u0000"));
+    assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(s.into()));
+}
+
+#[test]
+fn control_characters_use_short_escapes() {
+    let encoded = Json::Str("\n\t\r\u{08}\u{0C}\"\\".into()).to_string();
+    assert_eq!(encoded, r#""\n\t\r\b\f\"\\""#);
+}

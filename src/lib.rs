@@ -20,6 +20,7 @@
 //! | [`inference`] | Gibbs sampling (sequential + chromatic parallel) and an exact oracle |
 //! | [`quality`] | constraints, ambiguity detection, rule cleaning, precision evaluation |
 //! | [`datagen`] | ReVerb-Sherlock-style synthetic workloads with ground truth |
+//! | [`storage`] | durable storage: snapshots, write-ahead log, checkpoint codecs |
 //!
 //! ## End-to-end example
 //!
@@ -47,6 +48,7 @@ pub use probkb_kb as kb;
 pub use probkb_mpp as mpp;
 pub use probkb_quality as quality;
 pub use probkb_relational as relational;
+pub use probkb_storage as storage;
 
 pub mod query;
 
@@ -164,4 +166,5 @@ pub mod prelude {
     pub use probkb_inference::prelude::*;
     pub use probkb_kb::prelude::*;
     pub use probkb_quality::prelude::*;
+    pub use probkb_storage::prelude::*;
 }

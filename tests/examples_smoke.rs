@@ -33,3 +33,8 @@ fn quickstart_example_runs_offline() {
 fn knowledge_expansion_example_runs_offline() {
     run_example("knowledge_expansion");
 }
+
+#[test]
+fn checkpoint_resume_example_runs_offline() {
+    run_example("checkpoint_resume");
+}
