@@ -15,9 +15,20 @@ RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 PROBKB_THREADS=1 cargo test -q --offline --workspace
 PROBKB_THREADS=8 cargo test -q --offline --workspace
 
+# The cost-based planner must be invariant in results: the whole suite
+# runs with the optimizer forced off (the unoptimized differential
+# oracle) and forced on. Same one-read-per-process caveat as above.
+PROBKB_OPTIMIZE=0 cargo test -q --offline --workspace
+PROBKB_OPTIMIZE=1 cargo test -q --offline --workspace
+
 # Benches (including the join thread-scaling sweep) must stay compiling.
 cargo bench --offline --no-run --workspace
 cargo run --release --offline -p probkb-bench --bin table2
+
+# Join-order microbench: the statistics-driven planner must beat the
+# worst-case left-deep order on the skewed workload (the binary asserts
+# both plans agree on output size; see EXPERIMENTS.md for numbers).
+cargo run --release --offline -p probkb-bench --bin join_order
 
 # Durability smoke (DESIGN.md, "Durability"): a run killed mid-grounding
 # must resume at the last completed iteration and produce an export

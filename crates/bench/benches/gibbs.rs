@@ -31,6 +31,7 @@ fn ground_graph() -> GroundGraph {
         apply_constraints: false,
         max_total_facts: Some(100_000),
         threads: None,
+        optimize: None,
     };
     let out = ground(&kb, &mut engine, &config).expect("grounding");
     from_phi(&out.factors)

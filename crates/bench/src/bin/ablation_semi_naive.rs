@@ -40,6 +40,7 @@ fn main() {
         apply_constraints: false,
         max_total_facts: None,
         threads: None,
+        optimize: None,
     };
 
     let mut naive = SingleNodeEngine::new();

@@ -56,6 +56,7 @@ fn main() {
         apply_constraints: false,
         max_total_facts: None,
         threads: None,
+        optimize: None,
     };
 
     for &facts in &fact_counts {

@@ -90,6 +90,7 @@ fn main() {
             apply_constraints: qc.semantic_constraints,
             max_total_facts: Some(cap),
             threads: None,
+            optimize: None,
         };
         let mut engine = SingleNodeEngine::new();
         let out = ground(&kb, &mut engine, &config).expect("grounding");

@@ -53,6 +53,7 @@ fn main() {
         apply_constraints: false,
         max_total_facts: Some(300_000),
         threads: None,
+        optimize: None,
     };
     let out = ground(&corrupted.kb, &mut engine, &config).expect("grounding");
 

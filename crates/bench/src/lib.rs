@@ -157,6 +157,7 @@ pub fn run_system(
         apply_constraints: false,
         max_total_facts: cap,
         threads: None,
+        optimize: None,
     };
     let outcome = ground(kb, engine.as_mut(), &config).expect("grounding run");
     PerfRun {

@@ -90,6 +90,7 @@ fn closure_keys(kb: &ProbKb, config: &ErrorConfig) -> (HashSet<FactKey>, HashSet
         apply_constraints: false,
         max_total_facts: Some(config.closure_cap),
         threads: None,
+        optimize: None,
     };
     let out = ground(kb, &mut engine, &gc).expect("closure grounding");
     keys_of_snapshot(&out.facts)

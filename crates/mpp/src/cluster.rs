@@ -8,7 +8,8 @@ use probkb_support::sync::RwLock;
 
 use probkb_relational::catalog::Catalog;
 use probkb_relational::error::{Error, Result};
-use probkb_relational::prelude::{Row, Schema, Table, Value};
+use probkb_relational::optimizer::StatsSource;
+use probkb_relational::prelude::{Row, Schema, Table, TableStats, Value};
 
 use crate::distribution::{place_rows, DistPolicy};
 use crate::network::{MotionLog, NetworkModel};
@@ -285,6 +286,21 @@ impl Cluster {
         Ok(removed)
     }
 
+    /// Cluster-wide planner statistics for a distributed table: the
+    /// per-segment statistics merged into one logical view (replicated
+    /// tables count a single copy). `None` for unknown tables.
+    pub fn stats_of(&self, name: &str) -> Option<Arc<TableStats>> {
+        if self.policy_of(name).ok()? == DistPolicy::Replicated {
+            return self.segments[0].catalog.stats_of(name);
+        }
+        let mut merged = TableStats::default();
+        for segment in &self.segments {
+            let slice = segment.catalog.stats_of(name)?;
+            merged.merge(&slice);
+        }
+        Some(Arc::new(merged))
+    }
+
     /// The skew of a table: max segment slice / mean slice size. 1.0 is a
     /// perfect balance; large values mean a hot segment throttles
     /// parallelism.
@@ -299,6 +315,16 @@ impl Cluster {
             return Ok(1.0);
         }
         Ok(max / mean)
+    }
+}
+
+impl StatsSource for Cluster {
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.stats_of(name)
+    }
+
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.schema_of(name)
     }
 }
 
@@ -424,5 +450,21 @@ mod tests {
         assert!(c.gather_table("nope").is_err());
         assert!(c.policy_of("nope").is_err());
         assert!(c.row_count("nope").is_err());
+    }
+
+    #[test]
+    fn stats_merge_segment_slices_into_logical_view() {
+        let c = cluster();
+        c.create_table("t", keyed_table(50), DistPolicy::Hash(vec![0]))
+            .unwrap();
+        let s = c.stats_of("t").unwrap();
+        assert_eq!(s.row_count(), 50);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 5);
+        assert_eq!(s.column(1).unwrap().distinct_count(), 50);
+        // Replicated tables count a single copy, like row_count.
+        c.create_table("r", keyed_table(10), DistPolicy::Replicated)
+            .unwrap();
+        assert_eq!(c.stats_of("r").unwrap().row_count(), 10);
+        assert!(c.stats_of("nope").is_none());
     }
 }

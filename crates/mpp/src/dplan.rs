@@ -7,8 +7,33 @@
 //! keys already match the join keys, so fewer/cheaper motions are needed.
 
 use probkb_relational::expr::Expr;
+use probkb_relational::optimizer::{estimate, StatsSource};
 use probkb_relational::plan::{AggExpr, JoinKind, Plan};
 use probkb_relational::prelude::{Result, Schema, Table};
+
+/// Estimated interconnect bytes a distributed plan ships, from the
+/// cardinality estimator: every motion node pays its input's estimated
+/// rows × row width × 8 bytes per value, and a broadcast pays that once
+/// per *receiving* segment. Collocated plans (no motions) cost zero, so
+/// a planner comparing candidate motion placements prefers them — the
+/// §4.4 rewrite in cost-model form. Estimation failures (unknown tables)
+/// propagate so callers can fall back to a default placement.
+pub fn shipping_cost(plan: &DPlan, src: &dyn StatsSource, segments: usize) -> Result<f64> {
+    let mut total = 0.0;
+    for child in plan.children() {
+        total += shipping_cost(child, src, segments)?;
+    }
+    let shipped = |input: &DPlan| -> Result<f64> {
+        let est = estimate(&input.shape(), src)?;
+        Ok(est.rows * est.width() as f64 * 8.0)
+    };
+    total += match plan {
+        DPlan::Redistribute { input, .. } | DPlan::Gather { input } => shipped(input)?,
+        DPlan::Broadcast { input } => shipped(input)? * segments.saturating_sub(1) as f64,
+        _ => 0.0,
+    };
+    Ok(total)
+}
 
 /// A distributed plan node. Compute nodes run independently on every
 /// segment; motion nodes move rows across segments.
@@ -334,6 +359,27 @@ mod tests {
         assert_eq!(DPlan::scan("t").broadcast().describe(), "Broadcast Motion");
         assert_eq!(DPlan::scan("t").gather().describe(), "Gather Motion");
         assert!(DPlan::scan("t").describe().contains("Seq Scan"));
+    }
+
+    #[test]
+    fn shipping_cost_prefers_collocated_plans() {
+        use crate::cluster::Cluster;
+        use crate::distribution::DistPolicy;
+        use crate::network::NetworkModel;
+        let c = Cluster::new(4, NetworkModel::free());
+        let t = Table::from_rows_unchecked(
+            Schema::ints(&["k"]),
+            (0..30).map(|i| vec![Value::Int(i)]).collect(),
+        );
+        c.create_table("t", t, DistPolicy::Hash(vec![0])).unwrap();
+        let collocated = shipping_cost(&DPlan::scan("t"), &c, 4).unwrap();
+        let redist = shipping_cost(&DPlan::scan("t").redistribute(vec![0]), &c, 4).unwrap();
+        let bcast = shipping_cost(&DPlan::scan("t").broadcast(), &c, 4).unwrap();
+        assert_eq!(collocated, 0.0);
+        assert_eq!(redist, 30.0 * 8.0);
+        assert_eq!(bcast, 30.0 * 8.0 * 3.0); // once per receiving segment
+        // Cost of shipping an unknown table cannot be estimated.
+        assert!(shipping_cost(&DPlan::scan("missing").broadcast(), &c, 4).is_err());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct DExecMetrics {
     pub description: String,
     /// Total rows produced across segments.
     pub rows_out: usize,
+    /// Rows the planner estimated (logical rows: a broadcast's per-segment
+    /// copies are not multiplied in). Annotated after execution so
+    /// `EXPLAIN ANALYZE` shows `est=` next to `rows=`.
+    pub est_rows: usize,
     /// Wall-clock time of the parallel region for this node (children
     /// excluded).
     pub elapsed: Duration,
@@ -113,12 +117,14 @@ impl<'a> DExecutor<'a> {
 
     /// Execute, returning per-segment result slices and metrics.
     pub fn execute(&self, plan: &DPlan) -> Result<(Batches, DExecMetrics)> {
-        self.eval(plan)
+        let (parts, mut metrics) = self.eval(plan)?;
+        annotate_estimates(&mut metrics, plan, self.cluster);
+        Ok((parts, metrics))
     }
 
     /// Execute and concatenate all segment slices into one table.
     pub fn execute_gathered(&self, plan: &DPlan) -> Result<(Table, DExecMetrics)> {
-        let (parts, metrics) = self.eval(plan)?;
+        let (parts, metrics) = self.execute(plan)?;
         let schema = self.plan_schema(plan)?;
         let mut rows: Vec<Row> = Vec::new();
         for part in parts {
@@ -352,6 +358,7 @@ impl<'a> DExecutor<'a> {
         let metrics = DExecMetrics {
             description: plan.describe(),
             rows_out,
+            est_rows: 0, // annotated by `execute` from the plan estimates
             elapsed,
             net_simulated,
             rows_shipped,
@@ -359,6 +366,18 @@ impl<'a> DExecutor<'a> {
             children,
         };
         (parts, metrics)
+    }
+}
+
+/// Fill `est_rows` from the cardinality estimator over each node's logical
+/// shape (motions are transparent: they estimate as their input). The
+/// metrics tree mirrors the plan tree node for node.
+fn annotate_estimates(metrics: &mut DExecMetrics, plan: &DPlan, cluster: &Cluster) {
+    if let Ok(est) = probkb_relational::optimizer::estimate(&plan.shape(), cluster) {
+        metrics.est_rows = est.rows.round() as usize;
+    }
+    for (m, p) in metrics.children.iter_mut().zip(plan.children()) {
+        annotate_estimates(m, p, cluster);
     }
 }
 

@@ -42,9 +42,10 @@ pub fn explain_analyze(metrics: &DExecMetrics) -> String {
         };
         if node.net_simulated > std::time::Duration::ZERO || node.rows_shipped > 0 {
             out.push_str(&format!(
-                "{}  (rows={}, shipped={}, compute={}, network={}{})\n",
+                "{}  (rows={}, est={}, shipped={}, compute={}, network={}{})\n",
                 node.description,
                 node.rows_out,
+                node.est_rows,
                 node.rows_shipped,
                 fmt_duration(node.elapsed),
                 fmt_duration(node.net_simulated),
@@ -52,9 +53,10 @@ pub fn explain_analyze(metrics: &DExecMetrics) -> String {
             ));
         } else {
             out.push_str(&format!(
-                "{}  (rows={}, time={}{})\n",
+                "{}  (rows={}, est={}, time={}{})\n",
                 node.description,
                 node.rows_out,
+                node.est_rows,
                 fmt_duration(node.elapsed),
                 workers,
             ));
@@ -99,5 +101,7 @@ mod tests {
         assert!(text.contains("Broadcast Motion"));
         assert!(text.contains("shipped=60")); // 30 rows × 2 other segments
         assert!(text.contains("network="));
+        // Estimated (logical) rows ride along next to the actuals.
+        assert!(text.contains("est=30"), "got: {text}");
     }
 }

@@ -56,7 +56,7 @@ pub mod prelude {
         parse_slice_checkpoint_name, slice_checkpoint_name, Cluster, Segment,
     };
     pub use crate::distribution::{hash_key, place_rows, segment_for, DistPolicy};
-    pub use crate::dplan::DPlan;
+    pub use crate::dplan::{shipping_cost, DPlan};
     pub use crate::executor::{DExecMetrics, DExecutor};
     pub use crate::explain::{explain as explain_dplan, explain_analyze as explain_analyze_dplan};
     pub use crate::network::{MotionKind, MotionLog, MotionRecord, NetworkModel};

@@ -336,7 +336,9 @@ fn decode_record(payload: &[u8]) -> probkb_storage::Result<WalRecord> {
 }
 
 /// Digest of the [`GroundingConfig`] knobs that change a run's *output*
-/// (threads only change scheduling, never results, so they are excluded).
+/// (threads and optimize only change scheduling and physical plans,
+/// never results, so they are excluded — a run may resume under a
+/// different optimizer setting).
 fn config_digest(config: &GroundingConfig) -> u32 {
     let mut w = ByteWriter::new();
     w.put_u64(config.max_iterations as u64);
@@ -785,6 +787,9 @@ pub fn ground_checkpointed(
     if let Some(threads) = config.threads {
         engine.set_threads(threads);
     }
+    if let Some(optimize) = config.optimize {
+        engine.set_optimize(optimize);
+    }
     fs::create_dir_all(&ckpt.dir).map_err(|e| io_err(&ckpt.dir, e))?;
 
     let kb_bytes = encode_kb(kb);
@@ -1041,7 +1046,8 @@ pub fn ground_checkpointed(
         Some(logged) => logged,
         None => {
             let factor_start = Instant::now();
-            let (factors, factor_queries) = engine.ground_factors()?;
+            let (mut factors, factor_queries) = engine.ground_factors()?;
+            crate::grounding::canonicalize_factors(&mut factors);
             let factor_time = factor_start.elapsed();
             wal.append(&encode_record(&WalRecord::Factors {
                 table: factors.clone(),
@@ -1052,7 +1058,8 @@ pub fn ground_checkpointed(
             (factors, factor_queries, factor_time)
         }
     };
-    let facts = engine.facts()?;
+    let mut facts = engine.facts()?;
+    facts.sort_by_cols(&[tpi::I]);
 
     let report = GroundingReport {
         engine: engine_name,

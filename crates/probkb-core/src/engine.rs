@@ -24,6 +24,13 @@ pub trait GroundingEngine {
     /// default is a no-op so backends stay source-compatible.
     fn set_threads(&mut self, _threads: usize) {}
 
+    /// Toggle the statistics-driven cost-based planner for the engine's
+    /// batch queries. Plan choice only changes physical execution (join
+    /// order, build sides, motions) — never results, since the driver
+    /// canonicalizes row order — so the default is a no-op for backends
+    /// without a planner.
+    fn set_optimize(&mut self, _optimize: bool) {}
+
     /// Load the relational KB (the bulkload column of Table 3).
     fn load(&mut self, rel: &RelationalKb) -> Result<()>;
 

@@ -10,7 +10,7 @@ use probkb_kb::prelude::ProbKb;
 use probkb_relational::prelude::{Result, Row, Table, Value};
 
 use crate::engine::GroundingEngine;
-use crate::relmodel::{load, FactRegistry, RelationalKb};
+use crate::relmodel::{load, tphi, tpi, FactRegistry, RelationalKb};
 
 /// Tuning knobs for Algorithm 1.
 #[derive(Debug, Clone)]
@@ -32,6 +32,12 @@ pub struct GroundingConfig {
     /// engine's own default (`PROBKB_THREADS` for single-node engines,
     /// one worker per segment for MPP).
     pub threads: Option<usize>,
+    /// Enable the statistics-driven cost-based planner, forwarded to the
+    /// engine via [`GroundingEngine::set_optimize`] before loading.
+    /// `None` keeps the engine's own default (`PROBKB_OPTIMIZE`, on
+    /// unless set to `0`). Plan choice never changes grounding output —
+    /// the unoptimized path stays available as a differential oracle.
+    pub optimize: Option<bool>,
 }
 
 impl Default for GroundingConfig {
@@ -42,6 +48,7 @@ impl Default for GroundingConfig {
             apply_constraints: true,
             max_total_facts: None,
             threads: None,
+            optimize: None,
         }
     }
 }
@@ -56,6 +63,7 @@ impl GroundingConfig {
             apply_constraints: false,
             max_total_facts: None,
             threads: None,
+            optimize: None,
         }
     }
 }
@@ -156,6 +164,9 @@ pub fn ground_loaded(
     if let Some(threads) = config.threads {
         engine.set_threads(threads);
     }
+    if let Some(optimize) = config.optimize {
+        engine.set_optimize(optimize);
+    }
     let load_start = Instant::now();
     engine.load(&rel)?;
     let load_time = load_start.elapsed();
@@ -219,9 +230,11 @@ pub fn ground_loaded(
     }
 
     let factor_start = Instant::now();
-    let (factors, factor_queries) = engine.ground_factors()?;
+    let (mut factors, factor_queries) = engine.ground_factors()?;
+    canonicalize_factors(&mut factors);
     let factor_time = factor_start.elapsed();
-    let facts = engine.facts()?;
+    let mut facts = engine.facts()?;
+    facts.sort_by_cols(&[tpi::I]);
 
     let report = GroundingReport {
         engine: engine.name().to_string(),
@@ -246,10 +259,20 @@ pub fn ground_loaded(
 /// the new `TΠ` rows (weight NULL — to be filled by marginal inference).
 /// Shared with the checkpointed driver (`crate::checkpoint`), which must
 /// mirror this loop exactly.
+///
+/// Candidate row order depends on the physical plans the engine ran
+/// (join order, build sides, motions), but fact ids must not — so the
+/// keys are sorted before registration. This makes grounding output
+/// identical across optimizer settings, thread counts, and engines.
 pub(crate) fn register_candidates(registry: &mut FactRegistry, candidates: &Table) -> Vec<Row> {
+    let mut keys: Vec<[i64; 5]> = candidates
+        .rows()
+        .iter()
+        .map(|row| FactRegistry::key_of_candidate(row))
+        .collect();
+    keys.sort_unstable();
     let mut rows = Vec::new();
-    for row in candidates.rows() {
-        let key = FactRegistry::key_of_candidate(row);
+    for key in keys {
         if let Some(id) = registry.register(key) {
             rows.push(vec![
                 Value::Int(id),
@@ -263,6 +286,14 @@ pub(crate) fn register_candidates(registry: &mut FactRegistry, candidates: &Tabl
         }
     }
     rows
+}
+
+/// Sort `TΦ` into its canonical order (all four columns ascending), so
+/// the factor table is byte-identical no matter which physical plans
+/// produced it. Bag semantics are preserved — duplicates stay. Shared
+/// with the checkpointed driver, which must log the canonical table.
+pub(crate) fn canonicalize_factors(factors: &mut Table) {
+    factors.sort_by_cols(&[tphi::I1, tphi::I2, tphi::I3, tphi::W]);
 }
 
 #[cfg(test)]

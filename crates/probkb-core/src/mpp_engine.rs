@@ -38,6 +38,7 @@ pub struct MppEngine {
     patterns: Vec<RulePattern>,
     views: RedistributedViews,
     threads: Option<usize>,
+    optimize: bool,
 }
 
 impl MppEngine {
@@ -49,6 +50,7 @@ impl MppEngine {
             patterns: Vec::new(),
             views: RedistributedViews::paper_tpi_views(names::TPI),
             threads: None,
+            optimize: default_optimize(),
         }
     }
 
@@ -111,6 +113,87 @@ impl MppEngine {
         )))
     }
 
+    /// The view-scanning (collocated) `groundAtoms` body: only the rules
+    /// table and the intermediate result move, by Redistribute Motion.
+    fn atoms_body_views(&self, spec: &JoinSpec, m_name: &str) -> Result<DPlan> {
+        let (view0, _) = self.views.pick_with_keys(&spec.t2_keys)?;
+        let mut plan = DPlan::scan(m_name)
+            .redistribute(spec.m_keys1.clone())
+            .hash_join(
+                DPlan::scan(view0),
+                spec.m_keys1.clone(),
+                spec.t2_keys.clone(),
+            );
+        if spec.arity == 3 {
+            let (view_x, view_keys) = self.views.pick_with_keys(&spec.t3_keys)?;
+            let redist = Self::permute_mid_keys(&spec.mid_keys2, &spec.t3_keys, &view_keys);
+            plan = plan.redistribute(redist).hash_join(
+                DPlan::scan(view_x),
+                spec.mid_keys2.clone(),
+                spec.t3_keys.clone(),
+            );
+        }
+        Ok(plan)
+    }
+
+    /// The broadcast `groundAtoms` body — the plan a join-key-agnostic
+    /// distribution forces (the right side of Figure 4).
+    fn atoms_body_broadcast(&self, spec: &JoinSpec, m_name: &str) -> DPlan {
+        let mut plan = DPlan::scan(m_name).broadcast().hash_join(
+            DPlan::scan(names::TPI),
+            spec.m_keys1.clone(),
+            spec.t2_keys.clone(),
+        );
+        if spec.arity == 3 {
+            plan = plan.broadcast().hash_join(
+                DPlan::scan(names::TPI),
+                spec.mid_keys2.clone(),
+                spec.t3_keys.clone(),
+            );
+        }
+        plan
+    }
+
+    /// The view-scanning `groundFactors` body (atoms body plus the head
+    /// join).
+    fn factors_body_views(&self, spec: &JoinSpec, m_name: &str) -> Result<DPlan> {
+        let plan = self.atoms_body_views(spec, m_name)?;
+        let (view_h, hkeys) = self.views.pick_with_keys(&spec.head_keys_t)?;
+        let redist = Self::permute_mid_keys(&spec.head_keys_mid, &spec.head_keys_t, &hkeys);
+        Ok(plan.redistribute(redist).hash_join(
+            DPlan::scan(view_h),
+            spec.head_keys_mid.clone(),
+            spec.head_keys_t.clone(),
+        ))
+    }
+
+    /// The broadcast `groundFactors` body.
+    fn factors_body_broadcast(&self, spec: &JoinSpec, m_name: &str) -> DPlan {
+        self.atoms_body_broadcast(spec, m_name)
+            .broadcast()
+            .hash_join(
+                DPlan::scan(names::TPI),
+                spec.head_keys_mid.clone(),
+                spec.head_keys_t.clone(),
+            )
+    }
+
+    /// Cost-based choice between the collocated (view-scanning) plan and
+    /// the broadcast plan: compare estimated bytes shipped
+    /// ([`shipping_cost`] over the cluster's merged table statistics) and
+    /// keep the collocated plan on ties or when estimation fails — the
+    /// statistics confirm, rather than replace, the paper's rewrite.
+    fn cheaper_motion_plan(&self, collocated: DPlan, broadcast: DPlan) -> DPlan {
+        let segments = self.cluster.num_segments();
+        match (
+            shipping_cost(&collocated, &self.cluster, segments),
+            shipping_cost(&broadcast, &self.cluster, segments),
+        ) {
+            (Ok(c), Ok(b)) if b < c => broadcast,
+            _ => collocated,
+        }
+    }
+
     /// Build the distributed `groundAtoms` plan for one partition.
     /// Public so the Figure 4 harness can EXPLAIN it.
     pub fn ground_atoms_dplan(&self, pattern: RulePattern) -> Result<DPlan> {
@@ -118,41 +201,14 @@ impl MppEngine {
         let m_name = names::mln(pattern.index());
         let plan = match self.mode {
             MppMode::Optimized => {
-                let (view0, _) = self.views.pick_with_keys(&spec.t2_keys)?;
-                let mut plan = DPlan::scan(&m_name)
-                    .redistribute(spec.m_keys1.clone())
-                    .hash_join(
-                        DPlan::scan(view0),
-                        spec.m_keys1.clone(),
-                        spec.t2_keys.clone(),
-                    );
-                if spec.arity == 3 {
-                    let (view_x, view_keys) = self.views.pick_with_keys(&spec.t3_keys)?;
-                    let redist =
-                        Self::permute_mid_keys(&spec.mid_keys2, &spec.t3_keys, &view_keys);
-                    plan = plan.redistribute(redist).hash_join(
-                        DPlan::scan(view_x),
-                        spec.mid_keys2.clone(),
-                        spec.t3_keys.clone(),
-                    );
+                let views = self.atoms_body_views(&spec, &m_name)?;
+                if self.optimize {
+                    self.cheaper_motion_plan(views, self.atoms_body_broadcast(&spec, &m_name))
+                } else {
+                    views
                 }
-                plan
             }
-            MppMode::NoViews => {
-                let mut plan = DPlan::scan(&m_name).broadcast().hash_join(
-                    DPlan::scan(names::TPI),
-                    spec.m_keys1.clone(),
-                    spec.t2_keys.clone(),
-                );
-                if spec.arity == 3 {
-                    plan = plan.broadcast().hash_join(
-                        DPlan::scan(names::TPI),
-                        spec.mid_keys2.clone(),
-                        spec.t3_keys.clone(),
-                    );
-                }
-                plan
-            }
+            MppMode::NoViews => self.atoms_body_broadcast(&spec, &m_name),
         };
         Ok(project_candidates(plan, &spec))
     }
@@ -162,56 +218,19 @@ impl MppEngine {
         let spec = join_spec(pattern);
         let m_name = names::mln(pattern.index());
         let mut head_off = spec.m_width + 7;
+        if spec.arity == 3 {
+            head_off += 7;
+        }
         let body = match self.mode {
             MppMode::Optimized => {
-                let (view0, _) = self.views.pick_with_keys(&spec.t2_keys)?;
-                let mut plan = DPlan::scan(&m_name)
-                    .redistribute(spec.m_keys1.clone())
-                    .hash_join(
-                        DPlan::scan(view0),
-                        spec.m_keys1.clone(),
-                        spec.t2_keys.clone(),
-                    );
-                if spec.arity == 3 {
-                    let (view_x, view_keys) = self.views.pick_with_keys(&spec.t3_keys)?;
-                    let redist =
-                        Self::permute_mid_keys(&spec.mid_keys2, &spec.t3_keys, &view_keys);
-                    plan = plan.redistribute(redist).hash_join(
-                        DPlan::scan(view_x),
-                        spec.mid_keys2.clone(),
-                        spec.t3_keys.clone(),
-                    );
-                    head_off += 7;
+                let views = self.factors_body_views(&spec, &m_name)?;
+                if self.optimize {
+                    self.cheaper_motion_plan(views, self.factors_body_broadcast(&spec, &m_name))
+                } else {
+                    views
                 }
-                let (view_h, hkeys) = self.views.pick_with_keys(&spec.head_keys_t)?;
-                let redist =
-                    Self::permute_mid_keys(&spec.head_keys_mid, &spec.head_keys_t, &hkeys);
-                plan.redistribute(redist).hash_join(
-                    DPlan::scan(view_h),
-                    spec.head_keys_mid.clone(),
-                    spec.head_keys_t.clone(),
-                )
             }
-            MppMode::NoViews => {
-                let mut plan = DPlan::scan(&m_name).broadcast().hash_join(
-                    DPlan::scan(names::TPI),
-                    spec.m_keys1.clone(),
-                    spec.t2_keys.clone(),
-                );
-                if spec.arity == 3 {
-                    plan = plan.broadcast().hash_join(
-                        DPlan::scan(names::TPI),
-                        spec.mid_keys2.clone(),
-                        spec.t3_keys.clone(),
-                    );
-                    head_off += 7;
-                }
-                plan.broadcast().hash_join(
-                    DPlan::scan(names::TPI),
-                    spec.head_keys_mid.clone(),
-                    spec.head_keys_t.clone(),
-                )
-            }
+            MppMode::NoViews => self.factors_body_broadcast(&spec, &m_name),
         };
         let i3 = match spec.i3_col {
             Some(c) => Expr::col(c),
@@ -249,6 +268,10 @@ impl GroundingEngine for MppEngine {
         // Caps the per-segment fork-join pool; segment count still bounds
         // the effective parallelism per operator.
         self.threads = Some(threads.max(1));
+    }
+
+    fn set_optimize(&mut self, optimize: bool) {
+        self.optimize = optimize;
     }
 
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {

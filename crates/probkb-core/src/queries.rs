@@ -4,6 +4,13 @@
 //! and one `groundFactors` join (Query 2-i); `applyConstraints` is
 //! Query 3. The join-key geometry for all six patterns is derived in one
 //! place ([`JoinSpec`]) so the single-node and MPP engines cannot drift.
+//!
+//! The plans built here fix only the *logical* join sets; the binary-join
+//! chains they emit (`M_i ⋈ TΠ [⋈ TΠ]`) are what the cost-based planner
+//! (`probkb_relational::optimizer`, gated by `PROBKB_OPTIMIZE` /
+//! `GroundingConfig::optimize`) reorders and assigns build sides to from
+//! table statistics — the driver canonicalizes grounding output, so any
+//! physical order is admissible.
 
 use probkb_kb::prelude::{RulePattern, Var};
 use probkb_relational::prelude::*;

@@ -39,6 +39,7 @@ pub struct SemiNaiveEngine {
     catalog: Catalog,
     patterns: Vec<RulePattern>,
     threads: usize,
+    optimize: bool,
 }
 
 impl Default for SemiNaiveEngine {
@@ -47,6 +48,7 @@ impl Default for SemiNaiveEngine {
             catalog: Catalog::new(),
             patterns: Vec::new(),
             threads: default_threads(),
+            optimize: default_optimize(),
         }
     }
 }
@@ -63,6 +65,12 @@ impl SemiNaiveEngine {
         self
     }
 
+    /// Builder-style [`GroundingEngine::set_optimize`].
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
     /// Direct access to the underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -71,6 +79,7 @@ impl SemiNaiveEngine {
     fn run(&self, plan: &Plan) -> Result<Table> {
         Executor::new(&self.catalog)
             .with_threads(self.threads)
+            .with_optimize(self.optimize)
             .execute_table(plan)
     }
 
@@ -142,6 +151,10 @@ impl GroundingEngine for SemiNaiveEngine {
 
     fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    fn set_optimize(&mut self, optimize: bool) {
+        self.optimize = optimize;
     }
 
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {

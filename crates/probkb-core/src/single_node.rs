@@ -19,6 +19,7 @@ pub struct SingleNodeEngine {
     catalog: Catalog,
     patterns: Vec<RulePattern>,
     threads: usize,
+    optimize: bool,
 }
 
 impl Default for SingleNodeEngine {
@@ -27,6 +28,7 @@ impl Default for SingleNodeEngine {
             catalog: Catalog::new(),
             patterns: Vec::new(),
             threads: default_threads(),
+            optimize: default_optimize(),
         }
     }
 }
@@ -43,6 +45,12 @@ impl SingleNodeEngine {
         self
     }
 
+    /// Builder-style [`GroundingEngine::set_optimize`].
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
     /// Direct access to the underlying catalog (tests, lineage queries).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -51,6 +59,7 @@ impl SingleNodeEngine {
     fn run(&self, plan: &Plan) -> Result<Table> {
         Executor::new(&self.catalog)
             .with_threads(self.threads)
+            .with_optimize(self.optimize)
             .execute_table(plan)
     }
 
@@ -73,6 +82,10 @@ impl GroundingEngine for SingleNodeEngine {
 
     fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    fn set_optimize(&mut self, optimize: bool) {
+        self.optimize = optimize;
     }
 
     fn load(&mut self, rel: &RelationalKb) -> Result<()> {
@@ -313,6 +326,42 @@ mod tests {
         );
         let violators = engine.find_violators().unwrap();
         assert_eq!(violators.len(), 1);
+    }
+
+    #[test]
+    fn stats_rebuild_through_state_roundtrip() {
+        // Planner statistics must never go stale across checkpoint
+        // export/import: the imported catalog replaces every table, which
+        // invalidates cached stats, and the next lookup re-analyzes.
+        let (mut engine, _) = engine_with(
+            r#"
+            fact 0.96 born_in(RG:Writer, NYC:City)
+            fact 0.93 born_in(RG:Writer, Brooklyn:Place)
+            rule 1.40 live_in(x:Writer, y:Place) :- born_in(x, y)
+            "#,
+        );
+        let before = engine.catalog().stats_of(names::TPI).unwrap();
+        assert_eq!(before.row_count(), 2);
+
+        // Mutate after the stats were cached, then export.
+        engine
+            .insert_facts(vec![vec![
+                Value::Int(2),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Null,
+            ]])
+            .unwrap();
+        let state = engine.export_state().unwrap();
+
+        let mut resumed = SingleNodeEngine::new();
+        resumed.import_state(&state).unwrap();
+        let after = resumed.catalog().stats_of(names::TPI).unwrap();
+        assert_eq!(after.row_count(), 3);
+        assert_eq!(after.row_count(), resumed.fact_count().unwrap());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! Tables are stored behind `Arc` so scans are zero-copy snapshots; the
 //! MPP layer gives each segment its own `Catalog`.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -10,13 +11,20 @@ use probkb_support::sync::RwLock;
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
+use crate::stats::TableStats;
 use crate::table::{Row, Table};
 use crate::value::Value;
 
 /// A collection of named tables.
+///
+/// Alongside the tables themselves the catalog maintains planner
+/// statistics ([`TableStats`]): computed lazily on first use (or via
+/// [`Catalog::analyze`]), updated incrementally on inserts, and
+/// invalidated by deletes and table replacement so they rebuild fresh.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    stats: RwLock<HashMap<String, Arc<TableStats>>>,
 }
 
 impl Catalog {
@@ -32,13 +40,17 @@ impl Catalog {
         if guard.contains_key(&name) {
             return Err(Error::AlreadyExists(name));
         }
-        guard.insert(name, Arc::new(table));
+        guard.insert(name.clone(), Arc::new(table));
+        drop(guard);
+        self.stats.write().remove(&name);
         Ok(())
     }
 
     /// Register or overwrite a table.
     pub fn create_or_replace(&self, name: impl Into<String>, table: Table) {
-        self.tables.write().insert(name.into(), Arc::new(table));
+        let name = name.into();
+        self.tables.write().insert(name.clone(), Arc::new(table));
+        self.stats.write().remove(&name);
     }
 
     /// Fetch a table snapshot.
@@ -57,7 +69,9 @@ impl Catalog {
 
     /// Drop a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        let existed = self.tables.write().remove(name).is_some();
+        self.stats.write().remove(name);
+        existed
     }
 
     /// True if a table with this name exists.
@@ -84,11 +98,18 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
         let table = Arc::make_mut(slot);
-        let n = rows.len();
+        let start = table.len();
+        let mut outcome = Ok(rows.len());
         for row in rows {
-            table.push(row)?;
+            if let Err(e) = table.push(row) {
+                outcome = Err(e);
+                break;
+            }
         }
-        Ok(n)
+        let snapshot = Arc::clone(slot);
+        drop(guard);
+        self.bump_stats(name, &snapshot, start);
+        outcome
     }
 
     /// Append rows without validation (hot path for grounding merges).
@@ -98,8 +119,12 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
         let table = Arc::make_mut(slot);
+        let start = table.len();
         let n = rows.len();
         table.rows_mut().extend(rows);
+        let snapshot = Arc::clone(slot);
+        drop(guard);
+        self.bump_stats(name, &snapshot, start);
         Ok(n)
     }
 
@@ -116,7 +141,12 @@ impl Catalog {
         let slot = guard
             .get_mut(name)
             .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
-        Ok(Arc::make_mut(slot).delete_matching(cols, keys))
+        let removed = Arc::make_mut(slot).delete_matching(cols, keys);
+        drop(guard);
+        if removed > 0 {
+            self.stats.write().remove(name);
+        }
+        Ok(removed)
     }
 
     /// Deduplicate a table in place over the listed columns.
@@ -128,12 +158,56 @@ impl Catalog {
         let table = Arc::make_mut(slot);
         let before = table.len();
         table.dedup_by_cols(cols);
-        Ok(before - table.len())
+        let removed = before - table.len();
+        drop(guard);
+        if removed > 0 {
+            self.stats.write().remove(name);
+        }
+        Ok(removed)
     }
 
     /// Total approximate bytes across all tables.
     pub fn size_bytes(&self) -> usize {
         self.tables.read().values().map(|t| t.size_bytes()).sum()
+    }
+
+    /// Planner statistics for a named table, computed on first use and
+    /// cached until the table shrinks or is replaced. Returns `None` for
+    /// unknown tables.
+    pub fn stats_of(&self, name: &str) -> Option<Arc<TableStats>> {
+        if let Some(stats) = self.stats.read().get(name) {
+            return Some(Arc::clone(stats));
+        }
+        let table = self.get(name).ok()?;
+        let stats = Arc::new(TableStats::analyze(&table));
+        self.stats
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&stats));
+        Some(stats)
+    }
+
+    /// Recompute statistics for a named table from scratch (the explicit
+    /// `ANALYZE` entry point).
+    pub fn analyze(&self, name: &str) -> Result<Arc<TableStats>> {
+        let table = self.get(name)?;
+        let stats = Arc::new(TableStats::analyze(&table));
+        self.stats
+            .write()
+            .insert(name.to_string(), Arc::clone(&stats));
+        Ok(stats)
+    }
+
+    /// Incrementally fold rows `start..` of `snapshot` into cached stats.
+    /// A cache miss stays a miss — the next [`Catalog::stats_of`] will
+    /// analyze the whole table anyway.
+    fn bump_stats(&self, name: &str, snapshot: &Table, start: usize) {
+        if snapshot.len() <= start {
+            return;
+        }
+        if let Entry::Occupied(mut entry) = self.stats.write().entry(name.to_string()) {
+            Arc::make_mut(entry.get_mut()).add_rows(&snapshot.rows()[start..]);
+        }
     }
 }
 
@@ -206,5 +280,55 @@ mod tests {
         cat.create("b", table(vec![])).unwrap();
         cat.create("a", table(vec![])).unwrap();
         assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn stats_computed_on_first_use_and_bumped_on_insert() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 2, 2])).unwrap();
+        let s = cat.stats_of("t").unwrap();
+        assert_eq!(s.row_count(), 3);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 2);
+        // Inserts refresh the cached stats incrementally.
+        cat.insert_rows("t", vec![vec![Value::Int(3)]]).unwrap();
+        let s = cat.stats_of("t").unwrap();
+        assert_eq!(s.row_count(), 4);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 3);
+        assert!(cat.stats_of("missing").is_none());
+    }
+
+    #[test]
+    fn stats_never_go_stale_after_delete_or_replace() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 1, 2, 3])).unwrap();
+        assert_eq!(cat.stats_of("t").unwrap().row_count(), 4);
+        let mut keys = HashSet::new();
+        keys.insert(vec![Value::Int(1)]);
+        cat.delete_matching("t", &[0], &keys).unwrap();
+        let s = cat.stats_of("t").unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 2);
+        cat.create_or_replace("t", table(vec![9]));
+        assert_eq!(cat.stats_of("t").unwrap().row_count(), 1);
+        cat.dedup_table("t", &[0]).unwrap(); // no rows removed: cache kept
+        assert_eq!(cat.stats_of("t").unwrap().row_count(), 1);
+        assert!(cat.drop_table("t"));
+        assert!(cat.stats_of("t").is_none());
+    }
+
+    #[test]
+    fn explicit_analyze_rebuilds_from_scratch() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![])).unwrap();
+        // Edge cases: empty table, then single row, then all-duplicates.
+        assert_eq!(cat.stats_of("t").unwrap().row_count(), 0);
+        cat.insert_rows("t", vec![vec![Value::Int(5)]]).unwrap();
+        assert_eq!(cat.analyze("t").unwrap().row_count(), 1);
+        cat.insert_rows("t", vec![vec![Value::Int(5)], vec![Value::Int(5)]])
+            .unwrap();
+        let s = cat.analyze("t").unwrap();
+        assert_eq!(s.row_count(), 3);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 1);
+        assert!(cat.analyze("missing").is_err());
     }
 }

@@ -40,7 +40,8 @@ use probkb_support::sync::{default_threads, map_chunks, map_indices};
 
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
-use crate::plan::{AggExpr, AggFunc, JoinKind, Plan};
+use crate::optimizer;
+use crate::plan::{AggExpr, AggFunc, BuildSide, JoinKind, Plan};
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -52,6 +53,10 @@ pub struct ExecMetrics {
     pub description: String,
     /// Rows produced by this node.
     pub rows_out: usize,
+    /// Rows the planner estimated this node would produce, annotated
+    /// after execution so `EXPLAIN ANALYZE` can show `est=` next to
+    /// `rows=` and make misestimates visible.
+    pub est_rows: usize,
     /// Time spent in this node's own operator work, excluding children.
     pub elapsed: Duration,
     /// Wall-clock time of this node *including* its children, measured by
@@ -144,22 +149,34 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     threads: usize,
     parallel_threshold: usize,
+    optimize: bool,
 }
 
 impl<'a> Executor<'a> {
     /// Build an executor over a catalog with the process-default thread
-    /// budget (`PROBKB_THREADS`, read once; unset → serial).
+    /// budget (`PROBKB_THREADS`, read once; unset → serial) and the
+    /// process-default optimizer setting (`PROBKB_OPTIMIZE`, read once;
+    /// unset → on).
     pub fn new(catalog: &'a Catalog) -> Self {
         Executor {
             catalog,
             threads: default_threads(),
             parallel_threshold: PARALLEL_THRESHOLD,
+            optimize: optimizer::default_optimize(),
         }
     }
 
     /// Set the worker-thread budget. `0` is clamped to `1` (serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the cost-based optimizer pass for this executor.
+    /// Disabled, plans run exactly as written — the differential oracle
+    /// the plan-equivalence tests compare against.
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
         self
     }
 
@@ -185,9 +202,40 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Pick the build side for an inner join whose plan left it on `Auto`.
+    /// With the optimizer enabled this consults table statistics — the
+    /// estimated cardinality of each child plan — falling back to the
+    /// materialized row counts when no estimate is available; with the
+    /// optimizer off it is the old smaller-materialized-input heuristic.
+    fn auto_build_on_left(&self, left: &Plan, right: &Plan, lt: &Table, rt: &Table) -> bool {
+        if self.optimize {
+            if let (Ok(le), Ok(re)) = (
+                optimizer::estimate(left, self.catalog),
+                optimizer::estimate(right, self.catalog),
+            ) {
+                return le.rows <= re.rows;
+            }
+        }
+        lt.len() <= rt.len()
+    }
+
     /// Execute a plan, returning the result and per-node metrics.
+    ///
+    /// With [`Executor::with_optimize`] enabled (the default), the plan
+    /// first goes through [`optimizer::optimize`] — join reordering,
+    /// build-side selection, and filter/projection pushdown — before
+    /// execution. Either way the metrics tree is annotated with the
+    /// planner's cardinality estimates (`est_rows`).
     pub fn execute(&self, plan: &Plan) -> Result<(Table, ExecMetrics)> {
-        let (batch, metrics) = self.run(plan)?;
+        let optimized;
+        let plan = if self.optimize {
+            optimized = optimizer::optimize(plan, self.catalog);
+            &optimized
+        } else {
+            plan
+        };
+        let (batch, mut metrics) = self.run(plan)?;
+        optimizer::annotate_estimates(&mut metrics, plan, self.catalog);
         Ok((batch.into_table(), metrics))
     }
 
@@ -265,6 +313,7 @@ impl<'a> Executor<'a> {
                 left_keys,
                 right_keys,
                 kind,
+                build,
             } => {
                 if left_keys.len() != right_keys.len() {
                     return Err(Error::InvalidPlan(format!(
@@ -278,16 +327,21 @@ impl<'a> Executor<'a> {
                 let start = Instant::now();
                 let lt = lb.table();
                 let rt = rb.table();
+                let build_on_left = match build {
+                    BuildSide::Left => true,
+                    BuildSide::Right => false,
+                    BuildSide::Auto => self.auto_build_on_left(left, right, lt, rt),
+                };
                 let probe_len = match kind {
                     JoinKind::Inner => lt.len().max(rt.len()),
                     JoinKind::LeftSemi | JoinKind::LeftAnti => lt.len(),
                 };
                 let workers = self.workers_for(probe_len);
                 let (table, par) = if workers > 1 {
-                    par_hash_join(lt, rt, left_keys, right_keys, *kind, workers)
+                    par_hash_join(lt, rt, left_keys, right_keys, *kind, build_on_left, workers)
                 } else {
                     (
-                        hash_join(lt, rt, left_keys, right_keys, *kind),
+                        hash_join_build(lt, rt, left_keys, right_keys, *kind, build_on_left),
                         Par::serial(),
                     )
                 };
@@ -364,6 +418,7 @@ impl<'a> Executor<'a> {
         let metrics = ExecMetrics {
             description: plan.describe(),
             rows_out: table.len(),
+            est_rows: 0, // annotated by `execute` from the plan estimates
             elapsed: start.elapsed(),
             wall: Duration::ZERO, // set by `run` from the node-entry timer
             workers: par.workers,
@@ -378,6 +433,7 @@ fn leaf_metrics(plan: &Plan, rows_out: usize, elapsed: Duration) -> ExecMetrics 
     ExecMetrics {
         description: plan.describe(),
         rows_out,
+        est_rows: 0, // annotated by `execute` from the plan estimates
         elapsed,
         wall: Duration::ZERO, // set by `run` from the node-entry timer
         workers: 1,
@@ -483,21 +539,21 @@ fn partition_lookup<'p>(parts: &'p BuildPartitions, key: &[Value]) -> Option<&'p
     parts[p].get(key)
 }
 
-/// Morsel-driven parallel hash join. Build-side choice (smaller input for
-/// inner joins, right side for semi/anti) and NULL-key semantics match
-/// [`hash_join`]; chunk-ordered probe concatenation makes the output
-/// row-for-row identical to the serial path.
+/// Morsel-driven parallel hash join. The caller passes the inner-join
+/// build side (semi/anti always build on the right); NULL-key semantics
+/// match [`hash_join`], and chunk-ordered probe concatenation makes the
+/// output row-for-row identical to the serial path.
 fn par_hash_join(
     left: &Table,
     right: &Table,
     left_keys: &[usize],
     right_keys: &[usize],
     kind: JoinKind,
+    build_on_left: bool,
     workers: usize,
 ) -> (Table, Par) {
     match kind {
         JoinKind::Inner => {
-            let build_on_left = left.len() <= right.len();
             let (build, build_keys, probe, probe_keys) = if build_on_left {
                 (left, left_keys, right, right_keys)
             } else {
@@ -551,11 +607,13 @@ fn par_hash_join(
     }
 }
 
-/// Multi-key hash equi-join. For inner joins the hash table is built on
-/// whichever input is smaller (as a cost-based optimizer would choose) and
-/// the larger side probes; the output row layout is always
-/// `left ++ right` regardless. Rows with a NULL in any key column never
-/// match (SQL semantics).
+/// Multi-key hash equi-join with the default build-side heuristic: for
+/// inner joins the hash table is built on whichever input has fewer
+/// *materialized* rows. Note this is a fallback, not a cost-based choice —
+/// the executor's plan-aware path ([`Plan::HashJoin`]'s `build` field plus
+/// statistics-based `Auto` resolution) picks the side from cardinality
+/// estimates and only degenerates to this heuristic when no estimates
+/// exist. Rows with a NULL in any key column never match (SQL semantics).
 pub fn hash_join(
     left: &Table,
     right: &Table,
@@ -563,11 +621,33 @@ pub fn hash_join(
     right_keys: &[usize],
     kind: JoinKind,
 ) -> Table {
+    hash_join_build(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        kind,
+        left.len() <= right.len(),
+    )
+}
+
+/// [`hash_join`] with an explicit inner-join build side (`build_on_left`;
+/// ignored for semi/anti joins, which always build on the right). The
+/// output row layout is always `left ++ right` regardless of which side
+/// the hash table is built on.
+fn hash_join_build(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    build_on_left: bool,
+) -> Table {
     match kind {
         JoinKind::Inner => {
             let schema = left.schema().join(right.schema());
             let mut rows = Vec::new();
-            if left.len() <= right.len() {
+            if build_on_left {
                 // Build on the left, probe with the right.
                 let mut build: HashMap<Vec<Value>, Vec<usize>> =
                     HashMap::with_capacity(left.len());
@@ -1122,7 +1202,9 @@ mod tests {
     #[test]
     fn metrics_tree_matches_plan_shape() {
         let cat = catalog();
-        let exec = Executor::new(&cat);
+        // Optimization off: this test pins the metrics tree to the plan as
+        // written (the optimizer would push the filter below the join).
+        let exec = Executor::new(&cat).with_optimize(false);
         let plan = Plan::scan("people")
             .hash_join(Plan::scan("cities"), vec![1], vec![0])
             .filter(Expr::col(4).gt(Expr::lit(100i64)));
@@ -1149,6 +1231,7 @@ mod tests {
         let child = || ExecMetrics {
             description: "child".into(),
             rows_out: 0,
+            est_rows: 0,
             elapsed: Duration::from_millis(90),
             wall: Duration::from_millis(90),
             workers: 1,
@@ -1158,6 +1241,7 @@ mod tests {
         let parent = ExecMetrics {
             description: "parent".into(),
             rows_out: 0,
+            est_rows: 0,
             elapsed: Duration::from_millis(10),
             wall: Duration::from_millis(100),
             workers: 2,

@@ -41,12 +41,14 @@ pub fn fmt_duration(d: Duration) -> String {
 
 /// Render execution metrics as an annotated tree (EXPLAIN ANALYZE).
 ///
-/// Nodes executed by the morsel-driven parallel path additionally show
-/// the worker count and each worker's busy time, Greenplum-style (the
-/// per-segment breakdown Figure 4's plans imply):
+/// Every node shows actual rows next to the planner's estimate (`est=`),
+/// so cardinality misestimates are visible at a glance. Nodes executed by
+/// the morsel-driven parallel path additionally show the worker count and
+/// each worker's busy time, Greenplum-style (the per-segment breakdown
+/// Figure 4's plans imply):
 ///
 /// ```text
-/// Hash Join on left[0] = right[0]  (rows=600, time=1.20ms, workers=4 [0.3ms 0.3ms 0.3ms 0.3ms])
+/// Hash Join on left[0] = right[0]  (rows=600, est=600, time=1.20ms, workers=4 [0.3ms 0.3ms 0.3ms 0.3ms])
 /// ```
 pub fn explain_analyze(metrics: &ExecMetrics) -> String {
     let mut out = String::new();
@@ -56,9 +58,10 @@ pub fn explain_analyze(metrics: &ExecMetrics) -> String {
             out.push_str("-> ");
         }
         out.push_str(&format!(
-            "{}  (rows={}, time={}",
+            "{}  (rows={}, est={}, time={}",
             node.description,
             node.rows_out,
+            node.est_rows,
             fmt_duration(node.elapsed)
         ));
         if node.workers > 1 {
@@ -110,6 +113,7 @@ mod tests {
         let text = explain_analyze(&metrics);
         assert!(text.contains("HashDistinct"));
         assert!(text.contains("rows=2"));
+        assert!(text.contains("est=2"));
         assert!(text.contains("time="));
     }
 

@@ -47,8 +47,10 @@ pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod index;
+pub mod optimizer;
 pub mod plan;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -60,8 +62,10 @@ pub mod prelude {
     pub use crate::explain::{explain, explain_analyze, fmt_duration};
     pub use crate::expr::{BinOp, Expr};
     pub use crate::index::HashIndex;
-    pub use crate::plan::{AggExpr, AggFunc, JoinKind, Plan};
+    pub use crate::optimizer::{default_optimize, estimate, optimize, Estimate, StatsSource};
+    pub use crate::plan::{AggExpr, AggFunc, BuildSide, JoinKind, Plan};
     pub use crate::schema::{Column, Schema};
+    pub use crate::stats::{ColumnStats, TableStats};
     pub use crate::table::{Row, Table};
     pub use crate::value::{DataType, Value};
 }

@@ -1,0 +1,1156 @@
+//! Cost-based plan optimization over table statistics.
+//!
+//! The paper leans on PostgreSQL/Greenplum's optimizer to pick good join
+//! plans for each structural rule partition; this module is our stand-in.
+//! It consists of:
+//!
+//! * a **cardinality estimator** ([`estimate`]) over [`crate::plan::Plan`]
+//!   trees, driven by the [`crate::stats`] kept fresh by the catalog —
+//!   equality selectivity via most-common-value sketches, join output via
+//!   distinct counts;
+//! * a **cost model** ([`cost`]): every operator pays its input and output
+//!   cardinalities, so plans with smaller intermediates win;
+//! * an **optimizer pass** ([`optimize`]) that reorders inner-join chains
+//!   (exhaustive for ≤ 4 relations, greedy beyond), fixes each join's
+//!   build side from estimates ([`crate::plan::BuildSide`]), pushes
+//!   single-side filters below joins, and prunes unused columns out of
+//!   join inputs when a column projection sits on top of a chain.
+//!
+//! The pass is **semantics-preserving and fail-safe**: any estimation
+//! error falls back to the original plan, reordered chains are wrapped in
+//! a restoring projection so the output schema (column order *and* names)
+//! is unchanged, and everything is a pure function of the plan and the
+//! (deterministic) statistics, so optimized runs are reproducible.
+//!
+//! Gating: [`default_optimize`] reads `PROBKB_OPTIMIZE` once per process
+//! (default **on**); the unoptimized path stays available as a
+//! differential oracle.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::exec::ExecMetrics;
+use crate::expr::{BinOp, Expr};
+use crate::plan::{BuildSide, JoinKind, Plan};
+use crate::schema::Schema;
+use crate::stats::TableStats;
+use crate::value::Value;
+
+/// Process-wide default for the cost-based optimizer, read **once** from
+/// the `PROBKB_OPTIMIZE` environment variable and cached. Unset or
+/// unparsable means **enabled**; `0`, `false`, `off`, or `no` disable it,
+/// keeping the hand-written plans as a differential oracle. Callers that
+/// need a different setting mid-process (differential tests) should use
+/// an explicit override such as `Executor::with_optimize`.
+pub fn default_optimize() -> bool {
+    static OPTIMIZE: OnceLock<bool> = OnceLock::new();
+    *OPTIMIZE.get_or_init(|| {
+        match std::env::var("PROBKB_OPTIMIZE") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                !matches!(v.as_str(), "0" | "false" | "off" | "no")
+            }
+            Err(_) => true,
+        }
+    })
+}
+
+/// Where the estimator finds statistics and schemas for base tables.
+///
+/// The single-node path implements this with [`Catalog`]; the MPP layer
+/// implements it on its cluster handle by merging per-segment statistics
+/// into cluster-wide ones.
+pub trait StatsSource {
+    /// Statistics for a named base table, if available.
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>>;
+    /// Schema of a named base table.
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+}
+
+impl StatsSource for Catalog {
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.stats_of(name)
+    }
+
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.schema_of(name)
+    }
+}
+
+/// Row estimate for a scan of a table the estimator knows nothing about.
+const DEFAULT_UNKNOWN_ROWS: f64 = 1000.0;
+/// Fallback equality selectivity when neither side is a plain column.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Selectivity of `<`, `<=`, `>`, `>=` (the classic planner constant).
+const INEQ_SEL: f64 = 1.0 / 3.0;
+
+/// Estimated statistics for one output column of a plan node.
+#[derive(Debug, Clone)]
+pub struct ColEst {
+    /// Estimated distinct non-null values.
+    pub distinct: f64,
+    /// Estimated fraction of NULL values.
+    pub null_frac: f64,
+    /// Most-common values as `(value, fraction of rows)`.
+    pub mcvs: Vec<(Value, f64)>,
+}
+
+impl ColEst {
+    /// A column the estimator knows nothing about beyond the row count.
+    fn opaque(rows: f64) -> ColEst {
+        ColEst {
+            distinct: rows.max(0.0),
+            null_frac: 0.0,
+            mcvs: Vec::new(),
+        }
+    }
+
+    /// Cap the distinct count by a (smaller) row count.
+    fn capped(mut self, rows: f64) -> ColEst {
+        self.distinct = self.distinct.min(rows.max(0.0));
+        self
+    }
+}
+
+/// A cardinality estimate for one plan node's output.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Per-column estimates, in output order.
+    pub cols: Vec<ColEst>,
+}
+
+impl Estimate {
+    /// Number of output columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn from_stats(stats: &TableStats) -> Estimate {
+        let rows = stats.row_count() as f64;
+        let cols = (0..stats.width())
+            .map(|i| {
+                let c = stats.column(i).expect("column within width");
+                ColEst {
+                    distinct: c.distinct_count() as f64,
+                    null_frac: if rows > 0.0 {
+                        c.null_count() as f64 / rows
+                    } else {
+                        0.0
+                    },
+                    mcvs: c
+                        .most_common()
+                        .into_iter()
+                        .map(|(v, n)| (v, n as f64 / rows.max(1.0)))
+                        .collect(),
+                }
+            })
+            .collect();
+        Estimate { rows, cols }
+    }
+
+    fn unknown(width: usize) -> Estimate {
+        Estimate {
+            rows: DEFAULT_UNKNOWN_ROWS,
+            cols: (0..width)
+                .map(|_| ColEst::opaque(DEFAULT_UNKNOWN_ROWS))
+                .collect(),
+        }
+    }
+
+    fn scaled(&self, rows: f64) -> Estimate {
+        let rows = rows.max(0.0);
+        Estimate {
+            rows,
+            cols: self.cols.iter().map(|c| c.clone().capped(rows)).collect(),
+        }
+    }
+}
+
+/// Estimate the output cardinality (and per-column statistics) of a plan.
+pub fn estimate(plan: &Plan, src: &dyn StatsSource) -> Result<Estimate> {
+    match plan {
+        Plan::Scan { table } => match src.table_stats(table) {
+            Some(stats) => Ok(Estimate::from_stats(&stats)),
+            None => Ok(Estimate::unknown(src.table_schema(table)?.width())),
+        },
+        Plan::Values { table } => Ok(Estimate::from_stats(&TableStats::analyze(table))),
+        Plan::Filter { input, predicate } => {
+            let child = estimate(input, src)?;
+            let sel = selectivity(predicate, &child);
+            Ok(child.scaled(child.rows * sel))
+        }
+        Plan::Project { input, exprs } => {
+            let child = estimate(input, src)?;
+            let rows = child.rows;
+            let cols = exprs
+                .iter()
+                .map(|(e, _)| match e {
+                    Expr::Col(i) => child
+                        .cols
+                        .get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| ColEst::opaque(rows)),
+                    Expr::Lit(v) => ColEst {
+                        distinct: if v.is_null() { 0.0 } else { 1.0 },
+                        null_frac: if v.is_null() { 1.0 } else { 0.0 },
+                        mcvs: if v.is_null() {
+                            Vec::new()
+                        } else {
+                            vec![(v.clone(), 1.0)]
+                        },
+                    },
+                    _ => ColEst::opaque(rows),
+                })
+                .collect();
+            Ok(Estimate { rows, cols })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            ..
+        } => {
+            let l = estimate(left, src)?;
+            let r = estimate(right, src)?;
+            Ok(estimate_join(&l, &r, left_keys, right_keys, *kind))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let child = estimate(input, src)?;
+            let rows = if group_by.is_empty() {
+                1.0
+            } else {
+                let groups: f64 = group_by
+                    .iter()
+                    .map(|&g| {
+                        child
+                            .cols
+                            .get(g)
+                            .map(|c| c.distinct.max(1.0))
+                            .unwrap_or(1.0)
+                    })
+                    .product();
+                groups.min(child.rows)
+            };
+            let mut cols: Vec<ColEst> = group_by
+                .iter()
+                .map(|&g| {
+                    child
+                        .cols
+                        .get(g)
+                        .cloned()
+                        .unwrap_or_else(|| ColEst::opaque(rows))
+                        .capped(rows)
+                })
+                .collect();
+            cols.extend(aggs.iter().map(|_| ColEst::opaque(rows)));
+            Ok(Estimate { rows, cols })
+        }
+        Plan::Distinct { input } => {
+            let child = estimate(input, src)?;
+            let combos: f64 = child.cols.iter().map(|c| c.distinct.max(1.0)).product();
+            Ok(child.scaled(combos.min(child.rows)))
+        }
+        Plan::UnionAll { left, right } => {
+            let l = estimate(left, src)?;
+            let r = estimate(right, src)?;
+            let rows = l.rows + r.rows;
+            let cols = l
+                .cols
+                .iter()
+                .zip(r.cols.iter())
+                .map(|(a, b)| ColEst {
+                    distinct: (a.distinct + b.distinct).min(rows),
+                    null_frac: if rows > 0.0 {
+                        (a.null_frac * l.rows + b.null_frac * r.rows) / rows
+                    } else {
+                        0.0
+                    },
+                    mcvs: Vec::new(),
+                })
+                .collect();
+            Ok(Estimate { rows, cols })
+        }
+        Plan::Sort { input, .. } => estimate(input, src),
+        Plan::Limit { input, n } => {
+            let child = estimate(input, src)?;
+            Ok(child.scaled(child.rows.min(*n as f64)))
+        }
+    }
+}
+
+fn estimate_join(
+    l: &Estimate,
+    r: &Estimate,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+) -> Estimate {
+    let mut sel = 1.0f64;
+    let mut containment = 1.0f64;
+    for (&a, &b) in left_keys.iter().zip(right_keys.iter()) {
+        let ld = l.cols.get(a).map(|c| c.distinct).unwrap_or(l.rows).max(1.0);
+        let rd = r.cols.get(b).map(|c| c.distinct).unwrap_or(r.rows).max(1.0);
+        sel /= ld.max(rd);
+        containment *= (rd / ld).min(1.0);
+    }
+    match kind {
+        JoinKind::Inner => {
+            let rows = (l.rows * r.rows * sel).max(0.0);
+            let mut cols: Vec<ColEst> =
+                l.cols.iter().map(|c| c.clone().capped(rows)).collect();
+            cols.extend(r.cols.iter().map(|c| c.clone().capped(rows)));
+            Estimate { rows, cols }
+        }
+        JoinKind::LeftSemi => l.scaled(l.rows * containment),
+        JoinKind::LeftAnti => l.scaled(l.rows * (1.0 - containment)),
+    }
+}
+
+/// Estimated fraction of input rows a predicate keeps.
+fn selectivity(pred: &Expr, input: &Estimate) -> f64 {
+    let s = match pred {
+        Expr::Lit(v) => {
+            if v.is_truthy() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Col(_) => 0.5,
+        Expr::Not(inner) => 1.0 - selectivity(inner, input),
+        Expr::IsNull(inner) => match inner.as_ref() {
+            Expr::Col(i) => input.cols.get(*i).map(|c| c.null_frac).unwrap_or(0.1),
+            _ => 0.1,
+        },
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::And => selectivity(lhs, input) * selectivity(rhs, input),
+            BinOp::Or => {
+                let a = selectivity(lhs, input);
+                let b = selectivity(rhs, input);
+                a + b - a * b
+            }
+            BinOp::Eq => eq_selectivity(lhs, rhs, input),
+            BinOp::Ne => 1.0 - eq_selectivity(lhs, rhs, input),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => INEQ_SEL,
+            BinOp::Add | BinOp::Sub | BinOp::Mul => 0.5,
+        },
+    };
+    s.clamp(0.0, 1.0)
+}
+
+fn eq_selectivity(lhs: &Expr, rhs: &Expr, input: &Estimate) -> f64 {
+    match (lhs, rhs) {
+        (Expr::Col(i), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(i)) => {
+            col_eq_lit(input.cols.get(*i), v)
+        }
+        (Expr::Col(i), Expr::Col(j)) => {
+            let di = input.cols.get(*i).map(|c| c.distinct).unwrap_or(1.0).max(1.0);
+            let dj = input.cols.get(*j).map(|c| c.distinct).unwrap_or(1.0).max(1.0);
+            1.0 / di.max(dj)
+        }
+        _ => DEFAULT_EQ_SEL,
+    }
+}
+
+/// `col = literal` selectivity: exact MCV frequency when the literal is in
+/// the sketch, otherwise the residual mass spread over the residual
+/// distinct values (the PostgreSQL formula).
+fn col_eq_lit(col: Option<&ColEst>, v: &Value) -> f64 {
+    let Some(col) = col else {
+        return DEFAULT_EQ_SEL;
+    };
+    if v.is_null() {
+        return 0.0; // `= NULL` never matches
+    }
+    if let Some((_, frac)) = col.mcvs.iter().find(|(mv, _)| mv == v) {
+        return *frac;
+    }
+    let mcv_mass: f64 = col.mcvs.iter().map(|(_, f)| f).sum();
+    let rest = (1.0 - mcv_mass - col.null_frac).max(0.0);
+    let rest_distinct = (col.distinct - col.mcvs.len() as f64).max(1.0);
+    rest / rest_distinct
+}
+
+/// Additive cost of a plan: every operator pays its estimated input and
+/// output cardinalities. Absolute numbers are meaningless; only the
+/// ordering between candidate plans matters.
+pub fn cost(plan: &Plan, src: &dyn StatsSource) -> Result<f64> {
+    let mut total = estimate(plan, src)?.rows;
+    for child in plan.children() {
+        total += estimate(child, src)?.rows;
+        total += cost(child, src)?;
+    }
+    Ok(total)
+}
+
+/// Fill the `est_rows` field of an [`ExecMetrics`] tree from the plan that
+/// produced it, so `EXPLAIN ANALYZE` can print `est=` next to `rows=`.
+/// The metrics tree mirrors the plan tree node for node.
+pub fn annotate_estimates(metrics: &mut ExecMetrics, plan: &Plan, src: &dyn StatsSource) {
+    if let Ok(est) = estimate(plan, src) {
+        metrics.est_rows = est.rows.round() as usize;
+    }
+    for (m, p) in metrics.children.iter_mut().zip(plan.children()) {
+        annotate_estimates(m, p, src);
+    }
+}
+
+/// Optimize a plan against the statistics in `src`.
+///
+/// Semantics-preserving by construction: reordered join chains are wrapped
+/// in a projection restoring the original column order and names, and any
+/// estimation failure falls back to the input plan unchanged.
+pub fn optimize(plan: &Plan, src: &dyn StatsSource) -> Plan {
+    try_optimize(plan, src).unwrap_or_else(|_| plan.clone())
+}
+
+fn is_inner_join(plan: &Plan) -> bool {
+    matches!(
+        plan,
+        Plan::HashJoin {
+            kind: JoinKind::Inner,
+            ..
+        }
+    )
+}
+
+fn try_optimize(plan: &Plan, src: &dyn StatsSource) -> Result<Plan> {
+    match plan {
+        // A pure-column projection over a join chain: fuse it into the
+        // chain rewrite so unused leaf columns can be pruned.
+        Plan::Project { input, exprs }
+            if is_inner_join(input) && exprs.iter().all(|(e, _)| matches!(e, Expr::Col(_))) =>
+        {
+            rewrite_chain(input, Some(exprs), src)
+        }
+        // A filter over a join: push single-side conjuncts below the join.
+        Plan::Filter { input, predicate } if is_inner_join(input) => {
+            push_filter(input, predicate, src)
+        }
+        Plan::HashJoin {
+            kind: JoinKind::Inner,
+            ..
+        } => rewrite_chain(plan, None, src),
+        Plan::Scan { .. } | Plan::Values { .. } => Ok(plan.clone()),
+        Plan::Filter { input, predicate } => Ok(Plan::Filter {
+            input: Box::new(try_optimize(input, src)?),
+            predicate: predicate.clone(),
+        }),
+        Plan::Project { input, exprs } => Ok(Plan::Project {
+            input: Box::new(try_optimize(input, src)?),
+            exprs: exprs.clone(),
+        }),
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            build,
+        } => Ok(Plan::HashJoin {
+            left: Box::new(try_optimize(left, src)?),
+            right: Box::new(try_optimize(right, src)?),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            kind: *kind,
+            build: *build,
+        }),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(Plan::Aggregate {
+            input: Box::new(try_optimize(input, src)?),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        }),
+        Plan::Distinct { input } => Ok(Plan::Distinct {
+            input: Box::new(try_optimize(input, src)?),
+        }),
+        Plan::UnionAll { left, right } => Ok(Plan::UnionAll {
+            left: Box::new(try_optimize(left, src)?),
+            right: Box::new(try_optimize(right, src)?),
+        }),
+        Plan::Sort { input, keys } => Ok(Plan::Sort {
+            input: Box::new(try_optimize(input, src)?),
+            keys: keys.clone(),
+        }),
+        Plan::Limit { input, n } => Ok(Plan::Limit {
+            input: Box::new(try_optimize(input, src)?),
+            n: *n,
+        }),
+    }
+}
+
+fn collect_cols(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Col(i) => out.push(*i),
+        Expr::Lit(_) => {}
+        Expr::Not(x) | Expr::IsNull(x) => collect_cols(x, out),
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_cols(lhs, out);
+            collect_cols(rhs, out);
+        }
+    }
+}
+
+fn shift_cols(e: &Expr, by: usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(i - by),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Not(x) => Expr::Not(Box::new(shift_cols(x, by))),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(shift_cols(x, by))),
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op: *op,
+            lhs: Box::new(shift_cols(lhs, by)),
+            rhs: Box::new(shift_cols(rhs, by)),
+        },
+    }
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Bin {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Push the single-side conjuncts of `predicate` below an inner join,
+/// then optimize the resulting join chain. Conjuncts referencing both
+/// sides (or nothing resolvable) stay above the join.
+fn push_filter(join: &Plan, predicate: &Expr, src: &dyn StatsSource) -> Result<Plan> {
+    let Plan::HashJoin {
+        left,
+        right,
+        left_keys,
+        right_keys,
+        kind,
+        build,
+    } = join
+    else {
+        return Err(Error::InvalidPlan("push_filter expects a join".into()));
+    };
+    let lookup = |n: &str| src.table_schema(n);
+    let lw = left.schema(&lookup)?.width();
+    let total = lw + right.schema(&lookup)?.width();
+
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate, &mut conjuncts);
+    let (mut l_push, mut r_push, mut keep) = (Vec::new(), Vec::new(), Vec::new());
+    for c in conjuncts {
+        let mut cols = Vec::new();
+        collect_cols(&c, &mut cols);
+        if cols.iter().any(|&i| i >= total) {
+            keep.push(c); // out-of-range reference: leave it to fail at eval
+        } else if cols.iter().all(|&i| i < lw) {
+            l_push.push(c);
+        } else if cols.iter().all(|&i| i >= lw) {
+            r_push.push(shift_cols(&c, lw));
+        } else {
+            keep.push(c);
+        }
+    }
+
+    if l_push.is_empty() && r_push.is_empty() {
+        // Nothing moves; optimize the chain and keep the filter on top.
+        let inner = rewrite_chain(join, None, src)?;
+        return Ok(inner.filter(predicate.clone()));
+    }
+    let new_left = if l_push.is_empty() {
+        (**left).clone()
+    } else {
+        (**left).clone().filter(Expr::conjunction(l_push))
+    };
+    let new_right = if r_push.is_empty() {
+        (**right).clone()
+    } else {
+        (**right).clone().filter(Expr::conjunction(r_push))
+    };
+    let pushed = Plan::HashJoin {
+        left: Box::new(new_left),
+        right: Box::new(new_right),
+        left_keys: left_keys.clone(),
+        right_keys: right_keys.clone(),
+        kind: *kind,
+        build: *build,
+    };
+    let inner = rewrite_chain(&pushed, None, src)?;
+    Ok(if keep.is_empty() {
+        inner
+    } else {
+        inner.filter(Expr::conjunction(keep))
+    })
+}
+
+/// One leaf of a flattened inner-join chain.
+struct Leaf {
+    plan: Plan,
+    est: Estimate,
+    width: usize,
+}
+
+/// An equi-join predicate between two leaves, in leaf-local coordinates.
+struct ChainPred {
+    a_leaf: usize,
+    a_col: usize,
+    b_leaf: usize,
+    b_col: usize,
+}
+
+fn flatten(
+    plan: &Plan,
+    src: &dyn StatsSource,
+    leaves: &mut Vec<Leaf>,
+    preds: &mut Vec<ChainPred>,
+) -> Result<()> {
+    match plan {
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind: JoinKind::Inner,
+            ..
+        } => {
+            if left_keys.len() != right_keys.len() {
+                // Leave malformed plans untouched so execution still
+                // reports the arity error instead of silently "fixing" it.
+                return Err(Error::InvalidPlan("join key arity mismatch".into()));
+            }
+            let l_start = leaves.len();
+            flatten(left, src, leaves, preds)?;
+            let l_end = leaves.len();
+            flatten(right, src, leaves, preds)?;
+            for (&lk, &rk) in left_keys.iter().zip(right_keys.iter()) {
+                let (al, ac) = locate(leaves, l_start, l_end, lk)?;
+                let (bl, bc) = locate(leaves, l_end, leaves.len(), rk)?;
+                preds.push(ChainPred {
+                    a_leaf: al,
+                    a_col: ac,
+                    b_leaf: bl,
+                    b_col: bc,
+                });
+            }
+            Ok(())
+        }
+        _ => {
+            let optimized = try_optimize(plan, src)?;
+            let est = estimate(&optimized, src)?;
+            let width = est.cols.len();
+            leaves.push(Leaf {
+                plan: optimized,
+                est,
+                width,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Map a column index local to a subtree's concatenated output onto the
+/// owning leaf and its local column.
+fn locate(leaves: &[Leaf], start: usize, end: usize, mut col: usize) -> Result<(usize, usize)> {
+    for (idx, leaf) in leaves[start..end].iter().enumerate() {
+        if col < leaf.width {
+            return Ok((start + idx, col));
+        }
+        col -= leaf.width;
+    }
+    Err(Error::InvalidPlan("join key column out of range".into()))
+}
+
+fn distinct_of(leaves: &[Leaf], leaf: usize, col: usize) -> f64 {
+    leaves[leaf]
+        .est
+        .cols
+        .get(col)
+        .map(|c| c.distinct)
+        .unwrap_or(leaves[leaf].est.rows)
+}
+
+/// The key pairs and selectivity of joining leaf `j` onto a chain.
+struct Step {
+    /// `((chain_leaf, chain_col), (j, j_col))` per applicable predicate,
+    /// in original predicate order.
+    pairs: Vec<((usize, usize), (usize, usize))>,
+    sel: f64,
+}
+
+fn join_step(
+    leaves: &[Leaf],
+    preds: &[ChainPred],
+    in_chain: &[bool],
+    j: usize,
+    chain_rows: f64,
+) -> Step {
+    let leaf_rows = leaves[j].est.rows;
+    let mut pairs = Vec::new();
+    let mut sel = 1.0f64;
+    for p in preds {
+        let (chain_end, leaf_end) = if in_chain[p.a_leaf] && p.b_leaf == j {
+            ((p.a_leaf, p.a_col), (p.b_leaf, p.b_col))
+        } else if in_chain[p.b_leaf] && p.a_leaf == j {
+            ((p.b_leaf, p.b_col), (p.a_leaf, p.a_col))
+        } else {
+            continue;
+        };
+        let dc = distinct_of(leaves, chain_end.0, chain_end.1)
+            .min(chain_rows)
+            .max(1.0);
+        let dl = distinct_of(leaves, leaf_end.0, leaf_end.1)
+            .min(leaf_rows)
+            .max(1.0);
+        sel /= dc.max(dl);
+        pairs.push((chain_end, leaf_end));
+    }
+    Step { pairs, sel }
+}
+
+/// Cost of executing the chain in the given leaf order: each step pays the
+/// build side, the probe side, and the output.
+fn simulate(order: &[usize], leaves: &[Leaf], preds: &[ChainPred]) -> f64 {
+    let mut in_chain = vec![false; leaves.len()];
+    in_chain[order[0]] = true;
+    let mut rows = leaves[order[0]].est.rows;
+    let mut cost = 0.0;
+    for &j in &order[1..] {
+        let step = join_step(leaves, preds, &in_chain, j, rows);
+        let leaf_rows = leaves[j].est.rows;
+        let out = rows * leaf_rows * step.sel;
+        cost += rows.min(leaf_rows) + rows.max(leaf_rows) + out;
+        rows = out;
+        in_chain[j] = true;
+    }
+    cost
+}
+
+fn next_permutation(arr: &mut [usize]) -> bool {
+    if arr.len() < 2 {
+        return false;
+    }
+    let mut i = arr.len() - 1;
+    while i > 0 && arr[i - 1] >= arr[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = arr.len() - 1;
+    while arr[j] <= arr[i - 1] {
+        j -= 1;
+    }
+    arr.swap(i - 1, j);
+    arr[i..].reverse();
+    true
+}
+
+/// Exhaustive left-deep order search. Permutations are visited in
+/// lexicographic order starting from the identity, and only a strictly
+/// cheaper order replaces the incumbent — cost ties keep the original
+/// plan's order, which keeps EXPLAIN output stable.
+fn exhaustive_order(leaves: &[Leaf], preds: &[ChainPred]) -> Vec<usize> {
+    let n = leaves.len();
+    let mut best: Vec<usize> = (0..n).collect();
+    let mut best_cost = simulate(&best, leaves, preds);
+    let mut perm: Vec<usize> = (0..n).collect();
+    while next_permutation(&mut perm) {
+        let c = simulate(&perm, leaves, preds);
+        if c < best_cost {
+            best_cost = c;
+            best = perm.clone();
+        }
+    }
+    best
+}
+
+fn connected(preds: &[ChainPred], set: &[usize], j: usize) -> bool {
+    preds.iter().any(|p| {
+        (p.a_leaf == j && set.contains(&p.b_leaf)) || (p.b_leaf == j && set.contains(&p.a_leaf))
+    })
+}
+
+/// Greedy left-deep order for chains of more than four relations: seed
+/// with the cheapest connected pair, then repeatedly append the connected
+/// leaf with the cheapest resulting chain. Falls back to the original
+/// order if the join graph is disconnected.
+fn greedy_order(leaves: &[Leaf], preds: &[ChainPred]) -> Vec<usize> {
+    let n = leaves.len();
+    let identity: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || !connected(preds, &[i], j) {
+                continue;
+            }
+            let c = simulate(&[i, j], leaves, preds);
+            if c < best_cost {
+                best_cost = c;
+                order = vec![i, j];
+            }
+        }
+    }
+    if order.is_empty() {
+        return identity;
+    }
+    let mut used = vec![false; n];
+    used[order[0]] = true;
+    used[order[1]] = true;
+    while order.len() < n {
+        let mut pick: Option<(f64, usize)> = None;
+        for j in 0..n {
+            if used[j] || !connected(preds, &order, j) {
+                continue;
+            }
+            let mut cand = order.clone();
+            cand.push(j);
+            let c = simulate(&cand, leaves, preds);
+            if pick.as_ref().is_none_or(|(pc, _)| c < *pc) {
+                pick = Some((c, j));
+            }
+        }
+        let Some((_, j)) = pick else {
+            return identity; // disconnected graph: keep the original order
+        };
+        order.push(j);
+        used[j] = true;
+    }
+    order
+}
+
+/// Rewrite an inner-join chain: flatten, pick an order, prune unused leaf
+/// columns when a projection is fused in, rebuild left-deep with
+/// stats-chosen build sides, and restore the original output columns.
+fn rewrite_chain(
+    join: &Plan,
+    fused: Option<&Vec<(Expr, String)>>,
+    src: &dyn StatsSource,
+) -> Result<Plan> {
+    let mut leaves = Vec::new();
+    let mut preds = Vec::new();
+    flatten(join, src, &mut leaves, &mut preds)?;
+    let n = leaves.len();
+    if n < 2 {
+        return Err(Error::InvalidPlan(
+            "join chain with fewer than two inputs".into(),
+        ));
+    }
+
+    let order: Vec<usize> = if n <= 2 {
+        // Two inputs: both orders cost the same under this model, so keep
+        // the original; only the build side is (re)chosen below.
+        (0..n).collect()
+    } else if n <= 4 {
+        exhaustive_order(&leaves, &preds)
+    } else {
+        greedy_order(&leaves, &preds)
+    };
+
+    // Offsets of each leaf in the ORIGINAL concatenated output.
+    let mut leaf_offset = Vec::with_capacity(n);
+    let mut total_width = 0usize;
+    for leaf in &leaves {
+        leaf_offset.push(total_width);
+        total_width += leaf.width;
+    }
+    let locate_global = |g: usize| -> Result<(usize, usize)> { locate(&leaves, 0, n, g) };
+
+    // Which leaf columns survive pruning (all of them without fusion).
+    let mut needed: Vec<Vec<bool>> = leaves
+        .iter()
+        .map(|l| vec![fused.is_none(); l.width])
+        .collect();
+    if let Some(exprs) = fused {
+        for p in &preds {
+            needed[p.a_leaf][p.a_col] = true;
+            needed[p.b_leaf][p.b_col] = true;
+        }
+        for (e, _) in exprs {
+            let Expr::Col(g) = e else {
+                return Err(Error::InvalidPlan("fused projection must be columns".into()));
+            };
+            let (l, c) = locate_global(*g)?;
+            needed[l][c] = true;
+        }
+    }
+
+    // Prune leaves, building old-local → new-local column remaps.
+    let lookup = |nm: &str| src.table_schema(nm);
+    let mut pruned: Vec<Plan> = Vec::with_capacity(n);
+    let mut pruned_width: Vec<usize> = Vec::with_capacity(n);
+    let mut remap: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (i, leaf) in leaves.iter().enumerate() {
+        let mut kept: Vec<usize> = (0..leaf.width).filter(|&c| needed[i][c]).collect();
+        if kept.is_empty() {
+            kept.push(0); // degenerate leaf: keep one column so rows survive
+        }
+        let mut map = vec![usize::MAX; leaf.width];
+        for (pos, &c) in kept.iter().enumerate() {
+            map[c] = pos;
+        }
+        if kept.len() == leaf.width {
+            pruned.push(leaf.plan.clone());
+        } else {
+            let schema = leaf.plan.schema(&lookup)?;
+            let names = schema.names();
+            let kept_names: Vec<&str> = kept.iter().map(|&c| names[c]).collect();
+            pruned.push(leaf.plan.clone().project_cols(&kept, &kept_names));
+        }
+        pruned_width.push(kept.len());
+        remap.push(map);
+    }
+
+    // Rebuild the chain left-deep in the chosen order.
+    let mut chain_plan = pruned[order[0]].clone();
+    let mut chain_rows = leaves[order[0]].est.rows;
+    let mut chain_offsets: HashMap<usize, usize> = HashMap::new();
+    chain_offsets.insert(order[0], 0);
+    let mut chain_width = pruned_width[order[0]];
+    let mut in_chain = vec![false; n];
+    in_chain[order[0]] = true;
+    for &j in &order[1..] {
+        let step = join_step(&leaves, &preds, &in_chain, j, chain_rows);
+        let mut lks = Vec::with_capacity(step.pairs.len());
+        let mut rks = Vec::with_capacity(step.pairs.len());
+        for ((cl, cc), (_, jc)) in &step.pairs {
+            lks.push(chain_offsets[cl] + remap[*cl][*cc]);
+            rks.push(remap[j][*jc]);
+        }
+        let leaf_rows = leaves[j].est.rows;
+        let build = if chain_rows <= leaf_rows {
+            BuildSide::Left
+        } else {
+            BuildSide::Right
+        };
+        chain_plan = Plan::HashJoin {
+            left: Box::new(chain_plan),
+            right: Box::new(pruned[j].clone()),
+            left_keys: lks,
+            right_keys: rks,
+            kind: JoinKind::Inner,
+            build,
+        };
+        chain_rows *= leaf_rows * step.sel;
+        chain_offsets.insert(j, chain_width);
+        chain_width += pruned_width[j];
+        in_chain[j] = true;
+    }
+
+    // Output projection.
+    match fused {
+        Some(exprs) => {
+            let mut out_exprs = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                let Expr::Col(g) = e else {
+                    return Err(Error::InvalidPlan("fused projection must be columns".into()));
+                };
+                let (l, c) = locate_global(*g)?;
+                out_exprs.push((Expr::col(chain_offsets[&l] + remap[l][c]), name.clone()));
+            }
+            Ok(Plan::Project {
+                input: Box::new(chain_plan),
+                exprs: out_exprs,
+            })
+        }
+        None => {
+            let identity = order.iter().enumerate().all(|(i, &x)| i == x);
+            if identity {
+                return Ok(chain_plan); // no columns moved: no restoration needed
+            }
+            let orig_schema = join.schema(&lookup)?;
+            let names = orig_schema.names();
+            let mut out_exprs = Vec::with_capacity(total_width);
+            for (g, name) in names.iter().enumerate().take(total_width) {
+                let (l, c) = locate_global(g)?;
+                out_exprs.push((Expr::col(chain_offsets[&l] + remap[l][c]), name.to_string()));
+            }
+            Ok(Plan::Project {
+                input: Box::new(chain_plan),
+                exprs: out_exprs,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::explain;
+    use crate::table::Table;
+
+    fn ints(name: &str, cat: &Catalog, cols: &[&str], rows: Vec<Vec<i64>>) {
+        let t = Table::from_rows_unchecked(
+            Schema::ints(cols),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        );
+        cat.create(name, t).unwrap();
+    }
+
+    /// a: 100 rows, b: 200 rows, c: 2 rows; a joins b on k1 and c on k2.
+    fn chain_catalog() -> Catalog {
+        let cat = Catalog::new();
+        ints(
+            "a",
+            &cat,
+            &["k1", "k2", "v"],
+            (0..100).map(|i| vec![i % 10, i % 5, i]).collect(),
+        );
+        ints(
+            "b",
+            &cat,
+            &["k", "w"],
+            (0..200).map(|i| vec![i % 10, i]).collect(),
+        );
+        ints("c", &cat, &["k", "u"], vec![vec![0, 77], vec![1, 88]]);
+        cat
+    }
+
+    fn chain_plan() -> Plan {
+        Plan::scan("a")
+            .hash_join(Plan::scan("b"), vec![0], vec![0])
+            .hash_join(Plan::scan("c"), vec![1], vec![0])
+    }
+
+    #[test]
+    fn estimates_scan_rows_from_stats() {
+        let cat = chain_catalog();
+        let est = estimate(&Plan::scan("a"), &cat).unwrap();
+        assert_eq!(est.rows, 100.0);
+        assert_eq!(est.cols[0].distinct, 10.0);
+        assert_eq!(est.cols[2].distinct, 100.0);
+    }
+
+    #[test]
+    fn filter_selectivity_uses_mcv_sketch() {
+        let cat = Catalog::new();
+        // 90 rows of value 7 plus 10 singletons: `= 7` is in the MCV
+        // sketch with fraction 0.9.
+        let mut rows: Vec<Vec<i64>> = vec![vec![7]; 90];
+        rows.extend((0..10).map(|i| vec![100 + i]));
+        ints("skew", &cat, &["k"], rows);
+        let plan = Plan::scan("skew").filter(Expr::col(0).eq(Expr::lit(7i64)));
+        let est = estimate(&plan, &cat).unwrap();
+        assert!((est.rows - 90.0).abs() < 1e-6, "est.rows = {}", est.rows);
+    }
+
+    #[test]
+    fn join_reorder_prefers_selective_leaf() {
+        let cat = chain_catalog();
+        let optimized = optimize(&chain_plan(), &cat);
+        let text = explain(&optimized);
+        let pos_b = text.find("Seq Scan on b").expect("b scanned");
+        let pos_c = text.find("Seq Scan on c").expect("c scanned");
+        assert!(
+            pos_c < pos_b,
+            "2-row c should join before 200-row b:\n{text}"
+        );
+    }
+
+    #[test]
+    fn reordered_chain_restores_schema_and_rows() {
+        let cat = chain_catalog();
+        let plan = chain_plan();
+        let optimized = optimize(&plan, &cat);
+        let lookup = |n: &str| cat.schema_of(n);
+        assert_eq!(
+            plan.schema(&lookup).unwrap().names(),
+            optimized.schema(&lookup).unwrap().names()
+        );
+        let exec = crate::exec::Executor::new(&cat).with_optimize(false);
+        let mut base = exec.execute_table(&plan).unwrap();
+        let mut opt = exec.execute_table(&optimized).unwrap();
+        base.sort_by_cols(&(0..base.schema().width()).collect::<Vec<_>>());
+        opt.sort_by_cols(&(0..opt.schema().width()).collect::<Vec<_>>());
+        assert_eq!(format!("{:?}", base.rows()), format!("{:?}", opt.rows()));
+    }
+
+    #[test]
+    fn optimize_is_identity_on_non_joins() {
+        let cat = chain_catalog();
+        let plan = Plan::scan("a")
+            .filter(Expr::col(2).gt(Expr::lit(10i64)))
+            .distinct()
+            .sort(vec![0])
+            .limit(5);
+        assert_eq!(explain(&optimize(&plan, &cat)), explain(&plan));
+    }
+
+    #[test]
+    fn pushes_single_side_filters_below_join() {
+        let cat = chain_catalog();
+        // Column 4 (= b.w) lives wholly on the right side of the join.
+        let plan = Plan::scan("a")
+            .hash_join(Plan::scan("b"), vec![0], vec![0])
+            .filter(Expr::col(4).lt(Expr::lit(50i64)));
+        let optimized = optimize(&plan, &cat);
+        let text = explain(&optimized);
+        assert!(
+            text.starts_with("Hash Join"),
+            "filter should sink below the join:\n{text}"
+        );
+        let exec = crate::exec::Executor::new(&cat).with_optimize(false);
+        let base = exec.execute_table(&plan).unwrap();
+        let opt = exec.execute_table(&optimized).unwrap();
+        assert_eq!(base.len(), opt.len());
+    }
+
+    #[test]
+    fn fused_projection_prunes_join_inputs() {
+        let cat = chain_catalog();
+        let plan = chain_plan().project_cols(&[2, 6], &["v", "u"]);
+        let optimized = optimize(&plan, &cat);
+        let lookup = |n: &str| cat.schema_of(n);
+        assert_eq!(optimized.schema(&lookup).unwrap().names(), vec!["v", "u"]);
+        // b contributes no output columns beyond its join key, so its
+        // 2-wide scan is pruned to just that key.
+        let text = explain(&optimized);
+        assert!(text.contains("Project"), "pruned leaves project:\n{text}");
+        let exec = crate::exec::Executor::new(&cat).with_optimize(false);
+        let mut base = exec.execute_table(&plan).unwrap();
+        let mut opt = exec.execute_table(&optimized).unwrap();
+        base.sort_by_cols(&[0, 1]);
+        opt.sort_by_cols(&[0, 1]);
+        assert_eq!(format!("{:?}", base.rows()), format!("{:?}", opt.rows()));
+    }
+
+    #[test]
+    fn cost_orders_plans_by_intermediate_size() {
+        let cat = chain_catalog();
+        // Joining 2-row c first shrinks the intermediate result; the worst
+        // left-deep order pays the full a ⋈ b blow-up.
+        let good = Plan::scan("a")
+            .hash_join(Plan::scan("c"), vec![1], vec![0])
+            .hash_join(Plan::scan("b"), vec![0], vec![0]);
+        let bad = chain_plan();
+        assert!(cost(&good, &cat).unwrap() < cost(&bad, &cat).unwrap());
+    }
+
+    #[test]
+    fn unknown_tables_fall_back_to_defaults() {
+        let cat = Catalog::new();
+        assert!(estimate(&Plan::scan("missing"), &cat).is_err());
+        // optimize is fail-safe: the broken plan comes back unchanged.
+        let plan = Plan::scan("missing").hash_join(Plan::scan("also_missing"), vec![0], vec![0]);
+        let optimized = optimize(&plan, &cat);
+        assert_eq!(explain(&optimized), explain(&plan));
+    }
+}

@@ -10,6 +10,23 @@ use crate::schema::{Column, Schema};
 use crate::table::Table;
 use crate::value::DataType;
 
+/// Which input of an inner hash join the hash table is built on.
+///
+/// The optimizer pins `Left`/`Right` from cardinality estimates; `Auto`
+/// leaves the choice to the executor (stats when available, materialized
+/// input sizes otherwise). Semi/anti joins always build on the right and
+/// ignore this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildSide {
+    /// Executor decides at runtime.
+    #[default]
+    Auto,
+    /// Build the hash table on the left input, probe with the right.
+    Left,
+    /// Build the hash table on the right input, probe with the left.
+    Right,
+}
+
 /// Join flavours supported by the hash join operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
@@ -97,6 +114,8 @@ pub enum Plan {
         right_keys: Vec<usize>,
         /// Join flavour.
         kind: JoinKind,
+        /// Build-side choice for inner joins (see [`BuildSide`]).
+        build: BuildSide,
     },
     /// Grouped aggregation; with an empty `group_by` produces one global row.
     Aggregate {
@@ -199,6 +218,7 @@ impl Plan {
             left_keys,
             right_keys,
             kind,
+            build: BuildSide::Auto,
         }
     }
 
@@ -334,6 +354,7 @@ impl Plan {
                 left_keys,
                 right_keys,
                 kind,
+                build,
                 ..
             } => {
                 let kind = match kind {
@@ -341,7 +362,12 @@ impl Plan {
                     JoinKind::LeftSemi => "Hash Semi Join",
                     JoinKind::LeftAnti => "Hash Anti Join",
                 };
-                format!("{kind} on left{left_keys:?} = right{right_keys:?}")
+                let side = match build {
+                    BuildSide::Auto => "",
+                    BuildSide::Left => ", build=left",
+                    BuildSide::Right => ", build=right",
+                };
+                format!("{kind} on left{left_keys:?} = right{right_keys:?}{side}")
             }
             Plan::Aggregate { group_by, aggs, .. } => {
                 let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();

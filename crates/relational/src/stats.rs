@@ -1,0 +1,229 @@
+//! Per-table statistics for the cost-based optimizer.
+//!
+//! The paper leans on PostgreSQL/Greenplum's planner, which in turn leans
+//! on `ANALYZE`-style table statistics. This module is the equivalent for
+//! our engine: per-table row counts and, per column, distinct-value
+//! counts, null counts, and a most-common-value (MCV) sketch. The
+//! [`crate::catalog::Catalog`] maintains these automatically — computed
+//! lazily on first use (or eagerly via `ANALYZE`), updated incrementally
+//! on inserts, rebuilt after deletes — and [`crate::optimizer`] reads
+//! them to estimate cardinalities.
+//!
+//! Statistics are maintained from an exact per-column value-count map
+//! (the workloads here are dictionary-encoded integer ids, so domains are
+//! small), but the estimator-facing surface is deliberately sketch-like:
+//! [`ColumnStats::distinct_count`], [`ColumnStats::null_count`], and the
+//! top-[`MCV_SIZE`] [`ColumnStats::most_common`] list. Everything is
+//! deterministic — ties in the MCV list break by value order — so plans
+//! chosen from these statistics are reproducible run to run.
+
+use std::collections::HashMap;
+
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// Number of entries kept in the most-common-value sketch, matching the
+/// small MCV lists real planners keep per column.
+pub const MCV_SIZE: usize = 8;
+
+/// Statistics for one column: null count plus an exact value-count map
+/// from which distinct counts and the MCV sketch are derived.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    counts: HashMap<Value, usize>,
+    null_count: usize,
+    non_null_count: usize,
+}
+
+impl ColumnStats {
+    /// Number of distinct non-null values observed.
+    pub fn distinct_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of NULLs observed.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Number of non-null values observed.
+    pub fn non_null_count(&self) -> usize {
+        self.non_null_count
+    }
+
+    /// The most-common-value sketch: up to [`MCV_SIZE`] `(value, count)`
+    /// pairs, most frequent first, ties broken by value order so the
+    /// sketch is deterministic.
+    pub fn most_common(&self) -> Vec<(Value, usize)> {
+        let mut entries: Vec<(Value, usize)> =
+            self.counts.iter().map(|(v, &n)| (v.clone(), n)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(MCV_SIZE);
+        entries
+    }
+
+    /// Record one value.
+    pub fn add(&mut self, value: &Value) {
+        if value.is_null() {
+            self.null_count += 1;
+        } else {
+            *self.counts.entry(value.clone()).or_insert(0) += 1;
+            self.non_null_count += 1;
+        }
+    }
+
+    /// Fold another column's statistics into this one (used to combine
+    /// per-segment statistics into cluster-wide ones).
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.null_count += other.null_count;
+        self.non_null_count += other.non_null_count;
+        for (v, n) in &other.counts {
+            *self.counts.entry(v.clone()).or_insert(0) += n;
+        }
+    }
+}
+
+/// Statistics for one table: a row count plus [`ColumnStats`] per column.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    row_count: usize,
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute fresh statistics from a table (the `ANALYZE` path).
+    pub fn analyze(table: &Table) -> TableStats {
+        let mut stats = TableStats {
+            row_count: 0,
+            columns: vec![ColumnStats::default(); table.schema().width()],
+        };
+        stats.add_rows(table.rows());
+        stats
+    }
+
+    /// Total rows observed.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of columns covered.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Statistics for column `i`, if covered.
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+
+    /// Fold newly inserted rows into the statistics (the incremental
+    /// refresh run on every INSERT).
+    pub fn add_rows(&mut self, rows: &[Row]) {
+        for row in rows {
+            self.row_count += 1;
+            for (col, value) in self.columns.iter_mut().zip(row.iter()) {
+                col.add(value);
+            }
+        }
+    }
+
+    /// Fold another table's statistics into this one. Used by the MPP
+    /// layer to combine per-segment slices into a cluster-wide estimate;
+    /// merging mismatched widths keeps the wider side's extra columns
+    /// untouched.
+    pub fn merge(&mut self, other: &TableStats) {
+        self.row_count += other.row_count;
+        if self.columns.len() < other.columns.len() {
+            self.columns
+                .resize(other.columns.len(), ColumnStats::default());
+        }
+        for (col, other_col) in self.columns.iter_mut().zip(other.columns.iter()) {
+            col.merge(other_col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn table(rows: Vec<Vec<i64>>) -> Table {
+        let width = rows.first().map(|r| r.len()).unwrap_or(1);
+        let names: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        Table::from_rows_unchecked(
+            Schema::ints(&refs),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn analyze_counts_rows_and_distincts() {
+        let t = table(vec![vec![1, 10], vec![1, 20], vec![2, 30]]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.row_count(), 3);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 2);
+        assert_eq!(s.column(1).unwrap().distinct_count(), 3);
+        assert!(s.column(2).is_none());
+    }
+
+    #[test]
+    fn nulls_tracked_separately() {
+        let schema = Schema::new(vec![Column::nullable("k", DataType::Int)]);
+        let t = Table::from_rows_unchecked(
+            schema,
+            vec![vec![Value::Null], vec![Value::Int(1)], vec![Value::Null]],
+        );
+        let s = TableStats::analyze(&t);
+        let c = s.column(0).unwrap();
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.non_null_count(), 1);
+        assert_eq!(c.distinct_count(), 1);
+    }
+
+    #[test]
+    fn mcv_is_sorted_capped_and_deterministic() {
+        // 0 appears 9 times, 1..=9 once each: MCV leads with 0, then the
+        // singleton values in value order, capped at MCV_SIZE entries.
+        let mut rows = vec![vec![0i64]; 9];
+        rows.extend((1..=9i64).map(|v| vec![v]));
+        let s = TableStats::analyze(&table(rows));
+        let mcv = s.column(0).unwrap().most_common();
+        assert_eq!(mcv.len(), MCV_SIZE);
+        assert_eq!(mcv[0], (Value::Int(0), 9));
+        assert_eq!(mcv[1], (Value::Int(1), 1));
+        assert_eq!(mcv[2], (Value::Int(2), 1));
+    }
+
+    #[test]
+    fn add_rows_refreshes_incrementally() {
+        let mut s = TableStats::analyze(&table(vec![vec![1]]));
+        s.add_rows(&[vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(s.row_count(), 3);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 2);
+        assert_eq!(s.column(0).unwrap().most_common()[0], (Value::Int(1), 2));
+    }
+
+    #[test]
+    fn merge_combines_segment_slices() {
+        let a = TableStats::analyze(&table(vec![vec![1], vec![2]]));
+        let mut b = TableStats::analyze(&table(vec![vec![2], vec![3]]));
+        b.merge(&a);
+        assert_eq!(b.row_count(), 4);
+        assert_eq!(b.column(0).unwrap().distinct_count(), 3);
+        assert_eq!(b.column(0).unwrap().most_common()[0], (Value::Int(2), 2));
+    }
+
+    #[test]
+    fn empty_table_stats_are_zero() {
+        let s = TableStats::analyze(&Table::empty(Schema::ints(&["a"])));
+        assert_eq!(s.row_count(), 0);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 0);
+        assert!(s.column(0).unwrap().most_common().is_empty());
+    }
+}

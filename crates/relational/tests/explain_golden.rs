@@ -70,16 +70,20 @@ fn plan() -> Plan {
 #[test]
 fn explain_analyze_parallel_golden() {
     let cat = catalog();
+    // Goldens pin the planner-on rendering, so force the optimizer
+    // rather than inheriting the PROBKB_OPTIMIZE process default (CI
+    // runs the suite with it forced off too).
     let (_, metrics) = Executor::new(&cat)
         .with_threads(4)
         .with_parallel_threshold(1)
+        .with_optimize(true)
         .execute(&plan())
         .unwrap();
     let golden = "\
-HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, time=<T>, workers=4 [<T> <T> <T> <T>])
-  -> Hash Join on left[0] = right[0]  (rows=600, time=<T>, workers=4 [<T> <T> <T> <T>])
-    -> Seq Scan on fact  (rows=600, time=<T>)
-    -> Seq Scan on dim  (rows=20, time=<T>)
+HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, est=20, time=<T>, workers=4 [<T> <T> <T> <T>])
+  -> Hash Join on left[0] = right[0], build=right  (rows=600, est=600, time=<T>, workers=4 [<T> <T> <T> <T>])
+    -> Seq Scan on fact  (rows=600, est=600, time=<T>)
+    -> Seq Scan on dim  (rows=20, est=20, time=<T>)
 ";
     assert_eq!(normalize(&explain_analyze(&metrics)), golden);
 }
@@ -89,15 +93,67 @@ fn explain_analyze_serial_golden() {
     let cat = catalog();
     let (_, metrics) = Executor::new(&cat)
         .with_threads(1)
+        .with_optimize(true)
         .execute(&plan())
         .unwrap();
     let golden = "\
-HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, time=<T>)
-  -> Hash Join on left[0] = right[0]  (rows=600, time=<T>)
-    -> Seq Scan on fact  (rows=600, time=<T>)
-    -> Seq Scan on dim  (rows=20, time=<T>)
+HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, est=20, time=<T>)
+  -> Hash Join on left[0] = right[0], build=right  (rows=600, est=600, time=<T>)
+    -> Seq Scan on fact  (rows=600, est=600, time=<T>)
+    -> Seq Scan on dim  (rows=20, est=20, time=<T>)
 ";
     assert_eq!(normalize(&explain_analyze(&metrics)), golden);
+}
+
+#[test]
+fn explain_analyze_without_optimizer_keeps_auto_build_side() {
+    let cat = catalog();
+    let (_, metrics) = Executor::new(&cat)
+        .with_threads(1)
+        .with_optimize(false)
+        .execute(&plan())
+        .unwrap();
+    let golden = "\
+HashAggregate group_by=[0] aggs=[\"n\"]  (rows=20, est=20, time=<T>)
+  -> Hash Join on left[0] = right[0]  (rows=600, est=600, time=<T>)
+    -> Seq Scan on fact  (rows=600, est=600, time=<T>)
+    -> Seq Scan on dim  (rows=20, est=20, time=<T>)
+";
+    assert_eq!(normalize(&explain_analyze(&metrics)), golden);
+}
+
+/// A filter that *materializes* only 10 of 600 fact rows, but whose
+/// estimate (1/3 inequality selectivity → 200 rows) still exceeds the
+/// 20-row dim side. The old smaller-materialized-input heuristic would
+/// build on the filtered fact side (10 rows ≤ 20); the cost-based planner
+/// builds on dim — the golden pins the flipped build side and shows the
+/// misestimate (`rows=10, est=200`) in the same breath.
+#[test]
+fn skewed_filter_flips_build_side_golden() {
+    let cat = catalog();
+    let plan = Plan::scan("fact")
+        .filter(Expr::col(1).lt(Expr::lit(10i64)))
+        .hash_join(Plan::scan("dim"), vec![0], vec![0]);
+    let (out, metrics) = Executor::new(&cat)
+        .with_threads(1)
+        .with_optimize(true)
+        .execute(&plan)
+        .unwrap();
+    let golden = "\
+Hash Join on left[0] = right[0], build=right  (rows=10, est=200, time=<T>)
+  -> Filter: (#1 < 10)  (rows=10, est=200, time=<T>)
+    -> Seq Scan on fact  (rows=600, est=600, time=<T>)
+  -> Seq Scan on dim  (rows=20, est=20, time=<T>)
+";
+    assert_eq!(normalize(&explain_analyze(&metrics)), golden);
+    // The flipped build side is a physical choice only: results match the
+    // unoptimized oracle row for row.
+    let oracle = Executor::new(&cat)
+        .with_threads(1)
+        .with_optimize(false)
+        .execute_table(&plan)
+        .unwrap();
+    assert_eq!(format!("{:?}", out.rows()), format!("{:?}", oracle.rows()));
 }
 
 #[test]

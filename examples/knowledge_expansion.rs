@@ -23,6 +23,7 @@ fn run(
         apply_constraints,
         max_total_facts: Some(100_000),
         threads: None,
+        optimize: None,
     };
     let mut engine = SingleNodeEngine::new();
     let out = ground(kb, &mut engine, &config).expect("grounding");

@@ -37,6 +37,7 @@ fn main() {
         apply_constraints: false,
         max_total_facts: Some(400_000),
         threads: None,
+        optimize: None,
     };
 
     // Single node reference.

@@ -135,6 +135,7 @@ fn all_backends_produce_identical_expansions() {
         apply_constraints: true,
         max_total_facts: Some(100_000),
         threads: None,
+        optimize: None,
     };
     let mut reference: Option<Vec<[i64; 5]>> = None;
     for backend in [
@@ -231,6 +232,7 @@ fn quality_control_improves_precision_end_to_end() {
             apply_constraints: qc,
             max_total_facts: Some(200_000),
             threads: None,
+            optimize: None,
         };
         let out = ground(kb, &mut engine, &config).unwrap();
         evaluate(&out, &corrupted.truth)

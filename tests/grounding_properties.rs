@@ -38,6 +38,7 @@ fn ground_kb(kb: &ProbKb, constraints: bool) -> GroundingOutcome {
         apply_constraints: constraints,
         max_total_facts: Some(50_000),
         threads: None,
+        optimize: None,
     };
     ground(kb, &mut engine, &config).expect("grounding")
 }
@@ -125,6 +126,7 @@ proptest! {
             apply_constraints: false,
             max_total_facts: Some(50_000),
             threads: None,
+            optimize: None,
         };
         let mut single = SingleNodeEngine::new();
         let s = ground(&kb, &mut single, &gc).expect("single");
