@@ -21,8 +21,19 @@ PROBKB_THREADS=8 cargo test -q --offline --workspace
 PROBKB_OPTIMIZE=0 cargo test -q --offline --workspace
 PROBKB_OPTIMIZE=1 cargo test -q --offline --workspace
 
+# The partitioned Gibbs sampler must be invariant under its own worker
+# pool: marginals, diagnostics, and R̂ early stops are a pure function of
+# (seed, chains) at any PROBKB_GIBBS_WORKERS setting.
+PROBKB_GIBBS_WORKERS=1 cargo test -q --offline --workspace
+PROBKB_GIBBS_WORKERS=4 cargo test -q --offline --workspace
+
 # Benches (including the join thread-scaling sweep) must stay compiling.
 cargo bench --offline --no-run --workspace
+
+# Gibbs bench smoke: the sampler sweep and the convergence-control
+# comparison (fixed vs R̂-stopped) must run end to end; MICROBENCH_SAMPLES
+# keeps it to a smoke pass.
+MICROBENCH_SAMPLES=1 cargo bench --offline -p probkb-bench --bench gibbs
 cargo run --release --offline -p probkb-bench --bin table2
 
 # Join-order microbench: the statistics-driven planner must beat the

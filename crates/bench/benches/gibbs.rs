@@ -1,5 +1,8 @@
 //! Criterion microbenchmarks for the inference stage: sequential vs
-//! chromatic parallel Gibbs sweeps over a grounding-shaped factor graph.
+//! chromatic vs partitioned multi-chain Gibbs sweeps over a
+//! grounding-shaped factor graph, plus a convergence-control comparison
+//! (fixed schedule vs R̂-triggered early stop) with `samples/sec/worker`
+//! throughput lines.
 
 use probkb_support::microbench::{BenchmarkId, Criterion};
 use probkb_support::{criterion_group, criterion_main};
@@ -48,6 +51,7 @@ fn bench_samplers(c: &mut Criterion) {
         burn_in: 0,
         samples: 20,
         seed: 1,
+        ..GibbsConfig::default()
     };
 
     group.bench_function(BenchmarkId::new("sequential", 1), |b| {
@@ -65,8 +69,100 @@ fn bench_samplers(c: &mut Criterion) {
             });
         });
     }
+
+    for workers in [1usize, 2, 4, 8] {
+        let config = GibbsConfig {
+            burn_in: 0,
+            samples: 20,
+            seed: 1,
+            chains: 2,
+            workers: Some(workers),
+            ..GibbsConfig::default()
+        };
+        let sampler = PartitionedGibbs::new(&gg.graph, &config);
+        let mut last = None;
+        group.bench_function(BenchmarkId::new("partitioned", workers), |b| {
+            b.iter(|| {
+                let run = sampler.run();
+                let p0 = run.marginals.p[0];
+                last = Some(run.report);
+                std::hint::black_box(p0)
+            });
+        });
+        if let Some(report) = &last {
+            println!(
+                "  partitioned/{workers}: {:.0} samples/sec/worker",
+                report.samples_per_sec_per_worker()
+            );
+        }
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_samplers);
+/// Convergence control vs a fixed schedule: the R̂-triggered run should
+/// stop well short of `max_sweeps` while landing on the same marginals.
+fn bench_convergence(c: &mut Criterion) {
+    let gg = ground_graph();
+    let vars = gg.graph.num_vars();
+    let mut group = c.benchmark_group(format!("gibbs_convergence_{vars}_vars"));
+    group.sample_size(1);
+
+    let fixed = GibbsConfig {
+        burn_in: 50,
+        samples: 2_000,
+        seed: 1,
+        chains: 4,
+        workers: Some(4),
+        ..GibbsConfig::default()
+    };
+    let controlled = GibbsConfig {
+        target_rhat: Some(1.05),
+        max_sweeps: 2_000,
+        check_interval: 100,
+        ..fixed
+    };
+
+    let mut fixed_run = None;
+    group.bench_function("fixed/2000_sweeps", |b| {
+        b.iter(|| {
+            let run = partitioned_marginals(&gg.graph, &fixed);
+            let p0 = run.marginals.p[0];
+            fixed_run = Some(run);
+            std::hint::black_box(p0)
+        });
+    });
+    let mut controlled_run = None;
+    group.bench_function("controlled/rhat_1.05", |b| {
+        b.iter(|| {
+            let run = partitioned_marginals(&gg.graph, &controlled);
+            let p0 = run.marginals.p[0];
+            controlled_run = Some(run);
+            std::hint::black_box(p0)
+        });
+    });
+
+    if let (Some(fixed_run), Some(controlled_run)) = (fixed_run, controlled_run) {
+        let gap = fixed_run
+            .marginals
+            .p
+            .iter()
+            .zip(controlled_run.marginals.p.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!("  fixed:      {}", fixed_run.report.annotate());
+        println!("  controlled: {}", controlled_run.report.annotate());
+        println!(
+            "  controlled ran {}/{} sweeps; max marginal gap vs fixed = {gap:.4}",
+            controlled_run.report.sweeps, fixed_run.report.sweeps
+        );
+        println!(
+            "  throughput: fixed {:.0} vs controlled {:.0} samples/sec/worker",
+            fixed_run.report.samples_per_sec_per_worker(),
+            controlled_run.report.samples_per_sec_per_worker()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_convergence);
 criterion_main!(benches);

@@ -21,6 +21,81 @@ impl Coloring {
     pub fn num_colors(&self) -> usize {
         self.classes.len()
     }
+
+    /// Split every color class into contiguous shards of at most
+    /// `shard_size` variables. Shards are the sampler's unit of work *and*
+    /// of randomness: a parallel Gibbs sweep seeds one RNG stream per
+    /// shard, so results depend on the partitioning (fixed by the graph
+    /// and `shard_size`) but never on how shards are spread over workers.
+    pub fn partition(&self, shard_size: usize) -> Sharding {
+        let shard_size = shard_size.max(1);
+        let mut shards = Vec::new();
+        let mut class_off = Vec::with_capacity(self.classes.len() + 1);
+        class_off.push(0);
+        for (class, vars) in self.classes.iter().enumerate() {
+            let mut start = 0;
+            while start < vars.len() {
+                let len = shard_size.min(vars.len() - start);
+                shards.push(Shard {
+                    class,
+                    index: shards.len(),
+                    start,
+                    len,
+                });
+                start += len;
+            }
+            class_off.push(shards.len());
+        }
+        Sharding {
+            shard_size,
+            shards,
+            class_off,
+        }
+    }
+
+    /// The variables of a shard (a contiguous slice of its color class).
+    pub fn shard_vars(&self, shard: &Shard) -> &[VarId] {
+        &self.classes[shard.class][shard.start..shard.start + shard.len]
+    }
+}
+
+/// One shard of a color class: a contiguous run of same-color (hence
+/// conditionally independent) variables that is resampled as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// The color class this shard belongs to.
+    pub class: usize,
+    /// Global shard index — stable across worker counts, used to seed the
+    /// shard's RNG stream.
+    pub index: usize,
+    /// Offset of the shard within its class.
+    pub start: usize,
+    /// Number of variables in the shard.
+    pub len: usize,
+}
+
+/// A fixed-size sharding of a [`Coloring`] — the partition schedule the
+/// parallel samplers distribute over workers.
+#[derive(Debug, Clone)]
+pub struct Sharding {
+    /// Maximum variables per shard.
+    pub shard_size: usize,
+    /// All shards, grouped by class, in class order.
+    pub shards: Vec<Shard>,
+    /// `shards[class_off[c]..class_off[c + 1]]` are class `c`'s shards.
+    class_off: Vec<usize>,
+}
+
+impl Sharding {
+    /// Total number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards of one color class.
+    pub fn shards_of(&self, class: usize) -> &[Shard] {
+        &self.shards[self.class_off[class]..self.class_off[class + 1]]
+    }
 }
 
 /// Greedy first-fit coloring in degree order (largest first), which keeps
@@ -107,6 +182,61 @@ mod tests {
         assert!(is_proper(&g, &c));
         assert_eq!(c.num_colors(), 1);
         assert_eq!(c.classes[0].len(), 5);
+    }
+
+    #[test]
+    fn partition_shards_cover_every_class_exactly() {
+        let g = FactorGraph::new(
+            7,
+            vec![
+                Factor::rule(1, vec![0], 1.0),
+                Factor::rule(2, vec![0, 1], 1.0),
+            ],
+        );
+        let c = color(&g);
+        for shard_size in [1usize, 2, 3, 100] {
+            let p = c.partition(shard_size);
+            // Global indices are dense and in order.
+            for (i, s) in p.shards.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert!(s.len >= 1 && s.len <= shard_size);
+            }
+            // Per class, shards tile the class without gaps or overlap.
+            let mut total = 0usize;
+            for class in 0..c.num_colors() {
+                let mut cursor = 0usize;
+                for s in p.shards_of(class) {
+                    assert_eq!(s.class, class);
+                    assert_eq!(s.start, cursor);
+                    assert_eq!(c.shard_vars(s).len(), s.len);
+                    cursor += s.len;
+                    total += s.len;
+                }
+                assert_eq!(cursor, c.classes[class].len());
+            }
+            assert_eq!(total, g.num_vars());
+            assert_eq!(
+                p.num_shards(),
+                c.classes
+                    .iter()
+                    .map(|cl| cl.len().div_ceil(shard_size))
+                    .sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_independent_of_worker_count() {
+        // The schedule is a pure function of coloring + shard size — there
+        // is no worker-count input at all, so two computations agree.
+        let g = FactorGraph::new(
+            5,
+            (1..5).map(|v| Factor::rule(v, vec![v - 1], 1.0)).collect(),
+        );
+        let c = color(&g);
+        assert_eq!(c.partition(2).shards, c.partition(2).shards);
+        // Degenerate shard size is clamped to 1.
+        assert_eq!(c.partition(0).shard_size, 1);
     }
 
     #[test]

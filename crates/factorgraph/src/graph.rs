@@ -117,10 +117,23 @@ impl FactorGraph {
     /// # Panics
     /// Panics if a factor references a variable `>= num_vars`.
     pub fn new(num_vars: usize, factors: Vec<Factor>) -> Self {
+        // Each factor appears at most once in a variable's adjacency even
+        // if the variable occurs several times in the clause (head repeated
+        // in the body, repeated body atoms): a flip changes the factor's
+        // value once, so samplers summing over `factors_of` must see it
+        // once — the same per-factor accounting the exact oracle uses.
+        let distinct = |f: &Factor| {
+            let mut vs: Vec<usize> = f.vars().collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        };
         let mut degree = vec![0usize; num_vars];
         for f in &factors {
             for v in f.vars() {
                 assert!(v < num_vars, "factor references variable {v} >= {num_vars}");
+            }
+            for v in distinct(f) {
                 degree[v] += 1;
             }
         }
@@ -134,7 +147,7 @@ impl FactorGraph {
         let mut cursor = adj_off.clone();
         let mut adj = vec![0usize; acc];
         for (fi, f) in factors.iter().enumerate() {
-            for v in f.vars() {
+            for v in distinct(f) {
                 adj[cursor[v]] = fi;
                 cursor[v] += 1;
             }
@@ -277,6 +290,25 @@ mod tests {
         assert_eq!(g.factors_of(2), &[2]);
         assert_eq!(g.neighbors(1), vec![0, 2]);
         assert_eq!(g.neighbors(2), vec![1]);
+    }
+
+    #[test]
+    fn repeated_variables_enter_adjacency_once() {
+        // A flip changes a factor's value once no matter how many times the
+        // variable occurs in the clause, so the adjacency — and therefore
+        // `flip_delta_ro` — must count each factor once.
+        let g = FactorGraph::new(
+            3,
+            vec![
+                Factor::rule(0, vec![0], 1.3),
+                Factor::rule(1, vec![2, 2], 0.9),
+            ],
+        );
+        assert_eq!(g.factors_of(0), &[0]);
+        assert_eq!(g.factors_of(2), &[1]);
+        // All false; flipping 2 falsifies "1 ← 2 ∧ 2" exactly once.
+        let delta = g.flip_delta_ro(2, &[false, false, false]);
+        assert!((delta - (-0.9)).abs() < 1e-12, "delta {delta}");
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Online convergence diagnostics for multi-chain MCMC.
+//!
+//! Two families of estimators live here:
+//!
+//! * **Sequence-based** ([`split_rhat`], [`ess`]) — textbook split-R̂
+//!   (Gelman–Rubin) and autocorrelation-based effective sample size over
+//!   explicit per-chain draw sequences. Used by tests and by anyone
+//!   holding raw chains.
+//! * **Incremental** ([`ChainStats`]) — the sampler-facing accumulator.
+//!   Chains push one *block* of per-variable true-counts every
+//!   `check_interval` sweeps; split-R̂ is then **exact** with respect to
+//!   the underlying 0/1 draws (for a binary variable `Σx² = Σx`, so half
+//!   means and variances reconstruct losslessly from block counts), and
+//!   ESS falls back to a batch-means estimate. Memory is one `u32` per
+//!   (chain, variable, block) instead of one bit per draw.
+//!
+//! Degenerate-input semantics (documented because samplers hit them on
+//! real graphs): a variable whose chains are all constant *and equal*
+//! carries no residual uncertainty — its R̂ is defined as 1.0 and its ESS
+//! as the total draw count, so near-deterministic marginals (p ≈ 0 or 1,
+//! ubiquitous after grounding) never block convergence. Constant chains
+//! stuck at *different* values are maximally unconverged: R̂ = ∞.
+
+/// Split-R̂ (potential scale reduction) over explicit chains.
+///
+/// Each chain is split in half (the middle draw is dropped when a chain
+/// has odd length) and the classic `sqrt(var⁺ / W)` statistic is computed
+/// over the resulting half-chains. Values near 1.0 indicate the chains
+/// have mixed; > 1.1 is the conventional "keep sampling" threshold.
+///
+/// Returns 1.0 when every half-chain is constant and equal, `f64::INFINITY`
+/// when within-half variance is zero but the halves disagree, and `f64::NAN`
+/// when there are fewer than two halves with at least two draws each.
+pub fn split_rhat(chains: &[Vec<f64>]) -> f64 {
+    let mut halves: Vec<&[f64]> = Vec::with_capacity(chains.len() * 2);
+    for chain in chains {
+        let n = chain.len() / 2;
+        if n >= 2 {
+            halves.push(&chain[..n]);
+            halves.push(&chain[chain.len() - n..]);
+        }
+    }
+    rhat_of_halves(&halves)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n−1 divisor).
+fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// R̂ from equal-length half-chains: `sqrt(var⁺ / W)` with
+/// `var⁺ = (n−1)/n·W + B/n`.
+fn rhat_of_halves(halves: &[&[f64]]) -> f64 {
+    if halves.len() < 2 {
+        return f64::NAN;
+    }
+    let n = halves[0].len();
+    let means: Vec<f64> = halves.iter().map(|h| mean(h)).collect();
+    let w = halves.iter().map(|h| variance(h)).sum::<f64>() / halves.len() as f64;
+    let b = n as f64 * variance(&means);
+    if w == 0.0 {
+        return if b == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Multi-chain effective sample size via Geyer's initial-monotone-positive
+/// autocorrelation sum (the Stan estimator, without rank normalization).
+///
+/// Chains are truncated to the shortest length `n`; with `m` chains the
+/// result is `m·n / τ` where `τ = 1 + 2·Σρ_t`, clamped to `m·n`.
+/// Degenerate inputs return the total draw count `m·n`: chains shorter
+/// than 2 draws carry no autocorrelation information, and constant equal
+/// chains are treated as fully efficient (see the module docs).
+pub fn ess(chains: &[Vec<f64>]) -> f64 {
+    let m = chains.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let n = chains.iter().map(Vec::len).min().unwrap_or(0);
+    let total = (m * n) as f64;
+    if n < 2 {
+        return total;
+    }
+    let means: Vec<f64> = chains.iter().map(|c| mean(&c[..n])).collect();
+    let vars: Vec<f64> = chains.iter().map(|c| variance(&c[..n])).collect();
+    let w = vars.iter().sum::<f64>() / m as f64;
+    let b = if m >= 2 {
+        n as f64 * variance(&means)
+    } else {
+        0.0
+    };
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    if var_plus == 0.0 {
+        return total;
+    }
+
+    // Autocovariance at lag t, averaged across chains (biased 1/n divisor,
+    // which regularizes the large-lag estimates).
+    let acov = |t: usize| -> f64 {
+        chains
+            .iter()
+            .zip(means.iter())
+            .map(|(c, &mu)| {
+                c[..n - t]
+                    .iter()
+                    .zip(c[t..n].iter())
+                    .map(|(a, b)| (a - mu) * (b - mu))
+                    .sum::<f64>()
+                    / n as f64
+            })
+            .sum::<f64>()
+            / m as f64
+    };
+
+    // ρ_t = 1 − (W − mean-acov_t) / var⁺; sum consecutive pairs while they
+    // stay positive, enforcing monotone decrease (Geyer initial monotone).
+    let rho = |t: usize| 1.0 - (w - acov(t)) / var_plus;
+    let mut tau = -1.0;
+    let mut prev_pair = f64::INFINITY;
+    let mut t = 0usize;
+    while t + 1 < n {
+        let pair = rho(t) + rho(t + 1);
+        if pair <= 0.0 {
+            break;
+        }
+        let pair = pair.min(prev_pair);
+        prev_pair = pair;
+        tau += 2.0 * pair;
+        t += 2;
+    }
+    let tau = tau.max(1.0 / total.max(1.0));
+    (total / tau).min(total)
+}
+
+/// Incremental cross-chain statistics over binary draws, batched in
+/// fixed-size blocks — the accumulator behind the partitioned sampler's
+/// online convergence control.
+///
+/// Every chain appends one block (per-variable counts of `true` draws over
+/// `block_sweeps` consecutive sweeps) per check interval. All statistics
+/// are pure functions of the integer counts, so any two runs that produce
+/// the same draws — regardless of worker count — reach byte-identical
+/// stopping decisions.
+#[derive(Debug, Clone)]
+pub struct ChainStats {
+    chains: usize,
+    vars: usize,
+    block_sweeps: usize,
+    /// `blocks[chain][block][var]` = number of `true` draws.
+    blocks: Vec<Vec<Vec<u32>>>,
+}
+
+impl ChainStats {
+    /// An empty accumulator for `chains` chains over `vars` variables,
+    /// with `block_sweeps` draws per block.
+    pub fn new(chains: usize, vars: usize, block_sweeps: usize) -> Self {
+        ChainStats {
+            chains,
+            vars,
+            block_sweeps: block_sweeps.max(1),
+            blocks: vec![Vec::new(); chains],
+        }
+    }
+
+    /// Append one completed block of per-variable true counts for `chain`.
+    ///
+    /// # Panics
+    /// Panics if `counts` has the wrong arity or a count exceeds the
+    /// block's sweep budget.
+    pub fn push_block(&mut self, chain: usize, counts: Vec<u32>) {
+        assert_eq!(counts.len(), self.vars, "block arity mismatch");
+        debug_assert!(counts.iter().all(|&c| c as usize <= self.block_sweeps));
+        self.blocks[chain].push(counts);
+    }
+
+    /// Completed blocks per chain (the minimum across chains).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Draws per chain covered by the completed blocks.
+    pub fn draws_per_chain(&self) -> usize {
+        self.num_blocks() * self.block_sweeps
+    }
+
+    /// Split-R̂ of one variable, exact over the underlying binary draws.
+    ///
+    /// Each chain's most recent even number of blocks is split into two
+    /// halves (the oldest block is dropped when the count is odd — the
+    /// stalest draws are the least informative). Returns `None` until every
+    /// chain has at least two blocks.
+    pub fn split_rhat(&self, var: usize) -> Option<f64> {
+        let usable = self.num_blocks() & !1usize;
+        if usable < 2 || self.chains * 2 < 2 {
+            return None;
+        }
+        let half_blocks = usable / 2;
+        let n = half_blocks * self.block_sweeps;
+        // (mean, variance) of one half reconstructed from true counts:
+        // for 0/1 draws Σx² = Σx = T, so s² = (T − T²/n)/(n−1).
+        let mut means = Vec::with_capacity(self.chains * 2);
+        let mut vars_ = Vec::with_capacity(self.chains * 2);
+        for chain in &self.blocks {
+            let recent = &chain[chain.len() - usable..];
+            for half in [&recent[..half_blocks], &recent[half_blocks..]] {
+                let t: u64 = half.iter().map(|b| b[var] as u64).sum();
+                let t = t as f64;
+                let m = t / n as f64;
+                means.push(m);
+                vars_.push((t - t * m) / (n as f64 - 1.0));
+            }
+        }
+        let w = vars_.iter().sum::<f64>() / vars_.len() as f64;
+        let b = n as f64 * variance(&means);
+        if w == 0.0 {
+            return Some(if b == 0.0 { 1.0 } else { f64::INFINITY });
+        }
+        let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+        Some((var_plus / w).sqrt())
+    }
+
+    /// The worst (largest) split-R̂ across all variables — the statistic
+    /// the stopping rule compares against `target_rhat`.
+    pub fn max_split_rhat(&self) -> Option<f64> {
+        (0..self.vars)
+            .map(|v| self.split_rhat(v))
+            .try_fold(f64::NEG_INFINITY, |acc, r| r.map(|r| acc.max(r)))
+            .filter(|r| r.is_finite() || *r == f64::INFINITY)
+    }
+
+    /// Batch-means effective sample size of one variable, summed over
+    /// chains: per chain `n·s² / (block_sweeps · var(block means))`,
+    /// clamped to the chain's draw count. Constant chains (and chains too
+    /// short to estimate) count as fully efficient — see the module docs.
+    pub fn batch_ess(&self, var: usize) -> Option<f64> {
+        let blocks = self.num_blocks();
+        if blocks == 0 {
+            return None;
+        }
+        let s = self.block_sweeps as f64;
+        let n = (blocks * self.block_sweeps) as f64;
+        let mut total = 0.0;
+        for chain in &self.blocks {
+            let recent = &chain[chain.len() - blocks..];
+            let t: u64 = recent.iter().map(|b| b[var] as u64).sum();
+            let t = t as f64;
+            let m = t / n;
+            let sample_var = (t - t * m) / (n - 1.0).max(1.0);
+            if blocks < 2 || sample_var == 0.0 {
+                total += n;
+                continue;
+            }
+            let block_means: Vec<f64> = recent.iter().map(|b| b[var] as f64 / s).collect();
+            let vb = variance(&block_means);
+            if vb == 0.0 {
+                total += n;
+            } else {
+                total += (n * sample_var / (s * vb)).min(n);
+            }
+        }
+        Some(total)
+    }
+
+    /// The smallest per-variable batch-means ESS — reported alongside R̂.
+    pub fn min_batch_ess(&self) -> Option<f64> {
+        (0..self.vars)
+            .map(|v| self.batch_ess(v))
+            .try_fold(f64::INFINITY, |acc, e| e.map(|e| acc.min(e)))
+            .filter(|e| e.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_support::rng::{Rng, SeedableRng, StdRng};
+
+    fn iid_chain(seed: u64, n: usize, p: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| if rng.random::<f64>() < p { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn converged_chains_give_rhat_near_one() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|c| iid_chain(c, 2000, 0.3)).collect();
+        let r = split_rhat(&chains);
+        assert!((r - 1.0).abs() < 0.02, "iid chains R̂ = {r}");
+    }
+
+    #[test]
+    fn offset_chains_give_rhat_above_threshold() {
+        // Two chains stuck in different modes: classic non-convergence.
+        let a = iid_chain(1, 1000, 0.2);
+        let b = iid_chain(2, 1000, 0.8);
+        let r = split_rhat(&[a, b]);
+        assert!(r > 1.1, "offset chains R̂ = {r}");
+    }
+
+    #[test]
+    fn within_chain_drift_is_caught_by_the_split() {
+        // One chain whose first half differs from its second half: plain
+        // (unsplit) R̂ would miss this; split-R̂ must not.
+        let mut drifting = iid_chain(3, 1000, 0.1);
+        drifting.extend(iid_chain(4, 1000, 0.9));
+        let stable = iid_chain(5, 2000, 0.5);
+        let r = split_rhat(&[drifting, stable]);
+        assert!(r > 1.1, "drifting chain R̂ = {r}");
+    }
+
+    #[test]
+    fn rhat_degenerate_inputs() {
+        // Constant equal chains: converged by definition.
+        assert_eq!(split_rhat(&[vec![1.0; 10], vec![1.0; 10]]), 1.0);
+        // Constant but different: infinitely far from mixed.
+        assert_eq!(
+            split_rhat(&[vec![0.0; 10], vec![1.0; 10]]),
+            f64::INFINITY
+        );
+        // Too short to split: undefined.
+        assert!(split_rhat(&[vec![1.0, 0.0], vec![0.0, 1.0]]).is_nan());
+        assert!(split_rhat(&[]).is_nan());
+    }
+
+    #[test]
+    fn ess_of_iid_chains_is_near_total() {
+        let chains: Vec<Vec<f64>> = (0..2).map(|c| iid_chain(10 + c, 4000, 0.4)).collect();
+        let e = ess(&chains);
+        let total = 8000.0;
+        assert!(e > 0.5 * total && e <= total, "iid ESS = {e}");
+    }
+
+    #[test]
+    fn ess_shrinks_under_autocorrelation() {
+        // A sticky two-state chain: flip with probability 0.05 → strong
+        // positive autocorrelation → ESS far below the draw count.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut chains = Vec::new();
+        for _ in 0..2 {
+            let mut x = 0.0;
+            let mut chain = Vec::with_capacity(4000);
+            for _ in 0..4000 {
+                if rng.random::<f64>() < 0.05 {
+                    x = 1.0 - x;
+                }
+                chain.push(x);
+            }
+            chains.push(chain);
+        }
+        let e = ess(&chains);
+        assert!(e < 2000.0, "sticky chain ESS = {e} should be ≪ 8000");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn ess_edge_cases() {
+        // Constant chain: fully efficient by our convention.
+        assert_eq!(ess(&[vec![0.5; 100]]), 100.0);
+        // Single draw per chain: no autocorrelation estimable.
+        assert_eq!(ess(&[vec![1.0]]), 1.0);
+        // Two chains of length 1.
+        assert_eq!(ess(&[vec![0.0], vec![1.0]]), 2.0);
+        // No chains at all.
+        assert_eq!(ess(&[]), 0.0);
+    }
+
+    #[test]
+    fn chain_stats_split_rhat_matches_sequence_estimator() {
+        // Push binary draws through both paths and compare: block-based
+        // split-R̂ must equal the sequence one computed on the same split.
+        let block = 50usize;
+        let blocks = 8usize;
+        let n = block * blocks;
+        let mut stats = ChainStats::new(2, 1, block);
+        let mut seqs: Vec<Vec<f64>> = Vec::new();
+        for chain in 0..2 {
+            let draws = iid_chain(100 + chain as u64, n, 0.25 + 0.5 * chain as f64);
+            for b in 0..blocks {
+                let trues = draws[b * block..(b + 1) * block]
+                    .iter()
+                    .filter(|&&x| x == 1.0)
+                    .count() as u32;
+                stats.push_block(chain, vec![trues]);
+            }
+            seqs.push(draws);
+        }
+        let from_blocks = stats.split_rhat(0).unwrap();
+        let from_seq = split_rhat(&seqs);
+        assert!(
+            (from_blocks - from_seq).abs() < 1e-12,
+            "block {from_blocks} vs sequence {from_seq}"
+        );
+        assert_eq!(stats.max_split_rhat(), Some(from_blocks));
+        assert_eq!(stats.draws_per_chain(), n);
+    }
+
+    #[test]
+    fn chain_stats_needs_two_blocks_and_drops_odd_oldest() {
+        let mut stats = ChainStats::new(2, 1, 10);
+        assert_eq!(stats.split_rhat(0), None);
+        stats.push_block(0, vec![5]);
+        stats.push_block(1, vec![5]);
+        assert_eq!(stats.split_rhat(0), None, "one block cannot split");
+        stats.push_block(0, vec![5]);
+        stats.push_block(1, vec![5]);
+        assert!(stats.split_rhat(0).is_some());
+        // A third block leaves an odd count; the estimator uses the most
+        // recent two and still answers.
+        stats.push_block(0, vec![0]);
+        stats.push_block(1, vec![10]);
+        assert!(stats.split_rhat(0).unwrap() > 1.1);
+    }
+
+    #[test]
+    fn chain_stats_constant_variables_do_not_block_stopping() {
+        // Variable 0 always false, variable 1 always true, in every chain:
+        // R̂ = 1.0 and ESS = total draws for both.
+        let mut stats = ChainStats::new(2, 2, 20);
+        for chain in 0..2 {
+            for _ in 0..4 {
+                stats.push_block(chain, vec![0, 20]);
+            }
+        }
+        assert_eq!(stats.max_split_rhat(), Some(1.0));
+        assert_eq!(stats.min_batch_ess(), Some(160.0));
+    }
+
+    #[test]
+    fn batch_ess_shrinks_for_slowly_mixing_blocks() {
+        // Chain A: block means all equal (well mixed). Chain B: first
+        // half of blocks near 0, second half near full (slow drift) —
+        // its batch ESS must be far below its draw count.
+        let mut mixed = ChainStats::new(1, 1, 100);
+        let mut drift = ChainStats::new(1, 1, 100);
+        for b in 0..10 {
+            mixed.push_block(0, vec![50]);
+            drift.push_block(0, vec![if b < 5 { 2 } else { 98 }]);
+        }
+        let e_mixed = mixed.batch_ess(0).unwrap();
+        let e_drift = drift.batch_ess(0).unwrap();
+        assert_eq!(e_mixed, 1000.0, "identical block means → fully efficient");
+        assert!(e_drift < 100.0, "drifting blocks ESS = {e_drift}");
+    }
+}

@@ -9,14 +9,39 @@ use probkb_factorgraph::prelude::FactorGraph;
 use probkb_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Sampler configuration.
+///
+/// The sequential [`GibbsSampler`] and the chromatic sampler read only
+/// `burn_in`/`samples`/`seed`; the partitioned multi-chain sampler
+/// (`crate::partitioned`) additionally honours `chains`, `workers`, and
+/// the convergence-control fields.
 #[derive(Debug, Clone, Copy)]
 pub struct GibbsConfig {
     /// Sweeps discarded before estimation starts.
     pub burn_in: usize,
-    /// Sweeps used for estimation.
+    /// Sweeps used for estimation (per chain, when `target_rhat` is
+    /// `None`; ignored under convergence control, where `max_sweeps`
+    /// caps the run instead).
     pub samples: usize,
-    /// RNG seed (runs are deterministic given the seed).
+    /// RNG seed (runs are deterministic given the seed and chain count,
+    /// independent of the worker count).
     pub seed: u64,
+    /// Independent chains run by the partitioned sampler. Marginals
+    /// average over all chains; split-R̂ needs at least 2.
+    pub chains: usize,
+    /// Fork-join worker cap for the partitioned sampler. `None` reads
+    /// `PROBKB_GIBBS_WORKERS` once per process (unset/zero → 1). The
+    /// worker count never changes results, only wall-clock time.
+    pub workers: Option<usize>,
+    /// Online convergence control: when `Some(target)`, sampling stops as
+    /// soon as the worst per-variable split-R̂ across chains drops to
+    /// `target` or below (checked every `check_interval` sweeps), instead
+    /// of running a fixed `samples` schedule.
+    pub target_rhat: Option<f64>,
+    /// Hard cap on sampling sweeps per chain under convergence control.
+    pub max_sweeps: usize,
+    /// Sweeps per convergence-check block (also the batch size for the
+    /// incremental R̂/ESS accumulators).
+    pub check_interval: usize,
 }
 
 impl Default for GibbsConfig {
@@ -25,8 +50,32 @@ impl Default for GibbsConfig {
             burn_in: 200,
             samples: 2000,
             seed: 0x9e3779b9,
+            chains: 2,
+            workers: None,
+            target_rhat: None,
+            max_sweeps: 20_000,
+            check_interval: 100,
         }
     }
+}
+
+impl GibbsConfig {
+    /// The worker budget this config resolves to: the explicit override,
+    /// or the process-wide [`default_gibbs_workers`].
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.unwrap_or_else(default_gibbs_workers).max(1)
+    }
+}
+
+/// The process-wide default inference worker budget, read **once** from
+/// `PROBKB_GIBBS_WORKERS` and cached (the same contract as the grounding
+/// layer's `PROBKB_THREADS`). Unset, unparsable, or zero all mean 1 —
+/// parallel inference is opt-in. Tests comparing worker counts should set
+/// [`GibbsConfig::workers`] explicitly instead of re-reading the
+/// environment.
+pub fn default_gibbs_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| probkb_support::sync::env_workers("PROBKB_GIBBS_WORKERS").unwrap_or(1))
 }
 
 /// Estimated marginals: `p[v]` ≈ `P(X_v = 1)`.
@@ -147,6 +196,7 @@ mod tests {
                 burn_in: 100,
                 samples: 20000,
                 seed: 7,
+                ..GibbsConfig::default()
             },
         );
         let expected = sigmoid(w);
@@ -187,6 +237,7 @@ mod tests {
             burn_in: 10,
             samples: 100,
             seed: 42,
+            ..GibbsConfig::default()
         };
         let a = gibbs_marginals(&g, &config);
         let b = gibbs_marginals(&g, &config);

@@ -227,6 +227,7 @@ mod tests {
             burn_in: 300,
             samples: 20000,
             seed: 3,
+            ..GibbsConfig::default()
         };
         let m = chromatic_marginals(&g, 4, &config);
         for (v, (got, want)) in m.p.iter().zip(exact.iter()).enumerate() {
@@ -244,6 +245,7 @@ mod tests {
             burn_in: 200,
             samples: 10000,
             seed: 11,
+            ..GibbsConfig::default()
         };
         let seq = crate::gibbs::gibbs_marginals(&g, &config);
         let par = chromatic_marginals(&g, 3, &config);
@@ -261,6 +263,7 @@ mod tests {
             burn_in: 10,
             samples: 50,
             seed: 99,
+            ..GibbsConfig::default()
         };
         let a = chromatic_marginals(&g, 2, &config);
         let b = chromatic_marginals(&g, 2, &config);

@@ -66,6 +66,7 @@ mod tests {
                 burn_in: 200,
                 samples: 5000,
                 seed: 1,
+                ..GibbsConfig::default()
             },
         );
         let (updated, written) = write_marginals(&out.facts, &gg, &marginals);

@@ -30,7 +30,7 @@ proptest! {
         let exact = exact_marginals(&g);
         let est = gibbs_marginals(
             &g,
-            &GibbsConfig { burn_in: 300, samples: 12_000, seed: 17 },
+            &GibbsConfig { burn_in: 300, samples: 12_000, seed: 17, ..GibbsConfig::default() },
         );
         for (v, (e, m)) in exact.iter().zip(est.p.iter()).enumerate() {
             prop_assert!((e - m).abs() < 0.05, "var {v}: exact {e} vs gibbs {m}");
@@ -44,7 +44,7 @@ proptest! {
         let est = chromatic_marginals(
             &g,
             3,
-            &GibbsConfig { burn_in: 300, samples: 12_000, seed: 23 },
+            &GibbsConfig { burn_in: 300, samples: 12_000, seed: 23, ..GibbsConfig::default() },
         );
         for (v, (e, m)) in exact.iter().zip(est.p.iter()).enumerate() {
             prop_assert!((e - m).abs() < 0.05, "var {v}: exact {e} vs chromatic {m}");

@@ -41,6 +41,15 @@ fn indent(text: &str) -> String {
         .collect()
 }
 
+/// Format an `EXPLAIN ANALYZE`-style annotation line: `name  (k=v, k=v)` —
+/// the same shape the relational executor prints for plan nodes
+/// (`Hash Join …  (rows=600, time=1.20ms, workers=4)`), reused by the
+/// inference reporting so grounding and sampling reports read alike.
+pub fn annotate(name: &str, pairs: &[(&str, String)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}  ({})", body.join(", "))
+}
+
 /// Render a grounding report as the per-iteration table the harnesses
 /// print (engine, load, iterations, factor pass, totals).
 pub fn render_report(report: &GroundingReport) -> String {
@@ -114,6 +123,20 @@ mod tests {
         // Length-3 plans join TΠ twice in the body plus once for the head.
         let tpi_scans = text.matches("Seq Scan on T_pi").count();
         assert!(tpi_scans >= 6, "got {tpi_scans} TΠ scans");
+    }
+
+    #[test]
+    fn annotate_mirrors_plan_node_shape() {
+        let line = annotate(
+            "PartitionedGibbs",
+            &[
+                ("workers", "4".into()),
+                ("sweeps", "600".into()),
+                ("rhat", "1.0042".into()),
+            ],
+        );
+        assert_eq!(line, "PartitionedGibbs  (workers=4, sweeps=600, rhat=1.0042)");
+        assert_eq!(annotate("X", &[]), "X  ()");
     }
 
     #[test]

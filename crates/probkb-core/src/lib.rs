@@ -56,7 +56,7 @@ pub mod prelude {
         ResumeSummary, CRASH_EXIT_CODE,
     };
     pub use crate::engine::{GroundingEngine, ViolatorKey};
-    pub use crate::explain::{explain_grounding, render_report};
+    pub use crate::explain::{annotate, explain_grounding, render_report};
     pub use crate::grounding::{
         ground, ground_loaded, GroundingConfig, GroundingOutcome, GroundingReport,
         IterationStats,

@@ -117,6 +117,18 @@ where
     out
 }
 
+/// Parse a positive worker count from an environment variable. Unset,
+/// unparsable, or zero values all mean `None` — every `PROBKB_*` worker
+/// knob treats those as "keep the serial default". Callers cache the
+/// result (the knobs are read once per process); this helper only does
+/// the parsing so all knobs agree on the accepted syntax.
+pub fn env_workers(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 /// The process-wide default worker-thread budget, read **once** from the
 /// `PROBKB_THREADS` environment variable and cached. Unset, unparsable,
 /// or zero values all mean 1 — parallel execution is opt-in, and the
@@ -125,13 +137,7 @@ where
 /// take an explicit override instead of re-reading the environment.
 pub fn default_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("PROBKB_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-    })
+    *THREADS.get_or_init(|| env_workers("PROBKB_THREADS").unwrap_or(1))
 }
 
 /// Run `f(0), f(1), …, f(n-1)` on at most `threads` workers and return the

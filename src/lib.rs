@@ -59,8 +59,8 @@ pub mod pipeline {
     use probkb_core::prelude::{expand, ExpandOptions, Expansion};
     use probkb_factorgraph::prelude::{from_phi, GroundGraph, Lineage};
     use probkb_inference::prelude::{
-        belief_propagation, chromatic_marginals, gibbs_marginals, write_marginals, BpConfig,
-        GibbsConfig, Marginals,
+        belief_propagation, chromatic_marginals, gibbs_marginals, partitioned_marginals,
+        write_marginals, BpConfig, GibbsConfig, GibbsReport, Marginals,
     };
     use probkb_kb::prelude::ProbKb;
     use probkb_relational::prelude::{Result, Table};
@@ -72,6 +72,10 @@ pub mod pipeline {
         Gibbs,
         /// Chromatic parallel Gibbs with the given thread count.
         ChromaticGibbs(usize),
+        /// Partition-sharded multi-chain Gibbs with online convergence
+        /// control (chains/workers/target R̂ come from the `gibbs` config;
+        /// the worker count never changes results).
+        Partitioned,
         /// Deterministic loopy belief propagation.
         BeliefPropagation(BpConfig),
     }
@@ -106,6 +110,9 @@ pub mod pipeline {
         pub graph: GroundGraph,
         /// Estimated marginals.
         pub marginals: Marginals,
+        /// Inference execution report with `workers=`/`sweeps=`/`rhat=`
+        /// annotations (populated by [`Sampler::Partitioned`]).
+        pub inference: Option<GibbsReport>,
         /// `TΠ` with NULL weights replaced by marginals.
         pub facts_with_marginals: Table,
         /// Lineage index over `TΦ`.
@@ -135,10 +142,16 @@ pub mod pipeline {
     pub fn run_pipeline(kb: &ProbKb, options: &PipelineOptions) -> Result<PipelineResult> {
         let expansion = expand(kb, &options.expand)?;
         let graph = from_phi(&expansion.outcome.factors);
+        let mut inference = None;
         let marginals = match options.sampler {
             Sampler::Gibbs => gibbs_marginals(&graph.graph, &options.gibbs),
             Sampler::ChromaticGibbs(threads) => {
                 chromatic_marginals(&graph.graph, threads, &options.gibbs)
+            }
+            Sampler::Partitioned => {
+                let run = partitioned_marginals(&graph.graph, &options.gibbs);
+                inference = Some(run.report);
+                run.marginals
             }
             Sampler::BeliefPropagation(config) => {
                 belief_propagation(&graph.graph, &config).marginals
@@ -151,6 +164,7 @@ pub mod pipeline {
             expansion,
             graph,
             marginals,
+            inference,
             facts_with_marginals,
             lineage,
         })

@@ -195,6 +195,7 @@ mod tests {
                     burn_in: 100,
                     samples: 2000,
                     seed: 8,
+                    ..GibbsConfig::default()
                 },
                 ..PipelineOptions::default()
             },

@@ -14,6 +14,7 @@ fn options(sampler: Sampler) -> PipelineOptions {
             burn_in: 50,
             samples: 400,
             seed: 17,
+            ..GibbsConfig::default()
         },
         ..PipelineOptions::default()
     }

@@ -10,6 +10,7 @@ fn table1_options() -> PipelineOptions {
             burn_in: 100,
             samples: 4000,
             seed: 12,
+            ..GibbsConfig::default()
         },
         ..PipelineOptions::default()
     }
@@ -112,6 +113,7 @@ fn gibbs_matches_exact_oracle_on_table1() {
                 burn_in: 500,
                 samples: 30_000,
                 seed: 5,
+                ..GibbsConfig::default()
             },
             ..PipelineOptions::default()
         },
@@ -202,6 +204,7 @@ fn export_roundtrip_preserves_inference() {
             burn_in: 100,
             samples: 2000,
             seed: 3,
+            ..GibbsConfig::default()
         },
     );
     let m2 = gibbs_marginals(
@@ -210,6 +213,7 @@ fn export_roundtrip_preserves_inference() {
             burn_in: 100,
             samples: 2000,
             seed: 3,
+            ..GibbsConfig::default()
         },
     );
     assert_eq!(m1.p, m2.p, "roundtripped graph must sample identically");
