@@ -36,6 +36,14 @@ cargo bench --offline --no-run --workspace
 MICROBENCH_SAMPLES=1 cargo bench --offline -p probkb-bench --bench gibbs
 cargo run --release --offline -p probkb-bench --bin table2
 
+# Incremental-expansion bench smoke: apply_delta must stay byte-identical
+# to the full re-ground oracle (the bench asserts the fingerprints match)
+# and the blanket-scoped re-inference path must run end to end. The
+# incremental test suites themselves (incremental_differential,
+# incremental_inference, incremental_durability, incremental_stats) ride
+# in the --workspace test matrix above.
+MICROBENCH_SAMPLES=1 cargo bench --offline -p probkb-bench --bench delta
+
 # Join-order microbench: the statistics-driven planner must beat the
 # worst-case left-deep order on the skewed workload (the binary asserts
 # both plans agree on output size; see EXPERIMENTS.md for numbers).

@@ -140,6 +140,69 @@ pub fn color(graph: &FactorGraph) -> Coloring {
     Coloring { color, classes }
 }
 
+/// Extend a coloring after the graph grew (see [`FactorGraph::extend`]):
+/// variables `old_num_vars..` are new, and added factors may also have
+/// made two previously independent *old* variables adjacent. Old colors
+/// are kept wherever they are still proper; only the new variables plus
+/// any old variables now in conflict are (re)colored, greedily in the
+/// same descending-degree order [`color`] uses. The result is proper and
+/// deterministic, though it may use more colors than a from-scratch
+/// recoloring — the price of not touching the rest of the assignment.
+pub fn extend_color(graph: &FactorGraph, base: &Coloring, old_num_vars: usize) -> Coloring {
+    let n = graph.num_vars();
+    assert!(old_num_vars <= n, "old variable count exceeds the graph");
+    assert_eq!(base.color.len(), old_num_vars, "base coloring size mismatch");
+    let mut color = vec![usize::MAX; n];
+    color[..old_num_vars].copy_from_slice(&base.color);
+
+    // Every conflicting old-old edge gets both endpoints recolored; new
+    // variables are uncolored by construction.
+    let mut recolor: Vec<VarId> = (old_num_vars..n).collect();
+    for v in 0..old_num_vars {
+        if graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| u < old_num_vars && base.color[u] == base.color[v])
+        {
+            recolor.push(v);
+        }
+    }
+    for &v in &recolor {
+        color[v] = usize::MAX;
+    }
+    recolor.sort_by_key(|&v| (std::cmp::Reverse(graph.factors_of(v).len()), v));
+
+    let mut used: Vec<bool> = Vec::new();
+    for &v in &recolor {
+        used.clear();
+        for u in graph.neighbors(v) {
+            let c = color[u];
+            if c != usize::MAX {
+                if c >= used.len() {
+                    used.resize(c + 1, false);
+                }
+                used[c] = true;
+            }
+        }
+        color[v] = used.iter().position(|&b| !b).unwrap_or(used.len());
+    }
+
+    // Rebuild classes and re-number colors densely, as `color` does.
+    let max_color = color.iter().copied().max().map_or(0, |c| c + 1);
+    let mut classes: Vec<Vec<VarId>> = vec![Vec::new(); max_color];
+    for (v, &c) in color.iter().enumerate() {
+        classes[c].push(v);
+    }
+    classes.retain(|class| !class.is_empty());
+    let mut color = vec![0usize; n];
+    for (c, class) in classes.iter().enumerate() {
+        for &v in class {
+            color[v] = c;
+        }
+    }
+    Coloring { color, classes }
+}
+
 /// Verify that a coloring is proper (no two neighbors share a color).
 pub fn is_proper(graph: &FactorGraph, coloring: &Coloring) -> bool {
     (0..graph.num_vars()).all(|v| {
@@ -237,6 +300,70 @@ mod tests {
         assert_eq!(c.partition(2).shards, c.partition(2).shards);
         // Degenerate shard size is clamped to 1.
         assert_eq!(c.partition(0).shard_size, 1);
+    }
+
+    #[test]
+    fn extend_color_keeps_untouched_assignments() {
+        let mut g = FactorGraph::new(
+            4,
+            (1..4).map(|v| Factor::rule(v, vec![v - 1], 1.0)).collect(),
+        );
+        let base = color(&g);
+        // Hang two new variables off the end of the chain.
+        g.extend(
+            6,
+            vec![Factor::rule(4, vec![3], 1.0), Factor::rule(5, vec![4], 1.0)],
+        );
+        let ext = extend_color(&g, &base, 4);
+        assert!(is_proper(&g, &ext));
+        // Old vars 0..3 keep a proper 2-coloring; only 3 gained neighbors
+        // and none of them conflicts, so no old var was recolored: the old
+        // classes survive as subsets.
+        for v in 0..4 {
+            for u in 0..4 {
+                assert_eq!(
+                    base.color[v] == base.color[u],
+                    ext.color[v] == ext.color[u],
+                    "old same-class structure changed at ({v},{u})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_color_repairs_old_old_conflicts() {
+        // 0-1 and 2-3 chains: 0 and 2 may share a color. A new ternary
+        // factor makes 0, 2 and the new var 4 mutually adjacent, forcing a
+        // repair of the old assignment.
+        let mut g = FactorGraph::new(
+            4,
+            vec![Factor::rule(1, vec![0], 1.0), Factor::rule(3, vec![2], 1.0)],
+        );
+        let base = color(&g);
+        assert_eq!(base.color[0], base.color[2]);
+        g.extend(5, vec![Factor::rule(4, vec![0, 2], 1.0)]);
+        let ext = extend_color(&g, &base, 4);
+        assert!(is_proper(&g, &ext));
+        assert_ne!(ext.color[0], ext.color[2]);
+        assert_ne!(ext.color[0], ext.color[4]);
+        assert_ne!(ext.color[2], ext.color[4]);
+    }
+
+    #[test]
+    fn extend_color_is_deterministic_and_partitions_vars() {
+        let mut g = FactorGraph::new(
+            5,
+            (1..5).map(|v| Factor::rule(v, vec![v - 1], 1.0)).collect(),
+        );
+        let base = color(&g);
+        g.extend(8, vec![Factor::rule(7, vec![5, 6], 0.5)]);
+        let a = extend_color(&g, &base, 5);
+        let b = extend_color(&g, &base, 5);
+        assert_eq!(a.color, b.color);
+        assert_eq!(a.classes, b.classes);
+        let total: usize = a.classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+        assert!(is_proper(&g, &a));
     }
 
     #[test]

@@ -29,6 +29,53 @@ impl GroundGraph {
     pub fn fact_of(&self, var: VarId) -> i64 {
         self.var_to_fact[var]
     }
+
+    /// Renumber the fact ids behind the variables (variable indices are
+    /// untouched). Incremental expansion renumbers `TΠ` ids when a delta
+    /// is applied; this keeps a live graph's mapping in sync so warm
+    /// sampler state stays attached to the same ground atoms.
+    pub fn remap_fact_ids(&mut self, map: impl Fn(i64) -> i64) {
+        for fact in &mut self.var_to_fact {
+            *fact = map(*fact);
+        }
+        self.fact_to_var = self
+            .var_to_fact
+            .iter()
+            .enumerate()
+            .map(|(v, &fact)| (fact, v))
+            .collect();
+    }
+
+    /// Merge the factors of an additional `TΦ` slice into the graph in
+    /// place, interning any fact ids not seen before as fresh variables at
+    /// the end of the index space (so existing variables — and any warm
+    /// sampler state indexed by them — are stable). Returns the sorted
+    /// variables the added factors touch, the seed of the delta's Markov
+    /// blanket.
+    pub fn extend_with(&mut self, phi: &Table) -> Vec<VarId> {
+        use probkb_core::relmodel::tphi;
+        let mut factors = Vec::with_capacity(phi.len());
+        for row in phi.rows() {
+            let head_fact = row[tphi::I1].as_int().expect("I1 is non-null");
+            let head = self.intern(head_fact);
+            let mut body = Vec::new();
+            for col in [tphi::I2, tphi::I3] {
+                if let Some(fact) = row[col].as_int() {
+                    body.push(self.intern(fact));
+                }
+            }
+            let weight = row[tphi::W].as_float().expect("factor weight");
+            factors.push(Factor { head, body, weight });
+        }
+        self.graph.extend(self.var_to_fact.len(), factors)
+    }
+
+    fn intern(&mut self, fact: i64) -> VarId {
+        *self.fact_to_var.entry(fact).or_insert_with(|| {
+            self.var_to_fact.push(fact);
+            self.var_to_fact.len() - 1
+        })
+    }
 }
 
 /// Build a [`GroundGraph`] from a `TΦ` table (Definition 7 rows).
@@ -118,6 +165,50 @@ mod tests {
             assert_eq!(gg.var_of(fact), Some(v));
         }
         assert_eq!(gg.var_of(12345), None);
+    }
+
+    #[test]
+    fn remap_and_extend_track_incremental_phi() {
+        let phi = phi_for(
+            r#"
+            fact 0.9 born_in(A:Person, B:City)
+            rule 1.0 live_in(x:Person, y:City) :- born_in(x, y)
+            "#,
+        );
+        let mut gg = from_phi(&phi);
+        let old_vars = gg.graph.num_vars();
+        // A delta renumbers every fact id up by 10.
+        gg.remap_fact_ids(|id| id + 10);
+        for v in 0..old_vars {
+            assert_eq!(gg.var_of(gg.fact_of(v)), Some(v));
+            assert!(gg.fact_of(v) >= 10);
+        }
+        // New factors: one touching an existing fact, one entirely new.
+        use probkb_relational::prelude::{Schema, Column, DataType, Value};
+        let schema = Schema::new(vec![
+            Column::new("I1", DataType::Int),
+            Column::nullable("I2", DataType::Int),
+            Column::nullable("I3", DataType::Int),
+            Column::new("w", DataType::Float),
+        ]);
+        let added = Table::from_rows_unchecked(
+            schema,
+            vec![
+                vec![
+                    Value::Int(42),
+                    Value::Int(gg.fact_of(0)),
+                    Value::Null,
+                    Value::Float(0.5),
+                ],
+                vec![Value::Int(43), Value::Null, Value::Null, Value::Float(0.9)],
+            ],
+        );
+        let touched = gg.extend_with(&added);
+        assert_eq!(gg.graph.num_vars(), old_vars + 2);
+        assert_eq!(gg.var_of(42), Some(old_vars));
+        assert_eq!(gg.var_of(43), Some(old_vars + 1));
+        // Touched: the two new vars plus the reused old var 0.
+        assert_eq!(touched, vec![0, old_vars, old_vars + 1]);
     }
 
     #[test]

@@ -220,6 +220,79 @@ impl FactorGraph {
             .sum()
     }
 
+    /// Grow the graph in place: enlarge the variable range to
+    /// `new_num_vars` and append `added` factors, merging them into the
+    /// CSR adjacency. Existing factor indices are stable and the result is
+    /// identical to rebuilding from the concatenated factor list, but only
+    /// O(V + F_old + F_new) of copying happens — no re-derivation of the
+    /// old structure. Returns the sorted, deduplicated variables the new
+    /// factors touch: the seed set of the delta's Markov blanket for
+    /// incremental re-inference.
+    ///
+    /// # Panics
+    /// Panics if `new_num_vars` shrinks the graph or an added factor
+    /// references a variable `>= new_num_vars`.
+    pub fn extend(&mut self, new_num_vars: usize, added: Vec<Factor>) -> Vec<VarId> {
+        assert!(
+            new_num_vars >= self.num_vars,
+            "extend cannot shrink the graph ({new_num_vars} < {})",
+            self.num_vars
+        );
+        let distinct = |f: &Factor| {
+            let mut vs: Vec<usize> = f.vars().collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        };
+        let mut add_degree = vec![0usize; new_num_vars];
+        for f in &added {
+            for v in f.vars() {
+                assert!(
+                    v < new_num_vars,
+                    "factor references variable {v} >= {new_num_vars}"
+                );
+            }
+            for v in distinct(f) {
+                add_degree[v] += 1;
+            }
+        }
+        let mut adj_off = Vec::with_capacity(new_num_vars + 1);
+        let mut acc = 0usize;
+        adj_off.push(0);
+        for (v, added_deg) in add_degree.iter().enumerate() {
+            let old_deg = if v < self.num_vars {
+                self.adj_off[v + 1] - self.adj_off[v]
+            } else {
+                0
+            };
+            acc += old_deg + added_deg;
+            adj_off.push(acc);
+        }
+        let mut adj = vec![0usize; acc];
+        let mut cursor: Vec<usize> = adj_off[..new_num_vars].to_vec();
+        for v in 0..self.num_vars {
+            let run = &self.adj[self.adj_off[v]..self.adj_off[v + 1]];
+            adj[cursor[v]..cursor[v] + run.len()].copy_from_slice(run);
+            cursor[v] += run.len();
+        }
+        let base = self.factors.len();
+        let mut touched = Vec::new();
+        for (k, f) in added.iter().enumerate() {
+            for v in distinct(f) {
+                adj[cursor[v]] = base + k;
+                cursor[v] += 1;
+                touched.push(v);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.factors.extend(added);
+        self.adj_off = adj_off;
+        self.adj = adj;
+        self.num_vars = new_num_vars;
+        touched
+    }
+
     /// Variables that co-occur with `v` in some factor (its Markov
     /// blanket, excluding `v` itself).
     pub fn neighbors(&self, v: VarId) -> Vec<VarId> {
@@ -332,5 +405,43 @@ mod tests {
     #[should_panic(expected = "factor references variable")]
     fn out_of_range_factor_panics() {
         FactorGraph::new(1, vec![Factor::rule(0, vec![5], 1.0)]);
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_build() {
+        let mut g = chain();
+        let added = vec![
+            Factor::rule(3, vec![1, 2], 0.7),
+            Factor::singleton(4, 0.2),
+            Factor::rule(0, vec![4], 1.1),
+        ];
+        let touched = g.extend(5, added.clone());
+        assert_eq!(touched, vec![0, 1, 2, 3, 4]);
+
+        let mut all = chain().factors().to_vec();
+        all.extend(added);
+        let fresh = FactorGraph::new(5, all);
+        assert_eq!(g.num_vars(), fresh.num_vars());
+        assert_eq!(g.factors(), fresh.factors());
+        for v in 0..5 {
+            assert_eq!(g.factors_of(v), fresh.factors_of(v), "var {v}");
+            assert_eq!(g.neighbors(v), fresh.neighbors(v), "var {v}");
+        }
+    }
+
+    #[test]
+    fn extend_with_no_factors_just_adds_isolated_vars() {
+        let mut g = chain();
+        let touched = g.extend(6, vec![]);
+        assert!(touched.is_empty());
+        assert_eq!(g.num_vars(), 6);
+        assert_eq!(g.factors_of(5), &[] as &[usize]);
+        assert_eq!(g.factors_of(1), &[1, 2]); // old adjacency untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn extend_rejects_shrinking() {
+        chain().extend(2, vec![]);
     }
 }

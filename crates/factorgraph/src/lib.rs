@@ -24,7 +24,7 @@ pub mod lineage;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
-    pub use crate::coloring::{color, is_proper, Coloring, Shard, Sharding};
+    pub use crate::coloring::{color, extend_color, is_proper, Coloring, Shard, Sharding};
     pub use crate::export::{from_json, to_json, GraphDoc};
     pub use crate::from_phi::{from_phi, GroundGraph};
     pub use crate::graph::{Factor, FactorGraph, VarId};

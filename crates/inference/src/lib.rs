@@ -10,6 +10,8 @@
 //! * [`partitioned`] — the production path: partition-sharded multi-chain
 //!   Gibbs on the fork-join pool (`PROBKB_GIBBS_WORKERS`) with
 //!   shape-batched factor evaluation and online convergence control.
+//! * [`blanket`] — Markov-blanket-scoped resampling with warm-started
+//!   chains for incremental expansion (`apply_delta`).
 //! * [`diagnostics`] — split-R̂ (Gelman–Rubin) and effective-sample-size
 //!   estimators, incremental across chains.
 //! * [`exact`] — brute-force enumeration oracle (≤ 24 variables) used by
@@ -19,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blanket;
 pub mod bp;
 pub mod diagnostics;
 pub mod exact;
@@ -30,6 +33,9 @@ pub mod writeback;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::blanket::{
+        blanket_of, blanket_resample, blanket_resample_with, BlanketReport, BlanketRun,
+    };
     pub use crate::bp::{belief_propagation, max_product, BpConfig, BpResult};
     pub use crate::diagnostics::{ess, split_rhat, ChainStats};
     pub use crate::exact::{exact_marginals, log_partition};

@@ -460,7 +460,7 @@ impl<'a> PartitionedGibbs<'a> {
 
 /// Mix a shard's RNG seed from the run seed and the shard coordinates.
 /// SplitMix64-style finalization keeps nearby coordinates uncorrelated.
-fn shard_seed(seed: u64, chain: u64, sweep: u64, shard: u64) -> u64 {
+pub(crate) fn shard_seed(seed: u64, chain: u64, sweep: u64, shard: u64) -> u64 {
     let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
     for x in [chain, sweep, shard] {
         h = (h ^ x).wrapping_add(0x9E37_79B9_7F4A_7C15);

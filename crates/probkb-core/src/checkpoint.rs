@@ -125,7 +125,7 @@ impl From<StorageError> for CheckpointError {
 /// Result alias for the checkpointed driver.
 pub type CheckpointResult<T> = std::result::Result<T, CheckpointError>;
 
-fn corrupt(msg: impl Into<String>) -> CheckpointError {
+pub(crate) fn corrupt(msg: impl Into<String>) -> CheckpointError {
     CheckpointError::Storage(StorageError::Corrupt(msg.into()))
 }
 
@@ -339,7 +339,7 @@ fn decode_record(payload: &[u8]) -> probkb_storage::Result<WalRecord> {
 /// (threads and optimize only change scheduling and physical plans,
 /// never results, so they are excluded — a run may resume under a
 /// different optimizer setting).
-fn config_digest(config: &GroundingConfig) -> u32 {
+pub(crate) fn config_digest(config: &GroundingConfig) -> u32 {
     let mut w = ByteWriter::new();
     w.put_u64(config.max_iterations as u64);
     w.put_u8(config.preclean as u8);
@@ -469,7 +469,7 @@ fn decode_stats(bytes: &[u8]) -> probkb_storage::Result<Vec<IterationStats>> {
     Ok(stats)
 }
 
-fn encode_factiter(fact_iteration: &HashMap<i64, usize>) -> Vec<u8> {
+pub(crate) fn encode_factiter(fact_iteration: &HashMap<i64, usize>) -> Vec<u8> {
     let mut pairs: Vec<(i64, usize)> = fact_iteration.iter().map(|(&k, &v)| (k, v)).collect();
     pairs.sort_unstable();
     let mut w = ByteWriter::new();
@@ -481,7 +481,7 @@ fn encode_factiter(fact_iteration: &HashMap<i64, usize>) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_factiter(bytes: &[u8]) -> probkb_storage::Result<HashMap<i64, usize>> {
+pub(crate) fn decode_factiter(bytes: &[u8]) -> probkb_storage::Result<HashMap<i64, usize>> {
     let mut r = ByteReader::new(bytes);
     let n = r.get_u64()? as usize;
     let mut map = HashMap::with_capacity(n.min(1 << 20));

@@ -1,0 +1,611 @@
+//! Durable incremental expansion (DESIGN.md, "Incremental expansion").
+//!
+//! [`DurableDeltaSession`] wraps a [`DeltaSession`] with the same
+//! snapshot + write-ahead-log discipline [`crate::checkpoint`] gives the
+//! batch grounding loop:
+//!
+//! * [`DurableDeltaSession::create`] grounds the base KB and writes a
+//!   **base snapshot** (KB, `TΠ`, `TΦ`, derivation schedule) to the
+//!   session directory.
+//! * Every committed [`DurableDeltaSession::apply_delta`] appends one
+//!   CRC-guarded frame to `delta.wal` carrying the *input* delta (facts
+//!   and rules, verbatim) plus the expected post-delta fact/factor
+//!   counts, then fsyncs before reporting success.
+//! * [`DurableDeltaSession::resume`] restores the base snapshot and
+//!   re-applies the committed delta suffix. Because
+//!   [`DeltaSession::apply_delta`] is deterministic, replay lands on
+//!   **byte-identical** facts and factors; the logged counts are checked
+//!   after each replayed frame to catch divergence early.
+//!
+//! A crash between computing a delta and committing its frame simply
+//! loses that delta: the torn tail is truncated on resume and the caller
+//! re-submits. The crash points are injectable for tests via
+//! [`CRASH_MID_DELTA_ENV`] and [`CRASH_AFTER_DELTA_ENV`] (process exits
+//! with [`CRASH_EXIT_CODE`], mirroring `PROBKB_CRASH_AFTER_ITER`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use probkb_kb::prelude::{Atom, ClassId, EntityId, Fact, HornRule, ProbKb, RelationId, Var};
+use probkb_storage::error::io_err;
+use probkb_storage::format::{get_table, put_table, ByteReader, ByteWriter};
+use probkb_storage::kbcodec::{decode_kb, encode_kb, kb_digest};
+use probkb_storage::snapshot::{Snapshot, SnapshotBuilder};
+use probkb_storage::wal::{scan_wal, WalWriter};
+use probkb_storage::StorageError;
+
+use crate::checkpoint::{
+    config_digest, corrupt, decode_factiter, encode_factiter, CheckpointError, CheckpointResult,
+    CRASH_EXIT_CODE,
+};
+use crate::delta::{DeltaApplied, DeltaSession, KbDelta};
+use crate::grounding::GroundingConfig;
+
+/// WAL file name inside a delta-session directory.
+pub const DELTA_WAL_FILE: &str = "delta.wal";
+
+/// Base snapshot file name inside a delta-session directory.
+pub const DELTA_SNAPSHOT_FILE: &str = "delta-base.snapshot";
+
+/// Env var: crash (exit [`CRASH_EXIT_CODE`]) after *computing* delta
+/// number `N` but **before** its WAL frame is appended — the delta is
+/// lost and must be re-submitted after resume.
+pub const CRASH_MID_DELTA_ENV: &str = "PROBKB_CRASH_MID_DELTA";
+
+/// Env var: crash (exit [`CRASH_EXIT_CODE`]) after delta number `N` is
+/// fully committed — resume must replay it byte-identically.
+pub const CRASH_AFTER_DELTA_ENV: &str = "PROBKB_CRASH_AFTER_DELTA";
+
+/// WAL record tag for a committed delta (the batch checkpoint module
+/// uses tags 1–4; sharing the numbering space keeps files unambiguous).
+const REC_DELTA: u8 = 5;
+
+// ---------------------------------------------------------------------
+// Delta record codec
+// ---------------------------------------------------------------------
+
+fn put_var(w: &mut ByteWriter, v: Var) {
+    w.put_u8(match v {
+        Var::X => 0,
+        Var::Y => 1,
+        Var::Z => 2,
+    });
+}
+
+fn get_var(r: &mut ByteReader<'_>) -> probkb_storage::Result<Var> {
+    match r.get_u8()? {
+        0 => Ok(Var::X),
+        1 => Ok(Var::Y),
+        2 => Ok(Var::Z),
+        t => Err(StorageError::Corrupt(format!("bad var tag {t}"))),
+    }
+}
+
+fn put_atom(w: &mut ByteWriter, atom: &Atom) {
+    w.put_u32(atom.rel.0);
+    put_var(w, atom.a);
+    put_var(w, atom.b);
+}
+
+fn get_atom(r: &mut ByteReader<'_>) -> probkb_storage::Result<Atom> {
+    let rel = RelationId(r.get_u32()?);
+    let a = get_var(r)?;
+    let b = get_var(r)?;
+    Ok(Atom { rel, a, b })
+}
+
+fn put_opt_f64(w: &mut ByteWriter, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            w.put_u8(1);
+            w.put_f64(x);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_f64(r: &mut ByteReader<'_>) -> probkb_storage::Result<Option<f64>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_f64()?)),
+        t => Err(StorageError::Corrupt(format!("bad option tag {t}"))),
+    }
+}
+
+fn encode_delta_record(
+    seq: usize,
+    delta: &KbDelta,
+    facts_after: usize,
+    factors_after: usize,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_DELTA);
+    w.put_u64(seq as u64);
+    w.put_u64(delta.facts.len() as u64);
+    for f in &delta.facts {
+        w.put_u32(f.rel.0);
+        w.put_u32(f.x.0);
+        w.put_u32(f.c1.0);
+        w.put_u32(f.y.0);
+        w.put_u32(f.c2.0);
+        put_opt_f64(&mut w, f.weight);
+    }
+    w.put_u64(delta.rules.len() as u64);
+    for rule in &delta.rules {
+        put_atom(&mut w, &rule.head);
+        w.put_u64(rule.body.len() as u64);
+        for atom in &rule.body {
+            put_atom(&mut w, atom);
+        }
+        w.put_u32(rule.cx.0);
+        w.put_u32(rule.cy.0);
+        match rule.cz {
+            Some(c) => {
+                w.put_u8(1);
+                w.put_u32(c.0);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_f64(rule.weight);
+        w.put_f64(rule.significance);
+    }
+    w.put_u64(facts_after as u64);
+    w.put_u64(factors_after as u64);
+    w.into_bytes()
+}
+
+/// A decoded delta frame: the input delta plus the fact/factor counts
+/// the original apply produced (checked after replay).
+struct DeltaRecord {
+    seq: usize,
+    delta: KbDelta,
+    facts_after: usize,
+    factors_after: usize,
+}
+
+fn decode_delta_record(payload: &[u8]) -> probkb_storage::Result<DeltaRecord> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.get_u8()?;
+    if tag != REC_DELTA {
+        return Err(StorageError::Corrupt(format!("bad delta record tag {tag}")));
+    }
+    let seq = r.get_u64()? as usize;
+    let n_facts = r.get_u64()? as usize;
+    let mut facts = Vec::with_capacity(n_facts.min(1 << 20));
+    for _ in 0..n_facts {
+        let rel = RelationId(r.get_u32()?);
+        let x = EntityId(r.get_u32()?);
+        let c1 = ClassId(r.get_u32()?);
+        let y = EntityId(r.get_u32()?);
+        let c2 = ClassId(r.get_u32()?);
+        let weight = get_opt_f64(&mut r)?;
+        facts.push(Fact {
+            rel,
+            x,
+            c1,
+            y,
+            c2,
+            weight,
+        });
+    }
+    let n_rules = r.get_u64()? as usize;
+    let mut rules = Vec::with_capacity(n_rules.min(1 << 20));
+    for _ in 0..n_rules {
+        let head = get_atom(&mut r)?;
+        let n_body = r.get_u64()? as usize;
+        let mut body = Vec::with_capacity(n_body.min(1 << 10));
+        for _ in 0..n_body {
+            body.push(get_atom(&mut r)?);
+        }
+        let cx = ClassId(r.get_u32()?);
+        let cy = ClassId(r.get_u32()?);
+        let cz = match r.get_u8()? {
+            0 => None,
+            1 => Some(ClassId(r.get_u32()?)),
+            t => return Err(StorageError::Corrupt(format!("bad cz tag {t}"))),
+        };
+        let weight = r.get_f64()?;
+        let significance = r.get_f64()?;
+        rules.push(HornRule {
+            head,
+            body,
+            cx,
+            cy,
+            cz,
+            weight,
+            significance,
+        });
+    }
+    let facts_after = r.get_u64()? as usize;
+    let factors_after = r.get_u64()? as usize;
+    if !r.is_at_end() {
+        return Err(StorageError::Corrupt("delta record has trailing bytes".into()));
+    }
+    Ok(DeltaRecord {
+        seq,
+        delta: KbDelta { facts, rules },
+        facts_after,
+        factors_after,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Base snapshot
+// ---------------------------------------------------------------------
+
+const SEC_META: &str = "meta";
+const SEC_KB: &str = "kb";
+const SEC_FACTS: &str = "facts";
+const SEC_FACTORS: &str = "factors";
+const SEC_FACTITER: &str = "factiter";
+
+fn write_base_snapshot(path: &Path, session: &DeltaSession) -> probkb_storage::Result<()> {
+    let mut meta = ByteWriter::new();
+    meta.put_u32(kb_digest(session.kb()));
+    meta.put_u32(config_digest(session.config()));
+    meta.put_u64(session.facts().len() as u64);
+    meta.put_u64(session.factors().len() as u64);
+
+    let mut facts = ByteWriter::new();
+    put_table(&mut facts, session.facts());
+    let mut factors = ByteWriter::new();
+    put_table(&mut factors, session.factors());
+
+    SnapshotBuilder::new()
+        .section(SEC_META, meta.into_bytes())
+        .section(SEC_KB, encode_kb(session.kb()))
+        .section(SEC_FACTS, facts.into_bytes())
+        .section(SEC_FACTORS, factors.into_bytes())
+        .section(SEC_FACTITER, encode_factiter(session.fact_iteration()))
+        .write_to(path)
+}
+
+fn read_base_snapshot(
+    path: &Path,
+    config: &GroundingConfig,
+) -> CheckpointResult<DeltaSession> {
+    let snap = Snapshot::read_from(path)?;
+
+    let kb: ProbKb = decode_kb(snap.section(SEC_KB)?)?;
+
+    let mut meta = ByteReader::new(snap.section(SEC_META)?);
+    let kb_d = meta.get_u32()?;
+    let cfg_d = meta.get_u32()?;
+    let n_facts = meta.get_u64()? as usize;
+    let n_factors = meta.get_u64()? as usize;
+    if !meta.is_at_end() {
+        return Err(corrupt("delta snapshot meta has trailing bytes"));
+    }
+    if kb_d != kb_digest(&kb) {
+        return Err(corrupt("delta snapshot KB digest mismatch"));
+    }
+    if cfg_d != config_digest(config) {
+        return Err(corrupt(
+            "delta snapshot was written under a different grounding config",
+        ));
+    }
+
+    let mut fr = ByteReader::new(snap.section(SEC_FACTS)?);
+    let facts = get_table(&mut fr)?;
+    let mut gr = ByteReader::new(snap.section(SEC_FACTORS)?);
+    let factors = get_table(&mut gr)?;
+    if facts.len() != n_facts || factors.len() != n_factors {
+        return Err(corrupt("delta snapshot table sizes disagree with meta"));
+    }
+    let fact_iteration = decode_factiter(snap.section(SEC_FACTITER)?)?;
+
+    Ok(DeltaSession::from_parts(
+        kb,
+        config.clone(),
+        facts,
+        factors,
+        fact_iteration,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------
+
+fn crash_if_requested(var: &str, seq: usize) {
+    if let Ok(raw) = std::env::var(var) {
+        if raw.trim().parse::<usize>().ok() == Some(seq) {
+            eprintln!("probkb: injected crash ({var}={seq})");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DurableDeltaSession
+// ---------------------------------------------------------------------
+
+/// How a [`DurableDeltaSession::resume`] recovered its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaResume {
+    /// Committed deltas re-applied from the WAL on top of the snapshot.
+    pub replayed: usize,
+    /// True when a torn or corrupt WAL tail was discarded.
+    pub dropped_tail: bool,
+}
+
+/// A [`DeltaSession`] whose applied deltas survive process crashes.
+#[derive(Debug)]
+pub struct DurableDeltaSession {
+    dir: PathBuf,
+    session: DeltaSession,
+    wal: WalWriter,
+    applied: usize,
+}
+
+impl DurableDeltaSession {
+    /// Ground `kb` from scratch, write the base snapshot into `dir`
+    /// (created if missing), and start an empty delta WAL.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        kb: ProbKb,
+        config: GroundingConfig,
+    ) -> CheckpointResult<DurableDeltaSession> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CheckpointError::Storage(io_err(&dir, e)))?;
+        let session = DeltaSession::new(kb, config)?;
+        write_base_snapshot(&dir.join(DELTA_SNAPSHOT_FILE), &session)?;
+        let wal = WalWriter::create(&dir.join(DELTA_WAL_FILE))?;
+        Ok(DurableDeltaSession {
+            dir,
+            session,
+            wal,
+            applied: 0,
+        })
+    }
+
+    /// Restore the base snapshot from `dir` and replay every committed
+    /// delta frame. `config` must match the one the session was created
+    /// under (threads/optimizer knobs excluded — they never change
+    /// results and may differ across restarts).
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        config: &GroundingConfig,
+    ) -> CheckpointResult<(DurableDeltaSession, DeltaResume)> {
+        let dir = dir.into();
+        let mut session = read_base_snapshot(&dir.join(DELTA_SNAPSHOT_FILE), config)?;
+
+        let wal_path = dir.join(DELTA_WAL_FILE);
+        let scan = scan_wal(&wal_path)?;
+        let mut replayed = 0usize;
+        for payload in &scan.frames {
+            let rec = decode_delta_record(payload)?;
+            if rec.seq != replayed + 1 {
+                return Err(corrupt(format!(
+                    "delta WAL sequence gap: expected {}, found {}",
+                    replayed + 1,
+                    rec.seq
+                )));
+            }
+            session.apply_delta(&rec.delta)?;
+            if session.facts().len() != rec.facts_after
+                || session.factors().len() != rec.factors_after
+            {
+                return Err(corrupt(format!(
+                    "delta {} replay diverged: {} facts / {} factors, logged {} / {}",
+                    rec.seq,
+                    session.facts().len(),
+                    session.factors().len(),
+                    rec.facts_after,
+                    rec.factors_after
+                )));
+            }
+            replayed += 1;
+        }
+        let wal = WalWriter::open_at(&wal_path, scan.valid_len)?;
+        let resume = DeltaResume {
+            replayed,
+            dropped_tail: scan.truncated,
+        };
+        Ok((
+            DurableDeltaSession {
+                dir,
+                session,
+                wal,
+                applied: replayed,
+            },
+            resume,
+        ))
+    }
+
+    /// The underlying in-memory session.
+    pub fn session(&self) -> &DeltaSession {
+        &self.session
+    }
+
+    /// The session directory (snapshot + WAL live here).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of deltas durably committed so far.
+    pub fn applied_deltas(&self) -> usize {
+        self.applied
+    }
+
+    /// Apply `delta` and make it durable: compute via
+    /// [`DeltaSession::apply_delta`], then append + fsync one WAL frame
+    /// recording the delta and the resulting fact/factor counts. The
+    /// delta is only considered committed once this returns `Ok`.
+    pub fn apply_delta(&mut self, delta: &KbDelta) -> CheckpointResult<DeltaApplied> {
+        let seq = self.applied + 1;
+        let applied = self.session.apply_delta(delta)?;
+        crash_if_requested(CRASH_MID_DELTA_ENV, seq);
+        let payload = encode_delta_record(
+            seq,
+            delta,
+            self.session.facts().len(),
+            self.session.factors().len(),
+        );
+        self.wal.append(&payload)?;
+        self.wal.commit()?;
+        self.applied = seq;
+        crash_if_requested(CRASH_AFTER_DELTA_ENV, seq);
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_kb::prelude::parse;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const BASE: &str = r#"
+        fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+        fact 0.90 born_in(Paul_Auster:Writer, Newark:City)
+        rule 1.40 live_in(x:Writer, y:City) :- born_in(x, y)
+        rule 0.90 famous_in(x:Writer, y:City) :- live_in(x, y)
+    "#;
+
+    const UNION: &str = r#"
+        fact 0.96 born_in(Ruth_Gruber:Writer, New_York_City:City)
+        fact 0.90 born_in(Paul_Auster:Writer, Newark:City)
+        rule 1.40 live_in(x:Writer, y:City) :- born_in(x, y)
+        rule 0.90 famous_in(x:Writer, y:City) :- live_in(x, y)
+        fact 0.80 born_in(Zadie_Smith:Writer, London:City)
+        rule 0.70 visited(x:Writer, y:City) :- famous_in(x, y)
+    "#;
+
+    fn config() -> GroundingConfig {
+        GroundingConfig {
+            apply_constraints: false,
+            ..GroundingConfig::default()
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "probkb-delta-store-{}-{name}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Base KB plus the (facts, rules) suffix that turns it into UNION.
+    /// Truncating the union keeps both sides on the union's dictionary,
+    /// so delta ids line up with the base KB's.
+    fn base_and_delta() -> (ProbKb, KbDelta) {
+        let union = parse(UNION).unwrap().build();
+        let base = parse(BASE).unwrap().build();
+        let (base_facts, base_rules) = (base.facts.len(), base.rules.len());
+        let delta = KbDelta {
+            facts: union.facts[base_facts..].to_vec(),
+            rules: union.rules[base_rules..].to_vec(),
+        };
+        let mut base_kb = union;
+        base_kb.facts.truncate(base_facts);
+        base_kb.rules.truncate(base_rules);
+        (base_kb, delta)
+    }
+
+    fn fingerprint(s: &DeltaSession) -> (String, String) {
+        (format!("{:?}", s.facts()), format!("{:?}", s.factors()))
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let (_, delta) = base_and_delta();
+        let payload = encode_delta_record(3, &delta, 17, 23);
+        let rec = decode_delta_record(&payload).unwrap();
+        assert_eq!(rec.seq, 3);
+        assert_eq!(rec.facts_after, 17);
+        assert_eq!(rec.factors_after, 23);
+        assert_eq!(rec.delta.facts, delta.facts);
+        assert_eq!(rec.delta.rules, delta.rules);
+    }
+
+    #[test]
+    fn create_apply_resume_is_byte_identical() {
+        let dir = tmp_dir("roundtrip");
+        let (base_kb, delta) = base_and_delta();
+        let mut live = DurableDeltaSession::create(&dir, base_kb, config()).unwrap();
+        live.apply_delta(&delta).unwrap();
+        assert_eq!(live.applied_deltas(), 1);
+        let want = fingerprint(live.session());
+        drop(live);
+
+        let (restored, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+        assert_eq!(
+            resume,
+            DeltaResume {
+                replayed: 1,
+                dropped_tail: false
+            }
+        );
+        assert_eq!(fingerprint(restored.session()), want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_no_deltas_restores_base() {
+        let dir = tmp_dir("empty");
+        let (base_kb, _) = base_and_delta();
+        let live = DurableDeltaSession::create(&dir, base_kb, config()).unwrap();
+        let want = fingerprint(live.session());
+        drop(live);
+
+        let (restored, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+        assert_eq!(resume.replayed, 0);
+        assert_eq!(fingerprint(restored.session()), want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_session_continues() {
+        let dir = tmp_dir("torn");
+        let (base_kb, delta) = base_and_delta();
+        let mut live = DurableDeltaSession::create(&dir, base_kb, config()).unwrap();
+        live.apply_delta(&delta).unwrap();
+        let want = fingerprint(live.session());
+        drop(live);
+
+        // Simulate a crash mid-append: garbage after the committed frame.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(DELTA_WAL_FILE))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]).unwrap();
+        drop(f);
+
+        let (mut restored, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+        assert_eq!(
+            resume,
+            DeltaResume {
+                replayed: 1,
+                dropped_tail: true
+            }
+        );
+        assert_eq!(fingerprint(restored.session()), want);
+
+        // The truncated WAL must accept new commits.
+        restored.apply_delta(&KbDelta::default()).unwrap();
+        assert_eq!(restored.applied_deltas(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let dir = tmp_dir("cfg");
+        let (base_kb, _) = base_and_delta();
+        drop(DurableDeltaSession::create(&dir, base_kb, config()).unwrap());
+
+        let other = GroundingConfig {
+            max_iterations: 3,
+            ..config()
+        };
+        let err = DurableDeltaSession::resume(&dir, &other).unwrap_err();
+        assert!(err.to_string().contains("different grounding config"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

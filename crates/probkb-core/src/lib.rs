@@ -38,6 +38,8 @@
 
 pub mod api;
 pub mod checkpoint;
+pub mod delta;
+pub mod delta_store;
 pub mod engine;
 pub mod explain;
 pub mod grounding;
@@ -54,6 +56,11 @@ pub mod prelude {
     pub use crate::checkpoint::{
         ground_checkpointed, CheckpointConfig, CheckpointError, CheckpointResult, CheckpointedRun,
         ResumeSummary, CRASH_EXIT_CODE,
+    };
+    pub use crate::delta::{DeltaApplied, DeltaReport, DeltaRound, DeltaSession, KbDelta};
+    pub use crate::delta_store::{
+        DeltaResume, DurableDeltaSession, CRASH_AFTER_DELTA_ENV, CRASH_MID_DELTA_ENV,
+        DELTA_SNAPSHOT_FILE, DELTA_WAL_FILE,
     };
     pub use crate::engine::{GroundingEngine, ViolatorKey};
     pub use crate::explain::{annotate, explain_grounding, render_report};

@@ -2,7 +2,7 @@
 //! schemas and loaders that turn a [`ProbKb`] into the `TΠ`, `M1..M6`,
 //! and `TΩ` tables, plus the fact-id registry that assigns `I` values.
 
-use std::collections::HashMap;
+use probkb_support::hash::FxHashMap;
 
 use probkb_kb::prelude::*;
 use probkb_relational::prelude::*;
@@ -174,7 +174,7 @@ pub mod names {
 #[derive(Debug, Default)]
 pub struct FactRegistry {
     next_id: i64,
-    index: HashMap<[i64; 5], i64>,
+    index: FxHashMap<[i64; 5], i64>,
 }
 
 impl FactRegistry {
@@ -287,23 +287,7 @@ pub fn load(kb: &ProbKb) -> RelationalKb {
         }
     }
 
-    let partitioning = Partitioning::build(&kb.rules);
-    let mut mln = Vec::new();
-    for pattern in partitioning.non_empty_patterns() {
-        let mut table = Table::empty(if pattern.arity() == 2 {
-            m2_schema()
-        } else {
-            m3_schema()
-        });
-        for (rule_id, classified) in partitioning.rules_in(pattern) {
-            let rule = &kb.rules[rule_id.raw() as usize];
-            table.push_unchecked(mln_row(rule, classified));
-        }
-        // Definition 6 stores *sets* of identifier tuples; Proposition 1
-        // relies on partitions being duplicate-free.
-        table.dedup_rows();
-        mln.push((pattern, table));
-    }
+    let (mln, rejected_rules) = mln_tables(&kb.rules);
 
     let mut t_omega = Table::empty(tomega_schema());
     for fc in &kb.constraints {
@@ -325,8 +309,34 @@ pub fn load(kb: &ProbKb) -> RelationalKb {
         mln,
         t_omega,
         registry,
-        rejected_rules: partitioning.rejected().len(),
+        rejected_rules,
     }
+}
+
+/// Partition `rules` into the six MLN tables of Definition 6 (only
+/// non-empty partitions are returned, as in [`load`]) plus the count of
+/// structurally unclassifiable rules. Factored out of [`load`] so the
+/// incremental delta engine can partition a rule *delta* with exactly the
+/// same classification and dedup semantics as the batch path.
+pub(crate) fn mln_tables(rules: &[HornRule]) -> (Vec<(RulePattern, Table)>, usize) {
+    let partitioning = Partitioning::build(rules);
+    let mut mln = Vec::new();
+    for pattern in partitioning.non_empty_patterns() {
+        let mut table = Table::empty(if pattern.arity() == 2 {
+            m2_schema()
+        } else {
+            m3_schema()
+        });
+        for (rule_id, classified) in partitioning.rules_in(pattern) {
+            let rule = &rules[rule_id.raw() as usize];
+            table.push_unchecked(mln_row(rule, classified));
+        }
+        // Definition 6 stores *sets* of identifier tuples; Proposition 1
+        // relies on partitions being duplicate-free.
+        table.dedup_rows();
+        mln.push((pattern, table));
+    }
+    (mln, partitioning.rejected().len())
 }
 
 /// The identifier-tuple row for a rule within its partition (Example 3).

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use probkb_support::sync::RwLock;
 
 use crate::error::{Error, Result};
+use crate::index::HashIndex;
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use crate::table::{Row, Table};
@@ -21,10 +22,17 @@ use crate::value::Value;
 /// statistics ([`TableStats`]): computed lazily on first use (or via
 /// [`Catalog::analyze`]), updated incrementally on inserts, and
 /// invalidated by deletes and table replacement so they rebuild fresh.
+///
+/// It also holds secondary [`HashIndex`]es ([`Catalog::build_index`]):
+/// the executor probes a matching index instead of re-hashing a large
+/// build side on every join over the same table. Indexes are maintained
+/// incrementally by the append entry points and dropped by any mutation
+/// that rewrites or removes rows, so a cached index is never stale.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     stats: RwLock<HashMap<String, Arc<TableStats>>>,
+    indexes: RwLock<HashMap<String, Vec<Arc<HashIndex>>>>,
 }
 
 impl Catalog {
@@ -43,6 +51,7 @@ impl Catalog {
         guard.insert(name.clone(), Arc::new(table));
         drop(guard);
         self.stats.write().remove(&name);
+        self.indexes.write().remove(&name);
         Ok(())
     }
 
@@ -51,6 +60,7 @@ impl Catalog {
         let name = name.into();
         self.tables.write().insert(name.clone(), Arc::new(table));
         self.stats.write().remove(&name);
+        self.indexes.write().remove(&name);
     }
 
     /// Fetch a table snapshot.
@@ -71,6 +81,7 @@ impl Catalog {
     pub fn drop_table(&self, name: &str) -> bool {
         let existed = self.tables.write().remove(name).is_some();
         self.stats.write().remove(name);
+        self.indexes.write().remove(name);
         existed
     }
 
@@ -109,6 +120,7 @@ impl Catalog {
         let snapshot = Arc::clone(slot);
         drop(guard);
         self.bump_stats(name, &snapshot, start);
+        self.bump_indexes(name, &snapshot, start);
         outcome
     }
 
@@ -125,7 +137,39 @@ impl Catalog {
         let snapshot = Arc::clone(slot);
         drop(guard);
         self.bump_stats(name, &snapshot, start);
+        self.bump_indexes(name, &snapshot, start);
         Ok(n)
+    }
+
+    /// Bulk-append every row of `delta` to a table — the incremental-
+    /// expansion merge path (`TΠ ← TΠ ∪ Δ`). Schema widths must agree.
+    ///
+    /// Like [`Catalog::insert_rows`], cached planner statistics are bumped
+    /// incrementally with exactly the appended rows, so a post-delta
+    /// EXPLAIN sees the new cardinalities instead of reordering joins from
+    /// stale pre-delta estimates.
+    pub fn append_table(&self, name: &str, delta: &Table) -> Result<usize> {
+        let mut guard = self.tables.write();
+        let slot = guard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        if slot.schema().width() != delta.schema().width() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "append_table({name}): width {} vs delta width {}",
+                    slot.schema().width(),
+                    delta.schema().width()
+                ),
+            });
+        }
+        let table = Arc::make_mut(slot);
+        let start = table.len();
+        table.rows_mut().extend_from_slice(delta.rows());
+        let snapshot = Arc::clone(slot);
+        drop(guard);
+        self.bump_stats(name, &snapshot, start);
+        self.bump_indexes(name, &snapshot, start);
+        Ok(delta.len())
     }
 
     /// Delete rows whose key over `cols` appears in `keys`; returns the
@@ -145,6 +189,7 @@ impl Catalog {
         drop(guard);
         if removed > 0 {
             self.stats.write().remove(name);
+            self.indexes.write().remove(name);
         }
         Ok(removed)
     }
@@ -162,6 +207,7 @@ impl Catalog {
         drop(guard);
         if removed > 0 {
             self.stats.write().remove(name);
+            self.indexes.write().remove(name);
         }
         Ok(removed)
     }
@@ -190,12 +236,139 @@ impl Catalog {
     /// Recompute statistics for a named table from scratch (the explicit
     /// `ANALYZE` entry point).
     pub fn analyze(&self, name: &str) -> Result<Arc<TableStats>> {
+        self.analyze_parallel(name, 1)
+    }
+
+    /// Install planner statistics for a table without scanning it.
+    ///
+    /// This is a planner *hint* for callers that already hold statistics
+    /// describing the table well enough — e.g. a derived table that is a
+    /// large subset of an analyzed base table, where re-analyzing would
+    /// cost more than every query against it. Statistics only steer join
+    /// ordering and build-side choice, never result correctness.
+    pub fn set_stats(&self, name: &str, stats: Arc<TableStats>) {
+        self.stats.write().insert(name.to_string(), stats);
+    }
+
+    /// [`Catalog::analyze`] on up to `threads` workers. Statistics are
+    /// count-based and merged per chunk, so the result is identical to
+    /// the serial analyze at any thread count.
+    pub fn analyze_parallel(&self, name: &str, threads: usize) -> Result<Arc<TableStats>> {
         let table = self.get(name)?;
-        let stats = Arc::new(TableStats::analyze(&table));
+        let stats = Arc::new(TableStats::analyze_parallel(&table, threads));
         self.stats
             .write()
             .insert(name.to_string(), Arc::clone(&stats));
         Ok(stats)
+    }
+
+    /// Build (or rebuild) a secondary hash index over `key_cols` of a
+    /// named table, on up to `threads` workers. The index is cached for
+    /// [`Catalog::index_on`] / the executor's index-join path, maintained
+    /// incrementally by appends, and dropped by destructive mutations.
+    ///
+    /// The executor canonicalizes a join's key columns to ascending order
+    /// before looking for an index (equality conjunctions are
+    /// order-insensitive), so pass `key_cols` ascending for it to match.
+    pub fn build_index(
+        &self,
+        name: &str,
+        key_cols: &[usize],
+        threads: usize,
+    ) -> Result<Arc<HashIndex>> {
+        let table = self.get(name)?;
+        if let Some(c) = key_cols.iter().find(|&&c| c >= table.schema().width()) {
+            return Err(Error::InvalidPlan(format!(
+                "build_index({name}): key column {c} out of range"
+            )));
+        }
+        let index = Arc::new(HashIndex::build_parallel(&table, key_cols, threads));
+        let mut guard = self.indexes.write();
+        let list = guard.entry(name.to_string()).or_default();
+        list.retain(|idx| idx.key_cols() != key_cols);
+        list.push(Arc::clone(&index));
+        Ok(index)
+    }
+
+    /// Install a pre-built index over a named table — the warm-start path
+    /// for callers that computed an equivalent index ahead of time (e.g. a
+    /// delta session indexing its base closure off the update critical
+    /// path). The caller asserts the index matches what
+    /// [`Catalog::build_index`] would produce for the current snapshot;
+    /// row count and key-column range are checked here, and debug builds
+    /// verify full equality against a fresh build.
+    pub fn install_index(&self, name: &str, index: Arc<HashIndex>) -> Result<()> {
+        let table = self.get(name)?;
+        if let Some(c) = index
+            .key_cols()
+            .iter()
+            .find(|&&c| c >= table.schema().width())
+        {
+            return Err(Error::InvalidPlan(format!(
+                "install_index({name}): key column {c} out of range"
+            )));
+        }
+        if index.rows_indexed() != table.len() {
+            return Err(Error::InvalidPlan(format!(
+                "install_index({name}): index covers {} rows, table has {}",
+                index.rows_indexed(),
+                table.len()
+            )));
+        }
+        debug_assert_eq!(
+            *index,
+            HashIndex::build(&table, index.key_cols()),
+            "install_index({name}): installed index diverges from a fresh build"
+        );
+        let mut guard = self.indexes.write();
+        let list = guard.entry(name.to_string()).or_default();
+        list.retain(|idx| idx.key_cols() != index.key_cols());
+        list.push(index);
+        Ok(())
+    }
+
+    /// The cached index of a table over exactly these key columns (same
+    /// order), if one was built. Cached indexes are never stale: appends
+    /// maintain them in place and every other mutation drops them.
+    pub fn index_on(&self, name: &str, key_cols: &[usize]) -> Option<Arc<HashIndex>> {
+        self.indexes
+            .read()
+            .get(name)?
+            .iter()
+            .find(|idx| idx.key_cols() == key_cols)
+            .cloned()
+    }
+
+    /// Drop every cached index of a named table.
+    pub fn drop_indexes(&self, name: &str) {
+        self.indexes.write().remove(name);
+    }
+
+    /// Fold rows `start..` of `snapshot` into every cached index of the
+    /// table, keeping them consistent across append-only growth.
+    fn bump_indexes(&self, name: &str, snapshot: &Table, start: usize) {
+        if snapshot.len() <= start {
+            return;
+        }
+        let mut guard = self.indexes.write();
+        let Some(list) = guard.get_mut(name) else {
+            return;
+        };
+        if list.len() <= 1 || snapshot.len() - start < 4096 {
+            for idx in list {
+                Arc::make_mut(idx).extend_from(snapshot, start);
+            }
+            return;
+        }
+        // Large append over several indexes: each index folds the suffix
+        // in on its own scoped thread. The indexes are disjoint, so this
+        // is bit-identical to the serial loop.
+        std::thread::scope(|scope| {
+            for idx in list.iter_mut() {
+                let idx = Arc::make_mut(idx);
+                scope.spawn(move || idx.extend_from(snapshot, start));
+            }
+        });
     }
 
     /// Incrementally fold rows `start..` of `snapshot` into cached stats.
@@ -206,7 +379,20 @@ impl Catalog {
             return;
         }
         if let Entry::Occupied(mut entry) = self.stats.write().entry(name.to_string()) {
-            Arc::make_mut(entry.get_mut()).add_rows(&snapshot.rows()[start..]);
+            let stats = Arc::make_mut(entry.get_mut());
+            let suffix = &snapshot.rows()[start..];
+            if suffix.len() < 4096 {
+                stats.add_rows(suffix);
+            } else {
+                // Large append: analyze the suffix in parallel and merge —
+                // counts are additive, so this matches add_rows exactly.
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let partial =
+                    TableStats::analyze_rows_parallel(suffix, snapshot.schema().width(), threads);
+                stats.merge(&partial);
+            }
         }
     }
 }
@@ -295,6 +481,27 @@ mod tests {
         assert_eq!(s.row_count(), 4);
         assert_eq!(s.column(0).unwrap().distinct_count(), 3);
         assert!(cat.stats_of("missing").is_none());
+    }
+
+    #[test]
+    fn append_table_bumps_cached_stats() {
+        let cat = Catalog::new();
+        cat.create("t", table(vec![1, 2])).unwrap();
+        // Warm the stats cache, then append a delta table in bulk.
+        assert_eq!(cat.stats_of("t").unwrap().row_count(), 2);
+        let appended = cat.append_table("t", &table(vec![2, 3, 4])).unwrap();
+        assert_eq!(appended, 3);
+        assert_eq!(cat.row_count("t").unwrap(), 5);
+        let s = cat.stats_of("t").unwrap();
+        assert_eq!(s.row_count(), 5);
+        assert_eq!(s.column(0).unwrap().distinct_count(), 4);
+        // Width mismatch and unknown tables are rejected.
+        let wide = Table::from_rows_unchecked(
+            Schema::ints(&["a", "b"]),
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
+        assert!(cat.append_table("t", &wide).is_err());
+        assert!(cat.append_table("missing", &table(vec![1])).is_err());
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! count. The differential suite in `tests/proptest_parallel.rs` holds
 //! this line.
 
-use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+
+use probkb_support::hash::{fx_map_with_capacity, FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,6 +41,8 @@ use probkb_support::sync::{default_threads, map_chunks, map_indices};
 
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::index::HashIndex;
 use crate::optimizer;
 use crate::plan::{AggExpr, AggFunc, BuildSide, JoinKind, Plan};
 use crate::schema::Schema;
@@ -108,6 +111,22 @@ impl Par {
             worker_elapsed: Vec::new(),
         }
     }
+}
+
+/// A join input resolved to a catalog table with a usable prebuilt index:
+/// the index's key columns match the join keys (mapped through `cols`
+/// when the input is a pruned projection over the scan).
+struct IndexedSide {
+    name: String,
+    table: Arc<Table>,
+    index: Arc<HashIndex>,
+    /// Output-position → base-column map for a projected scan; `None`
+    /// for a bare scan (identity).
+    cols: Option<Vec<usize>>,
+    /// Key-pair permutation that sorts this side's key columns into the
+    /// index's (ascending) column order; applied to the probe keys so the
+    /// pairs stay aligned.
+    perm: Vec<usize>,
 }
 
 /// Either a shared snapshot (scans) or an operator-owned table.
@@ -322,6 +341,39 @@ impl<'a> Executor<'a> {
                         right_keys.len()
                     )));
                 }
+                // Index-join fast path: when a side is a (projected) scan
+                // of a table with a prebuilt index on exactly these join
+                // keys, probe the index with the other side instead of
+                // re-hashing the scanned table. This overrides the plan's
+                // build-side choice — a prebuilt hash costs nothing.
+                if *kind == JoinKind::Inner {
+                    let li = self.indexed_side(left, left_keys);
+                    let ri = self.indexed_side(right, right_keys);
+                    let pick = match (li, ri) {
+                        (Some(l), Some(r)) => {
+                            // Both indexed: probe into the larger one.
+                            if l.table.len() >= r.table.len() {
+                                Some((true, l))
+                            } else {
+                                Some((false, r))
+                            }
+                        }
+                        (Some(l), None) => Some((true, l)),
+                        (None, Some(r)) => Some((false, r)),
+                        (None, None) => None,
+                    };
+                    if let Some((build_on_left, side)) = pick {
+                        return self.index_join(
+                            plan,
+                            left,
+                            right,
+                            left_keys,
+                            right_keys,
+                            build_on_left,
+                            side,
+                        );
+                    }
+                }
                 let (lb, lm) = self.run(left)?;
                 let (rb, rm) = self.run(right)?;
                 let start = Instant::now();
@@ -407,6 +459,147 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Resolve a join input to a catalog table with a usable prebuilt
+    /// index on the given (input-local) join key columns. Eligible inputs
+    /// are a bare [`Plan::Scan`] or a pure-column [`Plan::Project`]
+    /// directly over one — the shape the optimizer's leaf pruning emits —
+    /// with the key columns mapped back to base-table positions.
+    fn indexed_side(&self, plan: &Plan, keys: &[usize]) -> Option<IndexedSide> {
+        let (name, cols) = match plan {
+            Plan::Scan { table } => (table.as_str(), None),
+            Plan::Project { input, exprs } => {
+                let Plan::Scan { table } = input.as_ref() else {
+                    return None;
+                };
+                let mut map = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    match e {
+                        Expr::Col(c) => map.push(*c),
+                        _ => return None,
+                    }
+                }
+                (table.as_str(), Some(map))
+            }
+            _ => return None,
+        };
+        let table = self.catalog.get(name).ok()?;
+        let base_keys: Vec<usize> = keys
+            .iter()
+            .map(|&k| match &cols {
+                Some(m) => m.get(k).copied(),
+                None => Some(k),
+            })
+            .collect::<Option<Vec<usize>>>()?;
+        // Equality conjunctions are order-insensitive: canonicalize to the
+        // index's ascending column order so any key permutation matches.
+        let mut perm: Vec<usize> = (0..base_keys.len()).collect();
+        perm.sort_by_key(|&i| base_keys[i]);
+        let sorted_keys: Vec<usize> = perm.iter().map(|&i| base_keys[i]).collect();
+        let index = self.catalog.index_on(name, &sorted_keys)?;
+        // Defensive freshness check; the catalog should never serve a
+        // stale index, but a wrong join result is never worth the risk.
+        if index.rows_indexed() != table.len() {
+            return None;
+        }
+        Some(IndexedSide {
+            name: name.to_string(),
+            table,
+            index,
+            cols,
+            perm,
+        })
+    }
+
+    /// Inner join where `side` (the build input) is served by a prebuilt
+    /// index: the probe input executes normally and each probe row looks
+    /// up its matches. Output rows, layout (`left ++ right`), and order
+    /// are identical to the hash-join path with the same build side —
+    /// posting lists hold row positions in ascending order, exactly the
+    /// insertion order of a freshly built hash table.
+    #[allow(clippy::too_many_arguments)]
+    fn index_join(
+        &self,
+        plan: &Plan,
+        left: &Plan,
+        right: &Plan,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        build_on_left: bool,
+        side: IndexedSide,
+    ) -> Result<(Batch, ExecMetrics)> {
+        let (probe_plan, probe_keys, build_plan) = if build_on_left {
+            (right, right_keys, left)
+        } else {
+            (left, left_keys, right)
+        };
+        let (pb, pm) = self.run(probe_plan)?;
+        let start = Instant::now();
+        let probe = pb.table();
+        let lookup = |name: &str| self.catalog.schema_of(name);
+        let build_schema = build_plan.schema(&lookup)?;
+        let schema = if build_on_left {
+            build_schema.join(probe.schema())
+        } else {
+            probe.schema().join(&build_schema)
+        };
+        let base_rows = side.table.rows();
+        let emit_build = |bi: usize, out: &mut Row| match &side.cols {
+            Some(cols) => {
+                for &c in cols {
+                    out.push(base_rows[bi][c].clone());
+                }
+            }
+            None => out.extend_from_slice(&base_rows[bi]),
+        };
+        let width = schema.width();
+        let probe_cols: Vec<usize> = side.perm.iter().map(|&i| probe_keys[i]).collect();
+        let workers = self.workers_for(probe.len());
+        let (rows, par) = par_map_rows(probe.rows(), workers, |chunk| {
+            let mut out = Vec::new();
+            for prow in chunk {
+                for &bi in side.index.probe(prow, &probe_cols) {
+                    let mut row: Row = Vec::with_capacity(width);
+                    if build_on_left {
+                        emit_build(bi, &mut row);
+                        row.extend_from_slice(prow);
+                    } else {
+                        row.extend_from_slice(prow);
+                        emit_build(bi, &mut row);
+                    }
+                    out.push(row);
+                }
+            }
+            out
+        });
+        let table = Table::from_rows_unchecked(schema, rows);
+        let build_metrics = ExecMetrics {
+            description: format!("Index Probe on {}", side.name),
+            rows_out: 0,
+            est_rows: 0,
+            elapsed: Duration::ZERO,
+            wall: Duration::ZERO,
+            workers: 1,
+            worker_elapsed: Vec::new(),
+            children: vec![],
+        };
+        let children = if build_on_left {
+            vec![build_metrics, pm]
+        } else {
+            vec![pm, build_metrics]
+        };
+        let metrics = ExecMetrics {
+            description: format!("{} [index: {}]", plan.describe(), side.name),
+            rows_out: table.len(),
+            est_rows: 0,
+            elapsed: start.elapsed(),
+            wall: Duration::ZERO, // set by `run` from the node-entry timer
+            workers: par.workers,
+            worker_elapsed: par.worker_elapsed,
+            children,
+        };
+        Ok((Batch::Owned(table), metrics))
+    }
+
     fn done(
         &self,
         plan: &Plan,
@@ -480,11 +673,11 @@ where
     try_par_map_rows(rows, workers, |part| Ok(f(part))).expect("infallible row map")
 }
 
-/// Hash of a join key, used to route rows to build partitions. Uses the
-/// std `DefaultHasher` with its fixed default keys, so partition routing
+/// Hash of a join key, used to route rows to build partitions.
+/// [`FxHasher`] has no per-instance random state, so partition routing
 /// is deterministic across runs, platforms, and thread counts.
 fn key_hash(key: &[Value]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FxHasher::default();
     for v in key {
         v.hash(&mut h);
     }
@@ -493,7 +686,7 @@ fn key_hash(key: &[Value]) -> u64 {
 
 /// One hash table per build partition; a key's partition is
 /// `key_hash % len`, so every distinct key lives wholly in one partition.
-type BuildPartitions = Vec<HashMap<Vec<Value>, Vec<usize>>>;
+type BuildPartitions = Vec<FxHashMap<Vec<Value>, Vec<usize>>>;
 
 /// Partition the build side of a join by key hash and build the
 /// per-partition hash tables concurrently. Row indices within each table
@@ -524,7 +717,7 @@ fn build_partitions(build: &Table, keys: &[usize], workers: usize) -> BuildParti
     }
     // Pass 2 (parallel): one hash table per partition.
     map_indices(nparts, workers, |p| {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(buckets[p].len());
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = fx_map_with_capacity(buckets[p].len());
         for &i in &buckets[p] {
             map.entry(Table::key_of(&build.rows()[i], keys))
                 .or_default()
@@ -649,8 +842,8 @@ fn hash_join_build(
             let mut rows = Vec::new();
             if build_on_left {
                 // Build on the left, probe with the right.
-                let mut build: HashMap<Vec<Value>, Vec<usize>> =
-                    HashMap::with_capacity(left.len());
+                let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
+                    fx_map_with_capacity(left.len());
                 for (i, row) in left.rows().iter().enumerate() {
                     let key = Table::key_of(row, left_keys);
                     if key.iter().any(Value::is_null) {
@@ -673,8 +866,8 @@ fn hash_join_build(
                 }
             } else {
                 // Build on the right, probe with the left.
-                let mut build: HashMap<Vec<Value>, Vec<usize>> =
-                    HashMap::with_capacity(right.len());
+                let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
+                    fx_map_with_capacity(right.len());
                 for (i, row) in right.rows().iter().enumerate() {
                     let key = Table::key_of(row, right_keys);
                     if key.iter().any(Value::is_null) {
@@ -699,8 +892,8 @@ fn hash_join_build(
             Table::from_rows_unchecked(schema, rows)
         }
         JoinKind::LeftSemi | JoinKind::LeftAnti => {
-            let mut build: HashMap<Vec<Value>, Vec<usize>> =
-                HashMap::with_capacity(right.len());
+            let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
+                fx_map_with_capacity(right.len());
             for (i, row) in right.rows().iter().enumerate() {
                 let key = Table::key_of(row, right_keys);
                 if key.iter().any(Value::is_null) {
@@ -907,7 +1100,7 @@ pub fn aggregate_table(
             .collect()
     };
 
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
     // A global aggregate (no GROUP BY) must yield one row even on empty
     // input, so seed the single group eagerly.
     if group_by.is_empty() {
@@ -945,7 +1138,7 @@ fn par_aggregate_table(
 
     let partials = map_chunks(input.rows(), workers, |_, chunk| {
         let busy = Instant::now();
-        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
         for row in chunk {
             let key = Table::key_of(row, group_by);
             let states = groups.entry(key).or_insert_with(&make_states);
@@ -956,7 +1149,7 @@ fn par_aggregate_table(
         vec![(groups, busy.elapsed())]
     });
 
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, Vec<AggState>> = FxHashMap::default();
     if group_by.is_empty() {
         groups.insert(Vec::new(), make_states());
     }
@@ -988,7 +1181,7 @@ fn par_aggregate_table(
 
 /// Finish agg states into output rows, sorted by group key (deterministic
 /// output order helps tests and diffing).
-fn finish_groups(groups: HashMap<Vec<Value>, Vec<AggState>>, out_schema: Schema) -> Table {
+fn finish_groups(groups: FxHashMap<Vec<Value>, Vec<AggState>>, out_schema: Schema) -> Table {
     let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
     for (key, states) in groups {
         let mut row = key;

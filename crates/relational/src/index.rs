@@ -6,18 +6,17 @@
 //! grounding driver rebuilds per iteration, matching how the paper's SQL
 //! engine re-plans each batch query).
 
-use std::collections::HashMap;
-
+use probkb_support::hash::{fx_map_with_capacity, FxHashMap};
 use probkb_support::sync::map_chunks;
 
 use crate::table::{Row, Table};
 use crate::value::Value;
 
 /// A hash index mapping key tuples to row positions in a table snapshot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HashIndex {
     key_cols: Vec<usize>,
-    map: HashMap<Vec<Value>, Vec<usize>>,
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
     rows_indexed: usize,
 }
 
@@ -25,7 +24,7 @@ impl HashIndex {
     /// Build an index over `table` keyed by `key_cols`. Rows with NULL in
     /// any key column are excluded (they can never equi-match).
     pub fn build(table: &Table, key_cols: &[usize]) -> Self {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(table.len());
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = fx_map_with_capacity(table.len());
         for (i, row) in table.rows().iter().enumerate() {
             let key = Table::key_of(row, key_cols);
             if key.iter().any(Value::is_null) {
@@ -50,9 +49,9 @@ impl HashIndex {
             return HashIndex::build(table, key_cols);
         }
         let indices: Vec<usize> = (0..table.len()).collect();
-        let partials: Vec<HashMap<Vec<Value>, Vec<usize>>> =
+        let partials: Vec<FxHashMap<Vec<Value>, Vec<usize>>> =
             map_chunks(&indices, threads, |_, part| {
-                let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
                 for &i in part {
                     let key = Table::key_of(&table.rows()[i], key_cols);
                     if key.iter().any(Value::is_null) {
@@ -62,7 +61,7 @@ impl HashIndex {
                 }
                 vec![map]
             });
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(table.len());
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = fx_map_with_capacity(table.len());
         for partial in partials {
             for (key, rows) in partial {
                 map.entry(key).or_default().extend(rows);
@@ -72,6 +71,38 @@ impl HashIndex {
             key_cols: key_cols.to_vec(),
             map,
             rows_indexed: table.len(),
+        }
+    }
+
+    /// Fold rows `from_row..` of `table` into the index — the incremental
+    /// maintenance path for append-only tables. Appended row positions are
+    /// strictly larger than anything already indexed, so every posting
+    /// list stays in ascending row order and the result is identical to
+    /// rebuilding from scratch.
+    pub fn extend_from(&mut self, table: &Table, from_row: usize) {
+        self.map.reserve(table.len().saturating_sub(from_row));
+        for (i, row) in table.rows().iter().enumerate().skip(from_row) {
+            let key = Table::key_of(row, &self.key_cols);
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            self.map.entry(key).or_default().push(i);
+        }
+        self.rows_indexed = table.len();
+    }
+
+    /// Rebase the index onto a permutation of its snapshot's rows:
+    /// `perm[old_position] = new_position`. Posting lists are re-sorted
+    /// ascending, so the result equals an index built from the permuted
+    /// table — without rehashing or cloning any key. Used to transfer a
+    /// prebuilt index onto a table holding the same rows in a different
+    /// order (e.g. a delta replay that renumbers facts).
+    pub fn remap_positions(&mut self, perm: &[usize]) {
+        for list in self.map.values_mut() {
+            for p in list.iter_mut() {
+                *p = perm[*p];
+            }
+            list.sort_unstable();
         }
     }
 
@@ -180,6 +211,20 @@ mod tests {
                 assert_eq!(par.get(key), rows.as_slice(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn remap_positions_matches_permuted_build() {
+        let t = table();
+        let mut idx = HashIndex::build(&t, &[0]);
+        // Reverse the rows: position i -> 3 - i.
+        let perm = [3usize, 2, 1, 0];
+        idx.remap_positions(&perm);
+        let reversed = Table::from_rows_unchecked(
+            t.schema().clone(),
+            t.rows().iter().rev().cloned().collect(),
+        );
+        assert_eq!(idx, HashIndex::build(&reversed, &[0]));
     }
 
     #[test]

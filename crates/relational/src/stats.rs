@@ -17,7 +17,10 @@
 //! deterministic — ties in the MCV list break by value order — so plans
 //! chosen from these statistics are reproducible run to run.
 
-use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use probkb_support::hash::FxHashMap;
+use probkb_support::sync::map_chunks;
 
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -30,9 +33,13 @@ pub const MCV_SIZE: usize = 8;
 /// from which distinct counts and the MCV sketch are derived.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnStats {
-    counts: HashMap<Value, usize>,
+    counts: FxHashMap<Value, usize>,
     null_count: usize,
     non_null_count: usize,
+    /// Memoized MCV sketch — deriving it sorts every distinct value, so
+    /// it is computed once per mutation generation, not per read (the
+    /// optimizer reads statistics on every plan).
+    mcv_cache: OnceLock<Vec<(Value, usize)>>,
 }
 
 impl ColumnStats {
@@ -55,15 +62,20 @@ impl ColumnStats {
     /// pairs, most frequent first, ties broken by value order so the
     /// sketch is deterministic.
     pub fn most_common(&self) -> Vec<(Value, usize)> {
-        let mut entries: Vec<(Value, usize)> =
-            self.counts.iter().map(|(v, &n)| (v.clone(), n)).collect();
-        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        entries.truncate(MCV_SIZE);
-        entries
+        self.mcv_cache
+            .get_or_init(|| {
+                let mut entries: Vec<(Value, usize)> =
+                    self.counts.iter().map(|(v, &n)| (v.clone(), n)).collect();
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                entries.truncate(MCV_SIZE);
+                entries
+            })
+            .clone()
     }
 
     /// Record one value.
     pub fn add(&mut self, value: &Value) {
+        self.mcv_cache.take();
         if value.is_null() {
             self.null_count += 1;
         } else {
@@ -75,6 +87,7 @@ impl ColumnStats {
     /// Fold another column's statistics into this one (used to combine
     /// per-segment statistics into cluster-wide ones).
     pub fn merge(&mut self, other: &ColumnStats) {
+        self.mcv_cache.take();
         self.null_count += other.null_count;
         self.non_null_count += other.non_null_count;
         for (v, n) in &other.counts {
@@ -98,6 +111,39 @@ impl TableStats {
             columns: vec![ColumnStats::default(); table.schema().width()],
         };
         stats.add_rows(table.rows());
+        stats
+    }
+
+    /// [`TableStats::analyze`] on up to `threads` workers: row chunks are
+    /// analyzed independently and merged. Counts are additive, so the
+    /// result is identical to the serial analyze regardless of thread
+    /// count.
+    pub fn analyze_parallel(table: &Table, threads: usize) -> TableStats {
+        TableStats::analyze_rows_parallel(table.rows(), table.schema().width(), threads)
+    }
+
+    /// Parallel analyze over a raw row slice of known `width` (the
+    /// incremental stats-bump path, where the new rows are a table
+    /// suffix rather than a whole table).
+    pub fn analyze_rows_parallel(rows: &[Row], width: usize, threads: usize) -> TableStats {
+        let empty = || TableStats {
+            row_count: 0,
+            columns: vec![ColumnStats::default(); width],
+        };
+        if threads <= 1 || rows.len() < 4096 {
+            let mut stats = empty();
+            stats.add_rows(rows);
+            return stats;
+        }
+        let partials = map_chunks(rows, threads, |_, part| {
+            let mut stats = empty();
+            stats.add_rows(part);
+            vec![stats]
+        });
+        let mut stats = empty();
+        for partial in &partials {
+            stats.merge(partial);
+        }
         stats
     }
 

@@ -107,7 +107,9 @@ impl Table {
     /// `TΠ`: two facts are the same if they agree on `(R, x, C1, y, C2)`
     /// regardless of their `I` and `w` columns.
     pub fn dedup_by_cols(&mut self, cols: &[usize]) {
-        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.rows.len());
+        let mut seen: probkb_support::hash::FxHashSet<Vec<Value>> =
+            probkb_support::hash::FxHashSet::default();
+        seen.reserve(self.rows.len());
         self.rows
             .retain(|row| seen.insert(Table::key_of(row, cols)));
     }

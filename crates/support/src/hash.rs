@@ -1,0 +1,141 @@
+//! A fast, deterministic, non-cryptographic hasher for hot-path maps.
+//!
+//! The engine's inner loops — hash joins, secondary indexes, statistics
+//! counts, the fact registry — hash short composite keys (a handful of
+//! tagged integers) millions of times per grounding run. SipHash, the
+//! std default, is DoS-resistant but pays for it; these keys are
+//! internal dictionary-encoded ids, never attacker-controlled, so we use
+//! an Fx-style multiply-xor hash instead (the scheme long used by rustc
+//! for the same workload shape).
+//!
+//! Only use these maps where **iteration order is never observable** in
+//! results (lookups, membership, posting lists emitted in probe order,
+//! counts that are sorted before exposure). Anything whose output
+//! depends on map iteration must either sort or keep the std hasher.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme (a truncation of π's digits with
+/// good bit-mixing behaviour under `rotate ^ mul`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An Fx-style streaming hasher: fold each word in with
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (deterministic: no per-map random
+/// state, so the same keys always land in the same buckets).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// [`FxHashMap`] with a pre-sized bucket array (the `with_capacity`
+/// constructor is only available for the default hasher).
+pub fn fx_map_with_capacity<K, V>(n: usize) -> FxHashMap<K, V> {
+    HashMap::with_capacity_and_hasher(n, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        a.write(b"hello world, this is a test");
+        b.write_u64(42);
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_small_keys() {
+        let hash = |vals: &[i64]| {
+            let mut h = FxHasher::default();
+            for &v in vals {
+                h.write_i64(v);
+            }
+            h.finish()
+        };
+        assert_ne!(hash(&[1, 2]), hash(&[2, 1]));
+        assert_ne!(hash(&[0, 1]), hash(&[1, 0]));
+        assert_ne!(hash(&[7]), hash(&[7, 7]));
+        // Known (harmless) degeneracy of the Fx scheme: zero words are
+        // absorbed, so all-zero keys of any length collide. Maps still
+        // behave — equal hashes fall back to key equality.
+        assert_eq!(hash(&[0]), hash(&[0, 0]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        assert_eq!(m.get(&vec![1, 2, 3][..].to_vec()), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod microbench;
 pub mod rng;

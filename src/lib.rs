@@ -56,11 +56,16 @@ pub mod pipeline {
     //! The full ProbKB pipeline of Figure 1: grounding → factor graph →
     //! marginal inference → write marginals back into the KB.
 
-    use probkb_core::prelude::{expand, ExpandOptions, Expansion};
-    use probkb_factorgraph::prelude::{from_phi, GroundGraph, Lineage};
+    use probkb_core::prelude::{
+        expand, DeltaReport, DeltaSession, ExpandOptions, Expansion, GroundingConfig, KbDelta,
+    };
+    use probkb_factorgraph::prelude::{
+        color, extend_color, from_phi, Coloring, GroundGraph, Lineage, VarId,
+    };
     use probkb_inference::prelude::{
-        belief_propagation, chromatic_marginals, gibbs_marginals, partitioned_marginals,
-        write_marginals, BpConfig, GibbsConfig, GibbsReport, Marginals,
+        belief_propagation, blanket_of, blanket_resample_with, chromatic_marginals,
+        gibbs_marginals, partitioned_marginals, write_marginals, BlanketReport, BpConfig,
+        GibbsConfig, GibbsReport, Marginals,
     };
     use probkb_kb::prelude::ProbKb;
     use probkb_relational::prelude::{Result, Table};
@@ -169,11 +174,178 @@ pub mod pipeline {
             lineage,
         })
     }
+
+    /// What one [`IncrementalPipeline::apply_delta`] call did.
+    #[derive(Debug)]
+    pub struct PipelineDelta {
+        /// Grounding-side report (rounds, reuse counters, fallback flag).
+        pub grounding: DeltaReport,
+        /// Inference-side report: how much of the graph was resampled.
+        pub inference: BlanketReport,
+        /// Old fact id → new fact id (the delta may renumber: new base
+        /// facts take low ids ahead of previously derived facts). Empty
+        /// when the delta fell back to a full re-ground.
+        pub remap: Vec<i64>,
+    }
+
+    /// A live expansion pipeline: grounded state, factor graph, coloring,
+    /// warm Gibbs chains, and marginals — all maintained **in place** as
+    /// deltas arrive, instead of re-running Figure 1 from scratch.
+    ///
+    /// Each [`IncrementalPipeline::apply_delta`] grounds only what the
+    /// delta can derive ([`DeltaSession`]), splices the new factors into
+    /// the existing graph, extends the coloring, and resamples only the
+    /// Markov blanket of the touched variables with warm-started chains.
+    #[derive(Debug)]
+    pub struct IncrementalPipeline {
+        session: DeltaSession,
+        graph: GroundGraph,
+        coloring: Coloring,
+        chains: Vec<Vec<bool>>,
+        marginals: Vec<f64>,
+        gibbs: GibbsConfig,
+    }
+
+    impl IncrementalPipeline {
+        /// Ground `kb` from scratch and run a full cold-start sampling
+        /// pass, establishing the state later deltas update in place. The
+        /// session is [`DeltaSession::prepare`]d here, so the first
+        /// delta's apply latency excludes that maintenance; call
+        /// [`IncrementalPipeline::prepare`] between deltas to keep it off
+        /// the critical path for subsequent ones.
+        pub fn new(kb: ProbKb, config: GroundingConfig, gibbs: GibbsConfig) -> Result<Self> {
+            let mut session = DeltaSession::new(kb, config)?;
+            session.prepare()?;
+            let graph = from_phi(session.factors());
+            let coloring = color(&graph.graph);
+            let mut pipeline = IncrementalPipeline {
+                session,
+                graph,
+                coloring,
+                chains: Vec::new(),
+                marginals: Vec::new(),
+                gibbs,
+            };
+            pipeline.rebuild_all();
+            Ok(pipeline)
+        }
+
+        /// Re-derive graph, coloring, and marginals from the session's
+        /// current factors (cold start; used at construction and after a
+        /// constraint-driven full-fallback delta).
+        fn rebuild_all(&mut self) -> BlanketReport {
+            self.graph = from_phi(self.session.factors());
+            self.coloring = color(&self.graph.graph);
+            let n = self.graph.graph.num_vars();
+            let all: Vec<VarId> = (0..n).collect();
+            let run = blanket_resample_with(
+                &self.graph.graph,
+                &self.coloring,
+                &all,
+                &[],
+                &vec![0.5; n],
+                &self.gibbs,
+            );
+            self.chains = run.states;
+            self.marginals = run.marginals.p;
+            run.report
+        }
+
+        /// Merge `delta` into the live pipeline. Returns both reports;
+        /// marginals for untouched variables are carried through.
+        pub fn apply_delta(&mut self, delta: &KbDelta) -> Result<PipelineDelta> {
+            use probkb_core::relmodel::tphi;
+
+            let applied = self.session.apply_delta(delta)?;
+            if applied.report.full_fallback {
+                let inference = self.rebuild_all();
+                return Ok(PipelineDelta {
+                    grounding: applied.report,
+                    inference,
+                    remap: applied.remap,
+                });
+            }
+
+            // Renumber existing variables to post-delta fact ids, then
+            // splice in the delta's factors.
+            let remap = &applied.remap;
+            self.graph
+                .remap_fact_ids(|id| remap.get(id as usize).copied().unwrap_or(id));
+            let old_num_vars = self.graph.graph.num_vars();
+            self.graph.extend_with(&applied.added_factors);
+            self.coloring = extend_color(&self.graph.graph, &self.coloring, old_num_vars);
+
+            // Every variable an added factor touches has a changed
+            // conditional — seed the blanket from all of them, not just
+            // the brand-new variables.
+            let mut seeds: Vec<VarId> = Vec::new();
+            for row in applied.added_factors.rows() {
+                for col in [tphi::I1, tphi::I2, tphi::I3] {
+                    if let Some(id) = row[col].as_int() {
+                        if let Some(v) = self.graph.var_of(id) {
+                            seeds.push(v);
+                        }
+                    }
+                }
+            }
+            seeds.sort_unstable();
+            seeds.dedup();
+            let touched = blanket_of(&self.graph.graph, &seeds);
+
+            self.marginals.resize(self.graph.graph.num_vars(), 0.5);
+            let run = blanket_resample_with(
+                &self.graph.graph,
+                &self.coloring,
+                &touched,
+                &self.chains,
+                &self.marginals,
+                &self.gibbs,
+            );
+            self.chains = run.states;
+            self.marginals = run.marginals.p;
+            Ok(PipelineDelta {
+                grounding: applied.report,
+                inference: run.report,
+                remap: applied.remap,
+            })
+        }
+
+        /// The live grounding session (facts, factors, schedule).
+        pub fn session(&self) -> &DeltaSession {
+            &self.session
+        }
+
+        /// Precompute the next delta's delta-independent grounding state
+        /// ([`DeltaSession::prepare`]) — maintenance best done between
+        /// deltas, off the update critical path.
+        pub fn prepare(&mut self) -> Result<()> {
+            self.session.prepare()
+        }
+
+        /// The live factor graph with fact-id mapping.
+        pub fn graph(&self) -> &GroundGraph {
+            &self.graph
+        }
+
+        /// Current per-variable marginal estimates.
+        pub fn marginals(&self) -> &[f64] {
+            &self.marginals
+        }
+
+        /// The estimated marginal of a `TΠ` fact id, if it has a
+        /// variable (i.e. appears in some factor).
+        pub fn marginal_of_fact(&self, fact_id: i64) -> Option<f64> {
+            self.graph.var_of(fact_id).map(|v| self.marginals[v])
+        }
+    }
 }
 
 /// Convenient glob import: everything a downstream user typically needs.
 pub mod prelude {
-    pub use crate::pipeline::{run_pipeline, PipelineOptions, PipelineResult, Sampler};
+    pub use crate::pipeline::{
+        run_pipeline, IncrementalPipeline, PipelineDelta, PipelineOptions, PipelineResult,
+        Sampler,
+    };
     pub use probkb_core::prelude::*;
     pub use probkb_datagen::prelude::*;
     pub use probkb_factorgraph::prelude::*;

@@ -1,0 +1,251 @@
+//! Differential tests for incremental expansion: `apply_delta` may
+//! ground only what a delta can derive, but the resulting facts,
+//! factors, and derivation schedule must be **byte-identical** to a full
+//! re-ground of the merged KB — across random six-partition KBs, random
+//! fact/rule deltas (including empty, duplicate, and already-derivable
+//! batches), serial and parallel execution, and optimizer on/off.
+
+use probkb_support::check::prelude::*;
+
+use probkb::prelude::*;
+use probkb::relational::prelude::Table;
+
+/// Tiny xorshift generator so each proptest case derives a whole
+/// KB-plus-delta from one seed (simple, shrinkable strategy).
+struct Rng(u64);
+
+impl Rng {
+    fn pick(&mut self, bound: u64) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x % bound
+    }
+}
+
+const BASE_RULES: usize = 6;
+
+/// Random KB text covering all six structural rule partitions (same
+/// shapes as `tests/differential_plans.rs`), plus a random set of
+/// *delta-only* rules chained over the derived heads.
+fn random_kb_text(rng: &mut Rng) -> (String, usize, usize) {
+    let mut text = String::new();
+    let mut n_facts = 0usize;
+    for p in 1..=6u32 {
+        let q_facts = 1 + rng.pick(8);
+        let r_facts = 1 + rng.pick(3);
+        let pool = 2 + rng.pick(3);
+        let mut fact = |rng: &mut Rng, rel: &str, n: u64| {
+            for _ in 0..n {
+                let i = rng.pick(pool);
+                let j = rng.pick(pool);
+                let w = 50 + rng.pick(50);
+                let (subj, obj) = match (rel.as_bytes()[0], p) {
+                    (b'q', 1) => (format!("a{p}_{i}:A{p}"), format!("b{p}_{j}:B{p}")),
+                    (b'q', 2) => (format!("b{p}_{i}:B{p}"), format!("a{p}_{j}:A{p}")),
+                    (b'q', 3) | (b'q', 5) => {
+                        (format!("z{p}_{i}:Z{p}"), format!("a{p}_{j}:A{p}"))
+                    }
+                    (b'q', _) => (format!("a{p}_{i}:A{p}"), format!("z{p}_{j}:Z{p}")),
+                    (_, 3) | (_, 4) => (format!("z{p}_{i}:Z{p}"), format!("b{p}_{j}:B{p}")),
+                    _ => (format!("b{p}_{i}:B{p}"), format!("z{p}_{j}:Z{p}")),
+                };
+                text.push_str(&format!("fact 0.{w} {rel}({subj}, {obj})\n"));
+            }
+        };
+        fact(rng, &format!("q{p}"), q_facts);
+        n_facts += q_facts as usize;
+        if p >= 3 {
+            fact(rng, &format!("r{p}"), r_facts);
+            n_facts += r_facts as usize;
+        }
+    }
+    text.push_str("rule 1.0 p1(x:A1, y:B1) :- q1(x, y)\n");
+    text.push_str("rule 1.0 p2(x:A2, y:B2) :- q2(y, x)\n");
+    text.push_str("rule 1.0 p3(x:A3, y:B3) :- q3(z:Z3, x), r3(z, y)\n");
+    text.push_str("rule 1.0 p4(x:A4, y:B4) :- q4(x, z:Z4), r4(z, y)\n");
+    text.push_str("rule 1.0 p5(x:A5, y:B5) :- q5(z:Z5, x), r5(y, z)\n");
+    text.push_str("rule 1.0 p6(x:A6, y:B6) :- q6(x, z:Z6), r6(y, z)\n");
+    // Delta-only rules: chain a fresh head over each derived `p{p}`, so
+    // new-rule partitions must re-derive from *old* (already-grounded)
+    // facts, not just the delta's.
+    let mut delta_rules = 0usize;
+    for p in 1..=6u32 {
+        if rng.pick(2) == 0 {
+            text.push_str(&format!("rule 1.0 s{p}(x:A{p}, y:B{p}) :- p{p}(x, y)\n"));
+            delta_rules += 1;
+        }
+    }
+    (text, n_facts, delta_rules)
+}
+
+/// A base KB, a delta, and the concatenated union KB the delta-applied
+/// session must byte-match. `dup` re-adds random base facts to the
+/// delta (duplicates and already-derivable keys).
+fn split_kb(seed: u64, dup: bool) -> (ProbKb, KbDelta, ProbKb) {
+    let mut rng = Rng(seed | 1);
+    let (text, _, _) = random_kb_text(&mut rng);
+    let union = parse(&text).unwrap().build();
+    // Duplicate generated lines are deduped at build time, so size the
+    // split by what actually survived.
+    let n_facts = union.facts.len();
+
+    let base_facts = 1 + rng.pick(n_facts as u64) as usize;
+    let mut base = union.clone();
+    base.facts.truncate(base_facts.min(n_facts));
+    base.rules.truncate(BASE_RULES);
+
+    let mut delta = KbDelta {
+        facts: union.facts[base.facts.len()..].to_vec(),
+        rules: union.rules[BASE_RULES..].to_vec(),
+    };
+    if dup && !base.facts.is_empty() {
+        for _ in 0..=rng.pick(3) {
+            let i = rng.pick(base.facts.len() as u64) as usize;
+            delta.facts.push(base.facts[i]);
+        }
+    }
+
+    // The union the session itself builds: base ++ delta, verbatim.
+    let mut oracle_kb = base.clone();
+    oracle_kb.facts.extend(delta.facts.iter().cloned());
+    oracle_kb.rules.extend(delta.rules.iter().cloned());
+    (base, delta, oracle_kb)
+}
+
+fn config(optimize: bool, threads: usize) -> GroundingConfig {
+    GroundingConfig {
+        max_iterations: 4,
+        preclean: false,
+        apply_constraints: false,
+        max_total_facts: Some(20_000),
+        threads: Some(threads),
+        optimize: Some(optimize),
+    }
+}
+
+fn fingerprint(facts: &Table, factors: &Table) -> (String, String) {
+    (format!("{facts:?}"), format!("{factors:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The incremental matrix: for every (threads, optimize) setting the
+    /// delta-applied session must byte-match the unoptimized serial full
+    /// re-ground of the union — facts, factors, and schedule.
+    #[test]
+    fn apply_delta_matches_full_reground(seed in any::<u64>(), dup in any::<bool>()) {
+        let (base, delta, oracle_kb) = split_kb(seed, dup);
+
+        let mut oracle_engine = SingleNodeEngine::new();
+        let oracle = ground(&oracle_kb, &mut oracle_engine, &config(false, 1)).expect("oracle");
+        let expected = fingerprint(&oracle.facts, &oracle.factors);
+
+        for threads in [1usize, 4] {
+            for optimize in [false, true] {
+                let cfg = config(optimize, threads);
+                let mut session = DeltaSession::new(base.clone(), cfg).expect("base ground");
+                let applied = session.apply_delta(&delta).expect("apply_delta");
+                prop_assert!(
+                    !applied.report.full_fallback,
+                    "unconstrained delta fell back to full re-ground"
+                );
+                prop_assert_eq!(
+                    &fingerprint(session.facts(), session.factors()),
+                    &expected,
+                    "threads={} optimize={} vs oracle", threads, optimize
+                );
+                prop_assert_eq!(
+                    session.fact_iteration(),
+                    &oracle.fact_iteration,
+                    "schedule threads={} optimize={}", threads, optimize
+                );
+            }
+        }
+    }
+
+    /// An empty delta is an exact no-op: identity remap, nothing added,
+    /// state byte-unchanged.
+    #[test]
+    fn empty_delta_is_a_noop(seed in any::<u64>()) {
+        let (base, _, _) = split_kb(seed, false);
+        let mut session = DeltaSession::new(base, config(true, 4)).expect("base ground");
+        let before = fingerprint(session.facts(), session.factors());
+        let applied = session.apply_delta(&KbDelta::default()).expect("empty delta");
+        prop_assert!(applied.new_fact_ids.is_empty());
+        prop_assert!(applied.added_factors.is_empty());
+        prop_assert!(applied.remap.iter().enumerate().all(|(i, &m)| i as i64 == m));
+        prop_assert_eq!(fingerprint(session.facts(), session.factors()), before);
+    }
+
+    /// Two sequential deltas land on the same bytes as one big delta —
+    /// and as a from-scratch ground of the final union.
+    #[test]
+    fn chained_deltas_match_one_shot(seed in any::<u64>()) {
+        let (base, delta, oracle_kb) = split_kb(seed, false);
+        if delta.facts.len() < 2 {
+            return Ok(());
+        }
+        let mid = delta.facts.len() / 2;
+        let first = KbDelta { facts: delta.facts[..mid].to_vec(), rules: vec![] };
+        let second = KbDelta { facts: delta.facts[mid..].to_vec(), rules: delta.rules.clone() };
+
+        let mut oracle_engine = SingleNodeEngine::new();
+        let oracle = ground(&oracle_kb, &mut oracle_engine, &config(false, 1)).expect("oracle");
+
+        let mut session = DeltaSession::new(base, config(true, 4)).expect("base ground");
+        session.apply_delta(&first).expect("first delta");
+        session.apply_delta(&second).expect("second delta");
+        prop_assert_eq!(
+            fingerprint(session.facts(), session.factors()),
+            fingerprint(&oracle.facts, &oracle.factors)
+        );
+        prop_assert_eq!(session.fact_iteration(), &oracle.fact_iteration);
+    }
+}
+
+/// Constraints force the documented full-re-ground fallback, which must
+/// still land on the oracle's bytes.
+#[test]
+fn constrained_delta_falls_back_and_still_matches() {
+    let (base, delta, oracle_kb) = {
+        let mut rng = Rng(0xC0FFEE);
+        let (mut text, n_facts, _) = random_kb_text(&mut rng);
+        text.push_str("functional q1 1 1\n");
+        let union = parse(&text).unwrap().build();
+        let mut base = union.clone();
+        base.facts.truncate(n_facts / 2);
+        base.rules.truncate(BASE_RULES);
+        let delta = KbDelta {
+            facts: union.facts[base.facts.len()..].to_vec(),
+            rules: union.rules[BASE_RULES..].to_vec(),
+        };
+        let mut oracle_kb = base.clone();
+        oracle_kb.facts.extend(delta.facts.iter().cloned());
+        oracle_kb.rules.extend(delta.rules.iter().cloned());
+        (base, delta, oracle_kb)
+    };
+
+    let cfg = GroundingConfig {
+        apply_constraints: true,
+        ..config(true, 4)
+    };
+    let mut oracle_engine = SingleNodeEngine::new();
+    let oracle_cfg = GroundingConfig {
+        apply_constraints: true,
+        ..config(false, 1)
+    };
+    let oracle = ground(&oracle_kb, &mut oracle_engine, &oracle_cfg).expect("oracle");
+
+    let mut session = DeltaSession::new(base, cfg).expect("base ground");
+    let applied = session.apply_delta(&delta).expect("apply_delta");
+    assert!(applied.report.full_fallback, "constrained KB must fall back");
+    assert_eq!(
+        fingerprint(session.facts(), session.factors()),
+        fingerprint(&oracle.facts, &oracle.factors)
+    );
+    assert_eq!(session.fact_iteration(), &oracle.fact_iteration);
+}

@@ -1,0 +1,168 @@
+//! Fault injection for the durable delta session: a run killed mid- or
+//! post-commit must resume from snapshot + WAL replay onto the exact
+//! bytes an uninterrupted run produces.
+//!
+//! The crashing runs execute in a child process: this test binary
+//! re-invokes itself filtered to `helper_durable_delta_run` (a no-op
+//! unless `PROBKB_DELTA_TEST_DIR` is set) with a crash hook armed, and
+//! expects the injected exit code 86.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use probkb::core::delta_store::{
+    DurableDeltaSession, CRASH_AFTER_DELTA_ENV, CRASH_MID_DELTA_ENV,
+};
+use probkb::core::prelude::{
+    DeltaSession, GroundingConfig, KbDelta, CRASH_EXIT_CODE,
+};
+use probkb::kb::prelude::{parse, ProbKb};
+
+const DIR_ENV: &str = "PROBKB_DELTA_TEST_DIR";
+
+/// Chain + transitive closure: enough grounding rounds that a delta has
+/// real multi-round work to replay.
+fn union_text() -> String {
+    let mut text = String::new();
+    for i in 0..8 {
+        text.push_str(&format!("fact 0.9 next(n{}:Node, n{}:Node)\n", i, i + 1));
+    }
+    text.push_str("rule 1.0 reach(x:Node, y:Node) :- next(x, y)\n");
+    text.push_str("rule 1.0 reach(x:Node, y:Node) :- reach(x, z:Node), next(z, y)\n");
+    // Delta 1: a shortcut edge that accelerates existing derivations.
+    text.push_str("fact 0.8 next(n0:Node, n5:Node)\n");
+    // Delta 2: a fresh tail edge plus a rule over the derived closure.
+    text.push_str("fact 0.7 next(n8:Node, n9:Node)\n");
+    text.push_str("rule 1.0 far(x:Node, y:Node) :- reach(x, y)\n");
+    text
+}
+
+fn parts() -> (ProbKb, KbDelta, KbDelta) {
+    let union = parse(&union_text()).unwrap().build();
+    let mut base = union.clone();
+    base.facts.truncate(8);
+    base.rules.truncate(2);
+    let d1 = KbDelta {
+        facts: vec![union.facts[8]],
+        rules: vec![],
+    };
+    let d2 = KbDelta {
+        facts: vec![union.facts[9]],
+        rules: vec![union.rules[2].clone()],
+    };
+    (base, d1, d2)
+}
+
+fn config() -> GroundingConfig {
+    GroundingConfig {
+        apply_constraints: false,
+        max_iterations: 20,
+        ..GroundingConfig::default()
+    }
+}
+
+fn fingerprint(session: &DeltaSession) -> String {
+    format!("{:?}\n{:?}", session.facts(), session.factors())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "probkb-incremental-durability-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Child-process body: create the durable session and push both deltas.
+/// Inert (no env var) when libtest runs it directly.
+#[test]
+fn helper_durable_delta_run() {
+    let Some(dir) = std::env::var_os(DIR_ENV) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let (base, d1, d2) = parts();
+    let mut session = DurableDeltaSession::create(&dir, base, config()).unwrap();
+    session.apply_delta(&d1).unwrap();
+    session.apply_delta(&d2).unwrap();
+    std::fs::write(dir.join("final.fp"), fingerprint(session.session())).unwrap();
+}
+
+/// Run the helper in a child process; return its exit code.
+fn run_helper(dir: &PathBuf, crash: &[(&str, &str)]) -> i32 {
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", "helper_durable_delta_run", "--test-threads", "1"])
+        .env(DIR_ENV, dir)
+        .env_remove(CRASH_MID_DELTA_ENV)
+        .env_remove(CRASH_AFTER_DELTA_ENV);
+    for (k, v) in crash {
+        cmd.env(k, v);
+    }
+    let output = cmd.output().expect("spawn helper");
+    output.status.code().unwrap_or_else(|| {
+        panic!(
+            "helper killed by signal\n--- stderr ---\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        )
+    })
+}
+
+/// The uninterrupted run's final bytes — the oracle for every crash
+/// scenario below.
+fn reference_fingerprint() -> String {
+    let (base, d1, d2) = parts();
+    let mut session = DeltaSession::new(base, config()).unwrap();
+    session.apply_delta(&d1).unwrap();
+    session.apply_delta(&d2).unwrap();
+    fingerprint(&session)
+}
+
+#[test]
+fn crash_after_commit_replays_wal_byte_identically() {
+    let dir = tmp_dir("after-commit");
+    let code = run_helper(&dir, &[(CRASH_AFTER_DELTA_ENV, "1")]);
+    assert_eq!(code, CRASH_EXIT_CODE, "crash hook did not fire");
+
+    // Delta 1 was committed before the crash: resume must replay it.
+    let (_, _, d2) = parts();
+    let (mut session, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+    assert_eq!(resume.replayed, 1, "committed delta lost");
+    session.apply_delta(&d2).unwrap();
+    assert_eq!(fingerprint(session.session()), reference_fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_delta_loses_only_the_uncommitted_delta() {
+    let dir = tmp_dir("mid-delta");
+    let code = run_helper(&dir, &[(CRASH_MID_DELTA_ENV, "2")]);
+    assert_eq!(code, CRASH_EXIT_CODE, "crash hook did not fire");
+
+    // Delta 2 was computed but never logged: resume sees exactly one
+    // committed delta, and re-submitting delta 2 converges on the
+    // reference bytes.
+    let (_, _, d2) = parts();
+    let (mut session, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+    assert_eq!(resume.replayed, 1);
+    session.apply_delta(&d2).unwrap();
+    assert_eq!(fingerprint(session.session()), reference_fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uninterrupted_child_and_resumed_state_agree() {
+    let dir = tmp_dir("clean");
+    let code = run_helper(&dir, &[]);
+    assert_eq!(code, 0, "clean helper run failed");
+
+    let want = std::fs::read_to_string(dir.join("final.fp")).unwrap();
+    assert_eq!(want, reference_fingerprint());
+
+    let (session, resume) = DurableDeltaSession::resume(&dir, &config()).unwrap();
+    assert_eq!(resume.replayed, 2);
+    assert!(!resume.dropped_tail);
+    assert_eq!(fingerprint(session.session()), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}

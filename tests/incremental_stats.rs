@@ -1,0 +1,106 @@
+//! Regression: the relational `Catalog` a delta session maintains must
+//! bump its statistics for delta-inserted rows, so post-delta planning
+//! (and `EXPLAIN ANALYZE`'s `est=`) sees current cardinalities instead
+//! of stale base-grounding counts.
+
+use probkb::prelude::*;
+use probkb::relational::prelude::{explain_analyze, Executor, Plan};
+
+const UNION: &str = r#"
+    fact 0.90 qa(a1:A, b1:B)
+    fact 0.80 qa(a2:A, b2:B)
+    rule 1.20 pa(x:A, y:B) :- qa(x, y)
+    fact 0.85 qa(a3:A, b3:B)
+    fact 0.75 qa(a4:A, b4:B)
+"#;
+
+fn base_and_delta() -> (ProbKb, KbDelta) {
+    let union = parse(UNION).unwrap().build();
+    let mut base = union.clone();
+    base.facts.truncate(2);
+    let delta = KbDelta {
+        facts: union.facts[2..].to_vec(),
+        rules: vec![],
+    };
+    (base, delta)
+}
+
+fn config() -> GroundingConfig {
+    GroundingConfig {
+        apply_constraints: false,
+        ..GroundingConfig::default()
+    }
+}
+
+#[test]
+fn post_delta_stats_and_explain_show_updated_cardinality() {
+    let (base, delta) = base_and_delta();
+    let mut session = DeltaSession::new(base, config()).unwrap();
+    let base_facts = session.facts().len();
+    session.apply_delta(&delta).unwrap();
+    let total_facts = session.facts().len();
+    assert!(
+        total_facts > base_facts,
+        "delta should derive new facts ({base_facts} -> {total_facts})"
+    );
+
+    let catalog = session
+        .catalog()
+        .expect("incremental apply_delta keeps a live catalog");
+
+    // The catalog's row count and its *statistics* both cover the
+    // delta-inserted rows — `append_table` must bump, not go stale.
+    assert_eq!(catalog.row_count("T_pi").unwrap(), total_facts);
+    let stats = catalog.stats_of("T_pi").expect("T_pi was analyzed");
+    assert_eq!(
+        stats.row_count(),
+        total_facts,
+        "catalog statistics are stale after the delta"
+    );
+
+    // And the planner actually consumes them: EXPLAIN ANALYZE of a
+    // post-delta scan estimates the grown table, not the base one.
+    let (out, metrics) = Executor::new(catalog)
+        .with_optimize(true)
+        .execute(&Plan::scan("T_pi"))
+        .unwrap();
+    assert_eq!(out.len(), total_facts);
+    let text = explain_analyze(&metrics);
+    assert!(
+        text.contains(&format!("est={total_facts}")),
+        "EXPLAIN should estimate {total_facts} rows:\n{text}"
+    );
+    assert!(
+        !text.contains(&format!("est={base_facts},")),
+        "EXPLAIN still shows the pre-delta estimate:\n{text}"
+    );
+}
+
+#[test]
+fn chained_deltas_keep_bumping_stats() {
+    let (base, delta) = base_and_delta();
+    let mut session = DeltaSession::new(base, config()).unwrap();
+    let (first, second) = (
+        KbDelta {
+            facts: delta.facts[..1].to_vec(),
+            rules: vec![],
+        },
+        KbDelta {
+            facts: delta.facts[1..].to_vec(),
+            rules: vec![],
+        },
+    );
+    session.apply_delta(&first).unwrap();
+    let mid = session.facts().len();
+    assert_eq!(
+        session.catalog().unwrap().stats_of("T_pi").unwrap().row_count(),
+        mid
+    );
+    session.apply_delta(&second).unwrap();
+    let last = session.facts().len();
+    assert!(last > mid);
+    assert_eq!(
+        session.catalog().unwrap().stats_of("T_pi").unwrap().row_count(),
+        last
+    );
+}
