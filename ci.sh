@@ -68,4 +68,39 @@ PROBKB_CKPT_DIR=target/ci-ckpt-crash \
   cargo run --release --offline --example checkpoint_resume
 cmp target/ci-ckpt-full/export.pkb target/ci-ckpt-crash/export.pkb
 
+# Client/server smoke (DESIGN.md, "Client/server architecture"): start
+# probkb-server on the Table-2 synthetic KB at smoke scale, drive it with
+# probkb-cli one-shots over the real wire protocol, and shut it down
+# gracefully through the protocol — zero external dependencies.
+server_log=target/ci-server.log
+rm -f "$server_log"
+cargo run --release --offline -p probkb-server -- \
+  --reverb-scale 0.002 --addr 127.0.0.1:0 --burn-in 50 --samples 300 \
+  > "$server_log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 300); do
+  grep -q "probkb-server listening on" "$server_log" && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "ci: probkb-server died during startup" >&2; cat "$server_log" >&2; exit 1
+  fi
+  sleep 0.2
+done
+addr=$(sed -n 's/^probkb-server listening on \([0-9.:]*\) .*/\1/p' "$server_log")
+if [ -z "$addr" ]; then
+  echo "ci: could not parse server address" >&2; cat "$server_log" >&2; exit 1
+fi
+cli() { cargo run --release --offline -q -p probkb-client-cli -- --addr "$addr" "$@"; }
+cli ping               | grep -q "^PONG epoch=0 protocol=1"
+cli stats              | grep -q "^epoch=0 facts="
+cli fact --id 0        | grep -q "^epoch=0 \[extracted, P="
+cli marginal --id 0    | grep -q "source=stored"
+cli apply 'fact 0.80 smoke_rel(sx:smokeC, sy:smokeC)' | grep -q "^applied: epoch=1"
+cli fact smoke_rel sx sy | grep -q "^epoch=1 \[extracted, P=0.8000\]"
+# Retraction is a structured, non-fatal unsupported error (cli exits 1).
+retract_out=$(cli retract 'fact 0.80 smoke_rel(sx:smokeC, sy:smokeC)' 2>&1 || true)
+echo "$retract_out" | grep -q "retract is not supported"
+cli shutdown           | grep -q "server shutting down at epoch=1"
+wait "$server_pid"
+grep -q "graceful shutdown complete" "$server_log"
+
 echo "ci: all green"

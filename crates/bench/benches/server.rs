@@ -1,0 +1,148 @@
+//! Multi-client server throughput (ISSUE 8): queries per second through
+//! the full wire path — frame encode, TCP, session thread, epoch-snapshot
+//! read, frame decode — at 1, 8, and 64 concurrent connections, with and
+//! without a concurrent delta writer.
+//!
+//! Numbers land in EXPERIMENTS.md. Caveat there applies here: the
+//! container is effectively 1 CPU, so connection counts past 1 measure
+//! scheduling fairness and per-session overhead, not parallel speedup.
+//!
+//! Flags: `--scale` (ReVerb-Sherlock scale, default 0.002), `--secs`
+//! (measure window per point, default 2), `--conns` (comma list,
+//! default `1,8,64`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use probkb::prelude::{generate, GibbsConfig, GroundingConfig, ReverbConfig};
+use probkb_bench::{flag, row};
+use probkb_client::prelude::{Client, FactRef};
+use probkb_server::prelude::{start, ServerConfig, ServerHandle};
+
+fn serve(scale: f64) -> ServerHandle {
+    let kb = generate(&ReverbConfig::scaled(scale));
+    start(
+        kb,
+        ServerConfig {
+            max_sessions: 1024,
+            grounding: GroundingConfig {
+                apply_constraints: false,
+                ..GroundingConfig::default()
+            },
+            gibbs: GibbsConfig {
+                burn_in: 50,
+                samples: 300,
+                ..GibbsConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start")
+}
+
+/// Hammer the server from `conns` connections for `window`; returns
+/// (requests served, elapsed).
+fn measure(addr: &str, conns: usize, facts: u64, window: Duration) -> (u64, Duration) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let start_at = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|w| {
+            let addr = addr.to_string();
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut id = (w as u64 * 7919) % facts.max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    // 2:1 FACT:MARGINAL mix over the id space.
+                    let fact_ref = FactRef::Id(id as i64);
+                    let ok = if id % 3 == 2 {
+                        client.marginal(fact_ref).is_ok()
+                    } else {
+                        client.fact(fact_ref).is_ok()
+                    };
+                    assert!(ok, "read failed mid-bench");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    id = (id + 1) % facts.max(1);
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("bench worker");
+    }
+    (served.load(Ordering::Relaxed), start_at.elapsed())
+}
+
+fn main() {
+    let scale: f64 = flag("scale", 0.002);
+    let secs: u64 = flag("secs", 2);
+    let conns_spec: String = flag("conns", "1,8,64".to_string());
+    let conns: Vec<usize> = conns_spec
+        .split(',')
+        .map(|c| c.trim().parse().expect("bad --conns"))
+        .collect();
+
+    let handle = serve(scale);
+    let addr = handle.addr().to_string();
+    let state = handle.shared().current.load();
+    let facts = state.num_facts();
+    eprintln!(
+        "# server up: scale={scale} facts={facts} inferred={} factors={}",
+        state.num_inferred(),
+        state.num_factors()
+    );
+
+    row(&["conns".into(), "requests".into(), "secs".into(), "qps".into()]);
+    for &c in &conns {
+        // Warm-up pass primes connections and the scheduler.
+        let _ = measure(&addr, c, facts, Duration::from_millis(300));
+        let (requests, elapsed) = measure(&addr, c, facts, Duration::from_secs(secs));
+        let qps = requests as f64 / elapsed.as_secs_f64();
+        row(&[
+            c.to_string(),
+            requests.to_string(),
+            format!("{:.3}", elapsed.as_secs_f64()),
+            format!("{qps:.0}"),
+        ]);
+    }
+
+    // One point with a live writer: the same 8-connection read load
+    // while a writer commits small deltas as fast as the writer thread
+    // lets it — shows reads stay served during grounding/resampling.
+    let stop = Arc::new(AtomicBool::new(false));
+    let deltas = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let deltas = Arc::clone(&deltas);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("writer connect");
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let text = format!("fact 0.60 bench_rel(bx{n}:benchC, by{n}:benchC)");
+                client.apply_delta(&text).expect("bench delta");
+                deltas.fetch_add(1, Ordering::Relaxed);
+                n += 1;
+            }
+        })
+    };
+    let (requests, elapsed) = measure(&addr, 8, facts, Duration::from_secs(secs));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("bench writer");
+    let qps = requests as f64 / elapsed.as_secs_f64();
+    row(&[
+        "8+writer".into(),
+        requests.to_string(),
+        format!("{:.3}", elapsed.as_secs_f64()),
+        format!("{qps:.0} ({} deltas committed)", deltas.load(Ordering::Relaxed)),
+    ]);
+
+    let mut client = Client::connect(&addr).expect("shutdown connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

@@ -1,0 +1,284 @@
+//! `probkb-cli`: talk to a running `probkb-server`.
+//!
+//! One-shot mode runs a single command and exits (scripting / CI):
+//!
+//! ```sh
+//! probkb-cli --addr 127.0.0.1:7421 ping
+//! probkb-cli --addr 127.0.0.1:7421 fact --id 0
+//! probkb-cli --addr 127.0.0.1:7421 fact born_in RG NYC
+//! probkb-cli --addr 127.0.0.1:7421 marginal --id 12
+//! probkb-cli --addr 127.0.0.1:7421 lineage --id 12 --depth 4
+//! probkb-cli --addr 127.0.0.1:7421 apply 'fact 0.9 r(a:C, b:C)'
+//! probkb-cli --addr 127.0.0.1:7421 stats
+//! probkb-cli --addr 127.0.0.1:7421 shutdown
+//! ```
+//!
+//! With no command, it opens a REPL over stdin with the same verbs (plus
+//! `help` and `quit`). The address comes from `--addr` or
+//! `PROBKB_ADDR`. Exit status: 0 on success, 1 on a server/transport
+//! error, 2 on usage errors.
+
+use std::io::{BufRead, Write};
+
+use probkb_client::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: probkb-cli [--addr HOST:PORT] [COMMAND]\n\
+         commands:\n\
+         \x20 ping\n\
+         \x20 fact --id N | fact REL X Y\n\
+         \x20 marginal --id N | marginal REL X Y\n\
+         \x20 lineage --id N [--depth D] | lineage REL X Y [--depth D]\n\
+         \x20 apply 'KB-TEXT'   (statements separated by newlines or ';')\n\
+         \x20 retract 'KB-TEXT' (same syntax; currently reports unsupported)\n\
+         \x20 stats\n\
+         \x20 shutdown\n\
+         with no command: interactive REPL on stdin"
+    );
+    std::process::exit(2);
+}
+
+/// Parse `--id N` or `REL X Y` into a [`FactRef`], consuming from `args`.
+fn fact_ref(args: &[String]) -> Option<(FactRef, usize)> {
+    match args.first().map(String::as_str) {
+        Some("--id") => {
+            let id = args.get(1)?.parse().ok()?;
+            Some((FactRef::Id(id), 2))
+        }
+        Some(_) if args.len() >= 3 => Some((
+            FactRef::Names {
+                rel: args[0].clone(),
+                x: args[1].clone(),
+                y: args[2].clone(),
+            },
+            3,
+        )),
+        _ => None,
+    }
+}
+
+fn depth_of(args: &[String]) -> u32 {
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--depth" {
+            if let Some(value) = args.get(i + 1) {
+                return value.parse().unwrap_or(3);
+            }
+        }
+    }
+    3
+}
+
+fn show_fact(f: &FactInfo) -> String {
+    let tag = if f.inferred { "inferred" } else { "extracted" };
+    match f.p {
+        Some(p) => format!("[{tag}, P={p:.4}] {}({}, {}) id={}", f.rel, f.x, f.y, f.id),
+        None => format!("[{tag}] {}({}, {}) id={}", f.rel, f.x, f.y, f.id),
+    }
+}
+
+/// Run one command; returns `false` when the connection should close
+/// (shutdown), `true` otherwise. Errors print and set the exit flag.
+fn run_command(client: &mut Client, verb: &str, args: &[String], failed: &mut bool) -> bool {
+    let outcome: Result<bool, ClientError> = (|| {
+        match verb {
+            "ping" => {
+                let (epoch, protocol, session) = client.ping()?;
+                println!("PONG epoch={epoch} protocol={protocol} session={session}");
+            }
+            "fact" => {
+                let Some((fr, _)) = fact_ref(args) else {
+                    println!("usage: fact --id N | fact REL X Y");
+                    return Ok(true);
+                };
+                let (epoch, fact) = client.fact(fr)?;
+                match fact {
+                    Some(f) => println!("epoch={epoch} {}", show_fact(&f)),
+                    None => println!("epoch={epoch} not found"),
+                }
+            }
+            "marginal" => {
+                let Some((fr, _)) = fact_ref(args) else {
+                    println!("usage: marginal --id N | marginal REL X Y");
+                    return Ok(true);
+                };
+                let (epoch, marginal) = client.marginal(fr)?;
+                match marginal {
+                    Some(m) => {
+                        let src = match m.source {
+                            MarginalSource::Stored => "stored",
+                            MarginalSource::Inferred => "inferred",
+                        };
+                        println!("epoch={epoch} id={} p={:.6} source={src}", m.id, m.p);
+                    }
+                    None => println!("epoch={epoch} not found"),
+                }
+            }
+            "lineage" => {
+                let Some((fr, _)) = fact_ref(args) else {
+                    println!("usage: lineage --id N [--depth D] | lineage REL X Y [--depth D]");
+                    return Ok(true);
+                };
+                let (epoch, lineage) = client.lineage(fr, depth_of(args))?;
+                match lineage {
+                    Some(l) => {
+                        println!(
+                            "epoch={epoch} id={} base={} derivations={}",
+                            l.id,
+                            l.is_base,
+                            l.derivations.len()
+                        );
+                        print!("{}", l.rendered);
+                    }
+                    None => println!("epoch={epoch} not found"),
+                }
+            }
+            "apply" | "retract" => {
+                let Some(raw) = args.first() else {
+                    println!("usage: {verb} 'KB-TEXT'");
+                    return Ok(true);
+                };
+                let mut text = raw.replace(';', "\n");
+                if verb == "retract" {
+                    text = text
+                        .lines()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(|l| format!("retract {l}"))
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                }
+                let outcome = client.apply_delta(&text)?;
+                println!(
+                    "applied: epoch={} new_facts={} reused={} new_factors={} fallback={}",
+                    outcome.epoch,
+                    outcome.new_facts,
+                    outcome.reused_facts,
+                    outcome.new_factors,
+                    outcome.full_fallback
+                );
+                println!("{}", outcome.annotate);
+            }
+            "stats" => {
+                let s = client.stats()?;
+                println!(
+                    "epoch={} facts={} inferred={} factors={} sessions={}/{} protocol={}",
+                    s.epoch,
+                    s.facts,
+                    s.inferred,
+                    s.factors,
+                    s.sessions_active,
+                    s.sessions_total,
+                    s.protocol
+                );
+            }
+            "shutdown" => {
+                let epoch = client.shutdown()?;
+                println!("server shutting down at epoch={epoch}");
+                return Ok(false);
+            }
+            "help" => {
+                println!("verbs: ping fact marginal lineage apply retract stats shutdown quit");
+            }
+            other => {
+                println!("unknown command `{other}` (try `help`)");
+            }
+        }
+        Ok(true)
+    })();
+    match outcome {
+        Ok(keep_going) => keep_going,
+        Err(e) => {
+            eprintln!("error: {e}");
+            *failed = true;
+            // Transport errors end the conversation; server-side errors
+            // (e.g. unsupported retract) leave the session usable.
+            matches!(e, ClientError::Server { .. })
+        }
+    }
+}
+
+fn repl(client: &mut Client, failed: &mut bool) {
+    let stdin = std::io::stdin();
+    loop {
+        print!("probkb> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let words = tokenize(line.trim());
+        let Some((verb, rest)) = words.split_first() else {
+            continue;
+        };
+        if verb == "quit" || verb == "exit" {
+            break;
+        }
+        if !run_command(client, verb, rest, failed) {
+            break;
+        }
+    }
+}
+
+/// Split a REPL line into words, keeping single-quoted spans intact so
+/// `apply 'fact 0.9 r(a:C, b:C)'` arrives as one argument.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    let mut quoted = false;
+    for ch in line.chars() {
+        match ch {
+            '\'' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+fn main() {
+    let mut addr = std::env::var("PROBKB_ADDR").unwrap_or_default();
+    let mut command: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or_default();
+            }
+            a if a.starts_with("--addr=") => addr = a["--addr=".len()..].to_string(),
+            "--help" | "-h" => usage(),
+            _ => command.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        eprintln!("probkb-cli: no address (use --addr HOST:PORT or PROBKB_ADDR)");
+        std::process::exit(2);
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("probkb-cli: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failed = false;
+    match command.split_first() {
+        None => repl(&mut client, &mut failed),
+        Some((verb, rest)) => {
+            run_command(&mut client, verb, rest, &mut failed);
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,226 @@
+//! A blocking ProbKB client over `TcpStream`.
+//!
+//! One request/response exchange per call, each message in a CRC-guarded
+//! stream frame. Connect, read, and write deadlines default on so a
+//! wedged server cannot hang the caller forever.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use probkb_storage::frame::{read_frame, write_frame, write_magic, FrameKind};
+use probkb_storage::StorageError;
+
+use crate::protocol::{
+    decode_response, encode_request, DeltaOutcome, FactInfo, FactRef, LineageInfo, MarginalInfo,
+    ProtoError, Request, Response, ServerStats,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure (includes deadline expiry).
+    Io(String),
+    /// The server's bytes did not decode.
+    Protocol(ProtoError),
+    /// The server answered with its error response.
+    Server {
+        /// Machine-readable error class (e.g. `"unsupported"`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(detail) => write!(f, "transport error: {detail}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<StorageError> for ClientError {
+    fn from(e: StorageError) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, ClientError>;
+
+/// Connection deadlines.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-response read deadline. `APPLY_DELTA` can legitimately take
+    /// long (it re-grounds and re-samples); raise this when applying
+    /// large deltas.
+    pub read_timeout: Duration,
+    /// Per-request write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A blocking connection to a ProbKB server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with default deadlines.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect with explicit deadlines, sending the protocol magic.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<Client> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| ClientError::Io("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(config.read_timeout))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_write_timeout(Some(config.write_timeout))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut client = Client { stream };
+        write_magic(&mut client.stream)?;
+        client
+            .stream
+            .flush()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(client)
+    }
+
+    /// Send one request and read its response. The transport-level
+    /// building block every typed method uses; exposed for tests and
+    /// tools that need raw access.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response> {
+        write_frame(
+            &mut self.stream,
+            FrameKind::Request,
+            &encode_request(request),
+        )?;
+        self.stream
+            .flush()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let (kind, body) = read_frame(&mut self.stream)?;
+        if kind != FrameKind::Response {
+            return Err(ClientError::UnexpectedResponse(
+                "server sent a request frame".into(),
+            ));
+        }
+        Ok(decode_response(&body)?)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Response> {
+        match self.roundtrip(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness check; returns `(epoch, protocol, session id)`.
+    pub fn ping(&mut self) -> Result<(u64, u32, u64)> {
+        match self.expect_ok(&Request::Ping)? {
+            Response::Pong {
+                epoch,
+                protocol,
+                session,
+            } => Ok((epoch, protocol, session)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Look up a fact; returns the serving epoch and the fact if found.
+    pub fn fact(&mut self, fact: FactRef) -> Result<(u64, Option<FactInfo>)> {
+        match self.expect_ok(&Request::Fact(fact))? {
+            Response::Fact { epoch, fact } => Ok((epoch, fact)),
+            other => Err(unexpected("Fact", &other)),
+        }
+    }
+
+    /// The stored probability of a fact.
+    pub fn marginal(&mut self, fact: FactRef) -> Result<(u64, Option<MarginalInfo>)> {
+        match self.expect_ok(&Request::Marginal(fact))? {
+            Response::Marginal { epoch, marginal } => Ok((epoch, marginal)),
+            other => Err(unexpected("Marginal", &other)),
+        }
+    }
+
+    /// Why-provenance of a fact.
+    pub fn lineage(&mut self, fact: FactRef, max_depth: u32) -> Result<(u64, Option<LineageInfo>)> {
+        match self.expect_ok(&Request::Lineage { fact, max_depth })? {
+            Response::Lineage { epoch, lineage } => Ok((epoch, lineage)),
+            other => Err(unexpected("Lineage", &other)),
+        }
+    }
+
+    /// Merge KB-text statements into the live KB.
+    pub fn apply_delta(&mut self, text: &str) -> Result<DeltaOutcome> {
+        match self.expect_ok(&Request::ApplyDelta { text: text.into() })? {
+            Response::DeltaApplied(outcome) => Ok(outcome),
+            other => Err(unexpected("DeltaApplied", &other)),
+        }
+    }
+
+    /// Server statistics.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.expect_ok(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<u64> {
+        match self.expect_ok(&Request::Shutdown)? {
+            Response::ShuttingDown { epoch } => Ok(epoch),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// The underlying stream (tests use this to inject malformed bytes).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::UnexpectedResponse(format!("wanted {wanted}, got {got:?}"))
+}

@@ -1,0 +1,29 @@
+//! Client side of the ProbKB query-serving protocol.
+//!
+//! Two layers, both std-only:
+//!
+//! * [`protocol`] — the typed request/response model and its binary
+//!   codec, shared verbatim with `probkb-server` (which depends on this
+//!   crate for it). Payloads are encoded with `probkb-storage`'s
+//!   [`ByteWriter`]/[`ByteReader`] codecs and carried in the CRC-guarded
+//!   stream frames of `probkb_storage::frame`.
+//! * [`client`] — a blocking [`Client`](client::Client) over `TcpStream`
+//!   with connect/read/write deadlines and one typed method per request.
+//!
+//! [`ByteWriter`]: probkb_storage::format::ByteWriter
+//! [`ByteReader`]: probkb_storage::format::ByteReader
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+
+/// Everything a protocol speaker needs.
+pub mod prelude {
+    pub use crate::client::{Client, ClientConfig, ClientError};
+    pub use crate::protocol::{
+        decode_request, decode_response, encode_request, encode_response, DeltaOutcome,
+        FactInfo, FactRef, LineageInfo, MarginalInfo, MarginalSource, ProtoError, Request,
+        Response, ServerStats, PROTOCOL_VERSION,
+    };
+}

@@ -1,0 +1,697 @@
+//! The ProbKB wire protocol: typed requests/responses and their binary
+//! codec.
+//!
+//! Every message travels as one `probkb_storage::frame` stream frame
+//! (length prefix + CRC-32 + kind byte), whose body is encoded with the
+//! same little-endian [`ByteWriter`]/[`ByteReader`] primitives the
+//! snapshot and WAL codecs use — decoding hostile bytes bounds-checks
+//! everywhere and returns [`ProtoError`] instead of panicking.
+//!
+//! # Requests
+//!
+//! | opcode | request | answered from |
+//! |---|---|---|
+//! | 0 | `PING` | nothing (liveness + epoch) |
+//! | 1 | `FACT` | the published epoch's fact index |
+//! | 2 | `MARGINAL` | the epoch's stored weights / inferred marginals |
+//! | 3 | `LINEAGE` | the epoch's `TΦ` lineage index |
+//! | 4 | `APPLY_DELTA` | the single writer thread (serialized) |
+//! | 5 | `STATS` | epoch + live session counters |
+//! | 6 | `SHUTDOWN` | the listener (graceful stop) |
+//!
+//! Responses carry the serving epoch (`epoch` = number of committed
+//! deltas the served snapshot includes) as staleness metadata: a client
+//! that just applied delta `k` can tell whether a later read was served
+//! from an older snapshot.
+
+use probkb_storage::format::{ByteReader, ByteWriter};
+use probkb_storage::StorageError;
+
+/// Protocol revision; bumped on any incompatible codec change. Carried
+/// in `PING`/`STATS` responses so mixed deployments fail loudly.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A malformed or incomplete message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<StorageError> for ProtoError {
+    fn from(e: StorageError) -> Self {
+        ProtoError(e.to_string())
+    }
+}
+
+type Result<T> = std::result::Result<T, ProtoError>;
+
+/// How a request names a fact: by its `TΠ` id, or by resolved names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactRef {
+    /// By fact id (`I` in `TΠ`).
+    Id(i64),
+    /// By `rel(x, y)` names, resolved through the KB dictionaries.
+    Names {
+        /// Relation name.
+        rel: String,
+        /// Subject entity name.
+        x: String,
+        /// Object entity name.
+        y: String,
+    },
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; returns the current epoch and protocol version.
+    Ping,
+    /// Look a fact up in the served snapshot.
+    Fact(FactRef),
+    /// The stored probability of a fact (extraction weight for base
+    /// facts, estimated marginal for inferred ones — §2.2's "marginals
+    /// live in the KB" semantics).
+    Marginal(FactRef),
+    /// Why-provenance of a fact: its derivations, one level deep, plus a
+    /// rendered proof summary.
+    Lineage {
+        /// The fact to explain.
+        fact: FactRef,
+        /// Depth cap for the rendered proof tree.
+        max_depth: u32,
+    },
+    /// Merge a batch of KB-text statements (`fact`/`rule`/... lines) into
+    /// the live KB. Lines starting with `retract ` request retraction
+    /// (currently answered with a structured `unsupported` error).
+    ApplyDelta {
+        /// KB-text statements.
+        text: String,
+    },
+    /// Server and snapshot statistics.
+    Stats,
+    /// Graceful shutdown: drain sessions, stop the writer, exit.
+    Shutdown,
+}
+
+/// One resolved fact in a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactInfo {
+    /// Fact id.
+    pub id: i64,
+    /// Relation name.
+    pub rel: String,
+    /// Subject entity name.
+    pub x: String,
+    /// Object entity name.
+    pub y: String,
+    /// Stored probability (`None` when inference has not run).
+    pub p: Option<f64>,
+    /// True when the fact was inferred rather than extracted.
+    pub inferred: bool,
+}
+
+/// Where a marginal answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarginalSource {
+    /// The extraction confidence stored with a base fact.
+    Stored,
+    /// A sampled marginal written back by inference.
+    Inferred,
+}
+
+/// A marginal answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalInfo {
+    /// Fact id.
+    pub id: i64,
+    /// The probability.
+    pub p: f64,
+    /// Provenance of the number.
+    pub source: MarginalSource,
+}
+
+/// A lineage answer: derivations one level deep plus a rendered tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageInfo {
+    /// Fact id.
+    pub id: i64,
+    /// True for base (extracted) facts — no derivations.
+    pub is_base: bool,
+    /// `(rule weight, body fact ids)` per derivation.
+    pub derivations: Vec<(f64, Vec<i64>)>,
+    /// Human-readable proof rendering (names resolved server-side).
+    pub rendered: String,
+}
+
+/// What an applied delta did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// Facts that exist only in the new closure.
+    pub new_facts: u64,
+    /// Facts carried over from the old closure.
+    pub reused_facts: u64,
+    /// Factors computed fresh for the delta.
+    pub new_factors: u64,
+    /// True when constraints forced a full re-ground.
+    pub full_fallback: bool,
+    /// The epoch this delta committed as.
+    pub epoch: u64,
+    /// `EXPLAIN ANALYZE`-style annotation of the apply.
+    pub annotate: String,
+}
+
+/// Server statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Protocol version the server speaks.
+    pub protocol: u32,
+    /// Facts in the served snapshot.
+    pub facts: u64,
+    /// Of those, inferred facts.
+    pub inferred: u64,
+    /// Factors in the served snapshot.
+    pub factors: u64,
+    /// Committed deltas (= the served epoch).
+    pub epoch: u64,
+    /// Sessions currently connected.
+    pub sessions_active: u64,
+    /// Sessions accepted since startup.
+    pub sessions_total: u64,
+}
+
+/// A server response. Every success variant carries the serving `epoch`
+/// as staleness metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `PING` answer.
+    Pong {
+        /// Served epoch.
+        epoch: u64,
+        /// Protocol version.
+        protocol: u32,
+        /// This connection's session id.
+        session: u64,
+    },
+    /// `FACT` answer; `None` when the fact is not in the snapshot.
+    Fact {
+        /// Served epoch.
+        epoch: u64,
+        /// The fact, if present.
+        fact: Option<FactInfo>,
+    },
+    /// `MARGINAL` answer; `None` when the fact is unknown.
+    Marginal {
+        /// Served epoch.
+        epoch: u64,
+        /// The marginal, if the fact is known.
+        marginal: Option<MarginalInfo>,
+    },
+    /// `LINEAGE` answer; `None` when the fact is unknown.
+    Lineage {
+        /// Served epoch.
+        epoch: u64,
+        /// The lineage, if the fact is known.
+        lineage: Option<LineageInfo>,
+    },
+    /// `APPLY_DELTA` answer.
+    DeltaApplied(DeltaOutcome),
+    /// `STATS` answer.
+    Stats(ServerStats),
+    /// `SHUTDOWN` acknowledged; the server stops accepting and exits.
+    ShuttingDown {
+        /// Epoch at shutdown.
+        epoch: u64,
+    },
+    /// Any request that failed. `code` is machine-readable (`"parse"`,
+    /// `"unsupported"`, `"bad-request"`, `"shutting-down"`, `"internal"`),
+    /// `message` is for humans.
+    Error {
+        /// Machine-readable error class.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const OP_PING: u8 = 0;
+const OP_FACT: u8 = 1;
+const OP_MARGINAL: u8 = 2;
+const OP_LINEAGE: u8 = 3;
+const OP_APPLY_DELTA: u8 = 4;
+const OP_STATS: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+
+const REF_ID: u8 = 0;
+const REF_NAMES: u8 = 1;
+
+fn put_fact_ref(w: &mut ByteWriter, fr: &FactRef) {
+    match fr {
+        FactRef::Id(id) => {
+            w.put_u8(REF_ID);
+            w.put_i64(*id);
+        }
+        FactRef::Names { rel, x, y } => {
+            w.put_u8(REF_NAMES);
+            w.put_str(rel);
+            w.put_str(x);
+            w.put_str(y);
+        }
+    }
+}
+
+fn get_fact_ref(r: &mut ByteReader<'_>) -> Result<FactRef> {
+    match r.get_u8()? {
+        REF_ID => Ok(FactRef::Id(r.get_i64()?)),
+        REF_NAMES => Ok(FactRef::Names {
+            rel: r.get_str()?,
+            x: r.get_str()?,
+            y: r.get_str()?,
+        }),
+        tag => Err(ProtoError(format!("unknown fact-ref tag {tag}"))),
+    }
+}
+
+/// Encode a request body (goes inside a `FrameKind::Request` frame).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match req {
+        Request::Ping => w.put_u8(OP_PING),
+        Request::Fact(fr) => {
+            w.put_u8(OP_FACT);
+            put_fact_ref(&mut w, fr);
+        }
+        Request::Marginal(fr) => {
+            w.put_u8(OP_MARGINAL);
+            put_fact_ref(&mut w, fr);
+        }
+        Request::Lineage { fact, max_depth } => {
+            w.put_u8(OP_LINEAGE);
+            put_fact_ref(&mut w, fact);
+            w.put_u32(*max_depth);
+        }
+        Request::ApplyDelta { text } => {
+            w.put_u8(OP_APPLY_DELTA);
+            w.put_str(text);
+        }
+        Request::Stats => w.put_u8(OP_STATS),
+        Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+    }
+    w.into_bytes()
+}
+
+/// Decode a request body.
+pub fn decode_request(bytes: &[u8]) -> Result<Request> {
+    let mut r = ByteReader::new(bytes);
+    let req = match r.get_u8()? {
+        OP_PING => Request::Ping,
+        OP_FACT => Request::Fact(get_fact_ref(&mut r)?),
+        OP_MARGINAL => Request::Marginal(get_fact_ref(&mut r)?),
+        OP_LINEAGE => Request::Lineage {
+            fact: get_fact_ref(&mut r)?,
+            max_depth: r.get_u32()?,
+        },
+        OP_APPLY_DELTA => Request::ApplyDelta { text: r.get_str()? },
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(ProtoError(format!("unknown request opcode {op}"))),
+    };
+    if !r.is_at_end() {
+        return Err(ProtoError(format!(
+            "{} trailing bytes after request",
+            r.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+const RESP_PONG: u8 = 0;
+const RESP_FACT: u8 = 1;
+const RESP_MARGINAL: u8 = 2;
+const RESP_LINEAGE: u8 = 3;
+const RESP_DELTA: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_SHUTDOWN: u8 = 6;
+const RESP_ERROR: u8 = 255;
+
+fn put_fact_info(w: &mut ByteWriter, f: &FactInfo) {
+    w.put_i64(f.id);
+    w.put_str(&f.rel);
+    w.put_str(&f.x);
+    w.put_str(&f.y);
+    match f.p {
+        Some(p) => {
+            w.put_u8(1);
+            w.put_f64(p);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u8(f.inferred as u8);
+}
+
+fn get_fact_info(r: &mut ByteReader<'_>) -> Result<FactInfo> {
+    Ok(FactInfo {
+        id: r.get_i64()?,
+        rel: r.get_str()?,
+        x: r.get_str()?,
+        y: r.get_str()?,
+        p: match r.get_u8()? {
+            0 => None,
+            _ => Some(r.get_f64()?),
+        },
+        inferred: r.get_u8()? != 0,
+    })
+}
+
+/// Encode a response body (goes inside a `FrameKind::Response` frame).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match resp {
+        Response::Pong {
+            epoch,
+            protocol,
+            session,
+        } => {
+            w.put_u8(RESP_PONG);
+            w.put_u64(*epoch);
+            w.put_u32(*protocol);
+            w.put_u64(*session);
+        }
+        Response::Fact { epoch, fact } => {
+            w.put_u8(RESP_FACT);
+            w.put_u64(*epoch);
+            match fact {
+                Some(f) => {
+                    w.put_u8(1);
+                    put_fact_info(&mut w, f);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Response::Marginal { epoch, marginal } => {
+            w.put_u8(RESP_MARGINAL);
+            w.put_u64(*epoch);
+            match marginal {
+                Some(m) => {
+                    w.put_u8(1);
+                    w.put_i64(m.id);
+                    w.put_f64(m.p);
+                    w.put_u8(matches!(m.source, MarginalSource::Inferred) as u8);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Response::Lineage { epoch, lineage } => {
+            w.put_u8(RESP_LINEAGE);
+            w.put_u64(*epoch);
+            match lineage {
+                Some(l) => {
+                    w.put_u8(1);
+                    w.put_i64(l.id);
+                    w.put_u8(l.is_base as u8);
+                    w.put_u32(l.derivations.len() as u32);
+                    for (weight, body) in &l.derivations {
+                        w.put_f64(*weight);
+                        w.put_u32(body.len() as u32);
+                        for id in body {
+                            w.put_i64(*id);
+                        }
+                    }
+                    w.put_str(&l.rendered);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Response::DeltaApplied(d) => {
+            w.put_u8(RESP_DELTA);
+            w.put_u64(d.new_facts);
+            w.put_u64(d.reused_facts);
+            w.put_u64(d.new_factors);
+            w.put_u8(d.full_fallback as u8);
+            w.put_u64(d.epoch);
+            w.put_str(&d.annotate);
+        }
+        Response::Stats(s) => {
+            w.put_u8(RESP_STATS);
+            w.put_u32(s.protocol);
+            w.put_u64(s.facts);
+            w.put_u64(s.inferred);
+            w.put_u64(s.factors);
+            w.put_u64(s.epoch);
+            w.put_u64(s.sessions_active);
+            w.put_u64(s.sessions_total);
+        }
+        Response::ShuttingDown { epoch } => {
+            w.put_u8(RESP_SHUTDOWN);
+            w.put_u64(*epoch);
+        }
+        Response::Error { code, message } => {
+            w.put_u8(RESP_ERROR);
+            w.put_str(code);
+            w.put_str(message);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a response body.
+pub fn decode_response(bytes: &[u8]) -> Result<Response> {
+    let mut r = ByteReader::new(bytes);
+    let resp = match r.get_u8()? {
+        RESP_PONG => Response::Pong {
+            epoch: r.get_u64()?,
+            protocol: r.get_u32()?,
+            session: r.get_u64()?,
+        },
+        RESP_FACT => Response::Fact {
+            epoch: r.get_u64()?,
+            fact: match r.get_u8()? {
+                0 => None,
+                _ => Some(get_fact_info(&mut r)?),
+            },
+        },
+        RESP_MARGINAL => Response::Marginal {
+            epoch: r.get_u64()?,
+            marginal: match r.get_u8()? {
+                0 => None,
+                _ => Some(MarginalInfo {
+                    id: r.get_i64()?,
+                    p: r.get_f64()?,
+                    source: if r.get_u8()? != 0 {
+                        MarginalSource::Inferred
+                    } else {
+                        MarginalSource::Stored
+                    },
+                }),
+            },
+        },
+        RESP_LINEAGE => Response::Lineage {
+            epoch: r.get_u64()?,
+            lineage: match r.get_u8()? {
+                0 => None,
+                _ => {
+                    let id = r.get_i64()?;
+                    let is_base = r.get_u8()? != 0;
+                    let n = r.get_u32()? as usize;
+                    let mut derivations = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        let weight = r.get_f64()?;
+                        let len = r.get_u32()? as usize;
+                        let mut body = Vec::with_capacity(len.min(16));
+                        for _ in 0..len {
+                            body.push(r.get_i64()?);
+                        }
+                        derivations.push((weight, body));
+                    }
+                    Some(LineageInfo {
+                        id,
+                        is_base,
+                        derivations,
+                        rendered: r.get_str()?,
+                    })
+                }
+            },
+        },
+        RESP_DELTA => Response::DeltaApplied(DeltaOutcome {
+            new_facts: r.get_u64()?,
+            reused_facts: r.get_u64()?,
+            new_factors: r.get_u64()?,
+            full_fallback: r.get_u8()? != 0,
+            epoch: r.get_u64()?,
+            annotate: r.get_str()?,
+        }),
+        RESP_STATS => Response::Stats(ServerStats {
+            protocol: r.get_u32()?,
+            facts: r.get_u64()?,
+            inferred: r.get_u64()?,
+            factors: r.get_u64()?,
+            epoch: r.get_u64()?,
+            sessions_active: r.get_u64()?,
+            sessions_total: r.get_u64()?,
+        }),
+        RESP_SHUTDOWN => Response::ShuttingDown {
+            epoch: r.get_u64()?,
+        },
+        RESP_ERROR => Response::Error {
+            code: r.get_str()?,
+            message: r.get_str()?,
+        },
+        tag => return Err(ProtoError(format!("unknown response tag {tag}"))),
+    };
+    if !r.is_at_end() {
+        return Err(ProtoError(format!(
+            "{} trailing bytes after response",
+            r.remaining()
+        )));
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Fact(FactRef::Id(42)),
+            Request::Fact(FactRef::Names {
+                rel: "born_in".into(),
+                x: "RG".into(),
+                y: "NYC".into(),
+            }),
+            Request::Marginal(FactRef::Id(-1)),
+            Request::Lineage {
+                fact: FactRef::Id(7),
+                max_depth: 3,
+            },
+            Request::ApplyDelta {
+                text: "fact 0.9 r(a:C, b:C)\n".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong {
+                epoch: 3,
+                protocol: PROTOCOL_VERSION,
+                session: 12,
+            },
+            Response::Fact {
+                epoch: 0,
+                fact: None,
+            },
+            Response::Fact {
+                epoch: 2,
+                fact: Some(FactInfo {
+                    id: 5,
+                    rel: "r".into(),
+                    x: "a".into(),
+                    y: "b".into(),
+                    p: Some(0.25),
+                    inferred: true,
+                }),
+            },
+            Response::Marginal {
+                epoch: 1,
+                marginal: Some(MarginalInfo {
+                    id: 5,
+                    p: 0.75,
+                    source: MarginalSource::Inferred,
+                }),
+            },
+            Response::Lineage {
+                epoch: 1,
+                lineage: Some(LineageInfo {
+                    id: 9,
+                    is_base: false,
+                    derivations: vec![(1.5, vec![1, 2]), (0.5, vec![3])],
+                    rendered: "r(a, b)\n  <- q(a, b)".into(),
+                }),
+            },
+            Response::DeltaApplied(DeltaOutcome {
+                new_facts: 4,
+                reused_facts: 100,
+                new_factors: 6,
+                full_fallback: false,
+                epoch: 2,
+                annotate: "ApplyDelta(...)".into(),
+            }),
+            Response::Stats(ServerStats {
+                protocol: PROTOCOL_VERSION,
+                facts: 10,
+                inferred: 4,
+                factors: 12,
+                epoch: 1,
+                sessions_active: 2,
+                sessions_total: 9,
+            }),
+            Response::ShuttingDown { epoch: 5 },
+            Response::Error {
+                code: "unsupported".into(),
+                message: "retract".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            for cut in 0..bytes.len() {
+                assert!(decode_request(&bytes[..cut]).is_err(), "request cut {cut}");
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_response(&bytes[..cut]).is_err(),
+                    "response cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+        let mut bytes = encode_response(&Response::ShuttingDown { epoch: 0 });
+        bytes.push(0);
+        assert!(decode_response(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert!(decode_request(&[200]).is_err());
+        assert!(decode_response(&[77]).is_err());
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+}

@@ -200,6 +200,34 @@ pub struct KbBuilder {
 }
 
 impl KbBuilder {
+    /// Resume building from an existing KB: dictionaries, memberships,
+    /// signatures, facts, rules, and constraints are all carried over
+    /// (with the fact-dedup index rebuilt), so later statements intern
+    /// against the same id space. This is how a live [`DeltaSession`]
+    /// parses delta text: names already known keep their ids, new names
+    /// are appended.
+    ///
+    /// [`DeltaSession`]: https://docs.rs/probkb-core
+    pub fn from_kb(kb: ProbKb) -> KbBuilder {
+        // First occurrence wins, matching `push_fact`'s dedup index.
+        let mut fact_keys = HashMap::new();
+        for (pos, f) in kb.facts.iter().enumerate() {
+            fact_keys.entry(f.key()).or_insert(pos);
+        }
+        KbBuilder {
+            entities: kb.entities,
+            classes: kb.classes,
+            relations: kb.relations,
+            members: kb.members,
+            subclass_edges: kb.subclass_edges,
+            signatures: kb.signatures,
+            facts: kb.facts,
+            fact_keys,
+            rules: kb.rules,
+            constraints: kb.constraints,
+        }
+    }
+
     /// Intern (or fetch) a class by name.
     pub fn class(&mut self, name: &str) -> ClassId {
         let id = ClassId(self.classes.intern(name));

@@ -49,7 +49,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use probkb_kb::prelude::{Fact, HornRule, ProbKb, RulePattern};
+use probkb_kb::prelude::{
+    parse_into, Fact, HornRule, KbBuilder, ParseError, ProbKb, RulePattern,
+};
 use probkb_relational::prelude::*;
 use probkb_support::sync::{default_threads, map_indices};
 
@@ -440,6 +442,73 @@ impl DeltaSession {
         } else {
             self.apply_incremental(union_kb, start)
         }
+    }
+
+    /// Parse KB-text statements (the `kb::parser` format: `fact`, `rule`,
+    /// `functional`, `subclass` lines) into a [`KbDelta`] against this
+    /// session's live id space. Names already known to the session keep
+    /// their ids; new entities, classes, and relations are interned by
+    /// appending, and the session's dictionaries/memberships/signatures
+    /// adopt them immediately — the facts and rules themselves are *not*
+    /// applied until the returned delta is passed to
+    /// [`DeltaSession::apply_delta`]. This is the server's `APPLY_DELTA`
+    /// ingestion path.
+    pub fn parse_delta(&mut self, text: &str) -> std::result::Result<KbDelta, ParseError> {
+        let mut builder = KbBuilder::from_kb(self.kb.clone());
+        let n_facts = builder.fact_count();
+        let n_rules = builder.rule_count();
+        parse_into(&mut builder, text)?;
+        let mut union_kb = builder.build();
+        let delta = KbDelta {
+            facts: union_kb.facts.split_off(n_facts),
+            rules: union_kb.rules.split_off(n_rules),
+        };
+        // Adopt the extended dictionaries (and any new constraints) while
+        // keeping the fact/rule sets exactly as they were — apply_delta
+        // unions them in itself.
+        self.kb = union_kb;
+        Ok(delta)
+    }
+
+    /// Parse KB-text statements into the facts and rules they *denote*,
+    /// without the duplicate-suppression of [`DeltaSession::parse_delta`]
+    /// — a retraction refers to statements that already exist, which the
+    /// dedup index would otherwise resolve to nothing. Names are looked
+    /// up against the session's dictionaries via a throwaway builder;
+    /// the session itself is untouched (retraction must not intern
+    /// anything new into live state).
+    pub fn parse_retraction(&self, text: &str) -> std::result::Result<KbDelta, ParseError> {
+        let mut stripped = self.kb.clone();
+        stripped.facts.clear();
+        stripped.rules.clear();
+        let mut builder = KbBuilder::from_kb(stripped);
+        parse_into(&mut builder, text)?;
+        let kb = builder.build();
+        Ok(KbDelta {
+            facts: kb.facts,
+            rules: kb.rules,
+        })
+    }
+
+    /// Remove facts and/or rules from the live session — **not yet
+    /// supported**. Retraction cannot reuse the schedule-injection replay
+    /// (a removed fact may invalidate derivations at *earlier* rounds
+    /// than it was used, so the recorded schedule over-approximates);
+    /// until provenance-guided deletion lands (ROADMAP item 2
+    /// follow-up), every call returns a structured
+    /// [`Error::Unsupported`] naming the feature, so callers (e.g. the
+    /// server's `APPLY_DELTA` error path) can report it without string
+    /// matching. The session is left untouched.
+    pub fn retract(&mut self, retraction: &KbDelta) -> Result<DeltaApplied> {
+        Err(Error::Unsupported {
+            feature: "retract".into(),
+            reason: format!(
+                "in-place retraction of {} fact(s) and {} rule(s) is not implemented; \
+                 rebuild a session from the surviving KB instead",
+                retraction.facts.len(),
+                retraction.rules.len()
+            ),
+        })
     }
 
     /// Constraint-enforcing sessions delete facts mid-run; replaying the

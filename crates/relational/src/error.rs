@@ -30,6 +30,15 @@ pub enum Error {
     InvalidPlan(String),
     /// An object (table, view, index) already exists.
     AlreadyExists(String),
+    /// A requested operation is recognized but not implemented. The
+    /// structured fields let callers (e.g. the server's error path)
+    /// report *what* is unsupported and *why* without string matching.
+    Unsupported {
+        /// The operation or feature requested (e.g. `"retract"`).
+        feature: String,
+        /// Why it is unsupported, and what to do instead.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +53,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidPlan(detail) => write!(f, "invalid plan: {detail}"),
             Error::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            Error::Unsupported { feature, reason } => {
+                write!(f, "unsupported operation {feature}: {reason}")
+            }
         }
     }
 }
@@ -76,6 +88,13 @@ mod tests {
             ),
             (Error::InvalidPlan("p".into()), "invalid plan: p"),
             (Error::AlreadyExists("x".into()), "object already exists: x"),
+            (
+                Error::Unsupported {
+                    feature: "retract".into(),
+                    reason: "r".into(),
+                },
+                "unsupported operation retract: r",
+            ),
         ];
         for (err, expect) in cases {
             assert_eq!(err.to_string(), expect);

@@ -1,0 +1,238 @@
+//! Immutable published epochs and the pure read path.
+//!
+//! An [`EpochState`] is a self-contained, immutable snapshot of
+//! everything the read path needs: the expanded fact table with stored
+//! probabilities, name dictionaries, lookup indexes, and the `TΦ`
+//! lineage. The writer thread builds one after every committed delta and
+//! publishes it with a single atomic `Arc` swap
+//! ([`probkb_support::sync::ArcCell`]); sessions `load` the cell once
+//! per request and answer entirely from that snapshot — so a query can
+//! observe epoch `k` or epoch `k+1`, but never a half-applied delta.
+//!
+//! [`serve_read`] is deliberately a *pure function* of
+//! `(EpochState, Request)`: the concurrent differential test replays the
+//! same requests against single-threaded oracle epochs and requires
+//! byte-identical responses, which only holds if nothing ambient (time,
+//! counters, RNG) leaks into the read path.
+
+use std::collections::HashMap;
+
+use probkb::pipeline::IncrementalPipeline;
+use probkb_client::protocol::{
+    FactInfo, FactRef, LineageInfo, MarginalInfo, MarginalSource, Request, Response,
+};
+use probkb_core::relmodel::tpi;
+use probkb_factorgraph::prelude::Lineage;
+use probkb_kb::prelude::Dictionary;
+
+/// One fact of the snapshot, fully resolved.
+#[derive(Debug, Clone)]
+struct FactRecord {
+    id: i64,
+    rel: i64,
+    x: i64,
+    y: i64,
+    /// Stored probability: extraction weight for base facts, estimated
+    /// marginal for inferred ones, `None` when the fact never entered a
+    /// factor (no evidence either way beyond its own weight).
+    p: Option<f64>,
+    inferred: bool,
+}
+
+/// An immutable snapshot served to readers.
+#[derive(Debug)]
+pub struct EpochState {
+    /// Number of committed deltas this snapshot includes (epoch 0 is the
+    /// initial grounding). Responses carry this as staleness metadata.
+    pub epoch: u64,
+    facts: Vec<FactRecord>,
+    by_id: HashMap<i64, usize>,
+    by_key: HashMap<(i64, i64, i64), usize>,
+    relations: Dictionary,
+    entities: Dictionary,
+    lineage: Lineage,
+    factors: u64,
+}
+
+impl EpochState {
+    /// Snapshot the live pipeline as epoch `epoch`. Called by the writer
+    /// thread between WAL commit and publication; readers never see the
+    /// pipeline itself.
+    pub fn from_pipeline(pipeline: &IncrementalPipeline, epoch: u64) -> EpochState {
+        let session = pipeline.session();
+        let facts_table = session.facts();
+        let mut facts = Vec::with_capacity(facts_table.len());
+        let mut by_id = HashMap::with_capacity(facts_table.len());
+        let mut by_key = HashMap::with_capacity(facts_table.len());
+        for row in facts_table.rows() {
+            let id = row[tpi::I].as_int().expect("fact id");
+            let stored = row[tpi::W].as_float();
+            let inferred = row[tpi::W].is_null();
+            let p = if inferred {
+                pipeline.marginal_of_fact(id)
+            } else {
+                stored
+            };
+            let record = FactRecord {
+                id,
+                rel: row[tpi::R].as_int().expect("R"),
+                x: row[tpi::X].as_int().expect("x"),
+                y: row[tpi::Y].as_int().expect("y"),
+                p,
+                inferred,
+            };
+            let idx = facts.len();
+            by_id.insert(id, idx);
+            by_key.entry((record.rel, record.x, record.y)).or_insert(idx);
+            facts.push(record);
+        }
+        let kb = session.kb();
+        EpochState {
+            epoch,
+            facts,
+            by_id,
+            by_key,
+            relations: kb.relations.clone(),
+            entities: kb.entities.clone(),
+            lineage: Lineage::from_phi(session.factors()),
+            factors: session.factors().len() as u64,
+        }
+    }
+
+    /// Facts in the snapshot.
+    pub fn num_facts(&self) -> u64 {
+        self.facts.len() as u64
+    }
+
+    /// Inferred facts in the snapshot.
+    pub fn num_inferred(&self) -> u64 {
+        self.facts.iter().filter(|f| f.inferred).count() as u64
+    }
+
+    /// Factors in the snapshot.
+    pub fn num_factors(&self) -> u64 {
+        self.factors
+    }
+
+    fn resolve(&self, fr: &FactRef) -> Option<&FactRecord> {
+        match fr {
+            FactRef::Id(id) => self.by_id.get(id).map(|&i| &self.facts[i]),
+            FactRef::Names { rel, x, y } => {
+                let rel = self.relations.get(rel)? as i64;
+                let x = self.entities.get(x)? as i64;
+                let y = self.entities.get(y)? as i64;
+                self.by_key.get(&(rel, x, y)).map(|&i| &self.facts[i])
+            }
+        }
+    }
+
+    fn fact_name(&self, record: &FactRecord) -> String {
+        let rel = self.relations.resolve(record.rel as u32).unwrap_or("?");
+        let x = self.entities.resolve(record.x as u32).unwrap_or("?");
+        let y = self.entities.resolve(record.y as u32).unwrap_or("?");
+        format!("{rel}({x}, {y})")
+    }
+
+    fn name_of_id(&self, id: i64) -> String {
+        match self.by_id.get(&id) {
+            Some(&i) => self.fact_name(&self.facts[i]),
+            None => format!("f{id}"),
+        }
+    }
+
+    fn fact_info(&self, record: &FactRecord) -> FactInfo {
+        FactInfo {
+            id: record.id,
+            rel: self
+                .relations
+                .resolve(record.rel as u32)
+                .unwrap_or("?")
+                .to_string(),
+            x: self
+                .entities
+                .resolve(record.x as u32)
+                .unwrap_or("?")
+                .to_string(),
+            y: self
+                .entities
+                .resolve(record.y as u32)
+                .unwrap_or("?")
+                .to_string(),
+            p: record.p,
+            inferred: record.inferred,
+        }
+    }
+
+    fn render_proof(&self, id: i64, depth: u32, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        out.push_str(&self.name_of_id(id));
+        if self.lineage.is_base(id) {
+            out.push_str("  [base]");
+        }
+        out.push('\n');
+        if depth == 0 {
+            if !self.lineage.is_base(id) && !self.lineage.derivations(id).is_empty() {
+                out.push_str(&pad);
+                out.push_str("  ...\n");
+            }
+            return;
+        }
+        for d in self.lineage.derivations(id) {
+            out.push_str(&pad);
+            out.push_str(&format!("  <-[w={:.2}]-\n", d.weight));
+            for &body in &d.body {
+                self.render_proof(body, depth - 1, indent + 2, out);
+            }
+        }
+    }
+}
+
+/// Serve one read-only request from a snapshot. Pure: the same
+/// `(state, request)` pair always yields the same response, which is
+/// what lets the differential suite compare live responses byte-for-byte
+/// against single-threaded oracles. Returns `None` for requests that are
+/// not snapshot reads (`PING`, `APPLY_DELTA`, `STATS`, `SHUTDOWN`).
+pub fn serve_read(state: &EpochState, request: &Request) -> Option<Response> {
+    match request {
+        Request::Fact(fr) => Some(Response::Fact {
+            epoch: state.epoch,
+            fact: state.resolve(fr).map(|r| state.fact_info(r)),
+        }),
+        Request::Marginal(fr) => Some(Response::Marginal {
+            epoch: state.epoch,
+            marginal: state.resolve(fr).and_then(|r| {
+                let p = r.p?;
+                Some(MarginalInfo {
+                    id: r.id,
+                    p,
+                    source: if r.inferred {
+                        MarginalSource::Inferred
+                    } else {
+                        MarginalSource::Stored
+                    },
+                })
+            }),
+        }),
+        Request::Lineage { fact, max_depth } => Some(Response::Lineage {
+            epoch: state.epoch,
+            lineage: state.resolve(fact).map(|r| {
+                let derivations = state
+                    .lineage
+                    .derivations(r.id)
+                    .iter()
+                    .map(|d| (d.weight, d.body.clone()))
+                    .collect();
+                let mut rendered = String::new();
+                state.render_proof(r.id, *max_depth, 0, &mut rendered);
+                LineageInfo {
+                    id: r.id,
+                    is_base: state.lineage.is_base(r.id),
+                    derivations,
+                    rendered,
+                }
+            }),
+        }),
+        _ => None,
+    }
+}

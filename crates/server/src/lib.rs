@@ -1,0 +1,300 @@
+//! The ProbKB query-serving server (DESIGN.md, "Client/server
+//! architecture").
+//!
+//! Turns the run-once library into a long-lived service: a threaded TCP
+//! listener speaking the `probkb-client` wire protocol, serving
+//! `FACT`/`MARGINAL`/`LINEAGE`/`STATS` reads from immutable published
+//! [`EpochState`] snapshots while a single writer thread applies
+//! `APPLY_DELTA` batches to the live [`IncrementalPipeline`] in the
+//! background.
+//!
+//! Snapshot isolation, concretely:
+//!
+//! 1. the writer grounds + resamples a delta on state only it can touch;
+//! 2. it appends the delta to the WAL and fsyncs (when durability is
+//!    configured) — the commit point;
+//! 3. it builds a fresh immutable [`EpochState`] and publishes it with
+//!    one atomic `Arc` swap.
+//!
+//! Readers `load` the published `Arc` once per request and answer
+//! entirely from it, so every response is consistent with exactly one
+//! committed epoch — proven end-to-end by the concurrent differential
+//! suite in `tests/concurrent_isolation.rs`.
+//!
+//! [`EpochState`]: epoch::EpochState
+//! [`IncrementalPipeline`]: probkb::pipeline::IncrementalPipeline
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod session;
+pub mod writer;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use probkb::pipeline::IncrementalPipeline;
+use probkb_client::protocol::{encode_response, Response};
+use probkb_core::prelude::GroundingConfig;
+use probkb_inference::prelude::GibbsConfig;
+use probkb_kb::prelude::ProbKb;
+use probkb_storage::frame::{write_frame, FrameKind};
+use probkb_storage::wal::{scan_wal, WalWriter};
+use probkb_support::sync::{ArcCell, Mutex};
+
+use epoch::EpochState;
+use writer::WriteOp;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (the bound address
+    /// is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Per-session idle deadline: a connection that sends nothing for
+    /// this long is dropped.
+    pub idle_timeout: Duration,
+    /// Per-response write deadline: a client that stops reading cannot
+    /// wedge a session thread past this.
+    pub write_timeout: Duration,
+    /// Connection cap; excess connections get a `busy` error response
+    /// and are closed without a session thread.
+    pub max_sessions: usize,
+    /// When set, every committed delta is appended (as its KB-text) to
+    /// this WAL and fsynced before publication; on startup an existing
+    /// WAL is replayed through the same parse → apply path.
+    pub wal_path: Option<PathBuf>,
+    /// Grounding configuration for the initial run and every delta.
+    pub grounding: GroundingConfig,
+    /// Sampler schedule for the initial inference pass and the
+    /// per-delta blanket resampling.
+    pub gibbs: GibbsConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_sessions: 256,
+            wal_path: None,
+            grounding: GroundingConfig::default(),
+            gibbs: GibbsConfig::default(),
+        }
+    }
+}
+
+/// State shared between the listener, sessions, and the writer.
+pub struct Shared {
+    /// The published epoch; readers `load`, the writer `store`s.
+    pub current: ArcCell<EpochState>,
+    /// Sender side of the writer channel. Taken (set to `None`) at
+    /// shutdown so the writer loop drains and exits.
+    pub writer: Mutex<Option<Sender<WriteOp>>>,
+    /// Set once by [`initiate_shutdown`].
+    pub shutdown: AtomicBool,
+    /// Sessions currently running.
+    pub sessions_active: AtomicU64,
+    /// Sessions accepted since startup.
+    pub sessions_total: AtomicU64,
+    /// Deadlines and caps, visible to session threads.
+    pub config: ServerConfig,
+    /// The bound listen address (for the self-connect shutdown wake).
+    pub addr: SocketAddr,
+}
+
+/// Flip the server into shutdown: close the write channel (the writer
+/// drains and exits), mark the flag, and wake the accept loop with a
+/// self-connection so it notices without waiting for a real client.
+pub fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.writer.lock().take();
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+/// A started server: its address and the threads to join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared state (tests reach the published epoch through this).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Ask the server to stop (idempotent, non-blocking).
+    pub fn initiate_shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Block until the listener and writer have exited.
+    pub fn join(mut self) {
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Errors surfaced while starting the server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(String),
+    /// The initial grounding/inference run failed.
+    Pipeline(String),
+    /// WAL replay failed.
+    Wal(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(detail) => write!(f, "server io error: {detail}"),
+            ServerError::Pipeline(detail) => write!(f, "pipeline error: {detail}"),
+            ServerError::Wal(detail) => write!(f, "wal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Ground `kb`, run the cold-start inference pass, replay any WAL, bind
+/// the listener, publish epoch 0 (or the replayed epoch), and start
+/// serving. Returns once the server is accepting connections.
+pub fn start(kb: ProbKb, config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let mut pipeline =
+        IncrementalPipeline::new(kb, config.grounding.clone(), config.gibbs.clone())
+            .map_err(|e| ServerError::Pipeline(e.to_string()))?;
+
+    // Replay committed deltas from a previous run, in commit order,
+    // through the same path live deltas take.
+    let mut replayed: u64 = 0;
+    let wal = match &config.wal_path {
+        Some(path) => {
+            let scan = scan_wal(path).map_err(|e| ServerError::Wal(e.to_string()))?;
+            for frame in &scan.frames {
+                let text = String::from_utf8(frame.clone())
+                    .map_err(|_| ServerError::Wal("non-utf8 delta frame".into()))?;
+                let delta = pipeline
+                    .parse_delta(&text)
+                    .map_err(|e| ServerError::Wal(e.to_string()))?;
+                pipeline
+                    .apply_delta(&delta)
+                    .map_err(|e| ServerError::Wal(e.to_string()))?;
+                replayed += 1;
+            }
+            Some(
+                WalWriter::open_at(path, scan.valid_len)
+                    .map_err(|e| ServerError::Wal(e.to_string()))?,
+            )
+        }
+        None => None,
+    };
+
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| ServerError::Io(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ServerError::Io(e.to_string()))?;
+
+    let state = EpochState::from_pipeline(&pipeline, replayed);
+    let (tx, rx) = channel();
+    let shared = Arc::new(Shared {
+        current: ArcCell::new(Arc::new(state)),
+        writer: Mutex::new(Some(tx)),
+        shutdown: AtomicBool::new(false),
+        sessions_active: AtomicU64::new(0),
+        sessions_total: AtomicU64::new(0),
+        config,
+        addr,
+    });
+
+    let writer_shared = Arc::clone(&shared);
+    let writer_handle = thread::Builder::new()
+        .name("probkb-writer".into())
+        .spawn(move || writer::run_writer(pipeline, wal, writer_shared, rx))
+        .map_err(|e| ServerError::Io(e.to_string()))?;
+
+    let accept_shared = Arc::clone(&shared);
+    let listener_handle = thread::Builder::new()
+        .name("probkb-listener".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| ServerError::Io(e.to_string()))?;
+
+    Ok(ServerHandle {
+        shared,
+        listener: Some(listener_handle),
+        writer: Some(writer_handle),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_session: u64 = 1;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client) lands here.
+            drop(stream);
+            break;
+        }
+        let active = shared.sessions_active.load(Ordering::SeqCst);
+        if active >= shared.config.max_sessions as u64 {
+            reject_busy(stream);
+            continue;
+        }
+        shared.sessions_active.fetch_add(1, Ordering::SeqCst);
+        shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+        let session = next_session;
+        next_session += 1;
+        let session_shared = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name(format!("probkb-session-{session}"))
+            .spawn(move || session::run_session(stream, session_shared, session));
+        if spawned.is_err() {
+            shared.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Drain: give running sessions a moment to finish their in-flight
+    // request before the process exits.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while shared.sessions_active.load(Ordering::SeqCst) > 0
+        && std::time::Instant::now() < deadline
+    {
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let response = Response::Error {
+        code: "busy".into(),
+        message: "session limit reached; retry later".into(),
+    };
+    let _ = write_frame(&mut stream, FrameKind::Response, &encode_response(&response));
+}
+
+/// Everything a server embedder needs.
+pub mod prelude {
+    pub use crate::epoch::{serve_read, EpochState};
+    pub use crate::{initiate_shutdown, start, ServerConfig, ServerError, ServerHandle, Shared};
+}

@@ -1,0 +1,133 @@
+//! `probkb-server`: serve a knowledge base over TCP.
+//!
+//! ```sh
+//! # Serve a KB-text file on an ephemeral port:
+//! probkb-server --kb my_kb.txt --addr 127.0.0.1:0
+//!
+//! # Serve the Table-2 synthetic ReVerb-Sherlock KB at 0.2% scale:
+//! probkb-server --reverb-scale 0.002 --addr 127.0.0.1:7421
+//! ```
+//!
+//! Flags (each with a `PROBKB_SERVER_*` env-var fallback):
+//! `--addr` / `PROBKB_SERVER_ADDR` (default `127.0.0.1:0`),
+//! `--kb FILE` / `PROBKB_SERVER_KB`, `--reverb-scale S` /
+//! `PROBKB_SERVER_REVERB_SCALE`, `--wal FILE` / `PROBKB_SERVER_WAL`,
+//! `--threads N` / `PROBKB_THREADS`, `--idle-timeout-ms` /
+//! `PROBKB_SERVER_IDLE_TIMEOUT_MS`, `--write-timeout-ms` /
+//! `PROBKB_SERVER_WRITE_TIMEOUT_MS`, `--max-sessions` /
+//! `PROBKB_SERVER_MAX_SESSIONS`, `--burn-in`, `--samples`, `--seed`,
+//! `--max-iterations`.
+//!
+//! On success it prints `probkb-server listening on ADDR ...` and serves
+//! until a client sends `SHUTDOWN` (or the process is killed).
+
+use std::time::Duration;
+
+use probkb_datagen::prelude::{generate, ReverbConfig};
+use probkb_kb::prelude::{parse, ProbKb};
+use probkb_server::{start, ServerConfig};
+
+/// `--name value` / `--name=value`, falling back to `env`, then `default`.
+fn flag<T: std::str::FromStr>(name: &str, env: &str, default: T) -> T {
+    let key = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix(&format!("{key}=")) {
+            return value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {key}"));
+        }
+        if arg == &key {
+            if let Some(value) = args.get(i + 1) {
+                return value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad value for {key}"));
+            }
+        }
+    }
+    if let Ok(value) = std::env::var(env) {
+        return value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value for {env}"));
+    }
+    default
+}
+
+fn opt_flag(name: &str, env: &str) -> Option<String> {
+    let sentinel = String::new();
+    let value: String = flag(name, env, sentinel);
+    if value.is_empty() {
+        None
+    } else {
+        Some(value)
+    }
+}
+
+fn load_kb() -> ProbKb {
+    if let Some(path) = opt_flag("kb", "PROBKB_SERVER_KB") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read --kb {path}: {e}"));
+        return parse(&text)
+            .unwrap_or_else(|e| panic!("cannot parse --kb {path}: {e}"))
+            .build();
+    }
+    if let Some(scale) = opt_flag("reverb-scale", "PROBKB_SERVER_REVERB_SCALE") {
+        let scale: f64 = scale.parse().expect("bad --reverb-scale");
+        return generate(&ReverbConfig::scaled(scale));
+    }
+    eprintln!("probkb-server: need --kb FILE or --reverb-scale S");
+    std::process::exit(2);
+}
+
+fn main() {
+    let kb = load_kb();
+    let stats = kb.stats();
+
+    let mut config = ServerConfig {
+        addr: flag("addr", "PROBKB_SERVER_ADDR", "127.0.0.1:0".to_string()),
+        idle_timeout: Duration::from_millis(flag(
+            "idle-timeout-ms",
+            "PROBKB_SERVER_IDLE_TIMEOUT_MS",
+            60_000u64,
+        )),
+        write_timeout: Duration::from_millis(flag(
+            "write-timeout-ms",
+            "PROBKB_SERVER_WRITE_TIMEOUT_MS",
+            10_000u64,
+        )),
+        max_sessions: flag("max-sessions", "PROBKB_SERVER_MAX_SESSIONS", 256usize),
+        wal_path: opt_flag("wal", "PROBKB_SERVER_WAL").map(Into::into),
+        ..ServerConfig::default()
+    };
+    config.grounding.max_iterations = flag("max-iterations", "PROBKB_SERVER_MAX_ITER", 15usize);
+    if let Some(threads) = opt_flag("threads", "PROBKB_SERVER_THREADS") {
+        config.grounding.threads = Some(threads.parse().expect("bad --threads"));
+    }
+    config.gibbs.burn_in = flag("burn-in", "PROBKB_SERVER_BURN_IN", 50usize);
+    config.gibbs.samples = flag("samples", "PROBKB_SERVER_SAMPLES", 500usize);
+    config.gibbs.seed = flag("seed", "PROBKB_SERVER_SEED", 0x9e3779b9u64);
+
+    eprintln!(
+        "probkb-server: grounding {} facts / {} rules / {} constraints ...",
+        stats.facts, stats.rules, stats.constraints
+    );
+    let handle = match start(kb, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("probkb-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let state = handle.shared().current.load();
+    // The parseable line tooling waits for (ci.sh greps the port off it).
+    println!(
+        "probkb-server listening on {} (epoch={} facts={} inferred={} factors={})",
+        handle.addr(),
+        state.epoch,
+        state.num_facts(),
+        state.num_inferred(),
+        state.num_factors()
+    );
+    handle.join();
+    println!("probkb-server: graceful shutdown complete");
+}

@@ -1,0 +1,172 @@
+//! Per-connection session loop.
+//!
+//! Each accepted connection gets its own thread, a session id, and
+//! read/write deadlines on the socket — a client that stops reading or
+//! writing mid-frame times out and only its own session dies; it cannot
+//! wedge the listener, the writer, or other sessions. Malformed bytes
+//! (bad magic, bad CRC, oversized length prefix, unknown opcode) get a
+//! best-effort protocol error response and the session is dropped; the
+//! server itself is never poisoned.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+use probkb_client::protocol::{
+    decode_request, encode_response, Request, Response, PROTOCOL_VERSION,
+};
+use probkb_storage::frame::{is_clean_eof, read_frame, read_magic, write_frame, FrameKind};
+use probkb_storage::StorageError;
+
+use crate::epoch::serve_read;
+use crate::writer::WriteOp;
+use crate::Shared;
+
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    let body = encode_response(response);
+    write_frame(stream, FrameKind::Response, &body).is_ok() && stream.flush().is_ok()
+}
+
+fn proto_error(message: impl Into<String>) -> Response {
+    Response::Error {
+        code: "protocol".into(),
+        message: message.into(),
+    }
+}
+
+/// Handle one request. Reads resolve against a single `load` of the
+/// published epoch; writes are forwarded to the writer thread.
+fn handle(shared: &Shared, session: u64, request: &Request) -> Response {
+    if let Some(response) = serve_read(&shared.current.load(), request) {
+        return response;
+    }
+    match request {
+        Request::Ping => Response::Pong {
+            epoch: shared.current.load().epoch,
+            protocol: PROTOCOL_VERSION,
+            session,
+        },
+        Request::Stats => {
+            let state = shared.current.load();
+            Response::Stats(probkb_client::protocol::ServerStats {
+                protocol: PROTOCOL_VERSION,
+                facts: state.num_facts(),
+                inferred: state.num_inferred(),
+                factors: state.num_factors(),
+                epoch: state.epoch,
+                sessions_active: shared.sessions_active.load(Ordering::SeqCst),
+                sessions_total: shared.sessions_total.load(Ordering::SeqCst),
+            })
+        }
+        Request::ApplyDelta { text } => {
+            let sender = shared.writer.lock().clone();
+            let Some(tx) = sender else {
+                return Response::Error {
+                    code: "shutting-down".into(),
+                    message: "server is shutting down; writes are closed".into(),
+                };
+            };
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx
+                .send(WriteOp {
+                    text: text.clone(),
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                return Response::Error {
+                    code: "shutting-down".into(),
+                    message: "writer stopped".into(),
+                };
+            }
+            match reply_rx.recv() {
+                Ok(response) => response,
+                Err(_) => Response::Error {
+                    code: "internal".into(),
+                    message: "writer dropped the request".into(),
+                },
+            }
+        }
+        Request::Shutdown => {
+            crate::initiate_shutdown(shared);
+            Response::ShuttingDown {
+                epoch: shared.current.load().epoch,
+            }
+        }
+        // serve_read covered Fact/Marginal/Lineage above.
+        _ => proto_error("request not servable"),
+    }
+}
+
+/// Run one session to completion. The caller has already bumped
+/// `sessions_total`; this decrements `sessions_active` on every exit
+/// path.
+pub fn run_session(mut stream: TcpStream, shared: Arc<Shared>, session: u64) {
+    let _guard = ActiveGuard(&shared);
+    if stream
+        .set_read_timeout(Some(shared.config.idle_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+
+    // A peer that is not speaking the protocol is dropped immediately.
+    if let Err(e) = read_magic(&mut stream) {
+        if !is_clean_eof(&e) {
+            let _ = send(&mut stream, &proto_error(format!("bad handshake: {e}")));
+        }
+        return;
+    }
+
+    loop {
+        let (kind, body) = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if is_clean_eof(&e) => return, // polite hang-up
+            Err(StorageError::Corrupt(msg)) | Err(StorageError::Format(msg)) => {
+                // Bad CRC, oversized length, unknown kind: tell the peer
+                // (best-effort) and drop the session — resynchronizing a
+                // corrupt stream is not worth the ambiguity.
+                let _ = send(&mut stream, &proto_error(msg));
+                return;
+            }
+            Err(_) => return, // timeout or transport failure
+        };
+        if kind != FrameKind::Request {
+            let _ = send(&mut stream, &proto_error("expected a request frame"));
+            return;
+        }
+        let request = match decode_request(&body) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame was intact (CRC passed) but the body is
+                // malformed: answer with an error and keep the session —
+                // the stream itself is still synchronized.
+                if !send(&mut stream, &proto_error(e.to_string())) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = handle(&shared, session, &request);
+        if !send(&mut stream, &response) || shutdown {
+            return;
+        }
+    }
+}
+
+/// Decrements `sessions_active` on drop, so panics and early returns
+/// cannot leak the counter.
+struct ActiveGuard<'a>(&'a Shared);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sessions_active.fetch_sub(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,139 @@
+//! The single writer thread: every mutation is serialized here.
+//!
+//! Sessions never touch the [`IncrementalPipeline`]; they enqueue a
+//! [`WriteOp`] and block on its reply channel. The writer applies one
+//! delta at a time — parse against the live id space, ground
+//! incrementally, blanket-resample — then makes it durable (WAL frame +
+//! fsync commit when a WAL is configured) and only *then* publishes the
+//! new [`EpochState`] with one atomic swap. A reader can therefore
+//! observe the pre-delta epoch or the post-delta epoch, never an
+//! intermediate, and a crash after commit replays the delta on restart.
+//!
+//! Retractions (`retract `-prefixed statements) ride the same channel
+//! and currently answer with the structured `unsupported` error from
+//! [`DeltaSession::retract`] — atomically: a batch containing any
+//! retraction fails whole, before any of its additions apply.
+//!
+//! [`DeltaSession::retract`]: probkb_core::delta::DeltaSession::retract
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+use probkb::pipeline::IncrementalPipeline;
+use probkb_client::protocol::{DeltaOutcome, Response};
+use probkb_relational::prelude::Error as RelError;
+use probkb_storage::wal::WalWriter;
+
+use crate::epoch::EpochState;
+use crate::Shared;
+
+/// A mutation enqueued by a session.
+pub struct WriteOp {
+    /// KB-text statements (additions and/or `retract` lines).
+    pub text: String,
+    /// Where the session waits for the outcome.
+    pub reply: SyncSender<Response>,
+}
+
+/// Split a delta batch into addition statements and retraction
+/// statements (lines whose first token is `retract`, prefix stripped).
+fn split_batch(text: &str) -> (String, String) {
+    let mut additions = String::new();
+    let mut retractions = String::new();
+    for line in text.lines() {
+        match line.trim_start().strip_prefix("retract ") {
+            Some(rest) => {
+                retractions.push_str(rest);
+                retractions.push('\n');
+            }
+            None => {
+                additions.push_str(line);
+                additions.push('\n');
+            }
+        }
+    }
+    (additions, retractions)
+}
+
+fn error(code: &str, message: impl Into<String>) -> Response {
+    Response::Error {
+        code: code.into(),
+        message: message.into(),
+    }
+}
+
+fn apply_one(
+    pipeline: &mut IncrementalPipeline,
+    wal: &mut Option<WalWriter>,
+    shared: &Shared,
+    text: &str,
+) -> Response {
+    let (additions, retractions) = split_batch(text);
+
+    // Retractions fail the whole batch before any addition applies.
+    if !retractions.is_empty() {
+        let retraction = match pipeline.parse_retraction(&retractions) {
+            Ok(delta) => delta,
+            Err(e) => return error("parse", e.to_string()),
+        };
+        return match pipeline.retract(&retraction) {
+            Ok(()) => error("internal", "retract unexpectedly succeeded"),
+            Err(RelError::Unsupported { feature, reason }) => error(
+                "unsupported",
+                format!("{feature} is not supported: {reason}"),
+            ),
+            Err(other) => error("internal", other.to_string()),
+        };
+    }
+
+    let delta = match pipeline.parse_delta(&additions) {
+        Ok(delta) => delta,
+        Err(e) => return error("parse", e.to_string()),
+    };
+    let applied = match pipeline.apply_delta(&delta) {
+        Ok(applied) => applied,
+        Err(e) => return error("internal", e.to_string()),
+    };
+
+    // Durability point: the delta text is the WAL record (replayed
+    // through the same parse → apply path on restart), committed before
+    // the epoch becomes visible.
+    if let Some(w) = wal {
+        if let Err(e) = w.append(text.as_bytes()).and_then(|()| w.commit()) {
+            return error("internal", format!("wal commit failed: {e}"));
+        }
+    }
+
+    let epoch = shared.current.load().epoch + 1;
+    let state = EpochState::from_pipeline(pipeline, epoch);
+    shared.current.store(Arc::new(state));
+
+    // Off the commit critical path: precompute the next delta's
+    // delta-independent grounding state while no write is in flight.
+    let _ = pipeline.prepare();
+
+    Response::DeltaApplied(DeltaOutcome {
+        new_facts: applied.grounding.new_facts as u64,
+        reused_facts: applied.grounding.reused_facts as u64,
+        new_factors: applied.grounding.new_factors as u64,
+        full_fallback: applied.grounding.full_fallback,
+        epoch,
+        annotate: applied.grounding.annotate(),
+    })
+}
+
+/// The writer loop: drain ops until every sender is gone (shutdown drops
+/// the sending side), then exit.
+pub fn run_writer(
+    mut pipeline: IncrementalPipeline,
+    mut wal: Option<WalWriter>,
+    shared: Arc<Shared>,
+    rx: Receiver<WriteOp>,
+) {
+    while let Ok(op) = rx.recv() {
+        let response = apply_one(&mut pipeline, &mut wal, &shared, &op.text);
+        // A session that gave up waiting is fine — the delta (if any)
+        // is already committed and published.
+        let _ = op.reply.send(response);
+    }
+}

@@ -1,0 +1,199 @@
+//! Snapshot isolation, proven differentially: 8 reader connections
+//! hammer `FACT`/`MARGINAL`/`LINEAGE` over the wire while a writer
+//! commits three deltas. Every response must be *byte-identical* to what
+//! a single-threaded oracle — a second `IncrementalPipeline` applying
+//! the same deltas in the same order — produces for one of the committed
+//! epochs. A torn read (half-applied delta) would produce bytes matching
+//! no oracle epoch and fail the membership check; a stale-then-fresh
+//! flip-flop would fail the per-connection epoch monotonicity check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use probkb::pipeline::IncrementalPipeline;
+use probkb::prelude::{parse, GibbsConfig, GroundingConfig, ProbKb};
+use probkb_client::prelude::{Client, FactRef};
+use probkb_client::protocol::{decode_response, encode_request, encode_response, Request, Response};
+use probkb_server::prelude::{serve_read, start, EpochState, ServerConfig};
+use probkb_storage::frame::{read_frame, write_frame, FrameKind};
+
+const BASE: &str = r#"
+    fact 0.90 qa(a1:A, b1:B)
+    fact 0.80 qa(a2:A, b2:B)
+    rule 1.20 pa(x:A, y:B) :- qa(x, y)
+"#;
+
+const DELTAS: [&str; 3] = [
+    "fact 0.85 qa(a3:A, b3:B)",
+    "fact 0.75 qa(a4:A, b4:B)\nfact 0.60 qb(c1:C, d1:D)",
+    "fact 0.65 qa(a5:A, b5:B)",
+];
+
+fn base_kb() -> ProbKb {
+    parse(BASE).unwrap().build()
+}
+
+fn grounding() -> GroundingConfig {
+    GroundingConfig {
+        apply_constraints: false,
+        threads: Some(1),
+        ..GroundingConfig::default()
+    }
+}
+
+fn gibbs() -> GibbsConfig {
+    GibbsConfig {
+        burn_in: 100,
+        samples: 500,
+        seed: 7,
+        chains: 2,
+        workers: Some(1),
+        ..GibbsConfig::default()
+    }
+}
+
+fn by_name(rel: &str, x: &str, y: &str) -> FactRef {
+    FactRef::Names {
+        rel: rel.into(),
+        x: x.into(),
+        y: y.into(),
+    }
+}
+
+/// The fixed request mix every reader cycles through. Mixes ids that
+/// exist from epoch 0, ids/names that only appear after a delta, names
+/// that never exist, and lineage walks over inferred facts.
+fn requests() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for id in 0..12 {
+        reqs.push(Request::Fact(FactRef::Id(id)));
+        reqs.push(Request::Marginal(FactRef::Id(id)));
+    }
+    reqs.push(Request::Fact(by_name("qa", "a1", "b1")));
+    reqs.push(Request::Fact(by_name("qa", "a3", "b3"))); // appears at epoch 1
+    reqs.push(Request::Fact(by_name("qb", "c1", "d1"))); // appears at epoch 2
+    reqs.push(Request::Fact(by_name("qa", "a5", "b5"))); // appears at epoch 3
+    reqs.push(Request::Fact(by_name("nope", "a1", "b1"))); // never
+    reqs.push(Request::Marginal(by_name("pa", "a1", "b1")));
+    reqs.push(Request::Marginal(by_name("pa", "a4", "b4")));
+    reqs.push(Request::Lineage {
+        fact: by_name("pa", "a1", "b1"),
+        max_depth: 4,
+    });
+    reqs.push(Request::Lineage {
+        fact: by_name("pa", "a5", "b5"),
+        max_depth: 2,
+    });
+    reqs
+}
+
+/// Epoch carried by a read response (all three read kinds have one).
+fn epoch_of(response: &Response) -> u64 {
+    match response {
+        Response::Fact { epoch, .. }
+        | Response::Marginal { epoch, .. }
+        | Response::Lineage { epoch, .. } => *epoch,
+        other => panic!("unexpected response kind: {other:?}"),
+    }
+}
+
+#[test]
+fn readers_only_ever_observe_committed_epochs() {
+    let reqs = requests();
+
+    // Single-threaded oracle: replay the exact delta sequence the server
+    // will see and snapshot the state after each commit. The pipeline is
+    // deterministic given (seed, delta sequence), so oracle epoch k and
+    // the server's published epoch k are the same state.
+    let mut oracle = IncrementalPipeline::new(base_kb(), grounding(), gibbs()).unwrap();
+    let mut states = vec![EpochState::from_pipeline(&oracle, 0)];
+    for (k, text) in DELTAS.iter().enumerate() {
+        let delta = oracle.parse_delta(text).unwrap();
+        oracle.apply_delta(&delta).unwrap();
+        states.push(EpochState::from_pipeline(&oracle, (k + 1) as u64));
+    }
+    // expected[k][i] = exact wire bytes of request i served at epoch k.
+    let expected: Vec<Vec<Vec<u8>>> = states
+        .iter()
+        .map(|s| {
+            reqs.iter()
+                .map(|r| encode_response(&serve_read(s, r).unwrap()))
+                .collect()
+        })
+        .collect();
+
+    let handle = start(
+        base_kb(),
+        ServerConfig {
+            grounding: grounding(),
+            gibbs: gibbs(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..8)
+        .map(|reader| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let reqs = reqs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let stream = client.stream_mut();
+                let mut last_epoch = 0u64;
+                let mut served = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, req) in reqs.iter().enumerate() {
+                        write_frame(stream, FrameKind::Request, &encode_request(req)).unwrap();
+                        let (kind, body) = read_frame(stream).unwrap();
+                        assert_eq!(kind, FrameKind::Response);
+                        let epoch_hits: Vec<u64> = (0..expected.len() as u64)
+                            .filter(|&k| expected[k as usize][i] == body)
+                            .collect();
+                        assert!(
+                            !epoch_hits.is_empty(),
+                            "reader {reader} request {i}: response matches no committed epoch"
+                        );
+                        // Sessions read the published Arc per request, so
+                        // observed epochs can only move forward.
+                        let epoch = epoch_of(&decode_response(&body).unwrap());
+                        assert!(epoch_hits.contains(&epoch));
+                        assert!(
+                            epoch >= last_epoch,
+                            "reader {reader}: epoch went backwards ({last_epoch} -> {epoch})"
+                        );
+                        last_epoch = epoch;
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Writer: commit the three deltas while the readers hammer.
+    let mut writer = Client::connect(&addr).unwrap();
+    for (k, text) in DELTAS.iter().enumerate() {
+        std::thread::sleep(Duration::from_millis(60));
+        let outcome = writer.apply_delta(text).unwrap();
+        assert_eq!(outcome.epoch, (k + 1) as u64);
+    }
+    std::thread::sleep(Duration::from_millis(60));
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0usize;
+    for reader in readers {
+        total += reader.join().expect("reader panicked");
+    }
+    assert!(total > 0, "readers served no requests");
+
+    // The server's final epoch is exactly the number of committed deltas.
+    assert_eq!(handle.shared().current.load().epoch, DELTAS.len() as u64);
+
+    writer.shutdown().unwrap();
+    handle.join();
+}

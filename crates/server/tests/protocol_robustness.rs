@@ -1,0 +1,192 @@
+//! Wire-protocol robustness: a hostile or broken peer can kill its own
+//! session, never the server. Each scenario throws malformed bytes at a
+//! live server, then proves the listener still accepts and serves a
+//! well-formed `PING` on a fresh connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use probkb::prelude::{parse, GibbsConfig, GroundingConfig};
+use probkb_client::prelude::Client;
+use probkb_client::protocol::{decode_response, encode_request, Request, Response};
+use probkb_server::prelude::{start, ServerConfig, ServerHandle};
+use probkb_storage::frame::{
+    read_frame, write_frame, FrameKind, MAX_WIRE_FRAME_LEN, WIRE_MAGIC,
+};
+
+fn tiny_server() -> ServerHandle {
+    let kb = parse(
+        r#"
+        fact 0.90 qa(a1:A, b1:B)
+        rule 1.20 pa(x:A, y:B) :- qa(x, y)
+    "#,
+    )
+    .unwrap()
+    .build();
+    start(
+        kb,
+        ServerConfig {
+            // Short deadlines so deadbeat-peer scenarios resolve quickly.
+            idle_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            grounding: GroundingConfig {
+                apply_constraints: false,
+                threads: Some(1),
+                ..GroundingConfig::default()
+            },
+            gibbs: GibbsConfig {
+                burn_in: 50,
+                samples: 200,
+                workers: Some(1),
+                ..GibbsConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A raw socket that has completed the magic handshake.
+fn raw_conn(handle: &ServerHandle) -> TcpStream {
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(&WIRE_MAGIC).unwrap();
+    stream
+}
+
+/// The server must still serve a clean connection.
+fn assert_still_alive(handle: &ServerHandle) {
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let (_, protocol, _) = client.ping().unwrap();
+    assert_eq!(protocol, 1);
+}
+
+/// Expect one `Error{code:"protocol"}` response frame, then EOF.
+fn expect_protocol_error_then_eof(stream: &mut TcpStream) {
+    let (kind, body) = read_frame(stream).unwrap();
+    assert_eq!(kind, FrameKind::Response);
+    match decode_response(&body).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0, "expected EOF");
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let handle = tiny_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    expect_protocol_error_then_eof(&mut stream);
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn bad_crc_drops_only_that_session() {
+    let handle = tiny_server();
+    let mut stream = raw_conn(&handle);
+    let body = encode_request(&Request::Ping);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, FrameKind::Request, &body).unwrap();
+    *framed.last_mut().unwrap() ^= 0xff; // corrupt the payload, CRC now wrong
+    stream.write_all(&framed).unwrap();
+    expect_protocol_error_then_eof(&mut stream);
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocating() {
+    let handle = tiny_server();
+    let mut stream = raw_conn(&handle);
+    let huge = (MAX_WIRE_FRAME_LEN + 1).to_le_bytes();
+    stream.write_all(&huge).unwrap();
+    stream.write_all(&[0u8; 8]).unwrap(); // fake crc + start of "payload"
+    expect_protocol_error_then_eof(&mut stream);
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn mid_frame_disconnect_is_harmless() {
+    let handle = tiny_server();
+    {
+        let mut stream = raw_conn(&handle);
+        let body = encode_request(&Request::Stats);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, FrameKind::Request, &body).unwrap();
+        // Send the length prefix, the CRC, and half the payload, then
+        // vanish.
+        stream.write_all(&framed[..framed.len() / 2]).unwrap();
+    } // drop = RST/FIN mid-frame
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn truncated_frame_then_clean_close_is_harmless() {
+    let handle = tiny_server();
+    {
+        let mut stream = raw_conn(&handle);
+        // A length prefix promising 100 bytes, then a clean shutdown
+        // after only the CRC: "unexpected eof mid-frame" on the server.
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&0u32.to_le_bytes()).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    }
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn response_frame_from_client_is_rejected() {
+    let handle = tiny_server();
+    let mut stream = raw_conn(&handle);
+    // A syntactically valid frame of the wrong kind.
+    write_frame(&mut stream, FrameKind::Response, b"\x00").unwrap();
+    expect_protocol_error_then_eof(&mut stream);
+    assert_still_alive(&handle);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_body_in_valid_frame_keeps_session() {
+    let handle = tiny_server();
+    let mut stream = raw_conn(&handle);
+    // CRC-valid frame whose body is not a decodable request: the stream
+    // is still synchronized, so the session survives with an error
+    // response...
+    write_frame(&mut stream, FrameKind::Request, &[0xfe, 0xfe, 0xfe]).unwrap();
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response);
+    match decode_response(&body).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // ...and a well-formed request on the SAME connection still works.
+    write_frame(&mut stream, FrameKind::Request, &encode_request(&Request::Ping)).unwrap();
+    let (kind, body) = read_frame(&mut stream).unwrap();
+    assert_eq!(kind, FrameKind::Response);
+    assert!(matches!(
+        decode_response(&body).unwrap(),
+        Response::Pong { .. }
+    ));
+    handle.initiate_shutdown();
+    handle.join();
+}

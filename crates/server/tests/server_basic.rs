@@ -1,0 +1,253 @@
+//! End-to-end coverage of every request type over the wire, the
+//! structured `unsupported` error for retractions, session limits, and
+//! WAL-backed restart (a restarted server resumes at the replayed epoch
+//! with the delta's facts queryable).
+
+use std::path::PathBuf;
+
+use probkb::prelude::{parse, GibbsConfig, GroundingConfig, ProbKb};
+use probkb_client::prelude::{Client, ClientError, FactRef};
+use probkb_client::protocol::MarginalSource;
+use probkb_server::prelude::{start, ServerConfig, ServerHandle};
+
+fn kb() -> ProbKb {
+    parse(
+        r#"
+        fact 0.90 qa(a1:A, b1:B)
+        fact 0.80 qa(a2:A, b2:B)
+        rule 1.20 pa(x:A, y:B) :- qa(x, y)
+    "#,
+    )
+    .unwrap()
+    .build()
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        grounding: GroundingConfig {
+            apply_constraints: false,
+            threads: Some(1),
+            ..GroundingConfig::default()
+        },
+        gibbs: GibbsConfig {
+            burn_in: 50,
+            samples: 300,
+            workers: Some(1),
+            ..GibbsConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn server(config: ServerConfig) -> (ServerHandle, Client) {
+    let handle = start(kb(), config).unwrap();
+    let client = Client::connect(&handle.addr().to_string()).unwrap();
+    (handle, client)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "probkb-server-basic-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn every_request_type_roundtrips() {
+    let (handle, mut client) = server(config());
+
+    let (epoch, protocol, session) = client.ping().unwrap();
+    assert_eq!((epoch, protocol), (0, 1));
+    assert!(session >= 1);
+
+    // FACT by name and by id agree.
+    let (_, by_name) = client
+        .fact(FactRef::Names {
+            rel: "qa".into(),
+            x: "a1".into(),
+            y: "b1".into(),
+        })
+        .unwrap();
+    let by_name = by_name.expect("base fact resolvable by name");
+    assert_eq!((by_name.rel.as_str(), by_name.inferred), ("qa", false));
+    let (_, by_id) = client.fact(FactRef::Id(by_name.id)).unwrap();
+    assert_eq!(by_id.unwrap().x, by_name.x);
+
+    // MARGINAL: a base fact reports its stored weight; the rule head is
+    // inferred with an estimated marginal.
+    let (_, m) = client.marginal(FactRef::Id(by_name.id)).unwrap();
+    let m = m.unwrap();
+    assert!(matches!(m.source, MarginalSource::Stored));
+    assert!((m.p - 0.90).abs() < 1e-12);
+    let head = FactRef::Names {
+        rel: "pa".into(),
+        x: "a1".into(),
+        y: "b1".into(),
+    };
+    let (_, m) = client.marginal(head.clone()).unwrap();
+    let m = m.unwrap();
+    assert!(matches!(m.source, MarginalSource::Inferred));
+    assert!(m.p > 0.0 && m.p < 1.0);
+
+    // LINEAGE: the inferred head derives from the base fact.
+    let (_, lineage) = client.lineage(head, 4).unwrap();
+    let lineage = lineage.unwrap();
+    assert!(!lineage.is_base);
+    assert_eq!(lineage.derivations.len(), 1);
+    assert!(lineage.rendered.contains("pa(a1, b1)"));
+    assert!(lineage.rendered.contains("qa(a1, b1)  [base]"));
+
+    // Missing facts answer None, not an error.
+    let (_, missing) = client.fact(FactRef::Id(9_999)).unwrap();
+    assert!(missing.is_none());
+
+    // APPLY_DELTA advances the epoch and makes the new fact queryable.
+    let outcome = client.apply_delta("fact 0.85 qa(a3:A, b3:B)").unwrap();
+    assert_eq!(outcome.epoch, 1);
+    assert!(outcome.new_facts >= 1);
+    let (epoch, added) = client
+        .fact(FactRef::Names {
+            rel: "qa".into(),
+            x: "a3".into(),
+            y: "b3".into(),
+        })
+        .unwrap();
+    assert_eq!(epoch, 1);
+    assert!(added.is_some());
+
+    // A parse error in a delta is a structured error, session survives.
+    let err = client.apply_delta("fact banana").unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "parse"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+
+    // STATS reflects the new epoch and this session.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.epoch, 1);
+    assert!(stats.facts >= 4); // 3 base + 1 delta (+ inferred heads)
+    assert!(stats.inferred >= 1);
+    assert!(stats.sessions_total >= 1);
+
+    // SHUTDOWN is acknowledged, then the server exits.
+    let epoch = client.shutdown().unwrap();
+    assert_eq!(epoch, 1);
+    handle.join();
+}
+
+#[test]
+fn retract_reports_structured_unsupported_error() {
+    let (handle, mut client) = server(config());
+
+    // A batch mixing an addition with a retraction fails whole: the
+    // retraction error comes back and the addition must NOT have been
+    // applied.
+    let err = client
+        .apply_delta("fact 0.85 qa(a9:A, b9:B)\nretract fact 0.90 qa(a1:A, b1:B)")
+        .unwrap_err();
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, "unsupported");
+            assert!(
+                message.contains("retract is not supported"),
+                "unexpected message: {message}"
+            );
+            assert!(message.contains("1 fact(s)"), "unexpected message: {message}");
+        }
+        other => panic!("expected unsupported error, got {other:?}"),
+    }
+    let (epoch, leaked) = client
+        .fact(FactRef::Names {
+            rel: "qa".into(),
+            x: "a9".into(),
+            y: "b9".into(),
+        })
+        .unwrap();
+    assert_eq!(epoch, 0, "failed batch must not advance the epoch");
+    assert!(leaked.is_none(), "failed batch leaked its additions");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn session_limit_rejects_with_busy() {
+    let mut cfg = config();
+    cfg.max_sessions = 1;
+    let (handle, mut first) = server(cfg);
+    first.ping().unwrap(); // session thread is definitely up
+
+    // The second connection is rejected before a session spawns.
+    let err = Client::connect(&handle.addr().to_string())
+        .and_then(|mut c| c.ping().map(|_| ()))
+        .unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "busy"),
+        // The rejection races the magic write; a transport error is also
+        // an acceptable observation of "not served".
+        ClientError::Io(_) | ClientError::Protocol(_) => {}
+        other => panic!("expected busy/io, got {other:?}"),
+    }
+
+    first.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn idle_sessions_time_out() {
+    use std::io::{Read, Write};
+    let mut cfg = config();
+    cfg.idle_timeout = std::time::Duration::from_millis(150);
+    let handle = start(kb(), cfg).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(&probkb_storage::frame::WIRE_MAGIC)
+        .unwrap();
+    // Say nothing past the handshake: the server's idle deadline fires
+    // and it closes the session.
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+    handle.initiate_shutdown();
+    handle.join();
+}
+
+#[test]
+fn wal_replay_restores_committed_epochs() {
+    let dir = tmp_dir("wal");
+    let wal = dir.join("server.wal");
+
+    let mut cfg = config();
+    cfg.wal_path = Some(wal.clone());
+    let (handle, mut client) = server(cfg.clone());
+    let outcome = client.apply_delta("fact 0.85 qa(a3:A, b3:B)").unwrap();
+    assert_eq!(outcome.epoch, 1);
+    let outcome = client.apply_delta("fact 0.75 qa(a4:A, b4:B)").unwrap();
+    assert_eq!(outcome.epoch, 2);
+    client.shutdown().unwrap();
+    handle.join();
+
+    // Restart from the same WAL: both committed deltas replay before the
+    // listener binds, so the first client already sees epoch 2.
+    let (handle, mut client) = server(cfg);
+    let (epoch, _, _) = client.ping().unwrap();
+    assert_eq!(epoch, 2);
+    for (x, y) in [("a3", "b3"), ("a4", "b4")] {
+        let (_, fact) = client
+            .fact(FactRef::Names {
+                rel: "qa".into(),
+                x: x.into(),
+                y: y.into(),
+            })
+            .unwrap();
+        assert!(fact.is_some(), "replayed fact qa({x}, {y}) missing");
+    }
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

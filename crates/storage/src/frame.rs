@@ -1,0 +1,249 @@
+//! Stream framing for the client/server wire protocol.
+//!
+//! The on-wire layout is the WAL's frame layout (`wal`) lifted from a
+//! file onto an arbitrary byte stream, with a kind byte distinguishing
+//! the two directions of the protocol:
+//!
+//! ```text
+//! frame := payload length  u32 LE   (kind byte + body)
+//!          crc32(payload)  u32 LE
+//!          kind            u8       (1 = request, 2 = response)
+//!          body            <length - 1> bytes
+//! ```
+//!
+//! A reader validates the length bound *before* allocating (a corrupt or
+//! hostile length prefix cannot trigger a huge allocation) and the CRC
+//! before handing the body out, so a truncated frame, a flipped bit, or
+//! garbage bytes surface as [`StorageError::Corrupt`] — never a panic and
+//! never silently wrong bytes. Request/response bodies are encoded with
+//! the same [`crate::format`] codecs the snapshots use.
+
+use std::io::{Read, Write};
+
+use crate::crc::crc32;
+use crate::error::{Result, StorageError};
+
+/// Frame kinds carried on a protocol stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server.
+    Request,
+    /// Server → client.
+    Response,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<FrameKind> {
+        match tag {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            other => Err(StorageError::Format(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+/// Maximum accepted wire frame payload (64 MiB). Large enough for any
+/// delta batch or tabular response the server produces, small enough
+/// that a corrupt length prefix cannot exhaust memory.
+pub const MAX_WIRE_FRAME_LEN: u32 = 64 << 20;
+
+/// Magic bytes a client sends once, immediately after connecting, so the
+/// server can reject strays that are not speaking the protocol.
+pub const WIRE_MAGIC: [u8; 8] = *b"PKBNET01";
+
+/// Write one frame (header + kind + body) to `w`. Does not flush.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> Result<()> {
+    let len = body.len() as u64 + 1;
+    if len > MAX_WIRE_FRAME_LEN as u64 {
+        return Err(StorageError::Format(format!(
+            "frame body of {} bytes exceeds MAX_WIRE_FRAME_LEN",
+            body.len()
+        )));
+    }
+    let mut payload = Vec::with_capacity(body.len() + 1);
+    payload.push(kind.tag());
+    payload.extend_from_slice(body);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame).map_err(stream_err)
+}
+
+/// Read one frame from `r`, validating length bound and CRC. Returns
+/// the frame kind and its body.
+///
+/// Error taxonomy (what a server session loop needs to distinguish):
+/// [`StorageError::Io`] with detail `"eof"` for a clean end-of-stream at
+/// a frame boundary (peer hung up), [`StorageError::Io`] for transport
+/// failures and mid-frame disconnects, [`StorageError::Corrupt`] for bad
+/// CRCs and oversized length prefixes, [`StorageError::Format`] for an
+/// unknown kind byte.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
+    let mut header = [0u8; 8];
+    read_exact_or_eof(r, &mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len == 0 {
+        return Err(StorageError::Corrupt("zero-length frame".into()));
+    }
+    if len > MAX_WIRE_FRAME_LEN {
+        return Err(StorageError::Corrupt(format!(
+            "frame length {len} exceeds MAX_WIRE_FRAME_LEN ({MAX_WIRE_FRAME_LEN})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(stream_err)?;
+    if crc32(&payload) != stored_crc {
+        return Err(StorageError::Corrupt("frame crc mismatch".into()));
+    }
+    let kind = FrameKind::from_tag(payload[0])?;
+    payload.remove(0);
+    Ok((kind, payload))
+}
+
+/// Read the connection-opening magic, rejecting anything else.
+pub fn read_magic(r: &mut impl Read) -> Result<()> {
+    let mut magic = [0u8; 8];
+    read_exact_or_eof(r, &mut magic)?;
+    if magic != WIRE_MAGIC {
+        return Err(StorageError::Corrupt("bad connection magic".into()));
+    }
+    Ok(())
+}
+
+/// Write the connection-opening magic.
+pub fn write_magic(w: &mut impl Write) -> Result<()> {
+    w.write_all(&WIRE_MAGIC).map_err(stream_err)
+}
+
+/// True when `err` is the clean end-of-stream marker from
+/// [`read_frame`]/[`read_magic`] (the peer closed between frames).
+pub fn is_clean_eof(err: &StorageError) -> bool {
+    matches!(err, StorageError::Io { path, detail } if path == "<stream>" && detail == "eof")
+}
+
+fn stream_err(e: std::io::Error) -> StorageError {
+    StorageError::Io {
+        path: "<stream>".into(),
+        detail: e.to_string(),
+    }
+}
+
+/// Like `read_exact`, but a clean EOF *before any byte* maps to the
+/// distinguished `"eof"` error so callers can tell a polite hang-up from
+/// a torn frame.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(StorageError::Io {
+                    path: "<stream>".into(),
+                    detail: if filled == 0 { "eof".into() } else { "unexpected eof mid-frame".into() },
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(stream_err(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, body).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip_both_kinds() {
+        for kind in [FrameKind::Request, FrameKind::Response] {
+            let bytes = frame_bytes(kind, b"hello wire");
+            let (k, body) = read_frame(&mut Cursor::new(&bytes)).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(body, b"hello wire");
+        }
+    }
+
+    #[test]
+    fn empty_body_roundtrips() {
+        let bytes = frame_bytes(FrameKind::Request, b"");
+        let (k, body) = read_frame(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(k, FrameKind::Request);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_errors() {
+        let bytes = frame_bytes(FrameKind::Response, b"truncate me please");
+        for cut in 0..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut])).unwrap_err();
+            match err {
+                StorageError::Io { .. } | StorageError::Corrupt(_) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+        // Cut at zero is the clean hang-up case.
+        assert!(is_clean_eof(
+            &read_frame(&mut Cursor::new(&bytes[..0])).unwrap_err()
+        ));
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let bytes = frame_bytes(FrameKind::Request, b"guard these bytes");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            // Whatever the flip hit (length, crc, kind, body), the read
+            // must fail — never return altered bytes as valid.
+            assert!(
+                read_frame(&mut Cursor::new(&bad)).is_err(),
+                "flip at {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let payload = [9u8, b'x'];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crate::crc::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, StorageError::Format(_)));
+    }
+
+    #[test]
+    fn magic_roundtrip_and_rejection() {
+        let mut out = Vec::new();
+        write_magic(&mut out).unwrap();
+        read_magic(&mut Cursor::new(&out)).unwrap();
+        let err = read_magic(&mut Cursor::new(b"NOTMAGIC")).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+}

@@ -12,6 +12,9 @@
 //!   longest intact prefix and truncates torn tails.
 //! * [`format`] / [`kbcodec`] — the little-endian binary codecs for
 //!   `relational` values/schemas/tables and the `kb` model.
+//! * [`frame`] — the WAL's length-prefixed CRC-guarded framing lifted
+//!   onto byte streams, with request/response frame kinds — the wire
+//!   layer of the `probkb-server` / `probkb-client` protocol.
 //! * [`crc`] — the table-driven CRC-32 (IEEE) everything above uses.
 //!
 //! The checkpoint/resume driver built on these lives in
@@ -23,6 +26,7 @@
 pub mod crc;
 pub mod error;
 pub mod format;
+pub mod frame;
 pub mod kbcodec;
 pub mod snapshot;
 pub mod wal;
@@ -37,6 +41,10 @@ pub mod prelude {
     pub use crate::format::{
         decode_named_tables, decode_table, encode_named_tables, encode_table, ByteReader,
         ByteWriter,
+    };
+    pub use crate::frame::{
+        is_clean_eof, read_frame, read_magic, write_frame, write_magic, FrameKind,
+        MAX_WIRE_FRAME_LEN, WIRE_MAGIC,
     };
     pub use crate::kbcodec::{decode_kb, encode_kb, kb_digest};
     pub use crate::snapshot::{

@@ -82,6 +82,42 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// An atomically swappable `Arc<T>`: readers `load` a cheap clone of the
+/// current `Arc`, a writer `store`s a replacement, and neither ever sees
+/// a half-published value. This is the std-only stand-in for the
+/// `arc-swap` crate's `ArcSwap`: the lock is held only for the pointer
+/// clone/replace (never across user code), so readers are wait-bounded
+/// and a swap is one pointer write.
+///
+/// The snapshot-isolation layer in `probkb-server` publishes immutable
+/// epochs through this cell: queries resolve against whatever `load`
+/// returns and keep that epoch alive for the whole request, regardless
+/// of concurrent swaps.
+#[derive(Debug)]
+pub struct ArcCell<T> {
+    inner: RwLock<std::sync::Arc<T>>,
+}
+
+impl<T> ArcCell<T> {
+    /// Wrap an initial value.
+    pub fn new(value: std::sync::Arc<T>) -> Self {
+        ArcCell {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Clone the current `Arc` (the caller's snapshot survives later
+    /// `store`s untouched).
+    pub fn load(&self) -> std::sync::Arc<T> {
+        self.inner.read().clone()
+    }
+
+    /// Atomically replace the current value, returning the previous one.
+    pub fn store(&self, value: std::sync::Arc<T>) -> std::sync::Arc<T> {
+        std::mem::replace(&mut *self.inner.write(), value)
+    }
+}
+
 /// Fan `items` out over at most `threads` contiguous chunks, run `f` on
 /// each chunk in a scoped thread, and concatenate the per-chunk results
 /// **in chunk order**. `f` receives the chunk index, so callers can seed

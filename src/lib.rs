@@ -315,6 +315,35 @@ pub mod pipeline {
             &self.session
         }
 
+        /// Parse KB-text statements into a [`KbDelta`] against the live
+        /// session's id space (see [`DeltaSession::parse_delta`]). New
+        /// names are interned immediately; nothing is grounded until the
+        /// delta is passed to [`IncrementalPipeline::apply_delta`].
+        pub fn parse_delta(
+            &mut self,
+            text: &str,
+        ) -> std::result::Result<KbDelta, probkb_kb::parser::ParseError> {
+            self.session.parse_delta(text)
+        }
+
+        /// Parse KB-text into the facts/rules it denotes, without
+        /// duplicate suppression (see [`DeltaSession::parse_retraction`])
+        /// — the ingestion path for retraction statements, which refer
+        /// to facts that already exist.
+        pub fn parse_retraction(
+            &self,
+            text: &str,
+        ) -> std::result::Result<KbDelta, probkb_kb::parser::ParseError> {
+            self.session.parse_retraction(text)
+        }
+
+        /// Retraction stub (see [`DeltaSession::retract`]): always
+        /// returns the structured `Unsupported` error, leaving the
+        /// pipeline untouched.
+        pub fn retract(&mut self, retraction: &KbDelta) -> Result<()> {
+            self.session.retract(retraction).map(|_| ())
+        }
+
         /// Precompute the next delta's delta-independent grounding state
         /// ([`DeltaSession::prepare`]) — maintenance best done between
         /// deltas, off the update critical path.

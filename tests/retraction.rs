@@ -1,0 +1,94 @@
+//! Retraction is deliberately unsupported (ROADMAP open item): callers
+//! must get a *structured* `Unsupported` error — stable feature name,
+//! counts in the reason — not a panic or a silent no-op. These tests pin
+//! that shape so the server's `unsupported` wire error (and any future
+//! real implementation) has a contract to hold.
+
+use probkb::prelude::*;
+use probkb::relational::prelude::Error;
+
+const BASE: &str = r#"
+    fact 0.90 qa(a1:A, b1:B)
+    fact 0.80 qa(a2:A, b2:B)
+    rule 1.20 pa(x:A, y:B) :- qa(x, y)
+"#;
+
+fn session() -> DeltaSession {
+    let kb = parse(BASE).unwrap().build();
+    let config = GroundingConfig {
+        apply_constraints: false,
+        threads: Some(1),
+        ..GroundingConfig::default()
+    };
+    DeltaSession::new(kb, config).unwrap()
+}
+
+#[test]
+fn retract_returns_structured_unsupported_error() {
+    let mut session = session();
+    let retraction = session.parse_retraction("fact 0.90 qa(a1:A, b1:B)").unwrap();
+    assert_eq!(retraction.facts.len(), 1);
+
+    let err = session.retract(&retraction).unwrap_err();
+    match err {
+        Error::Unsupported { feature, reason } => {
+            assert_eq!(feature, "retract");
+            assert!(reason.contains("1 fact(s)"), "reason: {reason}");
+            assert!(reason.contains("0 rule(s)"), "reason: {reason}");
+            assert!(
+                reason.contains("rebuild a session"),
+                "reason should point at the workaround: {reason}"
+            );
+        }
+        other => panic!("expected Error::Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn retract_error_counts_follow_the_delta() {
+    let mut session = session();
+    let retraction = session
+        .parse_retraction("fact 0.90 qa(a1:A, b1:B)\nfact 0.80 qa(a2:A, b2:B)\nrule 1.20 pa(x:A, y:B) :- qa(x, y)")
+        .unwrap();
+    let err = session.retract(&retraction).unwrap_err();
+    let Error::Unsupported { reason, .. } = err else {
+        panic!("expected Error::Unsupported");
+    };
+    assert!(reason.contains("2 fact(s)"), "reason: {reason}");
+    assert!(reason.contains("1 rule(s)"), "reason: {reason}");
+}
+
+#[test]
+fn retract_leaves_the_session_usable() {
+    let mut session = session();
+    let before = session.facts().len();
+    let retraction = session.parse_retraction("fact 0.90 qa(a1:A, b1:B)").unwrap();
+    let _ = session.retract(&retraction).unwrap_err();
+
+    // The failed retraction must not have mutated grounded state, and a
+    // normal addition must still go through.
+    assert_eq!(session.facts().len(), before);
+    let addition = session.parse_delta("fact 0.85 qa(a3:A, b3:B)").unwrap();
+    let applied = session.apply_delta(&addition).unwrap();
+    assert!(applied.report.new_facts >= 1);
+}
+
+#[test]
+fn pipeline_retract_propagates_the_same_error() {
+    let kb = parse(BASE).unwrap().build();
+    let config = GroundingConfig {
+        apply_constraints: false,
+        threads: Some(1),
+        ..GroundingConfig::default()
+    };
+    let gibbs = GibbsConfig {
+        burn_in: 50,
+        samples: 200,
+        workers: Some(1),
+        ..GibbsConfig::default()
+    };
+    let mut pipeline = IncrementalPipeline::new(kb, config, gibbs).unwrap();
+    let retraction = pipeline.parse_retraction("fact 0.90 qa(a1:A, b1:B)").unwrap();
+    let err = pipeline.retract(&retraction).unwrap_err();
+    assert!(matches!(err, Error::Unsupported { ref feature, .. } if feature == "retract"));
+}
