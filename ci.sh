@@ -27,7 +27,20 @@ PROBKB_OPTIMIZE=1 cargo test -q --offline --workspace
 PROBKB_GIBBS_WORKERS=1 cargo test -q --offline --workspace
 PROBKB_GIBBS_WORKERS=4 cargo test -q --offline --workspace
 
-# Benches (including the join thread-scaling sweep) must stay compiling.
+# Out-of-core storage must be invisible to results: the whole suite runs
+# once more with every catalog forced through a hard-capped buffer pool
+# (64 pages = 512 KiB) and an aggressive spill threshold, so every table
+# larger than 256 rows lives in buffer-managed pages. Any divergence
+# between paged and in-memory execution fails the normal assertions.
+PROBKB_BUFFER_PAGES=64 PROBKB_SPILL_ROWS=256 cargo test -q --offline --workspace
+
+# Out-of-core grounding smoke: the acceptance harness grounds the same
+# KB in memory and through a capped pool and asserts byte-identity of
+# facts, factors, and the derivation schedule.
+cargo run --release --offline -p probkb-bench --bin outofcore -- --scale 0.02 --pool 64
+
+# Benches (including the join thread-scaling sweep and the out-of-core
+# pool sweep) must stay compiling.
 cargo bench --offline --no-run --workspace
 
 # Gibbs bench smoke: the sampler sweep and the convergence-control

@@ -100,5 +100,65 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators, bench_thread_scaling);
+/// Out-of-core sweep: the same join/aggregate/scan plans over a fact
+/// table spilled into buffer-managed pages, at pool sizes from "fits
+/// entirely" down to a hard memory cap well below the table's resident
+/// size. The in-memory numbers above are the baseline; the gap at each
+/// pool size is the price of paging (decode + eviction churn), and the
+/// results are byte-identical at every size by construction.
+fn bench_out_of_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_out_of_core");
+    group.sample_size(10);
+
+    let rows = 200_000usize;
+    // 64 pages = 512 KiB of buffer pool against a ~9 MiB table.
+    for pool_pages in [64usize, 256, 4096] {
+        let cat = Catalog::new();
+        let ctx = StorageContext::in_temp(pool_pages).unwrap();
+        cat.set_spill_policy(Some(SpillPolicy {
+            ctx,
+            threshold_rows: 4096,
+        }));
+        cat.create_or_replace("t", table(rows, 4_000));
+        cat.create_or_replace("dim", table(4_000, 4_000));
+        assert!(cat.get("t").unwrap().is_spilled());
+        let exec = Executor::new(&cat);
+
+        group.bench_with_input(
+            BenchmarkId::new("hash_join", pool_pages),
+            &pool_pages,
+            |b, _| {
+                let plan = Plan::scan("t").hash_join(Plan::scan("dim"), vec![0], vec![0]);
+                b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("aggregate", pool_pages),
+            &pool_pages,
+            |b, _| {
+                let plan = Plan::scan("t").aggregate(
+                    vec![0],
+                    vec![
+                        AggExpr::new(AggFunc::CountStar, "n"),
+                        AggExpr::new(AggFunc::Min(1), "mn"),
+                    ],
+                );
+                b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("filter", pool_pages),
+            &pool_pages,
+            |b, _| {
+                let plan = Plan::scan("t").filter(Expr::col(0).lt(Expr::lit(100i64)));
+                b.iter(|| std::hint::black_box(exec.execute_table(&plan).unwrap().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_thread_scaling, bench_out_of_core);
 criterion_main!(benches);

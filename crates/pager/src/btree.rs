@@ -1,0 +1,591 @@
+//! A disk-resident B-tree over memcomparable byte keys.
+//!
+//! Values are `u64` (row positions upstairs). Keys are arbitrary byte
+//! strings compared lexicographically — callers encode typed keys into
+//! order-preserving bytes (see `relational`'s `keyenc`). Keys are
+//! unique; inserting an existing key overwrites its value (callers that
+//! need duplicates append a disambiguating suffix).
+//!
+//! Node layout (one page per node, CRC handled by [`crate::disk`]):
+//!
+//! ```text
+//! [crc:4][kind:1][pad:1][nkeys:2][free_off:2][next_leaf:4][leftmost:4][pad:2]
+//! entries grow up from byte 20; slot dir of u16 entry offsets grows
+//! down from PAGE_SIZE, kept sorted by key (slot i at dir_start + 2i).
+//! leaf entry:     [klen:2][key][val:8]
+//! internal entry: [klen:2][key][child:4]   (key = min key of child)
+//! ```
+//!
+//! Splits move the upper half right and promote a separator; leaves are
+//! sibling-chained (`next_leaf`) for range scans. Concurrency is a
+//! single tree-wide mutex — coarse, but index probes upstairs batch
+//! their work per query, and correctness (not parallel index writes)
+//! is what the differential suite pins.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use probkb_support::sync::Mutex;
+
+use crate::buffer::{BufferManager, PageGuard};
+use crate::disk::DiskManager;
+use crate::{Error, FileId, PageNo, Result, PAGE_SIZE};
+
+const HDR: usize = 20;
+const KIND_LEAF: u8 = 1;
+const KIND_INTERNAL: u8 = 2;
+const LEAF_PAYLOAD: usize = 8;
+const INTERNAL_PAYLOAD: usize = 4;
+/// Largest key we accept; keeps every node able to hold several
+/// entries so splits always make progress.
+pub const MAX_KEY_LEN: usize = 1024;
+
+// ---- node-level helpers (pure byte-slice arithmetic) ----
+
+fn node_init(buf: &mut [u8], kind: u8) {
+    buf[..HDR].fill(0);
+    buf[4] = kind;
+    set_nkeys(buf, 0);
+    set_free_off(buf, HDR as u16);
+}
+
+fn kind(buf: &[u8]) -> u8 {
+    buf[4]
+}
+
+fn nkeys(buf: &[u8]) -> usize {
+    u16::from_le_bytes([buf[6], buf[7]]) as usize
+}
+
+fn set_nkeys(buf: &mut [u8], n: u16) {
+    buf[6..8].copy_from_slice(&n.to_le_bytes());
+}
+
+fn free_off(buf: &[u8]) -> usize {
+    u16::from_le_bytes([buf[8], buf[9]]) as usize
+}
+
+fn set_free_off(buf: &mut [u8], off: u16) {
+    buf[8..10].copy_from_slice(&off.to_le_bytes());
+}
+
+fn next_leaf(buf: &[u8]) -> PageNo {
+    u32::from_le_bytes(buf[10..14].try_into().unwrap())
+}
+
+fn set_next_leaf(buf: &mut [u8], p: PageNo) {
+    buf[10..14].copy_from_slice(&p.to_le_bytes());
+}
+
+fn leftmost(buf: &[u8]) -> PageNo {
+    u32::from_le_bytes(buf[14..18].try_into().unwrap())
+}
+
+fn set_leftmost(buf: &mut [u8], p: PageNo) {
+    buf[14..18].copy_from_slice(&p.to_le_bytes());
+}
+
+fn dir_start(buf: &[u8]) -> usize {
+    PAGE_SIZE - 2 * nkeys(buf)
+}
+
+fn entry_off(buf: &[u8], i: usize) -> usize {
+    let p = dir_start(buf) + 2 * i;
+    u16::from_le_bytes([buf[p], buf[p + 1]]) as usize
+}
+
+fn entry_key(buf: &[u8], i: usize) -> &[u8] {
+    let off = entry_off(buf, i);
+    let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+    &buf[off + 2..off + 2 + klen]
+}
+
+fn entry_payload(buf: &[u8], i: usize) -> &[u8] {
+    let off = entry_off(buf, i);
+    let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+    let plen = if kind(buf) == KIND_LEAF {
+        LEAF_PAYLOAD
+    } else {
+        INTERNAL_PAYLOAD
+    };
+    &buf[off + 2 + klen..off + 2 + klen + plen]
+}
+
+fn leaf_val(buf: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(entry_payload(buf, i).try_into().unwrap())
+}
+
+fn set_leaf_val(buf: &mut [u8], i: usize, val: u64) {
+    let off = entry_off(buf, i);
+    let klen = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+    buf[off + 2 + klen..off + 2 + klen + 8].copy_from_slice(&val.to_le_bytes());
+}
+
+fn child(buf: &[u8], i: usize) -> PageNo {
+    u32::from_le_bytes(entry_payload(buf, i).try_into().unwrap())
+}
+
+fn free_space(buf: &[u8]) -> usize {
+    dir_start(buf).saturating_sub(free_off(buf))
+}
+
+/// Binary search the slot directory. `Ok(i)` = exact match at slot i,
+/// `Err(i)` = insertion position.
+fn search(buf: &[u8], key: &[u8]) -> std::result::Result<usize, usize> {
+    let n = nkeys(buf);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match entry_key(buf, mid).cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Insert `(key, payload)` as the entry at sorted position `pos`.
+/// Returns false when the node lacks room (caller splits).
+fn insert_entry(buf: &mut [u8], pos: usize, key: &[u8], payload: &[u8]) -> bool {
+    let need = 2 + key.len() + payload.len() + 2; // entry + dir slot
+    if free_space(buf) < need {
+        return false;
+    }
+    let off = free_off(buf);
+    buf[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    buf[off + 2..off + 2 + key.len()].copy_from_slice(key);
+    buf[off + 2 + key.len()..off + 2 + key.len() + payload.len()].copy_from_slice(payload);
+    // Grow the directory down, shifting slots [0, pos) left by one cell.
+    let n = nkeys(buf);
+    let ds = dir_start(buf);
+    let new_ds = ds - 2;
+    buf.copy_within(ds..ds + 2 * pos, new_ds);
+    let p = new_ds + 2 * pos;
+    buf[p..p + 2].copy_from_slice(&(off as u16).to_le_bytes());
+    set_nkeys(buf, (n + 1) as u16);
+    set_free_off(buf, (off + 2 + key.len() + payload.len()) as u16);
+    true
+}
+
+/// Read every entry out of a node (for splits/rebuilds).
+fn gather(buf: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..nkeys(buf))
+        .map(|i| (entry_key(buf, i).to_vec(), entry_payload(buf, i).to_vec()))
+        .collect()
+}
+
+/// Rebuild a node from sorted entries.
+fn rebuild(buf: &mut [u8], node_kind: u8, entries: &[(Vec<u8>, Vec<u8>)]) {
+    node_init(buf, node_kind);
+    for (i, (k, p)) in entries.iter().enumerate() {
+        let ok = insert_entry(buf, i, k, p);
+        debug_assert!(ok, "rebuild overflow: node cannot hold its half");
+    }
+}
+
+enum Ins {
+    Done,
+    Split { sep: Vec<u8>, right: PageNo },
+}
+
+struct State {
+    root: PageNo,
+    entries: u64,
+}
+
+/// A disk-resident B-tree index; see the module docs for layout.
+pub struct BTree {
+    buffer: Arc<BufferManager>,
+    disk: Arc<DiskManager>,
+    fid: FileId,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree")
+            .field("path", &self.disk.path())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl BTree {
+    /// Create a fresh tree backed by a new page file at `path`.
+    /// `ephemeral` files are deleted when the tree drops.
+    pub fn create(buffer: Arc<BufferManager>, path: &Path, ephemeral: bool) -> Result<Self> {
+        let disk = Arc::new(DiskManager::create(path)?);
+        disk.set_ephemeral(ephemeral);
+        let fid = buffer.register_file(Arc::clone(&disk));
+        let (root, g) = buffer.create_page(fid)?;
+        g.write(|buf| node_init(buf, KIND_LEAF));
+        drop(g);
+        Ok(BTree {
+            buffer,
+            disk,
+            fid,
+            state: Mutex::new(State { root, entries: 0 }),
+        })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.state.lock().entries
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of pages backing the tree.
+    pub fn page_count(&self) -> u32 {
+        self.disk.page_count()
+    }
+
+    fn pin(&self, pno: PageNo) -> Result<PageGuard> {
+        self.buffer.fetch(self.fid, pno)
+    }
+
+    /// Insert `key -> val`, overwriting any existing binding.
+    pub fn insert(&self, key: &[u8], val: u64) -> Result<()> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(Error::RecordTooLarge(key.len()));
+        }
+        let mut st = self.state.lock();
+        let root = st.root;
+        let (res, overwrote) = self.insert_rec(root, key, val)?;
+        if let Ins::Split { sep, right } = res {
+            let (new_root, g) = self.buffer.create_page(self.fid)?;
+            g.write(|buf| {
+                node_init(buf, KIND_INTERNAL);
+                set_leftmost(buf, root);
+                let ok = insert_entry(buf, 0, &sep, &right.to_le_bytes());
+                debug_assert!(ok);
+            });
+            st.root = new_root;
+        }
+        if !overwrote {
+            st.entries += 1;
+        }
+        Ok(())
+    }
+
+    /// Returns `(result, overwrote_existing)`.
+    fn insert_rec(&self, pno: PageNo, key: &[u8], val: u64) -> Result<(Ins, bool)> {
+        let g = self.pin(pno)?;
+        let node_kind = g.read(|buf| kind(buf));
+        if node_kind == KIND_LEAF {
+            let done = g.write(|buf| match search(buf, key) {
+                Ok(i) => {
+                    set_leaf_val(buf, i, val);
+                    Some(true)
+                }
+                Err(pos) => {
+                    if insert_entry(buf, pos, key, &val.to_le_bytes()) {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+            });
+            if let Some(overwrote) = done {
+                return Ok((Ins::Done, overwrote));
+            }
+            // Split the leaf: gather + new entry, halve, rebuild.
+            let mut entries = g.read(gather);
+            let old_next = g.read(|buf| next_leaf(buf));
+            let pos = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(_) => unreachable!("exact match handled above"),
+                Err(p) => p,
+            };
+            entries.insert(pos, (key.to_vec(), val.to_le_bytes().to_vec()));
+            let mid = entries.len() / 2;
+            let right_entries = entries.split_off(mid);
+            let sep = right_entries[0].0.clone();
+            let (right_pno, rg) = self.buffer.create_page(self.fid)?;
+            rg.write(|buf| {
+                rebuild(buf, KIND_LEAF, &right_entries);
+                set_next_leaf(buf, old_next);
+            });
+            drop(rg);
+            g.write(|buf| {
+                rebuild(buf, KIND_LEAF, &entries);
+                set_next_leaf(buf, right_pno);
+            });
+            return Ok((
+                Ins::Split {
+                    sep,
+                    right: right_pno,
+                },
+                false,
+            ));
+        }
+        // Internal node: descend, then absorb any child split.
+        let (child_pno, _slot) = g.read(|buf| self.route(buf, key));
+        drop(g);
+        let (res, overwrote) = self.insert_rec(child_pno, key, val)?;
+        let Ins::Split { sep, right } = res else {
+            return Ok((Ins::Done, overwrote));
+        };
+        let g = self.pin(pno)?;
+        let inserted = g.write(|buf| {
+            let pos = match search(buf, &sep) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            insert_entry(buf, pos, &sep, &right.to_le_bytes())
+        });
+        if inserted {
+            return Ok((Ins::Done, overwrote));
+        }
+        // Split this internal node; the median separator moves up.
+        let mut entries = g.read(gather);
+        let old_leftmost = g.read(|buf| leftmost(buf));
+        let pos = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(sep.as_slice())) {
+            Ok(p) | Err(p) => p,
+        };
+        entries.insert(pos, (sep, right.to_le_bytes().to_vec()));
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid + 1);
+        let (sep_up, mid_child) = entries.pop().expect("mid entry exists");
+        let mid_child = u32::from_le_bytes(mid_child.as_slice().try_into().unwrap());
+        let (right_pno, rg) = self.buffer.create_page(self.fid)?;
+        rg.write(|buf| {
+            rebuild(buf, KIND_INTERNAL, &right_entries);
+            set_leftmost(buf, mid_child);
+        });
+        drop(rg);
+        g.write(|buf| {
+            rebuild(buf, KIND_INTERNAL, &entries);
+            set_leftmost(buf, old_leftmost);
+        });
+        Ok((
+            Ins::Split {
+                sep: sep_up,
+                right: right_pno,
+            },
+            overwrote,
+        ))
+    }
+
+    /// The child covering `key` in an internal node, plus its slot
+    /// index (`usize::MAX` for the leftmost pointer).
+    fn route(&self, buf: &[u8], key: &[u8]) -> (PageNo, usize) {
+        let idx = match search(buf, key) {
+            Ok(i) => i + 1,  // equal keys live in the right subtree
+            Err(i) => i,     // i entries are < key
+        };
+        if idx == 0 {
+            (leftmost(buf), usize::MAX)
+        } else {
+            (child(buf, idx - 1), idx - 1)
+        }
+    }
+
+    /// Point lookup. Holds the tree mutex for the descent, so probes
+    /// serialize with inserts rather than racing a split.
+    pub fn get(&self, key: &[u8]) -> Result<Option<u64>> {
+        let st = self.state.lock();
+        let mut pno = st.root;
+        loop {
+            let g = self.pin(pno)?;
+            enum Step {
+                Descend(PageNo),
+                Found(u64),
+                Absent,
+            }
+            let step = g.read(|buf| {
+                if kind(buf) == KIND_LEAF {
+                    match search(buf, key) {
+                        Ok(i) => Step::Found(leaf_val(buf, i)),
+                        Err(_) => Step::Absent,
+                    }
+                } else {
+                    Step::Descend(self.route(buf, key).0)
+                }
+            });
+            match step {
+                Step::Descend(p) => pno = p,
+                Step::Found(v) => return Ok(Some(v)),
+                Step::Absent => return Ok(None),
+            }
+        }
+    }
+
+    /// Visit entries with `lo <= key < hi` in key order (`hi = None`
+    /// means unbounded). `f` returns `false` to stop early. The tree
+    /// mutex is held for the whole walk (no splits mid-scan); `f` must
+    /// not call back into this tree.
+    pub fn for_each_range(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> Result<()> {
+        let st = self.state.lock();
+        let mut pno = st.root;
+        // Descend to the leaf that would hold `lo`.
+        loop {
+            let g = self.pin(pno)?;
+            let next = g.read(|buf| {
+                if kind(buf) == KIND_LEAF {
+                    None
+                } else {
+                    Some(self.route(buf, lo).0)
+                }
+            });
+            match next {
+                Some(p) => pno = p,
+                None => break,
+            }
+        }
+        // Walk the leaf chain.
+        loop {
+            let g = self.pin(pno)?;
+            let (stop, next) = g.read(|buf| {
+                let start = match search(buf, lo) {
+                    Ok(i) => i,
+                    Err(i) => i,
+                };
+                for i in start..nkeys(buf) {
+                    let k = entry_key(buf, i);
+                    if let Some(hi) = hi {
+                        if k >= hi {
+                            return (true, 0);
+                        }
+                    }
+                    if !f(k, leaf_val(buf, i)) {
+                        return (true, 0);
+                    }
+                }
+                (false, next_leaf(buf))
+            });
+            if stop || next == 0 {
+                return Ok(());
+            }
+            pno = next;
+        }
+    }
+
+    /// Collect `lo <= key < hi` into a vector (tests/small probes).
+    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<Vec<(Vec<u8>, u64)>> {
+        let mut out = Vec::new();
+        self.for_each_range(lo, hi, &mut |k, v| {
+            out.push((k.to_vec(), v));
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+impl Drop for BTree {
+    fn drop(&mut self) {
+        self.buffer.unregister_file(self.fid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("probkb-btree-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn tree(name: &str, cap: usize) -> BTree {
+        BTree::create(BufferManager::new(cap), &tmp(name), true).unwrap()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let t = tree("small.bt", 16);
+        for i in 0..100u64 {
+            t.insert(format!("key{i:04}").as_bytes(), i).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(t.get(format!("key{i:04}").as_bytes()).unwrap(), Some(i));
+        }
+        assert_eq!(t.get(b"key9999").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let t = tree("overwrite.bt", 16);
+        t.insert(b"k", 1).unwrap();
+        t.insert(b"k", 2).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"k").unwrap(), Some(2));
+    }
+
+    #[test]
+    fn splits_deep_and_stays_sorted() {
+        let t = tree("deep.bt", 64);
+        // Enough entries for multiple internal levels; insert shuffled.
+        let n = 20_000u64;
+        let mut order: Vec<u64> = (0..n).collect();
+        // Deterministic shuffle (LCG).
+        let mut s = 12345u64;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            t.insert(&i.to_be_bytes(), i).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.page_count() > 10, "tree never split");
+        // Full scan is sorted and complete.
+        let all = t.range(&[], None).unwrap();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(k.as_slice(), &(i as u64).to_be_bytes());
+            assert_eq!(*v, i as u64);
+        }
+        // Point lookups.
+        for &i in order.iter().take(500) {
+            assert_eq!(t.get(&i.to_be_bytes()).unwrap(), Some(i));
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_half_open() {
+        let t = tree("range.bt", 16);
+        for i in 0..50u64 {
+            t.insert(&(i * 2).to_be_bytes(), i).unwrap();
+        }
+        let lo = 10u64.to_be_bytes();
+        let hi = 20u64.to_be_bytes();
+        let got = t.range(&lo, Some(&hi)).unwrap();
+        let keys: Vec<u64> = got
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn survives_tiny_pool() {
+        let t = tree("tinypool.bt", 8);
+        for i in 0..5000u64 {
+            t.insert(&(i ^ 0x5a5a).to_be_bytes(), i).unwrap();
+        }
+        for i in (0..5000u64).step_by(17) {
+            assert_eq!(t.get(&(i ^ 0x5a5a).to_be_bytes()).unwrap(), Some(i));
+        }
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let t = tree("bigkey.bt", 16);
+        let k = vec![0u8; MAX_KEY_LEN + 1];
+        assert!(t.insert(&k, 1).is_err());
+    }
+}

@@ -1,0 +1,476 @@
+//! The buffer pool: a fixed set of page frames shared by every
+//! registered file, with pin/unpin accounting and clock eviction.
+//!
+//! Page data lives in per-frame `RwLock`s *outside* the manager's
+//! bookkeeping mutex, so concurrent readers of resident pages never
+//! serialize on the pool. The bookkeeping mutex (page table, pin
+//! counts, dirty bits, clock hand) is held only for map/evict
+//! decisions and for the disk I/O of a miss — lock order is always
+//! bookkeeping → frame, and guards only ever take a frame lock, so
+//! the pair cannot deadlock.
+//!
+//! Capacity: [`BufferManager::from_env`] reads `PROBKB_BUFFER_PAGES`
+//! (default [`DEFAULT_POOL_PAGES`], min 8 so B-tree descents always
+//! fit). Every fetch pins its page via a [`PageGuard`]; eviction only
+//! considers `pins == 0` frames, writing dirty victims back first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use probkb_support::sync::{Mutex, RwLock};
+
+use crate::clock::{ClockReplacer, FrameMeta};
+use crate::disk::DiskManager;
+use crate::page;
+use crate::{Error, FileId, PageNo, Result, PAGE_SIZE};
+
+/// Default pool size when `PROBKB_BUFFER_PAGES` is unset: 1024 pages
+/// = 8 MiB.
+pub const DEFAULT_POOL_PAGES: usize = 1024;
+/// Smallest usable pool (a B-tree descent plus heap append must fit).
+pub const MIN_POOL_PAGES: usize = 8;
+
+/// Monotonic counters describing pool activity. Snapshots subtract to
+/// give per-query deltas for EXPLAIN ANALYZE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Total page pins (every fetch/create).
+    pub pins: u64,
+    /// Fetches satisfied from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read from disk.
+    pub misses: u64,
+    /// Frames reclaimed from another page.
+    pub evictions: u64,
+    /// Bytes of dirty pages written back to disk.
+    pub bytes_spilled: u64,
+}
+
+impl BufferStats {
+    /// The component-wise difference `self - earlier` (deltas).
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            pins: self.pins - earlier.pins,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            bytes_spilled: self.bytes_spilled - earlier.bytes_spilled,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    pins: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    bytes_spilled: AtomicU64,
+}
+
+struct Inner {
+    meta: Vec<FrameMeta>,
+    keys: Vec<Option<(FileId, PageNo)>>,
+    dirty: Vec<bool>,
+    table: HashMap<(FileId, PageNo), usize>,
+    files: HashMap<FileId, Arc<DiskManager>>,
+    next_file: FileId,
+    clock: ClockReplacer,
+}
+
+/// The pool. Shared via `Arc`; guards hold a clone.
+pub struct BufferManager {
+    frames: Vec<Arc<RwLock<Box<[u8]>>>>,
+    inner: Mutex<Inner>,
+    stats: StatCells,
+}
+
+impl std::fmt::Debug for BufferManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferManager")
+            .field("capacity", &self.frames.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Pool capacity from `PROBKB_BUFFER_PAGES`, read once per process.
+pub fn env_pool_pages() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("PROBKB_BUFFER_PAGES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_POOL_PAGES)
+            .max(MIN_POOL_PAGES)
+    })
+}
+
+impl BufferManager {
+    /// A pool of `capacity` frames (clamped to [`MIN_POOL_PAGES`]).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        let capacity = capacity.max(MIN_POOL_PAGES);
+        let frames = (0..capacity)
+            .map(|_| Arc::new(RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice())))
+            .collect();
+        Arc::new(BufferManager {
+            frames,
+            inner: Mutex::new(Inner {
+                meta: vec![FrameMeta::default(); capacity],
+                keys: vec![None; capacity],
+                dirty: vec![false; capacity],
+                table: HashMap::new(),
+                files: HashMap::new(),
+                next_file: 0,
+                clock: ClockReplacer::new(),
+            }),
+            stats: StatCells::default(),
+        })
+    }
+
+    /// A pool sized by `PROBKB_BUFFER_PAGES`.
+    pub fn from_env() -> Arc<Self> {
+        BufferManager::new(env_pool_pages())
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            pins: self.stats.pins.load(Ordering::Relaxed),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            bytes_spilled: self.stats.bytes_spilled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Register a file with the pool, returning its handle.
+    pub fn register_file(&self, disk: Arc<DiskManager>) -> FileId {
+        let mut inner = self.inner.lock();
+        let fid = inner.next_file;
+        inner.next_file += 1;
+        inner.files.insert(fid, disk);
+        fid
+    }
+
+    /// Drop a file's pool state *without* write-back (the caller flushes
+    /// first if the file outlives the pool; spill files are deleted
+    /// anyway). Frames still pinned stay resident until unpinned but
+    /// are forgotten by the table.
+    pub fn unregister_file(&self, fid: FileId) {
+        let mut inner = self.inner.lock();
+        inner.files.remove(&fid);
+        let drop_keys: Vec<(FileId, PageNo)> = inner
+            .table
+            .keys()
+            .filter(|(f, _)| *f == fid)
+            .copied()
+            .collect();
+        for key in drop_keys {
+            if let Some(idx) = inner.table.remove(&key) {
+                // Forget the page either way; a still-pinned frame keeps
+                // its data for existing guards but is never written back
+                // and becomes reclaimable once unpinned.
+                inner.keys[idx] = None;
+                inner.dirty[idx] = false;
+                if inner.meta[idx].pins == 0 {
+                    inner.meta[idx] = FrameMeta::default();
+                }
+            }
+        }
+    }
+
+    /// Pin an existing page, reading it from disk on a miss.
+    pub fn fetch(self: &Arc<Self>, fid: FileId, pno: PageNo) -> Result<PageGuard> {
+        let mut inner = self.inner.lock();
+        self.stats.pins.fetch_add(1, Ordering::Relaxed);
+        if let Some(&idx) = inner.table.get(&(fid, pno)) {
+            inner.meta[idx].pins += 1;
+            inner.meta[idx].referenced = true;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.guard(fid, pno, idx));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.claim_frame(&mut inner)?;
+        let disk = inner
+            .files
+            .get(&fid)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("fetch on unregistered file {fid}")))?;
+        {
+            let mut data = self.frames[idx].write();
+            if let Err(e) = disk.read_page(pno, &mut data) {
+                // Leave the frame free; don't serve damaged bytes.
+                inner.meta[idx] = FrameMeta::default();
+                inner.keys[idx] = None;
+                return Err(e);
+            }
+        }
+        self.install(&mut inner, idx, fid, pno);
+        Ok(self.guard(fid, pno, idx))
+    }
+
+    /// Allocate a fresh page in `fid` and pin it, zero-initialized and
+    /// marked dirty so it reaches disk even if never touched again.
+    pub fn create_page(self: &Arc<Self>, fid: FileId) -> Result<(PageNo, PageGuard)> {
+        let mut inner = self.inner.lock();
+        self.stats.pins.fetch_add(1, Ordering::Relaxed);
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let disk = inner
+            .files
+            .get(&fid)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("create_page on unregistered file {fid}")))?;
+        let idx = self.claim_frame(&mut inner)?;
+        let pno = disk.allocate();
+        {
+            let mut data = self.frames[idx].write();
+            data.fill(0);
+            page::init(&mut data);
+        }
+        self.install(&mut inner, idx, fid, pno);
+        inner.dirty[idx] = true;
+        Ok((pno, self.guard(fid, pno, idx)))
+    }
+
+    /// Write back every dirty resident page of `fid` and sync it.
+    pub fn flush_file(&self, fid: FileId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let disk = inner
+            .files
+            .get(&fid)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("flush of unregistered file {fid}")))?;
+        for idx in 0..self.frames.len() {
+            if inner.dirty[idx] && inner.keys[idx].map(|(f, _)| f) == Some(fid) {
+                let (_, pno) = inner.keys[idx].unwrap();
+                let mut data = self.frames[idx].write();
+                disk.write_page(pno, &mut data)?;
+                self.stats
+                    .bytes_spilled
+                    .fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+                inner.dirty[idx] = false;
+            }
+        }
+        disk.sync()
+    }
+
+    fn guard(self: &Arc<Self>, fid: FileId, pno: PageNo, idx: usize) -> PageGuard {
+        PageGuard {
+            mgr: Arc::clone(self),
+            fid,
+            pno,
+            frame: idx,
+        }
+    }
+
+    fn install(&self, inner: &mut Inner, idx: usize, fid: FileId, pno: PageNo) {
+        inner.meta[idx] = FrameMeta {
+            pins: 1,
+            referenced: true,
+            occupied: true,
+        };
+        inner.keys[idx] = Some((fid, pno));
+        inner.dirty[idx] = false;
+        inner.table.insert((fid, pno), idx);
+    }
+
+    /// Find a frame for a new page, evicting (with dirty write-back) if
+    /// needed. Called with the bookkeeping lock held.
+    fn claim_frame(&self, inner: &mut Inner) -> Result<usize> {
+        let idx = inner.clock.victim(&mut inner.meta).ok_or(Error::PoolExhausted)?;
+        if let Some((old_fid, old_pno)) = inner.keys[idx] {
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if inner.dirty[idx] {
+                let disk = inner.files.get(&old_fid).cloned().ok_or_else(|| {
+                    Error::Corrupt(format!("dirty page for unregistered file {old_fid}"))
+                })?;
+                let mut data = self.frames[idx].write();
+                disk.write_page(old_pno, &mut data)?;
+                self.stats
+                    .bytes_spilled
+                    .fetch_add(PAGE_SIZE as u64, Ordering::Relaxed);
+            }
+            inner.table.remove(&(old_fid, old_pno));
+        }
+        inner.meta[idx] = FrameMeta::default();
+        inner.keys[idx] = None;
+        inner.dirty[idx] = false;
+        Ok(idx)
+    }
+
+    fn unpin(&self, frame: usize) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.meta[frame].pins > 0, "unpin of unpinned frame");
+        inner.meta[frame].pins = inner.meta[frame].pins.saturating_sub(1);
+    }
+
+    fn mark_dirty(&self, frame: usize) {
+        let mut inner = self.inner.lock();
+        inner.dirty[frame] = true;
+    }
+}
+
+/// RAII pin on one resident page. Access goes through closures so the
+/// frame's lock scope is explicit and never outlives the guard.
+pub struct PageGuard {
+    mgr: Arc<BufferManager>,
+    fid: FileId,
+    pno: PageNo,
+    frame: usize,
+}
+
+impl PageGuard {
+    /// The page number this guard pins.
+    pub fn page_no(&self) -> PageNo {
+        self.pno
+    }
+
+    /// The file this guard's page belongs to.
+    pub fn file_id(&self) -> FileId {
+        self.fid
+    }
+
+    /// Read the page bytes.
+    pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let data = self.mgr.frames[self.frame].read();
+        f(&data)
+    }
+
+    /// Mutate the page bytes; marks the frame dirty.
+    pub fn write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let out = {
+            let mut data = self.mgr.frames[self.frame].write();
+            f(&mut data)
+        };
+        self.mgr.mark_dirty(self.frame);
+        out
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.mgr.unpin(self.frame);
+    }
+}
+
+impl std::fmt::Debug for PageGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("file", &self.fid)
+            .field("page", &self.pno)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("probkb-buffer-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn pool_with_file(name: &str, cap: usize) -> (Arc<BufferManager>, FileId, PathBuf) {
+        let path = tmp(name);
+        let disk = Arc::new(DiskManager::create(&path).unwrap());
+        disk.set_ephemeral(true);
+        let mgr = BufferManager::new(cap);
+        let fid = mgr.register_file(disk);
+        (mgr, fid, path)
+    }
+
+    #[test]
+    fn create_fetch_hit() {
+        let (mgr, fid, _p) = pool_with_file("hit.pg", 8);
+        let (pno, g) = mgr.create_page(fid).unwrap();
+        g.write(|buf| buf[100] = 7);
+        drop(g);
+        let g = mgr.fetch(fid, pno).unwrap();
+        assert_eq!(g.read(|buf| buf[100]), 7);
+        let s = mgr.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.pins, 2);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_reloads() {
+        let (mgr, fid, _p) = pool_with_file("evict.pg", 8);
+        // 8 frames; create 20 pages, each marked with its number.
+        let mut pages = Vec::new();
+        for i in 0..20u8 {
+            let (pno, g) = mgr.create_page(fid).unwrap();
+            g.write(|buf| buf[64] = i);
+            pages.push(pno);
+        }
+        assert!(mgr.stats().evictions > 0);
+        assert!(mgr.stats().bytes_spilled > 0);
+        for (i, &pno) in pages.iter().enumerate() {
+            let g = mgr.fetch(fid, pno).unwrap();
+            assert_eq!(g.read(|buf| buf[64]), i as u8, "page {pno}");
+        }
+    }
+
+    #[test]
+    fn all_pinned_is_pool_exhausted() {
+        let (mgr, fid, _p) = pool_with_file("pinned.pg", 8);
+        let guards: Vec<_> = (0..8).map(|_| mgr.create_page(fid).unwrap().1).collect();
+        let err = mgr.create_page(fid).unwrap_err();
+        assert!(matches!(err, Error::PoolExhausted));
+        drop(guards);
+        assert!(mgr.create_page(fid).is_ok());
+    }
+
+    #[test]
+    fn flush_persists_without_eviction() {
+        let path = tmp("flush.pg");
+        let disk = Arc::new(DiskManager::create(&path).unwrap());
+        let mgr = BufferManager::new(8);
+        let fid = mgr.register_file(Arc::clone(&disk));
+        let (pno, g) = mgr.create_page(fid).unwrap();
+        g.write(|buf| buf[9] = 99);
+        drop(g);
+        mgr.flush_file(fid).unwrap();
+        // Fresh pool reads it straight from disk.
+        let mgr2 = BufferManager::new(8);
+        let disk2 = Arc::new(DiskManager::open(&path).unwrap());
+        let fid2 = mgr2.register_file(disk2);
+        let g = mgr2.fetch(fid2, pno).unwrap();
+        assert_eq!(g.read(|buf| buf[9]), 99);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = BufferStats {
+            pins: 10,
+            hits: 6,
+            misses: 4,
+            evictions: 2,
+            bytes_spilled: 8192,
+        };
+        let b = BufferStats {
+            pins: 4,
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            bytes_spilled: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.pins, 6);
+        assert_eq!(d.hits, 3);
+        assert_eq!(d.misses, 3);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.bytes_spilled, 8192);
+    }
+}

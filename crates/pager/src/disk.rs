@@ -1,0 +1,217 @@
+//! Page-granular file I/O with CRC sealing.
+//!
+//! Every on-disk page is exactly [`PAGE_SIZE`] bytes whose first 4
+//! bytes are a little-endian CRC-32 over the remaining
+//! `PAGE_SIZE - 4`. [`DiskManager::write_page`] seals the checksum;
+//! [`DiskManager::read_page`] verifies it and reports a short read
+//! (truncation) or mismatch (torn write) as [`Error::Corrupt`] — the
+//! invariant the heap fault-injection suite leans on: a damaged page
+//! is *detected*, never served.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use probkb_support::crc::crc32;
+
+use crate::{Error, PageNo, Result, PAGE_SIZE};
+
+/// Owns one page file: allocation, sealed writes, verified reads.
+#[derive(Debug)]
+pub struct DiskManager {
+    file: File,
+    path: PathBuf,
+    pages: AtomicU32,
+    ephemeral: AtomicBool,
+}
+
+impl DiskManager {
+    /// Create a fresh (truncated) page file at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(DiskManager {
+            file,
+            path: path.to_path_buf(),
+            pages: AtomicU32::new(0),
+            ephemeral: AtomicBool::new(false),
+        })
+    }
+
+    /// Open an existing page file. A trailing partial page is counted
+    /// so that reading it surfaces the truncation as corruption rather
+    /// than silently hiding the tail.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let pages = len.div_ceil(PAGE_SIZE as u64);
+        let pages = u32::try_from(pages)
+            .map_err(|_| Error::Corrupt(format!("file of {len} bytes exceeds page space")))?;
+        Ok(DiskManager {
+            file,
+            path: path.to_path_buf(),
+            pages: AtomicU32::new(pages),
+            ephemeral: AtomicBool::new(false),
+        })
+    }
+
+    /// Mark the file for deletion when this manager drops (spill files).
+    pub fn set_ephemeral(&self, yes: bool) {
+        self.ephemeral.store(yes, Ordering::Relaxed);
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.pages.load(Ordering::Acquire)
+    }
+
+    /// Reserve the next page number. The page has no disk bytes until
+    /// its first write-back.
+    pub fn allocate(&self) -> PageNo {
+        self.pages.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Read page `no` into `buf`, verifying length and CRC.
+    pub fn read_page(&self, no: PageNo, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        if no >= self.page_count() {
+            return Err(Error::Corrupt(format!(
+                "read of unallocated page {no} (file has {})",
+                self.page_count()
+            )));
+        }
+        let off = no as u64 * PAGE_SIZE as u64;
+        self.file.read_exact_at(buf, off).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                Error::Corrupt(format!("page {no} truncated in {}", self.path.display()))
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        let stored = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let actual = crc32(&buf[4..]);
+        if stored != actual {
+            return Err(Error::Corrupt(format!(
+                "page {no} CRC mismatch in {} (stored {stored:#010x}, computed {actual:#010x})",
+                self.path.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seal the CRC into `buf` and write it as page `no`.
+    pub fn write_page(&self, no: PageNo, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        let crc = crc32(&buf[4..]);
+        buf[..4].copy_from_slice(&crc.to_le_bytes());
+        let off = no as u64 * PAGE_SIZE as u64;
+        self.file.write_all_at(buf, off)?;
+        Ok(())
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+impl Drop for DiskManager {
+    fn drop(&mut self) {
+        if self.ephemeral.load(Ordering::Relaxed) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("probkb-pager-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmp("disk_roundtrip.pg");
+        let dm = DiskManager::create(&path).unwrap();
+        let p = dm.allocate();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[100] = 42;
+        dm.write_page(p, &mut buf).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        dm.read_page(p, &mut back).unwrap();
+        assert_eq!(back[100], 42);
+        assert_eq!(&back[..4], &buf[..4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let path = tmp("disk_corrupt.pg");
+        let dm = DiskManager::create(&path).unwrap();
+        let p = dm.allocate();
+        let mut buf = vec![7u8; PAGE_SIZE];
+        dm.write_page(p, &mut buf).unwrap();
+        drop(dm);
+        // Flip one payload byte on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[500] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let dm = DiskManager::open(&path).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut back).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let path = tmp("disk_trunc.pg");
+        let dm = DiskManager::create(&path).unwrap();
+        let p = dm.allocate();
+        let mut buf = vec![9u8; PAGE_SIZE];
+        dm.write_page(p, &mut buf).unwrap();
+        drop(dm);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..PAGE_SIZE / 2]).unwrap();
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.page_count(), 1); // partial page still counted
+        let mut back = vec![0u8; PAGE_SIZE];
+        let err = dm.read_page(p, &mut back).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_deletes_on_drop() {
+        let path = tmp("disk_ephemeral.pg");
+        let dm = DiskManager::create(&path).unwrap();
+        dm.set_ephemeral(true);
+        assert!(path.exists());
+        drop(dm);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn unallocated_read_rejected() {
+        let path = tmp("disk_unalloc.pg");
+        let dm = DiskManager::create(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(dm.read_page(0, &mut buf).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

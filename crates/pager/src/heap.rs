@@ -1,0 +1,479 @@
+//! Append-only heap files of variable-length records on slotted pages.
+//!
+//! Page 0 is a meta page (`PKBHEAP1` magic + record count); data pages
+//! start at 1. A record is stored as one or more *fragments*, each a
+//! slotted-page entry with a 7-byte header:
+//!
+//! ```text
+//! [flags:1][next_page:4][next_slot:2][payload...]
+//! ```
+//!
+//! `flags` bit 0 marks the record's first fragment; bit 1 says a
+//! continuation follows at `(next_page, next_slot)`. Fragments are
+//! written in forward order — the predecessor's next-pointer is patched
+//! once its successor is placed — so a record's head always precedes
+//! its tail in page order and [`HeapFile::scan`] (first-fragment slots
+//! in `(page, slot)` order) yields exactly insertion order. That is the
+//! invariant that lets a spilled `Table` upstairs reproduce its
+//! in-memory row order byte-for-byte.
+//!
+//! Appends go to a single tail page until it cannot make progress, so
+//! pages are dense. All multi-byte integers are little-endian.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use probkb_support::sync::Mutex;
+
+use crate::buffer::BufferManager;
+use crate::disk::DiskManager;
+use crate::page;
+use crate::{Error, FileId, PageNo, Result, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"PKBHEAP1";
+const FRAG_HDR: usize = 7;
+const FLAG_FIRST: u8 = 0b01;
+const FLAG_HAS_NEXT: u8 = 0b10;
+/// Largest fragment payload an empty page can hold.
+const MAX_FRAG_PAYLOAD: usize = PAGE_SIZE - page::HEADER_LEN - page::SLOT_LEN - FRAG_HDR;
+/// Don't bother starting a fragment on a page with less than this much
+/// payload room; open a fresh page instead.
+const MIN_FRAG_PAYLOAD: usize = 16;
+
+/// A record id: the page and slot of the record's first fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page holding the first fragment.
+    pub page: PageNo,
+    /// Slot of the first fragment.
+    pub slot: u16,
+}
+
+struct AppendState {
+    tail: Option<PageNo>,
+    records: u64,
+}
+
+/// An append-only record store over buffer-managed slotted pages.
+pub struct HeapFile {
+    buffer: Arc<BufferManager>,
+    disk: Arc<DiskManager>,
+    fid: FileId,
+    append: Mutex<AppendState>,
+    records: AtomicU64,
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("path", &self.disk.path())
+            .field("records", &self.record_count())
+            .finish()
+    }
+}
+
+impl HeapFile {
+    /// Create a fresh heap file at `path`. `ephemeral` files are
+    /// deleted when the heap drops (spill files).
+    pub fn create(buffer: Arc<BufferManager>, path: &Path, ephemeral: bool) -> Result<Arc<Self>> {
+        let disk = Arc::new(DiskManager::create(path)?);
+        disk.set_ephemeral(ephemeral);
+        let meta = disk.allocate();
+        debug_assert_eq!(meta, 0);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[4..12].copy_from_slice(MAGIC);
+        disk.write_page(0, &mut buf)?;
+        let fid = buffer.register_file(Arc::clone(&disk));
+        Ok(Arc::new(HeapFile {
+            buffer,
+            disk,
+            fid,
+            append: Mutex::new(AppendState {
+                tail: None,
+                records: 0,
+            }),
+            records: AtomicU64::new(0),
+        }))
+    }
+
+    /// Open an existing heap file, verifying its meta page.
+    pub fn open(buffer: Arc<BufferManager>, path: &Path) -> Result<Arc<Self>> {
+        let disk = Arc::new(DiskManager::open(path)?);
+        if disk.page_count() == 0 {
+            return Err(Error::Corrupt(format!(
+                "heap file {} has no meta page",
+                path.display()
+            )));
+        }
+        let fid = buffer.register_file(Arc::clone(&disk));
+        let heap = HeapFile {
+            buffer,
+            disk,
+            fid,
+            append: Mutex::new(AppendState {
+                tail: None,
+                records: 0,
+            }),
+            records: AtomicU64::new(0),
+        };
+        let records = {
+            let g = heap.buffer.fetch(fid, 0)?;
+            g.read(|buf| {
+                if &buf[4..12] != MAGIC {
+                    return Err(Error::Corrupt(format!(
+                        "bad heap magic in {}",
+                        path.display()
+                    )));
+                }
+                Ok(u64::from_le_bytes(buf[12..20].try_into().unwrap()))
+            })?
+        };
+        heap.records.store(records, Ordering::Relaxed);
+        heap.append.lock().records = records;
+        Ok(Arc::new(heap))
+    }
+
+    /// Number of records appended (persisted at [`HeapFile::flush`]).
+    pub fn record_count(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Number of pages, including the meta page.
+    pub fn page_count(&self) -> u32 {
+        self.disk.page_count()
+    }
+
+    /// The buffer pool this heap lives in.
+    pub fn buffer(&self) -> &Arc<BufferManager> {
+        &self.buffer
+    }
+
+    /// Append a record, returning its [`Rid`].
+    pub fn append(&self, rec: &[u8]) -> Result<Rid> {
+        let mut st = self.append.lock();
+        let mut remaining = rec;
+        let mut head: Option<Rid> = None;
+        // Predecessor fragment to patch once we place the next one.
+        let mut prev: Option<Rid> = None;
+        let mut first = true;
+        loop {
+            // Pick a page with usable room.
+            let (pno, guard) = match st.tail {
+                Some(t) => {
+                    let g = self.buffer.fetch(self.fid, t)?;
+                    let avail = g
+                        .read(|buf| page::free_space(buf))
+                        .saturating_sub(FRAG_HDR);
+                    // Enough for the rest of the record, or at least
+                    // MIN_FRAG_PAYLOAD of forward progress.
+                    let needed = remaining.len().clamp(1, MIN_FRAG_PAYLOAD);
+                    if avail >= needed {
+                        (t, g)
+                    } else {
+                        drop(g);
+                        let (p, g) = self.buffer.create_page(self.fid)?;
+                        st.tail = Some(p);
+                        (p, g)
+                    }
+                }
+                None => {
+                    let (p, g) = self.buffer.create_page(self.fid)?;
+                    st.tail = Some(p);
+                    (p, g)
+                }
+            };
+            let avail = guard
+                .read(|buf| page::free_space(buf))
+                .saturating_sub(FRAG_HDR);
+            let take = remaining.len().min(avail).min(MAX_FRAG_PAYLOAD);
+            let has_next = take < remaining.len();
+            let mut frag = Vec::with_capacity(FRAG_HDR + take);
+            let mut flags = 0u8;
+            if first {
+                flags |= FLAG_FIRST;
+            }
+            if has_next {
+                flags |= FLAG_HAS_NEXT;
+            }
+            frag.push(flags);
+            frag.extend_from_slice(&0u32.to_le_bytes());
+            frag.extend_from_slice(&0u16.to_le_bytes());
+            frag.extend_from_slice(&remaining[..take]);
+            let slot = guard
+                .write(|buf| page::insert(buf, &frag))
+                .ok_or_else(|| Error::Corrupt("tail page rejected sized fragment".into()))?;
+            let here = Rid { page: pno, slot };
+            drop(guard);
+            if head.is_none() {
+                head = Some(here);
+            }
+            if let Some(p) = prev {
+                // Patch the predecessor's next-pointer (bytes 1..7 of
+                // its fragment) now that we know where we landed.
+                let pg = self.buffer.fetch(self.fid, p.page)?;
+                pg.write(|buf| {
+                    let mut ptr = [0u8; 6];
+                    ptr[..4].copy_from_slice(&here.page.to_le_bytes());
+                    ptr[4..].copy_from_slice(&here.slot.to_le_bytes());
+                    page::write_in_place(buf, p.slot, 1, &ptr)
+                })?;
+            }
+            remaining = &remaining[take..];
+            if !has_next {
+                break;
+            }
+            prev = Some(here);
+            first = false;
+        }
+        st.records += 1;
+        self.records.store(st.records, Ordering::Relaxed);
+        Ok(head.expect("append places at least one fragment"))
+    }
+
+    /// Read back the record at `rid`, following its fragment chain.
+    pub fn get(&self, rid: Rid) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut cur = rid;
+        let mut first = true;
+        // A chain can't have more fragments than the file has slots.
+        let mut budget = self.disk.page_count() as u64 * (PAGE_SIZE / (FRAG_HDR + page::SLOT_LEN)) as u64 + 1;
+        loop {
+            if budget == 0 {
+                return Err(Error::Corrupt(format!(
+                    "fragment chain from page {} slot {} does not terminate",
+                    rid.page, rid.slot
+                )));
+            }
+            budget -= 1;
+            if cur.page == 0 || cur.page >= self.disk.page_count() {
+                return Err(Error::Corrupt(format!(
+                    "fragment pointer to invalid page {}",
+                    cur.page
+                )));
+            }
+            let g = self.buffer.fetch(self.fid, cur.page)?;
+            let next = g.read(|buf| -> Result<Option<Rid>> {
+                let frag = page::read(buf, cur.slot)?;
+                if frag.len() < FRAG_HDR {
+                    return Err(Error::Corrupt(format!(
+                        "fragment at page {} slot {} shorter than header",
+                        cur.page, cur.slot
+                    )));
+                }
+                let flags = frag[0];
+                if first && flags & FLAG_FIRST == 0 {
+                    return Err(Error::Corrupt(format!(
+                        "rid page {} slot {} is not a record head",
+                        cur.page, cur.slot
+                    )));
+                }
+                if !first && flags & FLAG_FIRST != 0 {
+                    return Err(Error::Corrupt(
+                        "fragment chain re-entered a record head".into(),
+                    ));
+                }
+                out.extend_from_slice(&frag[FRAG_HDR..]);
+                if flags & FLAG_HAS_NEXT != 0 {
+                    let page = u32::from_le_bytes(frag[1..5].try_into().unwrap());
+                    let slot = u16::from_le_bytes(frag[5..7].try_into().unwrap());
+                    Ok(Some(Rid { page, slot }))
+                } else {
+                    Ok(None)
+                }
+            })?;
+            match next {
+                Some(n) => {
+                    cur = n;
+                    first = false;
+                }
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Iterate all records in insertion order.
+    pub fn scan(self: &Arc<Self>) -> HeapScan {
+        HeapScan {
+            heap: Arc::clone(self),
+            page: 1,
+            slot: 0,
+        }
+    }
+
+    /// Persist the record count into the meta page and write back every
+    /// dirty page.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let g = self.buffer.fetch(self.fid, 0)?;
+            let n = self.record_count();
+            g.write(|buf| buf[12..20].copy_from_slice(&n.to_le_bytes()));
+        }
+        self.buffer.flush_file(self.fid)
+    }
+}
+
+impl Drop for HeapFile {
+    fn drop(&mut self) {
+        self.buffer.unregister_file(self.fid);
+    }
+}
+
+/// Iterator over a heap's records; see [`HeapFile::scan`].
+pub struct HeapScan {
+    heap: Arc<HeapFile>,
+    page: PageNo,
+    slot: u16,
+}
+
+impl Iterator for HeapScan {
+    type Item = Result<(Rid, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.page >= self.heap.disk.page_count() {
+                return None;
+            }
+            let g = match self.heap.buffer.fetch(self.heap.fid, self.page) {
+                Ok(g) => g,
+                Err(e) => {
+                    self.page = u32::MAX; // stop after reporting
+                    return Some(Err(e));
+                }
+            };
+            let probe = g.read(|buf| {
+                let n = page::slot_count(buf);
+                if self.slot >= n {
+                    return Ok(None);
+                }
+                let frag = page::read(buf, self.slot)?;
+                if frag.len() < FRAG_HDR {
+                    return Err(Error::Corrupt("fragment shorter than header".into()));
+                }
+                Ok(Some(frag[0] & FLAG_FIRST != 0))
+            });
+            drop(g);
+            match probe {
+                Err(e) => {
+                    self.page = u32::MAX;
+                    return Some(Err(e));
+                }
+                Ok(None) => {
+                    self.page += 1;
+                    self.slot = 0;
+                }
+                Ok(Some(is_first)) => {
+                    let rid = Rid {
+                        page: self.page,
+                        slot: self.slot,
+                    };
+                    self.slot += 1;
+                    if is_first {
+                        return Some(self.heap.get(rid).map(|rec| (rid, rec)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("probkb-heap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn small_records_roundtrip_in_order() {
+        let mgr = BufferManager::new(16);
+        let heap = HeapFile::create(mgr, &tmp("small.heap"), true).unwrap();
+        let recs: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let rids: Vec<Rid> = recs.iter().map(|r| heap.append(r).unwrap()).collect();
+        for (rid, rec) in rids.iter().zip(&recs) {
+            assert_eq!(&heap.get(*rid).unwrap(), rec);
+        }
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(scanned, recs);
+        assert_eq!(heap.record_count(), 100);
+    }
+
+    #[test]
+    fn large_records_fragment_and_roundtrip() {
+        let mgr = BufferManager::new(16);
+        let heap = HeapFile::create(mgr, &tmp("large.heap"), true).unwrap();
+        // Records spanning 1–4 pages, with distinctive bytes.
+        let recs: Vec<Vec<u8>> = (0..8usize)
+            .map(|i| {
+                (0..(3000 + i * 7000))
+                    .map(|j| ((i * 31 + j) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let rids: Vec<Rid> = recs.iter().map(|r| heap.append(r).unwrap()).collect();
+        for (rid, rec) in rids.iter().zip(&recs) {
+            assert_eq!(heap.get(*rid).unwrap(), *rec, "rid {rid:?}");
+        }
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(scanned.len(), recs.len());
+        assert_eq!(scanned, recs);
+    }
+
+    #[test]
+    fn interleaves_survive_tiny_pool_eviction() {
+        let mgr = BufferManager::new(8);
+        let heap = HeapFile::create(mgr, &tmp("tinypool.heap"), true).unwrap();
+        let recs: Vec<Vec<u8>> = (0..300usize)
+            .map(|i| vec![(i % 256) as u8; 64 + (i % 900)])
+            .collect();
+        for r in &recs {
+            heap.append(r).unwrap();
+        }
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(scanned, recs);
+        assert!(heap.buffer().stats().evictions > 0, "pool never evicted");
+    }
+
+    #[test]
+    fn flush_and_reopen() {
+        let path = tmp("reopen.heap");
+        let recs: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 200]).collect();
+        {
+            let mgr = BufferManager::new(16);
+            let heap = HeapFile::create(mgr, &path, false).unwrap();
+            for r in &recs {
+                heap.append(r).unwrap();
+            }
+            heap.flush().unwrap();
+        }
+        let mgr = BufferManager::new(16);
+        let heap = HeapFile::open(mgr, &path).unwrap();
+        assert_eq!(heap.record_count(), 40);
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(scanned, recs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_rid_rejected_not_served() {
+        let mgr = BufferManager::new(16);
+        let heap = HeapFile::create(mgr, &tmp("stale.heap"), true).unwrap();
+        heap.append(b"only").unwrap();
+        assert!(heap.get(Rid { page: 1, slot: 9 }).is_err());
+        assert!(heap.get(Rid { page: 7, slot: 0 }).is_err());
+        assert!(heap.get(Rid { page: 0, slot: 0 }).is_err());
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let mgr = BufferManager::new(16);
+        let heap = HeapFile::create(mgr, &tmp("empty.heap"), true).unwrap();
+        let rid = heap.append(b"").unwrap();
+        assert_eq!(heap.get(rid).unwrap(), Vec::<u8>::new());
+        assert_eq!(heap.scan().count(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! # probkb-pager
+//!
+//! The out-of-core storage subsystem under the relational engine: a
+//! paged heap file with fixed-size slotted pages, a buffer manager with
+//! clock (second-chance) eviction and pin/unpin accounting, and a
+//! disk-resident B-tree for secondary indexes. Std-only, like the rest
+//! of the workspace (`crates/support` discipline).
+//!
+//! Layering (see DESIGN.md, "Out-of-core storage"):
+//!
+//! * [`disk`] — [`disk::DiskManager`]: page-granular file I/O. Every
+//!   page carries a leading CRC-32 over its payload (the same IEEE
+//!   polynomial as `storage`'s snapshot/WAL framing, via
+//!   `probkb_support::crc`), sealed on write and verified on read, so a
+//!   torn or truncated page write is *detected*, never served.
+//! * [`buffer`] — [`buffer::BufferManager`]: a fixed pool of
+//!   [`PAGE_SIZE`] frames shared by every file. Pages are pinned via
+//!   RAII [`buffer::PageGuard`]s; unpinned frames are reclaimed by a
+//!   clock sweep ([`clock::ClockReplacer`]); dirty victims are written
+//!   back on eviction. Capacity comes from `PROBKB_BUFFER_PAGES`
+//!   (default 1024 pages = 8 MiB).
+//! * [`heap`] — [`heap::HeapFile`]: an append-only record store on
+//!   slotted pages ([`page`]), with records larger than a page split
+//!   into forward-chained fragments. Scan order == insertion order,
+//!   which is what keeps spilled tables byte-identical to in-memory
+//!   ones upstairs.
+//! * [`btree`] — [`btree::BTree`]: a disk-resident B-tree over
+//!   memcomparable byte keys with point lookups and ordered range
+//!   scans (leaf pages are sibling-chained).
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod clock;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+use std::fmt;
+
+/// Fixed page size, in bytes, for every file managed by this crate.
+pub const PAGE_SIZE: usize = 8192;
+
+/// A page number within one file (0-based).
+pub type PageNo = u32;
+
+/// A buffer-manager handle for one registered file.
+pub type FileId = u32;
+
+/// Errors raised by the pager.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// On-disk bytes failed validation (bad CRC, short page, bad magic,
+    /// or a structurally impossible pointer). The payload says what and
+    /// where.
+    Corrupt(String),
+    /// Every frame in the buffer pool is pinned; nothing can be evicted.
+    PoolExhausted,
+    /// A record exceeds what the heap file can store.
+    RecordTooLarge(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "pager io error: {e}"),
+            Error::Corrupt(detail) => write!(f, "pager corruption: {detail}"),
+            Error::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            Error::RecordTooLarge(n) => write!(f, "record of {n} bytes too large for heap"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub use buffer::{BufferManager, BufferStats, PageGuard};
+pub use btree::BTree;
+pub use disk::DiskManager;
+pub use heap::{HeapFile, Rid};

@@ -1,0 +1,174 @@
+//! Slotted-page layout for heap pages.
+//!
+//! ```text
+//! byte 0                                                   PAGE_SIZE
+//! [crc:4][nslots:2][free_off:2][ ... record data ... → | ← slot dir ]
+//! ```
+//!
+//! Record data grows up from [`HEADER_LEN`]; the slot directory grows
+//! down from the end of the page, one `[off:u16][len:u16]` entry per
+//! slot, slot 0 occupying the *highest* 4 bytes. `free_off` is the
+//! first free data byte. The leading CRC-32 covers bytes
+//! `[4..PAGE_SIZE]` and is sealed/verified by [`crate::disk`], not
+//! here — this module only does in-memory layout arithmetic.
+//!
+//! All integers are little-endian, matching `crates/storage`'s codecs.
+
+use crate::{PAGE_SIZE, Error, Result};
+
+/// Bytes reserved at the start of every heap page.
+pub const HEADER_LEN: usize = 8;
+/// Bytes per slot-directory entry.
+pub const SLOT_LEN: usize = 4;
+
+/// Initialize an empty slotted page in `buf`.
+pub fn init(buf: &mut [u8]) {
+    debug_assert_eq!(buf.len(), PAGE_SIZE);
+    buf[..HEADER_LEN].fill(0);
+    set_slot_count(buf, 0);
+    set_free_off(buf, HEADER_LEN as u16);
+}
+
+/// Number of slots on the page.
+pub fn slot_count(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[4], buf[5]])
+}
+
+fn set_slot_count(buf: &mut [u8], n: u16) {
+    buf[4..6].copy_from_slice(&n.to_le_bytes());
+}
+
+/// First free data byte.
+pub fn free_off(buf: &[u8]) -> u16 {
+    u16::from_le_bytes([buf[6], buf[7]])
+}
+
+fn set_free_off(buf: &mut [u8], off: u16) {
+    buf[6..8].copy_from_slice(&off.to_le_bytes());
+}
+
+fn slot_pos(slot: u16) -> usize {
+    PAGE_SIZE - SLOT_LEN * (slot as usize + 1)
+}
+
+/// The `(offset, len)` recorded for `slot`, unvalidated.
+fn slot_entry(buf: &[u8], slot: u16) -> (usize, usize) {
+    let p = slot_pos(slot);
+    let off = u16::from_le_bytes([buf[p], buf[p + 1]]) as usize;
+    let len = u16::from_le_bytes([buf[p + 2], buf[p + 3]]) as usize;
+    (off, len)
+}
+
+/// Free bytes available for one more record (including its slot entry).
+pub fn free_space(buf: &[u8]) -> usize {
+    let dir_start = PAGE_SIZE - SLOT_LEN * slot_count(buf) as usize;
+    dir_start
+        .saturating_sub(free_off(buf) as usize)
+        .saturating_sub(SLOT_LEN)
+}
+
+/// Insert `data` as a new slot; returns its slot number, or `None` if
+/// the page lacks room.
+pub fn insert(buf: &mut [u8], data: &[u8]) -> Option<u16> {
+    if free_space(buf) < data.len() {
+        return None;
+    }
+    let slot = slot_count(buf);
+    let off = free_off(buf) as usize;
+    buf[off..off + data.len()].copy_from_slice(data);
+    let p = slot_pos(slot);
+    buf[p..p + 2].copy_from_slice(&(off as u16).to_le_bytes());
+    buf[p + 2..p + 4].copy_from_slice(&(data.len() as u16).to_le_bytes());
+    set_slot_count(buf, slot + 1);
+    set_free_off(buf, (off + data.len()) as u16);
+    Some(slot)
+}
+
+/// Read the bytes of `slot`, validating the slot entry against the
+/// page bounds (a CRC-valid page can still be probed with a stale RID).
+pub fn read(buf: &[u8], slot: u16) -> Result<&[u8]> {
+    if slot >= slot_count(buf) {
+        return Err(Error::Corrupt(format!(
+            "slot {slot} out of range ({} on page)",
+            slot_count(buf)
+        )));
+    }
+    let (off, len) = slot_entry(buf, slot);
+    let dir_start = PAGE_SIZE - SLOT_LEN * slot_count(buf) as usize;
+    if off < HEADER_LEN || off + len > dir_start {
+        return Err(Error::Corrupt(format!(
+            "slot {slot} points outside data area ({off}+{len})"
+        )));
+    }
+    Ok(&buf[off..off + len])
+}
+
+/// Overwrite `bytes` at `rec_off` within the record stored in `slot`.
+/// Used to patch a fragment's next-pointer after its successor is
+/// placed. The write must stay inside the record.
+pub fn write_in_place(buf: &mut [u8], slot: u16, rec_off: usize, bytes: &[u8]) -> Result<()> {
+    if slot >= slot_count(buf) {
+        return Err(Error::Corrupt(format!("patch of missing slot {slot}")));
+    }
+    let (off, len) = slot_entry(buf, slot);
+    if rec_off + bytes.len() > len {
+        return Err(Error::Corrupt(format!(
+            "patch at {rec_off}+{} exceeds record of {len} bytes",
+            bytes.len()
+        )));
+    }
+    buf[off + rec_off..off + rec_off + bytes.len()].copy_from_slice(bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf);
+        let a = insert(&mut buf, b"hello").unwrap();
+        let b = insert(&mut buf, b"world!").unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(read(&buf, 0).unwrap(), b"hello");
+        assert_eq!(read(&buf, 1).unwrap(), b"world!");
+        assert!(read(&buf, 2).is_err());
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf);
+        let rec = vec![7u8; 1000];
+        let mut n = 0;
+        while insert(&mut buf, &rec).is_some() {
+            n += 1;
+        }
+        // 8192 - 8 header = 8184; each record costs 1000 + 4 slot bytes.
+        assert_eq!(n, 8);
+        assert!(free_space(&buf) < 1000);
+        // Small records still fit in the remainder.
+        assert!(insert(&mut buf, &[1u8; 8]).is_some());
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf);
+        let s = insert(&mut buf, b"").unwrap();
+        assert_eq!(read(&buf, s).unwrap(), b"");
+    }
+
+    #[test]
+    fn write_in_place_patches() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        init(&mut buf);
+        let s = insert(&mut buf, b"abcdef").unwrap();
+        write_in_place(&mut buf, s, 2, b"XY").unwrap();
+        assert_eq!(read(&buf, s).unwrap(), b"abXYef");
+        assert!(write_in_place(&mut buf, s, 5, b"ZZ").is_err());
+    }
+}

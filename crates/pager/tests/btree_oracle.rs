@@ -1,0 +1,110 @@
+//! Property tests: the disk-resident B-tree must agree with
+//! `std::collections::BTreeMap` on random insert / point / range
+//! workloads — at a comfortable pool size and at a tiny one that
+//! forces eviction mid-operation.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use probkb_pager::buffer::BufferManager;
+use probkb_pager::BTree;
+use probkb_support::check::prelude::*;
+use probkb_support::rng::{Rng, SeedableRng, StdRng};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("probkb-btree-oracle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Random variable-length keys: short, clustered prefixes so range
+/// scans and splits both get exercised.
+fn random_key(rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.random_range(1usize..20);
+    let mut k = Vec::with_capacity(len);
+    for _ in 0..len {
+        // Narrow alphabet → plenty of shared prefixes and duplicates.
+        k.push(b'a' + (rng.random_range(0u32..6) as u8));
+    }
+    k
+}
+
+fn run_workload(seed: u64, ops: usize, pool_pages: usize, name: &str) {
+    let tree = BTree::create(BufferManager::new(pool_pages), &tmp(name), true).unwrap();
+    let mut oracle: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for op in 0..ops {
+        match rng.random_range(0u32..10) {
+            // 60% inserts (with overwrites, thanks to the narrow alphabet)
+            0..=5 => {
+                let k = random_key(&mut rng);
+                let v = rng.random_range(0u64..1_000_000);
+                tree.insert(&k, v).unwrap();
+                oracle.insert(k, v);
+            }
+            // 20% point lookups
+            6 | 7 => {
+                let k = random_key(&mut rng);
+                assert_eq!(
+                    tree.get(&k).unwrap(),
+                    oracle.get(&k).copied(),
+                    "seed {seed} op {op}: point lookup of {k:?}"
+                );
+            }
+            // 20% range scans
+            _ => {
+                let mut a = random_key(&mut rng);
+                let mut b = random_key(&mut rng);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let got = tree.range(&a, Some(&b)).unwrap();
+                let want: Vec<(Vec<u8>, u64)> = oracle
+                    .range(a.clone()..b.clone())
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect();
+                assert_eq!(got, want, "seed {seed} op {op}: range {a:?}..{b:?}");
+            }
+        }
+    }
+    // Final full-scan equivalence.
+    let all = tree.range(&[], None).unwrap();
+    let want: Vec<(Vec<u8>, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    assert_eq!(all, want, "seed {seed}: full scan");
+    assert_eq!(tree.len(), oracle.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_workload_matches_btreemap(seed in 0u64..1_000_000) {
+        run_workload(seed, 800, 64, &format!("wl{seed}.bt"));
+    }
+
+    #[test]
+    fn random_workload_matches_btreemap_tiny_pool(seed in 0u64..1_000_000) {
+        // 8 frames: every descent evicts; exercises write-back ordering.
+        run_workload(seed, 400, 8, &format!("tiny{seed}.bt"));
+    }
+}
+
+#[test]
+fn sequential_and_reverse_inserts_match() {
+    for (name, rev) in [("seq.bt", false), ("rev.bt", true)] {
+        let tree = BTree::create(BufferManager::new(32), &tmp(name), true).unwrap();
+        let mut oracle = BTreeMap::new();
+        let keys: Vec<u64> = if rev {
+            (0..5000).rev().collect()
+        } else {
+            (0..5000).collect()
+        };
+        for k in keys {
+            tree.insert(&k.to_be_bytes(), k).unwrap();
+            oracle.insert(k.to_be_bytes().to_vec(), k);
+        }
+        let all = tree.range(&[], None).unwrap();
+        let want: Vec<(Vec<u8>, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(all, want, "{name}");
+    }
+}

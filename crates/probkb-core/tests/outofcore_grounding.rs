@@ -1,0 +1,92 @@
+//! End-to-end acceptance test for the out-of-core storage layer: full
+//! knowledge expansion over a synthetic ReVerb-style KB must produce
+//! **byte-identical** facts, factors, and derivation schedule whether
+//! the engine's catalogs live in RAM or spill through a buffer pool
+//! capped far below the dataset's resident size.
+//!
+//! Everything runs inside ONE test function: the spill policy is a
+//! process-wide default (the grounding engines build their catalogs
+//! internally), and a single body is the only way to sequence the
+//! override without racing other tests in this binary.
+
+use std::collections::BTreeMap;
+
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_relational::prelude::{
+    clear_process_default, set_process_default, SpillPolicy, StorageContext,
+};
+
+/// A grounding run's complete observable output, rendered to bytes.
+struct Snapshot {
+    facts: String,
+    factors: String,
+    schedule: String,
+    new_facts: Vec<String>,
+}
+
+fn expand_snapshot(kb: &probkb_kb::prelude::ProbKb, threads: Option<usize>) -> Snapshot {
+    let options = ExpandOptions {
+        config: GroundingConfig {
+            threads,
+            ..GroundingConfig::default()
+        },
+        backend: Backend::SingleNode,
+    };
+    let expansion = expand(kb, &options).unwrap();
+    // The derivation schedule is a HashMap; render it ordered.
+    let schedule: BTreeMap<i64, usize> = expansion
+        .outcome
+        .fact_iteration
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    Snapshot {
+        facts: format!("{:?}", expansion.outcome.facts),
+        factors: format!("{:?}", expansion.outcome.factors),
+        schedule: format!("{schedule:?}"),
+        new_facts: expansion.describe_new_facts(kb),
+    }
+}
+
+#[test]
+fn grounding_is_byte_identical_under_capped_buffer_pool() {
+    let kb = generate(&ReverbConfig {
+        entities: 1_500,
+        classes: 10,
+        relations: 80,
+        facts: 6_000,
+        rules: 250,
+        functional_frac: 0.05,
+        pseudo_frac: 0.05,
+        zipf_s: 1.05,
+        rule_zipf_s: 0.6,
+        seed: 11,
+    });
+
+    // Oracle: fully in-memory, serial.
+    set_process_default(None);
+    let oracle = expand_snapshot(&kb, Some(1));
+    assert!(!oracle.new_facts.is_empty(), "workload must infer facts");
+
+    // Spilled runs: tiny and mid-size pools, serial and 4 threads. An
+    // aggressive 256-row threshold forces even intermediate tables out
+    // of core.
+    for pool_pages in [64usize, 1024] {
+        for threads in [1usize, 4] {
+            let ctx = StorageContext::in_temp(pool_pages).unwrap();
+            set_process_default(Some(SpillPolicy {
+                ctx,
+                threshold_rows: 256,
+            }));
+            let got = expand_snapshot(&kb, Some(threads));
+            clear_process_default();
+            let tag = format!("pool={pool_pages} threads={threads}");
+            assert_eq!(oracle.facts, got.facts, "facts differ ({tag})");
+            assert_eq!(oracle.factors, got.factors, "factors differ ({tag})");
+            assert_eq!(oracle.schedule, got.schedule, "schedule differs ({tag})");
+            assert_eq!(oracle.new_facts, got.new_facts, "new facts differ ({tag})");
+        }
+    }
+    clear_process_default();
+}

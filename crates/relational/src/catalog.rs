@@ -9,9 +9,12 @@ use std::sync::Arc;
 
 use probkb_support::sync::RwLock;
 
+use crate::btree_index::BTreeIndex;
+use crate::colstore::CHUNK_ROWS;
 use crate::error::{Error, Result};
 use crate::index::HashIndex;
 use crate::schema::Schema;
+use crate::spill::{process_default, SpillPolicy};
 use crate::stats::TableStats;
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -23,22 +26,75 @@ use crate::value::Value;
 /// [`Catalog::analyze`]), updated incrementally on inserts, and
 /// invalidated by deletes and table replacement so they rebuild fresh.
 ///
-/// It also holds secondary [`HashIndex`]es ([`Catalog::build_index`]):
+/// It also holds secondary [`HashIndex`]es ([`Catalog::build_index`])
+/// and disk-resident [`BTreeIndex`]es ([`Catalog::build_btree_index`]):
 /// the executor probes a matching index instead of re-hashing a large
 /// build side on every join over the same table. Indexes are maintained
 /// incrementally by the append entry points and dropped by any mutation
 /// that rewrites or removes rows, so a cached index is never stale.
-#[derive(Debug, Default)]
+///
+/// When a [`SpillPolicy`] is active (the process default from
+/// `PROBKB_SPILL_ROWS`, or one set via [`Catalog::set_spill_policy`]),
+/// every mutation entry point re-evaluates the table's placement: tables
+/// at or above the row threshold move out of core, and spilled tables
+/// flush full chunks from their tails. Placement never changes results.
+#[derive(Debug)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     stats: RwLock<HashMap<String, Arc<TableStats>>>,
     indexes: RwLock<HashMap<String, Vec<Arc<HashIndex>>>>,
+    btree_indexes: RwLock<HashMap<String, Vec<Arc<BTreeIndex>>>>,
+    spill: RwLock<Option<SpillPolicy>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog, adopting the process-default spill policy.
     pub fn new() -> Self {
-        Catalog::default()
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            stats: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            btree_indexes: RwLock::new(HashMap::new()),
+            spill: RwLock::new(process_default()),
+        }
+    }
+
+    /// The catalog's spill policy, if any.
+    pub fn spill_policy(&self) -> Option<SpillPolicy> {
+        self.spill.read().clone()
+    }
+
+    /// Replace the catalog's spill policy (`None` keeps every table in
+    /// memory from now on; already-spilled tables stay spilled).
+    pub fn set_spill_policy(&self, policy: Option<SpillPolicy>) {
+        *self.spill.write() = policy;
+    }
+
+    /// Re-evaluate one table's placement under the current policy:
+    /// spill it when it crossed the threshold, or flush full chunks out
+    /// of a spilled table's tail. Spill failures are non-fatal — the
+    /// table simply stays (correct) in memory.
+    fn maybe_spill(&self, name: &str) {
+        let Some(policy) = self.spill_policy() else {
+            return;
+        };
+        let mut guard = self.tables.write();
+        let Some(slot) = guard.get_mut(name) else {
+            return;
+        };
+        if slot.is_spilled() {
+            if slot.len() - slot.spilled_rows() >= CHUNK_ROWS {
+                let _ = Arc::make_mut(slot).flush_tail();
+            }
+        } else if slot.len() >= policy.threshold_rows {
+            let _ = Arc::make_mut(slot).spill(&policy.ctx);
+        }
     }
 
     /// Register a table. Errors if the name is taken.
@@ -52,6 +108,8 @@ impl Catalog {
         drop(guard);
         self.stats.write().remove(&name);
         self.indexes.write().remove(&name);
+        self.btree_indexes.write().remove(&name);
+        self.maybe_spill(&name);
         Ok(())
     }
 
@@ -61,6 +119,8 @@ impl Catalog {
         self.tables.write().insert(name.clone(), Arc::new(table));
         self.stats.write().remove(&name);
         self.indexes.write().remove(&name);
+        self.btree_indexes.write().remove(&name);
+        self.maybe_spill(&name);
     }
 
     /// Fetch a table snapshot.
@@ -82,6 +142,7 @@ impl Catalog {
         let existed = self.tables.write().remove(name).is_some();
         self.stats.write().remove(name);
         self.indexes.write().remove(name);
+        self.btree_indexes.write().remove(name);
         existed
     }
 
@@ -121,6 +182,7 @@ impl Catalog {
         drop(guard);
         self.bump_stats(name, &snapshot, start);
         self.bump_indexes(name, &snapshot, start);
+        self.maybe_spill(name);
         outcome
     }
 
@@ -133,11 +195,12 @@ impl Catalog {
         let table = Arc::make_mut(slot);
         let start = table.len();
         let n = rows.len();
-        table.rows_mut().extend(rows);
+        table.extend_rows(rows);
         let snapshot = Arc::clone(slot);
         drop(guard);
         self.bump_stats(name, &snapshot, start);
         self.bump_indexes(name, &snapshot, start);
+        self.maybe_spill(name);
         Ok(n)
     }
 
@@ -164,11 +227,16 @@ impl Catalog {
         }
         let table = Arc::make_mut(slot);
         let start = table.len();
-        table.rows_mut().extend_from_slice(delta.rows());
+        let mut incoming = Vec::with_capacity(delta.len());
+        for block in delta.blocks() {
+            incoming.extend_from_slice(block.rows());
+        }
+        table.extend_rows(incoming);
         let snapshot = Arc::clone(slot);
         drop(guard);
         self.bump_stats(name, &snapshot, start);
         self.bump_indexes(name, &snapshot, start);
+        self.maybe_spill(name);
         Ok(delta.len())
     }
 
@@ -190,7 +258,10 @@ impl Catalog {
         if removed > 0 {
             self.stats.write().remove(name);
             self.indexes.write().remove(name);
+            self.btree_indexes.write().remove(name);
         }
+        // The delete pulled a spilled table back into memory; re-spill.
+        self.maybe_spill(name);
         Ok(removed)
     }
 
@@ -208,7 +279,9 @@ impl Catalog {
         if removed > 0 {
             self.stats.write().remove(name);
             self.indexes.write().remove(name);
+            self.btree_indexes.write().remove(name);
         }
+        self.maybe_spill(name);
         Ok(removed)
     }
 
@@ -344,12 +417,49 @@ impl Catalog {
         self.indexes.write().remove(name);
     }
 
+    /// Build (or rebuild) a disk-resident B-tree index over `key_cols`
+    /// of a named table, with pages drawn from the catalog's spill
+    /// context (or `ctx` when given explicitly). Cached like hash
+    /// indexes: maintained by appends, dropped by destructive
+    /// mutations. Requires a spill policy unless `ctx` is provided.
+    pub fn build_btree_index(&self, name: &str, key_cols: &[usize]) -> Result<Arc<BTreeIndex>> {
+        let Some(policy) = self.spill_policy() else {
+            return Err(Error::Storage(format!(
+                "build_btree_index({name}): no spill policy / storage context configured"
+            )));
+        };
+        let table = self.get(name)?;
+        if let Some(c) = key_cols.iter().find(|&&c| c >= table.schema().width()) {
+            return Err(Error::InvalidPlan(format!(
+                "build_btree_index({name}): key column {c} out of range"
+            )));
+        }
+        let index = Arc::new(BTreeIndex::build(&policy.ctx, &table, key_cols)?);
+        let mut guard = self.btree_indexes.write();
+        let list = guard.entry(name.to_string()).or_default();
+        list.retain(|idx| idx.key_cols() != key_cols);
+        list.push(Arc::clone(&index));
+        Ok(index)
+    }
+
+    /// The cached B-tree index of a table over exactly these key
+    /// columns, if one was built.
+    pub fn btree_index_on(&self, name: &str, key_cols: &[usize]) -> Option<Arc<BTreeIndex>> {
+        self.btree_indexes
+            .read()
+            .get(name)?
+            .iter()
+            .find(|idx| idx.key_cols() == key_cols)
+            .cloned()
+    }
+
     /// Fold rows `start..` of `snapshot` into every cached index of the
     /// table, keeping them consistent across append-only growth.
     fn bump_indexes(&self, name: &str, snapshot: &Table, start: usize) {
         if snapshot.len() <= start {
             return;
         }
+        self.bump_btree_indexes(name, snapshot, start);
         let mut guard = self.indexes.write();
         let Some(list) = guard.get_mut(name) else {
             return;
@@ -371,6 +481,20 @@ impl Catalog {
         });
     }
 
+    /// Same, for the disk-resident B-tree indexes. An index whose
+    /// incremental fold fails (storage error) is dropped rather than
+    /// left stale — the executor then falls back to other strategies.
+    fn bump_btree_indexes(&self, name: &str, snapshot: &Table, start: usize) {
+        let mut guard = self.btree_indexes.write();
+        let Some(list) = guard.get_mut(name) else {
+            return;
+        };
+        list.retain(|idx| idx.extend_from(snapshot, start).is_ok());
+        if list.is_empty() {
+            guard.remove(name);
+        }
+    }
+
     /// Incrementally fold rows `start..` of `snapshot` into cached stats.
     /// A cache miss stays a miss — the next [`Catalog::stats_of`] will
     /// analyze the whole table anyway.
@@ -380,7 +504,16 @@ impl Catalog {
         }
         if let Entry::Occupied(mut entry) = self.stats.write().entry(name.to_string()) {
             let stats = Arc::make_mut(entry.get_mut());
-            let suffix = &snapshot.rows()[start..];
+            // Appends land in the in-memory tail, so the suffix is
+            // normally borrowable without materializing spilled chunks.
+            let materialized;
+            let suffix = match snapshot.suffix_rows(start) {
+                Some(s) => s,
+                None => {
+                    materialized = snapshot.rows();
+                    &materialized[start..]
+                }
+            };
             if suffix.len() < 4096 {
                 stats.add_rows(suffix);
             } else {

@@ -30,6 +30,9 @@ pub enum Error {
     InvalidPlan(String),
     /// An object (table, view, index) already exists.
     AlreadyExists(String),
+    /// The out-of-core storage layer failed (I/O error, corrupt page or
+    /// chunk, exhausted buffer pool). Carries the underlying rendering.
+    Storage(String),
     /// A requested operation is recognized but not implemented. The
     /// structured fields let callers (e.g. the server's error path)
     /// report *what* is unsupported and *why* without string matching.
@@ -53,6 +56,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidPlan(detail) => write!(f, "invalid plan: {detail}"),
             Error::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            Error::Storage(detail) => write!(f, "storage error: {detail}"),
             Error::Unsupported { feature, reason } => {
                 write!(f, "unsupported operation {feature}: {reason}")
             }
@@ -88,6 +92,7 @@ mod tests {
             ),
             (Error::InvalidPlan("p".into()), "invalid plan: p"),
             (Error::AlreadyExists("x".into()), "object already exists: x"),
+            (Error::Storage("s".into()), "storage error: s"),
             (
                 Error::Unsupported {
                     feature: "retract".into(),

@@ -34,11 +34,14 @@ use std::collections::hash_map::Entry;
 
 use probkb_support::hash::{fx_map_with_capacity, FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use probkb_pager::buffer::BufferStats;
 use probkb_support::sync::{default_threads, map_chunks, map_indices};
 
+use crate::btree_index::BTreeIndex;
 use crate::catalog::Catalog;
 use crate::error::{Error, Result};
 use crate::expr::Expr;
@@ -46,8 +49,29 @@ use crate::index::HashIndex;
 use crate::optimizer;
 use crate::plan::{AggExpr, AggFunc, BuildSide, JoinKind, Plan};
 use crate::schema::Schema;
+use crate::spill::StorageContext;
 use crate::table::{Row, Table};
 use crate::value::Value;
+
+/// Joins whose build keys turned out to be all-`Int` and took the dense
+/// `[i64; 3]` fast path instead of hashing boxed `Vec<Value>` keys.
+static DENSE_INT_JOINS: AtomicU64 = AtomicU64::new(0);
+/// Probe blocks whose join keys were read straight out of dense `u32`
+/// id columns of a decoded chunk (no `Value` boxing on the probe path).
+static DENSE_U32_PROBE_BLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of serial inner joins that engaged the dense
+/// integer-key fast path. Monotonic; used by regression tests to assert
+/// the id-interned grounding joins stay on the unboxed path.
+pub fn dense_int_join_count() -> u64 {
+    DENSE_INT_JOINS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of probe blocks served from dense `u32` id
+/// columns without materializing `Value`s for key extraction.
+pub fn dense_u32_probe_block_count() -> u64 {
+    DENSE_U32_PROBE_BLOCKS.load(Ordering::Relaxed)
+}
 
 /// Per-node execution statistics, mirroring the plan tree.
 #[derive(Debug, Clone)]
@@ -71,6 +95,11 @@ pub struct ExecMetrics {
     pub workers: usize,
     /// Per-worker busy time when `workers > 1`, in chunk order.
     pub worker_elapsed: Vec<Duration>,
+    /// Buffer-pool activity during this node's execution (children
+    /// included, like [`ExecMetrics::wall`]): pages pinned, cache
+    /// hits/misses, evictions, and bytes spilled to disk. `None` when
+    /// the catalog has no out-of-core storage configured.
+    pub buffer: Option<BufferStats>,
     /// Child metrics, in plan order.
     pub children: Vec<ExecMetrics>,
 }
@@ -113,13 +142,21 @@ impl Par {
     }
 }
 
+/// A prebuilt index usable by the join fast path: in-memory hash or
+/// disk-resident B-tree. Both return match positions in ascending row
+/// order, so either one reproduces the hash-join output exactly.
+enum SideIndex {
+    Hash(Arc<HashIndex>),
+    BTree(Arc<BTreeIndex>),
+}
+
 /// A join input resolved to a catalog table with a usable prebuilt index:
 /// the index's key columns match the join keys (mapped through `cols`
 /// when the input is a pruned projection over the scan).
 struct IndexedSide {
     name: String,
     table: Arc<Table>,
-    index: Arc<HashIndex>,
+    index: SideIndex,
     /// Output-position → base-column map for a projected scan; `None`
     /// for a bare scan (identity).
     cols: Option<Vec<usize>>,
@@ -169,6 +206,9 @@ pub struct Executor<'a> {
     threads: usize,
     parallel_threshold: usize,
     optimize: bool,
+    /// The catalog's storage context at construction time; drives the
+    /// per-node buffer-pool deltas in [`ExecMetrics::buffer`].
+    storage: Option<Arc<StorageContext>>,
 }
 
 impl<'a> Executor<'a> {
@@ -182,6 +222,7 @@ impl<'a> Executor<'a> {
             threads: default_threads(),
             parallel_threshold: PARALLEL_THRESHOLD,
             optimize: optimizer::default_optimize(),
+            storage: catalog.spill_policy().map(|p| p.ctx),
         }
     }
 
@@ -266,10 +307,16 @@ impl<'a> Executor<'a> {
     fn run(&self, plan: &Plan) -> Result<(Batch, ExecMetrics)> {
         // One timer spans the whole node, children included — the only
         // double-count-free way to report total time once children can
-        // run concurrently.
+        // run concurrently. Buffer-pool counters get the same spanning
+        // treatment: each node reports the delta over its subtree.
         let entry = Instant::now();
+        let before = self.storage.as_ref().map(|s| s.stats());
         let (batch, mut metrics) = self.run_node(plan)?;
         metrics.wall = entry.elapsed();
+        if let Some(before) = before {
+            let after = self.storage.as_ref().expect("storage unset mid-run").stats();
+            metrics.buffer = Some(after.since(&before));
+        }
         Ok((batch, metrics))
     }
 
@@ -293,7 +340,7 @@ impl<'a> Executor<'a> {
                 let start = Instant::now();
                 let src = batch.table();
                 let workers = self.workers_for(src.len());
-                let (rows, par) = try_par_map_rows(src.rows(), workers, |part| {
+                let (rows, par) = try_par_map_table(src, workers, |part| {
                     let mut out = Vec::new();
                     for row in part {
                         if predicate.eval(row)?.is_truthy() {
@@ -312,7 +359,7 @@ impl<'a> Executor<'a> {
                 let lookup = |name: &str| self.catalog.schema_of(name);
                 let schema = plan.schema(&lookup)?;
                 let workers = self.workers_for(src.len());
-                let (rows, par) = try_par_map_rows(src.rows(), workers, |part| {
+                let (rows, par) = try_par_map_table(src, workers, |part| {
                     let mut out = Vec::with_capacity(part.len());
                     for row in part {
                         let mut r = Vec::with_capacity(exprs.len());
@@ -452,7 +499,15 @@ impl<'a> Executor<'a> {
                 let (batch, child) = self.run(input)?;
                 let start = Instant::now();
                 let src = batch.table();
-                let rows: Vec<Row> = src.rows().iter().take(*n).cloned().collect();
+                let mut rows: Vec<Row> = Vec::with_capacity((*n).min(src.len()));
+                'blocks: for block in src.blocks() {
+                    for row in block.rows() {
+                        if rows.len() >= *n {
+                            break 'blocks;
+                        }
+                        rows.push(row.clone());
+                    }
+                }
                 let table = Table::from_rows_unchecked(src.schema().clone(), rows);
                 Ok(self.done(plan, table, start, Par::serial(), vec![child]))
             }
@@ -495,12 +550,19 @@ impl<'a> Executor<'a> {
         let mut perm: Vec<usize> = (0..base_keys.len()).collect();
         perm.sort_by_key(|&i| base_keys[i]);
         let sorted_keys: Vec<usize> = perm.iter().map(|&i| base_keys[i]).collect();
-        let index = self.catalog.index_on(name, &sorted_keys)?;
-        // Defensive freshness check; the catalog should never serve a
+        // Defensive freshness checks; the catalog should never serve a
         // stale index, but a wrong join result is never worth the risk.
-        if index.rows_indexed() != table.len() {
-            return None;
-        }
+        // A hash index must cover the snapshot exactly. A B-tree index
+        // may run ahead of the snapshot (a concurrent append extends it
+        // in place) — the probe filters positions back to the snapshot —
+        // but must never lag behind it.
+        let index = match self.catalog.index_on(name, &sorted_keys) {
+            Some(h) if h.rows_indexed() == table.len() => SideIndex::Hash(h),
+            _ => match self.catalog.btree_index_on(name, &sorted_keys) {
+                Some(b) if b.rows_indexed() >= table.len() => SideIndex::BTree(b),
+                _ => return None,
+            },
+        };
         Some(IndexedSide {
             name: name.to_string(),
             table,
@@ -542,22 +604,40 @@ impl<'a> Executor<'a> {
         } else {
             probe.schema().join(&build_schema)
         };
-        let base_rows = side.table.rows();
-        let emit_build = |bi: usize, out: &mut Row| match &side.cols {
-            Some(cols) => {
-                for &c in cols {
-                    out.push(base_rows[bi][c].clone());
-                }
-            }
-            None => out.extend_from_slice(&base_rows[bi]),
-        };
         let width = schema.width();
         let probe_cols: Vec<usize> = side.perm.iter().map(|&i| probe_keys[i]).collect();
+        let snapshot_len = side.table.len();
         let workers = self.workers_for(probe.len());
-        let (rows, par) = par_map_rows(probe.rows(), workers, |chunk| {
+        let (rows, par) = try_par_map_table(probe, workers, |chunk| {
+            // One positional reader per chunk: spilled build tables are
+            // paged in one columnar chunk at a time instead of being
+            // materialized wholesale.
+            let mut reader = side.table.row_reader();
+            let mut emit_build = |bi: usize, out: &mut Row| {
+                let base = reader.row(bi);
+                match &side.cols {
+                    Some(cols) => {
+                        for &c in cols {
+                            out.push(base[c].clone());
+                        }
+                    }
+                    None => out.extend_from_slice(base),
+                }
+            };
             let mut out = Vec::new();
+            let mut btree_matches;
             for prow in chunk {
-                for &bi in side.index.probe(prow, &probe_cols) {
+                let matches: &[usize] = match &side.index {
+                    SideIndex::Hash(h) => h.probe(prow, &probe_cols),
+                    SideIndex::BTree(b) => {
+                        btree_matches = b.probe(prow, &probe_cols)?;
+                        // The tree may index rows appended after this
+                        // snapshot; they are invisible to this query.
+                        btree_matches.retain(|&bi| bi < snapshot_len);
+                        &btree_matches
+                    }
+                };
+                for &bi in matches {
                     let mut row: Row = Vec::with_capacity(width);
                     if build_on_left {
                         emit_build(bi, &mut row);
@@ -569,8 +649,8 @@ impl<'a> Executor<'a> {
                     out.push(row);
                 }
             }
-            out
-        });
+            Ok(out)
+        })?;
         let table = Table::from_rows_unchecked(schema, rows);
         let build_metrics = ExecMetrics {
             description: format!("Index Probe on {}", side.name),
@@ -580,6 +660,7 @@ impl<'a> Executor<'a> {
             wall: Duration::ZERO,
             workers: 1,
             worker_elapsed: Vec::new(),
+            buffer: None,
             children: vec![],
         };
         let children = if build_on_left {
@@ -595,6 +676,7 @@ impl<'a> Executor<'a> {
             wall: Duration::ZERO, // set by `run` from the node-entry timer
             workers: par.workers,
             worker_elapsed: par.worker_elapsed,
+            buffer: None, // filled by `run` from the spanning delta
             children,
         };
         Ok((Batch::Owned(table), metrics))
@@ -616,6 +698,7 @@ impl<'a> Executor<'a> {
             wall: Duration::ZERO, // set by `run` from the node-entry timer
             workers: par.workers,
             worker_elapsed: par.worker_elapsed,
+            buffer: None, // filled by `run` from the spanning delta
             children,
         };
         (Batch::Owned(table), metrics)
@@ -631,6 +714,7 @@ fn leaf_metrics(plan: &Plan, rows_out: usize, elapsed: Duration) -> ExecMetrics 
         wall: Duration::ZERO, // set by `run` from the node-entry timer
         workers: 1,
         worker_elapsed: Vec::new(),
+        buffer: None, // filled by `run` from the spanning delta
         children: vec![],
     }
 }
@@ -664,13 +748,40 @@ where
     ))
 }
 
-/// Infallible sibling of [`try_par_map_rows`] for operators whose row
+/// [`try_par_map_rows`] over a whole table, streamed block by block so
+/// spilled inputs never materialize more than one decoded chunk at a
+/// time. An in-memory table is a single block, making this byte- and
+/// telemetry-identical to the historical whole-slice call; for a paged
+/// table the per-block outputs (and worker clocks) concatenate in block
+/// order, which is insertion order.
+fn try_par_map_table<F>(table: &Table, workers: usize, f: F) -> Result<(Vec<Row>, Par)>
+where
+    F: Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+{
+    let mut out = Vec::new();
+    let mut worker_elapsed = Vec::new();
+    for block in table.blocks() {
+        let (rows, par) = try_par_map_rows(block.rows(), workers, &f)?;
+        out.extend(rows);
+        worker_elapsed.extend(par.worker_elapsed);
+    }
+    let workers = worker_elapsed.len().max(1);
+    Ok((
+        out,
+        Par {
+            workers,
+            worker_elapsed,
+        },
+    ))
+}
+
+/// Infallible sibling of [`try_par_map_table`] for operators whose row
 /// closures cannot error (joins).
-fn par_map_rows<F>(rows: &[Row], workers: usize, f: F) -> (Vec<Row>, Par)
+fn par_map_table<F>(table: &Table, workers: usize, f: F) -> (Vec<Row>, Par)
 where
     F: Fn(&[Row]) -> Vec<Row> + Sync,
 {
-    try_par_map_rows(rows, workers, |part| Ok(f(part))).expect("infallible row map")
+    try_par_map_table(table, workers, |part| Ok(f(part))).expect("infallible row map")
 }
 
 /// Hash of a join key, used to route rows to build partitions.
@@ -754,7 +865,7 @@ fn par_hash_join(
             };
             let parts = build_partitions(build, build_keys, workers);
             let schema = left.schema().join(right.schema());
-            let (rows, par) = par_map_rows(probe.rows(), workers, |chunk| {
+            let (rows, par) = par_map_table(probe, workers, |chunk| {
                 let mut out = Vec::new();
                 for prow in chunk {
                     let key = Table::key_of(prow, probe_keys);
@@ -783,7 +894,7 @@ fn par_hash_join(
         JoinKind::LeftSemi | JoinKind::LeftAnti => {
             let parts = build_partitions(right, right_keys, workers);
             let want_match = kind == JoinKind::LeftSemi;
-            let (rows, par) = par_map_rows(left.rows(), workers, |chunk| {
+            let (rows, par) = par_map_table(left, workers, |chunk| {
                 let mut out = Vec::new();
                 for lrow in chunk {
                     let key = Table::key_of(lrow, left_keys);
@@ -839,81 +950,172 @@ fn hash_join_build(
     match kind {
         JoinKind::Inner => {
             let schema = left.schema().join(right.schema());
-            let mut rows = Vec::new();
             if build_on_left {
-                // Build on the left, probe with the right.
-                let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
-                    fx_map_with_capacity(left.len());
-                for (i, row) in left.rows().iter().enumerate() {
-                    let key = Table::key_of(row, left_keys);
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    build.entry(key).or_default().push(i);
-                }
-                for rrow in right.rows() {
-                    let key = Table::key_of(rrow, right_keys);
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    if let Some(matches) = build.get(&key) {
-                        for &li in matches {
-                            let mut out = left.rows()[li].clone();
-                            out.extend_from_slice(rrow);
-                            rows.push(out);
-                        }
-                    }
-                }
+                serial_inner_join(left, right, left_keys, right_keys, true, schema)
             } else {
-                // Build on the right, probe with the left.
-                let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
-                    fx_map_with_capacity(right.len());
-                for (i, row) in right.rows().iter().enumerate() {
-                    let key = Table::key_of(row, right_keys);
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    build.entry(key).or_default().push(i);
-                }
-                for lrow in left.rows() {
-                    let key = Table::key_of(lrow, left_keys);
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    if let Some(matches) = build.get(&key) {
-                        for &ri in matches {
-                            let mut out = lrow.clone();
-                            out.extend_from_slice(&right.rows()[ri]);
-                            rows.push(out);
-                        }
-                    }
-                }
+                serial_inner_join(right, left, right_keys, left_keys, false, schema)
             }
-            Table::from_rows_unchecked(schema, rows)
         }
         JoinKind::LeftSemi | JoinKind::LeftAnti => {
             let mut build: FxHashMap<Vec<Value>, Vec<usize>> =
                 fx_map_with_capacity(right.len());
-            for (i, row) in right.rows().iter().enumerate() {
-                let key = Table::key_of(row, right_keys);
-                if key.iter().any(Value::is_null) {
-                    continue;
+            let mut i = 0usize;
+            for block in right.blocks() {
+                for row in block.rows() {
+                    let key = Table::key_of(row, right_keys);
+                    if !key.iter().any(Value::is_null) {
+                        build.entry(key).or_default().push(i);
+                    }
+                    i += 1;
                 }
-                build.entry(key).or_default().push(i);
             }
             let want_match = kind == JoinKind::LeftSemi;
             let mut rows = Vec::new();
-            for lrow in left.rows() {
-                let key = Table::key_of(lrow, left_keys);
-                let matched =
-                    !key.iter().any(Value::is_null) && build.contains_key(&key);
-                if matched == want_match {
-                    rows.push(lrow.clone());
+            for block in left.blocks() {
+                for lrow in block.rows() {
+                    let key = Table::key_of(lrow, left_keys);
+                    let matched =
+                        !key.iter().any(Value::is_null) && build.contains_key(&key);
+                    if matched == want_match {
+                        rows.push(lrow.clone());
+                    }
                 }
             }
             Table::from_rows_unchecked(left.schema().clone(), rows)
         }
     }
+}
+
+/// Join keys the dense fast path can carry inline.
+const DENSE_KEY_ARITY: usize = 3;
+
+/// Try to build the inner-join hash table with inline `[i64; 3]` keys:
+/// succeeds when every build-side key value is `Int` (NULL rows are
+/// skipped, exactly like the generic build). Returns `None` — fall back
+/// to boxed `Vec<Value>` keys — on any other type. `Value` equality is
+/// strictly typed (`Int(2) != Float(2.0)`), so when this map exists a
+/// non-`Int` probe value can never match and the fast path is
+/// result-identical to the generic one.
+fn dense_int_build(rows: &[Row], keys: &[usize]) -> Option<FxHashMap<[i64; 3], Vec<usize>>> {
+    if keys.is_empty() || keys.len() > DENSE_KEY_ARITY {
+        return None;
+    }
+    let mut map: FxHashMap<[i64; 3], Vec<usize>> = fx_map_with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        match dense_key(row, keys) {
+            DenseKey::Key(k) => map.entry(k).or_default().push(i),
+            DenseKey::Null => {}
+            DenseKey::NotInt => return None,
+        }
+    }
+    Some(map)
+}
+
+enum DenseKey {
+    Key([i64; 3]),
+    /// A NULL in a key column: the row never equi-matches.
+    Null,
+    /// A non-integer key value.
+    NotInt,
+}
+
+fn dense_key(row: &[Value], keys: &[usize]) -> DenseKey {
+    let mut k = [0i64; 3];
+    for (j, &c) in keys.iter().enumerate() {
+        match &row[c] {
+            Value::Int(v) => k[j] = *v,
+            Value::Null => return DenseKey::Null,
+            _ => return DenseKey::NotInt,
+        }
+    }
+    DenseKey::Key(k)
+}
+
+/// Serial inner join with the build/probe roles already assigned.
+/// Output layout is `left ++ right`; `build_is_left` says which side of
+/// the output the build row lands on. When the build keys are all
+/// integers (the id-interned grounding case) the hash table uses inline
+/// `[i64; 3]` keys, and probe blocks that expose dense `u32` id columns
+/// are keyed straight from the column arrays — no `Value` clone or hash
+/// of boxed keys anywhere on the probe path.
+fn serial_inner_join(
+    build: &Table,
+    probe: &Table,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    build_is_left: bool,
+    schema: Schema,
+) -> Table {
+    let build_rows = build.rows();
+    let mut rows: Vec<Row> = Vec::new();
+    let emit = |bi: usize, prow: &[Value], rows: &mut Vec<Row>| {
+        if build_is_left {
+            let mut out = build_rows[bi].clone();
+            out.extend_from_slice(prow);
+            rows.push(out);
+        } else {
+            let mut out = prow.to_vec();
+            out.extend_from_slice(&build_rows[bi]);
+            rows.push(out);
+        }
+    };
+    if let Some(dense) = dense_int_build(build_rows, build_keys) {
+        DENSE_INT_JOINS.fetch_add(1, Ordering::Relaxed);
+        for block in probe.blocks() {
+            let prows = block.rows();
+            let dense_cols: Option<Vec<&[u32]>> =
+                probe_keys.iter().map(|&c| block.dense_u32(c)).collect();
+            if let Some(cols) = dense_cols {
+                // Keys come straight out of the columnar id arrays.
+                DENSE_U32_PROBE_BLOCKS.fetch_add(1, Ordering::Relaxed);
+                for (i, prow) in prows.iter().enumerate() {
+                    let mut k = [0i64; 3];
+                    for (j, col) in cols.iter().enumerate() {
+                        k[j] = col[i] as i64;
+                    }
+                    if let Some(matches) = dense.get(&k) {
+                        for &bi in matches {
+                            emit(bi, prow, &mut rows);
+                        }
+                    }
+                }
+            } else {
+                for prow in prows {
+                    // NULL never matches; non-Int cannot equal an Int
+                    // build key, so both probe outcomes are "no match".
+                    if let DenseKey::Key(k) = dense_key(prow, probe_keys) {
+                        if let Some(matches) = dense.get(&k) {
+                            for &bi in matches {
+                                emit(bi, prow, &mut rows);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = fx_map_with_capacity(build_rows.len());
+        for (i, row) in build_rows.iter().enumerate() {
+            let key = Table::key_of(row, build_keys);
+            if !key.iter().any(Value::is_null) {
+                map.entry(key).or_default().push(i);
+            }
+        }
+        for block in probe.blocks() {
+            for prow in block.rows() {
+                let key = Table::key_of(prow, probe_keys);
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = map.get(&key) {
+                    for &bi in matches {
+                        emit(bi, prow, &mut rows);
+                    }
+                }
+            }
+        }
+    }
+    Table::from_rows_unchecked(schema, rows)
 }
 
 #[derive(Debug, Clone)]
@@ -1106,11 +1308,13 @@ pub fn aggregate_table(
     if group_by.is_empty() {
         groups.insert(Vec::new(), make_states());
     }
-    for row in input.rows() {
-        let key = Table::key_of(row, group_by);
-        let states = groups.entry(key).or_insert_with(make_states);
-        for (state, agg) in states.iter_mut().zip(aggs.iter()) {
-            state.update(&agg.func, row);
+    for block in input.blocks() {
+        for row in block.rows() {
+            let key = Table::key_of(row, group_by);
+            let states = groups.entry(key).or_insert_with(make_states);
+            for (state, agg) in states.iter_mut().zip(aggs.iter()) {
+                state.update(&agg.func, row);
+            }
         }
     }
 
@@ -1429,6 +1633,7 @@ mod tests {
             wall: Duration::from_millis(90),
             workers: 1,
             worker_elapsed: Vec::new(),
+            buffer: None,
             children: vec![],
         };
         let parent = ExecMetrics {
@@ -1439,6 +1644,7 @@ mod tests {
             wall: Duration::from_millis(100),
             workers: 2,
             worker_elapsed: vec![Duration::from_millis(90); 2],
+            buffer: None,
             children: vec![child(), child()],
         };
         assert_eq!(parent.total_elapsed(), Duration::from_millis(100));
@@ -1519,5 +1725,52 @@ mod tests {
         let out = exec.execute_table(&plan).unwrap();
         assert_eq!(out.schema().names(), vec!["id", "missing_w"]);
         assert_eq!(out.rows()[1][1], Value::Int(1));
+    }
+
+    /// The grounding join probe must take the dense paths: all-int keys
+    /// select the `[i64; N]` build map, and probing a *spilled* table
+    /// must read keys straight out of the columnar chunks' dense `u32`
+    /// arrays without reconstructing `Value`s. Counter deltas prove the
+    /// fast paths actually ran — a silent fallback to the generic probe
+    /// would still pass every result-equality test.
+    #[test]
+    fn dense_int_join_probes_spilled_chunks_without_boxing() {
+        use crate::spill::{SpillPolicy, StorageContext};
+        let cat = Catalog::new();
+        let ctx = StorageContext::in_temp(64).unwrap();
+        cat.set_spill_policy(Some(SpillPolicy {
+            ctx,
+            threshold_rows: 1024,
+        }));
+        let probe = Table::from_rows_unchecked(
+            Schema::ints(&["k", "v"]),
+            (0..10_000i64).map(|i| vec![Value::Int(i % 97), Value::Int(i)]).collect(),
+        );
+        let dim = Table::from_rows_unchecked(
+            Schema::ints(&["k"]),
+            (0..97i64).map(|k| vec![Value::Int(k)]).collect(),
+        );
+        cat.create("probe", probe).unwrap();
+        cat.create("dim", dim).unwrap();
+        assert!(cat.get("probe").unwrap().is_spilled());
+
+        let joins_before = dense_int_join_count();
+        let blocks_before = dense_u32_probe_block_count();
+        // Serial inner join, dim side built, spilled side probed.
+        let plan = Plan::scan("probe").hash_join(Plan::scan("dim"), vec![0], vec![0]);
+        let out = Executor::new(&cat)
+            .with_threads(1)
+            .with_optimize(false)
+            .execute_table(&plan)
+            .unwrap();
+        assert_eq!(out.len(), 10_000);
+        assert!(
+            dense_int_join_count() > joins_before,
+            "all-int join keys must select the dense build"
+        );
+        assert!(
+            dense_u32_probe_block_count() >= blocks_before + 2,
+            "a 10k-row spilled probe side spans >= 2 dense-u32 chunks"
+        );
     }
 }

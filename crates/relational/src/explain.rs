@@ -76,6 +76,12 @@ pub fn explain_analyze(metrics: &ExecMetrics) -> String {
                 per_worker.join(" ")
             ));
         }
+        if let Some(buf) = &node.buffer {
+            out.push_str(&format!(
+                ", buf: pins={} hits={} misses={} evict={} spilled={}B",
+                buf.pins, buf.hits, buf.misses, buf.evictions, buf.bytes_spilled
+            ));
+        }
         out.push_str(")\n");
     });
     out
@@ -136,6 +142,72 @@ mod tests {
             .find(|l| l.contains("Seq Scan"))
             .expect("scan line");
         assert!(!scan_line.contains("workers="));
+    }
+
+    #[test]
+    fn buffer_annotation_golden_format() {
+        use crate::prelude::BufferStats;
+        // Golden: the exact rendering of buffer-pool counters. Change
+        // this string only together with every consumer parsing it.
+        let metrics = ExecMetrics {
+            description: "Seq Scan on t".into(),
+            rows_out: 7,
+            est_rows: 7,
+            elapsed: Duration::from_micros(100),
+            wall: Duration::from_micros(100),
+            workers: 1,
+            worker_elapsed: Vec::new(),
+            buffer: Some(BufferStats {
+                pins: 12,
+                hits: 10,
+                misses: 2,
+                evictions: 1,
+                bytes_spilled: 16384,
+            }),
+            children: Vec::new(),
+        };
+        assert_eq!(
+            explain_analyze(&metrics),
+            "Seq Scan on t  (rows=7, est=7, time=100.0us, \
+             buf: pins=12 hits=10 misses=2 evict=1 spilled=16384B)\n"
+        );
+    }
+
+    #[test]
+    fn buffer_annotation_absent_without_storage() {
+        // In-memory-only catalogs must render exactly as before the
+        // out-of-core layer existed: no `buf:` fragment anywhere.
+        let cat = Catalog::new();
+        cat.set_spill_policy(None);
+        let t = Table::from_rows_unchecked(Schema::ints(&["k"]), vec![vec![Value::Int(1)]]);
+        cat.create("t", t).unwrap();
+        let (_, metrics) = Executor::new(&cat).execute(&Plan::scan("t")).unwrap();
+        assert!(!explain_analyze(&metrics).contains("buf:"));
+    }
+
+    #[test]
+    fn buffer_annotation_live_on_spilled_scan() {
+        use crate::spill::{SpillPolicy, StorageContext};
+        let cat = Catalog::new();
+        let ctx = StorageContext::in_temp(64).unwrap();
+        cat.set_spill_policy(Some(SpillPolicy {
+            ctx,
+            threshold_rows: 256,
+        }));
+        let t = Table::from_rows_unchecked(
+            Schema::ints(&["k"]),
+            (0..10_000i64).map(|i| vec![Value::Int(i)]).collect(),
+        );
+        cat.create("t", t).unwrap();
+        assert!(cat.get("t").unwrap().is_spilled());
+        // Distinct streams the table's blocks, so the spilled chunks
+        // must page back in and the pins show up in the annotation.
+        let plan = Plan::scan("t").distinct();
+        let (_, metrics) = Executor::new(&cat).execute(&plan).unwrap();
+        let text = explain_analyze(&metrics);
+        let buf = metrics.buffer.as_ref().expect("storage configured");
+        assert!(text.contains("buf: pins="), "got: {text}");
+        assert!(buf.pins > 0, "streaming a spilled table must pin pages");
     }
 
     #[test]

@@ -25,12 +25,15 @@ impl HashIndex {
     /// any key column are excluded (they can never equi-match).
     pub fn build(table: &Table, key_cols: &[usize]) -> Self {
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> = fx_map_with_capacity(table.len());
-        for (i, row) in table.rows().iter().enumerate() {
-            let key = Table::key_of(row, key_cols);
-            if key.iter().any(Value::is_null) {
-                continue;
+        let mut i = 0usize;
+        for block in table.blocks() {
+            for row in block.rows() {
+                let key = Table::key_of(row, key_cols);
+                if !key.iter().any(Value::is_null) {
+                    map.entry(key).or_default().push(i);
+                }
+                i += 1;
             }
-            map.entry(key).or_default().push(i);
         }
         HashIndex {
             key_cols: key_cols.to_vec(),
@@ -81,12 +84,23 @@ impl HashIndex {
     /// rebuilding from scratch.
     pub fn extend_from(&mut self, table: &Table, from_row: usize) {
         self.map.reserve(table.len().saturating_sub(from_row));
-        for (i, row) in table.rows().iter().enumerate().skip(from_row) {
-            let key = Table::key_of(row, &self.key_cols);
-            if key.iter().any(Value::is_null) {
-                continue;
+        let mut pos = 0usize;
+        for block in table.blocks() {
+            let rows = block.rows();
+            if pos + rows.len() > from_row {
+                for (off, row) in rows.iter().enumerate() {
+                    let i = pos + off;
+                    if i < from_row {
+                        continue;
+                    }
+                    let key = Table::key_of(row, &self.key_cols);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    self.map.entry(key).or_default().push(i);
+                }
             }
-            self.map.entry(key).or_default().push(i);
+            pos += rows.len();
         }
         self.rows_indexed = table.len();
     }

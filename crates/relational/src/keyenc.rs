@@ -1,0 +1,211 @@
+//! Memcomparable key encoding for B-tree indexes.
+//!
+//! [`encode_value`] maps a [`Value`] to bytes whose lexicographic
+//! order equals the value's order *within its type*; [`encode_key`]
+//! concatenates column encodings, and because every encoding is
+//! self-delimiting, the encoding of a key prefix is a byte prefix of
+//! the full key — which is what turns a B-tree range scan into a
+//! prefix probe ([`prefix_range`]).
+//!
+//! Type tags order NULL < INT < FLOAT < STR. (This differs from
+//! `Value::cmp`, which compares mixed Int/Float numerically — indexed
+//! columns are typed, so cross-type comparisons never decide a probe.)
+//! Floats use the canonical bits of `Value`'s `Eq`/`Hash` (`-0.0` and
+//! `0.0` encode identically), because indexes serve equality probes and
+//! must agree with hash-map semantics, not `total_cmp`'s `-0.0 < 0.0`.
+//!
+//! Encodings:
+//! * `Null` → `[0x00]`
+//! * `Int(v)` → `[0x01]` + big-endian of `v ^ i64::MIN` (sign flip)
+//! * `Float(v)` → `[0x02]` + big-endian of the canonical bits with the
+//!   usual total-order transform (negative → all bits flipped,
+//!   non-negative → sign bit set)
+//! * `Str(s)` → `[0x03]` + bytes with `0x00` escaped as `0x00 0xFF`,
+//!   terminated by `0x00 0x00`
+
+use crate::value::Value;
+
+/// Append the memcomparable form of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int(i) => {
+            out.push(0x01);
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(0x02);
+            let bits = Value::float_bits(*f);
+            let ordered = if bits & (1u64 << 63) != 0 {
+                !bits
+            } else {
+                bits | (1u64 << 63)
+            };
+            out.extend_from_slice(&ordered.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x03);
+            for &b in s.as_bytes() {
+                out.push(b);
+                if b == 0x00 {
+                    out.push(0xFF);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x00]);
+        }
+    }
+}
+
+/// The memcomparable form of a composite key.
+pub fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 10);
+    for v in values {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+/// The half-open byte range `[prefix, successor)` covering exactly the
+/// keys that start with `prefix`. `None` upper bound means unbounded
+/// (the prefix was all `0xFF`).
+pub fn prefix_range(prefix: &[u8]) -> (Vec<u8>, Option<Vec<u8>>) {
+    let mut hi = prefix.to_vec();
+    while let Some(&last) = hi.last() {
+        if last == 0xFF {
+            hi.pop();
+        } else {
+            *hi.last_mut().unwrap() = last + 1;
+            return (prefix.to_vec(), Some(hi));
+        }
+    }
+    (prefix.to_vec(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probkb_support::check::prelude::*;
+    use probkb_support::rng::{Rng, StdRng};
+
+    fn enc(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_value(v, &mut out);
+        out
+    }
+
+    fn random_value(rng: &mut StdRng) -> Value {
+        match rng.random_range(0u32..8) {
+            0 => Value::Null,
+            1..=3 => Value::Int(rng.random_range(0u64..2000) as i64 - 1000),
+            4 | 5 => {
+                let n = rng.random_range(0u64..2000) as i64 - 1000;
+                Value::Float(n as f64 / 8.0)
+            }
+            _ => {
+                let len = rng.random_range(0u32..6) as usize;
+                let s: String = (0..len)
+                    .map(|_| (b'a' + rng.random_range(0u32..4) as u8) as char)
+                    .collect();
+                Value::str(s)
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn same_type_order_is_preserved(seed in 0u64..1_000_000) {
+            use probkb_support::rng::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let a = random_value(&mut rng);
+                let b = random_value(&mut rng);
+                if a.data_type() != b.data_type() {
+                    continue;
+                }
+                let (ea, eb) = (enc(&a), enc(&b));
+                prop_assert_eq!(
+                    a.cmp(&b),
+                    ea.cmp(&eb),
+                    "{:?} vs {:?} -> {:?} vs {:?}",
+                    a, b, ea, eb
+                );
+            }
+        }
+
+        #[test]
+        fn composite_keys_order_like_rows(seed in 0u64..1_000_000) {
+            use probkb_support::rng::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..30 {
+                // Same-type columns, like a real index.
+                let a: Vec<Value> = (0..3).map(|c| match c {
+                    0 => Value::Int(rng.random_range(0u32..5) as i64),
+                    1 => Value::str(format!("{}", rng.random_range(0u32..4))),
+                    _ => Value::Int(rng.random_range(0u32..5) as i64),
+                }).collect();
+                let b: Vec<Value> = (0..3).map(|c| match c {
+                    0 => Value::Int(rng.random_range(0u32..5) as i64),
+                    1 => Value::str(format!("{}", rng.random_range(0u32..4))),
+                    _ => Value::Int(rng.random_range(0u32..5) as i64),
+                }).collect();
+                prop_assert_eq!(a.cmp(&b), encode_key(&a).cmp(&encode_key(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn int_ordering_spans_sign() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(enc(&Value::Int(w[0])) < enc(&Value::Int(w[1])));
+        }
+    }
+
+    #[test]
+    fn float_ordering_spans_sign_and_zero() {
+        let vals = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1e-300, 3.25, f64::INFINITY];
+        for i in 0..vals.len() {
+            for j in i + 1..vals.len() {
+                let (a, b) = (enc(&Value::Float(vals[i])), enc(&Value::Float(vals[j])));
+                if vals[i] == vals[j] {
+                    assert_eq!(a, b); // -0.0 and 0.0 normalize together
+                } else {
+                    assert!(a < b, "{} !< {}", vals[i], vals[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_nul_strings_order_correctly() {
+        let a = Value::str("a");
+        let b = Value::str("a\0b");
+        let c = Value::str("ab");
+        assert!(enc(&a) < enc(&b));
+        assert!(enc(&b) < enc(&c));
+    }
+
+    #[test]
+    fn prefix_is_byte_prefix_of_full_key() {
+        let full = encode_key(&[Value::Int(7), Value::str("x"), Value::Int(9)]);
+        let pre = encode_key(&[Value::Int(7), Value::str("x")]);
+        assert!(full.starts_with(&pre));
+    }
+
+    #[test]
+    fn prefix_range_covers_exactly_the_prefix() {
+        let pre = encode_key(&[Value::Int(7)]);
+        let (lo, hi) = prefix_range(&pre);
+        let hi = hi.unwrap();
+        let inside = encode_key(&[Value::Int(7), Value::Int(0)]);
+        let below = encode_key(&[Value::Int(6), Value::Int(i64::MAX)]);
+        let above = encode_key(&[Value::Int(8)]);
+        assert!(lo <= inside && inside < hi);
+        assert!(below < lo);
+        assert!(above >= hi);
+        // All-0xFF prefix → unbounded.
+        assert_eq!(prefix_range(&[0xFF, 0xFF]).1, None);
+    }
+}

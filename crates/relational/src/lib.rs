@@ -41,21 +41,26 @@
 
 #![warn(missing_docs)]
 
+pub mod btree_index;
 pub mod catalog;
+pub mod colstore;
 pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod index;
+pub mod keyenc;
 pub mod optimizer;
 pub mod plan;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod table;
 pub mod value;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::btree_index::BTreeIndex;
     pub use crate::catalog::Catalog;
     pub use crate::error::{Error, Result};
     pub use crate::exec::{ExecMetrics, Executor};
@@ -65,7 +70,11 @@ pub mod prelude {
     pub use crate::optimizer::{default_optimize, estimate, optimize, Estimate, StatsSource};
     pub use crate::plan::{AggExpr, AggFunc, BuildSide, JoinKind, Plan};
     pub use crate::schema::{Column, Schema};
+    pub use crate::spill::{
+        clear_process_default, process_default, set_process_default, SpillPolicy, StorageContext,
+    };
     pub use crate::stats::{ColumnStats, TableStats};
-    pub use crate::table::{Row, Table};
+    pub use crate::table::{Block, Row, Table};
     pub use crate::value::{DataType, Value};
+    pub use probkb_pager::buffer::BufferStats;
 }

@@ -1,0 +1,208 @@
+//! Spill policy and storage context: *when* tables move out of core
+//! and *where* their pages live.
+//!
+//! A [`StorageContext`] owns one buffer pool ([`BufferManager`]) and a
+//! spill directory; every spilled table allocates an ephemeral heap
+//! file inside it. A [`SpillPolicy`] pairs a context with the row
+//! threshold above which the catalog pushes a table out of core.
+//!
+//! The process-wide default ([`process_default`]) is driven by env,
+//! read once:
+//!
+//! * `PROBKB_SPILL_ROWS` — presence enables spilling; value is the
+//!   row threshold. Unset = everything stays in memory (the historical
+//!   behavior).
+//! * `PROBKB_BUFFER_PAGES` — buffer pool capacity in 8 KiB pages
+//!   (default 1024 = 8 MiB), read by `probkb_pager::buffer`.
+//! * `PROBKB_SPILL_DIR` — spill directory (default
+//!   `$TMPDIR/probkb-spill-<pid>`).
+//!
+//! Crucially, the policy decides only *placement*, never *results*:
+//! whether a table spills (and at what pool size) cannot change any
+//! query output — the differential suites pin that byte-for-byte.
+//! Tests inject explicit policies via [`set_process_default`] instead
+//! of racing on env vars.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use probkb_pager::buffer::{env_pool_pages, BufferManager, BufferStats};
+use probkb_pager::heap::HeapFile;
+use probkb_support::sync::RwLock;
+
+use crate::error::{Error, Result};
+
+impl From<probkb_pager::Error> for Error {
+    fn from(e: probkb_pager::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
+/// A buffer pool plus the directory its spill files live in.
+pub struct StorageContext {
+    buffer: Arc<BufferManager>,
+    dir: PathBuf,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for StorageContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageContext")
+            .field("dir", &self.dir)
+            .field("pool_pages", &self.buffer.capacity())
+            .finish()
+    }
+}
+
+impl StorageContext {
+    /// A context spilling into `dir` (created if absent) through
+    /// `buffer`.
+    pub fn new(dir: impl AsRef<Path>, buffer: Arc<BufferManager>) -> Result<Arc<Self>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::Storage(format!("create spill dir {}: {e}", dir.display())))?;
+        Ok(Arc::new(StorageContext {
+            buffer,
+            dir,
+            seq: AtomicU64::new(0),
+        }))
+    }
+
+    /// A context with its own `pool_pages`-frame pool and a unique
+    /// temp directory — the constructor tests and benches use to pin
+    /// pool size explicitly.
+    pub fn in_temp(pool_pages: usize) -> Result<Arc<Self>> {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "probkb-spill-{}-{n}",
+            std::process::id()
+        ));
+        StorageContext::new(dir, BufferManager::new(pool_pages))
+    }
+
+    /// The buffer pool.
+    pub fn buffer(&self) -> &Arc<BufferManager> {
+        &self.buffer
+    }
+
+    /// Snapshot of the pool's activity counters.
+    pub fn stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Allocate a fresh ephemeral heap file for one spilled table.
+    pub fn new_heap(&self) -> Result<Arc<HeapFile>> {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("t{n}.heap"));
+        Ok(HeapFile::create(Arc::clone(&self.buffer), &path, true)?)
+    }
+
+    /// A fresh path for an ephemeral B-tree file.
+    pub fn new_index_path(&self) -> PathBuf {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.dir.join(format!("i{n}.bt"))
+    }
+}
+
+impl Drop for StorageContext {
+    fn drop(&mut self) {
+        // Spill files delete themselves (ephemeral); reap the directory
+        // if nothing is left in it.
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+/// A storage context plus the row count above which tables spill.
+#[derive(Clone, Debug)]
+pub struct SpillPolicy {
+    /// Where spilled tables live.
+    pub ctx: Arc<StorageContext>,
+    /// Tables at or above this many rows are spilled by the catalog.
+    pub threshold_rows: usize,
+}
+
+enum Override {
+    Unset,
+    Set(Option<SpillPolicy>),
+}
+
+fn override_cell() -> &'static RwLock<Override> {
+    static CELL: OnceLock<RwLock<Override>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(Override::Unset))
+}
+
+fn env_default() -> &'static Option<SpillPolicy> {
+    static ENV: OnceLock<Option<SpillPolicy>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let threshold = std::env::var("PROBKB_SPILL_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())?;
+        let dir = std::env::var("PROBKB_SPILL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| {
+                std::env::temp_dir().join(format!("probkb-spill-{}", std::process::id()))
+            });
+        match StorageContext::new(dir, BufferManager::new(env_pool_pages())) {
+            Ok(ctx) => Some(SpillPolicy {
+                ctx,
+                threshold_rows: threshold.max(1),
+            }),
+            // No usable spill dir: stay in memory rather than fail.
+            Err(_) => None,
+        }
+    })
+}
+
+/// The spill policy new catalogs adopt. `None` = in-memory only.
+pub fn process_default() -> Option<SpillPolicy> {
+    if let Override::Set(p) = &*override_cell().read() {
+        return p.clone();
+    }
+    env_default().clone()
+}
+
+/// Replace the process default (pass `None` to force in-memory, or
+/// `Some(policy)` to spill through an explicit context). Intended for
+/// tests and embedders; affects catalogs created *after* the call.
+pub fn set_process_default(policy: Option<SpillPolicy>) {
+    *override_cell().write() = Override::Set(policy);
+}
+
+/// Drop any override installed by [`set_process_default`], returning
+/// to the env-derived default.
+pub fn clear_process_default() {
+    *override_cell().write() = Override::Unset;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_temp_creates_and_allocates() {
+        let ctx = StorageContext::in_temp(16).unwrap();
+        let h1 = ctx.new_heap().unwrap();
+        let h2 = ctx.new_heap().unwrap();
+        h1.append(b"a").unwrap();
+        h2.append(b"b").unwrap();
+        assert_ne!(ctx.new_index_path(), ctx.new_index_path());
+        assert_eq!(ctx.buffer().capacity(), 16);
+    }
+
+    #[test]
+    fn override_round_trips() {
+        // Not parallel-safe with other tests of the default — this test
+        // only checks the Set/Unset mechanics through a local policy.
+        let ctx = StorageContext::in_temp(8).unwrap();
+        set_process_default(Some(SpillPolicy {
+            ctx,
+            threshold_rows: 123,
+        }));
+        assert_eq!(process_default().unwrap().threshold_rows, 123);
+        set_process_default(None);
+        assert!(process_default().is_none());
+        clear_process_default();
+    }
+}

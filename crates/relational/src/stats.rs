@@ -110,7 +110,12 @@ impl TableStats {
             row_count: 0,
             columns: vec![ColumnStats::default(); table.schema().width()],
         };
-        stats.add_rows(table.rows());
+        // Stream block by block: counts are additive, so this matches a
+        // whole-slice pass while a spilled table decodes one chunk at a
+        // time instead of materializing.
+        for block in table.blocks() {
+            stats.add_rows(block.rows());
+        }
         stats
     }
 

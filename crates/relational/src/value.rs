@@ -110,8 +110,9 @@ impl Value {
         }
     }
 
-    /// Canonical bit pattern for float hashing/equality.
-    fn float_bits(v: f64) -> u64 {
+    /// Canonical bit pattern for float hashing/equality (also the basis
+    /// of the order-preserving key encoding in `keyenc`).
+    pub(crate) fn float_bits(v: f64) -> u64 {
         if v.is_nan() {
             f64::NAN.to_bits()
         } else if v == 0.0 {
@@ -261,6 +262,17 @@ impl<T: Into<Value>> From<Option<T>> for Value {
 mod tests {
     use super::*;
     use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn value_size_is_pinned() {
+        // Rows are `Vec<Value>`, so every byte here multiplies across
+        // hundreds of millions of fields at Table-2 scale, and the
+        // columnar chunk codec budgets around this layout. 24 bytes =
+        // discriminant padded to one word + the 16-byte `Arc<str>` fat
+        // pointer. If a new variant grows this, box its payload.
+        assert_eq!(std::mem::size_of::<Value>(), 24);
+        assert_eq!(std::mem::size_of::<Option<Value>>(), 24);
+    }
 
     fn hash_of(v: &Value) -> u64 {
         let mut h = DefaultHasher::new();

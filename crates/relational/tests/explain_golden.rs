@@ -44,6 +44,11 @@ fn normalize(text: &str) -> String {
 /// exactly 4 morsels, so the worker annotations are deterministic.
 fn catalog() -> Catalog {
     let cat = Catalog::new();
+    // Goldens pin the in-memory rendering: force the spill policy off
+    // rather than inheriting PROBKB_SPILL_ROWS (CI runs the suite with
+    // out-of-core storage forced on too, which would add `buf:`
+    // annotations — those have their own golden in explain.rs).
+    cat.set_spill_policy(None);
     let fact = Table::from_rows_unchecked(
         Schema::ints(&["k", "v"]),
         (0..600i64)

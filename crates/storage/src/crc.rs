@@ -1,100 +1,9 @@
-//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
-//! integrity check guarding every snapshot payload and WAL frame. The
-//! table is built at compile time; no external crate needed.
+//! CRC-32 (IEEE 802.3) — re-exported from `probkb_support::crc`.
+//!
+//! The implementation lives in `support` so that `pager` (which sits
+//! *below* `relational` in the dependency graph, and therefore below this
+//! crate) can checksum its pages with the same polynomial and table the
+//! snapshot/WAL framing uses. This module keeps the historical
+//! `probkb_storage::crc` paths working unchanged.
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// Streaming CRC-32 state, for checksumming data produced in pieces.
-#[derive(Debug, Clone)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Crc32::new()
-    }
-}
-
-impl Crc32 {
-    /// Fresh state.
-    pub fn new() -> Self {
-        Crc32 { state: 0xFFFF_FFFF }
-    }
-
-    /// Feed bytes into the checksum.
-    pub fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            let idx = ((self.state ^ byte as u32) & 0xFF) as usize;
-            self.state = (self.state >> 8) ^ TABLE[idx];
-        }
-    }
-
-    /// The final checksum value.
-    pub fn finalize(&self) -> u32 {
-        self.state ^ 0xFFFF_FFFF
-    }
-}
-
-/// One-shot CRC-32 of a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = Crc32::new();
-    c.update(data);
-    c.finalize()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_vectors() {
-        // The canonical check value for "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-    }
-
-    #[test]
-    fn streaming_matches_oneshot() {
-        let data = b"the quick brown fox jumps over the lazy dog";
-        let mut c = Crc32::new();
-        for chunk in data.chunks(7) {
-            c.update(chunk);
-        }
-        assert_eq!(c.finalize(), crc32(data));
-    }
-
-    #[test]
-    fn detects_single_bit_flips() {
-        let mut data = vec![0u8; 64];
-        let base = crc32(&data);
-        for i in 0..data.len() {
-            for bit in 0..8 {
-                data[i] ^= 1 << bit;
-                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit}");
-                data[i] ^= 1 << bit;
-            }
-        }
-    }
-}
+pub use probkb_support::crc::{crc32, Crc32};

@@ -14,6 +14,7 @@
 //! | [`sync`] | `parking_lot` + `crossbeam` | panic-free [`sync::Mutex`]/[`sync::RwLock`], scoped fan-out helpers |
 //! | [`check`] | `proptest` | seeded strategy combinators plus the [`proptest!`]/[`prop_assert!`] macros |
 //! | [`microbench`] | `criterion` | warmup + sampled timing with median reporting for `harness = false` benches |
+//! | [`crc`] | `crc32fast` | table-driven CRC-32 (IEEE) shared by `storage` framing and `pager` pages |
 //!
 //! Each module deliberately mirrors the *names* of the crate it replaces
 //! (`StdRng`, `proptest!`, `prop::collection::vec`, …) so swapping a call
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod crc;
 pub mod hash;
 pub mod json;
 pub mod microbench;
