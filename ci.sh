@@ -57,6 +57,21 @@ cargo run --release --offline -p probkb-bench --bin table2
 # in the --workspace test matrix above.
 MICROBENCH_SAMPLES=1 cargo bench --offline -p probkb-bench --bench delta
 
+# Local-grounding differential (DESIGN.md, "Local grounding"): answers
+# from the budgeted backward-chaining grounder must match the global
+# pipeline on every budget-covered fact, and truncated answers must
+# honor the budget shape contract. The suite reads PROBKB_LOCAL_BUDGET
+# per answer, so it runs once starved (4 nodes/4 factors — almost every
+# component truncates) and once unlimited (every component covered; the
+# unset default also rides in the --workspace matrix above).
+PROBKB_LOCAL_BUDGET=4 cargo test -q --offline --test local_grounding
+PROBKB_LOCAL_BUDGET=100000,100000 cargo test -q --offline --test local_grounding
+
+# Local-grounding bench smoke: time-to-first-marginal for one query,
+# budgeted local path vs full expand, must run end to end (the ≥50x
+# acceptance numbers live in EXPERIMENTS.md).
+MICROBENCH_SAMPLES=1 cargo bench --offline -p probkb-bench --bench local
+
 # Join-order microbench: the statistics-driven planner must beat the
 # worst-case left-deep order on the skewed workload (the binary asserts
 # both plans agree on output size; see EXPERIMENTS.md for numbers).
@@ -107,6 +122,10 @@ cli ping               | grep -q "^PONG epoch=0 protocol=1"
 cli stats              | grep -q "^epoch=0 facts="
 cli fact --id 0        | grep -q "^epoch=0 \[extracted, P="
 cli marginal --id 0    | grep -q "source=stored"
+# MARGINAL_LOCAL over the wire: budgeted local grounding served from a
+# read session, twice so the second answer comes from the epoch cache.
+cli marginal --id 0 --local --budget 64,256 | grep -q "frontier_stops="
+cli marginal --id 0 --local --budget 64,256 | grep -q "cache=hit"
 cli apply 'fact 0.80 smoke_rel(sx:smokeC, sy:smokeC)' | grep -q "^applied: epoch=1"
 cli fact smoke_rel sx sy | grep -q "^epoch=1 \[extracted, P=0.8000\]"
 # Retraction is a structured, non-fatal unsupported error (cli exits 1).

@@ -1,0 +1,167 @@
+//! Query-time local grounding bench: time-to-first-marginal for one
+//! query fact, local (backward-chain + budgeted subgraph inference)
+//! vs full (factor graph over the whole `TΦ` + partitioned Gibbs).
+//!
+//! Both sides start from the same grounded closure — the comparison is
+//! the *query-time* cost: what a reader pays between "which marginal do
+//! you want?" and "here it is". The full side pays graph construction
+//! plus a whole-KB sampling pass; the local side pays index build +
+//! best-first expansion + inference over the admitted subgraph (exact
+//! when ≤ 20 variables). The index build is amortizable across queries,
+//! so the repeat-query (warm grounder / cache hit) times are reported
+//! too.
+//!
+//! Manual harness; `MICROBENCH_SAMPLES=<n>` overrides repetitions.
+
+use std::time::{Duration, Instant};
+
+use probkb_core::prelude::*;
+use probkb_datagen::prelude::*;
+use probkb_factorgraph::prelude::from_phi;
+use probkb_inference::prelude::{partitioned_marginals, GibbsConfig, LocalSession};
+use probkb_kb::prelude::ProbKb;
+
+fn reps() -> usize {
+    std::env::var("MICROBENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Table-2-scale synthetic KB (same generator family as the delta and
+/// grounding benches).
+fn workload() -> ProbKb {
+    let seeded = generate(&ReverbConfig {
+        entities: 8_000,
+        classes: 10,
+        relations: 200,
+        facts: 20_000,
+        rules: 150,
+        functional_frac: 0.0,
+        pseudo_frac: 0.0,
+        zipf_s: 0.8,
+        rule_zipf_s: 0.6,
+        seed: 7,
+    });
+    s1_with_rules(&seeded, 250, 3)
+}
+
+fn config() -> GroundingConfig {
+    GroundingConfig {
+        apply_constraints: false,
+        max_total_facts: Some(500_000),
+        ..GroundingConfig::default()
+    }
+}
+
+/// Production-default sampling effort (`GibbsConfig::default()` burn-in
+/// and samples — what the server's read sessions run), pinned seed and
+/// single worker so both sides are deterministic and comparable.
+fn gibbs() -> GibbsConfig {
+    GibbsConfig {
+        seed: 9,
+        chains: 2,
+        workers: Some(1),
+        ..GibbsConfig::default()
+    }
+}
+
+fn secs(d: Duration) -> String {
+    if d < Duration::from_millis(1) {
+        format!("{:.1}us", d.as_secs_f64() * 1e6)
+    } else if d < Duration::from_secs(1) {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+fn main() {
+    let reps = reps();
+    let kb = workload();
+    let session = DeltaSession::new(kb.clone(), config()).expect("ground");
+    let facts = session.facts();
+
+    // Query mix: inferred facts (the interesting case — their marginal
+    // does not exist before inference runs), spread across the id space.
+    let inferred: Vec<i64> = facts
+        .rows()
+        .iter()
+        .filter(|row| row[tpi::W].is_null())
+        .map(|row| row[tpi::I].as_int().expect("I"))
+        .collect();
+    assert!(!inferred.is_empty(), "workload derived nothing");
+    let queries: Vec<i64> = [0, inferred.len() / 4, inferred.len() / 2, inferred.len() - 1]
+        .into_iter()
+        .map(|i| inferred[i])
+        .collect();
+    println!(
+        "local bench: {} facts ({} inferred), {} factors, {} rules, {} queries, {} reps",
+        facts.len(),
+        inferred.len(),
+        session.factors().len(),
+        kb.rules.len(),
+        queries.len(),
+        reps
+    );
+
+    // ---------------- full expand: graph + whole-KB Gibbs ----------------
+    let mut full = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let graph = from_phi(session.factors());
+        let run = partitioned_marginals(&graph.graph, &gibbs());
+        let v = graph.var_of(queries[0]).expect("query var");
+        std::hint::black_box(run.marginals.p[v]);
+        full = full.min(t.elapsed());
+    }
+    println!("full:  first marginal in {} (whole-KB sampling)", secs(full));
+
+    // ------------- local: cold build + expand + subgraph inference -------------
+    for budget in [LocalBudget::uniform(256), LocalBudget::UNLIMITED] {
+        let mut cold = Duration::MAX;
+        let mut warm = Duration::MAX;
+        let mut hit = Duration::MAX;
+        let mut nodes = 0u64;
+        for _ in 0..reps {
+            // The epoch snapshot already exists server-side; cloning it
+            // here is bench scaffolding, not query-time cost.
+            let snapshot = facts.clone();
+            let t = Instant::now();
+            let grounder = LocalGrounder::new(snapshot, &kb.rules).expect("grounder build");
+            let mut local = LocalSession::new(grounder, gibbs(), 0);
+            let answer = local.marginal(queries[0], Some(budget)).expect("answer");
+            cold = cold.min(t.elapsed());
+            nodes = answer.nodes;
+            std::hint::black_box(answer.p);
+
+            // Warm grounder, different queries: the per-query cost once
+            // the indexes exist.
+            let t = Instant::now();
+            for &q in &queries[1..] {
+                let a = local.marginal(q, Some(budget)).expect("answer");
+                std::hint::black_box(a.p);
+            }
+            warm = warm.min(t.elapsed() / (queries.len() - 1) as u32);
+
+            // Cache hit: repeat the first query.
+            let t = Instant::now();
+            let again = local.marginal(queries[0], Some(budget)).expect("answer");
+            hit = hit.min(t.elapsed());
+            assert!(matches!(
+                again.cache,
+                LocalCacheStatus::Hit | LocalCacheStatus::Carried
+            ));
+        }
+        println!(
+            "local ({:>9}): first {} ({} nodes) | warm query {} | cache hit {}  -> {:.0}x vs full",
+            budget.render(),
+            secs(cold),
+            nodes,
+            secs(warm),
+            secs(hit),
+            full.as_secs_f64() / cold.as_secs_f64()
+        );
+    }
+}

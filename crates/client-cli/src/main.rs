@@ -7,6 +7,7 @@
 //! probkb-cli --addr 127.0.0.1:7421 fact --id 0
 //! probkb-cli --addr 127.0.0.1:7421 fact born_in RG NYC
 //! probkb-cli --addr 127.0.0.1:7421 marginal --id 12
+//! probkb-cli --addr 127.0.0.1:7421 marginal --id 12 --local --budget 64
 //! probkb-cli --addr 127.0.0.1:7421 lineage --id 12 --depth 4
 //! probkb-cli --addr 127.0.0.1:7421 apply 'fact 0.9 r(a:C, b:C)'
 //! probkb-cli --addr 127.0.0.1:7421 stats
@@ -22,6 +23,21 @@ use std::io::{BufRead, Write};
 
 use probkb_client::prelude::*;
 
+// Rust ignores SIGPIPE, so the std `println!` panics with a broken-pipe
+// I/O error when a downstream reader (`probkb-cli ... | grep -q ...`)
+// closes stdout early. Shadow it with a variant that exits 0 quietly
+// instead — nobody is listening, which for a CLI is success, not a
+// crash. Declared before the rest of the file so every call site below
+// picks up the shadowed macro.
+macro_rules! println {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: probkb-cli [--addr HOST:PORT] [COMMAND]\n\
@@ -29,6 +45,7 @@ fn usage() -> ! {
          \x20 ping\n\
          \x20 fact --id N | fact REL X Y\n\
          \x20 marginal --id N | marginal REL X Y\n\
+         \x20   [--local [--budget N[,M]]]  (query-time local grounding)\n\
          \x20 lineage --id N [--depth D] | lineage REL X Y [--depth D]\n\
          \x20 apply 'KB-TEXT'   (statements separated by newlines or ';')\n\
          \x20 retract 'KB-TEXT' (same syntax; currently reports unsupported)\n\
@@ -56,6 +73,24 @@ fn fact_ref(args: &[String]) -> Option<(FactRef, usize)> {
         )),
         _ => None,
     }
+}
+
+/// Parse `--budget N` (both caps) or `--budget N,M` (nodes, factors).
+/// Absent or unparsable → `None` (the server's default budget).
+fn budget_of(args: &[String]) -> Option<(u64, u64)> {
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--budget" {
+            let value = args.get(i + 1)?;
+            return match value.split_once(',') {
+                Some((n, m)) => Some((n.trim().parse().ok()?, m.trim().parse().ok()?)),
+                None => {
+                    let n: u64 = value.trim().parse().ok()?;
+                    Some((n, n))
+                }
+            };
+        }
+    }
+    None
 }
 
 fn depth_of(args: &[String]) -> u32 {
@@ -98,10 +133,33 @@ fn run_command(client: &mut Client, verb: &str, args: &[String], failed: &mut bo
                 }
             }
             "marginal" => {
-                let Some((fr, _)) = fact_ref(args) else {
-                    println!("usage: marginal --id N | marginal REL X Y");
+                let Some((fr, used)) = fact_ref(args) else {
+                    println!(
+                        "usage: marginal --id N | marginal REL X Y  [--local [--budget N[,M]]]"
+                    );
                     return Ok(true);
                 };
+                let flags = &args[used..];
+                if flags.iter().any(|a| a == "--local") {
+                    let (epoch, marginal) = client.marginal_local(fr, budget_of(flags))?;
+                    match marginal {
+                        Some(m) => {
+                            let cache = match m.cache {
+                                CacheStatus::Miss => "miss",
+                                CacheStatus::Hit => "hit",
+                                CacheStatus::Carried => "carried",
+                            };
+                            println!(
+                                "epoch={epoch} id={} p={:.6} nodes={} factors={} \
+                                 frontier_stops={} cache={cache}",
+                                m.id, m.p, m.nodes, m.factors, m.frontier_stops
+                            );
+                            println!("{}", m.annotate);
+                        }
+                        None => println!("epoch={epoch} not found"),
+                    }
+                    return Ok(true);
+                }
                 let (epoch, marginal) = client.marginal(fr)?;
                 match marginal {
                     Some(m) => {

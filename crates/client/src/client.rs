@@ -12,8 +12,8 @@ use probkb_storage::frame::{read_frame, write_frame, write_magic, FrameKind};
 use probkb_storage::StorageError;
 
 use crate::protocol::{
-    decode_response, encode_request, DeltaOutcome, FactInfo, FactRef, LineageInfo, MarginalInfo,
-    ProtoError, Request, Response, ServerStats,
+    decode_response, encode_request, DeltaOutcome, FactInfo, FactRef, LineageInfo,
+    LocalMarginalInfo, MarginalInfo, ProtoError, Request, Response, ServerStats,
 };
 
 /// Client-side failures.
@@ -180,6 +180,20 @@ impl Client {
         match self.expect_ok(&Request::Marginal(fact))? {
             Response::Marginal { epoch, marginal } => Ok((epoch, marginal)),
             other => Err(unexpected("Marginal", &other)),
+        }
+    }
+
+    /// Query-time local marginal: ground only the fact's proof
+    /// neighborhood under a `(nodes, factors)` budget (`None` uses the
+    /// server default) and run inference on that subgraph.
+    pub fn marginal_local(
+        &mut self,
+        fact: FactRef,
+        budget: Option<(u64, u64)>,
+    ) -> Result<(u64, Option<LocalMarginalInfo>)> {
+        match self.expect_ok(&Request::MarginalLocal { fact, budget })? {
+            Response::MarginalLocal { epoch, marginal } => Ok((epoch, marginal)),
+            other => Err(unexpected("MarginalLocal", &other)),
         }
     }
 

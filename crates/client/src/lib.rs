@@ -22,8 +22,8 @@ pub mod protocol;
 pub mod prelude {
     pub use crate::client::{Client, ClientConfig, ClientError};
     pub use crate::protocol::{
-        decode_request, decode_response, encode_request, encode_response, DeltaOutcome,
-        FactInfo, FactRef, LineageInfo, MarginalInfo, MarginalSource, ProtoError, Request,
-        Response, ServerStats, PROTOCOL_VERSION,
+        decode_request, decode_response, encode_request, encode_response, CacheStatus,
+        DeltaOutcome, FactInfo, FactRef, LineageInfo, LocalMarginalInfo, MarginalInfo,
+        MarginalSource, ProtoError, Request, Response, ServerStats, PROTOCOL_VERSION,
     };
 }

@@ -18,6 +18,7 @@
 //! | 4 | `APPLY_DELTA` | the single writer thread (serialized) |
 //! | 5 | `STATS` | epoch + live session counters |
 //! | 6 | `SHUTDOWN` | the listener (graceful stop) |
+//! | 7 | `MARGINAL_LOCAL` | query-time local grounding + inference over the epoch's snapshot |
 //!
 //! Responses carry the serving epoch (`epoch` = number of committed
 //! deltas the served snapshot includes) as staleness metadata: a client
@@ -97,6 +98,16 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain sessions, stop the writer, exit.
     Shutdown,
+    /// Query-time local marginal: ground only the fact's proof
+    /// neighborhood under a relevance budget and run inference on that
+    /// subgraph (ProPPR-style), without touching the writer thread.
+    MarginalLocal {
+        /// The fact to estimate.
+        fact: FactRef,
+        /// `(nodes, factors)` budget caps; `None` uses the server's
+        /// `PROBKB_LOCAL_BUDGET` default.
+        budget: Option<(u64, u64)>,
+    },
 }
 
 /// One resolved fact in a response.
@@ -134,6 +145,45 @@ pub struct MarginalInfo {
     pub p: f64,
     /// Provenance of the number.
     pub source: MarginalSource,
+}
+
+/// How the server's local-answer cache participated in a
+/// `MARGINAL_LOCAL` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Computed fresh for this request.
+    Miss,
+    /// Served from an entry computed at the serving epoch.
+    Hit,
+    /// Served from an entry carried across a delta whose touched
+    /// blanket provably missed the entry's support.
+    Carried,
+}
+
+/// A local-marginal answer with its EXPLAIN-style observability fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalMarginalInfo {
+    /// Fact id.
+    pub id: i64,
+    /// Estimated `P(fact = true)`.
+    pub p: f64,
+    /// Variables in the local subgraph.
+    pub nodes: u64,
+    /// Factors materialized.
+    pub factors: u64,
+    /// Factor admissions the budget refused (0 ⇒ complete proof
+    /// neighborhood ⇒ the answer tracks the global marginal).
+    pub frontier_stops: u64,
+    /// Node cap the expansion ran under (`u64::MAX` = unlimited).
+    pub budget_nodes: u64,
+    /// Factor cap the expansion ran under.
+    pub budget_factors: u64,
+    /// True when exact enumeration produced `p`.
+    pub exact: bool,
+    /// Cache participation.
+    pub cache: CacheStatus,
+    /// Rendered `LocalGround (nodes=…, factors=…, …)` annotation.
+    pub annotate: String,
 }
 
 /// A lineage answer: derivations one level deep plus a rendered tree.
@@ -228,6 +278,13 @@ pub enum Response {
         /// Epoch at shutdown.
         epoch: u64,
     },
+    /// `MARGINAL_LOCAL` answer; `None` when the fact is unknown.
+    MarginalLocal {
+        /// Served epoch.
+        epoch: u64,
+        /// The local answer, if the fact is known.
+        marginal: Option<LocalMarginalInfo>,
+    },
     /// Any request that failed. `code` is machine-readable (`"parse"`,
     /// `"unsupported"`, `"bad-request"`, `"shutting-down"`, `"internal"`),
     /// `message` is for humans.
@@ -246,6 +303,7 @@ const OP_LINEAGE: u8 = 3;
 const OP_APPLY_DELTA: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
+const OP_MARGINAL_LOCAL: u8 = 7;
 
 const REF_ID: u8 = 0;
 const REF_NAMES: u8 = 1;
@@ -301,6 +359,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.put_u8(OP_STATS),
         Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+        Request::MarginalLocal { fact, budget } => {
+            w.put_u8(OP_MARGINAL_LOCAL);
+            put_fact_ref(&mut w, fact);
+            match budget {
+                Some((nodes, factors)) => {
+                    w.put_u8(1);
+                    w.put_u64(*nodes);
+                    w.put_u64(*factors);
+                }
+                None => w.put_u8(0),
+            }
+        }
     }
     w.into_bytes()
 }
@@ -319,6 +389,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request> {
         OP_APPLY_DELTA => Request::ApplyDelta { text: r.get_str()? },
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_MARGINAL_LOCAL => Request::MarginalLocal {
+            fact: get_fact_ref(&mut r)?,
+            budget: match r.get_u8()? {
+                0 => None,
+                _ => Some((r.get_u64()?, r.get_u64()?)),
+            },
+        },
         op => return Err(ProtoError(format!("unknown request opcode {op}"))),
     };
     if !r.is_at_end() {
@@ -337,7 +414,25 @@ const RESP_LINEAGE: u8 = 3;
 const RESP_DELTA: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTDOWN: u8 = 6;
+const RESP_MARGINAL_LOCAL: u8 = 7;
 const RESP_ERROR: u8 = 255;
+
+fn put_cache_status(w: &mut ByteWriter, c: CacheStatus) {
+    w.put_u8(match c {
+        CacheStatus::Miss => 0,
+        CacheStatus::Hit => 1,
+        CacheStatus::Carried => 2,
+    });
+}
+
+fn get_cache_status(r: &mut ByteReader<'_>) -> Result<CacheStatus> {
+    match r.get_u8()? {
+        0 => Ok(CacheStatus::Miss),
+        1 => Ok(CacheStatus::Hit),
+        2 => Ok(CacheStatus::Carried),
+        tag => Err(ProtoError(format!("unknown cache status {tag}"))),
+    }
+}
 
 fn put_fact_info(w: &mut ByteWriter, f: &FactInfo) {
     w.put_i64(f.id);
@@ -450,6 +545,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u8(RESP_SHUTDOWN);
             w.put_u64(*epoch);
         }
+        Response::MarginalLocal { epoch, marginal } => {
+            w.put_u8(RESP_MARGINAL_LOCAL);
+            w.put_u64(*epoch);
+            match marginal {
+                Some(m) => {
+                    w.put_u8(1);
+                    w.put_i64(m.id);
+                    w.put_f64(m.p);
+                    w.put_u64(m.nodes);
+                    w.put_u64(m.factors);
+                    w.put_u64(m.frontier_stops);
+                    w.put_u64(m.budget_nodes);
+                    w.put_u64(m.budget_factors);
+                    w.put_u8(m.exact as u8);
+                    put_cache_status(&mut w, m.cache);
+                    w.put_str(&m.annotate);
+                }
+                None => w.put_u8(0),
+            }
+        }
         Response::Error { code, message } => {
             w.put_u8(RESP_ERROR);
             w.put_str(code);
@@ -537,6 +652,24 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response> {
         RESP_SHUTDOWN => Response::ShuttingDown {
             epoch: r.get_u64()?,
         },
+        RESP_MARGINAL_LOCAL => Response::MarginalLocal {
+            epoch: r.get_u64()?,
+            marginal: match r.get_u8()? {
+                0 => None,
+                _ => Some(LocalMarginalInfo {
+                    id: r.get_i64()?,
+                    p: r.get_f64()?,
+                    nodes: r.get_u64()?,
+                    factors: r.get_u64()?,
+                    frontier_stops: r.get_u64()?,
+                    budget_nodes: r.get_u64()?,
+                    budget_factors: r.get_u64()?,
+                    exact: r.get_u8()? != 0,
+                    cache: get_cache_status(&mut r)?,
+                    annotate: r.get_str()?,
+                }),
+            },
+        },
         RESP_ERROR => Response::Error {
             code: r.get_str()?,
             message: r.get_str()?,
@@ -575,6 +708,18 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::MarginalLocal {
+                fact: FactRef::Id(9),
+                budget: None,
+            },
+            Request::MarginalLocal {
+                fact: FactRef::Names {
+                    rel: "live_in".into(),
+                    x: "RG".into(),
+                    y: "NYC".into(),
+                },
+                budget: Some((64, 256)),
+            },
         ]
     }
 
@@ -635,6 +780,25 @@ mod tests {
                 sessions_total: 9,
             }),
             Response::ShuttingDown { epoch: 5 },
+            Response::MarginalLocal {
+                epoch: 2,
+                marginal: None,
+            },
+            Response::MarginalLocal {
+                epoch: 4,
+                marginal: Some(LocalMarginalInfo {
+                    id: 11,
+                    p: 0.625,
+                    nodes: 6,
+                    factors: 9,
+                    frontier_stops: 0,
+                    budget_nodes: u64::MAX,
+                    budget_factors: u64::MAX,
+                    exact: true,
+                    cache: CacheStatus::Carried,
+                    annotate: "LocalGround  (nodes=6, factors=9)".into(),
+                }),
+            },
             Response::Error {
                 code: "unsupported".into(),
                 message: "retract".into(),
@@ -693,5 +857,32 @@ mod tests {
         assert!(decode_response(&[77]).is_err());
         assert!(decode_request(&[]).is_err());
         assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_cache_status_rejected() {
+        // Corrupt the cache-status byte of a valid MARGINAL_LOCAL
+        // response: it sits right before the annotate string.
+        let resp = Response::MarginalLocal {
+            epoch: 1,
+            marginal: Some(LocalMarginalInfo {
+                id: 1,
+                p: 0.5,
+                nodes: 1,
+                factors: 0,
+                frontier_stops: 0,
+                budget_nodes: 0,
+                budget_factors: 0,
+                exact: true,
+                cache: CacheStatus::Miss,
+                annotate: String::new(),
+            }),
+        };
+        let mut bytes = encode_response(&resp);
+        let annotate_len = 4; // empty string = u32 length prefix only
+        let cache_at = bytes.len() - annotate_len - 1;
+        bytes[cache_at] = 9;
+        let err = decode_response(&bytes).unwrap_err();
+        assert!(err.0.contains("unknown cache status"), "{err}");
     }
 }

@@ -26,6 +26,7 @@ pub mod bp;
 pub mod diagnostics;
 pub mod exact;
 pub mod gibbs;
+pub mod local;
 pub mod map;
 pub mod parallel;
 pub mod partitioned;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use crate::gibbs::{
         default_gibbs_workers, gibbs_marginals, sigmoid, GibbsConfig, GibbsSampler, Marginals,
     };
+    pub use crate::local::{LocalAnswer, LocalSession, LOCAL_EXACT_MAX_VARS};
     pub use crate::map::{anneal, exact_map, icm, icm_from, AnnealConfig, MapSolution};
     pub use crate::parallel::{chromatic_marginals, ChromaticGibbs};
     pub use crate::partitioned::{

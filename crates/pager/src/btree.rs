@@ -249,6 +249,97 @@ impl BTree {
         self.buffer.fetch(self.fid, pno)
     }
 
+    /// Bulk-load `entries` — strictly ascending unique keys — into an
+    /// empty tree, bottom-up: leaves are packed left-to-right and
+    /// sibling-chained, then internal levels are built over them until
+    /// one root remains. Produces a tree `get`/`for_each_range` cannot
+    /// distinguish from repeated [`BTree::insert`], but every page is
+    /// written exactly once: no per-key descent, no splits — roughly an
+    /// order of magnitude faster for index builds.
+    pub fn load_sorted(&self, entries: &[(Vec<u8>, u64)]) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.entries != 0 {
+            return Err(Error::Corrupt(
+                "load_sorted requires an empty tree".into(),
+            ));
+        }
+        if entries.is_empty() {
+            return Ok(());
+        }
+        for pair in entries.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(Error::Corrupt(
+                    "load_sorted requires strictly ascending keys".into(),
+                ));
+            }
+        }
+
+        // Leaf level: pack entries until a page refuses one.
+        let mut level: Vec<(Vec<u8>, PageNo)> = Vec::new();
+        let mut prev_leaf: Option<PageNo> = None;
+        let mut i = 0usize;
+        while i < entries.len() {
+            let (pno, g) = self.buffer.create_page(self.fid)?;
+            let start = i;
+            let taken = g.write(|buf| {
+                node_init(buf, KIND_LEAF);
+                let mut slot = 0usize;
+                while start + slot < entries.len() {
+                    let (key, val) = &entries[start + slot];
+                    if key.len() > MAX_KEY_LEN
+                        || !insert_entry(buf, slot, key, &val.to_le_bytes())
+                    {
+                        break;
+                    }
+                    slot += 1;
+                }
+                slot
+            });
+            drop(g);
+            if taken == 0 {
+                return Err(Error::RecordTooLarge(entries[start].0.len()));
+            }
+            if let Some(prev) = prev_leaf {
+                self.pin(prev)?.write(|buf| set_next_leaf(buf, pno));
+            }
+            prev_leaf = Some(pno);
+            level.push((entries[start].0.clone(), pno));
+            i = start + taken;
+        }
+
+        // Internal levels: each node takes a leftmost child plus as
+        // many (min key, child) separators as fit.
+        while level.len() > 1 {
+            let mut next: Vec<(Vec<u8>, PageNo)> = Vec::new();
+            let mut j = 0usize;
+            while j < level.len() {
+                let (pno, g) = self.buffer.create_page(self.fid)?;
+                let start = j;
+                let taken = g.write(|buf| {
+                    node_init(buf, KIND_INTERNAL);
+                    set_leftmost(buf, level[start].1);
+                    let mut slot = 0usize;
+                    while start + 1 + slot < level.len() {
+                        let (key, chd) = &level[start + 1 + slot];
+                        if !insert_entry(buf, slot, key, &chd.to_le_bytes()) {
+                            break;
+                        }
+                        slot += 1;
+                    }
+                    slot
+                });
+                drop(g);
+                next.push((level[start].0.clone(), pno));
+                j = start + 1 + taken;
+            }
+            level = next;
+        }
+
+        st.root = level[0].1;
+        st.entries = entries.len() as u64;
+        Ok(())
+    }
+
     /// Insert `key -> val`, overwriting any existing binding.
     pub fn insert(&self, key: &[u8], val: u64) -> Result<()> {
         if key.len() > MAX_KEY_LEN {
@@ -587,5 +678,50 @@ mod tests {
         let t = tree("bigkey.bt", 16);
         let k = vec![0u8; MAX_KEY_LEN + 1];
         assert!(t.insert(&k, 1).is_err());
+    }
+
+    #[test]
+    fn load_sorted_matches_insert_built_tree() {
+        // Big enough for several internal levels; small pool so the
+        // bulk load also exercises eviction.
+        let n = 20_000u64;
+        let entries: Vec<(Vec<u8>, u64)> =
+            (0..n).map(|i| ((i * 3).to_be_bytes().to_vec(), i)).collect();
+
+        let bulk = tree("bulk.bt", 32);
+        bulk.load_sorted(&entries).unwrap();
+        let slow = tree("bulk-oracle.bt", 32);
+        for (k, v) in &entries {
+            slow.insert(k, *v).unwrap();
+        }
+
+        assert_eq!(bulk.len(), n);
+        assert_eq!(bulk.range(&[], None).unwrap(), slow.range(&[], None).unwrap());
+        for i in (0..n).step_by(23) {
+            let key = (i * 3).to_be_bytes();
+            assert_eq!(bulk.get(&key).unwrap(), Some(i));
+            assert_eq!(bulk.get(&(i * 3 + 1).to_be_bytes()).unwrap(), None);
+        }
+        // Bounded range scans agree too (crosses leaf boundaries).
+        let lo = 999u64.to_be_bytes();
+        let hi = 2001u64.to_be_bytes();
+        assert_eq!(
+            bulk.range(&lo, Some(&hi)).unwrap(),
+            slow.range(&lo, Some(&hi)).unwrap()
+        );
+
+        // The loaded tree keeps working as a normal tree: inserts land
+        // in the right leaves, including ones that force splits.
+        bulk.insert(&(1u64).to_be_bytes(), 777).unwrap();
+        assert_eq!(bulk.get(&(1u64).to_be_bytes()).unwrap(), Some(777));
+        assert_eq!(bulk.len(), n + 1);
+
+        // Preconditions are enforced.
+        assert!(bulk.load_sorted(&entries).is_err(), "non-empty tree");
+        let fresh = tree("bulk-unsorted.bt", 16);
+        let bad = vec![(vec![2u8], 0u64), (vec![1u8], 1u64)];
+        assert!(fresh.load_sorted(&bad).is_err(), "unsorted input");
+        fresh.load_sorted(&[]).unwrap(); // empty load is a no-op
+        assert!(fresh.is_empty());
     }
 }

@@ -43,6 +43,7 @@ pub mod delta_store;
 pub mod engine;
 pub mod explain;
 pub mod grounding;
+pub mod local;
 pub mod mpp_engine;
 pub mod queries;
 pub mod relmodel;
@@ -67,6 +68,10 @@ pub mod prelude {
     pub use crate::grounding::{
         ground, ground_loaded, GroundingConfig, GroundingOutcome, GroundingReport,
         IterationStats,
+    };
+    pub use crate::local::{
+        CacheAdvance, LocalBudget, LocalCache, LocalCacheEntry, LocalCacheStatus, LocalGround,
+        LocalGrounder,
     };
     pub use crate::mpp_engine::{MppEngine, MppMode};
     pub use crate::queries::{

@@ -67,6 +67,15 @@ impl BTreeIndex {
     /// of an in-flight append, which the executor tolerates by filtering
     /// positions against its own table snapshot length.
     pub fn extend_from(&self, table: &Table, from_row: usize) -> Result<()> {
+        // Stage the encoded entries in key order. A from-scratch build
+        // bulk-loads the sorted run bottom-up ([`BTree::load_sorted`]:
+        // every page written once, no descents, no splits); incremental
+        // extensions insert in key order, which lands each key at or
+        // right of the previous leaf instead of descending to a random
+        // one. Identical outcome either way (the tree is a set of
+        // unique keys — the position suffix disambiguates duplicates).
+        let mut entries: Vec<(Vec<u8>, u64)> =
+            Vec::with_capacity(table.len().saturating_sub(from_row));
         let mut pos = 0usize;
         for block in table.blocks() {
             let rows = block.rows();
@@ -82,10 +91,18 @@ impl BTreeIndex {
                     }
                     let mut enc = encode_key(&key);
                     enc.extend_from_slice(&(at as u64).to_be_bytes());
-                    self.tree.insert(&enc, at as u64)?;
+                    entries.push((enc, at as u64));
                 }
             }
             pos += rows.len();
+        }
+        entries.sort_unstable();
+        if from_row == 0 && self.tree.is_empty() {
+            self.tree.load_sorted(&entries)?;
+        } else {
+            for (enc, at) in entries {
+                self.tree.insert(&enc, at)?;
+            }
         }
         self.rows_indexed.store(table.len(), Ordering::Release);
         Ok(())

@@ -19,11 +19,17 @@ use std::collections::HashMap;
 
 use probkb::pipeline::IncrementalPipeline;
 use probkb_client::protocol::{
-    FactInfo, FactRef, LineageInfo, MarginalInfo, MarginalSource, Request, Response,
+    CacheStatus, FactInfo, FactRef, LineageInfo, LocalMarginalInfo, MarginalInfo, MarginalSource,
+    Request, Response,
 };
+use probkb_core::local::{LocalBudget, LocalCache, LocalCacheStatus, LocalGrounder};
 use probkb_core::relmodel::tpi;
 use probkb_factorgraph::prelude::Lineage;
-use probkb_kb::prelude::Dictionary;
+use probkb_inference::prelude::{GibbsConfig, LocalSession};
+use probkb_kb::prelude::{Dictionary, HornRule};
+use probkb_relational::prelude::Table;
+use probkb_support::hash::FxHashSet;
+use probkb_support::sync::Mutex;
 
 /// One fact of the snapshot, fully resolved.
 #[derive(Debug, Clone)]
@@ -39,6 +45,25 @@ struct FactRecord {
     inferred: bool,
 }
 
+/// Query-time local-grounding state attached to an epoch. The
+/// [`LocalSession`] (B-tree probe indexes + answer cache) is built
+/// lazily on the first `MARGINAL_LOCAL` request, so epochs that never
+/// see one pay nothing; `seed` is the answer cache carried over from
+/// the previous epoch by [`EpochState::carry_local_cache`].
+///
+/// This is the one deliberately *impure* corner of the read path: the
+/// cache memoizes across requests. It lives behind its own mutex so
+/// [`serve_read`] stays a pure function of `(EpochState, Request)` —
+/// the `MARGINAL_LOCAL` opcode is dispatched through
+/// [`EpochState::serve_local`] instead, and the answer bytes are still
+/// deterministic (a hit returns the bit-identical `p` the miss
+/// computed; only the `cache=` flag differs).
+#[derive(Debug, Default)]
+struct LocalServing {
+    session: Option<LocalSession>,
+    seed: LocalCache,
+}
+
 /// An immutable snapshot served to readers.
 #[derive(Debug)]
 pub struct EpochState {
@@ -52,6 +77,12 @@ pub struct EpochState {
     entities: Dictionary,
     lineage: Lineage,
     factors: u64,
+    /// `TΠ` snapshot + rules: what a lazily-built [`LocalSession`]
+    /// grounds against.
+    facts_table: Table,
+    rules: Vec<HornRule>,
+    gibbs: GibbsConfig,
+    local: Mutex<LocalServing>,
 }
 
 impl EpochState {
@@ -96,6 +127,10 @@ impl EpochState {
             entities: kb.entities.clone(),
             lineage: Lineage::from_phi(session.factors()),
             factors: session.factors().len() as u64,
+            facts_table: facts_table.clone(),
+            rules: kb.rules.clone(),
+            gibbs: *pipeline.gibbs(),
+            local: Mutex::new(LocalServing::default()),
         }
     }
 
@@ -161,6 +196,87 @@ impl EpochState {
             p: record.p,
             inferred: record.inferred,
         }
+    }
+
+    /// Serve one `MARGINAL_LOCAL` request: ground only the fact's proof
+    /// neighborhood under `budget` (`None` → the server's
+    /// `PROBKB_LOCAL_BUDGET` default) and run exact/Gibbs inference on
+    /// that subgraph. Runs entirely on the read side — the writer
+    /// thread is never involved. The per-epoch [`LocalSession`] is
+    /// built on first use.
+    pub fn serve_local(&self, fact: &FactRef, budget: Option<(u64, u64)>) -> Response {
+        let id = match self.resolve(fact) {
+            Some(record) => record.id,
+            None => {
+                return Response::MarginalLocal {
+                    epoch: self.epoch,
+                    marginal: None,
+                }
+            }
+        };
+        let budget = budget.map(|(nodes, factors)| LocalBudget { nodes, factors });
+        let mut serving = self.local.lock();
+        if serving.session.is_none() {
+            let grounder = match LocalGrounder::new(self.facts_table.clone(), &self.rules) {
+                Ok(grounder) => grounder,
+                Err(e) => {
+                    return Response::Error {
+                        code: "internal".into(),
+                        message: format!("local grounder: {e}"),
+                    }
+                }
+            };
+            let seed = std::mem::take(&mut serving.seed);
+            serving.session = Some(LocalSession::with_cache(
+                grounder, self.gibbs, self.epoch, seed,
+            ));
+        }
+        let session = serving.session.as_mut().expect("just built");
+        let marginal = session.marginal(id, budget).map(|answer| LocalMarginalInfo {
+            id: answer.id,
+            p: answer.p,
+            nodes: answer.nodes,
+            factors: answer.factors,
+            frontier_stops: answer.frontier_stops,
+            budget_nodes: answer.budget.nodes,
+            budget_factors: answer.budget.factors,
+            exact: answer.exact,
+            cache: match answer.cache {
+                LocalCacheStatus::Miss => CacheStatus::Miss,
+                LocalCacheStatus::Hit => CacheStatus::Hit,
+                LocalCacheStatus::Carried => CacheStatus::Carried,
+            },
+            annotate: answer.annotate(),
+        });
+        Response::MarginalLocal {
+            epoch: self.epoch,
+            marginal,
+        }
+    }
+
+    /// Carry the previous epoch's local-answer cache into this (not yet
+    /// published) epoch. Entries survive only when the delta's
+    /// touched-blanket set missed their support and the id remap is the
+    /// identity on it ([`LocalCache::advance`]); a full-fallback delta
+    /// drops everything. Called by the writer between
+    /// [`EpochState::from_pipeline`] and publication — the previous
+    /// epoch keeps serving from its own (cloned) cache meanwhile.
+    pub fn carry_local_cache(
+        &self,
+        prev: &EpochState,
+        touched_facts: &[i64],
+        remap: &[i64],
+        full_fallback: bool,
+    ) {
+        let prev_serving = prev.local.lock();
+        let mut cache = match &prev_serving.session {
+            Some(session) => session.cache_snapshot(),
+            None => prev_serving.seed.clone(),
+        };
+        drop(prev_serving);
+        let touched: FxHashSet<i64> = touched_facts.iter().copied().collect();
+        cache.advance(self.epoch, &touched, remap, full_fallback);
+        self.local.lock().seed = cache;
     }
 
     fn render_proof(&self, id: i64, depth: u32, indent: usize, out: &mut String) {

@@ -43,6 +43,13 @@ fn handle(shared: &Shared, session: u64, request: &Request) -> Response {
         return response;
     }
     match request {
+        // Not in serve_read: the local-answer cache memoizes across
+        // requests, so this path is deliberately outside the pure
+        // read function (see `EpochState::serve_local`). Still served
+        // from a single epoch load, never from the writer thread.
+        Request::MarginalLocal { fact, budget } => {
+            shared.current.load().serve_local(fact, *budget)
+        }
         Request::Ping => Response::Pong {
             epoch: shared.current.load().epoch,
             protocol: PROTOCOL_VERSION,

@@ -106,6 +106,15 @@ fn apply_one(
 
     let epoch = shared.current.load().epoch + 1;
     let state = EpochState::from_pipeline(pipeline, epoch);
+    // Carry the local-answer cache across the epoch: entries whose
+    // support the delta's touched blanket provably missed survive; the
+    // still-published previous epoch keeps its own copy.
+    state.carry_local_cache(
+        &shared.current.load(),
+        &applied.touched_facts,
+        &applied.remap,
+        applied.grounding.full_fallback,
+    );
     shared.current.store(Arc::new(state));
 
     // Off the commit critical path: precompute the next delta's

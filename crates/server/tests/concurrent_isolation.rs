@@ -14,7 +14,9 @@ use std::time::Duration;
 use probkb::pipeline::IncrementalPipeline;
 use probkb::prelude::{parse, GibbsConfig, GroundingConfig, ProbKb};
 use probkb_client::prelude::{Client, FactRef};
-use probkb_client::protocol::{decode_response, encode_request, encode_response, Request, Response};
+use probkb_client::protocol::{
+    decode_response, encode_request, encode_response, LocalMarginalInfo, Request, Response,
+};
 use probkb_server::prelude::{serve_read, start, EpochState, ServerConfig};
 use probkb_storage::frame::{read_frame, write_frame, FrameKind};
 
@@ -193,6 +195,121 @@ fn readers_only_ever_observe_committed_epochs() {
 
     // The server's final epoch is exactly the number of committed deltas.
     assert_eq!(handle.shared().current.load().epoch, DELTAS.len() as u64);
+
+    writer.shutdown().unwrap();
+    handle.join();
+}
+
+/// The answer-defining fields of a `MARGINAL_LOCAL` response, with `p`
+/// compared bit-for-bit. Cache status and the annotation are deliberately
+/// excluded: a hit/carried answer is *allowed* — what it is not allowed to
+/// do is differ from a cold recompute at the same epoch.
+fn local_key(marginal: &Option<LocalMarginalInfo>) -> Option<(i64, u64, u64, u64, u64)> {
+    marginal
+        .as_ref()
+        .map(|m| (m.id, m.p.to_bits(), m.nodes, m.factors, m.frontier_stops))
+}
+
+/// Stale-cache oracle for `MARGINAL_LOCAL`: readers hammer local
+/// marginals over the wire while the writer commits the three deltas.
+/// Every response claims an epoch; it must be answer-identical to a
+/// *fresh* (never-cached) local session over that epoch's oracle state.
+/// A carried cache entry whose support actually intersected a delta's
+/// touched blanket — or whose fact id was renumbered without eviction —
+/// would disagree with the cold oracle and fail here.
+#[test]
+fn marginal_local_never_serves_stale_cache_entries() {
+    // One explicit covering budget everywhere, so an ambient
+    // PROBKB_LOCAL_BUDGET cannot skew server vs oracle.
+    const BUDGET: Option<(u64, u64)> = Some((1_000_000, 1_000_000));
+
+    let mut refs: Vec<FactRef> = (0..12).map(FactRef::Id).collect();
+    refs.push(by_name("qa", "a1", "b1"));
+    refs.push(by_name("pa", "a1", "b1"));
+    refs.push(by_name("pa", "a2", "b2"));
+    refs.push(by_name("pa", "a3", "b3")); // enters the KB at epoch 1
+    refs.push(by_name("qb", "c1", "d1")); // enters the KB at epoch 2
+    refs.push(by_name("pa", "a5", "b5")); // enters the KB at epoch 3
+    refs.push(by_name("nope", "a1", "b1")); // never exists
+
+    // Cold oracle answers per (epoch, ref). Each EpochState starts with
+    // an empty local cache, so these are all fresh computations.
+    let mut oracle = IncrementalPipeline::new(base_kb(), grounding(), gibbs()).unwrap();
+    let mut states = vec![EpochState::from_pipeline(&oracle, 0)];
+    for (k, text) in DELTAS.iter().enumerate() {
+        let delta = oracle.parse_delta(text).unwrap();
+        oracle.apply_delta(&delta).unwrap();
+        states.push(EpochState::from_pipeline(&oracle, (k + 1) as u64));
+    }
+    let expected: Vec<Vec<Option<(i64, u64, u64, u64, u64)>>> = states
+        .iter()
+        .map(|s| {
+            refs.iter()
+                .map(|fr| match s.serve_local(fr, BUDGET) {
+                    Response::MarginalLocal { marginal, .. } => local_key(&marginal),
+                    other => panic!("oracle returned {other:?}"),
+                })
+                .collect()
+        })
+        .collect();
+
+    let handle = start(
+        base_kb(),
+        ServerConfig {
+            grounding: grounding(),
+            gibbs: gibbs(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|reader| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let refs = refs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut served = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, fr) in refs.iter().enumerate() {
+                        let (epoch, marginal) =
+                            client.marginal_local(fr.clone(), BUDGET).unwrap();
+                        let got = local_key(&marginal);
+                        assert!(
+                            (epoch as usize) < expected.len(),
+                            "reader {reader}: uncommitted epoch {epoch}"
+                        );
+                        assert_eq!(
+                            got, expected[epoch as usize][i],
+                            "reader {reader} ref {i}: local answer at claimed epoch \
+                             {epoch} differs from a cold recompute (stale cache?)"
+                        );
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(&addr).unwrap();
+    for (k, text) in DELTAS.iter().enumerate() {
+        std::thread::sleep(Duration::from_millis(60));
+        let outcome = writer.apply_delta(text).unwrap();
+        assert_eq!(outcome.epoch, (k + 1) as u64);
+    }
+    std::thread::sleep(Duration::from_millis(60));
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0usize;
+    for reader in readers {
+        total += reader.join().expect("reader panicked");
+    }
+    assert!(total > 0, "readers served no local marginals");
 
     writer.shutdown().unwrap();
     handle.join();

@@ -142,6 +142,18 @@ fn every_request_type_roundtrips() {
 fn retract_reports_structured_unsupported_error() {
     let (handle, mut client) = server(config());
 
+    // Warm a local marginal first: the failed retract below must leave
+    // MARGINAL_LOCAL serving (including its cache) exactly as it was.
+    let budget = Some((1_000_000u64, 1_000_000u64));
+    let inferred = FactRef::Names {
+        rel: "pa".into(),
+        x: "a1".into(),
+        y: "b1".into(),
+    };
+    let (epoch_before, local_before) = client.marginal_local(inferred.clone(), budget).unwrap();
+    assert_eq!(epoch_before, 0);
+    let local_before = local_before.expect("pa(a1, b1) is inferred at epoch 0");
+
     // A batch mixing an addition with a retraction fails whole: the
     // retraction error comes back and the addition must NOT have been
     // applied.
@@ -168,6 +180,18 @@ fn retract_reports_structured_unsupported_error() {
         .unwrap();
     assert_eq!(epoch, 0, "failed batch must not advance the epoch");
     assert!(leaked.is_none(), "failed batch leaked its additions");
+
+    // MARGINAL_LOCAL after the failed retract: same epoch, answer fields
+    // bit-identical to the pre-retract answer (served as a cache hit —
+    // the epoch never advanced, so the entry was never invalidated).
+    let (epoch_after, local_after) = client.marginal_local(inferred, budget).unwrap();
+    assert_eq!(epoch_after, 0);
+    let local_after = local_after.expect("pa(a1, b1) still inferred");
+    assert_eq!(local_after.id, local_before.id);
+    assert_eq!(local_after.p.to_bits(), local_before.p.to_bits());
+    assert_eq!(local_after.nodes, local_before.nodes);
+    assert_eq!(local_after.factors, local_before.factors);
+    assert_eq!(local_after.frontier_stops, local_before.frontier_stops);
 
     client.shutdown().unwrap();
     handle.join();

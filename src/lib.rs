@@ -186,6 +186,11 @@ pub mod pipeline {
         /// facts take low ids ahead of previously derived facts). Empty
         /// when the delta fell back to a full re-ground.
         pub remap: Vec<i64>,
+        /// Post-delta fact ids whose conditional changed (the resampled
+        /// Markov blanket) — the invalidation set query-time local
+        /// caches check their support against. Empty when the delta
+        /// fell back to a full re-ground (everything changed).
+        pub touched_facts: Vec<i64>,
     }
 
     /// A live expansion pipeline: grounded state, factor graph, coloring,
@@ -263,6 +268,7 @@ pub mod pipeline {
                     grounding: applied.report,
                     inference,
                     remap: applied.remap,
+                    touched_facts: Vec::new(),
                 });
             }
 
@@ -303,16 +309,24 @@ pub mod pipeline {
             );
             self.chains = run.states;
             self.marginals = run.marginals.p;
+            let touched_facts = touched.iter().map(|&v| self.graph.fact_of(v)).collect();
             Ok(PipelineDelta {
                 grounding: applied.report,
                 inference: run.report,
                 remap: applied.remap,
+                touched_facts,
             })
         }
 
         /// The live grounding session (facts, factors, schedule).
         pub fn session(&self) -> &DeltaSession {
             &self.session
+        }
+
+        /// The sampler configuration the pipeline runs under (the
+        /// serving layer reuses it for query-time local inference).
+        pub fn gibbs(&self) -> &GibbsConfig {
+            &self.gibbs
         }
 
         /// Parse KB-text statements into a [`KbDelta`] against the live

@@ -1,0 +1,301 @@
+//! Differential suite for query-time local grounding (ROADMAP item 4).
+//!
+//! The correctness oracle is the one the ProPPR line of work suggests:
+//! on any fact whose *full* proof neighborhood fits the relevance
+//! budget (`frontier_stops == 0`), the local marginal must agree with
+//! the global pipeline's marginal within sampler tolerance — the local
+//! subgraph is exactly the fact's connected component, so both paths
+//! estimate the same distribution. Facts the budget truncates carry no
+//! accuracy contract, only the budget-respecting shape contract.
+//!
+//! The suite honours `PROBKB_LOCAL_BUDGET`: ci.sh replays it at a small
+//! budget (most neighborhoods truncated) and unlimited (all covered),
+//! and the coverage-conditional assertions must hold at both.
+//!
+//! Also pinned here: byte-identical local answers across Gibbs worker
+//! counts and across budget-irrelevant orderings (two covering budgets
+//! admit the same subgraph), and the delta edge cases — carried cache
+//! entries must be bit-equal to a fresh recompute, touched entries must
+//! be recomputed.
+
+use probkb::prelude::*;
+
+/// Deterministic xorshift64* so KB generation never depends on ambient
+/// randomness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random KB exercising all six structural rule partitions: random
+/// fact placement/weights, fixed rule shapes (one per partition).
+fn random_six_partition_kb(seed: u64) -> String {
+    let mut rng = XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let mut text = String::new();
+    let a = 3;
+    let b = 3;
+    let c = 3;
+    let fact = |text: &mut String, rel: &str, s: String, o: String, rng: &mut XorShift| {
+        if rng.unit() < 0.35 {
+            let w = 0.2 + rng.unit();
+            text.push_str(&format!("fact {w:.3} {rel}({s}, {o})\n"));
+        }
+    };
+    for i in 0..a {
+        for j in 0..b {
+            fact(&mut text, "q1", format!("a{i}:A"), format!("b{j}:B"), &mut rng);
+            fact(&mut text, "q2", format!("b{j}:B"), format!("a{i}:A"), &mut rng);
+        }
+    }
+    for k in 0..c {
+        for i in 0..a {
+            fact(&mut text, "q3", format!("c{k}:C"), format!("a{i}:A"), &mut rng);
+            fact(&mut text, "q4", format!("a{i}:A"), format!("c{k}:C"), &mut rng);
+        }
+        for j in 0..b {
+            fact(&mut text, "q3", format!("c{k}:C"), format!("b{j}:B"), &mut rng);
+        }
+    }
+    let mut w = || 0.5 + rng.unit();
+    text.push_str(&format!("rule {:.3} p1(x:A, y:B) :- q1(x, y)\n", w()));
+    text.push_str(&format!("rule {:.3} p2(x:A, y:B) :- q2(y, x)\n", w()));
+    text.push_str(&format!("rule {:.3} p3(x:A, y:B) :- q3(z:C, x), q3(z, y)\n", w()));
+    text.push_str(&format!("rule {:.3} p4(x:A, y:B) :- q4(x, z:C), q3(z, y)\n", w()));
+    text.push_str(&format!("rule {:.3} p5(x:A, y:B) :- q3(z:C, x), q2(y, z)\n", w()));
+    text.push_str(&format!("rule {:.3} p6(x:A, y:B) :- q4(x, z:C), q2(y, z)\n", w()));
+    text
+}
+
+fn grounding() -> GroundingConfig {
+    GroundingConfig {
+        apply_constraints: false,
+        threads: Some(1),
+        ..GroundingConfig::default()
+    }
+}
+
+fn gibbs() -> GibbsConfig {
+    GibbsConfig {
+        burn_in: 200,
+        samples: 3000,
+        seed: 7,
+        chains: 2,
+        workers: Some(1),
+        ..GibbsConfig::default()
+    }
+}
+
+fn pipeline_of(text: &str) -> IncrementalPipeline {
+    let kb = parse(text).unwrap().build();
+    IncrementalPipeline::new(kb, grounding(), gibbs()).unwrap()
+}
+
+fn local_session_of(pipeline: &IncrementalPipeline, epoch: u64) -> LocalSession {
+    let session = pipeline.session();
+    let grounder = LocalGrounder::new(session.facts().clone(), &session.kb().rules).unwrap();
+    LocalSession::with_cache(grounder, *pipeline.gibbs(), epoch, LocalCache::new())
+}
+
+fn fact_ids(pipeline: &IncrementalPipeline) -> Vec<i64> {
+    pipeline
+        .session()
+        .facts()
+        .rows()
+        .iter()
+        .map(|row| row[tpi::I].as_int().unwrap())
+        .collect()
+}
+
+/// Two samplers, each within sampler error of the true marginal; exact
+/// local answers only carry the global sampler's error.
+const TOLERANCE: f64 = 0.10;
+
+#[test]
+fn local_matches_global_on_budget_covered_facts() {
+    let budget = LocalBudget::from_env();
+    for seed in [1u64, 2, 3] {
+        let text = random_six_partition_kb(seed);
+        let pipeline = pipeline_of(&text);
+        let mut local = local_session_of(&pipeline, 0);
+        let mut covered = 0usize;
+        for id in fact_ids(&pipeline) {
+            let answer = local.marginal(id, Some(budget)).expect("known fact");
+            assert!(answer.nodes >= 1, "query always admitted (seed {seed})");
+            if answer.frontier_stops > 0 {
+                // Truncated: shape contract only — the budget held.
+                assert!(answer.nodes <= budget.nodes.max(1));
+                assert!(answer.factors <= budget.factors);
+                continue;
+            }
+            covered += 1;
+            let global = pipeline
+                .marginal_of_fact(id)
+                .expect("every fact carries at least its singleton factor");
+            assert!(
+                (answer.p - global).abs() < TOLERANCE,
+                "seed {seed} fact {id}: local {} vs global {} (nodes={}, exact={})",
+                answer.p,
+                global,
+                answer.nodes,
+                answer.exact
+            );
+        }
+        assert!(covered > 0, "seed {seed}: no covered facts at all");
+    }
+}
+
+/// A `next(x,y) :- next(x,z), next(z,y)` chain closure is one big
+/// connected component (> 20 variables), forcing the local Gibbs path.
+fn chain_kb(n: usize) -> String {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("fact 0.8 next(n{i}:Node, n{}:Node)\n", i + 1));
+    }
+    text.push_str("rule 1.0 next(x:Node, y:Node) :- next(x, z:Node), next(z, y)\n");
+    text
+}
+
+#[test]
+fn local_gibbs_answers_byte_identical_across_workers_and_covering_budgets() {
+    let text = chain_kb(8);
+    let pipeline = pipeline_of(&text);
+    let ids = fact_ids(&pipeline);
+    assert!(ids.len() > LOCAL_EXACT_MAX_VARS, "chain closure too small");
+
+    let session = pipeline.session();
+    let session_with = |workers: usize| {
+        let grounder = LocalGrounder::new(session.facts().clone(), &session.kb().rules).unwrap();
+        let config = GibbsConfig {
+            workers: Some(workers),
+            ..gibbs()
+        };
+        LocalSession::with_cache(grounder, config, 0, LocalCache::new())
+    };
+    let mut one = session_with(1);
+    let mut four = session_with(4);
+    for &id in &ids {
+        let a = one.marginal(id, Some(LocalBudget::UNLIMITED)).unwrap();
+        let b = four.marginal(id, Some(LocalBudget::UNLIMITED)).unwrap();
+        assert!(!a.exact, "fact {id} should take the Gibbs path");
+        assert_eq!(
+            a.p.to_bits(),
+            b.p.to_bits(),
+            "fact {id}: 1 vs 4 workers diverged"
+        );
+        // A different budget that still covers the component admits the
+        // identical subgraph and must reproduce the identical bits.
+        let covering = one
+            .marginal(id, Some(LocalBudget::uniform(1_000_000)))
+            .unwrap();
+        assert_eq!(covering.frontier_stops, 0);
+        assert_eq!(a.p.to_bits(), covering.p.to_bits(), "fact {id}: budget order leaked");
+    }
+}
+
+#[test]
+fn edge_cases_unknown_base_and_budget_zero() {
+    let text = "fact 0.9 iso(a:A, b:B)\n";
+    let pipeline = pipeline_of(text);
+    let mut local = local_session_of(&pipeline, 0);
+
+    // Unknown fact id: no answer, not a panic.
+    assert!(local.marginal(999, Some(LocalBudget::UNLIMITED)).is_none());
+
+    // Isolated base EDB fact: its component is the singleton factor, so
+    // the exact local marginal is sigmoid(w).
+    let answer = local.marginal(0, Some(LocalBudget::UNLIMITED)).unwrap();
+    assert!(answer.exact);
+    assert_eq!(answer.frontier_stops, 0);
+    assert!((answer.p - sigmoid(0.9)).abs() < 1e-12);
+
+    // Budget 0: the query is still admitted, nothing else is, and the
+    // answer degrades to uniform.
+    let zero = local.marginal(0, Some(LocalBudget::uniform(0))).unwrap();
+    assert_eq!(zero.nodes, 1);
+    assert_eq!(zero.factors, 0);
+    assert!(zero.frontier_stops > 0);
+    assert!((zero.p - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn cache_carries_untouched_entries_and_recomputes_touched_ones_across_delta() {
+    // Two disconnected regions: an isolated weighted fact (never touched
+    // by deltas below) and a rule-fed component the delta extends.
+    let text = r#"
+        fact 0.9 iso(i1:I, i2:I)
+        fact 0.8 qa(a1:A, b1:B)
+        rule 1.2 pa(x:A, y:B) :- qa(x, y)
+    "#;
+    let mut pipeline = pipeline_of(text);
+    let mut local = local_session_of(&pipeline, 0);
+
+    let iso_id = 0i64; // first base fact
+    let iso_before = local.marginal(iso_id, Some(LocalBudget::UNLIMITED)).unwrap();
+    assert_eq!(iso_before.cache, LocalCacheStatus::Miss);
+    // Find the derived pa fact and warm its cache entry too.
+    let derived_id = *fact_ids(&pipeline).last().unwrap();
+    let derived_before = local
+        .marginal(derived_id, Some(LocalBudget::UNLIMITED))
+        .unwrap();
+    assert_eq!(derived_before.cache, LocalCacheStatus::Miss);
+
+    // Delta: extend the qa component. New base facts take low ids ahead
+    // of derived facts, so derived ids renumber while the isolated
+    // fact's id (below the insertion point) stays fixed.
+    let delta = pipeline.parse_delta("fact 0.7 qa(a2:A, b1:B)\n").unwrap();
+    let applied = pipeline.apply_delta(&delta).unwrap();
+    assert!(!applied.grounding.full_fallback);
+    assert!(!applied.touched_facts.is_empty());
+
+    let mut cache = local.cache_snapshot();
+    let touched: std::collections::HashSet<i64> =
+        applied.touched_facts.iter().copied().collect();
+    let touched_fx = touched.iter().copied().collect();
+    cache.advance(1, &touched_fx, &applied.remap, false);
+
+    let session = pipeline.session();
+    let grounder = LocalGrounder::new(session.facts().clone(), &session.kb().rules).unwrap();
+    let mut after = LocalSession::with_cache(grounder, *pipeline.gibbs(), 1, cache);
+
+    // Untouched isolated fact: served from the carried entry,
+    // bit-identical to what a cold session would recompute.
+    let iso_after = after.marginal(iso_id, Some(LocalBudget::UNLIMITED)).unwrap();
+    assert_eq!(iso_after.cache, LocalCacheStatus::Carried);
+    assert_eq!(iso_after.p.to_bits(), iso_before.p.to_bits());
+    let mut cold = local_session_of(&pipeline, 1);
+    let iso_cold = cold.marginal(iso_id, Some(LocalBudget::UNLIMITED)).unwrap();
+    assert_eq!(iso_cold.cache, LocalCacheStatus::Miss);
+    assert_eq!(iso_after.p.to_bits(), iso_cold.p.to_bits());
+
+    // The touched component: recomputed (post-delta id), and it tracks
+    // the updated global marginal.
+    let new_derived = applied
+        .remap
+        .get(derived_id as usize)
+        .copied()
+        .unwrap_or(derived_id);
+    let derived_after = after
+        .marginal(new_derived, Some(LocalBudget::UNLIMITED))
+        .unwrap();
+    assert_eq!(derived_after.cache, LocalCacheStatus::Miss);
+    assert_eq!(derived_after.frontier_stops, 0);
+    let global = pipeline.marginal_of_fact(new_derived).unwrap();
+    assert!(
+        (derived_after.p - global).abs() < TOLERANCE,
+        "local {} vs global {global}",
+        derived_after.p
+    );
+}

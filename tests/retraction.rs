@@ -73,6 +73,39 @@ fn retract_leaves_the_session_usable() {
     assert!(applied.report.new_facts >= 1);
 }
 
+/// `MARGINAL_LOCAL` claimed opcode 7, so the first unknown request
+/// opcode is now 8 — and unknown opcodes must stay *structured* protocol
+/// errors (same contract as the structured `unsupported` retract error:
+/// a client never gets a panic or a silent drop for a feature the server
+/// does not speak). Pinned here so adding the next opcode forces a
+/// deliberate update.
+#[test]
+fn opcode_after_marginal_local_is_rejected_with_a_structured_error() {
+    use probkb_client::protocol::{decode_request, encode_request, Request};
+
+    // Wire byte 7 = MARGINAL_LOCAL; 8 is the first unassigned opcode.
+    let err = decode_request(&[8]).unwrap_err();
+    assert!(
+        err.to_string().contains("unknown request opcode 8"),
+        "unexpected error: {err}"
+    );
+
+    // Opcode 7 itself decodes: the boundary is exactly one past it.
+    let bytes = encode_request(&Request::MarginalLocal {
+        fact: probkb_client::protocol::FactRef::Id(3),
+        budget: Some((16, 64)),
+    });
+    assert_eq!(bytes[0], 7, "MARGINAL_LOCAL opcode moved; update this pin");
+    let back = decode_request(&bytes).unwrap();
+    assert!(matches!(
+        back,
+        Request::MarginalLocal {
+            fact: probkb_client::protocol::FactRef::Id(3),
+            budget: Some((16, 64)),
+        }
+    ));
+}
+
 #[test]
 fn pipeline_retract_propagates_the_same_error() {
     let kb = parse(BASE).unwrap().build();
